@@ -1,0 +1,43 @@
+#![warn(missing_docs)]
+
+//! Shared plumbing for the figure-regeneration binaries.
+//!
+//! Every binary regenerates one table or figure of the paper (see
+//! `DESIGN.md` §4 for the index) and prints the rows/series the paper
+//! reports. Pass `--quick` (or set `BDC_QUICK=1`) to use a reduced
+//! simulation budget for smoke runs.
+
+use bdc_core::experiments::SimBudget;
+
+/// True when the invocation asked for the reduced budget.
+pub fn quick_mode() -> bool {
+    std::env::args().any(|a| a == "--quick") || std::env::var_os("BDC_QUICK").is_some()
+}
+
+/// The simulation budget implied by the command line.
+pub fn budget() -> SimBudget {
+    if quick_mode() {
+        SimBudget::quick()
+    } else {
+        SimBudget { outer: 150, instructions: 60_000 }
+    }
+}
+
+/// Prints a standard experiment header.
+pub fn header(id: &str, what: &str) {
+    println!("== {id}: {what} ==");
+    if quick_mode() {
+        println!("   (quick mode: reduced simulation budget)");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn budget_is_positive() {
+        let b = budget();
+        assert!(b.outer > 0 && b.instructions > 0);
+    }
+}

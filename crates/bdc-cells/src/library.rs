@@ -1,0 +1,446 @@
+//! Characterized cell libraries.
+//!
+//! A [`CellLibrary`] is the interface between the analog world
+//! (`bdc-device` + `bdc-circuit`) and the digital world (`bdc-synth`): six
+//! cells (INV, NAND2, NAND3, NOR2, NOR3, DFF) with NLDM timing, input
+//! capacitance and area, plus the process's supply rails and wire model.
+//!
+//! The organic library mirrors the paper's §4.3–4.4 (pseudo-E cells at
+//! VDD = 5 V, VSS = −15 V); the silicon library is the reduced 6-cell 45 nm
+//! comparison library of §5.1, characterized through the same flow.
+
+use crate::characterize::{characterize_gate, measure_static_power, CharacterizeConfig, GateTiming};
+use crate::nldm::NldmTable;
+use crate::topology::{cmos_gate, organic_gate, GateCircuit, LogicKind, OrganicSizing};
+use crate::wire::WireModel;
+use bdc_circuit::CircuitError;
+
+/// The six cell kinds of the paper's library.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CellKind {
+    /// Inverter.
+    Inv,
+    /// 2-input NAND.
+    Nand2,
+    /// 3-input NAND.
+    Nand3,
+    /// 2-input NOR.
+    Nor2,
+    /// 3-input NOR.
+    Nor3,
+    /// D-flip-flop with preset and clear.
+    Dff,
+}
+
+impl CellKind {
+    /// All six kinds.
+    pub fn all() -> [CellKind; 6] {
+        [CellKind::Inv, CellKind::Nand2, CellKind::Nand3, CellKind::Nor2, CellKind::Nor3, CellKind::Dff]
+    }
+
+    /// The logic function, for combinational kinds.
+    pub fn logic(self) -> Option<LogicKind> {
+        match self {
+            CellKind::Inv => Some(LogicKind::Inv),
+            CellKind::Nand2 => Some(LogicKind::Nand2),
+            CellKind::Nand3 => Some(LogicKind::Nand3),
+            CellKind::Nor2 => Some(LogicKind::Nor2),
+            CellKind::Nor3 => Some(LogicKind::Nor3),
+            CellKind::Dff => None,
+        }
+    }
+
+    /// Canonical lowercase name.
+    pub fn name(self) -> &'static str {
+        match self {
+            CellKind::Inv => "inv",
+            CellKind::Nand2 => "nand2",
+            CellKind::Nand3 => "nand3",
+            CellKind::Nor2 => "nor2",
+            CellKind::Nor3 => "nor3",
+            CellKind::Dff => "dff",
+        }
+    }
+
+    /// Parses a canonical name.
+    pub fn from_name(s: &str) -> Option<CellKind> {
+        CellKind::all().into_iter().find(|k| k.name() == s)
+    }
+}
+
+/// Which process a library models.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ProcessKind {
+    /// Pentacene OTFT, unipolar p-type pseudo-E logic.
+    Organic,
+    /// 45 nm-class bulk CMOS (the reduced comparison library).
+    Silicon45,
+}
+
+/// One characterized cell.
+#[derive(Debug, Clone)]
+pub struct Cell {
+    /// Which of the six cells this is.
+    pub kind: CellKind,
+    /// Footprint area (µm²).
+    pub area: f64,
+    /// Capacitance of one input pin (F).
+    pub input_cap: f64,
+    /// Average static power across input states (W). Ratioed pseudo-E logic
+    /// burns orders of magnitude more than CMOS here.
+    pub leakage_w: f64,
+    /// Energy per output transition (J), ≈ C_swing·V_DD² at a self-load.
+    pub switching_energy: f64,
+    /// NLDM timing (for the DFF this is the clk→Q arc).
+    pub timing: GateTiming,
+}
+
+/// Sequential-cell timing parameters (s).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DffTiming {
+    /// Setup time before the clock edge.
+    pub setup: f64,
+    /// Hold time after the clock edge.
+    pub hold: f64,
+    /// Clock-to-Q nominal delay.
+    pub clk_to_q: f64,
+}
+
+/// A characterized 6-cell library.
+#[derive(Debug, Clone)]
+pub struct CellLibrary {
+    /// Human-readable name.
+    pub name: String,
+    /// Process this library models.
+    pub process: ProcessKind,
+    /// Supply voltage (V).
+    pub vdd: f64,
+    /// Negative bias rail (V); 0 for CMOS.
+    pub vss: f64,
+    /// Interconnect model.
+    pub wire: WireModel,
+    /// Sequential timing.
+    pub dff: DffTiming,
+    cells: Vec<Cell>,
+}
+
+impl CellLibrary {
+    /// Assembles a library from parts.
+    ///
+    /// # Panics
+    /// Panics unless exactly the six [`CellKind`]s are present once each.
+    pub fn from_cells(
+        name: impl Into<String>,
+        process: ProcessKind,
+        vdd: f64,
+        vss: f64,
+        wire: WireModel,
+        dff: DffTiming,
+        cells: Vec<Cell>,
+    ) -> Self {
+        assert_eq!(cells.len(), 6, "a library has exactly six cells");
+        for kind in CellKind::all() {
+            assert_eq!(
+                cells.iter().filter(|c| c.kind == kind).count(),
+                1,
+                "missing or duplicate cell {kind:?}"
+            );
+        }
+        CellLibrary { name: name.into(), process, vdd, vss, wire, dff, cells }
+    }
+
+    /// Looks up a cell.
+    pub fn cell(&self, kind: CellKind) -> &Cell {
+        self.cells.iter().find(|c| c.kind == kind).expect("all six cells present")
+    }
+
+    /// All cells.
+    pub fn cells(&self) -> &[Cell] {
+        &self.cells
+    }
+
+    /// Worst-case delay of `kind` at (`slew`, `load`).
+    pub fn delay(&self, kind: CellKind, slew: f64, load: f64) -> f64 {
+        self.cell(kind).timing.delay_worst().lookup(slew, load)
+    }
+
+    /// A nominal "fanout-of-4-like" gate delay: the inverter driving four
+    /// copies of itself at a mid-grid input slew. This is the natural time
+    /// unit of the process.
+    pub fn fo4_delay(&self) -> f64 {
+        let inv = self.cell(CellKind::Inv);
+        let slews = inv.timing.delay_rise.slews();
+        let slew = slews[slews.len() / 2];
+        inv.timing.delay_worst().lookup(slew, 4.0 * inv.input_cap)
+    }
+
+    /// Effective driver resistance of the inverter (Ω), for wire Elmore
+    /// calculations.
+    pub fn drive_resistance(&self) -> f64 {
+        self.cell(CellKind::Inv).timing.delay_worst().drive_resistance()
+    }
+
+    /// Replaces the wire model (used by the Figure 15 "w/o wire" ablation).
+    pub fn with_wire(mut self, wire: WireModel) -> Self {
+        self.wire = wire;
+        self
+    }
+
+    /// A synthetic library with analytically chosen constant delays — no
+    /// circuit simulation. Intended for fast unit tests and examples that
+    /// exercise synthesis/STA machinery rather than device physics.
+    ///
+    /// `gate_delay` sets the inverter delay (s); other cells scale from it
+    /// with typical ratios. The wire model still matches the process.
+    pub fn synthetic(process: ProcessKind, gate_delay: f64) -> Self {
+        let (vdd, vss, wire, cap_scale, area_scale) = match process {
+            ProcessKind::Organic => (5.0, -15.0, WireModel::organic(), 250.0e-12, 8.5e5),
+            ProcessKind::Silicon45 => (1.0, 0.0, WireModel::silicon_45nm(), 1.5e-15, 1.0),
+        };
+        let leak = match process {
+            ProcessKind::Organic => 15.0e-6,
+            ProcessKind::Silicon45 => 60.0e-9,
+        };
+        let mk = |kind: CellKind, d: f64, area: f64, cap: f64| Cell {
+            kind,
+            area: area * area_scale,
+            input_cap: cap * cap_scale,
+            leakage_w: leak * d,
+            switching_energy: 2.0 * cap * cap_scale * vdd * vdd,
+            timing: GateTiming {
+                delay_rise: NldmTable::constant(d * gate_delay),
+                delay_fall: NldmTable::constant(d * gate_delay * 1.15),
+                out_slew: NldmTable::constant(d * gate_delay * 0.8),
+            },
+        };
+        let cells = vec![
+            mk(CellKind::Inv, 1.0, 1.0, 1.0),
+            mk(CellKind::Nand2, 1.4, 1.4, 1.4),
+            mk(CellKind::Nand3, 1.9, 1.9, 1.9),
+            mk(CellKind::Nor2, 1.5, 1.4, 1.4),
+            mk(CellKind::Nor3, 2.1, 1.9, 1.9),
+            mk(CellKind::Dff, 3.4, if matches!(process, ProcessKind::Organic) { 11.2 } else { 5.9 }, 1.4),
+        ];
+        let dff = DffTiming {
+            setup: 2.8 * gate_delay,
+            hold: 0.4 * gate_delay,
+            clk_to_q: 3.1 * gate_delay,
+        };
+        CellLibrary::from_cells(
+            format!("synthetic-{process:?}"),
+            process,
+            vdd,
+            vss,
+            wire,
+            dff,
+            cells,
+        )
+    }
+
+    /// Builds and characterizes the organic pentacene library at the
+    /// paper's operating point (VDD = 5 V, VSS = −15 V, §4.3.3).
+    ///
+    /// # Errors
+    /// Propagates characterization failures.
+    pub fn organic_pentacene() -> Result<Self, CircuitError> {
+        Self::organic_at(5.0, -15.0)
+    }
+
+    /// Organic library at explicit rails (the VDD sweep of Figure 7 uses
+    /// this).
+    ///
+    /// # Errors
+    /// Propagates characterization failures.
+    pub fn organic_at(vdd: f64, vss: f64) -> Result<Self, CircuitError> {
+        let sizing = OrganicSizing::library_default();
+        let cfg = CharacterizeConfig::organic();
+        let mut cells = Vec::new();
+        for kind in LogicKind::all() {
+            let gate = organic_gate(kind, &sizing, vdd, vss);
+            let timing = characterize_gate(&gate, &cfg)?;
+            let leakage_w = measure_static_power(&gate)?;
+            cells.push(Cell {
+                kind: logic_to_cell(kind),
+                area: organic_gate_area(&gate),
+                input_cap: gate.input_cap,
+                leakage_w,
+                switching_energy: 2.0 * gate.input_cap * vdd * vdd,
+                timing,
+            });
+        }
+        let (dff_cell, dff) = derive_dff(&cells, 8.0);
+        cells.push(dff_cell);
+        Ok(CellLibrary::from_cells(
+            "pentacene-pseudoE",
+            ProcessKind::Organic,
+            vdd,
+            vss,
+            WireModel::organic(),
+            dff,
+            cells,
+        ))
+    }
+
+    /// Builds and characterizes the reduced 6-cell 45 nm silicon library.
+    ///
+    /// # Errors
+    /// Propagates characterization failures.
+    pub fn silicon_45nm() -> Result<Self, CircuitError> {
+        let vdd = 1.0;
+        let cfg = CharacterizeConfig::silicon();
+        let mut cells = Vec::new();
+        for kind in LogicKind::all() {
+            let gate = cmos_gate(kind, 450.0e-9, vdd);
+            let timing = characterize_gate(&gate, &cfg)?;
+            let leakage_w = measure_static_power(&gate)?;
+            cells.push(Cell {
+                kind: logic_to_cell(kind),
+                area: silicon_gate_area(kind),
+                input_cap: gate.input_cap,
+                leakage_w,
+                switching_energy: 2.0 * gate.input_cap * vdd * vdd,
+                timing,
+            });
+        }
+        let (dff_cell, dff) = derive_dff(&cells, 4.2);
+        cells.push(dff_cell);
+        Ok(CellLibrary::from_cells(
+            "reduced-45nm",
+            ProcessKind::Silicon45,
+            vdd,
+            0.0,
+            WireModel::silicon_45nm(),
+            dff,
+            cells,
+        ))
+    }
+}
+
+fn logic_to_cell(kind: LogicKind) -> CellKind {
+    match kind {
+        LogicKind::Inv => CellKind::Inv,
+        LogicKind::Nand2 => CellKind::Nand2,
+        LogicKind::Nand3 => CellKind::Nand3,
+        LogicKind::Nor2 => CellKind::Nor2,
+        LogicKind::Nor3 => CellKind::Nor3,
+    }
+}
+
+/// Area of an organic cell (µm²): every transistor occupies
+/// (W + routing margin) × (L + 2·overlap + margin), shadow-mask rules.
+fn organic_gate_area(gate: &GateCircuit) -> f64 {
+    // Reconstruct widths is awkward post-hoc; approximate from transistor
+    // count and input structure: the pseudo-E cells are dominated by their
+    // output stage. Margins per shadow-mask alignment: 40 µm each side.
+    let um = 1.0e6;
+    let l_eff = (crate::topology::ORGANIC_CHANNEL_L * um) + 2.0 * 20.0 + 60.0;
+    // Average drawn width across the cell's transistors (library default
+    // sizing): (400 + 100 + 1000 + 500)/4 = 500 µm.
+    let w_avg = 500.0 + 80.0;
+    gate.transistor_count as f64 * w_avg * l_eff
+}
+
+/// Area of a silicon cell (µm²), standard-cell track estimates at 45 nm.
+fn silicon_gate_area(kind: LogicKind) -> f64 {
+    match kind {
+        LogicKind::Inv => 1.0,
+        LogicKind::Nand2 | LogicKind::Nor2 => 1.4,
+        LogicKind::Nand3 | LogicKind::Nor3 => 1.9,
+    }
+}
+
+/// Derives the DFF cell from the characterized NAND2: the flip-flop is the
+/// classic 6-NAND edge-triggered structure with preset/clear, so its timing
+/// and area are NAND multiples. `area_factor` is the DFF/NAND2 area ratio
+/// (larger in the organic process, where each pseudo-E gate carries a
+/// level-shifter stage and registers cannot share it).
+fn derive_dff(cells: &[Cell], area_factor: f64) -> (Cell, DffTiming) {
+    let nand2 = cells.iter().find(|c| c.kind == CellKind::Nand2).expect("nand2 characterized");
+    let slews = nand2.timing.delay_rise.slews();
+    let mid_slew = slews[slews.len() / 2];
+    let d_nom = nand2.timing.delay_worst().lookup(mid_slew, 2.0 * nand2.input_cap);
+    let dff = DffTiming { setup: 2.0 * d_nom, hold: 0.3 * d_nom, clk_to_q: 2.2 * d_nom };
+    // clk→Q arc: two internal NAND stages, load-dependent like the NAND.
+    let timing = GateTiming {
+        delay_rise: nand2.timing.delay_rise.map(|d| d + 1.2 * d_nom),
+        delay_fall: nand2.timing.delay_fall.map(|d| d + 1.2 * d_nom),
+        out_slew: nand2.timing.out_slew.clone(),
+    };
+    let cell = Cell {
+        kind: CellKind::Dff,
+        area: nand2.area * area_factor,
+        input_cap: nand2.input_cap,
+        leakage_w: nand2.leakage_w * 0.75 * area_factor,
+        switching_energy: nand2.switching_energy * 2.0,
+        timing,
+    };
+    (cell, dff)
+}
+
+/// Returns a load-independent summary row for reports: name, area, input
+/// cap, and nominal delay.
+pub fn cell_summary(lib: &CellLibrary) -> Vec<(String, f64, f64, f64)> {
+    lib.cells()
+        .iter()
+        .map(|c| {
+            let slews = c.timing.delay_rise.slews();
+            let s = slews[slews.len() / 2];
+            let d = c.timing.delay_worst().lookup(s, 2.0 * c.input_cap);
+            (c.kind.name().to_string(), c.area, c.input_cap, d)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Full library construction is exercised end-to-end in the integration
+    // tests; here we cover the pure-logic pieces with the synthetic library.
+
+    #[test]
+    fn cell_kind_roundtrip_names() {
+        for k in CellKind::all() {
+            assert_eq!(CellKind::from_name(k.name()), Some(k));
+        }
+        assert_eq!(CellKind::from_name("xor2"), None);
+    }
+
+    #[test]
+    fn library_lookup_and_fo4() {
+        let lib = CellLibrary::synthetic(ProcessKind::Silicon45, 1.0e-12);
+        assert_eq!(lib.cell(CellKind::Nand3).kind, CellKind::Nand3);
+        // Constant tables → fo4 = worst-case inv delay = 1.15 ps.
+        assert!((lib.fo4_delay() - 1.15e-12).abs() < 1e-17);
+        assert_eq!(lib.cells().len(), 6);
+    }
+
+    #[test]
+    fn synthetic_processes_differ_where_they_should() {
+        let org = CellLibrary::synthetic(ProcessKind::Organic, 1.0e-4);
+        let si = CellLibrary::synthetic(ProcessKind::Silicon45, 1.5e-11);
+        assert!(org.cell(CellKind::Inv).input_cap > 1.0e4 * si.cell(CellKind::Inv).input_cap);
+        // Organic DFF is relatively larger vs its NAND2 than silicon's.
+        let r_org = org.cell(CellKind::Dff).area / org.cell(CellKind::Nand2).area;
+        let r_si = si.cell(CellKind::Dff).area / si.cell(CellKind::Nand2).area;
+        assert!(r_org > 1.5 * r_si, "organic {r_org:.1} vs silicon {r_si:.1}");
+    }
+
+    #[test]
+    #[should_panic(expected = "exactly six cells")]
+    fn from_cells_rejects_wrong_count() {
+        let lib = CellLibrary::synthetic(ProcessKind::Organic, 1.0);
+        let mut cells = lib.cells().to_vec();
+        cells.pop();
+        let dff = lib.dff;
+        let _ =
+            CellLibrary::from_cells("bad", ProcessKind::Organic, 5.0, -15.0, lib.wire, dff, cells);
+    }
+
+    #[test]
+    fn with_wire_swaps_model() {
+        let lib = CellLibrary::synthetic(ProcessKind::Silicon45, 1.0);
+        let lib = lib.with_wire(WireModel::ideal());
+        assert_eq!(lib.wire.delay(1.0, 1.0e3), 0.0);
+    }
+}

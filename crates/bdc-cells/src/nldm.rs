@@ -1,0 +1,184 @@
+//! Non-linear delay model (NLDM) look-up tables.
+//!
+//! The paper characterizes its cells with the conventional NLDM (§4.4): a
+//! 2-D table indexed by input slew and output capacitive load, holding
+//! propagation delay and output slew. Lookups bilinearly interpolate and
+//! clamp-extrapolate at the grid edges, like Liberty consumers do.
+
+/// A slew × load look-up table.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NldmTable {
+    slews: Vec<f64>,
+    loads: Vec<f64>,
+    /// `values[i][j]` is the entry at `slews[i]`, `loads[j]`.
+    values: Vec<Vec<f64>>,
+}
+
+impl NldmTable {
+    /// Creates a table.
+    ///
+    /// # Panics
+    /// Panics if the axes are not strictly increasing, are empty, or the
+    /// value grid does not match the axes.
+    pub fn new(slews: Vec<f64>, loads: Vec<f64>, values: Vec<Vec<f64>>) -> Self {
+        assert!(!slews.is_empty() && !loads.is_empty(), "axes must be non-empty");
+        assert!(slews.windows(2).all(|w| w[1] > w[0]), "slew axis must increase");
+        assert!(loads.windows(2).all(|w| w[1] > w[0]), "load axis must increase");
+        assert_eq!(values.len(), slews.len(), "row count must match slew axis");
+        assert!(values.iter().all(|r| r.len() == loads.len()), "column count must match load axis");
+        NldmTable { slews, loads, values }
+    }
+
+    /// A constant (degenerate 1×1) table.
+    pub fn constant(value: f64) -> Self {
+        NldmTable { slews: vec![0.0], loads: vec![0.0], values: vec![vec![value]] }
+    }
+
+    /// The slew axis.
+    pub fn slews(&self) -> &[f64] {
+        &self.slews
+    }
+
+    /// The load axis.
+    pub fn loads(&self) -> &[f64] {
+        &self.loads
+    }
+
+    /// Raw grid values.
+    pub fn values(&self) -> &[Vec<f64>] {
+        &self.values
+    }
+
+    /// Bilinear interpolation at (`slew`, `load`), linearly extrapolating
+    /// beyond the grid (standard Liberty semantics).
+    pub fn lookup(&self, slew: f64, load: f64) -> f64 {
+        let (i0, i1, fi) = bracket(&self.slews, slew);
+        let (j0, j1, fj) = bracket(&self.loads, load);
+        let v00 = self.values[i0][j0];
+        let v01 = self.values[i0][j1];
+        let v10 = self.values[i1][j0];
+        let v11 = self.values[i1][j1];
+        let v0 = v00 + fj * (v01 - v00);
+        let v1 = v10 + fj * (v11 - v10);
+        v0 + fi * (v1 - v0)
+    }
+
+    /// Applies `f` to every entry, returning a new table (used for unit
+    /// conversion and for derating ablations).
+    pub fn map(&self, f: impl Fn(f64) -> f64) -> NldmTable {
+        NldmTable {
+            slews: self.slews.clone(),
+            loads: self.loads.clone(),
+            values: self.values.iter().map(|r| r.iter().map(|v| f(*v)).collect()).collect(),
+        }
+    }
+
+    /// Entry-wise maximum of two tables sharing axes.
+    ///
+    /// # Panics
+    /// Panics if the axes differ.
+    pub fn max_with(&self, other: &NldmTable) -> NldmTable {
+        assert_eq!(self.slews, other.slews, "slew axes must match");
+        assert_eq!(self.loads, other.loads, "load axes must match");
+        NldmTable {
+            slews: self.slews.clone(),
+            loads: self.loads.clone(),
+            values: self
+                .values
+                .iter()
+                .zip(&other.values)
+                .map(|(a, b)| a.iter().zip(b).map(|(x, y)| x.max(*y)).collect())
+                .collect(),
+        }
+    }
+
+    /// The effective drive resistance: ∂delay/∂load at the table centre
+    /// (used by the wire-delay model as the driver impedance).
+    pub fn drive_resistance(&self) -> f64 {
+        if self.loads.len() < 2 {
+            return 0.0;
+        }
+        let i = self.slews.len() / 2;
+        let j0 = self.loads.len() / 2 - 1;
+        let j1 = j0 + 1;
+        (self.values[i][j1] - self.values[i][j0]) / (self.loads[j1] - self.loads[j0])
+    }
+}
+
+/// Finds `(lower index, upper index, fraction)` for linear interpolation
+/// with clamping-free linear extrapolation at the ends.
+fn bracket(axis: &[f64], x: f64) -> (usize, usize, f64) {
+    let n = axis.len();
+    if n == 1 {
+        return (0, 0, 0.0);
+    }
+    let mut i = 0;
+    while i + 2 < n && x > axis[i + 1] {
+        i += 1;
+    }
+    let (a, b) = (axis[i], axis[i + 1]);
+    (i, i + 1, (x - a) / (b - a))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table() -> NldmTable {
+        NldmTable::new(
+            vec![1.0, 2.0, 4.0],
+            vec![10.0, 20.0],
+            vec![vec![1.0, 2.0], vec![2.0, 3.0], vec![4.0, 5.0]],
+        )
+    }
+
+    #[test]
+    fn exact_grid_points() {
+        let t = table();
+        assert_eq!(t.lookup(1.0, 10.0), 1.0);
+        assert_eq!(t.lookup(4.0, 20.0), 5.0);
+    }
+
+    #[test]
+    fn interpolates_bilinearly() {
+        let t = table();
+        assert!((t.lookup(1.5, 15.0) - 2.0).abs() < 1e-12);
+        assert!((t.lookup(3.0, 10.0) - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn extrapolates_linearly() {
+        let t = table();
+        // Beyond the load axis: slope (2-1)/(20-10) = 0.1 per unit load.
+        assert!((t.lookup(1.0, 30.0) - 3.0).abs() < 1e-12);
+        // Below the slew axis.
+        assert!((t.lookup(0.0, 10.0) - 0.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn constant_table_always_returns_value() {
+        let t = NldmTable::constant(7.5);
+        assert_eq!(t.lookup(123.0, 456.0), 7.5);
+    }
+
+    #[test]
+    fn drive_resistance_is_load_slope() {
+        let t = table();
+        assert!((t.drive_resistance() - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn max_with_takes_worst_case() {
+        let a = table();
+        let b = a.map(|v| 10.0 - v);
+        let m = a.max_with(&b);
+        assert_eq!(m.lookup(1.0, 10.0), 9.0);
+        assert_eq!(m.lookup(4.0, 20.0), 5.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "slew axis must increase")]
+    fn rejects_unsorted_axis() {
+        let _ = NldmTable::new(vec![2.0, 1.0], vec![1.0], vec![vec![0.0], vec![0.0]]);
+    }
+}

@@ -1,0 +1,58 @@
+//! Error type for circuit construction and simulation.
+
+use std::fmt;
+
+/// Errors raised by the circuit simulator.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CircuitError {
+    /// Newton–Raphson failed to converge after all fallbacks.
+    NoConvergence {
+        /// Worst KCL residual (A) at the last iterate.
+        residual: f64,
+        /// Iterations attempted.
+        iterations: usize,
+    },
+    /// The MNA matrix was singular (e.g. a floating node with no DC path).
+    SingularMatrix {
+        /// Pivot column at which elimination failed.
+        pivot: usize,
+    },
+    /// A node id did not belong to the circuit.
+    UnknownNode(usize),
+    /// An element parameter was invalid (negative resistance, NaN, …).
+    InvalidElement(String),
+    /// Transient setup was invalid (non-positive step or stop time).
+    InvalidTimeAxis,
+}
+
+impl fmt::Display for CircuitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CircuitError::NoConvergence { residual, iterations } => write!(
+                f,
+                "newton-raphson did not converge after {iterations} iterations (residual {residual:.3e} A)"
+            ),
+            CircuitError::SingularMatrix { pivot } => {
+                write!(f, "singular MNA matrix at pivot {pivot} (floating node?)")
+            }
+            CircuitError::UnknownNode(n) => write!(f, "node id {n} is not part of this circuit"),
+            CircuitError::InvalidElement(msg) => write!(f, "invalid element: {msg}"),
+            CircuitError::InvalidTimeAxis => write!(f, "transient step and stop must be positive"),
+        }
+    }
+}
+
+impl std::error::Error for CircuitError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = CircuitError::NoConvergence { residual: 1.0e-3, iterations: 200 };
+        let s = e.to_string();
+        assert!(s.contains("200") && s.contains("1.000e-3"));
+        assert!(!format!("{e:?}").is_empty());
+    }
+}

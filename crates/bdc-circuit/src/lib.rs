@@ -1,0 +1,55 @@
+#![warn(missing_docs)]
+
+//! A small SPICE-class analog circuit simulator.
+//!
+//! `bdc-circuit` stands in for HSPICE in the paper's flow (Figure 10): it
+//! simulates the standard cells of the organic and silicon libraries at the
+//! transistor level. It implements:
+//!
+//! * **Modified nodal analysis** over resistors, capacitors, independent
+//!   voltage sources, and FETs bound to any [`bdc_device::DeviceModel`]
+//!   ([`netlist`]).
+//! * **Newton–Raphson DC operating point** with voltage-step damping and a
+//!   gmin-stepping fallback ([`dc`]).
+//! * **DC transfer sweeps** with solution continuation, used for every
+//!   voltage-transfer-characteristic experiment in the paper's §4
+//!   ([`sweep`]).
+//! * **Transient analysis** (backward Euler or trapezoidal companion models)
+//!   used by NLDM cell characterization ([`tran`]).
+//! * **Waveform measurements**: switching threshold by the mirror-intersect
+//!   method, peak gain, unity-gain and maximum-equal-criterion noise
+//!   margins, static power, and edge/crossing timing ([`measure`]).
+//!
+//! # Example: a resistor divider
+//!
+//! ```
+//! use bdc_circuit::{Circuit, DcSolver};
+//!
+//! let mut c = Circuit::new();
+//! let vin = c.node("in");
+//! let mid = c.node("mid");
+//! c.vsource(vin, Circuit::GND, 10.0);
+//! c.resistor(vin, mid, 1_000.0);
+//! c.resistor(mid, Circuit::GND, 1_000.0);
+//! let op = DcSolver::new().solve(&c)?;
+//! assert!((op.voltage(mid) - 5.0).abs() < 1e-6);
+//! # Ok::<(), bdc_circuit::CircuitError>(())
+//! ```
+
+pub mod dc;
+pub mod error;
+pub mod export;
+pub mod linalg;
+pub mod measure;
+pub mod netlist;
+pub mod sweep;
+pub mod tran;
+
+pub use dc::{DcSolver, Operating};
+pub use export::{describe, write_spice};
+pub use error::CircuitError;
+pub use linalg::DenseMatrix;
+pub use measure::{crossing_time, InverterDc, NoiseMargins, VtcCurve};
+pub use netlist::{Circuit, Element, NodeId};
+pub use sweep::{dc_sweep, SweepPoint};
+pub use tran::{Integrator, TranResult, TranSolver, Waveform};

@@ -1,0 +1,190 @@
+//! Dense linear algebra for the MNA solver.
+//!
+//! Standard-cell circuits have at most a few dozen unknowns, so a dense LU
+//! factorization with partial pivoting is both simple and fast.
+
+use crate::error::CircuitError;
+
+/// A dense row-major square-capable matrix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DenseMatrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl DenseMatrix {
+    /// Creates a zero matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        DenseMatrix { rows, cols, data: vec![0.0; rows * cols] }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Reads entry (r, c).
+    #[inline]
+    pub fn get(&self, r: usize, c: usize) -> f64 {
+        self.data[r * self.cols + c]
+    }
+
+    /// Writes entry (r, c).
+    #[inline]
+    pub fn set(&mut self, r: usize, c: usize, v: f64) {
+        self.data[r * self.cols + c] = v;
+    }
+
+    /// Adds `v` into entry (r, c) — the natural operation for MNA stamps.
+    #[inline]
+    pub fn add(&mut self, r: usize, c: usize, v: f64) {
+        self.data[r * self.cols + c] += v;
+    }
+
+    /// Resets all entries to zero, keeping the allocation.
+    pub fn clear(&mut self) {
+        self.data.fill(0.0);
+    }
+
+    /// Matrix–vector product `A·x`.
+    ///
+    /// # Panics
+    /// Panics if `x.len() != self.cols()`.
+    pub fn mul_vec(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.cols);
+        (0..self.rows)
+            .map(|r| {
+                let row = &self.data[r * self.cols..(r + 1) * self.cols];
+                row.iter().zip(x).map(|(a, b)| a * b).sum()
+            })
+            .collect()
+    }
+
+    /// Solves `A·x = b` in place via LU with partial pivoting, destroying
+    /// `self` and `b` and returning `x` in `b`'s storage.
+    ///
+    /// # Errors
+    /// Returns [`CircuitError::SingularMatrix`] when a pivot underflows.
+    ///
+    /// # Panics
+    /// Panics if the matrix is not square or `b` has the wrong length.
+    pub fn solve_in_place(&mut self, b: &mut [f64]) -> Result<(), CircuitError> {
+        assert_eq!(self.rows, self.cols, "solve requires a square matrix");
+        assert_eq!(b.len(), self.rows);
+        let n = self.rows;
+        for col in 0..n {
+            // Partial pivot.
+            let mut best = col;
+            let mut best_abs = self.get(col, col).abs();
+            for r in (col + 1)..n {
+                let a = self.get(r, col).abs();
+                if a > best_abs {
+                    best = r;
+                    best_abs = a;
+                }
+            }
+            if best_abs < 1.0e-300 {
+                return Err(CircuitError::SingularMatrix { pivot: col });
+            }
+            if best != col {
+                for c in 0..n {
+                    let tmp = self.get(col, c);
+                    self.set(col, c, self.get(best, c));
+                    self.set(best, c, tmp);
+                }
+                b.swap(col, best);
+            }
+            let pivot = self.get(col, col);
+            for r in (col + 1)..n {
+                let factor = self.get(r, col) / pivot;
+                if factor == 0.0 {
+                    continue;
+                }
+                for c in col..n {
+                    let v = self.get(r, c) - factor * self.get(col, c);
+                    self.set(r, c, v);
+                }
+                b[r] -= factor * b[col];
+            }
+        }
+        // Back substitution.
+        for col in (0..n).rev() {
+            let mut acc = b[col];
+            for c in (col + 1)..n {
+                acc -= self.get(col, c) * b[c];
+            }
+            b[col] = acc / self.get(col, col);
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn solves_identity() {
+        let mut a = DenseMatrix::zeros(3, 3);
+        for i in 0..3 {
+            a.set(i, i, 1.0);
+        }
+        let mut b = vec![1.0, 2.0, 3.0];
+        a.solve_in_place(&mut b).unwrap();
+        assert_eq!(b, vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn solves_system_requiring_pivoting() {
+        // First pivot is zero; partial pivoting must rescue it.
+        let mut a = DenseMatrix::zeros(2, 2);
+        a.set(0, 0, 0.0);
+        a.set(0, 1, 1.0);
+        a.set(1, 0, 2.0);
+        a.set(1, 1, 1.0);
+        let mut b = vec![3.0, 5.0];
+        a.solve_in_place(&mut b).unwrap();
+        // x0 = 1, x1 = 3.
+        assert!((b[0] - 1.0).abs() < 1e-12 && (b[1] - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reports_singularity() {
+        let mut a = DenseMatrix::zeros(2, 2);
+        a.set(0, 0, 1.0);
+        a.set(0, 1, 2.0);
+        a.set(1, 0, 2.0);
+        a.set(1, 1, 4.0);
+        let mut b = vec![1.0, 2.0];
+        assert!(matches!(a.solve_in_place(&mut b), Err(CircuitError::SingularMatrix { .. })));
+    }
+
+    #[test]
+    fn mul_vec_matches_solution() {
+        let mut a = DenseMatrix::zeros(4, 4);
+        // A diagonally dominant random-ish matrix.
+        let vals = [
+            [10.0, 1.0, -2.0, 0.5],
+            [2.0, 8.0, 1.0, -1.0],
+            [-1.0, 0.0, 6.0, 2.0],
+            [0.5, 1.0, 1.0, 9.0],
+        ];
+        for r in 0..4 {
+            for c in 0..4 {
+                a.set(r, c, vals[r][c]);
+            }
+        }
+        let x_true = vec![1.0, -2.0, 3.0, 0.25];
+        let mut b = a.mul_vec(&x_true);
+        a.clone().solve_in_place(&mut b).unwrap();
+        for (xi, ti) in b.iter().zip(&x_true) {
+            assert!((xi - ti).abs() < 1e-10);
+        }
+    }
+}

@@ -1,0 +1,307 @@
+//! Waveform and transfer-curve measurements.
+//!
+//! Implements the DC metrics of the paper's §4.3.1: switching threshold
+//! `V_M` from the mirrored-VTC intersect, maximum gain from the steepest
+//! slope, and noise margins — both the textbook unity-gain criterion
+//! (reported separately as NMH / NML, like the tables in Figures 6d and 7d)
+//! and Hauser's maximum-equal-criterion (MEC) single figure.
+
+/// A voltage transfer characteristic: monotone-decreasing `(vin, vout)`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct VtcCurve {
+    points: Vec<(f64, f64)>,
+}
+
+/// Noise margins extracted from a VTC.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NoiseMargins {
+    /// Input-low limit (unity-gain point), V.
+    pub vil: f64,
+    /// Input-high limit (unity-gain point), V.
+    pub vih: f64,
+    /// Output-high level, V.
+    pub voh: f64,
+    /// Output-low level, V.
+    pub vol: f64,
+    /// High noise margin `V_OH − V_IH`, V.
+    pub nmh: f64,
+    /// Low noise margin `V_IL − V_OL`, V.
+    pub nml: f64,
+}
+
+/// DC summary of an inverter, matching the rows of the paper's Fig 6(d)/7(d).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct InverterDc {
+    /// Switching threshold `V_M` (mirror intersect), V.
+    pub vm: f64,
+    /// Peak small-signal gain |dVout/dVin|.
+    pub max_gain: f64,
+    /// Unity-gain noise margins.
+    pub margins: NoiseMargins,
+}
+
+impl VtcCurve {
+    /// Wraps a sampled VTC.
+    ///
+    /// # Panics
+    /// Panics if fewer than 4 points are supplied or inputs are not strictly
+    /// increasing.
+    pub fn new(points: Vec<(f64, f64)>) -> Self {
+        assert!(points.len() >= 4, "VTC needs at least 4 points");
+        assert!(
+            points.windows(2).all(|w| w[1].0 > w[0].0),
+            "VTC inputs must be strictly increasing"
+        );
+        VtcCurve { points }
+    }
+
+    /// The raw samples.
+    pub fn points(&self) -> &[(f64, f64)] {
+        &self.points
+    }
+
+    /// Linear interpolation of `vout` at `vin` (clamped at the ends).
+    pub fn vout(&self, vin: f64) -> f64 {
+        let pts = &self.points;
+        if vin <= pts[0].0 {
+            return pts[0].1;
+        }
+        for w in pts.windows(2) {
+            if vin <= w[1].0 {
+                let f = (vin - w[0].0) / (w[1].0 - w[0].0);
+                return w[0].1 + f * (w[1].1 - w[0].1);
+            }
+        }
+        pts.last().unwrap().1
+    }
+
+    /// Switching threshold: the input where `vout == vin` (the intersect of
+    /// the VTC with its mirror, as the paper extracts it).
+    pub fn switching_threshold(&self) -> f64 {
+        // Find sign change of (vout - vin), then bisect the segment.
+        let g = |v: f64| self.vout(v) - v;
+        let mut lo = self.points[0].0;
+        let mut hi = self.points.last().unwrap().0;
+        let mut prev = self.points[0];
+        for &(vin, vout) in &self.points[1..] {
+            if (prev.1 - prev.0) * (vout - vin) <= 0.0 {
+                lo = prev.0;
+                hi = vin;
+                break;
+            }
+            prev = (vin, vout);
+        }
+        for _ in 0..60 {
+            let mid = 0.5 * (lo + hi);
+            if g(lo) * g(mid) <= 0.0 {
+                hi = mid;
+            } else {
+                lo = mid;
+            }
+        }
+        0.5 * (lo + hi)
+    }
+
+    /// Gain curve: `(vin, |dVout/dVin|)` by central differences.
+    pub fn gain_curve(&self) -> Vec<(f64, f64)> {
+        let pts = &self.points;
+        (1..pts.len() - 1)
+            .map(|i| {
+                let g = (pts[i + 1].1 - pts[i - 1].1) / (pts[i + 1].0 - pts[i - 1].0);
+                (pts[i].0, g.abs())
+            })
+            .collect()
+    }
+
+    /// Peak small-signal gain magnitude.
+    pub fn max_gain(&self) -> f64 {
+        self.gain_curve().into_iter().map(|(_, g)| g).fold(0.0, f64::max)
+    }
+
+    /// Unity-gain noise margins: `V_IL` / `V_IH` at |gain| = 1, `V_OH` /
+    /// `V_OL` at the sweep extremes.
+    pub fn noise_margins(&self) -> NoiseMargins {
+        let gains = self.gain_curve();
+        let voh = self.points.first().unwrap().1.max(self.points.last().unwrap().1);
+        let vol = self.points.first().unwrap().1.min(self.points.last().unwrap().1);
+        // First crossing of gain above 1 from the left is V_IL; last crossing
+        // back below 1 is V_IH. If gain never reaches 1 the margins are zero.
+        let mut vil = self.points[0].0;
+        let mut vih = self.points.last().unwrap().0;
+        let mut found = false;
+        for w in gains.windows(2) {
+            let ((v0, g0), (v1, g1)) = (w[0], w[1]);
+            if !found && g0 < 1.0 && g1 >= 1.0 {
+                let f = (1.0 - g0) / (g1 - g0);
+                vil = v0 + f * (v1 - v0);
+                found = true;
+            }
+            if found && g0 >= 1.0 && g1 < 1.0 {
+                let f = (g0 - 1.0) / (g0 - g1);
+                vih = v0 + f * (v1 - v0);
+            }
+        }
+        if !found {
+            return NoiseMargins { vil: 0.0, vih: 0.0, voh, vol, nmh: 0.0, nml: 0.0 };
+        }
+        NoiseMargins { vil, vih, voh, vol, nmh: (voh - vih).max(0.0), nml: (vil - vol).max(0.0) }
+    }
+
+    /// Hauser's maximum-equal-criterion noise margin: the largest series
+    /// noise `m` for which an inverter chain still has two self-consistent
+    /// logic levels.
+    ///
+    /// Formally, the largest `m` such that there exists a low level `V0`
+    /// with `V1 = f(V0 + m)` satisfying `f(V1 − m) ≤ V0` and
+    /// `V1 > V0 + 2m` (the logic bands do not overlap).
+    pub fn noise_margin_mec(&self) -> f64 {
+        let lo_in = self.points[0].0;
+        let hi_in = self.points.last().unwrap().0;
+        let f = |v: f64| self.vout(v.clamp(lo_in, hi_in));
+        let bistable = |m: f64| -> bool {
+            let n = 200;
+            (0..=n).any(|i| {
+                let v0 = lo_in + (hi_in - lo_in) * i as f64 / n as f64;
+                let v1 = f(v0 + m);
+                v1 > v0 + 2.0 * m && f(v1 - m) <= v0
+            })
+        };
+        if !bistable(0.0) {
+            return 0.0;
+        }
+        let mut lo = 0.0;
+        let mut hi = 0.5 * (hi_in - lo_in);
+        for _ in 0..40 {
+            let mid = 0.5 * (lo + hi);
+            if bistable(mid) {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        lo
+    }
+
+    /// Full DC summary.
+    pub fn summarize(&self) -> InverterDc {
+        InverterDc {
+            vm: self.switching_threshold(),
+            max_gain: self.max_gain(),
+            margins: self.noise_margins(),
+        }
+    }
+}
+
+/// Time at which a waveform first crosses `level` moving in the direction
+/// implied by its endpoints. Returns `None` if it never crosses.
+pub fn crossing_time(waveform: &[(f64, f64)], level: f64) -> Option<f64> {
+    for w in waveform.windows(2) {
+        let ((t0, v0), (t1, v1)) = (w[0], w[1]);
+        if (v0 - level) * (v1 - level) <= 0.0 && (v1 - v0).abs() > 1e-300 {
+            let f = (level - v0) / (v1 - v0);
+            if (0.0..=1.0).contains(&f) {
+                return Some(t0 + f * (t1 - t0));
+            }
+        }
+    }
+    None
+}
+
+/// Measured 10–90 % (by default fractions) transition time between two
+/// levels on a waveform section. Returns `None` when crossings are missing.
+pub fn slew_time(
+    waveform: &[(f64, f64)],
+    v_from: f64,
+    v_to: f64,
+    frac_lo: f64,
+    frac_hi: f64,
+) -> Option<f64> {
+    let lo = v_from + frac_lo * (v_to - v_from);
+    let hi = v_from + frac_hi * (v_to - v_from);
+    let t_lo = crossing_time(waveform, lo)?;
+    let t_hi = crossing_time(waveform, hi)?;
+    Some((t_hi - t_lo).abs())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// An ideal-ish inverter VTC: tanh centred at vm with gain g, swinging
+    /// vol..voh.
+    fn tanh_vtc(vm: f64, gain: f64, vol: f64, voh: f64, n: usize, vmax: f64) -> VtcCurve {
+        let mid = 0.5 * (voh + vol);
+        let amp = 0.5 * (voh - vol);
+        // Slope of a·tanh(k(vm−v)) at v=vm is a·k; choose k for target gain.
+        let k = gain / amp;
+        let pts = (0..n)
+            .map(|i| {
+                let v = vmax * i as f64 / (n - 1) as f64;
+                (v, mid + amp * (k * (vm - v)).tanh())
+            })
+            .collect();
+        VtcCurve::new(pts)
+    }
+
+    #[test]
+    fn switching_threshold_found_at_center() {
+        let vtc = tanh_vtc(7.7, 3.0, 0.0, 15.0, 301, 15.0);
+        let vm = vtc.switching_threshold();
+        // The vout=vin intersect is near (not exactly at) the tanh centre.
+        assert!((vm - 7.7).abs() < 0.5, "vm = {vm}");
+    }
+
+    #[test]
+    fn max_gain_matches_construction() {
+        let vtc = tanh_vtc(7.5, 3.0, 0.0, 15.0, 601, 15.0);
+        let g = vtc.max_gain();
+        assert!((g - 3.0).abs() < 0.1, "gain = {g}");
+    }
+
+    #[test]
+    fn noise_margins_positive_for_high_gain() {
+        let vtc = tanh_vtc(7.5, 3.0, 0.0, 15.0, 601, 15.0);
+        let nm = vtc.noise_margins();
+        assert!(nm.nmh > 1.0 && nm.nml > 1.0, "{nm:?}");
+        assert!(nm.vil < 7.5 && nm.vih > 7.5);
+        // For this symmetric curve margins are nearly equal.
+        assert!((nm.nmh - nm.nml).abs() < 0.5);
+    }
+
+    #[test]
+    fn unity_gain_margins_vanish_for_weak_inverter() {
+        // Gain < 1 everywhere: no regeneration, no noise margin.
+        let vtc = tanh_vtc(7.5, 0.8, 2.0, 13.0, 401, 15.0);
+        let nm = vtc.noise_margins();
+        assert_eq!((nm.nmh, nm.nml), (0.0, 0.0));
+        assert_eq!(vtc.noise_margin_mec(), 0.0);
+    }
+
+    #[test]
+    fn mec_margin_below_unity_gain_margins() {
+        let vtc = tanh_vtc(7.5, 3.0, 0.0, 15.0, 601, 15.0);
+        let mec = vtc.noise_margin_mec();
+        let nm = vtc.noise_margins();
+        assert!(mec > 0.5);
+        assert!(mec <= nm.nmh.max(nm.nml) + 1e-9);
+    }
+
+    #[test]
+    fn crossing_and_slew_times() {
+        let wf: Vec<(f64, f64)> = (0..=100).map(|i| (i as f64, i as f64 * 0.1)).collect();
+        let t = crossing_time(&wf, 5.0).unwrap();
+        assert!((t - 50.0).abs() < 1e-9);
+        let s = slew_time(&wf, 0.0, 10.0, 0.1, 0.9).unwrap();
+        assert!((s - 80.0).abs() < 1e-9);
+        assert_eq!(crossing_time(&wf, 99.0), None);
+    }
+
+    #[test]
+    fn summarize_bundles_metrics() {
+        let vtc = tanh_vtc(7.7, 3.0, 0.0, 15.0, 601, 15.0);
+        let s = vtc.summarize();
+        assert!((s.vm - 7.7).abs() < 0.5);
+        assert!((s.max_gain - 3.0).abs() < 0.15);
+        assert!(s.margins.nmh > 1.0);
+    }
+}

@@ -1,0 +1,276 @@
+//! Circuit netlist representation (modified nodal analysis form).
+
+use std::sync::Arc;
+
+use bdc_device::DeviceModel;
+
+use crate::error::CircuitError;
+
+/// Identifier of a circuit node. Node 0 is always ground.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub(crate) usize);
+
+impl NodeId {
+    /// Raw index (0 = ground).
+    pub fn index(self) -> usize {
+        self.0
+    }
+
+    /// Reconstructs a node id from a raw index (0 = ground). Only
+    /// meaningful for indices obtained from the same circuit.
+    pub fn from_index(index: usize) -> NodeId {
+        NodeId(index)
+    }
+}
+
+/// One circuit element.
+#[derive(Debug, Clone)]
+pub enum Element {
+    /// Linear resistor between `a` and `b`.
+    Resistor {
+        /// First terminal.
+        a: NodeId,
+        /// Second terminal.
+        b: NodeId,
+        /// Resistance (Ω), strictly positive.
+        ohms: f64,
+    },
+    /// Linear capacitor between `a` and `b` (open in DC).
+    Capacitor {
+        /// First terminal.
+        a: NodeId,
+        /// Second terminal.
+        b: NodeId,
+        /// Capacitance (F), non-negative.
+        farads: f64,
+    },
+    /// Independent voltage source; contributes one MNA branch unknown.
+    VSource {
+        /// Positive terminal.
+        pos: NodeId,
+        /// Negative terminal.
+        neg: NodeId,
+        /// DC value (V); transient analysis may override per time step.
+        volts: f64,
+    },
+    /// A FET bound to a compact device model.
+    Fet {
+        /// Drain terminal.
+        d: NodeId,
+        /// Gate terminal.
+        g: NodeId,
+        /// Source terminal.
+        s: NodeId,
+        /// Compact model evaluated for I_DS(V_GS, V_DS).
+        model: Arc<dyn DeviceModel>,
+    },
+}
+
+/// A flat transistor-level circuit.
+///
+/// Build with the fluent `node` / `resistor` / `capacitor` / `vsource` /
+/// `fet` methods, then hand it to [`crate::DcSolver`] or
+/// [`crate::TranSolver`].
+#[derive(Debug, Clone, Default)]
+pub struct Circuit {
+    names: Vec<String>,
+    elements: Vec<Element>,
+}
+
+impl Circuit {
+    /// The ground node, implicitly present in every circuit.
+    pub const GND: NodeId = NodeId(0);
+
+    /// Creates an empty circuit (containing only ground).
+    pub fn new() -> Self {
+        Circuit { names: vec!["gnd".to_string()], elements: Vec::new() }
+    }
+
+    /// Creates (or finds, by name) a node.
+    pub fn node(&mut self, name: &str) -> NodeId {
+        if let Some(i) = self.names.iter().position(|n| n == name) {
+            return NodeId(i);
+        }
+        self.names.push(name.to_string());
+        NodeId(self.names.len() - 1)
+    }
+
+    /// Name of a node.
+    ///
+    /// # Panics
+    /// Panics if the id does not belong to this circuit.
+    pub fn node_name(&self, id: NodeId) -> &str {
+        &self.names[id.0]
+    }
+
+    /// Number of nodes including ground.
+    pub fn node_count(&self) -> usize {
+        self.names.len()
+    }
+
+    /// The elements in insertion order.
+    pub fn elements(&self) -> &[Element] {
+        &self.elements
+    }
+
+    /// Adds a resistor.
+    ///
+    /// # Panics
+    /// Panics if `ohms` is not finite and strictly positive.
+    pub fn resistor(&mut self, a: NodeId, b: NodeId, ohms: f64) -> &mut Self {
+        assert!(ohms.is_finite() && ohms > 0.0, "resistance must be positive");
+        self.check(a);
+        self.check(b);
+        self.elements.push(Element::Resistor { a, b, ohms });
+        self
+    }
+
+    /// Adds a capacitor.
+    ///
+    /// # Panics
+    /// Panics if `farads` is not finite and non-negative.
+    pub fn capacitor(&mut self, a: NodeId, b: NodeId, farads: f64) -> &mut Self {
+        assert!(farads.is_finite() && farads >= 0.0, "capacitance must be non-negative");
+        self.check(a);
+        self.check(b);
+        self.elements.push(Element::Capacitor { a, b, farads });
+        self
+    }
+
+    /// Adds an independent voltage source and returns its source index
+    /// (usable with [`crate::TranSolver::drive`] and
+    /// [`Circuit::set_vsource`]).
+    ///
+    /// # Panics
+    /// Panics if `volts` is not finite.
+    pub fn vsource(&mut self, pos: NodeId, neg: NodeId, volts: f64) -> usize {
+        assert!(volts.is_finite(), "source voltage must be finite");
+        self.check(pos);
+        self.check(neg);
+        self.elements.push(Element::VSource { pos, neg, volts });
+        self.vsource_count() - 1
+    }
+
+    /// Adds a FET.
+    pub fn fet(&mut self, d: NodeId, g: NodeId, s: NodeId, model: Arc<dyn DeviceModel>) -> &mut Self {
+        self.check(d);
+        self.check(g);
+        self.check(s);
+        self.elements.push(Element::Fet { d, g, s, model });
+        self
+    }
+
+    /// Changes the DC value of the `idx`-th voltage source (insertion order).
+    ///
+    /// # Panics
+    /// Panics if `idx` is out of range.
+    pub fn set_vsource(&mut self, idx: usize, volts: f64) {
+        let mut seen = 0;
+        for e in &mut self.elements {
+            if let Element::VSource { volts: v, .. } = e {
+                if seen == idx {
+                    *v = volts;
+                    return;
+                }
+                seen += 1;
+            }
+        }
+        panic!("voltage source index {idx} out of range ({seen} sources)");
+    }
+
+    /// Number of voltage sources.
+    pub fn vsource_count(&self) -> usize {
+        self.elements
+            .iter()
+            .filter(|e| matches!(e, Element::VSource { .. }))
+            .count()
+    }
+
+    /// Total MNA unknowns: node voltages (minus ground) + source branches.
+    pub fn unknowns(&self) -> usize {
+        (self.node_count() - 1) + self.vsource_count()
+    }
+
+    /// Validates that every node referenced by elements exists (useful after
+    /// programmatic construction).
+    ///
+    /// # Errors
+    /// Returns [`CircuitError::UnknownNode`] for an out-of-range reference.
+    pub fn validate(&self) -> Result<(), CircuitError> {
+        let n = self.node_count();
+        for e in &self.elements {
+            let ids: Vec<usize> = match e {
+                Element::Resistor { a, b, .. } | Element::Capacitor { a, b, .. } => {
+                    vec![a.0, b.0]
+                }
+                Element::VSource { pos, neg, .. } => vec![pos.0, neg.0],
+                Element::Fet { d, g, s, .. } => vec![d.0, g.0, s.0],
+            };
+            for id in ids {
+                if id >= n {
+                    return Err(CircuitError::UnknownNode(id));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn check(&self, id: NodeId) {
+        assert!(id.0 < self.node_count(), "node id {} out of range", id.0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_is_idempotent_by_name() {
+        let mut c = Circuit::new();
+        let a = c.node("x");
+        let b = c.node("x");
+        assert_eq!(a, b);
+        assert_eq!(c.node_count(), 2);
+        assert_eq!(c.node_name(a), "x");
+    }
+
+    #[test]
+    fn unknown_count_includes_branches() {
+        let mut c = Circuit::new();
+        let a = c.node("a");
+        let b = c.node("b");
+        c.vsource(a, Circuit::GND, 1.0);
+        c.resistor(a, b, 10.0);
+        c.resistor(b, Circuit::GND, 10.0);
+        assert_eq!(c.unknowns(), 3); // two node voltages + one branch current
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn set_vsource_by_index() {
+        let mut c = Circuit::new();
+        let a = c.node("a");
+        let b = c.node("b");
+        let s0 = c.vsource(a, Circuit::GND, 1.0);
+        let s1 = c.vsource(b, Circuit::GND, 2.0);
+        assert_eq!((s0, s1), (0, 1));
+        c.set_vsource(1, 7.0);
+        let vals: Vec<f64> = c
+            .elements()
+            .iter()
+            .filter_map(|e| match e {
+                Element::VSource { volts, .. } => Some(*volts),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(vals, vec![1.0, 7.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "resistance must be positive")]
+    fn rejects_bad_resistor() {
+        let mut c = Circuit::new();
+        let a = c.node("a");
+        c.resistor(a, Circuit::GND, 0.0);
+    }
+}

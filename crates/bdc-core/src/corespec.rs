@@ -1,0 +1,303 @@
+//! Core configurations: the AnyCore-like stage decomposition.
+//!
+//! A core is nine logical stages (Fetch … Retire). [`CoreSpec`] carries the
+//! superscalar widths and a list of *splits* — stages that have been cut in
+//! two, the paper's method for deepening the pipeline beyond the 9-stage
+//! baseline (§5.1: “we synthesize the baseline design and cut the stage
+//! which is on the critical path manually”).
+//!
+//! [`stage_netlist`] generates a representative gate-level netlist for each
+//! stage at the given widths; these are what synthesis times.
+
+use bdc_synth::blocks;
+use bdc_synth::gate::Netlist;
+use bdc_uarch::{CoreConfig, StagePlan};
+
+/// The nine logical pipeline stages of the baseline core.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum StageKind {
+    /// Instruction fetch: next-PC, BTB lookup, predictor.
+    Fetch,
+    /// Decode.
+    Decode,
+    /// Register rename: intra-group dependence checks + map table.
+    Rename,
+    /// Dispatch into the window.
+    Dispatch,
+    /// Issue: wakeup CAM + select.
+    Issue,
+    /// Register-file read.
+    RegRead,
+    /// Execute: ALUs + bypass network.
+    Execute,
+    /// Memory access (AGU + D-cache interface).
+    Mem,
+    /// Retire/commit logic.
+    Retire,
+}
+
+impl StageKind {
+    /// All nine stages in pipeline order.
+    pub fn all() -> [StageKind; 9] {
+        [
+            StageKind::Fetch,
+            StageKind::Decode,
+            StageKind::Rename,
+            StageKind::Dispatch,
+            StageKind::Issue,
+            StageKind::RegRead,
+            StageKind::Execute,
+            StageKind::Mem,
+            StageKind::Retire,
+        ]
+    }
+
+    /// Short name.
+    pub fn name(self) -> &'static str {
+        match self {
+            StageKind::Fetch => "fetch",
+            StageKind::Decode => "decode",
+            StageKind::Rename => "rename",
+            StageKind::Dispatch => "dispatch",
+            StageKind::Issue => "issue",
+            StageKind::RegRead => "regread",
+            StageKind::Execute => "execute",
+            StageKind::Mem => "mem",
+            StageKind::Retire => "retire",
+        }
+    }
+
+    /// Whether the paper's manual cutting may split this stage (retire
+    /// holds little logic and is never critical).
+    pub fn splittable(self) -> bool {
+        !matches!(self, StageKind::Retire)
+    }
+}
+
+/// A core design point: widths + the list of stage splits beyond baseline.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CoreSpec {
+    /// Front-end width (1–6).
+    pub fe_width: usize,
+    /// Back-end execution pipes (3–7, includes memory and control pipes).
+    pub be_pipes: usize,
+    /// Stages that have been split once per entry (a stage may appear more
+    /// than once for further subdivision).
+    pub splits: Vec<StageKind>,
+}
+
+impl CoreSpec {
+    /// The baseline: single-issue front end, three execution pipes, nine
+    /// stages.
+    pub fn baseline() -> Self {
+        CoreSpec { fe_width: 1, be_pipes: 3, splits: Vec::new() }
+    }
+
+    /// A width design point at baseline depth.
+    pub fn with_widths(fe_width: usize, be_pipes: usize) -> Self {
+        CoreSpec { fe_width, be_pipes, splits: Vec::new() }
+    }
+
+    /// Total pipeline stages.
+    pub fn total_stages(&self) -> usize {
+        9 + self.splits.len()
+    }
+
+    /// Number of sub-stages a given stage currently occupies.
+    pub fn substages(&self, kind: StageKind) -> usize {
+        1 + self.splits.iter().filter(|&&k| k == kind).count()
+    }
+
+    /// Builds the matching microarchitecture configuration for IPC
+    /// simulation. Execute splits are modelled as extra issue-to-execute
+    /// (regread) stages — they delay resolution and wakeup exactly like a
+    /// longer execute pipe — and Mem splits as an extra cycle of D-cache
+    /// access latency.
+    pub fn core_config(&self) -> CoreConfig {
+        let mut plan = StagePlan::baseline9();
+        let mut cfg = CoreConfig::with_widths(self.fe_width, self.be_pipes);
+        for s in &self.splits {
+            let f = match s {
+                StageKind::Fetch => "fetch",
+                StageKind::Decode => "decode",
+                StageKind::Rename => "rename",
+                StageKind::Dispatch => "dispatch",
+                StageKind::Issue => "issue",
+                StageKind::RegRead | StageKind::Execute => "regread",
+                StageKind::Mem | StageKind::Retire => {
+                    cfg.dcache.hit_latency += 1;
+                    continue;
+                }
+            };
+            plan = plan.split(f);
+        }
+        cfg.stages = plan;
+        cfg
+    }
+}
+
+/// An inline serial structure: `bits`-wide bus through a `pre_levels`-deep
+/// inverter ladder (the upstream logic feeding the cascade) followed by
+/// `ranks` cascaded 2:1 mux ranks — the width-proportional priority chains
+/// of fetch target selection and rename.
+fn serial_cascade(n: &mut Netlist, name: &str, bits: usize, pre_levels: usize, ranks: usize) {
+    let mut bus: Vec<_> = (0..bits).map(|i| n.input(format!("{name}[{i}]"))).collect();
+    for _ in 0..pre_levels {
+        bus = bus.iter().map(|&b| n.inv(b)).collect();
+    }
+    for r in 0..ranks {
+        let sel = n.input(format!("{name}_sel[{r}]"));
+        bus = (0..bits).map(|i| n.mux2(sel, bus[i], bus[(i + 1) % bits])).collect();
+    }
+    for (i, b) in bus.iter().enumerate() {
+        n.output(*b, format!("{name}_out[{i}]"));
+    }
+}
+
+/// Generates the representative netlist for one stage at the given widths.
+///
+/// Sizes are calibrated so the baseline silicon core lands near the paper's
+/// ~800 MHz and the stage-delay ranking puts fetch/issue/execute on the
+/// critical path first, like AnyCore.
+pub fn stage_netlist(kind: StageKind, fe_width: usize, be_pipes: usize) -> Netlist {
+    let fe = fe_width.max(1);
+    let be = be_pipes.max(3);
+    let mut n = Netlist::new(format!("{}_{fe}x{be}", kind.name()));
+    match kind {
+        StageKind::Fetch => {
+            n.append(&blocks::carry_select_adder(32), "nextpc");
+            n.append(&blocks::comparator(22), "btbtag");
+            n.append(&blocks::random_logic(24, 500, 0xFE7C), "steer");
+            for lane in 0..fe {
+                n.append(&blocks::random_logic(16, 180, 0x1000 + lane as u64), "lane");
+            }
+            // Next-fetch target selection: after the BTB/steering logic, a
+            // priority cascade scans the fetch group for the first
+            // predicted-taken slot — serial in the front-end width.
+            serial_cascade(&mut n, "tgtsel", 16, 190, 4 * fe);
+        }
+        StageKind::Decode => {
+            for lane in 0..fe {
+                n.append(&blocks::random_logic(32, 420, 0xDEC0 + lane as u64), "dec");
+            }
+        }
+        StageKind::Rename => {
+            // Map-table read + intra-group dependence checks (fe² compares)
+            // + the serial intra-group priority chain: lane i's source
+            // mapping muxes against every earlier lane's destination, so
+            // depth grows with the front-end width (the classic
+            // rename-width critical path).
+            n.append(&blocks::decoder(5), "maptab");
+            for i in 0..fe {
+                for _ in 0..fe {
+                    n.append(&blocks::comparator(5), "depchk");
+                }
+                n.append(&blocks::random_logic(16, 120, 0x4E4E + i as u64), "rn");
+            }
+            if fe > 1 {
+                // Serial chain: each later lane's source mapping overrides
+                // through a compare-and-mux rank per earlier lane (three
+                // cascaded 2:1 ranks per lane over 7-bit tags).
+                let mut bus: Vec<_> = (0..7).map(|i| n.input(format!("rnch[{i}]"))).collect();
+                for lane in 1..fe {
+                    for rank in 0..3 {
+                        let sel = n.input(format!("rnsel{rank}[{lane}]"));
+                        let alt: Vec<_> = (0..7)
+                            .map(|i| n.input(format!("rnalt{lane}_{rank}[{i}]")))
+                            .collect();
+                        bus = bus.iter().zip(&alt).map(|(&a, &b)| n.mux2(sel, a, b)).collect();
+                    }
+                }
+                for (i, b) in bus.iter().enumerate() {
+                    n.output(*b, format!("rnout[{i}]"));
+                }
+            }
+        }
+        StageKind::Dispatch => {
+            for lane in 0..fe {
+                n.append(&blocks::random_logic(24, 260, 0xD15 + lane as u64), "dsp");
+            }
+        }
+        StageKind::Issue => {
+            // Wakeup CAM over the 32-entry queue with one broadcast port per
+            // pipe, plus one select tree per pipe.
+            n.append(&blocks::wakeup_cam(32, 6, be), "wakeup");
+            for p in 0..be {
+                n.append(&blocks::priority_select(32), "select");
+                n.append(&blocks::random_logic(16, 90, 0x155E + p as u64), "arb");
+            }
+        }
+        StageKind::RegRead => {
+            // Two read ports per pipe: decoder + word mux.
+            for _p in 0..(2 * be).min(10) {
+                n.append(&blocks::decoder(5), "rdec");
+                n.append(&blocks::mux_tree(32, 16), "rmux");
+            }
+        }
+        StageKind::Execute => {
+            n.append(&blocks::carry_select_adder(32), "alu_add");
+            n.append(&blocks::barrel_shifter(32), "alu_shift");
+            n.append(&blocks::random_logic(64, 380, 0xE8EC), "alu_logic");
+            // Bypass: every pipe's two operand ports mux over all producers.
+            n.append(&blocks::bypass_network(be, 2, 32), "bypass");
+        }
+        StageKind::Mem => {
+            n.append(&blocks::carry_select_adder(32), "agu");
+            n.append(&blocks::comparator(20), "dtag");
+            n.append(&blocks::random_logic(24, 220, 0x3E3), "lsu");
+        }
+        StageKind::Retire => {
+            n.append(&blocks::random_logic(32, 170, 0x4E7), "commit");
+            n.append(&blocks::priority_select(8), "cmtsel");
+        }
+    }
+    n
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn baseline_spec_maps_to_nine_stage_config() {
+        let spec = CoreSpec::baseline();
+        assert_eq!(spec.total_stages(), 9);
+        let cfg = spec.core_config();
+        assert_eq!(cfg.total_stages(), 9);
+        assert_eq!(cfg.fetch_width, 1);
+        assert_eq!(cfg.backend_pipes(), 3);
+    }
+
+    #[test]
+    fn splits_deepen_both_views() {
+        let mut spec = CoreSpec::baseline();
+        spec.splits.push(StageKind::Fetch);
+        spec.splits.push(StageKind::Issue);
+        spec.splits.push(StageKind::Execute);
+        assert_eq!(spec.total_stages(), 12);
+        assert_eq!(spec.substages(StageKind::Fetch), 2);
+        let cfg = spec.core_config();
+        assert_eq!(cfg.total_stages(), 12);
+        // Execute split became a regread stage for the IPC model.
+        assert_eq!(cfg.stages.regread, 2);
+    }
+
+    #[test]
+    fn all_stage_netlists_are_valid() {
+        for kind in StageKind::all() {
+            let n = stage_netlist(kind, 2, 4);
+            n.validate().unwrap_or_else(|e| panic!("{}: {e}", kind.name()));
+            assert!(!n.gates().is_empty(), "{} is empty", kind.name());
+        }
+    }
+
+    #[test]
+    fn width_sensitive_stages_grow_with_width() {
+        let narrow = stage_netlist(StageKind::Issue, 1, 3);
+        let wide = stage_netlist(StageKind::Issue, 1, 7);
+        assert!(wide.gates().len() > narrow.gates().len());
+        let narrow = stage_netlist(StageKind::Decode, 1, 3);
+        let wide = stage_netlist(StageKind::Decode, 6, 3);
+        assert!(wide.gates().len() > 3 * narrow.gates().len());
+    }
+}

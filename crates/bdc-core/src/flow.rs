@@ -1,0 +1,242 @@
+//! The synthesis/simulation flow: Figure 10 of the paper.
+
+use bdc_cells::CellKind;
+use bdc_synth::blocks;
+use bdc_synth::gate::Netlist;
+use bdc_synth::map::remap_for_library;
+use bdc_synth::pipeline::{pipeline_cut, PipelineOptions, PipelineResult};
+use bdc_synth::sta::analyze;
+use bdc_uarch::{build_workload, OooCore, SimStats, Workload};
+
+use crate::corespec::{stage_netlist, CoreSpec, StageKind};
+use crate::process::TechKit;
+
+/// The complex-ALU block of the paper's first experiment (§5.2): two
+/// pipelined multipliers and two dividers. The DesignWare dividers are
+/// *stallable* (multi-cycle sequential) units, so only their per-cycle
+/// conditional-subtract row participates in retiming; the multiplier arrays
+/// carry the deep combinational path that pipeline cutting subdivides.
+pub fn alu_cluster() -> Netlist {
+    let mut n = Netlist::new("complex_alu");
+    n.append(&blocks::array_multiplier(32), "mul0");
+    n.append(&blocks::array_multiplier(32), "mul1");
+    n.append(&blocks::divider_stage(32), "div0");
+    n.append(&blocks::divider_stage(32), "div1");
+    n
+}
+
+/// Pipelines a combinational block to `stages` against a kit's library,
+/// remapping it for the library first.
+pub fn pipeline_alu(kit: &TechKit, block: &Netlist, stages: usize) -> PipelineResult {
+    let (mapped, _) = remap_for_library(block, &kit.lib);
+    let opts = PipelineOptions { stages, ..kit.pipe };
+    pipeline_cut(&mapped, &kit.lib, &kit.sta, &opts)
+}
+
+/// Per-stage synthesis summary.
+#[derive(Debug, Clone)]
+pub struct StageTiming {
+    /// Which logical stage.
+    pub kind: StageKind,
+    /// Sub-stages after splitting.
+    pub substages: usize,
+    /// Worst per-substage logic delay (s).
+    pub logic_delay: f64,
+    /// Cell area of the stage (µm²), including retiming registers.
+    pub area_um2: f64,
+}
+
+/// Result of synthesizing a whole core.
+#[derive(Debug, Clone)]
+pub struct SynthesizedCore {
+    /// Minimum clock period (s).
+    pub period: f64,
+    /// Clock frequency (Hz).
+    pub frequency: f64,
+    /// Total area (µm²), including pipeline interface registers.
+    pub area_um2: f64,
+    /// Per-stage breakdown.
+    pub stages: Vec<StageTiming>,
+    /// The stage whose logic limits the clock.
+    pub critical: StageKind,
+    /// Sequential overhead charged per cycle (s).
+    pub seq_overhead: f64,
+    /// Feedback/control wire overhead charged per cycle (s).
+    pub wire_overhead: f64,
+}
+
+/// Synthesizes a core design point: every stage's representative netlist is
+/// mapped, timed (and internally pipelined where split), and the core's
+/// clock is set by the worst stage plus sequential and feedback-wire
+/// overheads. Feedback nets (stalls, flush, bypass broadcast) span more of
+/// the die as the pipeline deepens and the back end widens.
+pub fn synthesize_core(kit: &TechKit, spec: &CoreSpec) -> SynthesizedCore {
+    let mut stages = Vec::new();
+    let mut area = 0.0;
+    let mut instances = 0usize;
+    for kind in StageKind::all() {
+        let net = stage_netlist(kind, spec.fe_width, spec.be_pipes);
+        let (mapped, _) = remap_for_library(&net, &kit.lib);
+        let k = spec.substages(kind);
+        let (logic, stage_area) = if k == 1 {
+            let r = analyze(&mapped, &kit.lib, &kit.sta);
+            (r.max_arrival, r.area_um2)
+        } else {
+            let opts = PipelineOptions { stages: k, ..kit.pipe };
+            let r = pipeline_cut(&mapped, &kit.lib, &kit.sta, &opts);
+            let worst = r.stage_logic.iter().copied().fold(0.0, f64::max);
+            // The stage's boundary registers are accounted once, globally,
+            // as interface registers below — keep only internal retiming
+            // ranks here.
+            let io_regs = (mapped.inputs().len() + mapped.outputs().len()) as f64
+                * kit.lib.cell(CellKind::Dff).area;
+            (worst, (r.area_um2 - io_regs).max(0.0))
+        };
+        instances += mapped.gates().len();
+        area += stage_area;
+        stages.push(StageTiming { kind, substages: k, logic_delay: logic, area_um2: stage_area });
+    }
+
+    // Inter-stage interface registers: each boundary latches the in-flight
+    // instruction group (payload scales with width).
+    let iface_bits = 60 + 48 * spec.fe_width.max(spec.be_pipes - 2);
+    let boundaries = spec.total_stages();
+    let dff_area = kit.lib.cell(CellKind::Dff).area;
+    area += (iface_bits * boundaries) as f64 * dff_area;
+    instances += iface_bits * boundaries;
+
+    // Memory arrays (not gate-synthesized but real area and wire span):
+    // L1 caches, predictor tables, physical register file, IQ/ROB/LSQ
+    // payload. Silicon uses 6T SRAM bit cells; the organic process has no
+    // dense SRAM and stores bits in compact latches.
+    let bit_area = match kit.process {
+        crate::Process::Silicon => 0.5,
+        crate::Process::Organic => kit.lib.cell(CellKind::Dff).area / 3.0,
+    };
+    let cache_bits = 2.0 * 8.0 * 1024.0 * 8.0 * 1.1; // two 8 KiB L1s + tags
+    let pred_bits = (512 * 52 + 4096 * 2) as f64; // BTB + PHT
+    let regfile_bits = 64.0 * 32.0 * (1.0 + 0.25 * (spec.be_pipes as f64 - 3.0));
+    let window_bits = (32.0 + 64.0 + 16.0) * 80.0 * (1.0 + 0.15 * (spec.fe_width as f64 - 1.0));
+    let array_bits = cache_bits + pred_bits + regfile_bits + window_bits;
+    // Arrays enter the floorplan (wire spans) but not the reported cell
+    // area: like the paper, Figure 11(a)/14 report synthesized cell area.
+    let floorplan_area = area + array_bits * bit_area;
+    let floorplan_instances = instances + (array_bits / 8.0) as usize;
+
+    let placement = kit.sta.placement.place_area(floorplan_area, floorplan_instances);
+    let seq_overhead =
+        kit.lib.dff.setup + kit.lib.dff.clk_to_q * (1.0 + kit.pipe.skew_fraction);
+    let span = kit.pipe.feedback_base
+        + kit.pipe.feedback_per_stage * spec.total_stages() as f64
+        + 0.55 * (spec.be_pipes as f64 - 3.0)
+        + 0.50 * (spec.fe_width as f64 - 1.0);
+    let fb_len = kit.sta.placement.crossing_length(&placement, span);
+    let wire_overhead =
+        kit.lib.wire.delay(fb_len, kit.lib.drive_resistance() / kit.pipe.driver_upsize);
+
+    let (critical, worst_logic) = stages
+        .iter()
+        .map(|s| (s.kind, s.logic_delay))
+        .fold((StageKind::Fetch, 0.0), |acc, x| if x.1 > acc.1 { x } else { acc });
+    let period = worst_logic + seq_overhead + wire_overhead;
+    SynthesizedCore {
+        period,
+        frequency: 1.0 / period,
+        area_um2: area,
+        stages,
+        critical,
+        seq_overhead,
+        wire_overhead,
+    }
+}
+
+/// Splits the currently critical (splittable) stage once — the paper's
+/// manual pipeline-deepening move. Returns the deepened spec and which
+/// stage was cut.
+pub fn split_critical(kit: &TechKit, spec: &CoreSpec) -> (CoreSpec, StageKind) {
+    let synth = synthesize_core(kit, spec);
+    // Pick the worst *splittable* stage by per-substage delay.
+    let (kind, _) = synth
+        .stages
+        .iter()
+        .filter(|s| s.kind.splittable())
+        .map(|s| (s.kind, s.logic_delay))
+        .fold((StageKind::Fetch, 0.0), |acc, x| if x.1 > acc.1 { x } else { acc });
+    let mut deeper = spec.clone();
+    deeper.splits.push(kind);
+    (deeper, kind)
+}
+
+/// Simulates a workload on a design point and returns its statistics.
+///
+/// `instructions` bounds the run; all workloads halt on their own well
+/// before any realistic budget.
+pub fn measure_ipc(spec: &CoreSpec, workload: Workload, outer: u32, instructions: u64) -> SimStats {
+    let program = build_workload(workload, outer);
+    let mut core = OooCore::new(&program, spec.core_config(), workload.memory_words());
+    core.run(instructions)
+}
+
+/// `performance = IPC × frequency` (the paper's §5.3/§5.4 metric), in
+/// instructions per second.
+pub fn performance(ipc: f64, frequency: f64) -> f64 {
+    ipc * frequency
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::process::Process;
+
+    #[test]
+    fn alu_cluster_is_large_and_valid() {
+        let alu = alu_cluster();
+        alu.validate().unwrap();
+        assert!(alu.gates().len() > 20_000, "gates = {}", alu.gates().len());
+    }
+
+    #[test]
+    fn synthesize_core_baseline_synthetic() {
+        let kit = TechKit::synthetic(Process::Silicon);
+        let spec = CoreSpec::baseline();
+        let core = synthesize_core(&kit, &spec);
+        assert!(core.period > 0.0);
+        assert_eq!(core.stages.len(), 9);
+        assert!(core.area_um2 > 0.0);
+        // Tail stages should not be critical.
+        assert!(core.critical.splittable());
+    }
+
+    #[test]
+    fn splitting_critical_stage_raises_frequency() {
+        let kit = TechKit::synthetic(Process::Silicon);
+        let spec = CoreSpec::baseline();
+        let base = synthesize_core(&kit, &spec);
+        let (deeper, cut) = split_critical(&kit, &spec);
+        let faster = synthesize_core(&kit, &deeper);
+        assert_eq!(deeper.total_stages(), 10);
+        assert!(cut.splittable());
+        assert!(
+            faster.frequency > base.frequency,
+            "10-stage {:.3e} vs 9-stage {:.3e}",
+            faster.frequency,
+            base.frequency
+        );
+    }
+
+    #[test]
+    fn wider_cores_are_bigger() {
+        let kit = TechKit::synthetic(Process::Silicon);
+        let narrow = synthesize_core(&kit, &CoreSpec::with_widths(1, 3));
+        let wide = synthesize_core(&kit, &CoreSpec::with_widths(6, 7));
+        assert!(wide.area_um2 > 1.5 * narrow.area_um2);
+    }
+
+    #[test]
+    fn ipc_measurement_runs() {
+        let spec = CoreSpec::baseline();
+        let stats = measure_ipc(&spec, Workload::Dhrystone, 30, 100_000);
+        assert!(stats.ipc() > 0.05 && stats.ipc() <= 1.0);
+        assert!(performance(stats.ipc(), 1.0e6) > 0.0);
+    }
+}

@@ -1,0 +1,48 @@
+#![warn(missing_docs)]
+
+//! End-to-end architectural exploration flow for biodegradable (organic)
+//! processors — the reproduction of *“Architectural Tradeoffs for
+//! Biodegradable Computing”* (MICRO-50, 2017).
+//!
+//! This crate glues the substrates together into the paper's Figure-10
+//! flow:
+//!
+//! ```text
+//! fabricated OTFTs → device models → standard cells → NLDM library
+//!        (bdc-device)    (bdc-device)   (bdc-cells)    (bdc-cells)
+//!                                  ↓
+//!      core netlists → synthesis/STA → min period + area
+//!        (bdc-synth)      (bdc-synth)
+//!                                  ↓
+//!      cycle-accurate simulation → IPC       performance = IPC × f
+//!        (bdc-uarch)
+//! ```
+//!
+//! The [`experiments`] module has one driver per figure/table of the
+//! paper's evaluation (see `DESIGN.md` for the experiment index), and
+//! [`report`] renders paper-style tables and heatmaps.
+//!
+//! # Quickstart
+//!
+//! ```no_run
+//! use bdc_core::{Process, TechKit};
+//!
+//! // Characterize the organic library and synthesize the complex ALU at
+//! // eight pipeline stages.
+//! let kit = TechKit::build(Process::Organic)?;
+//! let alu = bdc_core::flow::alu_cluster();
+//! let result = bdc_core::flow::pipeline_alu(&kit, &alu, 8);
+//! println!("8-stage organic ALU: {:.1} Hz", result.frequency);
+//! # Ok::<(), bdc_circuit::CircuitError>(())
+//! ```
+
+pub mod corespec;
+pub mod experiments;
+pub mod extensions;
+pub mod flow;
+pub mod process;
+pub mod report;
+
+pub use corespec::{CoreSpec, StageKind};
+pub use flow::{alu_cluster, pipeline_alu, synthesize_core, SynthesizedCore};
+pub use process::{Process, TechKit};

@@ -1,0 +1,177 @@
+//! Process technologies and their characterized kits.
+
+use std::sync::OnceLock;
+
+use bdc_cells::{CellLibrary, ProcessKind, WireModel};
+use bdc_circuit::CircuitError;
+use bdc_synth::pipeline::PipelineOptions;
+use bdc_synth::sta::StaConfig;
+
+/// The two processes the paper compares.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Process {
+    /// Pentacene OTFT, pseudo-E unipolar p-type logic.
+    Organic,
+    /// 45 nm-class silicon CMOS (reduced 6-cell library).
+    Silicon,
+}
+
+impl Process {
+    /// Both processes, organic first.
+    pub fn both() -> [Process; 2] {
+        [Process::Organic, Process::Silicon]
+    }
+
+    /// Display name used in figures.
+    pub fn name(self) -> &'static str {
+        match self {
+            Process::Organic => "organic",
+            Process::Silicon => "silicon",
+        }
+    }
+}
+
+/// A process bound to its characterized library and synthesis settings.
+#[derive(Debug, Clone)]
+pub struct TechKit {
+    /// Which process this is.
+    pub process: Process,
+    /// Characterized 6-cell library.
+    pub lib: CellLibrary,
+    /// STA settings (placement model).
+    pub sta: StaConfig,
+    /// Pipelining defaults (feedback-wire model, skew, driver sizing) —
+    /// calibrated once against the paper's Figure 12/15 silicon shape.
+    pub pipe: PipelineOptions,
+}
+
+impl TechKit {
+    /// Characterizes the process's library (1–2 s of circuit simulation)
+    /// and returns the kit.
+    ///
+    /// # Errors
+    /// Propagates characterization failures.
+    pub fn build(process: Process) -> Result<TechKit, CircuitError> {
+        let lib = match process {
+            Process::Organic => CellLibrary::organic_pentacene()?,
+            Process::Silicon => CellLibrary::silicon_45nm()?,
+        };
+        Ok(Self::with_library(process, lib))
+    }
+
+    /// Builds the kit around an existing library (used by the cached
+    /// accessor and the wire ablations).
+    pub fn with_library(process: Process, lib: CellLibrary) -> TechKit {
+        TechKit {
+            process,
+            lib,
+            sta: StaConfig::default(),
+            pipe: PipelineOptions {
+                stages: 1,
+                skew_fraction: 0.5,
+                feedback_base: 0.5,
+                feedback_per_stage: 0.6,
+                driver_upsize: 8.0,
+            },
+        }
+    }
+
+    /// Like [`TechKit::build`], but caches the characterized library as a
+    /// Liberty-dialect file under `dir` (created if missing) and reloads it
+    /// on subsequent calls — the disk-cached flow a downstream user wants.
+    ///
+    /// A stale or corrupt cache file is silently re-characterized and
+    /// rewritten; cache *write* failures are non-fatal.
+    ///
+    /// # Errors
+    /// Propagates characterization failures.
+    pub fn build_cached(
+        process: Process,
+        dir: &std::path::Path,
+    ) -> Result<TechKit, CircuitError> {
+        let path = dir.join(format!("{}.bdclib", process.name()));
+        if let Ok(text) = std::fs::read_to_string(&path) {
+            if let Ok(lib) = bdc_cells::parse_library(&text) {
+                let expected = match process {
+                    Process::Organic => ProcessKind::Organic,
+                    Process::Silicon => ProcessKind::Silicon45,
+                };
+                if lib.process == expected {
+                    return Ok(Self::with_library(process, lib));
+                }
+            }
+        }
+        let kit = Self::build(process)?;
+        let _ = std::fs::create_dir_all(dir);
+        let _ = std::fs::write(&path, bdc_cells::write_library(&kit.lib));
+        Ok(kit)
+    }
+
+    /// A fast, simulation-free kit (synthetic constant-delay library with
+    /// the right orders of magnitude) for unit tests.
+    pub fn synthetic(process: Process) -> TechKit {
+        let lib = match process {
+            Process::Organic => CellLibrary::synthetic(ProcessKind::Organic, 6.5e-4),
+            Process::Silicon => CellLibrary::synthetic(ProcessKind::Silicon45, 8.0e-12),
+        };
+        Self::with_library(process, lib)
+    }
+
+    /// The same kit with ideal (zero-delay) wires — the Figure 15 ablation.
+    pub fn without_wires(&self) -> TechKit {
+        let mut kit = self.clone();
+        kit.lib = kit.lib.with_wire(WireModel::ideal());
+        kit
+    }
+}
+
+/// Returns a lazily characterized, process-wide shared kit. The expensive
+/// circuit-level characterization runs once per process per process-lifetime.
+///
+/// # Panics
+/// Panics if characterization fails (deterministic; covered by tests).
+pub fn shared_kit(process: Process) -> &'static TechKit {
+    static ORGANIC: OnceLock<TechKit> = OnceLock::new();
+    static SILICON: OnceLock<TechKit> = OnceLock::new();
+    let cell = match process {
+        Process::Organic => &ORGANIC,
+        Process::Silicon => &SILICON,
+    };
+    cell.get_or_init(|| TechKit::build(process).expect("library characterization"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn synthetic_kits_have_right_magnitudes() {
+        let org = TechKit::synthetic(Process::Organic);
+        let si = TechKit::synthetic(Process::Silicon);
+        assert!(org.lib.fo4_delay() > 1.0e5 * si.lib.fo4_delay());
+        assert_eq!(org.process.name(), "organic");
+    }
+
+    #[test]
+    fn without_wires_zeroes_the_wire_model() {
+        let kit = TechKit::synthetic(Process::Silicon).without_wires();
+        assert_eq!(kit.lib.wire.delay(1.0e-3, 3.0e3), 0.0);
+    }
+
+    #[test]
+    fn build_cached_round_trips_through_disk() {
+        let dir = std::env::temp_dir().join(format!("bdc-cache-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let first = TechKit::build_cached(Process::Silicon, &dir).expect("characterize");
+        assert!(dir.join("silicon.bdclib").exists());
+        let second = TechKit::build_cached(Process::Silicon, &dir).expect("cached");
+        // The reload is bit-exact on timing.
+        assert_eq!(first.lib.fo4_delay(), second.lib.fo4_delay());
+        assert_eq!(first.lib.dff, second.lib.dff);
+        // A corrupt cache falls back to re-characterization.
+        std::fs::write(dir.join("silicon.bdclib"), "garbage").unwrap();
+        let third = TechKit::build_cached(Process::Silicon, &dir).expect("recover");
+        assert!((third.lib.fo4_delay() - first.lib.fo4_delay()).abs() < 1e-15);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,117 @@
+//! Level-1 Shichman–Hodges square-law MOSFET model.
+//!
+//! The paper implements this model first (§4.2) for fast qualitative analysis
+//! of mobility and threshold voltage, then rejects it for accurate work: it
+//! has no subthreshold conduction and no leakage floor, so it cannot match
+//! the measured pentacene curve of Figure 4 below threshold. We keep it both
+//! as a baseline for the Figure 4 fitting experiment and as a sanity model in
+//! tests.
+
+use crate::model::{to_n_frame, with_sd_swap, DeviceModel, Polarity};
+use crate::params::Level1Params;
+
+/// Classic square-law model: cutoff / triode / saturation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Level1Model {
+    params: Level1Params,
+}
+
+impl Level1Model {
+    /// Creates a model from a parameter set.
+    ///
+    /// # Panics
+    /// Panics if geometry or `kp` are non-positive.
+    pub fn new(params: Level1Params) -> Self {
+        assert!(params.w > 0.0 && params.l > 0.0, "geometry must be positive");
+        assert!(params.kp > 0.0, "kp must be positive");
+        Level1Model { params }
+    }
+
+    /// Borrow the parameter set.
+    pub fn params(&self) -> &Level1Params {
+        &self.params
+    }
+
+    fn ids_n_frame(&self, vgs: f64, vds: f64) -> f64 {
+        let p = &self.params;
+        let beta = p.kp * p.w / p.l;
+        let vgt = vgs - p.vt0;
+        if vgt <= 0.0 {
+            0.0
+        } else if vds < vgt {
+            beta * (vgt * vds - 0.5 * vds * vds) * (1.0 + p.lambda * vds)
+        } else {
+            0.5 * beta * vgt * vgt * (1.0 + p.lambda * vds)
+        }
+    }
+}
+
+impl DeviceModel for Level1Model {
+    fn ids(&self, vgs: f64, vds: f64) -> f64 {
+        let (vgs_n, vds_n, sign) = to_n_frame(self.params.polarity, vgs, vds);
+        sign * with_sd_swap(vgs_n, vds_n, |g, d| self.ids_n_frame(g, d))
+    }
+
+    fn polarity(&self) -> Polarity {
+        self.params.polarity
+    }
+
+    fn gate_capacitance(&self) -> f64 {
+        self.params.ci * self.params.w * self.params.l
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pentacene() -> Level1Model {
+        Level1Model::new(Level1Params::pentacene())
+    }
+
+    #[test]
+    fn cutoff_is_exactly_zero() {
+        // The defining deficiency vs level 61: no subthreshold current.
+        let m = pentacene();
+        assert_eq!(m.ids(0.0, -5.0), 0.0);
+        assert_eq!(m.ids(-1.0, -5.0), 0.0);
+    }
+
+    #[test]
+    fn triode_saturation_boundary_is_continuous() {
+        let m = pentacene();
+        let vgs = -6.0; // vgt = 4.7 in n-frame
+        let eps = 1e-6;
+        let below = m.ids(vgs, -(4.7 - eps));
+        let above = m.ids(vgs, -(4.7 + eps));
+        // The two branches agree at the boundary up to the local slope · 2ε.
+        assert!((below - above).abs() < 1e-4 * below.abs().max(1e-12));
+    }
+
+    #[test]
+    fn square_law_in_saturation() {
+        let m = pentacene();
+        // |I(vgt=8)| / |I(vgt=4)| ≈ 4 modulo lambda.
+        let i1 = m.ids(-5.3, -10.0).abs(); // vgt = 4
+        let i2 = m.ids(-9.3, -10.0).abs(); // vgt = 8
+        let ratio = i2 / i1;
+        assert!((ratio - 4.0).abs() < 0.4, "ratio {ratio}");
+    }
+
+    #[test]
+    fn magnitude_matches_pentacene_scale() {
+        // 0.5 · µCi · (W/L) · vgt² with vgt ≈ 8.7 → a few µA.
+        let m = pentacene();
+        let i = m.ids(-10.0, -10.0).abs();
+        assert!(i > 1.0e-6 && i < 2.0e-5, "I = {i:.3e}");
+    }
+
+    #[test]
+    fn source_drain_swap_symmetry() {
+        let m = pentacene();
+        let a = m.ids(-7.0, -3.0);
+        // Swap S and D: vgd = vgs - vds = -4, vsd = 3.
+        let b = m.ids(-4.0, 3.0);
+        assert!((a + b).abs() < 1e-15);
+    }
+}

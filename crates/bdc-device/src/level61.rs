@@ -1,0 +1,223 @@
+//! Level-61-class (RPI a-Si TFT) compact model.
+//!
+//! The paper fits a SPICE level 61 RPI thin-film-transistor model to its
+//! measured pentacene transfer curves (§4.2, Figure 4) because — unlike the
+//! level 1 square law — it captures sub-V_T conduction, leakage floors, and
+//! the power-law field-effect mobility typical of disordered semiconductors.
+//!
+//! This implementation keeps the model's defining structure:
+//!
+//! * a smooth effective gate overdrive `V_GTe` that decays exponentially in
+//!   subthreshold with the device's measured swing and approaches
+//!   `V_GS − V_T` above threshold;
+//! * power-law mobility enhancement `µ_eff = µ₀ (V_GTe / V_AA)^γ`;
+//! * a smooth linear→saturation knee `V_DSe`;
+//! * an off-current floor and a small gate-leakage term, which set the on/off
+//!   ratio seen in Figure 3.
+
+use crate::model::{to_n_frame, with_sd_swap, DeviceModel, Polarity};
+use crate::params::TftParams;
+use crate::VT_THERMAL;
+
+/// Level-61-class RPI TFT model instance.
+///
+/// See the [module documentation](self) for the equations.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Level61Model {
+    params: TftParams,
+}
+
+impl Level61Model {
+    /// Creates a model from a parameter set.
+    ///
+    /// # Panics
+    /// Panics if geometry or capacitance parameters are non-positive.
+    pub fn new(params: TftParams) -> Self {
+        assert!(params.w > 0.0 && params.l > 0.0 && params.ci > 0.0,
+                "TFT geometry/capacitance must be positive");
+        assert!(params.mu0 > 0.0, "mobility must be positive");
+        Level61Model { params }
+    }
+
+    /// Borrow the parameter set.
+    pub fn params(&self) -> &TftParams {
+        &self.params
+    }
+
+    /// Smooth effective overdrive (n-frame): exponential below threshold with
+    /// the device's subthreshold swing, → `v_gt` above threshold.
+    ///
+    /// In deep subthreshold the channel current goes as
+    /// `V_GTe^(2+γ)` (mobility power law × saturated `V_DSe ∝ V_GTe`), so the
+    /// softplus scale is stretched by `2+γ` to make the *current* decay at
+    /// exactly the device's measured swing.
+    fn vgte(&self, vgt: f64) -> f64 {
+        let nvt = self.params.subthreshold_n * VT_THERMAL * (2.0 + self.params.gamma);
+        // Softplus with slope-matched knee. Clamp the exponent to avoid
+        // overflow for very large overdrives.
+        let x = vgt / nvt;
+        if x > 40.0 {
+            vgt
+        } else {
+            nvt * x.exp().ln_1p()
+        }
+    }
+
+    /// Channel current in the n-frame with `vds >= 0`.
+    fn ids_n_frame(&self, vgs: f64, vds: f64) -> f64 {
+        let p = &self.params;
+        // Drain-induced V_T shift: higher drain bias helps turn-on, but the
+        // shift saturates so deep-V_DS output resistance survives.
+        let shift = p.vt_dibl_cap * (1.0 - (-p.vt_dibl * vds / p.vt_dibl_cap).exp());
+        let vt = p.vt0 - shift;
+        let vgte = self.vgte(vgs - vt);
+        if vgte <= 0.0 {
+            return p.i_off * (vds / (vds.abs() + 1.0));
+        }
+        // Power-law field-effect mobility.
+        let mu_eff = p.mu0 * (vgte / p.vaa).powf(p.gamma);
+        // Smooth saturation knee.
+        let vsat = p.alpha_sat * vgte;
+        let vdse = vds / (1.0 + (vds / vsat).powf(p.m_knee)).powf(1.0 / p.m_knee);
+        let gch = mu_eff * p.ci * p.aspect() * vgte;
+        let i_chan = gch * vdse * (1.0 + p.lambda * vds);
+        i_chan + p.i_off * (vds / (vds.abs() + 1.0))
+    }
+
+    /// Gate leakage current magnitude at a given gate bias (A), used to plot
+    /// the I_G traces of Figure 3. Modelled as a weakly superlinear function
+    /// of |V_GS| calibrated by `i_gate_10v`.
+    pub fn gate_leakage(&self, vgs: f64) -> f64 {
+        let v = vgs.abs() / 10.0;
+        self.params.i_gate_10v * v.powf(1.5) + 2.0e-13
+    }
+}
+
+impl DeviceModel for Level61Model {
+    fn ids(&self, vgs: f64, vds: f64) -> f64 {
+        let (vgs_n, vds_n, sign) = to_n_frame(self.params.polarity, vgs, vds);
+        sign * with_sd_swap(vgs_n, vds_n, |g, d| self.ids_n_frame(g, d))
+    }
+
+    fn polarity(&self) -> Polarity {
+        self.params.polarity
+    }
+
+    fn gate_capacitance(&self) -> f64 {
+        self.params.gate_cap()
+    }
+
+    fn overlap_capacitance(&self) -> f64 {
+        self.params.overlap_cap()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pentacene() -> Level61Model {
+        Level61Model::new(TftParams::pentacene())
+    }
+
+    #[test]
+    fn p_type_conducts_in_third_quadrant() {
+        let m = pentacene();
+        // Strongly on.
+        let on = m.ids(-10.0, -10.0);
+        assert!(on < 0.0, "p-type current should be negative at negative vds");
+        assert!(on.abs() > 1.0e-6);
+        // Off.
+        let off = m.ids(5.0, -10.0).abs();
+        assert!(off < 1.0e-10);
+    }
+
+    #[test]
+    fn on_off_ratio_about_1e6() {
+        let m = pentacene();
+        let on = m.ids(-10.0, -10.0).abs();
+        let off = m.ids(3.0, -10.0).abs();
+        let ratio = on / off;
+        assert!(ratio > 1.0e5 && ratio < 1.0e8, "on/off ratio {ratio:.3e}");
+    }
+
+    #[test]
+    fn current_monotone_in_gate_drive() {
+        let m = pentacene();
+        let mut last = 0.0f64;
+        for i in 0..100 {
+            let vgs = -(i as f64) * 0.1;
+            let id = m.ids(vgs, -5.0).abs();
+            assert!(id >= last * 0.999999, "non-monotone at vgs={vgs}");
+            last = id;
+        }
+    }
+
+    #[test]
+    fn output_curve_saturates_weakly_like_figure_3() {
+        // Drain-induced V_T shift keeps the output curve superlinear in these
+        // OTFTs: Figure 3 shows roughly a decade between the V_DS = 1 V and
+        // V_DS = 10 V transfer traces at V_GS = -10 V.
+        let m = pentacene();
+        let lin = m.ids(-10.0, -1.0).abs();
+        let sat = m.ids(-10.0, -10.0).abs();
+        let ratio = sat / lin;
+        assert!(ratio > 3.0 && ratio < 25.0, "V_DS 10:1 current ratio {ratio:.2}");
+    }
+
+    #[test]
+    fn continuity_across_vds_zero() {
+        let m = pentacene();
+        let below = m.ids(-5.0, -1e-7);
+        let above = m.ids(-5.0, 1e-7);
+        assert!((below - above).abs() < 1e-9);
+        assert!(m.ids(-5.0, 0.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn subthreshold_slope_near_350mv_per_decade() {
+        let m = pentacene();
+        // Measure SS on the decades between ~1e-10 and 1e-8 A at V_DS = -1 V.
+        let mut pts = Vec::new();
+        for i in 0..400 {
+            let vgs = 2.0 - (i as f64) * 0.02;
+            let id = m.ids(vgs, -1.0).abs();
+            if id > 1.0e-10 && id < 1.0e-8 {
+                pts.push((vgs, id.log10()));
+            }
+        }
+        assert!(pts.len() > 4, "need points in the subthreshold window");
+        let (v0, l0) = pts[0];
+        let (v1, l1) = *pts.last().unwrap();
+        let ss = ((v1 - v0) / (l1 - l0)).abs();
+        assert!(ss > 0.25 && ss < 0.45, "SS = {ss:.3} V/dec");
+    }
+
+    #[test]
+    fn gate_leakage_small_and_increasing() {
+        let m = pentacene();
+        let g1 = m.gate_leakage(-1.0);
+        let g10 = m.gate_leakage(-10.0);
+        assert!(g10 > g1);
+        assert!(g10 < 1.0e-9);
+    }
+
+    #[test]
+    fn dibl_shifts_threshold_positive() {
+        // Paper: V_T = -1.3 V at V_DS = -1 V but +1.3 V at V_DS = -10 V,
+        // i.e. at higher drain bias the device turns on with *positive* V_GS.
+        let m = pentacene();
+        let at_pos_vgs = m.ids(1.0, -10.0).abs();
+        let reference = m.ids(1.0, -1.0).abs();
+        assert!(at_pos_vgs > 30.0 * reference, "DIBL should boost high-V_DS turn-on");
+    }
+
+    #[test]
+    fn gm_positive_when_on() {
+        let m = pentacene();
+        // n-frame gm of a p-type device at on bias: d|I|/d|Vgs| > 0.
+        let g = m.gm(-8.0, -5.0);
+        // p-type: dIds/dVgs is negative-current vs negative-voltage → positive.
+        assert!(g > 0.0);
+    }
+}

@@ -1,0 +1,139 @@
+//! The [`DeviceModel`] trait shared by every compact transistor model.
+
+use std::fmt::Debug;
+
+/// Carrier polarity of a field-effect transistor.
+///
+/// High-performance organic semiconductors such as pentacene are p-type only,
+/// which is why the paper's standard cells use unipolar p-type (pseudo-E)
+/// logic. The silicon comparison library has both polarities.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Polarity {
+    /// Electron conduction; conducts for positive gate overdrive.
+    NType,
+    /// Hole conduction; conducts for negative gate overdrive.
+    PType,
+}
+
+impl Polarity {
+    /// Sign convention multiplier: `+1` for n-type, `-1` for p-type.
+    ///
+    /// Models are written for n-type internally; p-type devices mirror all
+    /// terminal voltages and the resulting current through this factor.
+    pub fn sign(self) -> f64 {
+        match self {
+            Polarity::NType => 1.0,
+            Polarity::PType => -1.0,
+        }
+    }
+}
+
+/// A DC + lumped-capacitance compact model of a three-terminal FET.
+///
+/// Implementations must be *odd-symmetric* in the polarity sense: a p-type
+/// device's `ids(vgs, vds)` must equal minus the corresponding n-type current
+/// at mirrored voltages. The `bdc-circuit` Newton–Raphson solver relies on
+/// `ids` being continuous and (piecewise) differentiable, with finite values
+/// for any real input.
+///
+/// Models are `Send + Sync` so circuits can be shared across threads (e.g.
+/// by a parallel characterization driver).
+pub trait DeviceModel: Debug + Send + Sync {
+    /// Drain-to-source current in amperes for gate-source voltage `vgs` and
+    /// drain-source voltage `vds` (both in volts).
+    ///
+    /// The returned current is positive when conventional current flows from
+    /// drain to source (n-type convention); p-type devices in their normal
+    /// operating quadrant (negative `vds`) return negative values.
+    fn ids(&self, vgs: f64, vds: f64) -> f64;
+
+    /// Carrier polarity of this device.
+    fn polarity(&self) -> Polarity;
+
+    /// Total gate oxide/dielectric capacitance `C_i · W · L` in farads.
+    ///
+    /// This is the dominant load a logic gate presents to its driver; the
+    /// characterization flow lumps it as fixed gate-source and gate-drain
+    /// capacitances.
+    fn gate_capacitance(&self) -> f64;
+
+    /// Lumped gate-source capacitance in farads (defaults to half of
+    /// [`gate_capacitance`](Self::gate_capacitance) plus overlap).
+    fn cgs(&self) -> f64 {
+        0.5 * self.gate_capacitance() + self.overlap_capacitance()
+    }
+
+    /// Lumped gate-drain capacitance in farads (defaults to half of
+    /// [`gate_capacitance`](Self::gate_capacitance) plus overlap).
+    fn cgd(&self) -> f64 {
+        0.5 * self.gate_capacitance() + self.overlap_capacitance()
+    }
+
+    /// Source/drain overlap capacitance in farads. Shadow-mask patterned
+    /// OTFTs have large overlaps; photolithographic silicon has small ones.
+    fn overlap_capacitance(&self) -> f64 {
+        0.0
+    }
+
+    /// Transconductance ∂I_DS/∂V_GS evaluated by central difference.
+    ///
+    /// A numerically robust default is provided; models with cheap analytic
+    /// derivatives may override it.
+    fn gm(&self, vgs: f64, vds: f64) -> f64 {
+        let h = 1.0e-6;
+        (self.ids(vgs + h, vds) - self.ids(vgs - h, vds)) / (2.0 * h)
+    }
+
+    /// Output conductance ∂I_DS/∂V_DS evaluated by central difference.
+    fn gds(&self, vgs: f64, vds: f64) -> f64 {
+        let h = 1.0e-6;
+        (self.ids(vgs, vds + h) - self.ids(vgs, vds - h)) / (2.0 * h)
+    }
+}
+
+/// Mirrors `(vgs, vds)` into the n-type frame for a device of polarity `pol`,
+/// returning the mirrored voltages and the sign to apply to the computed
+/// n-frame current.
+pub(crate) fn to_n_frame(pol: Polarity, vgs: f64, vds: f64) -> (f64, f64, f64) {
+    let s = pol.sign();
+    (s * vgs, s * vds, s)
+}
+
+/// Handles negative `vds` in the n-frame by swapping source and drain:
+/// `ids(vgs, vds) = -ids(vgs - vds, -vds)`.
+///
+/// Calls `f` with guaranteed non-negative `vds` and applies the sign.
+pub(crate) fn with_sd_swap(vgs: f64, vds: f64, f: impl Fn(f64, f64) -> f64) -> f64 {
+    if vds >= 0.0 {
+        f(vgs, vds)
+    } else {
+        -f(vgs - vds, -vds)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn polarity_signs() {
+        assert_eq!(Polarity::NType.sign(), 1.0);
+        assert_eq!(Polarity::PType.sign(), -1.0);
+    }
+
+    #[test]
+    fn sd_swap_is_odd() {
+        // Swapping source and drain maps (vgs, vds) → (vgs - vds, -vds) and
+        // negates the current.
+        let f = |vgs: f64, vds: f64| vgs.max(0.0).powi(2) * vds.min(1.0);
+        let fwd = with_sd_swap(3.0, 0.5, f);
+        let rev = with_sd_swap(3.0 - 0.5, -0.5, f);
+        assert!((fwd + rev).abs() < 1e-12);
+    }
+
+    #[test]
+    fn n_frame_mirrors_p_type() {
+        let (vgs, vds, s) = to_n_frame(Polarity::PType, -5.0, -2.0);
+        assert_eq!((vgs, vds, s), (5.0, 2.0, -1.0));
+    }
+}

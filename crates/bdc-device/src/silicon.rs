@@ -1,0 +1,146 @@
+//! Alpha-power-law model for deep-submicron silicon MOSFETs.
+//!
+//! The paper's silicon comparison point is a trimmed TSMC 45 nm standard cell
+//! library. We model 45 nm-class transistors with Sakurai–Newton's
+//! alpha-power law (velocity-saturated drive, `I ∝ V_GT^α` with α ≈ 1.3)
+//! plus an exponential subthreshold region, calibrated so a fanout-of-4
+//! inverter delay lands in the published 12–17 ps range.
+
+use crate::model::{to_n_frame, with_sd_swap, DeviceModel, Polarity};
+use crate::params::SiliconMosParams;
+use crate::VT_THERMAL;
+
+/// Velocity-saturated short-channel MOSFET (alpha-power law).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SiliconMosModel {
+    params: SiliconMosParams,
+}
+
+impl SiliconMosModel {
+    /// Creates a model from a parameter set.
+    ///
+    /// # Panics
+    /// Panics if geometry or drive parameters are non-positive.
+    pub fn new(params: SiliconMosParams) -> Self {
+        assert!(params.w > 0.0 && params.l > 0.0, "geometry must be positive");
+        assert!(params.id_sat_per_um > 0.0, "drive must be positive");
+        SiliconMosModel { params }
+    }
+
+    /// Borrow the parameter set.
+    pub fn params(&self) -> &SiliconMosParams {
+        &self.params
+    }
+
+    /// Smooth effective overdrive with subthreshold tail.
+    fn vgte(&self, vgt: f64) -> f64 {
+        let nvt = self.params.subthreshold_n * VT_THERMAL;
+        let x = vgt / nvt;
+        if x > 40.0 {
+            vgt
+        } else {
+            nvt * x.exp().ln_1p()
+        }
+    }
+
+    fn ids_n_frame(&self, vgs: f64, vds: f64) -> f64 {
+        let p = &self.params;
+        let vgte = self.vgte(vgs - p.vt0);
+        let leak = p.i_off_per_um * (p.w / 1.0e-6) * (vds / (vds.abs() + 1.0));
+        if vgte <= 0.0 {
+            return leak;
+        }
+        // Normalize drive so that vgs = vdd_ref gives id_sat_per_um · W.
+        let vgt_ref = p.vdd_ref - p.vt0;
+        let i_dsat = p.id_sat_per_um * (p.w / 1.0e-6) * (vgte / vgt_ref).powf(p.alpha);
+        // Saturation voltage shrinks with overdrive per the alpha-power law.
+        let vdsat = (vgt_ref * 0.5) * (vgte / vgt_ref).powf(p.alpha / 2.0);
+        let m = 3.0;
+        let vdse = vds / (1.0 + (vds / vdsat).powf(m)).powf(1.0 / m);
+        i_dsat * (vdse / vdsat) * (1.0 + p.lambda * vds)
+    }
+}
+
+impl DeviceModel for SiliconMosModel {
+    fn ids(&self, vgs: f64, vds: f64) -> f64 {
+        let (vgs_n, vds_n, sign) = to_n_frame(self.params.polarity, vgs, vds);
+        sign * with_sd_swap(vgs_n, vds_n, |g, d| self.ids_n_frame(g, d))
+    }
+
+    fn polarity(&self) -> Polarity {
+        self.params.polarity
+    }
+
+    fn gate_capacitance(&self) -> f64 {
+        self.params.gate_cap()
+    }
+
+    fn overlap_capacitance(&self) -> f64 {
+        // Roughly 0.3 fF/µm of width of fringe + overlap at 45 nm.
+        0.3e-15 * (self.params.w / 1.0e-6)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn nmos() -> SiliconMosModel {
+        SiliconMosModel::new(SiliconMosParams::nmos_45())
+    }
+
+    fn pmos() -> SiliconMosModel {
+        SiliconMosModel::new(SiliconMosParams::pmos_45())
+    }
+
+    #[test]
+    fn on_current_matches_per_um_rating() {
+        let m = nmos();
+        let i = m.ids(1.0, 1.0);
+        let expect = 1.1e-3 * 0.45; // W = 0.45 µm
+        assert!((i - expect).abs() / expect < 0.25, "I_on = {i:.3e}");
+    }
+
+    #[test]
+    fn pmos_mirrors_nmos() {
+        let m = pmos();
+        let i = m.ids(-1.0, -1.0);
+        assert!(i < 0.0);
+        assert!(i.abs() > 1.0e-4);
+        assert!(m.ids(0.3, -1.0).abs() < 1.0e-6);
+    }
+
+    #[test]
+    fn subthreshold_conduction_present() {
+        // Unlike the level-1 model, silicon at 45 nm leaks below V_T.
+        let m = nmos();
+        let sub = m.ids(0.2, 1.0);
+        assert!(sub > 1.0e-9, "subthreshold current {sub:.3e}");
+        assert!(sub < 1.0e-4);
+    }
+
+    #[test]
+    fn drive_ratio_nmos_to_pmos_about_2x() {
+        let r = nmos().ids(1.0, 1.0) / pmos().ids(-1.0, -1.0).abs();
+        assert!(r > 1.5 && r < 3.0, "N/P drive ratio {r}");
+    }
+
+    #[test]
+    fn alpha_power_sublinear_vs_square() {
+        // I(vgt)/I(vgt/2) should be ≈ 2^alpha ≈ 2.46, well below the
+        // square-law 4.
+        let m = nmos();
+        let hi = m.ids(1.0, 1.0);
+        let lo = m.ids(0.32 + 0.34, 1.0); // half the overdrive
+        let ratio = hi / lo;
+        assert!(ratio > 2.0 && ratio < 3.2, "ratio {ratio}");
+    }
+
+    #[test]
+    fn gate_cap_is_femtofarads() {
+        // 45 nm minimum devices present ~0.3 fF of channel capacitance:
+        // six orders of magnitude below the pentacene OTFT's 127 pF.
+        let c = nmos().gate_capacitance();
+        assert!(c > 1.0e-16 && c < 1.0e-15, "Cg = {c:.3e}");
+    }
+}

@@ -1,0 +1,167 @@
+//! Functional (boolean) simulation of gate netlists.
+//!
+//! Used by the equivalence tests that confirm pipeline cutting preserves
+//! function modulo latency, and by the block generators' truth-table tests.
+
+use std::collections::HashMap;
+
+use crate::gate::{NetId, Netlist};
+
+/// Evaluates a purely combinational netlist.
+///
+/// `inputs` maps primary-input nets to values; constants are handled
+/// automatically. Returns the value of every net.
+///
+/// # Panics
+/// Panics if an input value is missing or the netlist has flops (use
+/// [`simulate_seq`] for sequential netlists).
+pub fn simulate_comb(netlist: &Netlist, inputs: &HashMap<NetId, bool>) -> Vec<bool> {
+    assert!(netlist.flops().is_empty(), "combinational simulation of a sequential netlist");
+    let mut values = vec![false; netlist.net_count()];
+    seed(netlist, inputs, &mut values);
+    for g in netlist.gates() {
+        let ins: Vec<bool> = g.inputs.iter().map(|&i| values[i]).collect();
+        values[g.output] = g.kind.eval(&ins);
+    }
+    values
+}
+
+/// Steps a sequential netlist for `cycles` cycles.
+///
+/// Each cycle: combinational settle with current flop outputs, then all
+/// flops capture. `inputs_per_cycle[c]` provides primary inputs for cycle
+/// `c`; the last map is reused if fewer maps than cycles are given. Returns
+/// the full net-value vector after each cycle's settle (before the edge).
+///
+/// # Panics
+/// Panics if `inputs_per_cycle` is empty or an input value is missing.
+pub fn simulate_seq(
+    netlist: &Netlist,
+    inputs_per_cycle: &[HashMap<NetId, bool>],
+    cycles: usize,
+) -> Vec<Vec<bool>> {
+    assert!(!inputs_per_cycle.is_empty(), "need at least one input map");
+    let mut state: Vec<bool> = vec![false; netlist.flops().len()];
+    let mut traces = Vec::with_capacity(cycles);
+    for c in 0..cycles {
+        let inputs = inputs_per_cycle.get(c).unwrap_or_else(|| inputs_per_cycle.last().unwrap());
+        let mut values = vec![false; netlist.net_count()];
+        seed(netlist, inputs, &mut values);
+        for (f, s) in netlist.flops().iter().zip(&state) {
+            values[f.q] = *s;
+        }
+        for g in netlist.gates() {
+            let ins: Vec<bool> = g.inputs.iter().map(|&i| values[i]).collect();
+            values[g.output] = g.kind.eval(&ins);
+        }
+        state = netlist.flops().iter().map(|f| values[f.d]).collect();
+        traces.push(values);
+    }
+    traces
+}
+
+fn seed(netlist: &Netlist, inputs: &HashMap<NetId, bool>, values: &mut [bool]) {
+    for &i in netlist.inputs() {
+        let v = inputs
+            .get(&i)
+            .unwrap_or_else(|| panic!("missing value for input net {i} ({:?})", netlist.net_name(i)));
+        values[i] = *v;
+    }
+    let (c0, c1) = netlist.constants();
+    if let Some(c) = c0 {
+        values[c] = false;
+    }
+    if let Some(c) = c1 {
+        values[c] = true;
+    }
+}
+
+/// Convenience: packs a bus of boolean values into a `u64` (LSB first).
+pub fn bus_to_u64(values: &[bool], bus: &[NetId]) -> u64 {
+    bus.iter().enumerate().fold(0u64, |acc, (i, &n)| acc | ((values[n] as u64) << i))
+}
+
+/// Convenience: builds the input map for a bus from a `u64` (LSB first).
+pub fn u64_to_bus(map: &mut HashMap<NetId, bool>, bus: &[NetId], value: u64) {
+    for (i, &n) in bus.iter().enumerate() {
+        map.insert(n, (value >> i) & 1 == 1);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gate::Netlist;
+
+    #[test]
+    fn full_adder_truth_table() {
+        let mut n = Netlist::new("fa");
+        let a = n.input("a");
+        let b = n.input("b");
+        let c = n.input("c");
+        let (s, co) = n.full_adder(a, b, c);
+        n.output(s, "s");
+        n.output(co, "co");
+        for bits in 0..8u32 {
+            let mut m = HashMap::new();
+            m.insert(a, bits & 1 != 0);
+            m.insert(b, bits & 2 != 0);
+            m.insert(c, bits & 4 != 0);
+            let v = simulate_comb(&n, &m);
+            let total = (bits & 1) + ((bits >> 1) & 1) + ((bits >> 2) & 1);
+            assert_eq!(v[s], total & 1 == 1, "sum at {bits:03b}");
+            assert_eq!(v[co], total >= 2, "carry at {bits:03b}");
+        }
+    }
+
+    #[test]
+    fn mux_and_xor_semantics() {
+        let mut n = Netlist::new("m");
+        let s = n.input("s");
+        let a = n.input("a");
+        let b = n.input("b");
+        let m_out = n.mux2(s, a, b);
+        let x_out = n.xor2(a, b);
+        n.output(m_out, "m");
+        n.output(x_out, "x");
+        for bits in 0..8u32 {
+            let mut m = HashMap::new();
+            m.insert(s, bits & 1 != 0);
+            m.insert(a, bits & 2 != 0);
+            m.insert(b, bits & 4 != 0);
+            let v = simulate_comb(&n, &m);
+            let (sv, av, bv) = (bits & 1 != 0, bits & 2 != 0, bits & 4 != 0);
+            assert_eq!(v[m_out], if sv { bv } else { av });
+            assert_eq!(v[x_out], av ^ bv);
+        }
+    }
+
+    #[test]
+    fn sequential_shift_register_delays() {
+        // in -> ff -> ff -> out: output shows input two cycles late.
+        let mut n = Netlist::new("sr");
+        let a = n.input("a");
+        let q1 = n.flop(a);
+        let q2 = n.flop(q1);
+        n.output(q2, "out");
+        let seq = [true, false, true, true, false];
+        let maps: Vec<HashMap<NetId, bool>> =
+            seq.iter().map(|&v| HashMap::from([(a, v)])).collect();
+        let traces = simulate_seq(&n, &maps, 5);
+        for c in 2..5 {
+            assert_eq!(traces[c][q2], seq[c - 2], "cycle {c}");
+        }
+    }
+
+    #[test]
+    fn bus_helpers_round_trip() {
+        let mut n = Netlist::new("b");
+        let bus = n.input_bus("x", 8);
+        let y = n.inv(bus[0]);
+        n.output(y, "y");
+        let mut m = HashMap::new();
+        u64_to_bus(&mut m, &bus, 0xA5);
+        let v = simulate_comb(&n, &m);
+        assert_eq!(bus_to_u64(&v, &bus), 0xA5);
+    }
+}

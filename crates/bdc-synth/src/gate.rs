@@ -1,0 +1,506 @@
+//! Gate-level netlist intermediate representation.
+//!
+//! Netlists are DAGs of gates drawn from the 6-cell library vocabulary
+//! (INV, NAND2, NAND3, NOR2, NOR3 + DFF), expressed over integer net ids.
+//! Higher-level operators (AND, XOR, MUX, full adders, …) are provided as
+//! builder methods that expand into library gates, mirroring how a
+//! technology mapper would cover them.
+
+use std::collections::HashMap;
+
+/// Identifier of a net (a wire) inside one netlist.
+pub type NetId = usize;
+
+/// Combinational gate kinds — the library's logic cells.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum GateKind {
+    /// Inverter.
+    Inv,
+    /// 2-input NAND.
+    Nand2,
+    /// 3-input NAND.
+    Nand3,
+    /// 2-input NOR.
+    Nor2,
+    /// 3-input NOR.
+    Nor3,
+}
+
+impl GateKind {
+    /// Number of inputs.
+    pub fn fan_in(self) -> usize {
+        match self {
+            GateKind::Inv => 1,
+            GateKind::Nand2 | GateKind::Nor2 => 2,
+            GateKind::Nand3 | GateKind::Nor3 => 3,
+        }
+    }
+
+    /// Boolean function.
+    pub fn eval(self, inputs: &[bool]) -> bool {
+        match self {
+            GateKind::Inv => !inputs[0],
+            GateKind::Nand2 | GateKind::Nand3 => !inputs.iter().all(|&b| b),
+            GateKind::Nor2 | GateKind::Nor3 => !inputs.iter().any(|&b| b),
+        }
+    }
+}
+
+/// One combinational gate instance.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Gate {
+    /// Cell kind.
+    pub kind: GateKind,
+    /// Input nets (length = `kind.fan_in()`).
+    pub inputs: Vec<NetId>,
+    /// Output net.
+    pub output: NetId,
+}
+
+/// One D-flip-flop instance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Flop {
+    /// Data input net.
+    pub d: NetId,
+    /// Output net.
+    pub q: NetId,
+}
+
+/// A gate-level netlist.
+///
+/// Primary inputs, constants and flop outputs are the combinational
+/// sources; primary outputs and flop inputs are the sinks. The structure is
+/// append-only: builders allocate nets and gates but never remove them.
+#[derive(Debug, Clone, Default)]
+pub struct Netlist {
+    /// Human-readable name.
+    pub name: String,
+    n_nets: usize,
+    inputs: Vec<NetId>,
+    outputs: Vec<NetId>,
+    gates: Vec<Gate>,
+    flops: Vec<Flop>,
+    const0: Option<NetId>,
+    const1: Option<NetId>,
+    input_names: HashMap<NetId, String>,
+    output_names: HashMap<NetId, String>,
+}
+
+impl Netlist {
+    /// Creates an empty netlist.
+    pub fn new(name: impl Into<String>) -> Self {
+        Netlist { name: name.into(), ..Default::default() }
+    }
+
+    /// Allocates a fresh net.
+    pub fn net(&mut self) -> NetId {
+        let id = self.n_nets;
+        self.n_nets += 1;
+        id
+    }
+
+    /// Declares a named primary input.
+    pub fn input(&mut self, name: impl Into<String>) -> NetId {
+        let id = self.net();
+        self.inputs.push(id);
+        self.input_names.insert(id, name.into());
+        id
+    }
+
+    /// Declares a bus of primary inputs `name[0..width]`.
+    pub fn input_bus(&mut self, name: &str, width: usize) -> Vec<NetId> {
+        (0..width).map(|i| self.input(format!("{name}[{i}]"))).collect()
+    }
+
+    /// Marks `net` as a named primary output.
+    pub fn output(&mut self, net: NetId, name: impl Into<String>) {
+        self.outputs.push(net);
+        self.output_names.insert(net, name.into());
+    }
+
+    /// Marks a bus of primary outputs.
+    pub fn output_bus(&mut self, nets: &[NetId], name: &str) {
+        for (i, n) in nets.iter().enumerate() {
+            self.output(*n, format!("{name}[{i}]"));
+        }
+    }
+
+    /// The constant-0 net (lazily created; implemented as a tied-off input
+    /// in simulation and a zero-arrival source in STA).
+    pub fn const0(&mut self) -> NetId {
+        if let Some(c) = self.const0 {
+            return c;
+        }
+        let c = self.net();
+        self.const0 = Some(c);
+        c
+    }
+
+    /// The constant-1 net.
+    pub fn const1(&mut self) -> NetId {
+        if let Some(c) = self.const1 {
+            return c;
+        }
+        let c = self.net();
+        self.const1 = Some(c);
+        c
+    }
+
+    /// Constant net ids, if created: `(const0, const1)`.
+    pub fn constants(&self) -> (Option<NetId>, Option<NetId>) {
+        (self.const0, self.const1)
+    }
+
+    /// Adds a raw gate.
+    ///
+    /// # Panics
+    /// Panics if the input count does not match the kind.
+    pub fn gate(&mut self, kind: GateKind, inputs: &[NetId]) -> NetId {
+        assert_eq!(inputs.len(), kind.fan_in(), "wrong fan-in for {kind:?}");
+        let output = self.net();
+        self.gates.push(Gate { kind, inputs: inputs.to_vec(), output });
+        output
+    }
+
+    /// Adds a D-flip-flop and returns its Q net.
+    pub fn flop(&mut self, d: NetId) -> NetId {
+        let q = self.net();
+        self.flops.push(Flop { d, q });
+        q
+    }
+
+    /// Adds a D-flip-flop whose Q drives an already-allocated net — used by
+    /// netlist rewriters that pre-allocate source nets.
+    ///
+    /// # Panics
+    /// Panics if `q` is out of range.
+    pub fn flop_into(&mut self, d: NetId, q: NetId) {
+        assert!(q < self.n_nets && d < self.n_nets, "net out of range");
+        self.flops.push(Flop { d, q });
+    }
+
+    // ---- library-level builders -------------------------------------------
+
+    /// NOT.
+    pub fn inv(&mut self, a: NetId) -> NetId {
+        self.gate(GateKind::Inv, &[a])
+    }
+
+    /// 2-input NAND.
+    pub fn nand2(&mut self, a: NetId, b: NetId) -> NetId {
+        self.gate(GateKind::Nand2, &[a, b])
+    }
+
+    /// 3-input NAND.
+    pub fn nand3(&mut self, a: NetId, b: NetId, c: NetId) -> NetId {
+        self.gate(GateKind::Nand3, &[a, b, c])
+    }
+
+    /// 2-input NOR.
+    pub fn nor2(&mut self, a: NetId, b: NetId) -> NetId {
+        self.gate(GateKind::Nor2, &[a, b])
+    }
+
+    /// 3-input NOR.
+    pub fn nor3(&mut self, a: NetId, b: NetId, c: NetId) -> NetId {
+        self.gate(GateKind::Nor3, &[a, b, c])
+    }
+
+    // ---- derived operators -------------------------------------------------
+
+    /// AND2 = INV(NAND2).
+    pub fn and2(&mut self, a: NetId, b: NetId) -> NetId {
+        let n = self.nand2(a, b);
+        self.inv(n)
+    }
+
+    /// OR2 = INV(NOR2).
+    pub fn or2(&mut self, a: NetId, b: NetId) -> NetId {
+        let n = self.nor2(a, b);
+        self.inv(n)
+    }
+
+    /// AND3 = INV(NAND3).
+    pub fn and3(&mut self, a: NetId, b: NetId, c: NetId) -> NetId {
+        let n = self.nand3(a, b, c);
+        self.inv(n)
+    }
+
+    /// OR3 = INV(NOR3).
+    pub fn or3(&mut self, a: NetId, b: NetId, c: NetId) -> NetId {
+        let n = self.nor3(a, b, c);
+        self.inv(n)
+    }
+
+    /// XOR2 via the classic 4-NAND structure.
+    pub fn xor2(&mut self, a: NetId, b: NetId) -> NetId {
+        let nab = self.nand2(a, b);
+        let x = self.nand2(a, nab);
+        let y = self.nand2(b, nab);
+        self.nand2(x, y)
+    }
+
+    /// XNOR2 = INV(XOR2).
+    pub fn xnor2(&mut self, a: NetId, b: NetId) -> NetId {
+        let x = self.xor2(a, b);
+        self.inv(x)
+    }
+
+    /// 2:1 mux: `sel ? b : a`, NAND-mapped.
+    pub fn mux2(&mut self, sel: NetId, a: NetId, b: NetId) -> NetId {
+        let ns = self.inv(sel);
+        let x = self.nand2(a, ns);
+        let y = self.nand2(b, sel);
+        self.nand2(x, y)
+    }
+
+    /// Full adder: returns `(sum, carry_out)`.
+    pub fn full_adder(&mut self, a: NetId, b: NetId, cin: NetId) -> (NetId, NetId) {
+        let axb = self.xor2(a, b);
+        let sum = self.xor2(axb, cin);
+        // carry = a·b + cin·(a⊕b) = NAND(NAND(a,b), NAND(cin, a⊕b)).
+        let n1 = self.nand2(a, b);
+        let n2 = self.nand2(cin, axb);
+        let carry = self.nand2(n1, n2);
+        (sum, carry)
+    }
+
+    /// Half adder: returns `(sum, carry_out)`.
+    pub fn half_adder(&mut self, a: NetId, b: NetId) -> (NetId, NetId) {
+        let s = self.xor2(a, b);
+        let c = self.and2(a, b);
+        (s, c)
+    }
+
+    /// Appends another netlist as an independent parallel block: its
+    /// inputs/outputs become inputs/outputs of `self`, renamed with
+    /// `prefix.` — used to compose pipeline-stage netlists from several
+    /// structures. Returns the net-id translation table.
+    pub fn append(&mut self, other: &Netlist, prefix: &str) -> Vec<NetId> {
+        let mut map = vec![usize::MAX; other.net_count()];
+        for &i in &other.inputs {
+            let name = format!("{prefix}.{}", other.net_name(i).unwrap_or("in"));
+            map[i] = self.input(name);
+        }
+        if let Some(c) = other.const0 {
+            map[c] = self.const0();
+        }
+        if let Some(c) = other.const1 {
+            map[c] = self.const1();
+        }
+        for f in &other.flops {
+            map[f.q] = self.net();
+        }
+        for g in &other.gates {
+            let ins: Vec<NetId> = g.inputs.iter().map(|&i| map[i]).collect();
+            map[g.output] = self.gate(g.kind, &ins);
+        }
+        for f in &other.flops {
+            let (d, q) = (map[f.d], map[f.q]);
+            self.flop_into(d, q);
+        }
+        for &o in &other.outputs {
+            let name = format!("{prefix}.{}", other.output_name(o).unwrap_or("out"));
+            self.output(map[o], name);
+        }
+        map
+    }
+
+    // ---- introspection -----------------------------------------------------
+
+    /// Number of nets allocated.
+    pub fn net_count(&self) -> usize {
+        self.n_nets
+    }
+
+    /// Primary inputs in declaration order.
+    pub fn inputs(&self) -> &[NetId] {
+        &self.inputs
+    }
+
+    /// Primary outputs in declaration order.
+    pub fn outputs(&self) -> &[NetId] {
+        &self.outputs
+    }
+
+    /// Combinational gates in insertion (topological) order.
+    pub fn gates(&self) -> &[Gate] {
+        &self.gates
+    }
+
+    /// Flip-flops.
+    pub fn flops(&self) -> &[Flop] {
+        &self.flops
+    }
+
+    /// Gate-count histogram by kind.
+    pub fn histogram(&self) -> HashMap<GateKind, usize> {
+        let mut h = HashMap::new();
+        for g in &self.gates {
+            *h.entry(g.kind).or_insert(0) += 1;
+        }
+        h
+    }
+
+    /// Name of an input/output net if it has one (input name wins when a
+    /// net is both).
+    pub fn net_name(&self, net: NetId) -> Option<&str> {
+        self.input_names
+            .get(&net)
+            .or_else(|| self.output_names.get(&net))
+            .map(String::as_str)
+    }
+
+    /// The net's primary-input name, if any.
+    pub fn input_name(&self, net: NetId) -> Option<&str> {
+        self.input_names.get(&net).map(String::as_str)
+    }
+
+    /// The net's primary-output name, if any (a net can be both an input
+    /// and an output when a block passes a signal through).
+    pub fn output_name(&self, net: NetId) -> Option<&str> {
+        self.output_names.get(&net).map(String::as_str)
+    }
+
+    /// Fanout count per net (number of gate/flop inputs each net feeds).
+    pub fn fanout_counts(&self) -> Vec<usize> {
+        let mut fo = vec![0usize; self.n_nets];
+        for g in &self.gates {
+            for &i in &g.inputs {
+                fo[i] += 1;
+            }
+        }
+        for f in &self.flops {
+            fo[f.d] += 1;
+        }
+        fo
+    }
+
+    /// Checks structural sanity: gates are in topological order (every gate
+    /// input is a primary input, constant, flop Q, or the output of an
+    /// earlier gate) and each net has at most one driver.
+    pub fn validate(&self) -> Result<(), String> {
+        let mut driven = vec![false; self.n_nets];
+        for &i in &self.inputs {
+            driven[i] = true;
+        }
+        if let Some(c) = self.const0 {
+            driven[c] = true;
+        }
+        if let Some(c) = self.const1 {
+            driven[c] = true;
+        }
+        for f in &self.flops {
+            if driven[f.q] {
+                return Err(format!("net {} multiply driven (flop q)", f.q));
+            }
+            driven[f.q] = true;
+        }
+        for (gi, g) in self.gates.iter().enumerate() {
+            for &i in &g.inputs {
+                if !driven[i] {
+                    return Err(format!("gate {gi} reads undriven net {i}"));
+                }
+            }
+            if driven[g.output] {
+                return Err(format!("net {} multiply driven", g.output));
+            }
+            driven[g.output] = true;
+        }
+        for f in &self.flops {
+            if !driven[f.d] {
+                return Err(format!("flop d reads undriven net {}", f.d));
+            }
+        }
+        for &o in &self.outputs {
+            if !driven[o] {
+                return Err(format!("primary output {o} undriven"));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builders_produce_valid_topological_netlist() {
+        let mut n = Netlist::new("t");
+        let a = n.input("a");
+        let b = n.input("b");
+        let c = n.input("c");
+        let (s, co) = n.full_adder(a, b, c);
+        n.output(s, "s");
+        n.output(co, "co");
+        n.validate().expect("valid");
+        assert_eq!(n.inputs().len(), 3);
+        assert_eq!(n.outputs().len(), 2);
+        assert!(n.gates().len() >= 10);
+    }
+
+    #[test]
+    fn histogram_counts_kinds() {
+        let mut n = Netlist::new("t");
+        let a = n.input("a");
+        let b = n.input("b");
+        let x = n.nand2(a, b);
+        let _ = n.inv(x);
+        let h = n.histogram();
+        assert_eq!(h[&GateKind::Nand2], 1);
+        assert_eq!(h[&GateKind::Inv], 1);
+    }
+
+    #[test]
+    fn validate_catches_undriven_nets() {
+        let mut n = Netlist::new("t");
+        let a = n.input("a");
+        let ghost = n.net();
+        let x = n.nand2(a, ghost);
+        n.output(x, "x");
+        assert!(n.validate().is_err());
+    }
+
+    #[test]
+    fn flop_q_counts_as_driver() {
+        let mut n = Netlist::new("t");
+        let a = n.input("a");
+        let q = n.flop(a);
+        let y = n.inv(q);
+        n.output(y, "y");
+        n.validate().expect("valid");
+        assert_eq!(n.flops().len(), 1);
+    }
+
+    #[test]
+    fn fanout_counts_gates_and_flops() {
+        let mut n = Netlist::new("t");
+        let a = n.input("a");
+        let x = n.inv(a);
+        let _ = n.inv(x);
+        let _ = n.inv(x);
+        let _ = n.flop(x);
+        let fo = n.fanout_counts();
+        assert_eq!(fo[x], 3);
+        assert_eq!(fo[a], 1);
+    }
+
+    #[test]
+    fn constants_are_lazily_unique() {
+        let mut n = Netlist::new("t");
+        let c0 = n.const0();
+        let c0b = n.const0();
+        let c1 = n.const1();
+        assert_eq!(c0, c0b);
+        assert_ne!(c0, c1);
+    }
+
+    #[test]
+    fn gate_kind_eval_matches_semantics() {
+        assert!(GateKind::Nand3.eval(&[true, true, false]));
+        assert!(!GateKind::Nand3.eval(&[true, true, true]));
+        assert!(GateKind::Nor2.eval(&[false, false]));
+        assert!(!GateKind::Nor2.eval(&[true, false]));
+    }
+}

@@ -1,0 +1,353 @@
+//! Structural Verilog export/import for gate netlists.
+//!
+//! Synthesized designs normally move between tools as structural Verilog;
+//! this module writes a netlist as instantiations of the six library cells
+//! (`INV`, `NAND2`, `NAND3`, `NOR2`, `NOR3`, `DFF`) and parses the same
+//! dialect back, round-tripping exactly. Tie cells `TIE0`/`TIE1` carry the
+//! constant nets.
+
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+use crate::gate::{GateKind, NetId, Netlist};
+
+/// Errors raised while parsing structural Verilog.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VerilogError {
+    /// 1-based line number (0 when the problem is global).
+    pub line: usize,
+    /// Description.
+    pub message: String,
+}
+
+impl std::fmt::Display for VerilogError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for VerilogError {}
+
+fn cell_name(kind: GateKind) -> &'static str {
+    match kind {
+        GateKind::Inv => "INV",
+        GateKind::Nand2 => "NAND2",
+        GateKind::Nand3 => "NAND3",
+        GateKind::Nor2 => "NOR2",
+        GateKind::Nor3 => "NOR3",
+    }
+}
+
+fn kind_of(name: &str) -> Option<GateKind> {
+    Some(match name {
+        "INV" => GateKind::Inv,
+        "NAND2" => GateKind::Nand2,
+        "NAND3" => GateKind::Nand3,
+        "NOR2" => GateKind::Nor2,
+        "NOR3" => GateKind::Nor3,
+        _ => return None,
+    })
+}
+
+/// Sanitizes a bus-style name (`a[3]`) into a Verilog identifier (`a_3`).
+fn ident(name: &str) -> String {
+    name.chars()
+        .map(|c| if c.is_ascii_alphanumeric() || c == '_' { c } else { '_' })
+        .collect()
+}
+
+/// Writes a netlist as structural Verilog.
+pub fn write_verilog(netlist: &Netlist) -> String {
+    let mut s = String::new();
+    let net_name = |n: NetId| -> String {
+        match netlist.input_name(n) {
+            Some(nm) => format!("pi_{}", ident(nm)),
+            None => format!("n{n}"),
+        }
+    };
+    let ports: Vec<String> = netlist
+        .inputs()
+        .iter()
+        .map(|&n| net_name(n))
+        .chain(netlist.outputs().iter().enumerate().map(|(i, _)| format!("po_{i}")))
+        .collect();
+    let _ = writeln!(s, "module {} ({});", ident(&netlist.name), ports.join(", "));
+    for &n in netlist.inputs() {
+        let _ = writeln!(s, "  input {};", net_name(n));
+    }
+    for i in 0..netlist.outputs().len() {
+        let _ = writeln!(s, "  output po_{i};");
+    }
+    // Declare internal wires (every gate/flop output and constants).
+    for g in netlist.gates() {
+        let _ = writeln!(s, "  wire {};", net_name(g.output));
+    }
+    for f in netlist.flops() {
+        let _ = writeln!(s, "  wire {};", net_name(f.q));
+    }
+    let (c0, c1) = netlist.constants();
+    if let Some(c) = c0 {
+        let _ = writeln!(s, "  wire {};", net_name(c));
+        let _ = writeln!(s, "  TIE0 tie0 (.y({}));", net_name(c));
+    }
+    if let Some(c) = c1 {
+        let _ = writeln!(s, "  wire {};", net_name(c));
+        let _ = writeln!(s, "  TIE1 tie1 (.y({}));", net_name(c));
+    }
+    let pin = ["a", "b", "c"];
+    for (i, g) in netlist.gates().iter().enumerate() {
+        let ins: Vec<String> = g
+            .inputs
+            .iter()
+            .enumerate()
+            .map(|(k, &n)| format!(".{}({})", pin[k], net_name(n)))
+            .collect();
+        let _ = writeln!(
+            s,
+            "  {} g{i} ({}, .y({}));",
+            cell_name(g.kind),
+            ins.join(", "),
+            net_name(g.output)
+        );
+    }
+    for (i, f) in netlist.flops().iter().enumerate() {
+        let _ = writeln!(s, "  DFF ff{i} (.d({}), .q({}));", net_name(f.d), net_name(f.q));
+    }
+    for (i, &o) in netlist.outputs().iter().enumerate() {
+        let _ = writeln!(s, "  assign po_{i} = {};", net_name(o));
+    }
+    let _ = writeln!(s, "endmodule");
+    s
+}
+
+/// Parses the structural dialect produced by [`write_verilog`].
+///
+/// # Errors
+/// Returns [`VerilogError`] for unknown cells, malformed instantiations or
+/// nets that are used but never driven.
+pub fn parse_verilog(text: &str) -> Result<Netlist, VerilogError> {
+    let mut name = String::from("parsed");
+    let mut inputs: Vec<String> = Vec::new();
+    let mut outputs: Vec<(String, String)> = Vec::new(); // (port, net)
+    struct Inst {
+        cell: String,
+        pins: Vec<(String, String)>,
+        line: usize,
+    }
+    let mut insts: Vec<Inst> = Vec::new();
+
+    for (ln0, raw) in text.lines().enumerate() {
+        let line = ln0 + 1;
+        let t = raw.trim().trim_end_matches(';');
+        if t.is_empty() || t == "endmodule" {
+            continue;
+        }
+        if let Some(rest) = t.strip_prefix("module ") {
+            name = rest.split('(').next().unwrap_or("parsed").trim().to_string();
+        } else if let Some(rest) = t.strip_prefix("input ") {
+            inputs.push(rest.trim().to_string());
+        } else if t.starts_with("output ") || t.starts_with("wire ") {
+            // declarations carry no structure we need
+        } else if let Some(rest) = t.strip_prefix("assign ") {
+            let mut halves = rest.splitn(2, '=');
+            let port = halves.next().unwrap_or("").trim().to_string();
+            let net = halves
+                .next()
+                .ok_or_else(|| VerilogError { line, message: "assign needs '='".into() })?
+                .trim()
+                .to_string();
+            outputs.push((port, net));
+        } else {
+            // Cell instantiation: CELL inst (.pin(net), ...);
+            let open = t.find('(').ok_or_else(|| VerilogError {
+                line,
+                message: format!("expected instantiation, got {t:?}"),
+            })?;
+            let head: Vec<&str> = t[..open].split_whitespace().collect();
+            if head.len() != 2 {
+                return Err(VerilogError { line, message: format!("bad instance head {t:?}") });
+            }
+            let body = &t[open + 1..t.rfind(')').unwrap_or(t.len())];
+            let mut pins = Vec::new();
+            for part in body.split("),") {
+                let p = part.trim().trim_end_matches(')');
+                if p.is_empty() {
+                    continue;
+                }
+                let p = p.strip_prefix('.').ok_or_else(|| VerilogError {
+                    line,
+                    message: format!("bad pin syntax {p:?}"),
+                })?;
+                let mut it = p.splitn(2, '(');
+                let pin = it.next().unwrap_or("").trim().to_string();
+                let net = it
+                    .next()
+                    .ok_or_else(|| VerilogError { line, message: format!("bad pin {p:?}") })?
+                    .trim()
+                    .to_string();
+                pins.push((pin, net));
+            }
+            insts.push(Inst { cell: head[0].to_string(), pins, line });
+        }
+    }
+
+    // Build the netlist: inputs first, then TIEs/flop outputs, then gates in
+    // file order (the writer emits them topologically).
+    let mut n = Netlist::new(name);
+    let mut nets: HashMap<String, NetId> = HashMap::new();
+    for inp in &inputs {
+        let id = n.input(inp.clone());
+        nets.insert(inp.clone(), id);
+    }
+    // Pre-create flop Q nets and constants so feedback/undriven uses resolve.
+    for inst in &insts {
+        match inst.cell.as_str() {
+            "TIE0" => {
+                let c = n.const0();
+                if let Some((_, net)) = inst.pins.first() {
+                    nets.insert(net.clone(), c);
+                }
+            }
+            "TIE1" => {
+                let c = n.const1();
+                if let Some((_, net)) = inst.pins.first() {
+                    nets.insert(net.clone(), c);
+                }
+            }
+            "DFF" => {
+                for (pin, net) in &inst.pins {
+                    if pin == "q" {
+                        let q = n.net();
+                        nets.insert(net.clone(), q);
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+    let mut flops: Vec<(String, String, usize)> = Vec::new();
+    for inst in &insts {
+        match inst.cell.as_str() {
+            "TIE0" | "TIE1" => {}
+            "DFF" => {
+                let d = pin_net(&inst.pins, "d", inst.line)?;
+                let q = pin_net(&inst.pins, "q", inst.line)?;
+                flops.push((d, q, inst.line));
+            }
+            other => {
+                let kind = kind_of(other).ok_or_else(|| VerilogError {
+                    line: inst.line,
+                    message: format!("unknown cell {other:?}"),
+                })?;
+                let mut ins = Vec::new();
+                for pin in ["a", "b", "c"].iter().take(kind.fan_in()) {
+                    let net = pin_net(&inst.pins, pin, inst.line)?;
+                    let id = *nets.get(&net).ok_or_else(|| VerilogError {
+                        line: inst.line,
+                        message: format!("net {net:?} used before it is driven"),
+                    })?;
+                    ins.push(id);
+                }
+                let out_net = pin_net(&inst.pins, "y", inst.line)?;
+                let out = n.gate(kind, &ins);
+                nets.insert(out_net, out);
+            }
+        }
+    }
+    for (d, q, line) in flops {
+        let d_id = *nets.get(&d).ok_or_else(|| VerilogError {
+            line,
+            message: format!("flop D net {d:?} undriven"),
+        })?;
+        let q_id = *nets.get(&q).expect("flop q pre-created");
+        n.flop_into(d_id, q_id);
+    }
+    for (port, net) in outputs {
+        let id = *nets
+            .get(&net)
+            .ok_or_else(|| VerilogError { line: 0, message: format!("output net {net:?} undriven") })?;
+        n.output(id, port);
+    }
+    Ok(n)
+}
+
+fn pin_net(pins: &[(String, String)], pin: &str, line: usize) -> Result<String, VerilogError> {
+    pins.iter()
+        .find(|(p, _)| p == pin)
+        .map(|(_, n)| n.clone())
+        .ok_or_else(|| VerilogError { line, message: format!("missing pin .{pin}") })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::blocks;
+    use crate::funcsim::{simulate_comb, u64_to_bus};
+    use std::collections::HashMap as Map;
+
+    #[test]
+    fn adder_round_trips_and_stays_equivalent() {
+        let orig = blocks::ripple_adder(8);
+        let text = write_verilog(&orig);
+        assert!(text.contains("module ripple_adder8"));
+        let back = parse_verilog(&text).expect("parse");
+        back.validate().expect("valid");
+        assert_eq!(back.gates().len(), orig.gates().len());
+        // Functional equivalence over a few vectors.
+        for (a_v, b_v) in [(0u64, 0u64), (200, 55), (255, 255), (13, 99)] {
+            // Parsed inputs are renamed (pi_a_0 …), so address by position —
+            // the writer preserves declaration order: a[0..8], b[0..8], cin.
+            let run = |nl: &Netlist| {
+                let mut m: Map<usize, bool> = Map::new();
+                let ins: Vec<usize> = nl.inputs().to_vec();
+                // layout: a[0..8], b[0..8], cin — writer preserves order.
+                u64_to_bus(&mut m, &ins[0..8], a_v);
+                u64_to_bus(&mut m, &ins[8..16], b_v);
+                m.insert(ins[16], false);
+                let v = simulate_comb(nl, &m);
+                nl.outputs().iter().map(|&o| v[o]).collect::<Vec<bool>>()
+            };
+            assert_eq!(run(&orig), run(&back), "{a_v}+{b_v}");
+        }
+    }
+
+    #[test]
+    fn sequential_and_constants_round_trip() {
+        let mut nl = Netlist::new("seq");
+        let a = nl.input("a");
+        let c1 = nl.const1();
+        let x = nl.nand2(a, c1);
+        let q = nl.flop(x);
+        let y = nl.nor2(q, a);
+        nl.output(y, "y");
+        let text = write_verilog(&nl);
+        assert!(text.contains("TIE1"));
+        assert!(text.contains("DFF"));
+        let back = parse_verilog(&text).expect("parse");
+        back.validate().expect("valid");
+        assert_eq!(back.flops().len(), 1);
+        assert_eq!(back.gates().len(), 2);
+    }
+
+    #[test]
+    fn parse_rejects_unknown_cells_and_undriven_nets() {
+        let e = parse_verilog("module m (x);\n  XOR2 g0 (.a(x), .y(z));\nendmodule").unwrap_err();
+        assert!(e.message.contains("unknown cell"), "{e}");
+        let e = parse_verilog("module m ();\n  INV g0 (.a(ghost), .y(z));\nendmodule").unwrap_err();
+        assert!(e.message.contains("used before"), "{e}");
+    }
+
+    #[test]
+    fn flop_feedback_loops_parse() {
+        // A toggle-ish loop: q feeds an inverter feeding d.
+        let mut nl = Netlist::new("loopy");
+        let q_placeholder = nl.net();
+        let nq = nl.gate(GateKind::Inv, &[q_placeholder]);
+        nl.flop_into(nq, q_placeholder);
+        nl.output(q_placeholder, "q");
+        // (constructed manually to create feedback; write and re-read)
+        let text = write_verilog(&nl);
+        let back = parse_verilog(&text).expect("parse feedback");
+        assert_eq!(back.flops().len(), 1);
+    }
+}

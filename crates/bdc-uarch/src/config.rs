@@ -1,0 +1,186 @@
+//! Core configuration: the pipeline-depth plan and superscalar widths.
+
+use crate::bpred::BpredConfig;
+use crate::mem::CacheConfig;
+
+/// How many pipeline stages each front-end function occupies.
+///
+/// The AnyCore-style baseline is nine stages: Fetch, Decode, Rename,
+/// Dispatch, Issue, RegRead, Execute, Writeback, Retire. Deepening the
+/// pipeline splits one of the front-end functions into more stages
+/// (the paper "cuts the stage which is on the critical path"), which
+/// lengthens the branch-misprediction redirect loop and dependent-wakeup
+/// distances — the IPC cost that trades against clock frequency.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StagePlan {
+    /// Fetch stages.
+    pub fetch: usize,
+    /// Decode stages.
+    pub decode: usize,
+    /// Rename stages.
+    pub rename: usize,
+    /// Dispatch stages.
+    pub dispatch: usize,
+    /// Issue (wakeup/select) stages.
+    pub issue: usize,
+    /// Register-read stages.
+    pub regread: usize,
+}
+
+impl StagePlan {
+    /// The 9-stage baseline (each function takes one stage; execute,
+    /// writeback and retire account for the other three).
+    pub fn baseline9() -> Self {
+        StagePlan { fetch: 1, decode: 1, rename: 1, dispatch: 1, issue: 1, regread: 1 }
+    }
+
+    /// Total pipeline stages (front-end + execute + writeback + retire).
+    pub fn total_stages(&self) -> usize {
+        self.fetch + self.decode + self.rename + self.dispatch + self.issue + self.regread + 3
+    }
+
+    /// Cycles from fetching an instruction to its dispatch into the window.
+    pub fn front_latency(&self) -> u64 {
+        (self.fetch + self.decode + self.rename + self.dispatch) as u64
+    }
+
+    /// Extra cycles between issue selection and execution start.
+    pub fn issue_to_execute(&self) -> u64 {
+        (self.issue - 1 + self.regread - 1) as u64
+    }
+
+    /// Splits the named front-end function once, returning the new plan.
+    ///
+    /// # Panics
+    /// Panics for an unknown function name.
+    pub fn split(&self, function: &str) -> StagePlan {
+        let mut p = *self;
+        match function {
+            "fetch" => p.fetch += 1,
+            "decode" => p.decode += 1,
+            "rename" => p.rename += 1,
+            "dispatch" => p.dispatch += 1,
+            "issue" => p.issue += 1,
+            "regread" => p.regread += 1,
+            other => panic!("unknown front-end function {other:?}"),
+        }
+        p
+    }
+}
+
+/// Full microarchitectural configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CoreConfig {
+    /// Front-end width: instructions fetched/decoded/dispatched per cycle
+    /// (the paper sweeps 1–6).
+    pub fetch_width: usize,
+    /// Back-end ALU pipes (the paper's back-end axis counts these plus the
+    /// fixed memory and control pipes, i.e. 3–7 total → 1–5 here).
+    pub alu_pipes: usize,
+    /// Pipeline-depth plan.
+    pub stages: StagePlan,
+    /// Issue-queue entries.
+    pub iq_size: usize,
+    /// Reorder-buffer entries.
+    pub rob_size: usize,
+    /// Load/store-queue entries.
+    pub lsq_size: usize,
+    /// Instructions retired per cycle.
+    pub commit_width: usize,
+    /// Branch predictor.
+    pub bpred: BpredConfig,
+    /// L1 instruction cache.
+    pub icache: CacheConfig,
+    /// L1 data cache.
+    pub dcache: CacheConfig,
+    /// Main-memory access latency (cycles).
+    pub mem_latency: u64,
+    /// Multiply latency (pipelined).
+    pub mul_latency: u64,
+    /// Divide latency (unpipelined).
+    pub div_latency: u64,
+}
+
+impl CoreConfig {
+    /// The AnyCore-like baseline: single-issue front end, one ALU pipe
+    /// (three execution pipes total with memory and control), nine stages.
+    pub fn baseline() -> Self {
+        CoreConfig {
+            fetch_width: 1,
+            alu_pipes: 1,
+            stages: StagePlan::baseline9(),
+            iq_size: 32,
+            rob_size: 64,
+            lsq_size: 16,
+            commit_width: 2,
+            bpred: BpredConfig::default(),
+            icache: CacheConfig::l1i(),
+            dcache: CacheConfig::l1d(),
+            mem_latency: 24,
+            mul_latency: 3,
+            div_latency: 12,
+        }
+    }
+
+    /// Baseline with a different width pair: `fetch_width` (1–6) and total
+    /// back-end execution pipes (3–7 → `alu_pipes` = pipes − 2).
+    ///
+    /// # Panics
+    /// Panics if `backend_pipes < 3`.
+    pub fn with_widths(fetch_width: usize, backend_pipes: usize) -> Self {
+        assert!(backend_pipes >= 3, "back end needs mem + ctrl + ≥1 ALU pipes");
+        CoreConfig {
+            fetch_width,
+            alu_pipes: backend_pipes - 2,
+            commit_width: (fetch_width + 1).max(2),
+            ..Self::baseline()
+        }
+    }
+
+    /// Total execution pipes (ALU + memory + control), the paper's
+    /// back-end-width axis.
+    pub fn backend_pipes(&self) -> usize {
+        self.alu_pipes + 2
+    }
+
+    /// Total pipeline stages.
+    pub fn total_stages(&self) -> usize {
+        self.stages.total_stages()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn baseline_is_nine_stages() {
+        let c = CoreConfig::baseline();
+        assert_eq!(c.total_stages(), 9);
+        assert_eq!(c.backend_pipes(), 3);
+        assert_eq!(c.stages.front_latency(), 4);
+        assert_eq!(c.stages.issue_to_execute(), 0);
+    }
+
+    #[test]
+    fn splitting_deepens_the_plan() {
+        let p = StagePlan::baseline9().split("fetch").split("issue").split("issue");
+        assert_eq!(p.total_stages(), 12);
+        assert_eq!(p.front_latency(), 5);
+        assert_eq!(p.issue_to_execute(), 2);
+    }
+
+    #[test]
+    fn width_constructor_maps_paper_axes() {
+        let c = CoreConfig::with_widths(4, 6);
+        assert_eq!(c.fetch_width, 4);
+        assert_eq!(c.alu_pipes, 4);
+        assert_eq!(c.backend_pipes(), 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "back end needs")]
+    fn rejects_too_narrow_backend() {
+        let _ = CoreConfig::with_widths(1, 2);
+    }
+}

@@ -1,0 +1,255 @@
+//! In-order functional interpreter — the golden model.
+
+use crate::asm::Program;
+use crate::isa::{Instr, Op, Reg};
+use crate::mem::Memory;
+
+/// One executed instruction's effects (used for trace comparison).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Step {
+    /// PC of the executed instruction.
+    pub pc: u32,
+    /// The instruction.
+    pub instr: Instr,
+    /// PC after execution.
+    pub next_pc: u32,
+    /// Destination value written, if any.
+    pub wrote: Option<(Reg, u32)>,
+}
+
+/// The interpreter state.
+#[derive(Debug, Clone)]
+pub struct Interp {
+    /// Architectural registers (`r0` kept at zero).
+    pub regs: [u32; 16],
+    /// Program counter (instruction index).
+    pub pc: u32,
+    /// Data memory.
+    pub mem: Memory,
+    code: Vec<Instr>,
+    halted: bool,
+    /// Instructions retired.
+    pub icount: u64,
+}
+
+impl Interp {
+    /// Creates an interpreter for a program with `mem_words` of memory.
+    pub fn new(program: &Program, mem_words: usize) -> Self {
+        Interp {
+            regs: [0; 16],
+            pc: 0,
+            mem: Memory::for_program(program, mem_words),
+            code: program.code.clone(),
+            halted: false,
+            icount: 0,
+        }
+    }
+
+    /// Has the program executed HALT (or run off the end)?
+    pub fn halted(&self) -> bool {
+        self.halted
+    }
+
+    fn set_reg(&mut self, r: Reg, v: u32) {
+        if r != Reg::ZERO {
+            self.regs[r.0 as usize] = v;
+        }
+    }
+
+    /// Executes one instruction; `None` once halted.
+    pub fn step(&mut self) -> Option<Step> {
+        if self.halted {
+            return None;
+        }
+        let Some(&instr) = self.code.get(self.pc as usize) else {
+            self.halted = true;
+            return None;
+        };
+        let pc = self.pc;
+        let (next_pc, wrote) = execute(instr, pc, &self.regs, &mut self.mem);
+        if instr.op == Op::Halt {
+            self.halted = true;
+        }
+        if let Some((r, v)) = wrote {
+            self.set_reg(r, v);
+        }
+        self.pc = next_pc;
+        self.icount += 1;
+        Some(Step { pc, instr, next_pc, wrote })
+    }
+
+    /// Runs until HALT or `max_instructions`. Returns instructions executed.
+    pub fn run(&mut self, max_instructions: u64) -> u64 {
+        let start = self.icount;
+        while self.icount - start < max_instructions && self.step().is_some() {}
+        self.icount - start
+    }
+}
+
+/// Pure instruction semantics: returns `(next_pc, write)`. Stores mutate
+/// `mem` directly. Shared between the interpreter and the OoO core's
+/// execute units.
+pub fn execute(
+    instr: Instr,
+    pc: u32,
+    regs: &[u32; 16],
+    mem: &mut Memory,
+) -> (u32, Option<(Reg, u32)>) {
+    let r = |x: Reg| regs[x.0 as usize];
+    let i = instr.imm;
+    let rd = instr.rd;
+    let a = r(instr.rs1);
+    let b = r(instr.rs2);
+    let seq = pc.wrapping_add(1);
+    match instr.op {
+        Op::Add => (seq, Some((rd, a.wrapping_add(b)))),
+        Op::Sub => (seq, Some((rd, a.wrapping_sub(b)))),
+        Op::And => (seq, Some((rd, a & b))),
+        Op::Or => (seq, Some((rd, a | b))),
+        Op::Xor => (seq, Some((rd, a ^ b))),
+        Op::Slt => (seq, Some((rd, ((a as i32) < (b as i32)) as u32))),
+        Op::Sll => (seq, Some((rd, a.wrapping_shl(b & 31)))),
+        Op::Srl => (seq, Some((rd, a.wrapping_shr(b & 31)))),
+        Op::Sra => (seq, Some((rd, ((a as i32).wrapping_shr(b & 31)) as u32))),
+        Op::Addi => (seq, Some((rd, a.wrapping_add(i as u32)))),
+        Op::Andi => (seq, Some((rd, a & i as u32))),
+        Op::Ori => (seq, Some((rd, a | i as u32))),
+        Op::Xori => (seq, Some((rd, a ^ i as u32))),
+        Op::Slti => (seq, Some((rd, ((a as i32) < i) as u32))),
+        Op::Lui => (seq, Some((rd, (i as u32).wrapping_shl(13)))),
+        Op::Mul => (seq, Some((rd, a.wrapping_mul(b)))),
+        Op::Div => {
+            let v = if b == 0 { u32::MAX } else { ((a as i32).wrapping_div(b as i32)) as u32 };
+            (seq, Some((rd, v)))
+        }
+        Op::Rem => {
+            let v = if b == 0 { a } else { ((a as i32).wrapping_rem(b as i32)) as u32 };
+            (seq, Some((rd, v)))
+        }
+        Op::Lw => {
+            let addr = a.wrapping_add(i as u32);
+            (seq, Some((rd, mem.read(addr))))
+        }
+        Op::Sw => {
+            let addr = a.wrapping_add(i as u32);
+            mem.write(addr, b);
+            (seq, None)
+        }
+        Op::Beq => (if a == b { pc.wrapping_add(i as u32) } else { seq }, None),
+        Op::Bne => (if a != b { pc.wrapping_add(i as u32) } else { seq }, None),
+        Op::Blt => (if (a as i32) < (b as i32) { pc.wrapping_add(i as u32) } else { seq }, None),
+        Op::Bge => (if (a as i32) >= (b as i32) { pc.wrapping_add(i as u32) } else { seq }, None),
+        Op::Jal => (pc.wrapping_add(i as u32), Some((rd, seq))),
+        Op::Jalr => (a.wrapping_add(i as u32), Some((rd, seq))),
+        Op::Halt => (pc, None),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::asm::Asm;
+
+    #[test]
+    fn computes_sum_of_1_to_10() {
+        let mut a = Asm::new();
+        let r_i = Reg(1);
+        let r_sum = Reg(2);
+        let r_lim = Reg(3);
+        let top = a.label();
+        a.li(r_i, 1);
+        a.li(r_sum, 0);
+        a.li(r_lim, 11);
+        a.bind(top);
+        a.add(r_sum, r_sum, r_i);
+        a.addi(r_i, r_i, 1);
+        a.blt(r_i, r_lim, top);
+        a.halt();
+        let p = a.assemble();
+        let mut m = Interp::new(&p, 1024);
+        m.run(1000);
+        assert!(m.halted());
+        assert_eq!(m.regs[2], 55);
+    }
+
+    #[test]
+    fn memory_ops_and_forwarding_order() {
+        let mut a = Asm::new();
+        a.li(Reg(1), 100); // base address
+        a.li(Reg(2), 7);
+        a.sw(Reg(2), Reg(1), 0);
+        a.lw(Reg(3), Reg(1), 0);
+        a.addi(Reg(3), Reg(3), 1);
+        a.sw(Reg(3), Reg(1), 1);
+        a.lw(Reg(4), Reg(1), 1);
+        a.halt();
+        let p = a.assemble();
+        let mut m = Interp::new(&p, 1024);
+        m.run(100);
+        assert_eq!(m.regs[3], 8);
+        assert_eq!(m.regs[4], 8);
+        assert_eq!(m.mem.read(101), 8);
+    }
+
+    #[test]
+    fn call_and_return() {
+        let mut a = Asm::new();
+        let f = a.label();
+        let end = a.label();
+        a.li(Reg(1), 5);
+        a.jal(Reg::RA, f);
+        a.j(end);
+        a.bind(f);
+        a.mul(Reg(1), Reg(1), Reg(1));
+        a.ret();
+        a.bind(end);
+        a.halt();
+        let p = a.assemble();
+        let mut m = Interp::new(&p, 64);
+        m.run(100);
+        assert_eq!(m.regs[1], 25);
+        assert!(m.halted());
+    }
+
+    #[test]
+    fn division_edge_cases() {
+        let mut a = Asm::new();
+        a.li(Reg(1), -7);
+        a.li(Reg(2), 2);
+        a.div(Reg(3), Reg(1), Reg(2)); // -3
+        a.rem(Reg(4), Reg(1), Reg(2)); // -1
+        a.li(Reg(5), 0);
+        a.div(Reg(6), Reg(1), Reg(5)); // -1 (by convention)
+        a.rem(Reg(7), Reg(1), Reg(5)); // -7
+        a.halt();
+        let p = a.assemble();
+        let mut m = Interp::new(&p, 64);
+        m.run(100);
+        assert_eq!(m.regs[3] as i32, -3);
+        assert_eq!(m.regs[4] as i32, -1);
+        assert_eq!(m.regs[6], u32::MAX);
+        assert_eq!(m.regs[7] as i32, -7);
+    }
+
+    #[test]
+    fn r0_stays_zero() {
+        let mut a = Asm::new();
+        a.addi(Reg::ZERO, Reg::ZERO, 5);
+        a.halt();
+        let p = a.assemble();
+        let mut m = Interp::new(&p, 64);
+        m.run(10);
+        assert_eq!(m.regs[0], 0);
+    }
+
+    #[test]
+    fn running_off_the_end_halts() {
+        let mut a = Asm::new();
+        a.addi(Reg(1), Reg(0), 1);
+        let p = a.assemble();
+        let mut m = Interp::new(&p, 64);
+        let n = m.run(100);
+        assert_eq!(n, 1);
+        assert!(m.halted());
+    }
+}

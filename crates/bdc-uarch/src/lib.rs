@@ -1,0 +1,42 @@
+#![warn(missing_docs)]
+
+//! Org32: a small RISC ISA and a parameterized out-of-order superscalar
+//! simulator.
+//!
+//! This crate is the AnyCore stand-in of the paper's flow: it supplies the
+//! IPC side of `performance = IPC × frequency`. The simulated core is an
+//! out-of-order superscalar with a configurable pipeline-depth plan
+//! (which front-end function owns how many stages) and configurable
+//! front-end and back-end widths — the two axes of the paper's §5.3/§5.4
+//! experiments.
+//!
+//! * [`isa`] — the Org32 instruction set (encode/decode round-trip).
+//! * [`asm`] — a programmatic assembler with labels.
+//! * [`func`] — an in-order golden-model interpreter.
+//! * [`core`] — the cycle-level out-of-order model (fetch → retire).
+//! * [`bpred`] — gshare + BTB + return-address stack.
+//! * [`mem`] — memory and set-associative L1 caches.
+//! * [`workloads`] — Dhrystone plus six SPEC-CPU2000-like kernels.
+
+pub mod asm;
+pub mod bpred;
+pub mod config;
+pub mod core;
+pub mod func;
+pub mod inorder;
+pub mod isa;
+pub mod mem;
+pub mod stats;
+pub mod text;
+pub mod workloads;
+
+pub use asm::{Asm, Program};
+pub use bpred::{BpredConfig, BpredKind};
+pub use config::{CoreConfig, StagePlan};
+pub use core::OooCore;
+pub use func::Interp;
+pub use inorder::{InOrderConfig, InOrderCore};
+pub use isa::{Instr, Op, Reg};
+pub use stats::SimStats;
+pub use text::{assemble_text, disassemble, AsmError};
+pub use workloads::{build_workload, Workload};

@@ -1,0 +1,193 @@
+//! Word-addressed memory and set-associative L1 caches.
+
+use crate::asm::Program;
+
+/// Flat word-addressed memory.
+#[derive(Debug, Clone)]
+pub struct Memory {
+    words: Vec<u32>,
+}
+
+impl Memory {
+    /// Creates a zeroed memory of `words` 32-bit words.
+    pub fn new(words: usize) -> Self {
+        Memory { words: vec![0; words] }
+    }
+
+    /// Creates a memory seeded with a program's data image.
+    pub fn for_program(program: &Program, words: usize) -> Self {
+        let mut m = Memory::new(words);
+        for &(addr, value) in &program.data {
+            m.write(addr, value);
+        }
+        m
+    }
+
+    /// Reads a word (wraps at the memory size).
+    pub fn read(&self, word_addr: u32) -> u32 {
+        self.words[word_addr as usize % self.words.len()]
+    }
+
+    /// Writes a word (wraps at the memory size).
+    pub fn write(&mut self, word_addr: u32, value: u32) {
+        let n = self.words.len();
+        self.words[word_addr as usize % n] = value;
+    }
+
+    /// Memory size in words.
+    pub fn len(&self) -> usize {
+        self.words.len()
+    }
+
+    /// True if the memory has no words (never, in practice).
+    pub fn is_empty(&self) -> bool {
+        self.words.is_empty()
+    }
+}
+
+/// L1 cache geometry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheConfig {
+    /// Total size in bytes.
+    pub size_bytes: usize,
+    /// Line size in bytes.
+    pub line_bytes: usize,
+    /// Associativity.
+    pub ways: usize,
+    /// Hit latency (cycles).
+    pub hit_latency: u64,
+}
+
+impl CacheConfig {
+    /// 8 KiB, 4-way, 32 B lines — the L1I default.
+    pub fn l1i() -> Self {
+        CacheConfig { size_bytes: 8 * 1024, line_bytes: 32, ways: 4, hit_latency: 1 }
+    }
+
+    /// 8 KiB, 4-way, 32 B lines, 2-cycle — the L1D default.
+    pub fn l1d() -> Self {
+        CacheConfig { size_bytes: 8 * 1024, line_bytes: 32, ways: 4, hit_latency: 2 }
+    }
+
+    fn sets(&self) -> usize {
+        (self.size_bytes / self.line_bytes / self.ways).max(1)
+    }
+}
+
+/// A set-associative cache with LRU replacement (tags only — data lives in
+/// [`Memory`]).
+#[derive(Debug, Clone)]
+pub struct Cache {
+    cfg: CacheConfig,
+    /// `tags[set][way] = (tag, last_use)`.
+    tags: Vec<Vec<(u64, u64)>>,
+    tick: u64,
+    hits: u64,
+    misses: u64,
+}
+
+impl Cache {
+    /// Creates an empty cache.
+    pub fn new(cfg: CacheConfig) -> Self {
+        let sets = cfg.sets();
+        Cache { cfg, tags: vec![Vec::new(); sets], tick: 0, hits: 0, misses: 0 }
+    }
+
+    /// Accesses the line containing `word_addr`; returns `true` on hit and
+    /// fills on miss.
+    pub fn access(&mut self, word_addr: u32) -> bool {
+        self.tick += 1;
+        let byte = word_addr as u64 * 4;
+        let line = byte / self.cfg.line_bytes as u64;
+        let set = (line % self.tags.len() as u64) as usize;
+        let tag = line / self.tags.len() as u64;
+        let ways = &mut self.tags[set];
+        if let Some(e) = ways.iter_mut().find(|(t, _)| *t == tag) {
+            e.1 = self.tick;
+            self.hits += 1;
+            return true;
+        }
+        self.misses += 1;
+        if ways.len() < self.cfg.ways {
+            ways.push((tag, self.tick));
+        } else {
+            let lru = ways
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, (_, last))| *last)
+                .map(|(i, _)| i)
+                .unwrap();
+            ways[lru] = (tag, self.tick);
+        }
+        false
+    }
+
+    /// Hit latency (cycles).
+    pub fn hit_latency(&self) -> u64 {
+        self.cfg.hit_latency
+    }
+
+    /// `(hits, misses)` so far.
+    pub fn stats(&self) -> (u64, u64) {
+        (self.hits, self.misses)
+    }
+
+    /// Miss rate in [0, 1].
+    pub fn miss_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.misses as f64 / total as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn memory_read_write_round_trip() {
+        let mut m = Memory::new(1024);
+        m.write(7, 0xDEAD_BEEF);
+        assert_eq!(m.read(7), 0xDEAD_BEEF);
+        assert_eq!(m.read(8), 0);
+        // Wrapping.
+        m.write(1024 + 3, 5);
+        assert_eq!(m.read(3), 5);
+    }
+
+    #[test]
+    fn cache_hits_after_fill() {
+        let mut c = Cache::new(CacheConfig::l1d());
+        assert!(!c.access(0));
+        assert!(c.access(0));
+        assert!(c.access(1)); // same 32 B line (words 0..8)
+        assert!(!c.access(8)); // next line
+        let (h, m) = c.stats();
+        assert_eq!((h, m), (2, 2));
+    }
+
+    #[test]
+    fn lru_evicts_oldest() {
+        // 1-set cache: 2 ways, 32 B lines, 64 B total.
+        let cfg = CacheConfig { size_bytes: 64, line_bytes: 32, ways: 2, hit_latency: 1 };
+        let mut c = Cache::new(cfg);
+        assert!(!c.access(0)); // line A
+        assert!(!c.access(8)); // line B
+        assert!(c.access(0)); // A hits, refreshes
+        assert!(!c.access(16)); // line C evicts B (LRU)
+        assert!(c.access(0)); // A still resident
+        assert!(!c.access(8)); // B was evicted
+    }
+
+    #[test]
+    fn streaming_misses_every_line() {
+        let mut c = Cache::new(CacheConfig::l1d());
+        for i in 0..1000 {
+            c.access(i * 8); // one access per line, footprint >> cache
+        }
+        assert!(c.miss_rate() > 0.9);
+    }
+}

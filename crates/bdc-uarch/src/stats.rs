@@ -1,0 +1,73 @@
+//! Simulation statistics.
+
+/// Counters collected by a simulation run.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct SimStats {
+    /// Cycles simulated.
+    pub cycles: u64,
+    /// Instructions retired.
+    pub instructions: u64,
+    /// Conditional branches retired.
+    pub branches: u64,
+    /// Mispredicted control instructions.
+    pub mispredicts: u64,
+    /// Pipeline flushes performed.
+    pub flushes: u64,
+    /// Instruction-cache hits/misses.
+    pub icache: (u64, u64),
+    /// Data-cache hits/misses.
+    pub dcache: (u64, u64),
+    /// Loads retired.
+    pub loads: u64,
+    /// Stores retired.
+    pub stores: u64,
+}
+
+impl SimStats {
+    /// Instructions per cycle.
+    pub fn ipc(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.instructions as f64 / self.cycles as f64
+        }
+    }
+
+    /// Mispredictions per control-flow instruction.
+    pub fn mispredict_rate(&self) -> f64 {
+        if self.branches == 0 {
+            0.0
+        } else {
+            self.mispredicts as f64 / self.branches as f64
+        }
+    }
+
+    /// Data-cache miss rate.
+    pub fn dcache_miss_rate(&self) -> f64 {
+        let (h, m) = self.dcache;
+        if h + m == 0 {
+            0.0
+        } else {
+            m as f64 / (h + m) as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rates_guard_against_zero() {
+        let s = SimStats::default();
+        assert_eq!(s.ipc(), 0.0);
+        assert_eq!(s.mispredict_rate(), 0.0);
+        assert_eq!(s.dcache_miss_rate(), 0.0);
+    }
+
+    #[test]
+    fn ipc_divides() {
+        let s = SimStats { cycles: 100, instructions: 150, ..Default::default() };
+        assert!((s.ipc() - 1.5).abs() < 1e-12);
+    }
+}

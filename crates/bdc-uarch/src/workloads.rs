@@ -1,0 +1,540 @@
+//! Workload kernels: Dhrystone plus six SPEC-CPU2000-integer-like kernels.
+//!
+//! The paper runs Dhrystone and SimPoints of bzip2, gap, gzip, mcf, parser
+//! and vortex. We cannot run SPEC binaries on a 27-opcode ISA, so each
+//! kernel reproduces the *microarchitecturally defining behaviour* of its
+//! namesake — the properties the depth/width experiments are sensitive to:
+//!
+//! | kernel  | character |
+//! |---------|-----------|
+//! | dhrystone | call-heavy, predictable branches, record copies |
+//! | bzip2   | sorting: data-dependent compares, moderate ILP |
+//! | gap     | multiply-heavy list/permutation arithmetic |
+//! | gzip    | hash-chain match loops, mixed branches |
+//! | mcf     | pointer chasing over a large footprint (memory-bound) |
+//! | parser  | hash probing with unpredictable branches, recursion |
+//! | vortex  | object copies and field lookups, load/store heavy |
+
+use crate::asm::{Asm, Program};
+use crate::isa::Reg;
+
+/// The benchmark set of the paper's evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Workload {
+    /// Dhrystone 2.1-like synthetic systems benchmark.
+    Dhrystone,
+    /// bzip2-like block sort.
+    Bzip2,
+    /// gap-like group arithmetic.
+    Gap,
+    /// gzip-like LZ77 hash matching.
+    Gzip,
+    /// mcf-like network-simplex pointer chasing.
+    Mcf,
+    /// parser-like dictionary hashing.
+    Parser,
+    /// vortex-like object database.
+    Vortex,
+}
+
+impl Workload {
+    /// All seven, in the paper's plotting order.
+    pub fn all() -> [Workload; 7] {
+        [
+            Workload::Bzip2,
+            Workload::Gap,
+            Workload::Gzip,
+            Workload::Mcf,
+            Workload::Parser,
+            Workload::Vortex,
+            Workload::Dhrystone,
+        ]
+    }
+
+    /// Short name used in figures.
+    pub fn name(self) -> &'static str {
+        match self {
+            Workload::Dhrystone => "dhrystone",
+            Workload::Bzip2 => "bzip",
+            Workload::Gap => "gap",
+            Workload::Gzip => "gzip",
+            Workload::Mcf => "mcf",
+            Workload::Parser => "parser",
+            Workload::Vortex => "vortex",
+        }
+    }
+
+    /// Memory words the kernel needs.
+    pub fn memory_words(self) -> usize {
+        match self {
+            Workload::Mcf => 1 << 17,
+            _ => 1 << 15,
+        }
+    }
+}
+
+/// Builds the program for a workload. `outer` scales the outer-loop trip
+/// count (instructions scale roughly linearly with it).
+pub fn build_workload(w: Workload, outer: u32) -> Program {
+    match w {
+        Workload::Dhrystone => dhrystone(outer),
+        Workload::Bzip2 => bzip2ish(outer),
+        Workload::Gap => gapish(outer),
+        Workload::Gzip => gzipish(outer),
+        Workload::Mcf => mcfish(outer),
+        Workload::Parser => parserish(outer),
+        Workload::Vortex => vortexish(outer),
+    }
+}
+
+/// Deterministic data generator for seeding arrays.
+struct Lcg(u64);
+
+impl Lcg {
+    fn next(&mut self) -> u32 {
+        self.0 = self.0.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        (self.0 >> 33) as u32
+    }
+}
+
+// Register conventions inside kernels: r13 = outer counter, r12 = outer
+// limit, r14 = stack-ish base, r15 = ra.
+const I: Reg = Reg(13);
+const LIM: Reg = Reg(12);
+
+fn outer_prologue(a: &mut Asm, outer: u32) {
+    a.li(I, 0);
+    a.li(LIM, outer as i32);
+}
+
+/// dhrystone: calls, record copy, and predictable conditionals.
+fn dhrystone(outer: u32) -> Program {
+    let mut a = Asm::new();
+    let rec_a = 2000i32;
+    let rec_b = 2040i32;
+    // Seed record A.
+    for k in 0..8 {
+        a.data_word((rec_a + k) as u32, (k as u32) * 3 + 1);
+    }
+    let f_arith = a.label();
+    let f_copy = a.label();
+    let top = a.label();
+    let else1 = a.label();
+    let join1 = a.label();
+    let start = a.label();
+
+    a.j(start);
+
+    // f_arith(r1, r2) -> r1: a little arithmetic chain.
+    a.bind(f_arith);
+    a.add(Reg(1), Reg(1), Reg(2));
+    a.addi(Reg(1), Reg(1), 7);
+    a.sll(Reg(3), Reg(1), Reg(0));
+    a.sub(Reg(1), Reg(1), Reg(3));
+    a.add(Reg(1), Reg(1), Reg(3));
+    a.ret();
+
+    // f_copy: copy 8-word record A -> B, compare as it goes.
+    a.bind(f_copy);
+    a.li(Reg(4), rec_a);
+    a.li(Reg(5), rec_b);
+    for k in 0..8 {
+        a.lw(Reg(6), Reg(4), k);
+        a.sw(Reg(6), Reg(5), k);
+    }
+    a.ret();
+
+    a.bind(start);
+    outer_prologue(&mut a, outer);
+    a.bind(top);
+    // Proc1-ish: call arith twice, call copy, branch on a mostly-true cond.
+    a.addi(Reg(1), I, 3);
+    a.addi(Reg(2), I, 5);
+    a.jal(Reg::RA, f_arith);
+    a.jal(Reg::RA, f_arith);
+    a.jal(Reg::RA, f_copy);
+    a.andi(Reg(7), I, 7);
+    a.bne(Reg(7), Reg(0), else1); // true 7/8 of the time
+    a.addi(Reg(8), Reg(8), 2);
+    a.j(join1);
+    a.bind(else1);
+    a.addi(Reg(8), Reg(8), 1);
+    a.bind(join1);
+    a.addi(I, I, 1);
+    a.blt(I, LIM, top);
+    a.halt();
+    a.assemble()
+}
+
+/// bzip2: shell-sort passes over a pseudo-random array.
+fn bzip2ish(outer: u32) -> Program {
+    let mut a = Asm::new();
+    let base = 4000i32;
+    let n = 256i32;
+    let mut lcg = Lcg(0xB212);
+    for k in 0..n {
+        a.data_word((base + k) as u32, lcg.next() & 0xFFFF);
+    }
+    let top = a.label();
+    let pass = a.label();
+    let inner = a.label();
+    let no_swap = a.label();
+    let pass_done = a.label();
+
+    outer_prologue(&mut a, outer);
+    a.bind(top);
+    // One bubble pass per outer iteration with a rotating start offset so
+    // the array never fully sorts (keeps compares data-dependent).
+    a.andi(Reg(1), I, 63); // j = i & 63
+    a.bind(pass);
+    a.li(Reg(2), base);
+    a.add(Reg(2), Reg(2), Reg(1)); // &a[j]
+    a.li(Reg(3), n - 64);
+    a.bind(inner);
+    a.lw(Reg(4), Reg(2), 0);
+    a.lw(Reg(5), Reg(2), 1);
+    a.blt(Reg(4), Reg(5), no_swap); // data-dependent
+    a.sw(Reg(5), Reg(2), 0);
+    a.sw(Reg(4), Reg(2), 1);
+    a.bind(no_swap);
+    a.addi(Reg(2), Reg(2), 1);
+    a.addi(Reg(3), Reg(3), -1);
+    a.bne(Reg(3), Reg(0), inner);
+    a.j(pass_done);
+    a.bind(pass_done);
+    a.addi(I, I, 1);
+    a.blt(I, LIM, top);
+    a.halt();
+    a.assemble()
+}
+
+/// gap: permutation composition and multiply-accumulate.
+fn gapish(outer: u32) -> Program {
+    let mut a = Asm::new();
+    let p1 = 6000i32;
+    let p2 = 6064i32;
+    let p3 = 6128i32;
+    let n = 64i32;
+    let mut lcg = Lcg(0x6A9);
+    // Two permutations of 0..63 (generated by LCG swap shuffle).
+    let mut perm: Vec<u32> = (0..n as u32).collect();
+    for k in (1..n as usize).rev() {
+        let j = (lcg.next() as usize) % (k + 1);
+        perm.swap(k, j);
+    }
+    for (k, v) in perm.iter().enumerate() {
+        a.data_word((p1 + k as i32) as u32, *v);
+    }
+    for k in (1..n as usize).rev() {
+        let j = (lcg.next() as usize) % (k + 1);
+        perm.swap(k, j);
+    }
+    for (k, v) in perm.iter().enumerate() {
+        a.data_word((p2 + k as i32) as u32, *v);
+    }
+    let top = a.label();
+    let inner = a.label();
+    outer_prologue(&mut a, outer);
+    a.bind(top);
+    a.li(Reg(1), 0); // k
+    a.li(Reg(2), n);
+    a.li(Reg(8), 1); // product accumulator
+    a.bind(inner);
+    // p3[k] = p1[p2[k]]; acc = acc * (p3[k] + 3)
+    a.li(Reg(3), p2);
+    a.add(Reg(3), Reg(3), Reg(1));
+    a.lw(Reg(4), Reg(3), 0);
+    a.li(Reg(5), p1);
+    a.add(Reg(5), Reg(5), Reg(4));
+    a.lw(Reg(6), Reg(5), 0);
+    a.li(Reg(7), p3);
+    a.add(Reg(7), Reg(7), Reg(1));
+    a.sw(Reg(6), Reg(7), 0);
+    a.addi(Reg(6), Reg(6), 3);
+    a.mul(Reg(8), Reg(8), Reg(6));
+    a.addi(Reg(1), Reg(1), 1);
+    a.blt(Reg(1), Reg(2), inner);
+    a.addi(I, I, 1);
+    a.blt(I, LIM, top);
+    a.halt();
+    a.assemble()
+}
+
+/// gzip: rolling-hash chain matching.
+fn gzipish(outer: u32) -> Program {
+    let mut a = Asm::new();
+    let text = 8000i32;
+    let head = 12000i32;
+    let n = 1024i32;
+    let hmask = 255i32;
+    let mut lcg = Lcg(0x9219);
+    // Compressible-ish text: small alphabet with repeats.
+    for k in 0..n {
+        let v = if k % 7 < 3 { (k as u32 / 7) % 17 } else { lcg.next() % 17 };
+        a.data_word((text + k) as u32, v);
+    }
+    let top = a.label();
+    let inner = a.label();
+    let no_match = a.label();
+    let matched = a.label();
+    let len_loop = a.label();
+    let len_done = a.label();
+    outer_prologue(&mut a, outer);
+    a.bind(top);
+    a.li(Reg(1), 0); // position
+    a.li(Reg(2), n - 8);
+    a.bind(inner);
+    // h = (t[i] ^ (t[i+1]<<2) ^ (t[i+2]<<4)) & hmask
+    a.li(Reg(3), text);
+    a.add(Reg(3), Reg(3), Reg(1));
+    a.lw(Reg(4), Reg(3), 0);
+    a.lw(Reg(5), Reg(3), 1);
+    a.lw(Reg(6), Reg(3), 2);
+    a.li(Reg(7), 2);
+    a.sll(Reg(5), Reg(5), Reg(7));
+    a.li(Reg(7), 4);
+    a.sll(Reg(6), Reg(6), Reg(7));
+    a.xor(Reg(4), Reg(4), Reg(5));
+    a.xor(Reg(4), Reg(4), Reg(6));
+    a.andi(Reg(4), Reg(4), hmask);
+    // prev = head[h]; head[h] = i
+    a.li(Reg(5), head);
+    a.add(Reg(5), Reg(5), Reg(4));
+    a.lw(Reg(6), Reg(5), 0); // prev
+    a.sw(Reg(1), Reg(5), 0);
+    a.beq(Reg(6), Reg(0), no_match);
+    a.bind(matched);
+    // match-length loop: compare up to 4 words (data-dependent exit).
+    a.li(Reg(7), 0);
+    a.li(Reg(9), text);
+    a.add(Reg(9), Reg(9), Reg(6));
+    a.bind(len_loop);
+    a.lw(Reg(10), Reg(3), 0);
+    a.lw(Reg(11), Reg(9), 0);
+    a.bne(Reg(10), Reg(11), len_done);
+    a.addi(Reg(7), Reg(7), 1);
+    a.addi(Reg(3), Reg(3), 1);
+    a.addi(Reg(9), Reg(9), 1);
+    a.slti(Reg(10), Reg(7), 4);
+    a.bne(Reg(10), Reg(0), len_loop);
+    a.bind(len_done);
+    a.add(Reg(8), Reg(8), Reg(7)); // total match length
+    a.bind(no_match);
+    a.addi(Reg(1), Reg(1), 1);
+    a.blt(Reg(1), Reg(2), inner);
+    a.addi(I, I, 1);
+    a.blt(I, LIM, top);
+    a.halt();
+    a.assemble()
+}
+
+/// mcf: pointer chasing over a large node array with conditional updates.
+fn mcfish(outer: u32) -> Program {
+    let mut a = Asm::new();
+    let nodes = 16384i32; // words: 64 KiB footprint, 8× the L1D
+    let base = 20000i32;
+    // next[i] scattered with a large co-prime stride (poor locality).
+    for k in 0..nodes {
+        let nxt = (k as i64 * 7919 + 13) % nodes as i64;
+        a.data_word((base + k) as u32, (base as i64 + nxt) as u32);
+    }
+    let top = a.label();
+    let inner = a.label();
+    let skip = a.label();
+    outer_prologue(&mut a, outer);
+    a.bind(top);
+    a.li(Reg(1), base); // node pointer
+    a.li(Reg(2), 0);
+    a.li(Reg(3), 512); // chase length per outer iteration
+    a.bind(inner);
+    a.lw(Reg(1), Reg(1), 0); // p = *p   (serial, cache-missing)
+    a.andi(Reg(4), Reg(1), 3);
+    a.bne(Reg(4), Reg(0), skip); // data-dependent branch
+    a.addi(Reg(5), Reg(5), 1);
+    a.bind(skip);
+    a.addi(Reg(2), Reg(2), 1);
+    a.blt(Reg(2), Reg(3), inner);
+    a.addi(I, I, 1);
+    a.blt(I, LIM, top);
+    a.halt();
+    a.assemble()
+}
+
+/// parser: hash probes of a dictionary with unpredictable hit/miss branches.
+fn parserish(outer: u32) -> Program {
+    let mut a = Asm::new();
+    let dict = 28000i32;
+    let dsize = 509i32; // prime
+    let mut lcg = Lcg(0x9A125);
+    // Fill ~60% of the dictionary.
+    for k in 0..dsize {
+        let v = if lcg.next() % 10 < 6 { lcg.next() | 1 } else { 0 };
+        a.data_word((dict + k) as u32, v);
+    }
+    let f_probe = a.label();
+    let probe_hit = a.label();
+    let probe_ret = a.label();
+    let top = a.label();
+    let start = a.label();
+    a.j(start);
+
+    // f_probe(r1 = key) -> r2 = found?
+    a.bind(f_probe);
+    a.li(Reg(3), dsize);
+    a.rem(Reg(4), Reg(1), Reg(3));
+    a.li(Reg(5), dict);
+    a.add(Reg(5), Reg(5), Reg(4));
+    a.lw(Reg(6), Reg(5), 0);
+    a.bne(Reg(6), Reg(0), probe_hit);
+    a.li(Reg(2), 0);
+    a.j(probe_ret);
+    a.bind(probe_hit);
+    a.li(Reg(2), 1);
+    a.bind(probe_ret);
+    a.ret();
+
+    a.bind(start);
+    outer_prologue(&mut a, outer);
+    a.li(Reg(9), 0x1234);
+    a.bind(top);
+    // Mix a key, probe, branch on the (unpredictable) result.
+    a.li(Reg(7), 5);
+    a.sll(Reg(8), Reg(9), Reg(7));
+    a.xor(Reg(9), Reg(9), Reg(8));
+    a.li(Reg(7), 7);
+    a.srl(Reg(8), Reg(9), Reg(7));
+    a.xor(Reg(9), Reg(9), Reg(8));
+    a.andi(Reg(1), Reg(9), 8191);
+    a.jal(Reg::RA, f_probe);
+    let miss = a.label();
+    let cont = a.label();
+    a.beq(Reg(2), Reg(0), miss);
+    a.addi(Reg(10), Reg(10), 1);
+    a.j(cont);
+    a.bind(miss);
+    a.addi(Reg(11), Reg(11), 1);
+    a.bind(cont);
+    a.addi(I, I, 1);
+    a.blt(I, LIM, top);
+    a.halt();
+    a.assemble()
+}
+
+/// vortex: object-record creation, copy and field lookups.
+fn vortexish(outer: u32) -> Program {
+    let mut a = Asm::new();
+    let heap = 32000i32;
+    let index = 30000i32;
+    let nrec = 128i32;
+    let rec_words = 6i32;
+    let mut lcg = Lcg(0x407);
+    for k in 0..nrec {
+        a.data_word((index + k) as u32, (heap + (lcg.next() as i32 % nrec) * rec_words) as u32);
+    }
+    let f_get = a.label();
+    let f_put = a.label();
+    let top = a.label();
+    let start = a.label();
+    a.j(start);
+
+    // f_get(r1 = rec ptr) -> r2 = field sum
+    a.bind(f_get);
+    a.lw(Reg(2), Reg(1), 0);
+    a.lw(Reg(3), Reg(1), 1);
+    a.lw(Reg(4), Reg(1), 2);
+    a.add(Reg(2), Reg(2), Reg(3));
+    a.add(Reg(2), Reg(2), Reg(4));
+    a.ret();
+
+    // f_put(r1 = rec ptr, r2 = v): writes three fields.
+    a.bind(f_put);
+    a.sw(Reg(2), Reg(1), 0);
+    a.addi(Reg(3), Reg(2), 1);
+    a.sw(Reg(3), Reg(1), 1);
+    a.addi(Reg(3), Reg(2), 2);
+    a.sw(Reg(3), Reg(1), 2);
+    a.ret();
+
+    a.bind(start);
+    outer_prologue(&mut a, outer);
+    a.bind(top);
+    // rec = index[i % nrec]; sum = get(rec); put(rec, sum & 0xFF)
+    a.li(Reg(5), nrec);
+    a.rem(Reg(6), I, Reg(5));
+    a.li(Reg(7), index);
+    a.add(Reg(7), Reg(7), Reg(6));
+    a.lw(Reg(1), Reg(7), 0);
+    a.jal(Reg::RA, f_get);
+    a.andi(Reg(2), Reg(2), 255);
+    a.jal(Reg::RA, f_put);
+    a.addi(I, I, 1);
+    a.blt(I, LIM, top);
+    a.halt();
+    a.assemble()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::CoreConfig;
+    use crate::core::OooCore;
+    use crate::func::Interp;
+
+    #[test]
+    fn all_workloads_build_and_terminate() {
+        for w in Workload::all() {
+            let p = build_workload(w, 3);
+            let mut gold = Interp::new(&p, w.memory_words());
+            let n = gold.run(3_000_000);
+            assert!(gold.halted(), "{} did not halt ({n} instrs)", w.name());
+            assert!(n > 50, "{} too short: {n}", w.name());
+        }
+    }
+
+    #[test]
+    fn ooo_matches_golden_on_every_workload() {
+        for w in Workload::all() {
+            let p = build_workload(w, 2);
+            let mut gold = Interp::new(&p, w.memory_words());
+            gold.run(2_000_000);
+            let mut core = OooCore::new(&p, CoreConfig::with_widths(4, 6), w.memory_words());
+            let stats = core.run(2_000_000);
+            assert!(core.halted(), "{} ooo did not halt", w.name());
+            assert_eq!(stats.instructions, gold.icount, "{} icount", w.name());
+            assert_eq!(core.arch_regs(), &gold.regs, "{} registers", w.name());
+        }
+    }
+
+    #[test]
+    fn mcf_is_memory_bound_dhrystone_is_not() {
+        let mcf = build_workload(Workload::Mcf, 6);
+        let dhry = build_workload(Workload::Dhrystone, 200);
+        let cfg = CoreConfig::baseline();
+        let s_mcf =
+            OooCore::new(&mcf, cfg.clone(), Workload::Mcf.memory_words()).run(200_000);
+        let s_dhry =
+            OooCore::new(&dhry, cfg, Workload::Dhrystone.memory_words()).run(200_000);
+        assert!(
+            s_mcf.dcache_miss_rate() > 4.0 * s_dhry.dcache_miss_rate().max(0.01),
+            "mcf {:.3} vs dhrystone {:.3}",
+            s_mcf.dcache_miss_rate(),
+            s_dhry.dcache_miss_rate()
+        );
+        assert!(s_mcf.ipc() < s_dhry.ipc());
+    }
+
+    #[test]
+    fn parser_mispredicts_more_than_dhrystone() {
+        let parser = build_workload(Workload::Parser, 2000);
+        let dhry = build_workload(Workload::Dhrystone, 400);
+        let cfg = CoreConfig::baseline();
+        let s_p = OooCore::new(&parser, cfg.clone(), 1 << 15).run(200_000);
+        let s_d = OooCore::new(&dhry, cfg, 1 << 15).run(200_000);
+        assert!(
+            s_p.mispredict_rate() > 1.5 * s_d.mispredict_rate().max(0.001),
+            "parser {:.4} vs dhrystone {:.4}",
+            s_p.mispredict_rate(),
+            s_d.mispredict_rate()
+        );
+    }
+}

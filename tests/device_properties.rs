@@ -1,0 +1,114 @@
+//! Property tests on the compact device models: the invariants the circuit
+//! solver's convergence depends on.
+
+use proptest::prelude::*;
+
+use bdc_device::{
+    DeviceModel, Level1Model, Level1Params, Level61Model, SiliconMosModel, SiliconMosParams,
+    TftParams,
+};
+
+fn models() -> Vec<Box<dyn DeviceModel>> {
+    vec![
+        Box::new(Level61Model::new(TftParams::pentacene())),
+        Box::new(Level61Model::new(TftParams::dntt())),
+        Box::new(Level1Model::new(Level1Params::pentacene())),
+        Box::new(SiliconMosModel::new(SiliconMosParams::nmos_45())),
+        Box::new(SiliconMosModel::new(SiliconMosParams::pmos_45())),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn currents_are_finite_everywhere(vgs in -25.0..25.0f64, vds in -25.0..25.0f64) {
+        for m in models() {
+            let i = m.ids(vgs, vds);
+            prop_assert!(i.is_finite(), "{m:?} at ({vgs}, {vds}) -> {i}");
+            prop_assert!(m.gm(vgs, vds).is_finite());
+            prop_assert!(m.gds(vgs, vds).is_finite());
+        }
+    }
+
+    #[test]
+    fn source_drain_swap_antisymmetry(vgs in -12.0..12.0f64, vds in -12.0..12.0f64) {
+        // ids(vgs, vds) == -ids(vgs - vds, -vds): the channel has no
+        // preferred terminal.
+        for m in models() {
+            let fwd = m.ids(vgs, vds);
+            let rev = m.ids(vgs - vds, -vds);
+            let scale = fwd.abs().max(rev.abs()).max(1e-12);
+            prop_assert!(
+                (fwd + rev).abs() / scale < 1e-6,
+                "{m:?}: ids({vgs},{vds})={fwd:e} vs -ids({},{})={rev:e}",
+                vgs - vds,
+                -vds
+            );
+        }
+    }
+
+    #[test]
+    fn organic_current_monotone_in_gate_drive(
+        vds in 0.1..15.0f64,
+        v0 in -15.0..5.0f64,
+        dv in 0.01..3.0f64,
+    ) {
+        // More negative gate on a p-type device → at least as much current.
+        let m = Level61Model::new(TftParams::pentacene());
+        let lo = m.ids(v0, -vds).abs();
+        let hi = m.ids(v0 - dv, -vds).abs();
+        prop_assert!(hi >= lo * (1.0 - 1e-9), "|I({})|={lo:e} > |I({})|={hi:e}", v0, v0 - dv);
+    }
+
+    #[test]
+    fn aging_never_speeds_the_device_up(
+        life_a in 0.0..1.0f64,
+        dlife in 0.0..0.5f64,
+        vgs in -10.0..-2.0f64,
+    ) {
+        let life_b = (life_a + dlife).min(1.0);
+        let base = TftParams::pentacene();
+        let young = Level61Model::new(base.aged(life_a));
+        let old = Level61Model::new(base.aged(life_b));
+        // On-current at fixed bias only decreases with age.
+        prop_assert!(old.ids(vgs, -5.0).abs() <= young.ids(vgs, -5.0).abs() * (1.0 + 1e-9));
+    }
+
+    #[test]
+    fn silicon_nmos_pmos_mirror(vgs in -1.2..1.2f64, vds in -1.2..1.2f64) {
+        // At matched drive ratings, the PMOS is the NMOS reflected through
+        // the origin.
+        let mut p_params = SiliconMosParams::pmos_45();
+        p_params.id_sat_per_um = SiliconMosParams::nmos_45().id_sat_per_um;
+        p_params.vt0 = SiliconMosParams::nmos_45().vt0;
+        let n = SiliconMosModel::new(SiliconMosParams::nmos_45());
+        let p = SiliconMosModel::new(p_params);
+        let a = n.ids(vgs, vds);
+        let b = p.ids(-vgs, -vds);
+        let scale = a.abs().max(b.abs()).max(1e-12);
+        prop_assert!((a + b).abs() / scale < 1e-9, "n={a:e} p={b:e}");
+    }
+
+    #[test]
+    fn numeric_derivatives_match_secants(vgs in -8.0..8.0f64, vds in -8.0..8.0f64) {
+        // gm/gds (used to build the Jacobian) must track finite differences
+        // of ids at a coarser step — no wild model kinks.
+        let m = Level61Model::new(TftParams::pentacene());
+        let h = 1e-3;
+        let gm_secant = (m.ids(vgs + h, vds) - m.ids(vgs - h, vds)) / (2.0 * h);
+        let gm = m.gm(vgs, vds);
+        let scale = gm.abs().max(gm_secant.abs()).max(1e-12);
+        prop_assert!((gm - gm_secant).abs() / scale < 0.05);
+    }
+}
+
+#[test]
+fn transfer_curve_has_paper_anchor_points() {
+    // Non-property anchors used throughout the repo's calibration.
+    let m = Level61Model::new(TftParams::pentacene());
+    let on = m.ids(-10.0, -10.0).abs();
+    let off = m.ids(3.0, -10.0).abs();
+    assert!(on / off > 1.0e5);
+    assert!(on > 1.0e-5 && on < 1.0e-4);
+}

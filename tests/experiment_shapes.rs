@@ -1,0 +1,121 @@
+//! Integration tests on the experiment drivers at a reduced simulation
+//! budget: the *directions* of every headline result must hold even in
+//! quick runs. (The bench binaries regenerate the full figures.)
+
+use bdc_core::experiments::{
+    fig06_inverters, fig07_vdd_sweep, fig11_core_depth, fig13_14_width, fig15_wire_ablation,
+    width_ipc_matrix, SimBudget,
+};
+use bdc_core::process::shared_kit;
+use bdc_core::Process;
+
+#[test]
+fn fig06_style_ranking_matches_paper() {
+    let rows = fig06_inverters().expect("fig06");
+    assert_eq!(rows.len(), 3);
+    let (diode, biased, pseudo) = (&rows[0], &rows[1], &rows[2]);
+    // Gain ordering: diode < biased < pseudo-E (paper: 1.2 < 1.6 < 3.0).
+    assert!(diode.dc.max_gain < biased.dc.max_gain);
+    assert!(biased.dc.max_gain < pseudo.dc.max_gain);
+    assert!(pseudo.dc.max_gain > 2.0);
+    // Only the pseudo-E design has usable regenerative noise margins.
+    assert!(pseudo.dc.nm_mec > 3.0 * diode.dc.nm_mec.max(0.05));
+}
+
+#[test]
+fn fig07_low_vdd_power_savings() {
+    let rows = fig07_vdd_sweep().expect("fig07");
+    let p5 = rows[0].dc.static_power_in_low;
+    let p15 = rows[2].dc.static_power_in_low;
+    // Paper: the 5 V inverter burns ~6% of the 15 V one. Check a large drop.
+    assert!(p5 < 0.35 * p15, "P(5V) = {p5:.2e}, P(15V) = {p15:.2e}");
+    // V_M tracks ~VDD/2 across the sweep.
+    for r in &rows {
+        let frac = r.dc.vm / r.vdd;
+        assert!(frac > 0.3 && frac < 0.85, "VM/VDD = {frac:.2} at VDD={}", r.vdd);
+    }
+}
+
+#[test]
+fn fig11_optima_ordering() {
+    let budget = SimBudget::quick();
+    let optimum = |p: Process| -> f64 {
+        let pts = fig11_core_depth(shared_kit(p), budget);
+        // Mean normalized performance per depth; return the argmax depth.
+        let base: Vec<f64> = pts[0].per_workload.iter().map(|x| x.2).collect();
+        let mut best = (9usize, 0.0f64);
+        for pt in &pts {
+            let mean: f64 = pt
+                .per_workload
+                .iter()
+                .zip(&base)
+                .map(|((_, _, perf), b)| perf / b)
+                .sum::<f64>()
+                / base.len() as f64;
+            if mean > best.1 {
+                best = (pt.stages, mean);
+            }
+        }
+        best.0 as f64
+    };
+    let si = optimum(Process::Silicon);
+    let org = optimum(Process::Organic);
+    // Paper: silicon 10-11, organic 14-15. Direction: organic deeper.
+    assert!(org >= si + 1.0, "organic optimum {org} vs silicon {si}");
+    assert!((10.0..=13.0).contains(&si), "silicon optimum {si}");
+    assert!((12.0..=15.0).contains(&org), "organic optimum {org}");
+}
+
+#[test]
+fn fig13_width_optima_ordering() {
+    let budget = SimBudget::quick();
+    let fe: Vec<usize> = (1..=6).collect();
+    let be: Vec<usize> = (3..=7).collect();
+    let ipc = width_ipc_matrix(&fe, &be, budget);
+    let si = fig13_14_width(shared_kit(Process::Silicon), &ipc);
+    let org = fig13_14_width(shared_kit(Process::Organic), &ipc);
+    let (si_be, si_fe) = si.optimum();
+    let (org_be, org_fe) = org.optimum();
+    // Paper: silicon M[4][2], organic M[7][2] — organic wider in the back
+    // end; both narrow in the front end.
+    assert!(si_be <= 5, "silicon be optimum {si_be}");
+    assert!(si_fe <= 3, "silicon fe optimum {si_fe}");
+    assert!(org_be >= si_be, "organic be {org_be} vs silicon {si_be}");
+    assert!(org_fe <= 4);
+    // Organic surface is flatter: its worst wide-config penalty is smaller.
+    let si_wide_drop = si.perf[4][1] / si.perf[1][1]; // be=7 vs be=4 at fe=2
+    let org_wide_drop = org.perf[4][1] / org.perf[1][1];
+    assert!(
+        org_wide_drop > si_wide_drop,
+        "organic wide drop {org_wide_drop:.3} vs silicon {si_wide_drop:.3}"
+    );
+    // Area surfaces are nearly process-independent (Fig 14).
+    for r in 0..be.len() {
+        for c in 0..fe.len() {
+            assert!(
+                (si.area[r][c] - org.area[r][c]).abs() < 0.08,
+                "area divergence at [{r}][{c}]: {} vs {}",
+                si.area[r][c],
+                org.area[r][c]
+            );
+        }
+    }
+}
+
+#[test]
+fn fig15_wire_ablation_direction() {
+    let stages = [1usize, 8, 22, 30];
+    let si = fig15_wire_ablation(shared_kit(Process::Silicon), &stages);
+    let org = fig15_wire_ablation(shared_kit(Process::Organic), &stages);
+    // Removing wires helps silicon a lot at depth, organic almost not at all.
+    let si_gain = si.alu.1[3] / si.alu.0[3];
+    let org_gain = org.alu.1[3] / org.alu.0[3];
+    assert!(si_gain > 1.3, "silicon w/o-wire gain at 30 stages = {si_gain:.2}");
+    assert!(org_gain < 1.05, "organic w/o-wire gain = {org_gain:.3}");
+    // Without wires, silicon keeps scaling like organic does (paper's point).
+    assert!(si.alu.1[3] > si.alu.1[2] * 1.05, "wire-free silicon should keep scaling");
+    // Core curves: the 14-stage organic clock gain exceeds silicon's.
+    let si_core_gain = si.core.0.last().unwrap() / si.core.0[0];
+    let org_core_gain = org.core.0.last().unwrap() / org.core.0[0];
+    assert!(org_core_gain > si_core_gain);
+}

@@ -1,0 +1,133 @@
+//! Property tests: the out-of-order core is architecturally equivalent to
+//! the in-order golden model on randomized programs and configurations.
+
+use proptest::prelude::*;
+
+use bdc_uarch::asm::Asm;
+use bdc_uarch::{build_workload, CoreConfig, Interp, OooCore, Reg, StagePlan, Workload};
+
+/// A structured random program: a loop whose body mixes arithmetic, memory
+/// traffic, data-dependent branches and calls — enough to exercise rename,
+/// the LSQ, forwarding and flush paths.
+fn random_program(ops: &[u8], trips: u16) -> bdc_uarch::Program {
+    let mut a = Asm::new();
+    let f_leaf = a.label();
+    let start = a.label();
+    a.j(start);
+
+    // Leaf function: r1 = mix(r1, r2).
+    a.bind(f_leaf);
+    a.xor(Reg(1), Reg(1), Reg(2));
+    a.addi(Reg(1), Reg(1), 37);
+    a.ret();
+
+    a.bind(start);
+    a.li(Reg(10), 512); // memory base
+    a.li(Reg(11), 0); // loop counter
+    a.li(Reg(12), trips as i32);
+    a.li(Reg(1), 0x5A5);
+    a.li(Reg(2), 0x0F0);
+    let top = a.label();
+    a.bind(top);
+    for (k, &op) in ops.iter().enumerate() {
+        let k = k as i32;
+        match op % 11 {
+            0 => a.add(Reg(3), Reg(1), Reg(2)),
+            1 => a.sub(Reg(2), Reg(3), Reg(1)),
+            2 => a.mul(Reg(4), Reg(1), Reg(2)),
+            3 => {
+                a.li(Reg(6), 3 + (k % 5));
+                a.div(Reg(5), Reg(1), Reg(6));
+            }
+            4 => a.sw(Reg(1), Reg(10), k % 64),
+            5 => a.lw(Reg(3), Reg(10), k % 64),
+            6 => {
+                // Data-dependent short forward branch.
+                let skip = a.label();
+                a.andi(Reg(7), Reg(1), 1);
+                a.beq(Reg(7), Reg(0), skip);
+                a.addi(Reg(8), Reg(8), 1);
+                a.bind(skip);
+            }
+            7 => a.jal(Reg::RA, f_leaf),
+            8 => {
+                a.li(Reg(6), (k % 7) + 1);
+                a.sll(Reg(2), Reg(2), Reg(6));
+            }
+            9 => a.slt(Reg(9), Reg(1), Reg(2)),
+            _ => a.xor(Reg(1), Reg(1), Reg(3)),
+        }
+    }
+    a.addi(Reg(11), Reg(11), 1);
+    a.blt(Reg(11), Reg(12), top);
+    a.halt();
+    a.assemble()
+}
+
+fn config_from(widths: (usize, usize), splits: &[u8]) -> CoreConfig {
+    let mut plan = StagePlan::baseline9();
+    for &s in splits {
+        plan = plan.split(["fetch", "decode", "rename", "dispatch", "issue", "regread"][s as usize % 6]);
+    }
+    let mut cfg = CoreConfig::with_widths(widths.0, widths.1);
+    cfg.stages = plan;
+    cfg
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(20))]
+
+    #[test]
+    fn random_programs_match_golden(
+        ops in proptest::collection::vec(any::<u8>(), 4..24),
+        trips in 2u16..30,
+        fe in 1usize..=6,
+        be in 3usize..=7,
+        splits in proptest::collection::vec(any::<u8>(), 0..6),
+    ) {
+        let p = random_program(&ops, trips);
+        let mut gold = Interp::new(&p, 4096);
+        gold.run(500_000);
+        prop_assume!(gold.halted());
+
+        let cfg = config_from((fe, be), &splits);
+        let mut core = OooCore::new(&p, cfg, 4096);
+        let stats = core.run(500_000);
+        prop_assert!(core.halted(), "OoO did not halt");
+        prop_assert_eq!(stats.instructions, gold.icount, "instruction counts differ");
+        prop_assert_eq!(core.arch_regs(), &gold.regs, "architectural registers differ");
+        // Memory spot checks over the store region.
+        for addr in 512..576 {
+            prop_assert_eq!(core.memory().read(addr), gold.mem.read(addr), "mem[{}]", addr);
+        }
+    }
+
+    #[test]
+    fn ipc_never_exceeds_machine_width(
+        fe in 1usize..=6,
+        be in 3usize..=7,
+    ) {
+        let p = build_workload(Workload::Dhrystone, 60);
+        let cfg = CoreConfig::with_widths(fe, be);
+        let commit = cfg.commit_width;
+        let mut core = OooCore::new(&p, cfg, Workload::Dhrystone.memory_words());
+        let stats = core.run(50_000);
+        prop_assert!(stats.ipc() <= commit as f64 + 1e-9);
+        prop_assert!(stats.ipc() <= (fe.max(be)) as f64 + 1e-9);
+    }
+}
+
+#[test]
+fn all_workloads_match_golden_on_a_deep_wide_core() {
+    let cfg = config_from((4, 6), &[0, 2, 4]);
+    for w in Workload::all() {
+        let p = build_workload(w, 2);
+        let mut gold = Interp::new(&p, w.memory_words());
+        gold.run(2_000_000);
+        let mut core = OooCore::new(&p, cfg.clone(), w.memory_words());
+        let stats = core.run(2_000_000);
+        assert!(core.halted(), "{}", w.name());
+        assert_eq!(stats.instructions, gold.icount, "{}", w.name());
+        assert_eq!(core.arch_regs(), &gold.regs, "{}", w.name());
+    }
+}
