@@ -49,10 +49,17 @@ fn bench_sta(c: &mut Criterion) {
     let lib = CellLibrary::synthetic(ProcessKind::Silicon45, 12.0e-12);
     let mult = blocks::array_multiplier(32);
     let cfg = StaConfig::default();
-    c.bench_function("synth/sta_mult32", |b| b.iter(|| black_box(analyze(&mult, &lib, &cfg))));
+    c.bench_function("synth/sta_mult32", |b| {
+        b.iter(|| black_box(analyze(&mult, &lib, &cfg)))
+    });
     c.bench_function("synth/pipeline_cut_mult32_x8", |b| {
         b.iter(|| {
-            black_box(pipeline_cut(&mult, &lib, &cfg, &PipelineOptions::with_stages(8)))
+            black_box(pipeline_cut(
+                &mult,
+                &lib,
+                &cfg,
+                &PipelineOptions::with_stages(8),
+            ))
         })
     });
 }
@@ -63,8 +70,11 @@ fn bench_uarch(c: &mut Criterion) {
     group.sample_size(10);
     group.bench_function("ooo_dhrystone_50k_instrs", |b| {
         b.iter(|| {
-            let mut core =
-                OooCore::new(&program, CoreConfig::baseline(), Workload::Dhrystone.memory_words());
+            let mut core = OooCore::new(
+                &program,
+                CoreConfig::baseline(),
+                Workload::Dhrystone.memory_words(),
+            );
             black_box(core.run(50_000))
         })
     });

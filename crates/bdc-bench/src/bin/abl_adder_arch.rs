@@ -41,7 +41,16 @@ fn main() {
         }
         print!(
             "{}",
-            render_table(&["adder", "gates", "critical path", "speedup vs ripple", "area um2"], &rows)
+            render_table(
+                &[
+                    "adder",
+                    "gates",
+                    "critical path",
+                    "speedup vs ripple",
+                    "area um2"
+                ],
+                &rows
+            )
         );
     }
     println!("\n(measured: Kogge-Stone helps SILICON more. The organic prefix tree's");

@@ -21,7 +21,10 @@ fn main() {
         let (deeper, _) = split_critical(&kit, specs.last().unwrap());
         specs.push(deeper);
     }
-    let freqs: Vec<f64> = specs.iter().map(|s| synthesize_core(&kit, s).frequency).collect();
+    let freqs: Vec<f64> = specs
+        .iter()
+        .map(|s| synthesize_core(&kit, s).frequency)
+        .collect();
 
     println!(
         "normalized performance on parser (branchy) per depth, by predictor:\n{:>16} {}",

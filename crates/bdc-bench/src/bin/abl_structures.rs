@@ -13,8 +13,16 @@ use bdc_uarch::{build_workload, OooCore, Workload};
 fn main() {
     bdc_bench::header("Ablation", "instruction-window structure sizes");
     let budget = bdc_bench::budget();
-    let sweep = [(8usize, 24usize, 8usize), (16, 48, 12), (32, 64, 16), (64, 128, 32)];
-    for (fe, be, label) in [(2usize, 4usize, "silicon optimum M[4][2]"), (2, 7, "organic optimum M[7][2]")] {
+    let sweep = [
+        (8usize, 24usize, 8usize),
+        (16, 48, 12),
+        (32, 64, 16),
+        (64, 128, 32),
+    ];
+    for (fe, be, label) in [
+        (2usize, 4usize, "silicon optimum M[4][2]"),
+        (2, 7, "organic optimum M[7][2]"),
+    ] {
         println!("\nwidths fe={fe}, be={be} ({label}):");
         let mut rows = Vec::new();
         for (iq, rob, lsq) in sweep {
@@ -39,7 +47,10 @@ fn main() {
                 format!("{ipc:.3}"),
             ]);
         }
-        print!("{}", render_table(&["IQ", "ROB", "LSQ", "gmean IPC"], &rows));
+        print!(
+            "{}",
+            render_table(&["IQ", "ROB", "LSQ", "gmean IPC"], &rows)
+        );
     }
     println!("\n(the paper's baseline-class window — IQ 32 / ROB 64 / LSQ 16, the");
     println!(" third row — sits on the flat part of the curve: bigger windows add");

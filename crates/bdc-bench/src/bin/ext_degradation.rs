@@ -10,7 +10,10 @@ use bdc_core::extensions::{degradation_guardband, degradation_sweep};
 use bdc_core::report::render_table;
 
 fn main() {
-    bdc_bench::header("Ext: degradation", "pseudo-E cell across its transient life");
+    bdc_bench::header(
+        "Ext: degradation",
+        "pseudo-E cell across its transient life",
+    );
     let lives = [0.0, 0.2, 0.4, 0.6, 0.8, 1.0];
     let points = degradation_sweep(&lives).expect("aging sweep");
     let rows: Vec<Vec<String>> = points
@@ -18,21 +21,35 @@ fn main() {
         .map(|p| {
             vec![
                 format!("{:.0}%", p.life * 100.0),
-                if p.delay.is_finite() { format!("{:.0}", p.delay * 1.0e6) } else { "-".into() },
+                if p.delay.is_finite() {
+                    format!("{:.0}", p.delay * 1.0e6)
+                } else {
+                    "-".into()
+                },
                 format!("{:.2}", p.gain),
                 format!("{:.2}", p.nm_mec),
-                if p.functional { "yes".into() } else { "NO".into() },
+                if p.functional {
+                    "yes".into()
+                } else {
+                    "NO".into()
+                },
             ]
         })
         .collect();
     print!(
         "{}",
-        render_table(&["life", "delay us", "gain", "NM (MEC) V", "functional"], &rows)
+        render_table(
+            &["life", "delay us", "gain", "NM (MEC) V", "functional"],
+            &rows
+        )
     );
     let guardband = degradation_guardband(&points);
     println!("\nend-of-life clock guardband: {guardband:.2}x the fresh-device period");
     if let Some(fail) = points.iter().find(|p| !p.functional) {
-        println!("functional failure at ~{:.0}% of mission life", fail.life * 100.0);
+        println!(
+            "functional failure at ~{:.0}% of mission life",
+            fail.life * 100.0
+        );
     } else {
         println!("the cell stays functional across the modelled mission window");
     }

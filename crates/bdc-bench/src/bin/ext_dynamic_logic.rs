@@ -1,12 +1,15 @@
 //! Extension (paper §7, last paragraph): dynamic unipolar logic.
 
 use bdc_cells::{
-    characterize_gate, characterize_dynamic, organic_dynamic_gate, organic_inverter,
+    characterize_dynamic, characterize_gate, organic_dynamic_gate, organic_inverter,
     CharacterizeConfig, OrganicSizing, OrganicStyle,
 };
 
 fn main() {
-    bdc_bench::header("Ext: dynamic logic", "precharge-evaluate unipolar gates (paper §7)");
+    bdc_bench::header(
+        "Ext: dynamic logic",
+        "precharge-evaluate unipolar gates (paper §7)",
+    );
     let sizing = OrganicSizing::library_default();
     let load = 200.0e-12;
 

@@ -5,7 +5,10 @@ use bdc_core::report::{fmt_freq, fmt_time};
 use bdc_core::{Process, TechKit};
 
 fn main() {
-    bdc_bench::header("Ext: energy", "energy/instruction vs depth (paper §7 future work)");
+    bdc_bench::header(
+        "Ext: energy",
+        "energy/instruction vs depth (paper §7 future work)",
+    );
     let budget = bdc_bench::budget();
     for p in Process::both() {
         let kit = TechKit::build(p).expect("characterization");

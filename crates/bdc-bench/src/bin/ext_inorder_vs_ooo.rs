@@ -28,7 +28,14 @@ fn main() {
     print!(
         "{}",
         render_table(
-            &["core", "instr/s", "area um2", "power W", "cores/budget", "iso-area instr/s"],
+            &[
+                "core",
+                "instr/s",
+                "area um2",
+                "power W",
+                "cores/budget",
+                "iso-area instr/s"
+            ],
             &table
         )
     );

@@ -5,7 +5,10 @@ use bdc_core::report::render_table;
 use bdc_core::{Process, TechKit};
 
 fn main() {
-    bdc_bench::header("Ext: parallelism", "organic core arrays (paper §7 future work)");
+    bdc_bench::header(
+        "Ext: parallelism",
+        "organic core arrays (paper §7 future work)",
+    );
     let budget = bdc_bench::budget();
     let org = TechKit::build(Process::Organic).expect("characterization");
     let pts = parallel_array(&org, 16, budget);
@@ -23,7 +26,10 @@ fn main() {
         .collect();
     print!(
         "{}",
-        render_table(&["cores", "instr/s", "panel cm2", "power W", "instr/J"], &rows)
+        render_table(
+            &["cores", "instr/s", "panel cm2", "power W", "instr/J"],
+            &rows
+        )
     );
     println!("\n(organic arrays scale throughput linearly in panel area — wires are free,");
     println!(" and large-area fabrication is exactly what organic processes are good at;");

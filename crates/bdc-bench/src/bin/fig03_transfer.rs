@@ -12,7 +12,10 @@ fn main() {
         f.metrics.on_off_ratio,
         f.metrics.vt,
     );
-    println!("{:>8}  {:>12}  {:>12}  {:>12}", "VGS (V)", "ID@VDS=-1V", "ID@VDS=-10V", "IG (A)");
+    println!(
+        "{:>8}  {:>12}  {:>12}  {:>12}",
+        "VGS (V)", "ID@VDS=-1V", "ID@VDS=-10V", "IG (A)"
+    );
     for i in (0..f.id_vds1.len()).step_by(10) {
         println!(
             "{:>8.2}  {:>12.3e}  {:>12.3e}  {:>12.3e}",

@@ -12,7 +12,10 @@ fn main() {
         "  level 61 improves the fit by {:.1}x (paper: level 61 \"fits the device well\", level 1 cannot reproduce sub-VT conduction)",
         f.level1_rms / f.level61_rms
     );
-    println!("{:>8}  {:>12}  {:>12}  {:>12}", "VGS (V)", "measured", "level1", "level61");
+    println!(
+        "{:>8}  {:>12}  {:>12}  {:>12}",
+        "VGS (V)", "measured", "level1", "level61"
+    );
     for i in (0..f.measured.len()).step_by(10) {
         println!(
             "{:>8.2}  {:>12.3e}  {:>12.3e}  {:>12.3e}",

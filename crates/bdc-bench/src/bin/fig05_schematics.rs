@@ -19,5 +19,8 @@ fn main() {
     // Emit one full SPICE deck as the interchange artifact.
     let pe = organic_inverter(OrganicStyle::PseudoE, &sizing, 5.0, -15.0);
     println!("\nSPICE deck of the pseudo-E inverter (for external cross-check):");
-    print!("{}", write_spice(&pe.circuit, "pseudo-E inverter, pentacene, VDD=5 VSS=-15"));
+    print!(
+        "{}",
+        write_spice(&pe.circuit, "pseudo-E inverter, pentacene, VDD=5 VSS=-15")
+    );
 }

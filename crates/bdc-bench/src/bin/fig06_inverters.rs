@@ -25,7 +25,17 @@ fn main() {
     print!(
         "{}",
         render_table(
-            &["style", "VSS(V)", "VM(V)", "gain", "NMH(V)", "NML(V)", "MEC(V)", "P(in=0) uW", "P(in=hi) uW"],
+            &[
+                "style",
+                "VSS(V)",
+                "VM(V)",
+                "gain",
+                "NMH(V)",
+                "NML(V)",
+                "MEC(V)",
+                "P(in=0) uW",
+                "P(in=hi) uW"
+            ],
             &table
         )
     );

@@ -24,7 +24,16 @@ fn main() {
     print!(
         "{}",
         render_table(
-            &["VDD", "VSS(V)", "VM(V)", "gain", "NMH(V)", "NML(V)", "P(in=0) uW", "P(in=VDD) uW"],
+            &[
+                "VDD",
+                "VSS(V)",
+                "VM(V)",
+                "gain",
+                "NMH(V)",
+                "NML(V)",
+                "P(in=0) uW",
+                "P(in=VDD) uW"
+            ],
             &table
         )
     );
@@ -32,5 +41,8 @@ fn main() {
     println!(" static power drops ~16x from VDD=15 to VDD=5 with input low)");
     let p5 = rows[0].dc.static_power_in_low;
     let p15 = rows[2].dc.static_power_in_low;
-    println!(" measured here: P(5V)/P(15V) = {:.2} (paper: ~0.06)", p5 / p15);
+    println!(
+        " measured here: P(5V)/P(15V) = {:.2} (paper: ~0.06)",
+        p5 / p15
+    );
 }

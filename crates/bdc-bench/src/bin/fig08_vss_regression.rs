@@ -3,7 +3,10 @@
 use bdc_core::experiments::fig08_vss_regression;
 
 fn main() {
-    bdc_bench::header("Fig 8", "V_M vs V_SS for the pseudo-E inverter at VDD = 5 V");
+    bdc_bench::header(
+        "Fig 8",
+        "V_M vs V_SS for the pseudo-E inverter at VDD = 5 V",
+    );
     let f = fig08_vss_regression().expect("sweep");
     println!("{:>8}  {:>8}", "VSS (V)", "VM (V)");
     for (vss, vm) in &f.points {

@@ -11,8 +11,15 @@ fn main() {
         let kit = TechKit::build(p).expect("characterization");
         let pts = fig11_core_depth(&kit, budget);
         let base: Vec<f64> = pts[0].per_workload.iter().map(|x| x.2).collect();
-        println!("\n{} (area and performance normalized to the 9-stage baseline):", p.name());
-        let names: Vec<&str> = pts[0].per_workload.iter().map(|(w, _, _)| w.name()).collect();
+        println!(
+            "\n{} (area and performance normalized to the 9-stage baseline):",
+            p.name()
+        );
+        let names: Vec<&str> = pts[0]
+            .per_workload
+            .iter()
+            .map(|(w, _, _)| w.name())
+            .collect();
         println!(
             "{:>3} {:>9} {:>10} {:>6}  {}",
             "N",

@@ -13,7 +13,10 @@ fn main() {
         let nf = f.normalized_frequency();
         let na = f.normalized_area();
         println!("\n{}:", p.name());
-        println!("{:>7}  {:>10}  {:>10}  {:>12}  {:>10}", "stages", "norm freq", "norm area", "abs freq", "registers");
+        println!(
+            "{:>7}  {:>10}  {:>10}  {:>12}  {:>10}",
+            "stages", "norm freq", "norm area", "abs freq", "registers"
+        );
         for (i, s) in stages.iter().enumerate() {
             println!(
                 "{s:>7}  {:>10.2}  {:>10.2}  {:>12}  {:>10}",

@@ -5,7 +5,10 @@ use bdc_core::report::render_matrix;
 use bdc_core::{Process, TechKit};
 
 fn main() {
-    bdc_bench::header("Fig 13", "performance: front-end width 1..6 x back-end pipes 3..7");
+    bdc_bench::header(
+        "Fig 13",
+        "performance: front-end width 1..6 x back-end pipes 3..7",
+    );
     let budget = bdc_bench::budget();
     let fe: Vec<usize> = (1..=6).collect();
     let be: Vec<usize> = (3..=7).collect();
@@ -16,7 +19,11 @@ fn main() {
         let m = fig13_14_width(&kit, &ipc);
         print!(
             "{}",
-            render_matrix(&format!("\n{} normalized performance:", p.name()), &m, &m.perf)
+            render_matrix(
+                &format!("\n{} normalized performance:", p.name()),
+                &m,
+                &m.perf
+            )
         );
         let (b, f) = m.optimum();
         println!("optimum: M[be={b}][fe={f}]");

@@ -7,11 +7,21 @@ use bdc_core::{Process, TechKit};
 fn main() {
     bdc_bench::header("Fig 14", "area: front-end width 1..6 x back-end pipes 3..7");
     // Area does not need IPC; use the minimal budget for the shared matrix.
-    let ipc = width_ipc_matrix(&(1..=6).collect::<Vec<_>>(), &(3..=7).collect::<Vec<_>>(), SimBudget { outer: 2, instructions: 500 });
+    let ipc = width_ipc_matrix(
+        &(1..=6).collect::<Vec<_>>(),
+        &(3..=7).collect::<Vec<_>>(),
+        SimBudget {
+            outer: 2,
+            instructions: 500,
+        },
+    );
     for p in Process::both() {
         let kit = TechKit::build(p).expect("characterization");
         let m = fig13_14_width(&kit, &ipc);
-        print!("{}", render_matrix(&format!("\n{} normalized area:", p.name()), &m, &m.area));
+        print!(
+            "{}",
+            render_matrix(&format!("\n{} normalized area:", p.name()), &m, &m.area)
+        );
     }
     println!("\n(paper: the area surfaces are nearly identical for the two processes,");
     println!(" growing from 0.48 at [3][1] to 1.00 at [7][6])");

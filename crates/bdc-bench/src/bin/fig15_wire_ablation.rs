@@ -11,10 +11,22 @@ fn main() {
         let kit = TechKit::build(p).expect("characterization");
         let f = fig15_wire_ablation(&kit, &alu_stages);
         println!("\n{}:", p.name());
-        print!("{}", render_series("  ALU, with wire:", &f.alu_stages, &f.alu.0));
-        print!("{}", render_series("  ALU, w/o wire:", &f.alu_stages, &f.alu.1));
-        print!("{}", render_series("  core, with wire:", &f.core_stages, &f.core.0));
-        print!("{}", render_series("  core, w/o wire:", &f.core_stages, &f.core.1));
+        print!(
+            "{}",
+            render_series("  ALU, with wire:", &f.alu_stages, &f.alu.0)
+        );
+        print!(
+            "{}",
+            render_series("  ALU, w/o wire:", &f.alu_stages, &f.alu.1)
+        );
+        print!(
+            "{}",
+            render_series("  core, with wire:", &f.core_stages, &f.core.0)
+        );
+        print!(
+            "{}",
+            render_series("  core, w/o wire:", &f.core_stages, &f.core.1)
+        );
         let last = f.alu.0.len() - 1;
         println!(
             "  deep-pipeline wire penalty (ALU, 30 stages): {:.1}% of achievable frequency",

@@ -1,0 +1,106 @@
+//! Static-analysis audit of every artifact the figure/table binaries
+//! consume: the generated netlists (mapped per library, as STA sees them),
+//! the characterized organic and silicon libraries, and the fitted device
+//! models.
+//!
+//! Prints the audit, writes it to `results/lint_report.txt`, and exits
+//! nonzero if any Error-severity diagnostic fires — wire it into CI next to
+//! the test suite.
+
+use std::fmt::Write as _;
+
+use bdc_core::corespec::{stage_netlist, CoreSpec, StageKind};
+use bdc_core::{alu_cluster, Process, TechKit};
+use bdc_device::TftParams;
+use bdc_lint::{lint_device, lint_library, lint_netlist, LintReport, Severity};
+use bdc_synth::blocks;
+use bdc_synth::gate::Netlist;
+use bdc_synth::map::remap_for_library;
+
+/// Tallies one report into the audit text and the running counters.
+fn tally(out: &mut String, totals: &mut [usize; 3], report: &LintReport) {
+    totals[0] += report.count(Severity::Error);
+    totals[1] += report.count(Severity::Warning);
+    totals[2] += report.count(Severity::Info);
+    writeln!(out, "  {}", report.summary()).unwrap();
+    for d in &report.diagnostics {
+        writeln!(out, "    {d}").unwrap();
+    }
+}
+
+fn main() {
+    bdc_bench::header(
+        "Audit",
+        "static analysis of generated netlists and shipped libraries",
+    );
+
+    let netlists: Vec<(String, Netlist)> = {
+        let mut v: Vec<(String, Netlist)> = vec![
+            ("ripple_adder32".into(), blocks::ripple_adder(32)),
+            ("carry_select32".into(), blocks::carry_select_adder(32)),
+            ("kogge_stone32".into(), blocks::kogge_stone_adder(32)),
+            ("array_mult32".into(), blocks::array_multiplier(32)),
+            ("divider_stage32".into(), blocks::divider_stage(32)),
+            ("wakeup_cam32x4".into(), blocks::wakeup_cam(32, 6, 4)),
+            ("complex_alu".into(), alu_cluster()),
+        ];
+        let spec = CoreSpec::baseline();
+        for kind in StageKind::all() {
+            v.push((
+                format!("stage_{kind:?}").to_lowercase(),
+                stage_netlist(kind, spec.fe_width, spec.be_pipes),
+            ));
+        }
+        v
+    };
+
+    let mut out = String::new();
+    let mut totals = [0usize; 3]; // errors, warnings, notes
+
+    for p in Process::both() {
+        let kit = TechKit::build(p).expect("library characterization");
+
+        writeln!(out, "\n[{} library]", p.name()).unwrap();
+        tally(&mut out, &mut totals, &lint_library(&kit.lib));
+
+        writeln!(out, "\n[{} netlists, mapped as STA sees them]", p.name()).unwrap();
+        for (name, n) in &netlists {
+            let (mapped, _) = remap_for_library(n, &kit.lib);
+            let mut report = lint_netlist(&mapped, &kit.lib, &kit.sta);
+            report.subject = format!("{}/{name}", p.name());
+            tally(&mut out, &mut totals, &report);
+        }
+    }
+
+    writeln!(out, "\n[device models]").unwrap();
+    for (name, p) in [
+        ("pentacene", TftParams::pentacene()),
+        ("dntt", TftParams::dntt()),
+        ("pentacene_aged_1y", TftParams::pentacene().aged(1.0)),
+    ] {
+        let mut report = lint_device(&p);
+        report.subject = name.into();
+        tally(&mut out, &mut totals, &report);
+    }
+
+    writeln!(
+        out,
+        "\ntotal: {} errors, {} warnings, {} notes",
+        totals[0], totals[1], totals[2]
+    )
+    .unwrap();
+    print!("{out}");
+
+    let dir = std::path::Path::new("results");
+    if std::fs::create_dir_all(dir).is_ok() {
+        match std::fs::write(dir.join("lint_report.txt"), &out) {
+            Ok(()) => println!("wrote results/lint_report.txt"),
+            Err(e) => eprintln!("could not write results/lint_report.txt: {e}"),
+        }
+    }
+
+    if totals[0] > 0 {
+        eprintln!("FAIL: {} Error-severity diagnostics", totals[0]);
+        std::process::exit(1);
+    }
+}

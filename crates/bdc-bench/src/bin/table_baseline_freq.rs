@@ -6,7 +6,10 @@ use bdc_core::report::{fmt_freq, fmt_time};
 use bdc_core::{CoreSpec, Process, TechKit};
 
 fn main() {
-    bdc_bench::header("Table (§5.3)", "baseline (9-stage) and deepened core frequencies");
+    bdc_bench::header(
+        "Table (§5.3)",
+        "baseline (9-stage) and deepened core frequencies",
+    );
     for p in Process::both() {
         let kit = TechKit::build(p).expect("characterization");
         let base = table_baseline_frequency(&kit);
@@ -18,7 +21,11 @@ fn main() {
         }
         let deep = synthesize_core(&kit, &spec);
         println!("\n{}:", p.name());
-        println!("  9-stage baseline : {} (period {})", fmt_freq(base.frequency), fmt_time(base.period));
+        println!(
+            "  9-stage baseline : {} (period {})",
+            fmt_freq(base.frequency),
+            fmt_time(base.period)
+        );
         println!(
             "  14-stage deepened: {} ({:.2}x the baseline clock)",
             fmt_freq(deep.frequency),

@@ -9,7 +9,10 @@ fn main() {
     bdc_bench::header("Table (§4.4)", "characterized 6-cell libraries");
     for p in Process::both() {
         let kit = TechKit::build(p).expect("characterization");
-        println!("\nlibrary: {} (VDD = {} V, VSS = {} V)", kit.lib.name, kit.lib.vdd, kit.lib.vss);
+        println!(
+            "\nlibrary: {} (VDD = {} V, VSS = {} V)",
+            kit.lib.name, kit.lib.vdd, kit.lib.vss
+        );
         let rows: Vec<Vec<String>> = table_library(&kit)
             .into_iter()
             .map(|(name, area, cap, delay)| {
@@ -23,7 +26,10 @@ fn main() {
             .collect();
         print!(
             "{}",
-            render_table(&["cell", "area (um2)", "input cap (F)", "nominal delay"], &rows)
+            render_table(
+                &["cell", "area (um2)", "input cap (F)", "nominal delay"],
+                &rows
+            )
         );
         println!(
             "FO4-like delay: {}   DFF: setup {} / clk-Q {}",
@@ -34,8 +40,16 @@ fn main() {
         let (nand3, nor3) = table_mapping_preference(&kit);
         println!(
             "mapping preference (§5.5): NAND3 {}; NOR3 {}",
-            if nand3 { "decomposed to 2-input" } else { "kept" },
-            if nor3 { "decomposed to 2-input" } else { "kept" },
+            if nand3 {
+                "decomposed to 2-input"
+            } else {
+                "kept"
+            },
+            if nor3 {
+                "decomposed to 2-input"
+            } else {
+                "kept"
+            },
         );
     }
     println!("\n(paper §5.5: the organic library's rise/fall imbalance makes its 3-input");

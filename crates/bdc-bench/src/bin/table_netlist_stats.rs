@@ -29,8 +29,16 @@ fn main() {
             "  {:>8}: {:.1}% two-input coverage of {total} NAND/NOR cells (nand3 {}, nor3 {})",
             p.name(),
             frac2 * 100.0,
-            if report.nand3_decomposed { "decomposed" } else { "kept" },
-            if report.nor3_decomposed { "decomposed" } else { "kept" },
+            if report.nand3_decomposed {
+                "decomposed"
+            } else {
+                "kept"
+            },
+            if report.nor3_decomposed {
+                "decomposed"
+            } else {
+                "kept"
+            },
         );
     }
 }

@@ -5,8 +5,8 @@ use bdc_core::report::render_table;
 
 fn main() {
     bdc_bench::header("Table (§4.3.4)", "pseudo-E inverter sizing exploration");
-    let ranked = explore_inverter_sizing(&[], 5.0, -15.0, &Utility::default())
-        .expect("sizing sweep");
+    let ranked =
+        explore_inverter_sizing(&[], 5.0, -15.0, &Utility::default()).expect("sizing sweep");
     let rows: Vec<Vec<String>> = ranked
         .iter()
         .map(|c| {
@@ -18,7 +18,11 @@ fn main() {
                 format!("{:.2}", c.vm),
                 format!("{:.2}", c.gain),
                 format!("{:.2}", c.nm),
-                if c.delay.is_finite() { format!("{:.0}", c.delay * 1.0e6) } else { "-".into() },
+                if c.delay.is_finite() {
+                    format!("{:.0}", c.delay * 1.0e6)
+                } else {
+                    "-".into()
+                },
                 format!("{:.2}", c.utility),
             ]
         })

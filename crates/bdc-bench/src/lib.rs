@@ -19,7 +19,10 @@ pub fn budget() -> SimBudget {
     if quick_mode() {
         SimBudget::quick()
     } else {
-        SimBudget { outer: 150, instructions: 60_000 }
+        SimBudget {
+            outer: 150,
+            instructions: 60_000,
+        }
     }
 }
 

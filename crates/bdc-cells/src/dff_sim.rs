@@ -43,14 +43,14 @@ fn inline_gate(
     // Map gate-circuit nodes into dst. Rails map to dst rails by name.
     let mut map: Vec<Option<NodeId>> = vec![None; gate.circuit.node_count()];
     map[0] = Some(Circuit::GND);
-    for i in 1..gate.circuit.node_count() {
+    for (i, slot) in map.iter_mut().enumerate().skip(1) {
         let id = NodeId::from_index(i);
         let name = gate.circuit.node_name(id);
         let mapped = match name {
             "vdd" | "vss" => dst.node(name),
             other => dst.node(&format!("{prefix}.{other}")),
         };
-        map[i] = Some(mapped);
+        *slot = Some(mapped);
     }
     // Alias the gate's logic-input nodes onto the provided nets by
     // REPLACING the mapped node: we re-walk elements and substitute.
@@ -175,7 +175,15 @@ pub fn build_dff(organic: bool, sizing: &OrganicSizing, vdd: f64, vss: f64) -> D
             }
         }
     }
-    DffCircuit { circuit: c, d_src, clk_src, clr_src, q: j[4], vdd, transistor_count }
+    DffCircuit {
+        circuit: c,
+        d_src,
+        clk_src,
+        clr_src,
+        q: j[4],
+        vdd,
+        transistor_count,
+    }
 }
 
 /// Measured flop timing from transistor-level simulation.
@@ -241,7 +249,10 @@ pub fn measure_dff(dff: &DffCircuit, scale: f64) -> Result<MeasuredDff, CircuitE
             lo = mid;
         }
     }
-    Ok(MeasuredDff { clk_to_q, setup: hi })
+    Ok(MeasuredDff {
+        clk_to_q,
+        setup: hi,
+    })
 }
 
 #[cfg(test)]
@@ -264,7 +275,11 @@ mod tests {
         let dff = build_dff(false, &OrganicSizing::library_default(), 1.0, 0.0);
         let m = measure_dff(&dff, 20.0e-12).expect("measure");
         // clk->Q of a 45 nm flop: tens of ps.
-        assert!(m.clk_to_q > 5.0e-12 && m.clk_to_q < 5.0e-10, "clk_to_q {:.3e}", m.clk_to_q);
+        assert!(
+            m.clk_to_q > 5.0e-12 && m.clk_to_q < 5.0e-10,
+            "clk_to_q {:.3e}",
+            m.clk_to_q
+        );
         assert!(m.setup > 0.0 && m.setup < 2.0e-10, "setup {:.3e}", m.setup);
     }
 
@@ -273,7 +288,11 @@ mod tests {
         let dff = build_dff(true, &OrganicSizing::library_default(), 5.0, -15.0);
         assert_eq!(dff.transistor_count, 48);
         let m = measure_dff(&dff, 0.7e-3).expect("measure");
-        assert!(m.clk_to_q > 1.0e-4 && m.clk_to_q < 2.0e-2, "clk_to_q {:.3e}", m.clk_to_q);
+        assert!(
+            m.clk_to_q > 1.0e-4 && m.clk_to_q < 2.0e-2,
+            "clk_to_q {:.3e}",
+            m.clk_to_q
+        );
         assert!(m.setup < 1.0e-2, "setup {:.3e}", m.setup);
     }
 }

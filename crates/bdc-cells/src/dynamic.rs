@@ -18,7 +18,10 @@ use bdc_device::{DeviceModel, Level61Model, TftParams};
 use crate::topology::{GateCircuit, OrganicSizing, ORGANIC_CHANNEL_L};
 
 fn otft(w: f64) -> Arc<dyn DeviceModel> {
-    Arc::new(Level61Model::new(TftParams::pentacene_sized(w, ORGANIC_CHANNEL_L)))
+    Arc::new(Level61Model::new(TftParams::pentacene_sized(
+        w,
+        ORGANIC_CHANNEL_L,
+    )))
 }
 
 /// Builds a dynamic unipolar gate with `fan_in` series evaluation
@@ -49,7 +52,11 @@ pub fn organic_dynamic_gate(fan_in: usize, sizing: &OrganicSizing, vdd: f64) -> 
     for i in 0..fan_in {
         let n_in = c.node(&format!("in{i}"));
         let in_src = c.vsource(n_in, Circuit::GND, 0.0);
-        let dst = if i + 1 == fan_in { Circuit::GND } else { c.node(&format!("ev{i}")) };
+        let dst = if i + 1 == fan_in {
+            Circuit::GND
+        } else {
+            c.node(&format!("ev{i}"))
+        };
         c.fet(dst, n_in, src, otft(w_eval));
         src = dst;
         inputs.push((format!("A{i}"), in_src));
@@ -119,15 +126,22 @@ pub fn characterize_dynamic(
     let wf = res.node_waveform(gate.output);
     let mid = 0.5 * gate.vdd;
     // Precharge: the output rises past mid during [phase, 2·phase].
-    let pre: Vec<(f64, f64)> =
-        wf.iter().copied().filter(|(t, _)| (phase..=2.0 * phase).contains(t)).collect();
+    let pre: Vec<(f64, f64)> = wf
+        .iter()
+        .copied()
+        .filter(|(t, _)| (phase..=2.0 * phase).contains(t))
+        .collect();
     let t_rise = crossing_time(&pre, mid).ok_or(CircuitError::NoConvergence {
         residual: f64::NAN,
         iterations: 0,
     })?;
     let precharge_delay = t_rise - phase;
     // Evaluate: the output falls past mid after 2·phase.
-    let ev: Vec<(f64, f64)> = wf.iter().copied().filter(|(t, _)| *t >= 2.0 * phase).collect();
+    let ev: Vec<(f64, f64)> = wf
+        .iter()
+        .copied()
+        .filter(|(t, _)| *t >= 2.0 * phase)
+        .collect();
     let t_fall = crossing_time(&ev, mid).ok_or(CircuitError::NoConvergence {
         residual: f64::NAN,
         iterations: 0,
@@ -136,7 +150,11 @@ pub fn characterize_dynamic(
     // Integrate |i_vdd| over the cycle for the charge cost.
     // (Approximate with the load charge + a crowbar term: q = C·V + ∫i.)
     let cycle_charge = load * gate.vdd;
-    Ok(DynamicTiming { evaluate_delay, precharge_delay, cycle_charge })
+    Ok(DynamicTiming {
+        evaluate_delay,
+        precharge_delay,
+        cycle_charge,
+    })
 }
 
 #[cfg(test)]
@@ -150,7 +168,10 @@ mod tests {
         let g = organic_dynamic_gate(1, &OrganicSizing::library_default(), 5.0);
         assert_eq!(g.transistor_count, 2);
         let t = characterize_dynamic(&g, 200.0e-12, 3.0e-3).expect("dynamic sim");
-        assert!(t.evaluate_delay > 1.0e-6 && t.evaluate_delay < 3.0e-3, "{t:?}");
+        assert!(
+            t.evaluate_delay > 1.0e-6 && t.evaluate_delay < 3.0e-3,
+            "{t:?}"
+        );
         assert!(t.precharge_delay > 0.0 && t.precharge_delay < 3.0e-3);
     }
 

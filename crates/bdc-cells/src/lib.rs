@@ -18,19 +18,24 @@
 pub mod characterize;
 pub mod dff_sim;
 pub mod dynamic;
-pub mod library;
 pub mod liberty;
+pub mod library;
 pub mod nldm;
 pub mod sizing;
 pub mod topology;
 pub mod wire;
 
-pub use characterize::{characterize_gate, measure_inverter_dc, measure_static_power, CharacterizeConfig, DcSummary};
-pub use library::{Cell, CellKind, CellLibrary, DffTiming, ProcessKind};
-pub use liberty::{parse_library, write_library, LibertyError};
+pub use characterize::{
+    characterize_gate, measure_inverter_dc, measure_static_power, CharacterizeConfig, DcSummary,
+};
 pub use dff_sim::{build_dff, measure_dff, DffCircuit, MeasuredDff};
 pub use dynamic::{characterize_dynamic, organic_dynamic_gate, DynamicTiming};
+pub use liberty::{parse_library, write_library, LibertyError};
+pub use library::{Cell, CellKind, CellLibrary, DffTiming, ProcessKind};
 pub use nldm::NldmTable;
 pub use sizing::{evaluate_sizing, explore_inverter_sizing, SizingCandidate, Utility};
-pub use topology::{cmos_gate, organic_gate, organic_inverter, organic_inverter_aged, organic_inverter_shifted, GateCircuit, LogicKind, OrganicSizing, OrganicStyle, ORGANIC_CHANNEL_L};
+pub use topology::{
+    cmos_gate, organic_gate, organic_inverter, organic_inverter_aged, organic_inverter_shifted,
+    GateCircuit, LogicKind, OrganicSizing, OrganicStyle, ORGANIC_CHANNEL_L,
+};
 pub use wire::WireModel;

@@ -52,9 +52,21 @@ pub fn write_library(lib: &CellLibrary) -> String {
     );
     let _ = writeln!(s, "vdd {:e}", lib.vdd);
     let _ = writeln!(s, "vss {:e}", lib.vss);
-    let rep = lib.wire.repeated_s_per_m.map(|v| format!("{v:e}")).unwrap_or_else(|| "none".into());
-    let _ = writeln!(s, "wire {:e} {:e} {rep}", lib.wire.r_per_m, lib.wire.c_per_m);
-    let _ = writeln!(s, "dff_timing {:e} {:e} {:e}", lib.dff.setup, lib.dff.hold, lib.dff.clk_to_q);
+    let rep = lib
+        .wire
+        .repeated_s_per_m
+        .map(|v| format!("{v:e}"))
+        .unwrap_or_else(|| "none".into());
+    let _ = writeln!(
+        s,
+        "wire {:e} {:e} {rep}",
+        lib.wire.r_per_m, lib.wire.c_per_m
+    );
+    let _ = writeln!(
+        s,
+        "dff_timing {:e} {:e} {:e}",
+        lib.dff.setup, lib.dff.hold, lib.dff.clk_to_q
+    );
     for cell in lib.cells() {
         let _ = writeln!(s, "cell {}", cell.kind.name());
         let _ = writeln!(s, "area {:e}", cell.area);
@@ -71,7 +83,12 @@ pub fn write_library(lib: &CellLibrary) -> String {
 }
 
 fn write_table(s: &mut String, name: &str, t: &NldmTable) {
-    let fmt_axis = |a: &[f64]| a.iter().map(|v| format!("{v:e}")).collect::<Vec<_>>().join(" ");
+    let fmt_axis = |a: &[f64]| {
+        a.iter()
+            .map(|v| format!("{v:e}"))
+            .collect::<Vec<_>>()
+            .join(" ")
+    };
     let _ = writeln!(s, "table {name}");
     let _ = writeln!(s, "slews {}", fmt_axis(t.slews()));
     let _ = writeln!(s, "loads {}", fmt_axis(t.loads()));
@@ -95,7 +112,10 @@ pub fn parse_library(text: &str) -> Result<CellLibrary, LibertyError> {
     let mut dff = None;
     let mut cells: Vec<Cell> = Vec::new();
 
-    let err = |line: usize, message: &str| LibertyError::Parse { line: line + 1, message: message.into() };
+    let err = |line: usize, message: &str| LibertyError::Parse {
+        line: line + 1,
+        message: message.into(),
+    };
 
     while let Some((ln, raw)) = lines.next() {
         let line = raw.trim();
@@ -120,9 +140,16 @@ pub fn parse_library(text: &str) -> Result<CellLibrary, LibertyError> {
                 let c = parse_f64(tok.next(), ln)?;
                 let rep = match tok.next() {
                     Some("none") | None => None,
-                    Some(v) => Some(v.parse::<f64>().map_err(|_| err(ln, "bad repeated value"))?),
+                    Some(v) => Some(
+                        v.parse::<f64>()
+                            .map_err(|_| err(ln, "bad repeated value"))?,
+                    ),
                 };
-                wire = Some(WireModel { r_per_m: r, c_per_m: c, repeated_s_per_m: rep });
+                wire = Some(WireModel {
+                    r_per_m: r,
+                    c_per_m: c,
+                    repeated_s_per_m: rep,
+                });
             }
             "dff_timing" => {
                 dff = Some(DffTiming {
@@ -150,15 +177,26 @@ pub fn parse_library(text: &str) -> Result<CellLibrary, LibertyError> {
     let wire = wire.ok_or_else(|| LibertyError::Incomplete("wire".into()))?;
     let dff = dff.ok_or_else(|| LibertyError::Incomplete("dff_timing".into()))?;
     if cells.len() != 6 {
-        return Err(LibertyError::Incomplete(format!("6 cells (got {})", cells.len())));
+        return Err(LibertyError::Incomplete(format!(
+            "6 cells (got {})",
+            cells.len()
+        )));
     }
-    Ok(CellLibrary::from_cells(name, process, vdd, vss, wire, dff, cells))
+    Ok(CellLibrary::from_cells(
+        name, process, vdd, vss, wire, dff, cells,
+    ))
 }
 
 fn parse_f64(tok: Option<&str>, line: usize) -> Result<f64, LibertyError> {
-    tok.ok_or(LibertyError::Parse { line: line + 1, message: "missing number".into() })?
-        .parse::<f64>()
-        .map_err(|_| LibertyError::Parse { line: line + 1, message: "bad number".into() })
+    tok.ok_or(LibertyError::Parse {
+        line: line + 1,
+        message: "missing number".into(),
+    })?
+    .parse::<f64>()
+    .map_err(|_| LibertyError::Parse {
+        line: line + 1,
+        message: "bad number".into(),
+    })
 }
 
 type Lines<'a> = std::iter::Peekable<std::iter::Enumerate<std::str::Lines<'a>>>;
@@ -286,13 +324,22 @@ mod tests {
         let lib = CellLibrary::synthetic(ProcessKind::Silicon45, 1.4e-11);
         let back = parse_library(&write_library(&lib)).expect("parse");
         assert_eq!(back.wire.repeated_s_per_m, lib.wire.repeated_s_per_m);
-        assert_eq!(back.cell(CellKind::Dff).timing.delay_fall, lib.cell(CellKind::Dff).timing.delay_fall);
+        assert_eq!(
+            back.cell(CellKind::Dff).timing.delay_fall,
+            lib.cell(CellKind::Dff).timing.delay_fall
+        );
     }
 
     #[test]
     fn parse_rejects_garbage() {
-        assert!(matches!(parse_library("nonsense here"), Err(LibertyError::Parse { .. })));
-        assert!(matches!(parse_library(""), Err(LibertyError::Incomplete(_))));
+        assert!(matches!(
+            parse_library("nonsense here"),
+            Err(LibertyError::Parse { .. })
+        ));
+        assert!(matches!(
+            parse_library(""),
+            Err(LibertyError::Incomplete(_))
+        ));
     }
 
     #[test]
@@ -311,7 +358,10 @@ mod tests {
 
     #[test]
     fn error_display_mentions_line() {
-        let e = LibertyError::Parse { line: 42, message: "boom".into() };
+        let e = LibertyError::Parse {
+            line: 42,
+            message: "boom".into(),
+        };
         assert!(e.to_string().contains("42"));
     }
 }

@@ -9,7 +9,9 @@
 //! VDD = 5 V, VSS = −15 V); the silicon library is the reduced 6-cell 45 nm
 //! comparison library of §5.1, characterized through the same flow.
 
-use crate::characterize::{characterize_gate, measure_static_power, CharacterizeConfig, GateTiming};
+use crate::characterize::{
+    characterize_gate, measure_static_power, CharacterizeConfig, GateTiming,
+};
 use crate::nldm::NldmTable;
 use crate::topology::{cmos_gate, organic_gate, GateCircuit, LogicKind, OrganicSizing};
 use crate::wire::WireModel;
@@ -35,7 +37,14 @@ pub enum CellKind {
 impl CellKind {
     /// All six kinds.
     pub fn all() -> [CellKind; 6] {
-        [CellKind::Inv, CellKind::Nand2, CellKind::Nand3, CellKind::Nor2, CellKind::Nor3, CellKind::Dff]
+        [
+            CellKind::Inv,
+            CellKind::Nand2,
+            CellKind::Nand3,
+            CellKind::Nor2,
+            CellKind::Nor3,
+            CellKind::Dff,
+        ]
     }
 
     /// The logic function, for combinational kinds.
@@ -146,12 +155,23 @@ impl CellLibrary {
                 "missing or duplicate cell {kind:?}"
             );
         }
-        CellLibrary { name: name.into(), process, vdd, vss, wire, dff, cells }
+        CellLibrary {
+            name: name.into(),
+            process,
+            vdd,
+            vss,
+            wire,
+            dff,
+            cells,
+        }
     }
 
     /// Looks up a cell.
     pub fn cell(&self, kind: CellKind) -> &Cell {
-        self.cells.iter().find(|c| c.kind == kind).expect("all six cells present")
+        self.cells
+            .iter()
+            .find(|c| c.kind == kind)
+            .expect("all six cells present")
     }
 
     /// All cells.
@@ -177,7 +197,10 @@ impl CellLibrary {
     /// Effective driver resistance of the inverter (Ω), for wire Elmore
     /// calculations.
     pub fn drive_resistance(&self) -> f64 {
-        self.cell(CellKind::Inv).timing.delay_worst().drive_resistance()
+        self.cell(CellKind::Inv)
+            .timing
+            .delay_worst()
+            .drive_resistance()
     }
 
     /// Replaces the wire model (used by the Figure 15 "w/o wire" ablation).
@@ -219,7 +242,16 @@ impl CellLibrary {
             mk(CellKind::Nand3, 1.9, 1.9, 1.9),
             mk(CellKind::Nor2, 1.5, 1.4, 1.4),
             mk(CellKind::Nor3, 2.1, 1.9, 1.9),
-            mk(CellKind::Dff, 3.4, if matches!(process, ProcessKind::Organic) { 11.2 } else { 5.9 }, 1.4),
+            mk(
+                CellKind::Dff,
+                3.4,
+                if matches!(process, ProcessKind::Organic) {
+                    11.2
+                } else {
+                    5.9
+                },
+                1.4,
+            ),
         ];
         let dff = DffTiming {
             setup: 2.8 * gate_delay,
@@ -355,11 +387,21 @@ fn silicon_gate_area(kind: LogicKind) -> f64 {
 /// (larger in the organic process, where each pseudo-E gate carries a
 /// level-shifter stage and registers cannot share it).
 fn derive_dff(cells: &[Cell], area_factor: f64) -> (Cell, DffTiming) {
-    let nand2 = cells.iter().find(|c| c.kind == CellKind::Nand2).expect("nand2 characterized");
+    let nand2 = cells
+        .iter()
+        .find(|c| c.kind == CellKind::Nand2)
+        .expect("nand2 characterized");
     let slews = nand2.timing.delay_rise.slews();
     let mid_slew = slews[slews.len() / 2];
-    let d_nom = nand2.timing.delay_worst().lookup(mid_slew, 2.0 * nand2.input_cap);
-    let dff = DffTiming { setup: 2.0 * d_nom, hold: 0.3 * d_nom, clk_to_q: 2.2 * d_nom };
+    let d_nom = nand2
+        .timing
+        .delay_worst()
+        .lookup(mid_slew, 2.0 * nand2.input_cap);
+    let dff = DffTiming {
+        setup: 2.0 * d_nom,
+        hold: 0.3 * d_nom,
+        clk_to_q: 2.2 * d_nom,
+    };
     // clk→Q arc: two internal NAND stages, load-dependent like the NAND.
     let timing = GateTiming {
         delay_rise: nand2.timing.delay_rise.map(|d| d + 1.2 * d_nom),
@@ -423,7 +465,10 @@ mod tests {
         // Organic DFF is relatively larger vs its NAND2 than silicon's.
         let r_org = org.cell(CellKind::Dff).area / org.cell(CellKind::Nand2).area;
         let r_si = si.cell(CellKind::Dff).area / si.cell(CellKind::Nand2).area;
-        assert!(r_org > 1.5 * r_si, "organic {r_org:.1} vs silicon {r_si:.1}");
+        assert!(
+            r_org > 1.5 * r_si,
+            "organic {r_org:.1} vs silicon {r_si:.1}"
+        );
     }
 
     #[test]
@@ -433,8 +478,15 @@ mod tests {
         let mut cells = lib.cells().to_vec();
         cells.pop();
         let dff = lib.dff;
-        let _ =
-            CellLibrary::from_cells("bad", ProcessKind::Organic, 5.0, -15.0, lib.wire, dff, cells);
+        let _ = CellLibrary::from_cells(
+            "bad",
+            ProcessKind::Organic,
+            5.0,
+            -15.0,
+            lib.wire,
+            dff,
+            cells,
+        );
     }
 
     #[test]

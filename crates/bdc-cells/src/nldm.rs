@@ -21,17 +21,37 @@ impl NldmTable {
     /// Panics if the axes are not strictly increasing, are empty, or the
     /// value grid does not match the axes.
     pub fn new(slews: Vec<f64>, loads: Vec<f64>, values: Vec<Vec<f64>>) -> Self {
-        assert!(!slews.is_empty() && !loads.is_empty(), "axes must be non-empty");
-        assert!(slews.windows(2).all(|w| w[1] > w[0]), "slew axis must increase");
-        assert!(loads.windows(2).all(|w| w[1] > w[0]), "load axis must increase");
+        assert!(
+            !slews.is_empty() && !loads.is_empty(),
+            "axes must be non-empty"
+        );
+        assert!(
+            slews.windows(2).all(|w| w[1] > w[0]),
+            "slew axis must increase"
+        );
+        assert!(
+            loads.windows(2).all(|w| w[1] > w[0]),
+            "load axis must increase"
+        );
         assert_eq!(values.len(), slews.len(), "row count must match slew axis");
-        assert!(values.iter().all(|r| r.len() == loads.len()), "column count must match load axis");
-        NldmTable { slews, loads, values }
+        assert!(
+            values.iter().all(|r| r.len() == loads.len()),
+            "column count must match load axis"
+        );
+        NldmTable {
+            slews,
+            loads,
+            values,
+        }
     }
 
     /// A constant (degenerate 1×1) table.
     pub fn constant(value: f64) -> Self {
-        NldmTable { slews: vec![0.0], loads: vec![0.0], values: vec![vec![value]] }
+        NldmTable {
+            slews: vec![0.0],
+            loads: vec![0.0],
+            values: vec![vec![value]],
+        }
     }
 
     /// The slew axis.
@@ -69,7 +89,11 @@ impl NldmTable {
         NldmTable {
             slews: self.slews.clone(),
             loads: self.loads.clone(),
-            values: self.values.iter().map(|r| r.iter().map(|v| f(*v)).collect()).collect(),
+            values: self
+                .values
+                .iter()
+                .map(|r| r.iter().map(|v| f(*v)).collect())
+                .collect(),
         }
     }
 

@@ -34,7 +34,12 @@ pub struct Utility {
 
 impl Default for Utility {
     fn default() -> Self {
-        Utility { vm_centring: 1.0, noise_margin: 1.0, speed: 1.0, area: 0.5 }
+        Utility {
+            vm_centring: 1.0,
+            noise_margin: 1.0,
+            speed: 1.0,
+            area: 0.5,
+        }
     }
 }
 
@@ -109,12 +114,23 @@ pub fn explore_inverter_sizing(
             Err(CircuitError::NoConvergence { .. }) => (0.0, 0.0, 0.0, f64::INFINITY, 1.0),
             Err(e) => return Err(e),
         };
-        rows.push(SizingCandidate { sizing, vm, gain, nm, delay, total_width, utility: 0.0 });
+        rows.push(SizingCandidate {
+            sizing,
+            vm,
+            gain,
+            nm,
+            delay,
+            total_width,
+            utility: 0.0,
+        });
     }
     // Normalize each term across the candidate set, then score.
     let max_nm = rows.iter().map(|r| r.nm).fold(1e-12, f64::max);
     let min_delay = rows.iter().map(|r| r.delay).fold(f64::INFINITY, f64::min);
-    let min_width = rows.iter().map(|r| r.total_width).fold(f64::INFINITY, f64::min);
+    let min_width = rows
+        .iter()
+        .map(|r| r.total_width)
+        .fold(f64::INFINITY, f64::min);
     for r in &mut rows {
         let vm_term = 1.0 - ((r.vm - vdd / 2.0) / (vdd / 2.0)).abs().min(1.0);
         let nm_term = r.nm / max_nm;

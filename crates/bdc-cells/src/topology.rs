@@ -59,7 +59,13 @@ impl LogicKind {
     /// All cell kinds in a canonical order (the 6-cell library of the paper
     /// is these five logic cells plus the D-flip-flop).
     pub fn all() -> [LogicKind; 5] {
-        [LogicKind::Inv, LogicKind::Nand2, LogicKind::Nand3, LogicKind::Nor2, LogicKind::Nor3]
+        [
+            LogicKind::Inv,
+            LogicKind::Nand2,
+            LogicKind::Nand3,
+            LogicKind::Nor2,
+            LogicKind::Nor3,
+        ]
     }
 }
 
@@ -173,17 +179,25 @@ struct DeviceTweak {
 }
 
 impl DeviceTweak {
-    const NONE: DeviceTweak = DeviceTweak { delta_vt: 0.0, life: 0.0 };
+    const NONE: DeviceTweak = DeviceTweak {
+        delta_vt: 0.0,
+        life: 0.0,
+    };
 
     fn apply(&self, base: TftParams) -> TftParams {
         let aged = base.aged(self.life);
-        TftParams { vt0: aged.vt0 + self.delta_vt, ..aged }
+        TftParams {
+            vt0: aged.vt0 + self.delta_vt,
+            ..aged
+        }
     }
 }
 
 /// A pentacene device with the given tweaks applied.
 fn otft_tweaked(w: f64, tweak: DeviceTweak) -> Arc<dyn DeviceModel> {
-    Arc::new(Level61Model::new(tweak.apply(TftParams::pentacene_sized(w, ORGANIC_CHANNEL_L))))
+    Arc::new(Level61Model::new(
+        tweak.apply(TftParams::pentacene_sized(w, ORGANIC_CHANNEL_L)),
+    ))
 }
 
 /// Builds an organic inverter whose transistors all carry a threshold-
@@ -199,7 +213,16 @@ pub fn organic_inverter_shifted(
     vss: f64,
     delta_vt: f64,
 ) -> GateCircuit {
-    organic_inverter_inner(style, sizing, vdd, vss, DeviceTweak { delta_vt, life: 0.0 })
+    organic_inverter_inner(
+        style,
+        sizing,
+        vdd,
+        vss,
+        DeviceTweak {
+            delta_vt,
+            life: 0.0,
+        },
+    )
 }
 
 /// Builds an organic inverter at a point in its transient (biodegradable)
@@ -215,7 +238,16 @@ pub fn organic_inverter_aged(
     vss: f64,
     life: f64,
 ) -> GateCircuit {
-    organic_inverter_inner(style, sizing, vdd, vss, DeviceTweak { delta_vt: 0.0, life })
+    organic_inverter_inner(
+        style,
+        sizing,
+        vdd,
+        vss,
+        DeviceTweak {
+            delta_vt: 0.0,
+            life,
+        },
+    )
 }
 
 /// Builds one of the three organic inverter styles at the given rails.
@@ -251,9 +283,19 @@ fn organic_inverter_inner(
     match style {
         OrganicStyle::DiodeLoad => {
             // Drive: pulls OUT to VDD when IN is low.
-            c.fet(n_out, n_in, n_vdd, otft_tweaked(sizing.output_drive_w, tweak));
+            c.fet(
+                n_out,
+                n_in,
+                n_vdd,
+                otft_tweaked(sizing.output_drive_w, tweak),
+            );
             // Diode-connected load to ground.
-            c.fet(Circuit::GND, Circuit::GND, n_out, otft_tweaked(sizing.diode_load_w, tweak));
+            c.fet(
+                Circuit::GND,
+                Circuit::GND,
+                n_out,
+                otft_tweaked(sizing.diode_load_w, tweak),
+            );
             GateCircuit {
                 circuit: c,
                 inputs: vec![("A".into(), in_src)],
@@ -271,9 +313,19 @@ fn organic_inverter_inner(
             assert!(vss < 0.0, "biased-load requires a negative vss");
             let n_vss = c.node("vss");
             let vss_src = c.vsource(n_vss, Circuit::GND, vss);
-            c.fet(n_out, n_in, n_vdd, otft_tweaked(sizing.output_drive_w, tweak));
+            c.fet(
+                n_out,
+                n_in,
+                n_vdd,
+                otft_tweaked(sizing.output_drive_w, tweak),
+            );
             // Load gate biased at VSS: always on, stronger pull-down.
-            c.fet(Circuit::GND, n_vss, n_out, otft_tweaked(sizing.biased_load_w, tweak));
+            c.fet(
+                Circuit::GND,
+                n_vss,
+                n_out,
+                otft_tweaked(sizing.biased_load_w, tweak),
+            );
             GateCircuit {
                 circuit: c,
                 inputs: vec![("A".into(), in_src)],
@@ -309,12 +361,7 @@ fn organic_inverter_inner(
 ///
 /// # Panics
 /// Panics if `vdd <= 0` or `vss >= 0`.
-pub fn organic_gate(
-    kind: LogicKind,
-    sizing: &OrganicSizing,
-    vdd: f64,
-    vss: f64,
-) -> GateCircuit {
+pub fn organic_gate(kind: LogicKind, sizing: &OrganicSizing, vdd: f64, vss: f64) -> GateCircuit {
     assert!(vdd > 0.0, "vdd must be positive");
     assert!(vss < 0.0, "pseudo-E requires a negative vss");
     let mut c = Circuit::new();
@@ -330,7 +377,18 @@ pub fn organic_gate(
         .collect();
     let n_out = c.node("out");
     let series = matches!(kind, LogicKind::Nor2 | LogicKind::Nor3);
-    build_pseudo_e(c, n_vdd, vdd_src, &ins, n_out, sizing, vdd, vss, series, DeviceTweak::NONE)
+    build_pseudo_e(
+        c,
+        n_vdd,
+        vdd_src,
+        &ins,
+        n_out,
+        sizing,
+        vdd,
+        vss,
+        series,
+        DeviceTweak::NONE,
+    )
 }
 
 /// Core pseudo-E builder: a level-shifter stage replicating the pull-up
@@ -356,7 +414,10 @@ fn build_pseudo_e(
 
     let mut count = 0;
     // Pull-up networks: the same structure drives both X and OUT.
-    for (target, w) in [(n_x, sizing.shifter_drive_w), (n_out, sizing.output_drive_w)] {
+    for (target, w) in [
+        (n_x, sizing.shifter_drive_w),
+        (n_out, sizing.output_drive_w),
+    ] {
         if series {
             // Series chain from VDD through intermediate nodes to target.
             // Series stacks are widened to keep drive comparable.
@@ -382,17 +443,17 @@ fn build_pseudo_e(
     }
     // Level-shifter load: X → VSS, gate at VSS (always on); long-channel
     // narrow device so the input stage can overpower it.
-    c.fet(
-        n_vss,
-        n_vss,
-        n_x,
-        {
-            let base = TftParams::pentacene_sized(sizing.shifter_load_w, sizing.shifter_load_l);
-            Arc::new(Level61Model::new(tweak.apply(base)))
-        },
-    );
+    c.fet(n_vss, n_vss, n_x, {
+        let base = TftParams::pentacene_sized(sizing.shifter_load_w, sizing.shifter_load_l);
+        Arc::new(Level61Model::new(tweak.apply(base)))
+    });
     // Output pull-down: OUT → GND, gated by the shifted node X.
-    c.fet(Circuit::GND, n_x, n_out, otft_tweaked(sizing.output_load_w, tweak));
+    c.fet(
+        Circuit::GND,
+        n_x,
+        n_out,
+        otft_tweaked(sizing.output_load_w, tweak),
+    );
     count += 2;
 
     let per_input_w = if series {
@@ -454,10 +515,14 @@ pub fn cmos_gate(kind: LogicKind, unit_w: f64, vdd: f64) -> GateCircuit {
 
     let k = ins.len();
     let nmos = |w: f64| -> Arc<dyn DeviceModel> {
-        Arc::new(SiliconMosModel::new(SiliconMosParams::nmos_45().with_width(w)))
+        Arc::new(SiliconMosModel::new(
+            SiliconMosParams::nmos_45().with_width(w),
+        ))
     };
     let pmos = |w: f64| -> Arc<dyn DeviceModel> {
-        Arc::new(SiliconMosModel::new(SiliconMosParams::pmos_45().with_width(w)))
+        Arc::new(SiliconMosModel::new(
+            SiliconMosParams::pmos_45().with_width(w),
+        ))
     };
     let (p_series, n_series) = match kind {
         LogicKind::Inv => (false, false),
@@ -470,7 +535,11 @@ pub fn cmos_gate(kind: LogicKind, unit_w: f64, vdd: f64) -> GateCircuit {
         let w = 2.0 * unit_w * k as f64;
         let mut src = n_vdd;
         for (i, (n_in, _)) in ins.iter().enumerate() {
-            let dst = if i + 1 == k { n_out } else { c.node(&format!("p{i}")) };
+            let dst = if i + 1 == k {
+                n_out
+            } else {
+                c.node(&format!("p{i}"))
+            };
             c.fet(dst, *n_in, src, pmos(w));
             src = dst;
             count += 1;
@@ -486,7 +555,11 @@ pub fn cmos_gate(kind: LogicKind, unit_w: f64, vdd: f64) -> GateCircuit {
         let w = unit_w * k as f64;
         let mut src = Circuit::GND;
         for (i, (n_in, _)) in ins.iter().enumerate() {
-            let dst = if i + 1 == k { n_out } else { c.node(&format!("n{i}")) };
+            let dst = if i + 1 == k {
+                n_out
+            } else {
+                c.node(&format!("n{i}"))
+            };
             // Build from GND upward; current flows out → gnd.
             c.fet(dst, *n_in, src, nmos(w));
             src = dst;
@@ -560,7 +633,12 @@ mod tests {
 
     #[test]
     fn diode_load_inverter_degraded_output() {
-        let g = organic_inverter(OrganicStyle::DiodeLoad, &OrganicSizing::default(), 15.0, 0.0);
+        let g = organic_inverter(
+            OrganicStyle::DiodeLoad,
+            &OrganicSizing::default(),
+            15.0,
+            0.0,
+        );
         let v_hi = solve_logic(&g, &[false]);
         assert!(v_hi < 0.99 * 15.0 && v_hi > 0.4 * 15.0, "VOH = {v_hi:.2}");
         assert_eq!(g.transistor_count, 2);
@@ -617,6 +695,10 @@ mod tests {
         let org = organic_gate(LogicKind::Inv, &OrganicSizing::default(), 5.0, -15.0);
         let si = cmos_gate(LogicKind::Inv, 450.0e-9, 1.0);
         // Organic inputs are ~5 orders of magnitude heavier than silicon's.
-        assert!(org.input_cap / si.input_cap > 1.0e4, "ratio {}", org.input_cap / si.input_cap);
+        assert!(
+            org.input_cap / si.input_cap > 1.0e4,
+            "ratio {}",
+            org.input_cap / si.input_cap
+        );
     }
 }

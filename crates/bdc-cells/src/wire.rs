@@ -26,18 +26,30 @@ impl WireModel {
     /// Gold/chromium interconnect on glass for the pentacene process:
     /// 50 nm-thick metal, wide traces. ~50 Ω/mm and ~0.1 pF/mm.
     pub fn organic() -> Self {
-        WireModel { r_per_m: 50.0e3, c_per_m: 100.0e-12, repeated_s_per_m: None }
+        WireModel {
+            r_per_m: 50.0e3,
+            c_per_m: 100.0e-12,
+            repeated_s_per_m: None,
+        }
     }
 
     /// 45 nm-class intermediate-layer copper: ~2 Ω/µm, ~0.2 pF/mm, and
     /// ~65 ps/mm when repeated.
     pub fn silicon_45nm() -> Self {
-        WireModel { r_per_m: 2.0e6, c_per_m: 200.0e-12, repeated_s_per_m: Some(65.0e-9) }
+        WireModel {
+            r_per_m: 2.0e6,
+            c_per_m: 200.0e-12,
+            repeated_s_per_m: Some(65.0e-9),
+        }
     }
 
     /// The "w/o wire" ablation of Figure 15: free interconnect.
     pub fn ideal() -> Self {
-        WireModel { r_per_m: 0.0, c_per_m: 0.0, repeated_s_per_m: None }
+        WireModel {
+            r_per_m: 0.0,
+            c_per_m: 0.0,
+            repeated_s_per_m: None,
+        }
     }
 
     /// Total capacitance of a wire of `length` metres (added to the driving

@@ -100,7 +100,10 @@ impl DcSolver {
         let ns = circuit.vsource_count();
         let n = nv + ns;
         if n == 0 {
-            return Ok(Operating { voltages: vec![], branch_currents: vec![] });
+            return Ok(Operating {
+                voltages: vec![],
+                branch_currents: vec![],
+            });
         }
         let mut x = vec![0.0; n];
         if let Some(init) = &self.initial {
@@ -116,9 +119,13 @@ impl DcSolver {
         let mut g = 1.0e-3;
         while g >= self.gmin {
             self.newton(circuit, &mut x2, g).map_err(|e| match e {
-                CircuitError::NoConvergence { residual, iterations } => {
-                    CircuitError::NoConvergence { residual, iterations }
-                }
+                CircuitError::NoConvergence {
+                    residual,
+                    iterations,
+                } => CircuitError::NoConvergence {
+                    residual,
+                    iterations,
+                },
                 other => other,
             })?;
             g /= 10.0;
@@ -130,7 +137,10 @@ impl DcSolver {
 
     fn package(&self, circuit: &Circuit, x: Vec<f64>) -> Operating {
         let nv = circuit.node_count() - 1;
-        Operating { voltages: x[..nv].to_vec(), branch_currents: x[nv..].to_vec() }
+        Operating {
+            voltages: x[..nv].to_vec(),
+            branch_currents: x[nv..].to_vec(),
+        }
     }
 
     /// One NR loop at a fixed gmin. On success `x` holds the solution.
@@ -175,7 +185,10 @@ impl DcSolver {
         if res < 1.0e-9 {
             return Ok(());
         }
-        Err(CircuitError::NoConvergence { residual: res, iterations: self.max_iterations })
+        Err(CircuitError::NoConvergence {
+            residual: res,
+            iterations: self.max_iterations,
+        })
     }
 }
 
@@ -351,14 +364,22 @@ mod tests {
         c.vsource(n_vdd, Circuit::GND, vdd);
         c.vsource(n_in, Circuit::GND, 0.0);
         let drive = Arc::new(Level61Model::new(TftParams::pentacene()));
-        let load = Arc::new(Level61Model::new(TftParams::pentacene_sized(500.0e-6, 80.0e-6)));
+        let load = Arc::new(Level61Model::new(TftParams::pentacene_sized(
+            500.0e-6, 80.0e-6,
+        )));
         // Drive: source at VDD, gate at IN, drain at OUT (p-type pulls up).
         c.fet(n_out, n_in, n_vdd, drive);
         // Load: diode-connected p-type pulling down to GND.
         c.fet(Circuit::GND, Circuit::GND, n_out, load);
         let op = DcSolver::new().solve(&c).unwrap();
         let vout = op.voltage(n_out);
-        assert!(vout > 0.5 * vdd, "output-high {vout:.2} V should be well above mid-rail");
-        assert!(vout < 0.99 * vdd, "diode load must degrade V_OH below VDD, got {vout:.2}");
+        assert!(
+            vout > 0.5 * vdd,
+            "output-high {vout:.2} V should be well above mid-rail"
+        );
+        assert!(
+            vout < 0.99 * vdd,
+            "diode load must degrade V_OH below VDD, got {vout:.2}"
+        );
     }
 }

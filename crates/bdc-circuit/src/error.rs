@@ -50,7 +50,10 @@ mod tests {
 
     #[test]
     fn display_is_informative() {
-        let e = CircuitError::NoConvergence { residual: 1.0e-3, iterations: 200 };
+        let e = CircuitError::NoConvergence {
+            residual: 1.0e-3,
+            iterations: 200,
+        };
         let s = e.to_string();
         assert!(s.contains("200") && s.contains("1.000e-3"));
         assert!(!format!("{e:?}").is_empty());

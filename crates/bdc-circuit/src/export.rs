@@ -23,17 +23,40 @@ pub fn describe(circuit: &Circuit) -> String {
         match e {
             Element::Resistor { a, b, ohms } => {
                 n_r += 1;
-                let _ = writeln!(s, "  R{n_r}  {} -- {}  {:.3e} ohm", name(*a), name(*b), ohms);
+                let _ = writeln!(
+                    s,
+                    "  R{n_r}  {} -- {}  {:.3e} ohm",
+                    name(*a),
+                    name(*b),
+                    ohms
+                );
             }
             Element::Capacitor { a, b, farads } => {
                 n_c += 1;
-                let _ = writeln!(s, "  C{n_c}  {} -- {}  {:.3e} F", name(*a), name(*b), farads);
+                let _ = writeln!(
+                    s,
+                    "  C{n_c}  {} -- {}  {:.3e} F",
+                    name(*a),
+                    name(*b),
+                    farads
+                );
             }
             Element::VSource { pos, neg, volts } => {
                 n_v += 1;
-                let _ = writeln!(s, "  V{n_v}  {} -> {}  {:+.2} V", name(*pos), name(*neg), volts);
+                let _ = writeln!(
+                    s,
+                    "  V{n_v}  {} -> {}  {:+.2} V",
+                    name(*pos),
+                    name(*neg),
+                    volts
+                );
             }
-            Element::Fet { d, g, s: src, model } => {
+            Element::Fet {
+                d,
+                g,
+                s: src,
+                model,
+            } => {
                 n_m += 1;
                 let pol = match model.polarity() {
                     bdc_device::Polarity::NType => "nfet",
@@ -86,7 +109,12 @@ pub fn write_spice(circuit: &Circuit, title: &str) -> String {
                 n_v += 1;
                 let _ = writeln!(s, "V{n_v} {} {} DC {volts:.6}", node(*pos), node(*neg));
             }
-            Element::Fet { d, g, s: src, model } => {
+            Element::Fet {
+                d,
+                g,
+                s: src,
+                model,
+            } => {
                 n_m += 1;
                 let descr = format!("{model:?}");
                 let idx = match models.iter().position(|m| *m == descr) {
@@ -132,7 +160,12 @@ mod tests {
         let out = c.node("out");
         c.vsource(vdd, Circuit::GND, 5.0);
         c.vsource(inp, Circuit::GND, 0.0);
-        c.fet(out, inp, vdd, Arc::new(Level61Model::new(TftParams::pentacene())));
+        c.fet(
+            out,
+            inp,
+            vdd,
+            Arc::new(Level61Model::new(TftParams::pentacene())),
+        );
         c.resistor(out, Circuit::GND, 1.0e6);
         c.capacitor(out, Circuit::GND, 1.0e-12);
         c
@@ -162,7 +195,12 @@ mod tests {
         let mut c = sample();
         let out = c.node("out");
         let inp = c.node("in");
-        c.fet(Circuit::GND, inp, out, Arc::new(Level61Model::new(TftParams::pentacene())));
+        c.fet(
+            Circuit::GND,
+            inp,
+            out,
+            Arc::new(Level61Model::new(TftParams::pentacene())),
+        );
         let deck = write_spice(&c, "two fets");
         assert!(deck.contains("MOD0"));
         assert!(!deck.contains("MOD1"), "equal models must share a card");

@@ -46,8 +46,8 @@ pub mod sweep;
 pub mod tran;
 
 pub use dc::{DcSolver, Operating};
-pub use export::{describe, write_spice};
 pub use error::CircuitError;
+pub use export::{describe, write_spice};
 pub use linalg::DenseMatrix;
 pub use measure::{crossing_time, InverterDc, NoiseMargins, VtcCurve};
 pub use netlist::{Circuit, Element, NodeId};

@@ -16,7 +16,11 @@ pub struct DenseMatrix {
 impl DenseMatrix {
     /// Creates a zero matrix.
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        DenseMatrix { rows, cols, data: vec![0.0; rows * cols] }
+        DenseMatrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
     }
 
     /// Number of rows.
@@ -116,8 +120,8 @@ impl DenseMatrix {
         // Back substitution.
         for col in (0..n).rev() {
             let mut acc = b[col];
-            for c in (col + 1)..n {
-                acc -= self.get(col, c) * b[c];
+            for (c, &bc) in b.iter().enumerate().take(n).skip(col + 1) {
+                acc -= self.get(col, c) * bc;
             }
             b[col] = acc / self.get(col, col);
         }
@@ -162,7 +166,10 @@ mod tests {
         a.set(1, 0, 2.0);
         a.set(1, 1, 4.0);
         let mut b = vec![1.0, 2.0];
-        assert!(matches!(a.solve_in_place(&mut b), Err(CircuitError::SingularMatrix { .. })));
+        assert!(matches!(
+            a.solve_in_place(&mut b),
+            Err(CircuitError::SingularMatrix { .. })
+        ));
     }
 
     #[test]
@@ -175,9 +182,9 @@ mod tests {
             [-1.0, 0.0, 6.0, 2.0],
             [0.5, 1.0, 1.0, 9.0],
         ];
-        for r in 0..4 {
-            for c in 0..4 {
-                a.set(r, c, vals[r][c]);
+        for (r, row) in vals.iter().enumerate() {
+            for (c, &v) in row.iter().enumerate() {
+                a.set(r, c, v);
             }
         }
         let x_true = vec![1.0, -2.0, 3.0, 0.25];

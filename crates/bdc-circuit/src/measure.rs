@@ -115,15 +115,28 @@ impl VtcCurve {
 
     /// Peak small-signal gain magnitude.
     pub fn max_gain(&self) -> f64 {
-        self.gain_curve().into_iter().map(|(_, g)| g).fold(0.0, f64::max)
+        self.gain_curve()
+            .into_iter()
+            .map(|(_, g)| g)
+            .fold(0.0, f64::max)
     }
 
     /// Unity-gain noise margins: `V_IL` / `V_IH` at |gain| = 1, `V_OH` /
     /// `V_OL` at the sweep extremes.
     pub fn noise_margins(&self) -> NoiseMargins {
         let gains = self.gain_curve();
-        let voh = self.points.first().unwrap().1.max(self.points.last().unwrap().1);
-        let vol = self.points.first().unwrap().1.min(self.points.last().unwrap().1);
+        let voh = self
+            .points
+            .first()
+            .unwrap()
+            .1
+            .max(self.points.last().unwrap().1);
+        let vol = self
+            .points
+            .first()
+            .unwrap()
+            .1
+            .min(self.points.last().unwrap().1);
         // First crossing of gain above 1 from the left is V_IL; last crossing
         // back below 1 is V_IH. If gain never reaches 1 the margins are zero.
         let mut vil = self.points[0].0;
@@ -142,9 +155,23 @@ impl VtcCurve {
             }
         }
         if !found {
-            return NoiseMargins { vil: 0.0, vih: 0.0, voh, vol, nmh: 0.0, nml: 0.0 };
+            return NoiseMargins {
+                vil: 0.0,
+                vih: 0.0,
+                voh,
+                vol,
+                nmh: 0.0,
+                nml: 0.0,
+            };
         }
-        NoiseMargins { vil, vih, voh, vol, nmh: (voh - vih).max(0.0), nml: (vil - vol).max(0.0) }
+        NoiseMargins {
+            vil,
+            vih,
+            voh,
+            vol,
+            nmh: (voh - vih).max(0.0),
+            nml: (vil - vol).max(0.0),
+        }
     }
 
     /// Hauser's maximum-equal-criterion noise margin: the largest series

@@ -83,7 +83,10 @@ impl Circuit {
 
     /// Creates an empty circuit (containing only ground).
     pub fn new() -> Self {
-        Circuit { names: vec!["gnd".to_string()], elements: Vec::new() }
+        Circuit {
+            names: vec!["gnd".to_string()],
+            elements: Vec::new(),
+        }
     }
 
     /// Creates (or finds, by name) a node.
@@ -118,7 +121,10 @@ impl Circuit {
     /// # Panics
     /// Panics if `ohms` is not finite and strictly positive.
     pub fn resistor(&mut self, a: NodeId, b: NodeId, ohms: f64) -> &mut Self {
-        assert!(ohms.is_finite() && ohms > 0.0, "resistance must be positive");
+        assert!(
+            ohms.is_finite() && ohms > 0.0,
+            "resistance must be positive"
+        );
         self.check(a);
         self.check(b);
         self.elements.push(Element::Resistor { a, b, ohms });
@@ -130,7 +136,10 @@ impl Circuit {
     /// # Panics
     /// Panics if `farads` is not finite and non-negative.
     pub fn capacitor(&mut self, a: NodeId, b: NodeId, farads: f64) -> &mut Self {
-        assert!(farads.is_finite() && farads >= 0.0, "capacitance must be non-negative");
+        assert!(
+            farads.is_finite() && farads >= 0.0,
+            "capacitance must be non-negative"
+        );
         self.check(a);
         self.check(b);
         self.elements.push(Element::Capacitor { a, b, farads });
@@ -152,7 +161,13 @@ impl Circuit {
     }
 
     /// Adds a FET.
-    pub fn fet(&mut self, d: NodeId, g: NodeId, s: NodeId, model: Arc<dyn DeviceModel>) -> &mut Self {
+    pub fn fet(
+        &mut self,
+        d: NodeId,
+        g: NodeId,
+        s: NodeId,
+        model: Arc<dyn DeviceModel>,
+    ) -> &mut Self {
         self.check(d);
         self.check(g);
         self.check(s);

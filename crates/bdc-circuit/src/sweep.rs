@@ -51,12 +51,18 @@ pub fn dc_sweep(
 
 /// Extracts `(input, v(node))` pairs from a sweep result.
 pub fn sweep_voltage(points: &[SweepPoint], node: NodeId) -> Vec<(f64, f64)> {
-    points.iter().map(|p| (p.input, p.op.voltage(node))).collect()
+    points
+        .iter()
+        .map(|p| (p.input, p.op.voltage(node)))
+        .collect()
 }
 
 /// Extracts `(input, i_source(idx))` pairs from a sweep result.
 pub fn sweep_current(points: &[SweepPoint], src_idx: usize) -> Vec<(f64, f64)> {
-    points.iter().map(|p| (p.input, p.op.source_current(src_idx))).collect()
+    points
+        .iter()
+        .map(|p| (p.input, p.op.source_current(src_idx)))
+        .collect()
 }
 
 #[cfg(test)]

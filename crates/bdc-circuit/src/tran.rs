@@ -267,7 +267,11 @@ impl TranSolver {
                 let clamp = self.step_clamp * damp;
                 let mut dv = 0.0f64;
                 for (i, xi) in x.iter_mut().enumerate() {
-                    let d = if i < nv { (rhs[i] * damp).clamp(-clamp, clamp) } else { rhs[i] };
+                    let d = if i < nv {
+                        (rhs[i] * damp).clamp(-clamp, clamp)
+                    } else {
+                        rhs[i]
+                    };
                     if i < nv {
                         dv = dv.max(d.abs());
                     }
@@ -340,9 +344,16 @@ mod tests {
             .unwrap();
         let wf = res.node_waveform(out);
         // At t = 1 ms the analytic value is 1 - e^-1 ≈ 0.632.
-        let (_, v_tau) = wf.iter().min_by(|x, y| {
-            (x.0 - 1.0e-3).abs().partial_cmp(&(y.0 - 1.0e-3).abs()).unwrap()
-        }).copied().unwrap();
+        let (_, v_tau) = wf
+            .iter()
+            .min_by(|x, y| {
+                (x.0 - 1.0e-3)
+                    .abs()
+                    .partial_cmp(&(y.0 - 1.0e-3).abs())
+                    .unwrap()
+            })
+            .copied()
+            .unwrap();
         assert!((v_tau - 0.632).abs() < 0.02, "v(τ) = {v_tau}");
         // Fully settled by 5τ.
         assert!((wf.last().unwrap().1 - 1.0).abs() < 0.02);
@@ -356,7 +367,10 @@ mod tests {
         let s = c.vsource(a, Circuit::GND, 4.0);
         c.resistor(a, m, 1.0e3);
         c.resistor(m, Circuit::GND, 1.0e3);
-        let res = TranSolver::new(1.0e-6, 1.0e-5).drive(s, Waveform::Dc(4.0)).run(&c).unwrap();
+        let res = TranSolver::new(1.0e-6, 1.0e-5)
+            .drive(s, Waveform::Dc(4.0))
+            .run(&c)
+            .unwrap();
         for i in 0..res.len() {
             assert!((res.voltage_at(i, m) - 2.0).abs() < 1e-6);
         }

@@ -90,12 +90,20 @@ impl CoreSpec {
     /// The baseline: single-issue front end, three execution pipes, nine
     /// stages.
     pub fn baseline() -> Self {
-        CoreSpec { fe_width: 1, be_pipes: 3, splits: Vec::new() }
+        CoreSpec {
+            fe_width: 1,
+            be_pipes: 3,
+            splits: Vec::new(),
+        }
     }
 
     /// A width design point at baseline depth.
     pub fn with_widths(fe_width: usize, be_pipes: usize) -> Self {
-        CoreSpec { fe_width, be_pipes, splits: Vec::new() }
+        CoreSpec {
+            fe_width,
+            be_pipes,
+            splits: Vec::new(),
+        }
     }
 
     /// Total pipeline stages.
@@ -147,7 +155,9 @@ fn serial_cascade(n: &mut Netlist, name: &str, bits: usize, pre_levels: usize, r
     }
     for r in 0..ranks {
         let sel = n.input(format!("{name}_sel[{r}]"));
-        bus = (0..bits).map(|i| n.mux2(sel, bus[i], bus[(i + 1) % bits])).collect();
+        bus = (0..bits)
+            .map(|i| n.mux2(sel, bus[i], bus[(i + 1) % bits]))
+            .collect();
     }
     for (i, b) in bus.iter().enumerate() {
         n.output(*b, format!("{name}_out[{i}]"));
@@ -205,7 +215,11 @@ pub fn stage_netlist(kind: StageKind, fe_width: usize, be_pipes: usize) -> Netli
                         let alt: Vec<_> = (0..7)
                             .map(|i| n.input(format!("rnalt{lane}_{rank}[{i}]")))
                             .collect();
-                        bus = bus.iter().zip(&alt).map(|(&a, &b)| n.mux2(sel, a, b)).collect();
+                        bus = bus
+                            .iter()
+                            .zip(&alt)
+                            .map(|(&a, &b)| n.mux2(sel, a, b))
+                            .collect();
                     }
                 }
                 for (i, b) in bus.iter().enumerate() {
@@ -286,7 +300,8 @@ mod tests {
     fn all_stage_netlists_are_valid() {
         for kind in StageKind::all() {
             let n = stage_netlist(kind, 2, 4);
-            n.validate().unwrap_or_else(|e| panic!("{}: {e}", kind.name()));
+            n.validate()
+                .unwrap_or_else(|e| panic!("{}: {e}", kind.name()));
             assert!(!n.gates().is_empty(), "{} is empty", kind.name());
         }
     }

@@ -9,7 +9,7 @@ use bdc_cells::{
 };
 use bdc_circuit::CircuitError;
 use bdc_device::{
-    fit_level1, fit_level61, transfer_curve, DeviceMetrics, extract_metrics, Level61Model,
+    extract_metrics, fit_level1, fit_level61, transfer_curve, DeviceMetrics, Level61Model,
     TftParams, TransferPoint,
 };
 use bdc_synth::pipeline::PipelineResult;
@@ -35,12 +35,18 @@ impl SimBudget {
     /// The budget used for the published numbers (~10⁵ instructions per
     /// configuration — SimPoint-like sampling of the kernels).
     pub fn full() -> Self {
-        SimBudget { outer: 400, instructions: 120_000 }
+        SimBudget {
+            outer: 400,
+            instructions: 120_000,
+        }
     }
 
     /// A fast budget for tests.
     pub fn quick() -> Self {
-        SimBudget { outer: 25, instructions: 12_000 }
+        SimBudget {
+            outer: 25,
+            instructions: 12_000,
+        }
     }
 }
 
@@ -72,9 +78,17 @@ pub fn fig03_transfer() -> Result<Fig03, bdc_device::FitError> {
     let model = Level61Model::new(params.clone());
     let id_vds1 = transfer_curve(&model, -1.0, 10.0, -10.0, 201);
     let id_vds10 = transfer_curve(&model, -10.0, 10.0, -10.0, 201);
-    let ig = id_vds1.iter().map(|p| (p.vgs, model.gate_leakage(p.vgs))).collect();
+    let ig = id_vds1
+        .iter()
+        .map(|p| (p.vgs, model.gate_leakage(p.vgs)))
+        .collect();
     let metrics = extract_metrics(&id_vds1, -1.0, params.ci, params.aspect())?;
-    Ok(Fig03 { id_vds1, id_vds10, ig, metrics })
+    Ok(Fig03 {
+        id_vds1,
+        id_vds10,
+        ig,
+        metrics,
+    })
 }
 
 // ---------------------------------------------------------------------------
@@ -212,7 +226,11 @@ pub fn fig08_vss_regression() -> Result<Fig08, CircuitError> {
     let sxy: f64 = points.iter().map(|p| p.0 * p.1).sum();
     let slope = (n * sxy - sx * sy) / (n * sxx - sx * sx);
     let intercept = (sy - slope * sx) / n;
-    Ok(Fig08 { points, slope, intercept })
+    Ok(Fig08 {
+        points,
+        slope,
+        intercept,
+    })
 }
 
 // ---------------------------------------------------------------------------
@@ -239,9 +257,17 @@ pub fn table_mapping_preference(kit: &TechKit) -> (bool, bool) {
 /// # Errors
 /// Propagates simulator failures.
 pub fn table_inverter_dc() -> Result<(DcSummary, DcSummary), CircuitError> {
-    let org = organic_inverter(OrganicStyle::PseudoE, &OrganicSizing::library_default(), 5.0, -15.0);
+    let org = organic_inverter(
+        OrganicStyle::PseudoE,
+        &OrganicSizing::library_default(),
+        5.0,
+        -15.0,
+    );
     let si = cmos_gate(LogicKind::Inv, 450.0e-9, 1.0);
-    Ok((measure_inverter_dc(&org, 121)?, measure_inverter_dc(&si, 121)?))
+    Ok((
+        measure_inverter_dc(&org, 121)?,
+        measure_inverter_dc(&si, 121)?,
+    ))
 }
 
 // ---------------------------------------------------------------------------
@@ -275,7 +301,10 @@ impl Fig12 {
 pub fn fig12_alu_depth(kit: &TechKit, stages: &[usize]) -> Fig12 {
     let alu = alu_cluster();
     let results = stages.iter().map(|&s| pipeline_alu(kit, &alu, s)).collect();
-    Fig12 { stages: stages.to_vec(), results }
+    Fig12 {
+        stages: stages.to_vec(),
+        results,
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -311,7 +340,12 @@ pub fn fig11_core_depth(kit: &TechKit, budget: SimBudget) -> Vec<CoreDepthPoint>
                 (w, ipc, performance(ipc, synth.frequency))
             })
             .collect();
-        out.push(CoreDepthPoint { stages: spec.total_stages(), split, synth, per_workload });
+        out.push(CoreDepthPoint {
+            stages: spec.total_stages(),
+            split,
+            synth,
+            per_workload,
+        });
         let (deeper, cut) = split_critical(kit, &spec);
         spec = deeper;
         split = Some(cut);
@@ -403,7 +437,14 @@ pub fn fig13_14_width(kit: &TechKit, ipc: &[Vec<f64>]) -> WidthMatrix {
             area[r][c] /= amax;
         }
     }
-    WidthMatrix { fe, be, perf, area, freq, ipc: ipc.to_vec() }
+    WidthMatrix {
+        fe,
+        be,
+        perf,
+        area,
+        freq,
+        ipc: ipc.to_vec(),
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -480,7 +521,12 @@ mod tests {
     #[test]
     fn fig04_level61_wins() {
         let f = fig04_model_fit(7).expect("fig04");
-        assert!(f.level61_rms < 0.5 * f.level1_rms, "{} vs {}", f.level61_rms, f.level1_rms);
+        assert!(
+            f.level61_rms < 0.5 * f.level1_rms,
+            "{} vs {}",
+            f.level61_rms,
+            f.level1_rms
+        );
     }
 
     #[test]

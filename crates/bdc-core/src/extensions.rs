@@ -43,7 +43,12 @@ pub fn core_power(kit: &TechKit, spec: &CoreSpec, frequency: f64) -> PowerReport
     let dff = kit.lib.cell(bdc_cells::CellKind::Dff);
     static_w += regs as f64 * dff.leakage_w;
     dynamic_w += regs as f64 * dff.switching_energy * (0.5 + 0.5 * CORE_ACTIVITY) * frequency;
-    PowerReport { static_w, dynamic_w, frequency, activity: CORE_ACTIVITY }
+    PowerReport {
+        static_w,
+        dynamic_w,
+        frequency,
+        activity: CORE_ACTIVITY,
+    }
 }
 
 /// One depth point of the energy extension.
@@ -172,10 +177,17 @@ pub fn synthesize_simple_core(kit: &TechKit) -> SimpleCoreSynth {
     let seq = kit.lib.dff.setup + kit.lib.dff.clk_to_q * (1.0 + kit.pipe.skew_fraction);
     let placement = kit.sta.placement.place_area(area, 4000);
     let fb = kit.sta.placement.crossing_length(&placement, 1.0);
-    let wire = kit.lib.wire.delay(fb, kit.lib.drive_resistance() / kit.pipe.driver_upsize);
+    let wire = kit
+        .lib
+        .wire
+        .delay(fb, kit.lib.drive_resistance() / kit.pipe.driver_upsize);
     let period = worst + seq + wire;
     let frequency = 1.0 / period;
-    SimpleCoreSynth { frequency, area_um2: area, power_w: static_w + switch_j * frequency }
+    SimpleCoreSynth {
+        frequency,
+        area_um2: area,
+        power_w: static_w + switch_j * frequency,
+    }
 }
 
 /// One row of the in-order-vs-OoO comparison.
@@ -330,9 +342,13 @@ pub fn variation_tuning(n: usize, seed: u64) -> Result<VariationStudy, CircuitEr
     let target = vdd / 2.0;
 
     // Simple deterministic normal sampler (Box-Muller over an LCG).
-    let mut state = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+    let mut state = seed
+        .wrapping_mul(6364136223846793005)
+        .wrapping_add(1442695040888963407);
     let mut next_unit = move || {
-        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         ((state >> 11) as f64 / (1u64 << 53) as f64).clamp(1e-12, 1.0)
     };
     let sigma_vt = 0.5 / 3.0;
@@ -376,10 +392,18 @@ mod tests {
         let spec = CoreSpec::baseline();
         let p = core_power(&kit, &spec, 10.0);
         assert!(p.total_w() > 0.0);
-        assert!(p.static_fraction() > 0.8, "organic static fraction {}", p.static_fraction());
+        assert!(
+            p.static_fraction() > 0.8,
+            "organic static fraction {}",
+            p.static_fraction()
+        );
         let si = TechKit::synthetic(Process::Silicon);
         let p_si = core_power(&si, &spec, 1.0e9);
-        assert!(p_si.static_fraction() < 0.6, "silicon static fraction {}", p_si.static_fraction());
+        assert!(
+            p_si.static_fraction() < 0.6,
+            "silicon static fraction {}",
+            p_si.static_fraction()
+        );
     }
 
     #[test]
@@ -419,7 +443,11 @@ mod tests {
     fn variation_compensation_shrinks_vm_spread() {
         let study = variation_tuning(10, 42).expect("monte carlo");
         assert_eq!(study.raw.len(), 10);
-        assert!(study.sigma_before > 0.01, "spread before {}", study.sigma_before);
+        assert!(
+            study.sigma_before > 0.01,
+            "spread before {}",
+            study.sigma_before
+        );
         assert!(
             study.sigma_after < 0.6 * study.sigma_before,
             "compensation: {} -> {}",

@@ -8,8 +8,39 @@ use bdc_synth::pipeline::{pipeline_cut, PipelineOptions, PipelineResult};
 use bdc_synth::sta::analyze;
 use bdc_uarch::{build_workload, OooCore, SimStats, Workload};
 
+use bdc_lint::{lint_netlist, LintReport, Severity};
+
 use crate::corespec::{stage_netlist, CoreSpec, StageKind};
-use crate::process::TechKit;
+use crate::process::{LintPolicy, TechKit};
+
+/// Runs the gate-level static-analysis pass over a mapped netlist and
+/// applies the kit's [`LintPolicy`]. Returns the report (empty under
+/// [`LintPolicy::Off`]) so callers can surface diagnostics.
+///
+/// # Panics
+/// Panics under [`LintPolicy::Deny`] when any Error-severity diagnostic
+/// fires — a malformed netlist must not reach STA.
+pub fn lint_gate(kit: &TechKit, netlist: &Netlist) -> LintReport {
+    if kit.lint == LintPolicy::Off {
+        return LintReport::new(netlist.name.clone());
+    }
+    let report = lint_netlist(netlist, &kit.lib, &kit.sta);
+    match kit.lint {
+        LintPolicy::Off => unreachable!(),
+        LintPolicy::Warn => {
+            if report.max_severity() >= Some(Severity::Warning) {
+                eprintln!("bdc-lint: {}", report.summary());
+            }
+        }
+        LintPolicy::Deny => {
+            assert!(
+                report.is_clean(),
+                "bdc-lint rejected netlist before STA:\n{report}"
+            );
+        }
+    }
+    report
+}
 
 /// The complex-ALU block of the paper's first experiment (§5.2): two
 /// pipelined multipliers and two dividers. The DesignWare dividers are
@@ -29,6 +60,7 @@ pub fn alu_cluster() -> Netlist {
 /// remapping it for the library first.
 pub fn pipeline_alu(kit: &TechKit, block: &Netlist, stages: usize) -> PipelineResult {
     let (mapped, _) = remap_for_library(block, &kit.lib);
+    lint_gate(kit, &mapped);
     let opts = PipelineOptions { stages, ..kit.pipe };
     pipeline_cut(&mapped, &kit.lib, &kit.sta, &opts)
 }
@@ -77,12 +109,16 @@ pub fn synthesize_core(kit: &TechKit, spec: &CoreSpec) -> SynthesizedCore {
     for kind in StageKind::all() {
         let net = stage_netlist(kind, spec.fe_width, spec.be_pipes);
         let (mapped, _) = remap_for_library(&net, &kit.lib);
+        lint_gate(kit, &mapped);
         let k = spec.substages(kind);
         let (logic, stage_area) = if k == 1 {
             let r = analyze(&mapped, &kit.lib, &kit.sta);
             (r.max_arrival, r.area_um2)
         } else {
-            let opts = PipelineOptions { stages: k, ..kit.pipe };
+            let opts = PipelineOptions {
+                stages: k,
+                ..kit.pipe
+            };
             let r = pipeline_cut(&mapped, &kit.lib, &kit.sta, &opts);
             let worst = r.stage_logic.iter().copied().fold(0.0, f64::max);
             // The stage's boundary registers are accounted once, globally,
@@ -94,7 +130,12 @@ pub fn synthesize_core(kit: &TechKit, spec: &CoreSpec) -> SynthesizedCore {
         };
         instances += mapped.gates().len();
         area += stage_area;
-        stages.push(StageTiming { kind, substages: k, logic_delay: logic, area_um2: stage_area });
+        stages.push(StageTiming {
+            kind,
+            substages: k,
+            logic_delay: logic,
+            area_um2: stage_area,
+        });
     }
 
     // Inter-stage interface registers: each boundary latches the in-flight
@@ -123,21 +164,29 @@ pub fn synthesize_core(kit: &TechKit, spec: &CoreSpec) -> SynthesizedCore {
     let floorplan_area = area + array_bits * bit_area;
     let floorplan_instances = instances + (array_bits / 8.0) as usize;
 
-    let placement = kit.sta.placement.place_area(floorplan_area, floorplan_instances);
-    let seq_overhead =
-        kit.lib.dff.setup + kit.lib.dff.clk_to_q * (1.0 + kit.pipe.skew_fraction);
+    let placement = kit
+        .sta
+        .placement
+        .place_area(floorplan_area, floorplan_instances);
+    let seq_overhead = kit.lib.dff.setup + kit.lib.dff.clk_to_q * (1.0 + kit.pipe.skew_fraction);
     let span = kit.pipe.feedback_base
         + kit.pipe.feedback_per_stage * spec.total_stages() as f64
         + 0.55 * (spec.be_pipes as f64 - 3.0)
         + 0.50 * (spec.fe_width as f64 - 1.0);
     let fb_len = kit.sta.placement.crossing_length(&placement, span);
-    let wire_overhead =
-        kit.lib.wire.delay(fb_len, kit.lib.drive_resistance() / kit.pipe.driver_upsize);
+    let wire_overhead = kit
+        .lib
+        .wire
+        .delay(fb_len, kit.lib.drive_resistance() / kit.pipe.driver_upsize);
 
-    let (critical, worst_logic) = stages
-        .iter()
-        .map(|s| (s.kind, s.logic_delay))
-        .fold((StageKind::Fetch, 0.0), |acc, x| if x.1 > acc.1 { x } else { acc });
+    let (critical, worst_logic) =
+        stages
+            .iter()
+            .map(|s| (s.kind, s.logic_delay))
+            .fold(
+                (StageKind::Fetch, 0.0),
+                |acc, x| if x.1 > acc.1 { x } else { acc },
+            );
     let period = worst_logic + seq_overhead + wire_overhead;
     SynthesizedCore {
         period,
@@ -161,7 +210,10 @@ pub fn split_critical(kit: &TechKit, spec: &CoreSpec) -> (CoreSpec, StageKind) {
         .iter()
         .filter(|s| s.kind.splittable())
         .map(|s| (s.kind, s.logic_delay))
-        .fold((StageKind::Fetch, 0.0), |acc, x| if x.1 > acc.1 { x } else { acc });
+        .fold(
+            (StageKind::Fetch, 0.0),
+            |acc, x| if x.1 > acc.1 { x } else { acc },
+        );
     let mut deeper = spec.clone();
     deeper.splits.push(kind);
     (deeper, kind)

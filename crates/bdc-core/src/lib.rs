@@ -44,5 +44,5 @@ pub mod process;
 pub mod report;
 
 pub use corespec::{CoreSpec, StageKind};
-pub use flow::{alu_cluster, pipeline_alu, synthesize_core, SynthesizedCore};
-pub use process::{Process, TechKit};
+pub use flow::{alu_cluster, lint_gate, pipeline_alu, synthesize_core, SynthesizedCore};
+pub use process::{LintPolicy, Process, TechKit};

@@ -31,6 +31,22 @@ impl Process {
     }
 }
 
+/// What the flow does with static-analysis diagnostics (`bdc-lint`) raised
+/// on a netlist before timing it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum LintPolicy {
+    /// Skip the lint pass entirely.
+    Off,
+    /// Run the pass; print a one-line summary to stderr when anything
+    /// fires, but never stop the flow.
+    #[default]
+    Warn,
+    /// Run the pass; panic if any Error-severity diagnostic fires. Use in
+    /// CI and experiment drivers where a malformed netlist must not reach
+    /// STA.
+    Deny,
+}
+
 /// A process bound to its characterized library and synthesis settings.
 #[derive(Debug, Clone)]
 pub struct TechKit {
@@ -43,6 +59,8 @@ pub struct TechKit {
     /// Pipelining defaults (feedback-wire model, skew, driver sizing) —
     /// calibrated once against the paper's Figure 12/15 silicon shape.
     pub pipe: PipelineOptions,
+    /// Static-analysis policy applied before every STA run in the flow.
+    pub lint: LintPolicy,
 }
 
 impl TechKit {
@@ -73,6 +91,15 @@ impl TechKit {
                 feedback_per_stage: 0.6,
                 driver_upsize: 8.0,
             },
+            lint: LintPolicy::default(),
+        }
+    }
+
+    /// The same kit with a different lint policy.
+    pub fn with_lint(&self, lint: LintPolicy) -> TechKit {
+        TechKit {
+            lint,
+            ..self.clone()
         }
     }
 
@@ -85,10 +112,7 @@ impl TechKit {
     ///
     /// # Errors
     /// Propagates characterization failures.
-    pub fn build_cached(
-        process: Process,
-        dir: &std::path::Path,
-    ) -> Result<TechKit, CircuitError> {
+    pub fn build_cached(process: Process, dir: &std::path::Path) -> Result<TechKit, CircuitError> {
         let path = dir.join(format!("{}.bdclib", process.name()));
         if let Ok(text) = std::fs::read_to_string(&path) {
             if let Ok(lib) = bdc_cells::parse_library(&text) {

@@ -57,7 +57,10 @@ pub fn render_table(header: &[&str], rows: &[Vec<String>]) -> String {
             .collect::<Vec<_>>()
             .join("  ")
     };
-    out.push_str(&fmt_row(header.iter().map(|s| s.to_string()).collect(), &widths));
+    out.push_str(&fmt_row(
+        header.iter().map(|s| s.to_string()).collect(),
+        &widths,
+    ));
     out.push('\n');
     out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (cols - 1)));
     out.push('\n');
@@ -78,8 +81,8 @@ pub fn render_matrix(title: &str, m: &WidthMatrix, values: &[Vec<f64>]) -> Strin
     out.push('\n');
     for (r, b) in m.be.iter().enumerate() {
         out.push_str(&format!("be={b}   "));
-        for c in 0..m.fe.len() {
-            out.push_str(&format!("{:.2}   ", values[r][c]));
+        for v in values[r].iter().take(m.fe.len()) {
+            out.push_str(&format!("{v:.2}   "));
         }
         out.push('\n');
     }
@@ -111,7 +114,10 @@ mod tests {
     fn table_aligns() {
         let t = render_table(
             &["cell", "delay"],
-            &[vec!["inv".into(), "1.0".into()], vec!["nand2".into(), "1.4".into()]],
+            &[
+                vec!["inv".into(), "1.0".into()],
+                vec!["nand2".into(), "1.4".into()],
+            ],
         );
         assert!(t.contains("nand2"));
         assert!(t.lines().count() == 4);

@@ -32,7 +32,10 @@ pub fn transfer_curve(
         .map(|i| {
             let t = i as f64 / (n - 1) as f64;
             let vgs = vgs_start + t * (vgs_stop - vgs_start);
-            TransferPoint { vgs, id: model.ids(vgs, vds).abs() }
+            TransferPoint {
+                vgs,
+                id: model.ids(vgs, vds).abs(),
+            }
         })
         .collect()
 }

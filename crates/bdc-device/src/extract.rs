@@ -86,7 +86,8 @@ pub fn extract_metrics(
     }
     let i_on = curve.iter().map(|p| p.id).fold(0.0, f64::max);
     let i_off = curve.iter().map(|p| p.id).fold(f64::INFINITY, f64::min);
-    if !(i_on > 10.0 * i_off) {
+    // partial_cmp keeps the NaN-poisoned-curve case on the error path.
+    if i_on.partial_cmp(&(10.0 * i_off)) != Some(std::cmp::Ordering::Greater) {
         return Err(FitError::NoConduction);
     }
 
@@ -131,7 +132,12 @@ pub fn extract_metrics(
         }
     }
 
-    Ok(DeviceMetrics { mu_lin, vt, subthreshold_swing: ss, on_off_ratio: i_on / i_off })
+    Ok(DeviceMetrics {
+        mu_lin,
+        vt,
+        subthreshold_swing: ss,
+        on_off_ratio: i_on / i_off,
+    })
 }
 
 /// RMS error between a model and a measured curve, on log₁₀|I|.
@@ -188,12 +194,14 @@ fn nelder_mead(
             .map(|j| simplex[..n].iter().map(|x| x[j]).sum::<f64>() / n as f64)
             .collect();
         let worst = simplex[n].clone();
-        let refl: Vec<f64> =
-            (0..n).map(|j| centroid[j] + alpha * (centroid[j] - worst[j])).collect();
+        let refl: Vec<f64> = (0..n)
+            .map(|j| centroid[j] + alpha * (centroid[j] - worst[j]))
+            .collect();
         let f_refl = f(&refl);
         if f_refl < fv[0] {
-            let exp: Vec<f64> =
-                (0..n).map(|j| centroid[j] + gamma * (refl[j] - centroid[j])).collect();
+            let exp: Vec<f64> = (0..n)
+                .map(|j| centroid[j] + gamma * (refl[j] - centroid[j]))
+                .collect();
             let f_exp = f(&exp);
             if f_exp < f_refl {
                 simplex[n] = exp;
@@ -206,17 +214,19 @@ fn nelder_mead(
             simplex[n] = refl;
             fv[n] = f_refl;
         } else {
-            let contr: Vec<f64> =
-                (0..n).map(|j| centroid[j] + rho * (worst[j] - centroid[j])).collect();
+            let contr: Vec<f64> = (0..n)
+                .map(|j| centroid[j] + rho * (worst[j] - centroid[j]))
+                .collect();
             let f_contr = f(&contr);
             if f_contr < fv[n] {
                 simplex[n] = contr;
                 fv[n] = f_contr;
             } else {
                 // Shrink toward best.
+                let best = simplex[0].clone();
                 for i in 1..=n {
-                    for j in 0..n {
-                        simplex[i][j] = simplex[0][j] + sigma * (simplex[i][j] - simplex[0][j]);
+                    for (s, &b) in simplex[i].iter_mut().zip(&best) {
+                        *s = b + sigma * (*s - b);
                     }
                     fv[i] = f(&simplex[i]);
                 }
@@ -249,20 +259,39 @@ pub fn fit_level1(
         ci: geometry.ci,
     };
     let obj = |x: &[f64]| {
-        let p = Level1Params { kp: x[0].abs().max(1e-15), vt0: x[1], lambda: x[2].abs(), ..base };
+        let p = Level1Params {
+            kp: x[0].abs().max(1e-15),
+            vt0: x[1],
+            lambda: x[2].abs(),
+            ..base
+        };
         rms_log_error(&Level1Model::new(p), vds, measured)
     };
     let x0 = [base.kp, base.vt0, base.lambda];
     let scale = [base.kp * 0.5, 0.5, 0.05];
     let (x, err, iterations) = nelder_mead(&obj, &x0, &scale, 400);
-    let fitted_params =
-        Level1Params { kp: x[0].abs().max(1e-15), vt0: x[1], lambda: x[2].abs(), ..base };
+    let fitted_params = Level1Params {
+        kp: x[0].abs().max(1e-15),
+        vt0: x[1],
+        lambda: x[2].abs(),
+        ..base
+    };
     let model = Level1Model::new(fitted_params);
     let fitted = measured
         .iter()
-        .map(|p| TransferPoint { vgs: p.vgs, id: model.ids(p.vgs, vds).abs() })
+        .map(|p| TransferPoint {
+            vgs: p.vgs,
+            id: model.ids(p.vgs, vds).abs(),
+        })
         .collect();
-    Ok((model, FitReport { rms_log_error: err, fitted, iterations }))
+    Ok((
+        model,
+        FitReport {
+            rms_log_error: err,
+            fitted,
+            iterations,
+        },
+    ))
 }
 
 /// Fits a level-61 model (free parameters: µ₀, γ, V_T, subthreshold n,
@@ -291,8 +320,20 @@ pub fn fit_level61(
         };
         rms_log_error(&Level61Model::new(p), vds, measured)
     };
-    let x0 = [base.mu0, base.gamma, base.vt0, base.subthreshold_n, base.i_off];
-    let scale = [base.mu0 * 0.5, 0.15, 0.4, base.subthreshold_n * 0.3, base.i_off * 2.0];
+    let x0 = [
+        base.mu0,
+        base.gamma,
+        base.vt0,
+        base.subthreshold_n,
+        base.i_off,
+    ];
+    let scale = [
+        base.mu0 * 0.5,
+        0.15,
+        0.4,
+        base.subthreshold_n * 0.3,
+        base.i_off * 2.0,
+    ];
     let (x, err, iterations) = nelder_mead(&obj, &x0, &scale, 600);
     let fitted_params = TftParams {
         mu0: x[0].abs().max(1e-9),
@@ -305,9 +346,19 @@ pub fn fit_level61(
     let model = Level61Model::new(fitted_params);
     let fitted = measured
         .iter()
-        .map(|p| TransferPoint { vgs: p.vgs, id: model.ids(p.vgs, vds).abs() })
+        .map(|p| TransferPoint {
+            vgs: p.vgs,
+            id: model.ids(p.vgs, vds).abs(),
+        })
         .collect();
-    Ok((model, FitReport { rms_log_error: err, fitted, iterations }))
+    Ok((
+        model,
+        FitReport {
+            rms_log_error: err,
+            fitted,
+            iterations,
+        },
+    ))
 }
 
 #[cfg(test)]
@@ -339,16 +390,30 @@ mod tests {
 
     #[test]
     fn extraction_rejects_flat_curves() {
-        let flat: Vec<TransferPoint> =
-            (0..20).map(|i| TransferPoint { vgs: i as f64, id: 1.0e-12 }).collect();
-        assert_eq!(extract_metrics(&flat, -1.0, 1.0e-3, 12.5), Err(FitError::NoConduction));
+        let flat: Vec<TransferPoint> = (0..20)
+            .map(|i| TransferPoint {
+                vgs: i as f64,
+                id: 1.0e-12,
+            })
+            .collect();
+        assert_eq!(
+            extract_metrics(&flat, -1.0, 1.0e-3, 12.5),
+            Err(FitError::NoConduction)
+        );
     }
 
     #[test]
     fn extraction_rejects_short_sweeps() {
-        let short: Vec<TransferPoint> =
-            (0..4).map(|i| TransferPoint { vgs: i as f64, id: 1.0e-9 }).collect();
-        assert_eq!(extract_metrics(&short, -1.0, 1.0e-3, 12.5), Err(FitError::TooFewPoints));
+        let short: Vec<TransferPoint> = (0..4)
+            .map(|i| TransferPoint {
+                vgs: i as f64,
+                id: 1.0e-9,
+            })
+            .collect();
+        assert_eq!(
+            extract_metrics(&short, -1.0, 1.0e-3, 12.5),
+            Err(FitError::TooFewPoints)
+        );
     }
 
     #[test]
@@ -365,7 +430,11 @@ mod tests {
             r1.rms_log_error
         );
         // Level 61 should land within a third of a decade on average.
-        assert!(r61.rms_log_error < 0.35, "level61 RMS {:.3}", r61.rms_log_error);
+        assert!(
+            r61.rms_log_error < 0.35,
+            "level61 RMS {:.3}",
+            r61.rms_log_error
+        );
     }
 
     #[test]

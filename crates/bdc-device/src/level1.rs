@@ -22,7 +22,10 @@ impl Level1Model {
     /// # Panics
     /// Panics if geometry or `kp` are non-positive.
     pub fn new(params: Level1Params) -> Self {
-        assert!(params.w > 0.0 && params.l > 0.0, "geometry must be positive");
+        assert!(
+            params.w > 0.0 && params.l > 0.0,
+            "geometry must be positive"
+        );
         assert!(params.kp > 0.0, "kp must be positive");
         Level1Model { params }
     }

@@ -33,8 +33,10 @@ impl Level61Model {
     /// # Panics
     /// Panics if geometry or capacitance parameters are non-positive.
     pub fn new(params: TftParams) -> Self {
-        assert!(params.w > 0.0 && params.l > 0.0 && params.ci > 0.0,
-                "TFT geometry/capacitance must be positive");
+        assert!(
+            params.w > 0.0 && params.l > 0.0 && params.ci > 0.0,
+            "TFT geometry/capacitance must be positive"
+        );
         assert!(params.mu0 > 0.0, "mobility must be positive");
         Level61Model { params }
     }
@@ -125,7 +127,10 @@ mod tests {
         let m = pentacene();
         // Strongly on.
         let on = m.ids(-10.0, -10.0);
-        assert!(on < 0.0, "p-type current should be negative at negative vds");
+        assert!(
+            on < 0.0,
+            "p-type current should be negative at negative vds"
+        );
         assert!(on.abs() > 1.0e-6);
         // Off.
         let off = m.ids(5.0, -10.0).abs();
@@ -162,7 +167,10 @@ mod tests {
         let lin = m.ids(-10.0, -1.0).abs();
         let sat = m.ids(-10.0, -10.0).abs();
         let ratio = sat / lin;
-        assert!(ratio > 3.0 && ratio < 25.0, "V_DS 10:1 current ratio {ratio:.2}");
+        assert!(
+            ratio > 3.0 && ratio < 25.0,
+            "V_DS 10:1 current ratio {ratio:.2}"
+        );
     }
 
     #[test]
@@ -209,7 +217,10 @@ mod tests {
         let m = pentacene();
         let at_pos_vgs = m.ids(1.0, -10.0).abs();
         let reference = m.ids(1.0, -1.0).abs();
-        assert!(at_pos_vgs > 30.0 * reference, "DIBL should boost high-V_DS turn-on");
+        assert!(
+            at_pos_vgs > 30.0 * reference,
+            "DIBL should boost high-V_DS turn-on"
+        );
     }
 
     #[test]

@@ -55,7 +55,7 @@ pub use silicon::SiliconMosModel;
 pub use variation::{VariedModel, VtVariation};
 
 /// Permittivity of free space (F/m).
-pub const EPS0: f64 = 8.854_187_8128e-12;
+pub const EPS0: f64 = 8.854_187_812_8e-12;
 
 /// Thermal voltage kT/q at room temperature (V).
 pub const VT_THERMAL: f64 = 0.02585;

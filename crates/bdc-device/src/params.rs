@@ -4,7 +4,7 @@
 //! characterizes in §4.1 / Figure 3; the silicon defaults target a public
 //! 45 nm-class bulk CMOS process (the comparison library in §5.1).
 
-use crate::{EPS0, Polarity};
+use crate::{Polarity, EPS0};
 
 /// Geometry and material parameters for a level-61-class organic TFT.
 ///
@@ -92,7 +92,11 @@ impl TftParams {
     /// Panics if `w` or `l` is not strictly positive.
     pub fn pentacene_sized(w: f64, l: f64) -> Self {
         assert!(w > 0.0 && l > 0.0, "transistor geometry must be positive");
-        TftParams { w, l, ..Self::pentacene() }
+        TftParams {
+            w,
+            l,
+            ..Self::pentacene()
+        }
     }
 
     /// The device at a point in its *transient* (biodegradable) life.

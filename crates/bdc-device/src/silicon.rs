@@ -22,7 +22,10 @@ impl SiliconMosModel {
     /// # Panics
     /// Panics if geometry or drive parameters are non-positive.
     pub fn new(params: SiliconMosParams) -> Self {
-        assert!(params.w > 0.0 && params.l > 0.0, "geometry must be positive");
+        assert!(
+            params.w > 0.0 && params.l > 0.0,
+            "geometry must be positive"
+        );
         assert!(params.id_sat_per_um > 0.0, "drive must be positive");
         SiliconMosModel { params }
     }

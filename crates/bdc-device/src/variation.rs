@@ -33,7 +33,11 @@ impl VtVariation {
     /// Panics if `sigma` is negative.
     pub fn new(base: TftParams, sigma: f64, seed: u64) -> Self {
         assert!(sigma >= 0.0, "sigma must be non-negative");
-        VtVariation { base, sigma, rng: SmallRng::seed_from_u64(seed) }
+        VtVariation {
+            base,
+            sigma,
+            rng: SmallRng::seed_from_u64(seed),
+        }
     }
 
     /// The paper's reported spread: V_T within 0.5 V across the sample.
@@ -48,7 +52,10 @@ impl VtVariation {
         let u2: f64 = self.rng.gen_range(0.0..std::f64::consts::TAU);
         let z = (-2.0 * u1.ln()).sqrt() * u2.cos();
         let vt0 = self.base.vt0 + self.sigma * z;
-        Level61Model::new(TftParams { vt0, ..self.base.clone() })
+        Level61Model::new(TftParams {
+            vt0,
+            ..self.base.clone()
+        })
     }
 
     /// Draws `n` devices and returns the sample standard deviation of their

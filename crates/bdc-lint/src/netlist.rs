@@ -1,0 +1,350 @@
+//! Gate-level lint over [`bdc_synth::gate::Netlist`].
+//!
+//! The rules mirror the invariants the synthesis/STA hand-off of the
+//! paper's Figure-10 flow silently assumes: single-driver nets, topological
+//! gate order, live logic, fanout within the synthesis constraint, and
+//! operation inside the library's characterized NLDM grid.
+
+use bdc_cells::{CellKind, CellLibrary};
+use bdc_synth::gate::Netlist;
+use bdc_synth::map::prefers_decomposition;
+use bdc_synth::place::cell_of;
+use bdc_synth::sta::StaConfig;
+use bdc_synth::GateKind;
+
+use crate::diag::{Diagnostic, LintReport, Location, Rule};
+
+/// Relative tolerance before an off-grid load/slew is reported: tiny
+/// extrapolations are numerically indistinguishable from the grid edge.
+const AXIS_TOLERANCE: f64 = 1.0e-9;
+
+/// How each net is driven, for the structural rules.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Driver {
+    None,
+    Input,
+    Const,
+    FlopQ(usize),
+    Gate(usize),
+}
+
+/// Runs every gate-level rule over `netlist` against `lib` and `cfg`.
+///
+/// `cfg` supplies the max-fanout constraint and the placement model used to
+/// estimate wire load (the same model STA uses, so NL008/NL009 flag
+/// exactly the lookups STA would extrapolate).
+pub fn lint_netlist(netlist: &Netlist, lib: &CellLibrary, cfg: &StaConfig) -> LintReport {
+    let mut report = LintReport::new(netlist.name.clone());
+    let n_nets = netlist.net_count();
+
+    // ---- drivers and readers ----------------------------------------------
+    let mut driver = vec![Driver::None; n_nets];
+    let claim = |driver: &mut Vec<Driver>, report: &mut LintReport, net: usize, d: Driver| {
+        if driver[net] == Driver::None {
+            driver[net] = d;
+        } else {
+            let what = match d {
+                Driver::Gate(g) => format!("gate {g}"),
+                Driver::FlopQ(i) => format!("flop {i} Q"),
+                Driver::Input => "primary input".to_string(),
+                Driver::Const => "constant".to_string(),
+                Driver::None => unreachable!(),
+            };
+            report.push(Diagnostic::new(
+                Rule::MultipleDrivers,
+                Location::Net(net),
+                format!("net has multiple drivers; extra driver is {what}"),
+            ));
+        }
+    };
+    for &i in netlist.inputs() {
+        claim(&mut driver, &mut report, i, Driver::Input);
+    }
+    let (c0, c1) = netlist.constants();
+    for c in [c0, c1].into_iter().flatten() {
+        claim(&mut driver, &mut report, c, Driver::Const);
+    }
+    for (fi, f) in netlist.flops().iter().enumerate() {
+        claim(&mut driver, &mut report, f.q, Driver::FlopQ(fi));
+    }
+    for (gi, g) in netlist.gates().iter().enumerate() {
+        claim(&mut driver, &mut report, g.output, Driver::Gate(gi));
+    }
+
+    let mut read = vec![false; n_nets];
+    for g in netlist.gates() {
+        for &i in &g.inputs {
+            read[i] = true;
+        }
+    }
+    for f in netlist.flops() {
+        read[f.d] = true;
+    }
+    let mut is_output = vec![false; n_nets];
+    for &o in netlist.outputs() {
+        is_output[o] = true;
+    }
+
+    // ---- NL001 undriven, NL005 floating, NL006 unused input ---------------
+    for net in 0..n_nets {
+        match driver[net] {
+            Driver::None if read[net] || is_output[net] => {
+                report.push(
+                    Diagnostic::new(
+                        Rule::UndrivenNet,
+                        Location::Net(net),
+                        "net is read but never driven",
+                    )
+                    .with_hint("drive it with a gate, flop, constant or primary input"),
+                );
+            }
+            Driver::None => {
+                report.push(Diagnostic::new(
+                    Rule::FloatingNet,
+                    Location::Net(net),
+                    "net is allocated but neither driven nor read",
+                ));
+            }
+            Driver::Input if !read[net] && !is_output[net] => {
+                let name = netlist.input_name(net).unwrap_or("?");
+                report.push(Diagnostic::new(
+                    Rule::UnusedInput,
+                    Location::Net(net),
+                    format!("primary input '{name}' is never read"),
+                ));
+            }
+            _ => {}
+        }
+    }
+
+    // ---- NL003 topological order ------------------------------------------
+    // A net is available once its driver has been seen walking gates in
+    // order; sources are available from the start.
+    let mut available = vec![false; n_nets];
+    for net in 0..n_nets {
+        if matches!(
+            driver[net],
+            Driver::Input | Driver::Const | Driver::FlopQ(_)
+        ) {
+            available[net] = true;
+        }
+    }
+    for (gi, g) in netlist.gates().iter().enumerate() {
+        for &i in &g.inputs {
+            if !available[i] && matches!(driver[i], Driver::Gate(_)) {
+                let Driver::Gate(later) = driver[i] else {
+                    unreachable!()
+                };
+                report.push(
+                    Diagnostic::new(
+                        Rule::NonTopological,
+                        Location::Gate(gi),
+                        format!("reads net {i}, driven by later gate {later} (combinational loop or broken rewrite)"),
+                    )
+                    .with_hint("netlists must stay in topological order; rebuild via the gate builders"),
+                );
+            }
+        }
+        available[g.output] = true;
+    }
+
+    // ---- NL004 dead gates, NL010 dead flops -------------------------------
+    // Reverse reachability from the sinks (primary outputs and flop D pins).
+    let mut live = vec![false; n_nets];
+    for &o in netlist.outputs() {
+        live[o] = true;
+    }
+    for f in netlist.flops() {
+        live[f.d] = true;
+    }
+    for (gi, g) in netlist.gates().iter().enumerate().rev() {
+        if live[g.output] {
+            for &i in &g.inputs {
+                live[i] = true;
+            }
+        } else {
+            report.push(
+                Diagnostic::new(
+                    Rule::DeadGate,
+                    Location::Gate(gi),
+                    format!("{:?} output (net {}) reaches no primary output or flop", g.kind, g.output),
+                )
+                .with_hint("dead logic burns area and static power; remove it or mark its cone as an output"),
+            );
+        }
+    }
+    for (fi, f) in netlist.flops().iter().enumerate() {
+        if !read[f.q] && !is_output[f.q] {
+            report.push(Diagnostic::new(
+                Rule::DeadFlop,
+                Location::Flop(fi),
+                format!("flop Q (net {}) is neither read nor a primary output", f.q),
+            ));
+        }
+    }
+
+    // ---- NL012 constant flops ---------------------------------------------
+    // Forward dependence on any primary input or flop Q; gates are walked in
+    // order, so this is exact for topological netlists.
+    let mut dynamic = vec![false; n_nets];
+    for net in 0..n_nets {
+        dynamic[net] = matches!(driver[net], Driver::Input | Driver::FlopQ(_));
+    }
+    for g in netlist.gates() {
+        if g.inputs.iter().any(|&i| dynamic[i]) {
+            dynamic[g.output] = true;
+        }
+    }
+    for (fi, f) in netlist.flops().iter().enumerate() {
+        if !dynamic[f.d] {
+            report.push(
+                Diagnostic::new(
+                    Rule::ConstantFlop,
+                    Location::Flop(fi),
+                    format!("flop D (net {}) depends on no primary input or flop — it latches a constant", f.d),
+                )
+                .with_hint("replace the register with the constant net"),
+            );
+        }
+    }
+
+    // ---- NL007 fanout -----------------------------------------------------
+    let fanout = netlist.fanout_counts();
+    let fmax = cfg.max_fanout.max(2);
+    for (net, &fo) in fanout.iter().enumerate() {
+        if fo > fmax {
+            report.push(
+                Diagnostic::new(
+                    Rule::FanoutOverMax,
+                    Location::Net(net),
+                    format!("fanout {fo} exceeds max_fanout {fmax}; STA charges a buffer tree"),
+                )
+                .with_hint("restructure the cone or raise StaConfig::max_fanout deliberately"),
+            );
+        }
+    }
+
+    // ---- NL008/NL009 NLDM grid coverage -----------------------------------
+    lint_nldm_coverage(netlist, lib, cfg, &fanout, &mut report);
+
+    // ---- NL011 library-style mapping --------------------------------------
+    let hist = netlist.histogram();
+    for (kind, cell) in [
+        (GateKind::Nand3, CellKind::Nand3),
+        (GateKind::Nor3, CellKind::Nor3),
+    ] {
+        let n = hist.get(&kind).copied().unwrap_or(0);
+        if n > 0 && prefers_decomposition(lib, cell) {
+            report.push(
+                Diagnostic::new(
+                    Rule::UnmappedThreeInput,
+                    Location::Cell(cell.name()),
+                    format!(
+                        "{n} {kind:?} gates, but library '{}' prefers 2-input decomposition",
+                        lib.name
+                    ),
+                )
+                .with_hint("run bdc_synth::map::remap_for_library before timing"),
+            );
+        }
+    }
+
+    report
+}
+
+/// Checks every STA lookup the netlist would perform against the
+/// characterized NLDM axes, reporting extrapolations (NL008/NL009).
+///
+/// This mirrors the load/slew propagation in `bdc_synth::sta::analyze`:
+/// per-net load is the sinks' pin capacitance plus placement-model wire
+/// capacitance, and slews propagate through `out_slew` lookups in gate
+/// order. Degenerate (1×1 constant) tables characterize nothing, so they
+/// are skipped here and reported once per library by LB007.
+fn lint_nldm_coverage(
+    netlist: &Netlist,
+    lib: &CellLibrary,
+    cfg: &StaConfig,
+    fanout: &[usize],
+    report: &mut LintReport,
+) {
+    let placement = cfg.placement.place(netlist, lib);
+    let inv = lib.cell(CellKind::Inv);
+    let nominal_slew = cfg.input_slew.unwrap_or_else(|| {
+        let s = inv.timing.delay_rise.slews();
+        s[s.len() / 2]
+    });
+
+    let n_nets = netlist.net_count();
+    let mut pin_load = vec![0.0f64; n_nets];
+    for g in netlist.gates() {
+        let cap = lib.cell(cell_of(g.kind)).input_cap;
+        for &i in &g.inputs {
+            pin_load[i] += cap;
+        }
+    }
+    let dff_cap = lib.cell(CellKind::Dff).input_cap;
+    for f in netlist.flops() {
+        pin_load[f.d] += dff_cap;
+    }
+
+    let fmax = cfg.max_fanout.max(2);
+    let mut slew = vec![nominal_slew; n_nets];
+    for (gi, g) in netlist.gates().iter().enumerate() {
+        let cell = lib.cell(cell_of(g.kind));
+        let delay = cell.timing.delay_worst();
+        if delay.loads().len() < 2 {
+            // Degenerate table: nothing is characterized, nothing to check.
+            continue;
+        }
+        // Buffer-treed nets present only a capped branch load to the driver,
+        // exactly as STA models them.
+        let fo = fanout[g.output].max(1);
+        let load = if fo <= fmax {
+            let wire_len = cfg.placement.local_net_length(&placement, fo);
+            pin_load[g.output] + lib.wire.capacitance(wire_len)
+        } else {
+            let wire_len = cfg.placement.local_net_length(&placement, fmax);
+            fmax as f64 * inv.input_cap + lib.wire.capacitance(wire_len)
+        };
+        let max_load = *delay.loads().last().expect("non-empty axis");
+        if load > max_load * (1.0 + AXIS_TOLERANCE) {
+            report.push(
+                Diagnostic::new(
+                    Rule::LoadBeyondTable,
+                    Location::Gate(gi),
+                    format!(
+                        "{:?} drives {load:.3e} F, beyond the characterized load axis end {max_load:.3e} F",
+                        g.kind
+                    ),
+                )
+                .with_hint("re-characterize with a wider load axis or buffer the net"),
+            );
+        }
+
+        let s_in = g
+            .inputs
+            .iter()
+            .map(|&i| slew[i])
+            .fold(nominal_slew, f64::max);
+        let slew_axis = delay.slews();
+        let max_slew = *slew_axis.last().expect("non-empty axis");
+        if slew_axis.len() >= 2 && s_in > max_slew * (1.0 + AXIS_TOLERANCE) {
+            report.push(
+                Diagnostic::new(
+                    Rule::SlewBeyondTable,
+                    Location::Gate(gi),
+                    format!(
+                        "{:?} sees input slew {s_in:.3e} s, beyond the characterized slew axis end {max_slew:.3e} s",
+                        g.kind
+                    ),
+                )
+                .with_hint("insert a buffer upstream or extend the characterized slew axis"),
+            );
+        }
+        // Propagate the (clamped, like STA) output slew.
+        if cell.timing.out_slew.slews().len() >= 2 || cell.timing.out_slew.loads().len() >= 2 {
+            let cap = max_slew.max(1.0e-18);
+            slew[g.output] = cell.timing.out_slew.lookup(s_in, load).clamp(1.0e-18, cap);
+        }
+    }
+}

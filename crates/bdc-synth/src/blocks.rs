@@ -223,7 +223,9 @@ pub fn restoring_divider(width: usize) -> Netlist {
         // carry == 1 → no borrow → trial >= 0 → accept subtraction.
         let accept = carry;
         quotient[width - 1 - step] = accept;
-        rem = (0..=width).map(|j| n.mux2(accept, shifted[j], trial[j])).collect();
+        rem = (0..=width)
+            .map(|j| n.mux2(accept, shifted[j], trial[j]))
+            .collect();
     }
     n.output_bus(&quotient, "q");
     n.output_bus(&rem[..width], "r");
@@ -249,7 +251,9 @@ pub fn divider_stage(width: usize) -> Netlist {
         carry = c;
     }
     let accept = carry;
-    let next: Vec<NetId> = (0..=width).map(|j| n.mux2(accept, rem[j], trial[j])).collect();
+    let next: Vec<NetId> = (0..=width)
+        .map(|j| n.mux2(accept, rem[j], trial[j]))
+        .collect();
     n.output_bus(&next, "next");
     n.output(accept, "qbit");
     n
@@ -283,8 +287,9 @@ pub fn mux_tree(k: usize, data_width: usize) -> Netlist {
     assert!(k >= 2, "mux tree needs at least two inputs");
     let mut n = Netlist::new(format!("mux{k}x{data_width}"));
     let sel_bits = (usize::BITS - (k - 1).leading_zeros()) as usize;
-    let sources: Vec<Vec<NetId>> =
-        (0..k).map(|i| n.input_bus(&format!("in{i}"), data_width)).collect();
+    let sources: Vec<Vec<NetId>> = (0..k)
+        .map(|i| n.input_bus(&format!("in{i}"), data_width))
+        .collect();
     let sel = n.input_bus("sel", sel_bits);
     let mut layer = sources;
     for (s, &sbit) in sel.iter().enumerate() {
@@ -321,8 +326,9 @@ pub fn decoder(nbits: usize) -> Netlist {
     let mut outs = Vec::with_capacity(1 << nbits);
     for code in 0..(1usize << nbits) {
         // AND of the appropriate polarity per bit, as a NAND/INV tree.
-        let lits: Vec<NetId> =
-            (0..nbits).map(|b| if code & (1 << b) != 0 { a[b] } else { na[b] }).collect();
+        let lits: Vec<NetId> = (0..nbits)
+            .map(|b| if code & (1 << b) != 0 { a[b] } else { na[b] })
+            .collect();
         let mut acc = lits[0];
         let mut i = 1;
         while i < lits.len() {
@@ -357,12 +363,15 @@ pub fn comparator(width: usize) -> Netlist {
 pub fn priority_select(entries: usize) -> Netlist {
     let mut n = Netlist::new(format!("select{entries}"));
     let req = n.input_bus("req", entries);
-    // incl[i] = OR(req[0..=i]) by doubling.
-    let mut incl = req.clone();
+    // incl[i] = OR(req[0..=i]) by doubling. Grants only read incl up to
+    // index entries−2, so the prefix runs over the first entries−1
+    // requests; computing incl[entries−1] would just build a dead cone.
+    let m = entries - 1;
+    let mut incl: Vec<NetId> = req[..m].to_vec();
     let mut d = 1;
-    while d < entries {
+    while d < m {
         let mut next = incl.clone();
-        for i in d..entries {
+        for i in d..m {
             let g = n.or2(incl[i], incl[i - d]);
             next[i] = g;
         }
@@ -390,16 +399,17 @@ pub fn priority_select(entries: usize) -> Netlist {
 /// structure behind the width experiment.
 pub fn wakeup_cam(entries: usize, tag_bits: usize, ports: usize) -> Netlist {
     let mut n = Netlist::new(format!("wakeup{entries}x{ports}"));
-    let tags: Vec<Vec<NetId>> =
-        (0..ports).map(|p| n.input_bus(&format!("tag{p}"), tag_bits)).collect();
-    let entry_tags: Vec<Vec<NetId>> =
-        (0..entries).map(|e| n.input_bus(&format!("src{e}"), tag_bits)).collect();
+    let tags: Vec<Vec<NetId>> = (0..ports)
+        .map(|p| n.input_bus(&format!("tag{p}"), tag_bits))
+        .collect();
+    let entry_tags: Vec<Vec<NetId>> = (0..entries)
+        .map(|e| n.input_bus(&format!("src{e}"), tag_bits))
+        .collect();
     let mut wakes = Vec::with_capacity(entries);
-    for e in 0..entries {
+    for etag in &entry_tags {
         let mut port_match = Vec::with_capacity(ports);
-        for t in 0..ports {
-            let eqs: Vec<NetId> =
-                (0..tag_bits).map(|b| n.xnor2(entry_tags[e][b], tags[t][b])).collect();
+        for tag in &tags {
+            let eqs: Vec<NetId> = (0..tag_bits).map(|b| n.xnor2(etag[b], tag[b])).collect();
             port_match.push(and_tree(&mut n, &eqs));
         }
         wakes.push(or_tree(&mut n, &port_match));
@@ -415,8 +425,9 @@ pub fn bypass_network(producers: usize, consumers: usize, data_width: usize) -> 
     let mut n = Netlist::new(format!("bypass{producers}x{consumers}"));
     let k = producers + 1;
     let sel_bits = (usize::BITS - (k - 1).leading_zeros()).max(1) as usize;
-    let sources: Vec<Vec<NetId>> =
-        (0..k).map(|i| n.input_bus(&format!("src{i}"), data_width)).collect();
+    let sources: Vec<Vec<NetId>> = (0..k)
+        .map(|i| n.input_bus(&format!("src{i}"), data_width))
+        .collect();
     for cidx in 0..consumers {
         let sel = n.input_bus(&format!("sel{cidx}"), sel_bits);
         let mut layer = sources.clone();
@@ -453,9 +464,13 @@ pub fn random_logic(inputs: usize, gates: usize, seed: u64) -> Netlist {
     let mut n = Netlist::new(format!("rand{inputs}x{gates}"));
     let ins = n.input_bus("in", inputs);
     let mut pool: Vec<NetId> = ins.clone();
-    let mut state = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+    let mut state = seed
+        .wrapping_mul(6364136223846793005)
+        .wrapping_add(1442695040888963407);
     let mut next = move || {
-        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         (state >> 33) as usize
     };
     for _ in 0..gates {
@@ -494,8 +509,16 @@ pub fn random_logic(inputs: usize, gates: usize, seed: u64) -> Netlist {
         };
         pool.push(out);
     }
-    // Expose the last few nets as outputs.
-    let outs: Vec<NetId> = pool.iter().rev().take(8.min(pool.len())).copied().collect();
+    // Expose every sink as an output: gate outputs nothing reads (so no
+    // cone is dead logic) and untouched primary inputs (payload bits fed
+    // straight through the stage).
+    let mut read = vec![false; n.net_count()];
+    for g in n.gates() {
+        for &i in &g.inputs {
+            read[i] = true;
+        }
+    }
+    let outs: Vec<NetId> = (0..n.net_count()).filter(|&net| !read[net]).collect();
     n.output_bus(&outs, "out");
     n
 }
@@ -525,7 +548,11 @@ fn reduce_tree(n: &mut Netlist, nets: &[NetId], is_and: bool) -> NetId {
                 next.push(g);
                 i += 3;
             } else if rest == 2 {
-                let g = if is_and { n.and2(layer[i], layer[i + 1]) } else { n.or2(layer[i], layer[i + 1]) };
+                let g = if is_and {
+                    n.and2(layer[i], layer[i + 1])
+                } else {
+                    n.or2(layer[i], layer[i + 1])
+                };
                 next.push(g);
                 i += 2;
             } else {
@@ -547,14 +574,24 @@ mod tests {
     fn eval_adder(n: &Netlist, a_v: u64, b_v: u64, cin_v: bool, width: usize) -> (u64, bool) {
         let a = bus(n, "a");
         let b = bus(n, "b");
-        let cin = n.inputs().iter().copied().find(|&x| n.net_name(x) == Some("cin")).unwrap();
+        let cin = n
+            .inputs()
+            .iter()
+            .copied()
+            .find(|&x| n.net_name(x) == Some("cin"))
+            .unwrap();
         let mut m = HashMap::new();
         u64_to_bus(&mut m, &a, a_v);
         u64_to_bus(&mut m, &b, b_v);
         m.insert(cin, cin_v);
         let v = simulate_comb(n, &m);
         let sum = bus_to_u64(&v, &bus(n, "sum"));
-        let cout = n.outputs().iter().copied().find(|&x| n.net_name(x) == Some("cout")).unwrap();
+        let cout = n
+            .outputs()
+            .iter()
+            .copied()
+            .find(|&x| n.net_name(x) == Some("cout"))
+            .unwrap();
         let _ = width;
         (sum, v[cout])
     }
@@ -563,7 +600,12 @@ mod tests {
     fn ripple_adder_adds() {
         let n = ripple_adder(16);
         n.validate().unwrap();
-        for (a, b, c) in [(0u64, 0u64, false), (1234, 4321, false), (0xFFFF, 1, false), (0x8000, 0x8000, true)] {
+        for (a, b, c) in [
+            (0u64, 0u64, false),
+            (1234, 4321, false),
+            (0xFFFF, 1, false),
+            (0x8000, 0x8000, true),
+        ] {
             let (s, co) = eval_adder(&n, a, b, c, 16);
             let expect = a + b + c as u64;
             assert_eq!(s, expect & 0xFFFF, "{a}+{b}+{c}");
@@ -624,7 +666,14 @@ mod tests {
         let a_bus = bus(&n, "a");
         let b_bus = bus(&n, "b");
         let p_bus = bus(&n, "p");
-        for (a, b) in [(0u64, 0u64), (1, 255), (17, 19), (255, 255), (128, 2), (99, 101)] {
+        for (a, b) in [
+            (0u64, 0u64),
+            (1, 255),
+            (17, 19),
+            (255, 255),
+            (128, 2),
+            (99, 101),
+        ] {
             let mut m = HashMap::new();
             u64_to_bus(&mut m, &a_bus, a);
             u64_to_bus(&mut m, &b_bus, b);
@@ -641,7 +690,14 @@ mod tests {
         let d_bus = bus(&n, "d");
         let q_bus = bus(&n, "q");
         let r_bus = bus(&n, "r");
-        for (a, d) in [(100u64, 7u64), (255, 16), (42, 1), (13, 13), (5, 9), (200, 3)] {
+        for (a, d) in [
+            (100u64, 7u64),
+            (255, 16),
+            (42, 1),
+            (13, 13),
+            (5, 9),
+            (200, 3),
+        ] {
             let mut m = HashMap::new();
             u64_to_bus(&mut m, &a_bus, a);
             u64_to_bus(&mut m, &d_bus, d);
@@ -709,7 +765,11 @@ mod tests {
             if req == 0 {
                 assert_eq!(grant, 0);
             } else {
-                assert_eq!(grant, req & req.wrapping_neg(), "lowest set bit of {req:#b}");
+                assert_eq!(
+                    grant,
+                    req & req.wrapping_neg(),
+                    "lowest set bit of {req:#b}"
+                );
             }
         }
     }
@@ -761,7 +821,10 @@ mod tests {
         let c = random_logic(16, 300, 43);
         a.validate().unwrap();
         assert_eq!(a.gates().len(), b.gates().len());
-        assert_eq!(format!("{:?}", a.gates()[..20].to_vec()), format!("{:?}", b.gates()[..20].to_vec()));
+        assert_eq!(
+            format!("{:?}", a.gates()[..20].to_vec()),
+            format!("{:?}", b.gates()[..20].to_vec())
+        );
         // Different seed → different structure (overwhelmingly likely).
         assert_ne!(format!("{:?}", a.gates()), format!("{:?}", c.gates()));
     }

@@ -16,7 +16,10 @@ use crate::gate::{NetId, Netlist};
 /// Panics if an input value is missing or the netlist has flops (use
 /// [`simulate_seq`] for sequential netlists).
 pub fn simulate_comb(netlist: &Netlist, inputs: &HashMap<NetId, bool>) -> Vec<bool> {
-    assert!(netlist.flops().is_empty(), "combinational simulation of a sequential netlist");
+    assert!(
+        netlist.flops().is_empty(),
+        "combinational simulation of a sequential netlist"
+    );
     let mut values = vec![false; netlist.net_count()];
     seed(netlist, inputs, &mut values);
     for g in netlist.gates() {
@@ -44,7 +47,9 @@ pub fn simulate_seq(
     let mut state: Vec<bool> = vec![false; netlist.flops().len()];
     let mut traces = Vec::with_capacity(cycles);
     for c in 0..cycles {
-        let inputs = inputs_per_cycle.get(c).unwrap_or_else(|| inputs_per_cycle.last().unwrap());
+        let inputs = inputs_per_cycle
+            .get(c)
+            .unwrap_or_else(|| inputs_per_cycle.last().unwrap());
         let mut values = vec![false; netlist.net_count()];
         seed(netlist, inputs, &mut values);
         for (f, s) in netlist.flops().iter().zip(&state) {
@@ -62,9 +67,12 @@ pub fn simulate_seq(
 
 fn seed(netlist: &Netlist, inputs: &HashMap<NetId, bool>, values: &mut [bool]) {
     for &i in netlist.inputs() {
-        let v = inputs
-            .get(&i)
-            .unwrap_or_else(|| panic!("missing value for input net {i} ({:?})", netlist.net_name(i)));
+        let v = inputs.get(&i).unwrap_or_else(|| {
+            panic!(
+                "missing value for input net {i} ({:?})",
+                netlist.net_name(i)
+            )
+        });
         values[i] = *v;
     }
     let (c0, c1) = netlist.constants();
@@ -78,7 +86,9 @@ fn seed(netlist: &Netlist, inputs: &HashMap<NetId, bool>, values: &mut [bool]) {
 
 /// Convenience: packs a bus of boolean values into a `u64` (LSB first).
 pub fn bus_to_u64(values: &[bool], bus: &[NetId]) -> u64 {
-    bus.iter().enumerate().fold(0u64, |acc, (i, &n)| acc | ((values[n] as u64) << i))
+    bus.iter()
+        .enumerate()
+        .fold(0u64, |acc, (i, &n)| acc | ((values[n] as u64) << i))
 }
 
 /// Convenience: builds the input map for a bus from a `u64` (LSB first).

@@ -89,7 +89,10 @@ pub struct Netlist {
 impl Netlist {
     /// Creates an empty netlist.
     pub fn new(name: impl Into<String>) -> Self {
-        Netlist { name: name.into(), ..Default::default() }
+        Netlist {
+            name: name.into(),
+            ..Default::default()
+        }
     }
 
     /// Allocates a fresh net.
@@ -109,7 +112,9 @@ impl Netlist {
 
     /// Declares a bus of primary inputs `name[0..width]`.
     pub fn input_bus(&mut self, name: &str, width: usize) -> Vec<NetId> {
-        (0..width).map(|i| self.input(format!("{name}[{i}]"))).collect()
+        (0..width)
+            .map(|i| self.input(format!("{name}[{i}]")))
+            .collect()
     }
 
     /// Marks `net` as a named primary output.
@@ -158,7 +163,11 @@ impl Netlist {
     pub fn gate(&mut self, kind: GateKind, inputs: &[NetId]) -> NetId {
         assert_eq!(inputs.len(), kind.fan_in(), "wrong fan-in for {kind:?}");
         let output = self.net();
-        self.gates.push(Gate { kind, inputs: inputs.to_vec(), output });
+        self.gates.push(Gate {
+            kind,
+            inputs: inputs.to_vec(),
+            output,
+        });
         output
     }
 
@@ -177,6 +186,31 @@ impl Netlist {
     pub fn flop_into(&mut self, d: NetId, q: NetId) {
         assert!(q < self.n_nets && d < self.n_nets, "net out of range");
         self.flops.push(Flop { d, q });
+    }
+
+    /// Adds a gate driving an already-allocated net — the combinational
+    /// counterpart of [`Netlist::flop_into`], for rewriters that stitch
+    /// pre-allocated nets.
+    ///
+    /// Unlike [`Netlist::gate`], this can break the netlist's structural
+    /// guarantees (topological order, single driver); callers are
+    /// responsible for preserving them. `bdc-lint`'s gate-level pass
+    /// (rules NL002/NL003) checks both.
+    ///
+    /// # Panics
+    /// Panics if the input count does not match the kind or any net is out
+    /// of range.
+    pub fn gate_into(&mut self, kind: GateKind, inputs: &[NetId], output: NetId) {
+        assert_eq!(inputs.len(), kind.fan_in(), "wrong fan-in for {kind:?}");
+        assert!(
+            output < self.n_nets && inputs.iter().all(|&i| i < self.n_nets),
+            "net out of range"
+        );
+        self.gates.push(Gate {
+            kind,
+            inputs: inputs.to_vec(),
+            output,
+        });
     }
 
     // ---- library-level builders -------------------------------------------

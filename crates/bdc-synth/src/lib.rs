@@ -29,11 +29,11 @@ pub mod stats;
 pub mod verilog;
 
 pub use funcsim::{simulate_comb, simulate_seq};
-pub use gate::{Gate, GateKind, Netlist, NetId};
+pub use gate::{Gate, GateKind, NetId, Netlist};
 pub use map::{remap_for_library, MapReport};
 pub use pipeline::{insert_registers, pipeline_cut, stage_assignment, PipelineResult};
-pub use power::{energy_per_instruction, estimate_power, PowerReport};
 pub use place::{Placement, PlacementModel};
+pub use power::{energy_per_instruction, estimate_power, PowerReport};
 pub use sta::{analyze, StaConfig, StaReport};
 pub use stats::{coverage_ratio, netlist_stats, NetlistStats};
 pub use verilog::{parse_verilog, write_verilog, VerilogError};

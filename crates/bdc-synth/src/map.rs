@@ -119,7 +119,12 @@ pub fn remap_for_library(netlist: &Netlist, lib: &CellLibrary) -> (Netlist, MapR
     let gates_after = out.gates().len();
     (
         out,
-        MapReport { nand3_decomposed: drop_nand3, nor3_decomposed: drop_nor3, gates_before, gates_after },
+        MapReport {
+            nand3_decomposed: drop_nand3,
+            nor3_decomposed: drop_nor3,
+            gates_before,
+            gates_after,
+        },
     )
 }
 
@@ -145,7 +150,15 @@ mod tests {
                 c
             })
             .collect();
-        CellLibrary::from_cells("slow-nand3", base.process, base.vdd, base.vss, base.wire, base.dff, cells)
+        CellLibrary::from_cells(
+            "slow-nand3",
+            base.process,
+            base.vdd,
+            base.vss,
+            base.wire,
+            base.dff,
+            cells,
+        )
     }
 
     #[test]

@@ -86,7 +86,10 @@ pub fn pipeline_cut(
     sta_cfg: &StaConfig,
     opts: &PipelineOptions,
 ) -> PipelineResult {
-    assert!(netlist.flops().is_empty(), "pipeline_cut expects a combinational block");
+    assert!(
+        netlist.flops().is_empty(),
+        "pipeline_cut expects a combinational block"
+    );
     assert!(opts.stages >= 1);
     let n = opts.stages;
     let sta = analyze(netlist, lib, sta_cfg);
@@ -131,7 +134,9 @@ pub fn pipeline_cut(
         &sta.placement,
         opts.feedback_base + opts.feedback_per_stage * n as f64,
     );
-    let wire_overhead = lib.wire.delay(fb_len, lib.drive_resistance() / opts.driver_upsize);
+    let wire_overhead = lib
+        .wire
+        .delay(fb_len, lib.drive_resistance() / opts.driver_upsize);
 
     let worst_logic = stage_logic.iter().copied().fold(0.0, f64::max);
     let period = worst_logic + seq_overhead + wire_overhead;
@@ -184,7 +189,10 @@ pub fn insert_registers(
     sta_cfg: &StaConfig,
     stages: usize,
 ) -> Netlist {
-    assert!(netlist.flops().is_empty(), "insert_registers expects a combinational block");
+    assert!(
+        netlist.flops().is_empty(),
+        "insert_registers expects a combinational block"
+    );
     let assignment = stage_assignment(netlist, lib, sta_cfg, stages);
     let mut out = Netlist::new(format!("{}_p{stages}", netlist.name));
     // For each source net, the version of it available at each stage:
@@ -218,7 +226,9 @@ pub fn insert_registers(
                 assert!(from <= s, "net used before it is produced");
                 let mut cur = base[i];
                 for step in from..s {
-                    cur = *delayed.entry((i, step + 1)).or_insert_with(|| out.flop(cur));
+                    cur = *delayed
+                        .entry((i, step + 1))
+                        .or_insert_with(|| out.flop(cur));
                 }
                 cur
             })
@@ -233,7 +243,9 @@ pub fn insert_registers(
         let mut cur = base[o];
         if !is_const(o) {
             for step in net_stage[o]..last {
-                cur = *delayed.entry((o, step + 1)).or_insert_with(|| out.flop(cur));
+                cur = *delayed
+                    .entry((o, step + 1))
+                    .or_insert_with(|| out.flop(cur));
             }
         }
         out.output(cur, netlist.net_name(o).unwrap_or("out").to_string());
@@ -251,7 +263,14 @@ pub fn depth_sweep(
 ) -> Vec<PipelineResult> {
     stage_counts
         .iter()
-        .map(|&s| pipeline_cut(netlist, lib, sta_cfg, &PipelineOptions { stages: s, ..*base }))
+        .map(|&s| {
+            pipeline_cut(
+                netlist,
+                lib,
+                sta_cfg,
+                &PipelineOptions { stages: s, ..*base },
+            )
+        })
         .collect()
 }
 
@@ -304,9 +323,14 @@ mod tests {
         let depths = [1usize, 4, 8, 16, 24];
         let si_sweep = depth_sweep(&mult, &si(), &cfg, &depths, &base);
         let org_sweep = depth_sweep(&mult, &org(), &cfg, &depths, &base);
-        let si_norm: Vec<f64> = si_sweep.iter().map(|r| r.frequency / si_sweep[0].frequency).collect();
-        let org_norm: Vec<f64> =
-            org_sweep.iter().map(|r| r.frequency / org_sweep[0].frequency).collect();
+        let si_norm: Vec<f64> = si_sweep
+            .iter()
+            .map(|r| r.frequency / si_sweep[0].frequency)
+            .collect();
+        let org_norm: Vec<f64> = org_sweep
+            .iter()
+            .map(|r| r.frequency / org_sweep[0].frequency)
+            .collect();
         // Organic gains more from 8 → 24 stages than silicon does. (This
         // 16-bit block is small — the effect is much stronger on the real
         // ALU cluster; the full calibrated comparison lives in bdc-core.)
@@ -336,6 +360,11 @@ mod tests {
         let a = n.input("a");
         let q = n.flop(a);
         n.output(q, "q");
-        let _ = pipeline_cut(&n, &lib, &StaConfig::default(), &PipelineOptions::with_stages(2));
+        let _ = pipeline_cut(
+            &n,
+            &lib,
+            &StaConfig::default(),
+            &PipelineOptions::with_stages(2),
+        );
     }
 }

@@ -33,7 +33,11 @@ pub struct PlacementModel {
 
 impl Default for PlacementModel {
     fn default() -> Self {
-        PlacementModel { routing_factor: 2.0, local_k: 1.0, crossing_k: 1.0 }
+        PlacementModel {
+            routing_factor: 2.0,
+            local_k: 1.0,
+            crossing_k: 1.0,
+        }
     }
 }
 
@@ -69,7 +73,13 @@ impl PlacementModel {
         let die_area_um2 = self.routing_factor * cell_area_um2;
         let die_side_m = (die_area_um2.max(1e-12)).sqrt() * 1.0e-6;
         let pitch_m = (die_area_um2 / instances.max(1) as f64).sqrt() * 1.0e-6;
-        Placement { cell_area_um2, die_area_um2, die_side_m, pitch_m, instances: instances.max(1) }
+        Placement {
+            cell_area_um2,
+            die_area_um2,
+            die_side_m,
+            pitch_m,
+            instances: instances.max(1),
+        }
     }
 
     /// Estimated length (m) of a local net with the given fanout.
@@ -95,7 +105,11 @@ mod tests {
         let lib = CellLibrary::synthetic(ProcessKind::Silicon45, 15.0e-12);
         let mult = blocks::array_multiplier(32);
         let p = PlacementModel::default().place(&mult, &lib);
-        assert!(p.die_side_m > 20.0e-6 && p.die_side_m < 2.0e-3, "side {:.3e}", p.die_side_m);
+        assert!(
+            p.die_side_m > 20.0e-6 && p.die_side_m < 2.0e-3,
+            "side {:.3e}",
+            p.die_side_m
+        );
     }
 
     #[test]
@@ -104,7 +118,11 @@ mod tests {
         let mult = blocks::array_multiplier(32);
         let p = PlacementModel::default().place(&mult, &lib);
         // 80 µm channels: a 32-bit multiplier needs a glass panel.
-        assert!(p.die_side_m > 0.02 && p.die_side_m < 2.0, "side {:.3} m", p.die_side_m);
+        assert!(
+            p.die_side_m > 0.02 && p.die_side_m < 2.0,
+            "side {:.3} m",
+            p.die_side_m
+        );
     }
 
     #[test]

@@ -73,7 +73,12 @@ pub fn estimate_power(
     static_w += flops as f64 * dff.leakage_w;
     // Flop clock pins toggle every cycle; data with the activity factor.
     switch_j += flops as f64 * dff.switching_energy * (0.5 + 0.5 * activity);
-    PowerReport { static_w, dynamic_w: switch_j * frequency, frequency, activity }
+    PowerReport {
+        static_w,
+        dynamic_w: switch_j * frequency,
+        frequency,
+        activity,
+    }
 }
 
 /// Energy per instruction (J) for a core running at `ipc` × `frequency`.
@@ -95,8 +100,16 @@ mod tests {
         let si = CellLibrary::synthetic(ProcessKind::Silicon45, 1.0e-11);
         let p_org = estimate_power(&adder, &org, 0, 20.0, 0.15);
         let p_si = estimate_power(&adder, &si, 0, 1.0e9, 0.15);
-        assert!(p_org.static_fraction() > 0.9, "organic static {:.3}", p_org.static_fraction());
-        assert!(p_si.static_fraction() < 0.5, "silicon static {:.3}", p_si.static_fraction());
+        assert!(
+            p_org.static_fraction() > 0.9,
+            "organic static {:.3}",
+            p_org.static_fraction()
+        );
+        assert!(
+            p_si.static_fraction() < 0.5,
+            "silicon static {:.3}",
+            p_si.static_fraction()
+        );
     }
 
     #[test]

@@ -26,7 +26,11 @@ pub struct StaConfig {
 
 impl Default for StaConfig {
     fn default() -> Self {
-        StaConfig { placement: PlacementModel::default(), input_slew: None, max_fanout: 8 }
+        StaConfig {
+            placement: PlacementModel::default(),
+            input_slew: None,
+            max_fanout: 8,
+        }
     }
 }
 
@@ -56,7 +60,10 @@ impl StaReport {
     /// # Panics
     /// Panics for combinational netlists (no period).
     pub fn frequency(&self) -> f64 {
-        assert!(self.min_period > 0.0, "combinational netlist has no clock period");
+        assert!(
+            self.min_period > 0.0,
+            "combinational netlist has no clock period"
+        );
         1.0 / self.min_period
     }
 }
@@ -120,34 +127,56 @@ pub fn analyze(netlist: &Netlist, lib: &CellLibrary, cfg: &StaConfig) -> StaRepo
     for g in netlist.gates() {
         let cell = lib.cell(cell_of(g.kind));
         // Worst input arrival; take that input's slew.
-        let (t_in, s_in) = g
-            .inputs
-            .iter()
-            .map(|&i| (arrival[i], slew[i]))
-            .fold((0.0, nominal_slew), |acc, x| if x.0 >= acc.0 { x } else { acc });
+        let (t_in, s_in) =
+            g.inputs
+                .iter()
+                .map(|&i| (arrival[i], slew[i]))
+                .fold(
+                    (0.0, nominal_slew),
+                    |acc, x| if x.0 >= acc.0 { x } else { acc },
+                );
         let fo = fanout[g.output].max(1);
         let d = if fo <= fmax {
             let wire_len = cfg.placement.local_net_length(&placement, fo);
             let load = pin_load[g.output] + lib.wire.capacitance(wire_len);
             let d_gate = cell.timing.delay_worst().lookup(s_in, load).max(0.0);
             let d_wire = lib.wire.delay(wire_len, drive_res);
-            slew[g.output] = cell.timing.out_slew.lookup(s_in, load).clamp(1e-18, max_slew);
+            slew[g.output] = cell
+                .timing
+                .out_slew
+                .lookup(s_in, load)
+                .clamp(1e-18, max_slew);
             d_gate + d_wire
         } else {
             // Buffer tree: the driver and each buffer level drive ≤ fmax
             // sinks; ceil(log_fmax(fo)) − 1 extra inverter levels.
-            let levels =
-                ((fo as f64).ln() / (fmax as f64).ln()).ceil().max(1.0) as usize;
+            let levels = ((fo as f64).ln() / (fmax as f64).ln()).ceil().max(1.0) as usize;
             let wire_len = cfg.placement.local_net_length(&placement, fmax);
-            let leaf_load = pin_load[g.output] / fo as f64 * fmax as f64
-                + lib.wire.capacitance(wire_len);
+            let leaf_load =
+                pin_load[g.output] / fo as f64 * fmax as f64 + lib.wire.capacitance(wire_len);
             let branch_load = fmax as f64 * inv.input_cap + lib.wire.capacitance(wire_len);
             let d_drv = cell.timing.delay_worst().lookup(s_in, branch_load).max(0.0);
-            let buf_slew = inv.timing.out_slew.lookup(nominal_slew, branch_load).clamp(1e-18, max_slew);
-            let d_buf = inv.timing.delay_worst().lookup(buf_slew, branch_load).max(0.0);
-            let d_leaf = inv.timing.delay_worst().lookup(buf_slew, leaf_load).max(0.0);
+            let buf_slew = inv
+                .timing
+                .out_slew
+                .lookup(nominal_slew, branch_load)
+                .clamp(1e-18, max_slew);
+            let d_buf = inv
+                .timing
+                .delay_worst()
+                .lookup(buf_slew, branch_load)
+                .max(0.0);
+            let d_leaf = inv
+                .timing
+                .delay_worst()
+                .lookup(buf_slew, leaf_load)
+                .max(0.0);
             let d_wire = lib.wire.delay(wire_len, drive_res) * levels as f64;
-            slew[g.output] = inv.timing.out_slew.lookup(buf_slew, leaf_load).clamp(1e-18, max_slew);
+            slew[g.output] = inv
+                .timing
+                .out_slew
+                .lookup(buf_slew, leaf_load)
+                .clamp(1e-18, max_slew);
             d_drv + (levels.saturating_sub(2)) as f64 * d_buf + d_leaf + d_wire
         };
         arrival[g.output] = t_in + d;
@@ -168,7 +197,15 @@ pub fn analyze(netlist: &Netlist, lib: &CellLibrary, cfg: &StaConfig) -> StaRepo
     };
 
     let area_um2 = placement.cell_area_um2;
-    StaReport { arrival, gate_delay, max_arrival, max_gate_delay, min_period, placement, area_um2 }
+    StaReport {
+        arrival,
+        gate_delay,
+        max_arrival,
+        max_gate_delay,
+        min_period,
+        placement,
+        area_um2,
+    }
 }
 
 #[cfg(test)]
@@ -260,9 +297,14 @@ mod tests {
         let r_org_ideal = analyze(&mult, &org_ideal, &cfg);
         let org_wire_frac = (r_org.max_arrival - r_org_ideal.max_arrival) / r_org.max_arrival;
 
-        assert!(si_wire_frac > 5.0 * org_wire_frac.max(1e-6),
-            "si {si_wire_frac:.4} vs org {org_wire_frac:.6}");
-        assert!(org_wire_frac < 0.05, "organic wires must be near-free, got {org_wire_frac:.4}");
+        assert!(
+            si_wire_frac > 5.0 * org_wire_frac.max(1e-6),
+            "si {si_wire_frac:.4} vs org {org_wire_frac:.6}"
+        );
+        assert!(
+            org_wire_frac < 0.05,
+            "organic wires must be near-free, got {org_wire_frac:.4}"
+        );
     }
 
     #[test]

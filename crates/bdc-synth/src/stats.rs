@@ -120,7 +120,9 @@ mod tests {
         let s8 = netlist_stats(&blocks::array_multiplier(8));
         let s16 = netlist_stats(&blocks::array_multiplier(16));
         assert!(s16.depth as f64 > 1.5 * s8.depth as f64);
-        assert!(s16.level_histogram.iter().sum::<usize>() == blocks::array_multiplier(16).gates().len());
+        assert!(
+            s16.level_histogram.iter().sum::<usize>() == blocks::array_multiplier(16).gates().len()
+        );
     }
 
     #[test]

@@ -52,7 +52,13 @@ fn kind_of(name: &str) -> Option<GateKind> {
 /// Sanitizes a bus-style name (`a[3]`) into a Verilog identifier (`a_3`).
 fn ident(name: &str) -> String {
     name.chars()
-        .map(|c| if c.is_ascii_alphanumeric() || c == '_' { c } else { '_' })
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '_' {
+                c
+            } else {
+                '_'
+            }
+        })
         .collect()
 }
 
@@ -69,7 +75,13 @@ pub fn write_verilog(netlist: &Netlist) -> String {
         .inputs()
         .iter()
         .map(|&n| net_name(n))
-        .chain(netlist.outputs().iter().enumerate().map(|(i, _)| format!("po_{i}")))
+        .chain(
+            netlist
+                .outputs()
+                .iter()
+                .enumerate()
+                .map(|(i, _)| format!("po_{i}")),
+        )
         .collect();
     let _ = writeln!(s, "module {} ({});", ident(&netlist.name), ports.join(", "));
     for &n in netlist.inputs() {
@@ -111,7 +123,12 @@ pub fn write_verilog(netlist: &Netlist) -> String {
         );
     }
     for (i, f) in netlist.flops().iter().enumerate() {
-        let _ = writeln!(s, "  DFF ff{i} (.d({}), .q({}));", net_name(f.d), net_name(f.q));
+        let _ = writeln!(
+            s,
+            "  DFF ff{i} (.d({}), .q({}));",
+            net_name(f.d),
+            net_name(f.q)
+        );
     }
     for (i, &o) in netlist.outputs().iter().enumerate() {
         let _ = writeln!(s, "  assign po_{i} = {};", net_name(o));
@@ -143,7 +160,12 @@ pub fn parse_verilog(text: &str) -> Result<Netlist, VerilogError> {
             continue;
         }
         if let Some(rest) = t.strip_prefix("module ") {
-            name = rest.split('(').next().unwrap_or("parsed").trim().to_string();
+            name = rest
+                .split('(')
+                .next()
+                .unwrap_or("parsed")
+                .trim()
+                .to_string();
         } else if let Some(rest) = t.strip_prefix("input ") {
             inputs.push(rest.trim().to_string());
         } else if t.starts_with("output ") || t.starts_with("wire ") {
@@ -153,7 +175,10 @@ pub fn parse_verilog(text: &str) -> Result<Netlist, VerilogError> {
             let port = halves.next().unwrap_or("").trim().to_string();
             let net = halves
                 .next()
-                .ok_or_else(|| VerilogError { line, message: "assign needs '='".into() })?
+                .ok_or_else(|| VerilogError {
+                    line,
+                    message: "assign needs '='".into(),
+                })?
                 .trim()
                 .to_string();
             outputs.push((port, net));
@@ -165,7 +190,10 @@ pub fn parse_verilog(text: &str) -> Result<Netlist, VerilogError> {
             })?;
             let head: Vec<&str> = t[..open].split_whitespace().collect();
             if head.len() != 2 {
-                return Err(VerilogError { line, message: format!("bad instance head {t:?}") });
+                return Err(VerilogError {
+                    line,
+                    message: format!("bad instance head {t:?}"),
+                });
             }
             let body = &t[open + 1..t.rfind(')').unwrap_or(t.len())];
             let mut pins = Vec::new();
@@ -182,12 +210,19 @@ pub fn parse_verilog(text: &str) -> Result<Netlist, VerilogError> {
                 let pin = it.next().unwrap_or("").trim().to_string();
                 let net = it
                     .next()
-                    .ok_or_else(|| VerilogError { line, message: format!("bad pin {p:?}") })?
+                    .ok_or_else(|| VerilogError {
+                        line,
+                        message: format!("bad pin {p:?}"),
+                    })?
                     .trim()
                     .to_string();
                 pins.push((pin, net));
             }
-            insts.push(Inst { cell: head[0].to_string(), pins, line });
+            insts.push(Inst {
+                cell: head[0].to_string(),
+                pins,
+                line,
+            });
         }
     }
 
@@ -263,9 +298,10 @@ pub fn parse_verilog(text: &str) -> Result<Netlist, VerilogError> {
         n.flop_into(d_id, q_id);
     }
     for (port, net) in outputs {
-        let id = *nets
-            .get(&net)
-            .ok_or_else(|| VerilogError { line: 0, message: format!("output net {net:?} undriven") })?;
+        let id = *nets.get(&net).ok_or_else(|| VerilogError {
+            line: 0,
+            message: format!("output net {net:?} undriven"),
+        })?;
         n.output(id, port);
     }
     Ok(n)
@@ -275,7 +311,10 @@ fn pin_net(pins: &[(String, String)], pin: &str, line: usize) -> Result<String, 
     pins.iter()
         .find(|(p, _)| p == pin)
         .map(|(_, n)| n.clone())
-        .ok_or_else(|| VerilogError { line, message: format!("missing pin .{pin}") })
+        .ok_or_else(|| VerilogError {
+            line,
+            message: format!("missing pin .{pin}"),
+        })
 }
 
 #[cfg(test)]

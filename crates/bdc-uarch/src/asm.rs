@@ -35,8 +35,16 @@ impl Program {
 
 enum Pending {
     Ready(Instr),
-    Branch { op: Op, rs1: Reg, rs2: Reg, target: Label },
-    Jal { rd: Reg, target: Label },
+    Branch {
+        op: Op,
+        rs1: Reg,
+        rs2: Reg,
+        target: Label,
+    },
+    Jal {
+        rd: Reg,
+        target: Label,
+    },
 }
 
 /// The assembler.
@@ -49,7 +57,12 @@ pub struct Asm {
 
 impl std::fmt::Debug for Asm {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "Asm({} instrs, {} labels)", self.items.len(), self.labels.len())
+        write!(
+            f,
+            "Asm({} instrs, {} labels)",
+            self.items.len(),
+            self.labels.len()
+        )
     }
 }
 
@@ -92,92 +105,200 @@ impl Asm {
 
     /// rd = rs1 + rs2
     pub fn add(&mut self, rd: Reg, rs1: Reg, rs2: Reg) {
-        self.push(Instr { op: Op::Add, rd, rs1, rs2, imm: 0 });
+        self.push(Instr {
+            op: Op::Add,
+            rd,
+            rs1,
+            rs2,
+            imm: 0,
+        });
     }
 
     /// rd = rs1 - rs2
     pub fn sub(&mut self, rd: Reg, rs1: Reg, rs2: Reg) {
-        self.push(Instr { op: Op::Sub, rd, rs1, rs2, imm: 0 });
+        self.push(Instr {
+            op: Op::Sub,
+            rd,
+            rs1,
+            rs2,
+            imm: 0,
+        });
     }
 
     /// rd = rs1 & rs2
     pub fn and(&mut self, rd: Reg, rs1: Reg, rs2: Reg) {
-        self.push(Instr { op: Op::And, rd, rs1, rs2, imm: 0 });
+        self.push(Instr {
+            op: Op::And,
+            rd,
+            rs1,
+            rs2,
+            imm: 0,
+        });
     }
 
     /// rd = rs1 | rs2
     pub fn or(&mut self, rd: Reg, rs1: Reg, rs2: Reg) {
-        self.push(Instr { op: Op::Or, rd, rs1, rs2, imm: 0 });
+        self.push(Instr {
+            op: Op::Or,
+            rd,
+            rs1,
+            rs2,
+            imm: 0,
+        });
     }
 
     /// rd = rs1 ^ rs2
     pub fn xor(&mut self, rd: Reg, rs1: Reg, rs2: Reg) {
-        self.push(Instr { op: Op::Xor, rd, rs1, rs2, imm: 0 });
+        self.push(Instr {
+            op: Op::Xor,
+            rd,
+            rs1,
+            rs2,
+            imm: 0,
+        });
     }
 
     /// rd = (rs1 < rs2) signed
     pub fn slt(&mut self, rd: Reg, rs1: Reg, rs2: Reg) {
-        self.push(Instr { op: Op::Slt, rd, rs1, rs2, imm: 0 });
+        self.push(Instr {
+            op: Op::Slt,
+            rd,
+            rs1,
+            rs2,
+            imm: 0,
+        });
     }
 
     /// rd = rs1 << rs2
     pub fn sll(&mut self, rd: Reg, rs1: Reg, rs2: Reg) {
-        self.push(Instr { op: Op::Sll, rd, rs1, rs2, imm: 0 });
+        self.push(Instr {
+            op: Op::Sll,
+            rd,
+            rs1,
+            rs2,
+            imm: 0,
+        });
     }
 
     /// rd = rs1 >> rs2 (logical)
     pub fn srl(&mut self, rd: Reg, rs1: Reg, rs2: Reg) {
-        self.push(Instr { op: Op::Srl, rd, rs1, rs2, imm: 0 });
+        self.push(Instr {
+            op: Op::Srl,
+            rd,
+            rs1,
+            rs2,
+            imm: 0,
+        });
     }
 
     /// rd = rs1 >> rs2 (arithmetic)
     pub fn sra(&mut self, rd: Reg, rs1: Reg, rs2: Reg) {
-        self.push(Instr { op: Op::Sra, rd, rs1, rs2, imm: 0 });
+        self.push(Instr {
+            op: Op::Sra,
+            rd,
+            rs1,
+            rs2,
+            imm: 0,
+        });
     }
 
     /// rd = rs1 * rs2
     pub fn mul(&mut self, rd: Reg, rs1: Reg, rs2: Reg) {
-        self.push(Instr { op: Op::Mul, rd, rs1, rs2, imm: 0 });
+        self.push(Instr {
+            op: Op::Mul,
+            rd,
+            rs1,
+            rs2,
+            imm: 0,
+        });
     }
 
     /// rd = rs1 / rs2
     pub fn div(&mut self, rd: Reg, rs1: Reg, rs2: Reg) {
-        self.push(Instr { op: Op::Div, rd, rs1, rs2, imm: 0 });
+        self.push(Instr {
+            op: Op::Div,
+            rd,
+            rs1,
+            rs2,
+            imm: 0,
+        });
     }
 
     /// rd = rs1 % rs2
     pub fn rem(&mut self, rd: Reg, rs1: Reg, rs2: Reg) {
-        self.push(Instr { op: Op::Rem, rd, rs1, rs2, imm: 0 });
+        self.push(Instr {
+            op: Op::Rem,
+            rd,
+            rs1,
+            rs2,
+            imm: 0,
+        });
     }
 
     /// rd = rs1 + imm
     pub fn addi(&mut self, rd: Reg, rs1: Reg, imm: i32) {
-        self.push(Instr { op: Op::Addi, rd, rs1, rs2: Reg::ZERO, imm });
+        self.push(Instr {
+            op: Op::Addi,
+            rd,
+            rs1,
+            rs2: Reg::ZERO,
+            imm,
+        });
     }
 
     /// rd = rs1 & imm
     pub fn andi(&mut self, rd: Reg, rs1: Reg, imm: i32) {
-        self.push(Instr { op: Op::Andi, rd, rs1, rs2: Reg::ZERO, imm });
+        self.push(Instr {
+            op: Op::Andi,
+            rd,
+            rs1,
+            rs2: Reg::ZERO,
+            imm,
+        });
     }
 
     /// rd = rs1 | imm
     pub fn ori(&mut self, rd: Reg, rs1: Reg, imm: i32) {
-        self.push(Instr { op: Op::Ori, rd, rs1, rs2: Reg::ZERO, imm });
+        self.push(Instr {
+            op: Op::Ori,
+            rd,
+            rs1,
+            rs2: Reg::ZERO,
+            imm,
+        });
     }
 
     /// rd = rs1 ^ imm
     pub fn xori(&mut self, rd: Reg, rs1: Reg, imm: i32) {
-        self.push(Instr { op: Op::Xori, rd, rs1, rs2: Reg::ZERO, imm });
+        self.push(Instr {
+            op: Op::Xori,
+            rd,
+            rs1,
+            rs2: Reg::ZERO,
+            imm,
+        });
     }
 
     /// rd = (rs1 < imm) signed
     pub fn slti(&mut self, rd: Reg, rs1: Reg, imm: i32) {
-        self.push(Instr { op: Op::Slti, rd, rs1, rs2: Reg::ZERO, imm });
+        self.push(Instr {
+            op: Op::Slti,
+            rd,
+            rs1,
+            rs2: Reg::ZERO,
+            imm,
+        });
     }
 
     /// rd = imm << 13
     pub fn lui(&mut self, rd: Reg, imm: i32) {
-        self.push(Instr { op: Op::Lui, rd, rs1: Reg::ZERO, rs2: Reg::ZERO, imm });
+        self.push(Instr {
+            op: Op::Lui,
+            rd,
+            rs1: Reg::ZERO,
+            rs2: Reg::ZERO,
+            imm,
+        });
     }
 
     /// Loads a constant via ADDI or LUI + ORI.
@@ -204,32 +325,64 @@ impl Asm {
 
     /// rd = mem[rs1 + imm]
     pub fn lw(&mut self, rd: Reg, rs1: Reg, imm: i32) {
-        self.push(Instr { op: Op::Lw, rd, rs1, rs2: Reg::ZERO, imm });
+        self.push(Instr {
+            op: Op::Lw,
+            rd,
+            rs1,
+            rs2: Reg::ZERO,
+            imm,
+        });
     }
 
     /// mem[rs1 + imm] = rs2
     pub fn sw(&mut self, rs2: Reg, rs1: Reg, imm: i32) {
-        self.push(Instr { op: Op::Sw, rd: Reg::ZERO, rs1, rs2, imm });
+        self.push(Instr {
+            op: Op::Sw,
+            rd: Reg::ZERO,
+            rs1,
+            rs2,
+            imm,
+        });
     }
 
     /// if rs1 == rs2 goto target
     pub fn beq(&mut self, rs1: Reg, rs2: Reg, target: Label) {
-        self.items.push(Pending::Branch { op: Op::Beq, rs1, rs2, target });
+        self.items.push(Pending::Branch {
+            op: Op::Beq,
+            rs1,
+            rs2,
+            target,
+        });
     }
 
     /// if rs1 != rs2 goto target
     pub fn bne(&mut self, rs1: Reg, rs2: Reg, target: Label) {
-        self.items.push(Pending::Branch { op: Op::Bne, rs1, rs2, target });
+        self.items.push(Pending::Branch {
+            op: Op::Bne,
+            rs1,
+            rs2,
+            target,
+        });
     }
 
     /// if rs1 < rs2 (signed) goto target
     pub fn blt(&mut self, rs1: Reg, rs2: Reg, target: Label) {
-        self.items.push(Pending::Branch { op: Op::Blt, rs1, rs2, target });
+        self.items.push(Pending::Branch {
+            op: Op::Blt,
+            rs1,
+            rs2,
+            target,
+        });
     }
 
     /// if rs1 >= rs2 (signed) goto target
     pub fn bge(&mut self, rs1: Reg, rs2: Reg, target: Label) {
-        self.items.push(Pending::Branch { op: Op::Bge, rs1, rs2, target });
+        self.items.push(Pending::Branch {
+            op: Op::Bge,
+            rs1,
+            rs2,
+            target,
+        });
     }
 
     /// rd = return address; goto target
@@ -244,7 +397,13 @@ impl Asm {
 
     /// rd = return address; pc = rs1 + imm (function return: `jalr r0, ra, 0`)
     pub fn jalr(&mut self, rd: Reg, rs1: Reg, imm: i32) {
-        self.push(Instr { op: Op::Jalr, rd, rs1, rs2: Reg::ZERO, imm });
+        self.push(Instr {
+            op: Op::Jalr,
+            rd,
+            rs1,
+            rs2: Reg::ZERO,
+            imm,
+        });
     }
 
     /// Function return.
@@ -254,7 +413,13 @@ impl Asm {
 
     /// Stop the simulation.
     pub fn halt(&mut self) {
-        self.push(Instr { op: Op::Halt, rd: Reg::ZERO, rs1: Reg::ZERO, rs2: Reg::ZERO, imm: 0 });
+        self.push(Instr {
+            op: Op::Halt,
+            rd: Reg::ZERO,
+            rs1: Reg::ZERO,
+            rs2: Reg::ZERO,
+            imm: 0,
+        });
     }
 
     /// Resolves labels and produces the program.
@@ -269,7 +434,12 @@ impl Asm {
             .enumerate()
             .map(|(pc, item)| match item {
                 Pending::Ready(i) => *i,
-                Pending::Branch { op, rs1, rs2, target } => {
+                Pending::Branch {
+                    op,
+                    rs1,
+                    rs2,
+                    target,
+                } => {
                     let off = resolve(*target) as i64 - pc as i64;
                     Instr {
                         op: *op,
@@ -291,13 +461,20 @@ impl Asm {
                 }
             })
             .collect();
-        Program { code, data: self.data }
+        Program {
+            code,
+            data: self.data,
+        }
     }
 
     /// Assembles and also returns a map from label to PC (for tests).
     pub fn assemble_with_labels(self) -> (Program, HashMap<usize, usize>) {
-        let labels: HashMap<usize, usize> =
-            self.labels.iter().enumerate().filter_map(|(i, o)| o.map(|pc| (i, pc))).collect();
+        let labels: HashMap<usize, usize> = self
+            .labels
+            .iter()
+            .enumerate()
+            .filter_map(|(i, o)| o.map(|pc| (i, pc)))
+            .collect();
         (self.assemble(), labels)
     }
 }

@@ -29,7 +29,12 @@ pub struct BpredConfig {
 
 impl Default for BpredConfig {
     fn default() -> Self {
-        BpredConfig { kind: BpredKind::Gshare, gshare_bits: 12, btb_entries: 512, ras_depth: 8 }
+        BpredConfig {
+            kind: BpredKind::Gshare,
+            gshare_bits: 12,
+            btb_entries: 512,
+            ras_depth: 8,
+        }
     }
 }
 
@@ -86,33 +91,61 @@ impl Bpred {
                     self.ras_push(pc + 1);
                 }
                 let t = self.btb_lookup(pc).unwrap_or(pc + 1);
-                Prediction { taken: true, target: t, pht_index: None }
+                Prediction {
+                    taken: true,
+                    target: t,
+                    pht_index: None,
+                }
             }
             Op::Jalr => {
                 if rd == Reg::ZERO && rs1 == Reg::RA {
                     // Return: pop RAS.
                     let t = self.ras.pop().unwrap_or(pc + 1);
-                    Prediction { taken: true, target: t, pht_index: None }
+                    Prediction {
+                        taken: true,
+                        target: t,
+                        pht_index: None,
+                    }
                 } else {
                     if rd == Reg::RA {
                         self.ras_push(pc + 1);
                     }
                     let t = self.btb_lookup(pc).unwrap_or(pc + 1);
-                    Prediction { taken: true, target: t, pht_index: None }
+                    Prediction {
+                        taken: true,
+                        target: t,
+                        pht_index: None,
+                    }
                 }
             }
             _ if op.is_branch() => {
                 if self.cfg.kind == BpredKind::StaticNotTaken {
-                    return Prediction { taken: false, target: pc + 1, pht_index: None };
+                    return Prediction {
+                        taken: false,
+                        target: pc + 1,
+                        pht_index: None,
+                    };
                 }
                 let idx = self.pht_index(pc);
                 let taken = self.pht[idx] >= 2;
-                let target = if taken { self.btb_lookup(pc).unwrap_or(pc + 1) } else { pc + 1 };
+                let target = if taken {
+                    self.btb_lookup(pc).unwrap_or(pc + 1)
+                } else {
+                    pc + 1
+                };
                 // Speculatively update global history.
                 self.ghr = (self.ghr << 1) | taken as u64;
-                Prediction { taken, target, pht_index: Some(idx) }
+                Prediction {
+                    taken,
+                    target,
+                    pht_index: Some(idx),
+                }
             }
-            _ => Prediction { taken: false, target: pc + 1, pht_index: None },
+            _ => Prediction {
+                taken: false,
+                target: pc + 1,
+                pht_index: None,
+            },
         }
     }
 
@@ -211,7 +244,10 @@ mod tests {
 
     #[test]
     fn static_not_taken_never_predicts_taken() {
-        let cfg = BpredConfig { kind: BpredKind::StaticNotTaken, ..BpredConfig::default() };
+        let cfg = BpredConfig {
+            kind: BpredKind::StaticNotTaken,
+            ..BpredConfig::default()
+        };
         let mut b = Bpred::new(cfg);
         for _ in 0..4 {
             let p = b.predict(77, Op::Beq, Reg::ZERO, Reg::ZERO);
@@ -225,7 +261,10 @@ mod tests {
 
     #[test]
     fn bimodal_learns_per_pc_bias() {
-        let cfg = BpredConfig { kind: BpredKind::Bimodal, ..BpredConfig::default() };
+        let cfg = BpredConfig {
+            kind: BpredKind::Bimodal,
+            ..BpredConfig::default()
+        };
         let mut b = Bpred::new(cfg);
         for _ in 0..6 {
             let p = b.predict(300, Op::Bne, Reg::ZERO, Reg::ZERO);

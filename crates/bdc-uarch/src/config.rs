@@ -31,7 +31,14 @@ impl StagePlan {
     /// The 9-stage baseline (each function takes one stage; execute,
     /// writeback and retire account for the other three).
     pub fn baseline9() -> Self {
-        StagePlan { fetch: 1, decode: 1, rename: 1, dispatch: 1, issue: 1, regread: 1 }
+        StagePlan {
+            fetch: 1,
+            decode: 1,
+            rename: 1,
+            dispatch: 1,
+            issue: 1,
+            regread: 1,
+        }
     }
 
     /// Total pipeline stages (front-end + execute + writeback + retire).
@@ -128,7 +135,10 @@ impl CoreConfig {
     /// # Panics
     /// Panics if `backend_pipes < 3`.
     pub fn with_widths(fetch_width: usize, backend_pipes: usize) -> Self {
-        assert!(backend_pipes >= 3, "back end needs mem + ctrl + ≥1 ALU pipes");
+        assert!(
+            backend_pipes >= 3,
+            "back end needs mem + ctrl + ≥1 ALU pipes"
+        );
         CoreConfig {
             fetch_width,
             alu_pipes: backend_pipes - 2,
@@ -164,7 +174,10 @@ mod tests {
 
     #[test]
     fn splitting_deepens_the_plan() {
-        let p = StagePlan::baseline9().split("fetch").split("issue").split("issue");
+        let p = StagePlan::baseline9()
+            .split("fetch")
+            .split("issue")
+            .split("issue");
         assert_eq!(p.total_stages(), 12);
         assert_eq!(p.front_latency(), 5);
         assert_eq!(p.issue_to_execute(), 2);

@@ -188,7 +188,8 @@ impl OooCore {
                     let taken = actual_next != e.pc.wrapping_add(1);
                     let mispredicted = actual_next != e.pred_next;
                     let (pc, op, pht) = (e.pc, e.instr.op, e.pht_index);
-                    self.bpred.update(pc, op, taken, actual_next, mispredicted, pht);
+                    self.bpred
+                        .update(pc, op, taken, actual_next, mispredicted, pht);
                     if mispredicted {
                         self.stats.mispredicts += 1;
                         let seq = self.rob[i].seq;
@@ -307,9 +308,11 @@ impl OooCore {
             // Loads additionally wait for all older stores to resolve.
             if instr.op == Op::Lw {
                 let seq = self.rob[i].seq;
-                let blocked = self.rob.iter().take(i).any(|e| {
-                    e.seq < seq && e.instr.op == Op::Sw && e.store.is_none()
-                });
+                let blocked = self
+                    .rob
+                    .iter()
+                    .take(i)
+                    .any(|e| e.seq < seq && e.instr.op == Op::Sw && e.store.is_none());
                 if blocked {
                     continue;
                 }
@@ -356,9 +359,9 @@ impl OooCore {
             vec![0]
         } else if op.is_control() {
             vec![1]
-        } else if op.is_muldiv() {
-            (2..self.pipe_busy.len()).collect() // every ALU pipe has a mul/div unit
         } else {
+            // ALU and mul/div ops share pipes 2..: every ALU pipe has a
+            // mul/div unit.
             (2..self.pipe_busy.len()).collect()
         };
         candidates.into_iter().find(|&p| self.pipe_busy[p] <= cycle)
@@ -460,7 +463,11 @@ impl OooCore {
             if let Some(rd) = fe.instr.dest() {
                 self.map[rd.0 as usize] = Some(seq);
             }
-            let state = if fe.instr.op == Op::Halt { Exec::Done } else { Exec::Waiting };
+            let state = if fe.instr.op == Op::Halt {
+                Exec::Done
+            } else {
+                Exec::Waiting
+            };
             self.rob.push_back(RobEntry {
                 seq,
                 pc: fe.pc,
@@ -510,7 +517,13 @@ impl OooCore {
             } else {
                 (pc + 1, false, None)
             };
-            self.front.push_back(FrontEntry { pc, instr, pred_next, pht_index, ready_at });
+            self.front.push_back(FrontEntry {
+                pc,
+                instr,
+                pred_next,
+                pht_index,
+                ready_at,
+            });
             if instr.op == Op::Halt {
                 self.fetch_stopped = true;
                 break;
@@ -561,7 +574,10 @@ mod tests {
         let mut core = OooCore::new(&p, CoreConfig::baseline(), 4096);
         let stats = core.run(100_000);
         let ipc = stats.ipc();
-        assert!(ipc > 0.1 && ipc <= 1.0 + 1e-9, "baseline single-issue IPC = {ipc}");
+        assert!(
+            ipc > 0.1 && ipc <= 1.0 + 1e-9,
+            "baseline single-issue IPC = {ipc}"
+        );
     }
 
     #[test]
@@ -637,7 +653,10 @@ mod tests {
             deep.ipc(),
             shallow.ipc()
         );
-        assert!(shallow.mispredict_rate() > 0.05, "branch pattern should be hard");
+        assert!(
+            shallow.mispredict_rate() > 0.05,
+            "branch pattern should be hard"
+        );
     }
 
     #[test]
@@ -693,7 +712,7 @@ mod tests {
         // A huge straight-line program (> L1I) streams through the icache.
         let mut a = Asm::new();
         for i in 0..6000 {
-            a.addi(Reg(1), Reg(1), ((i % 7)));
+            a.addi(Reg(1), Reg(1), i % 7);
         }
         a.halt();
         let p = a.assemble();
@@ -725,7 +744,11 @@ mod tests {
         let commit = cfg.commit_width;
         let stats = OooCore::new(&p, cfg, 4096).run(100_000);
         assert!(stats.ipc() <= commit as f64 + 1e-9);
-        assert!(stats.ipc() > 0.5 * commit as f64, "IPC {:.2} of {commit}", stats.ipc());
+        assert!(
+            stats.ipc() > 0.5 * commit as f64,
+            "IPC {:.2} of {commit}",
+            stats.ipc()
+        );
     }
 
     #[test]
@@ -733,9 +756,12 @@ mod tests {
         // Pointer chase across a footprint much larger than L1D.
         let mut a = Asm::new();
         let n = 8192; // words, 32 KiB > 8 KiB L1D
-        // Build a stride-17 cycle through the array.
+                      // Build a stride-17 cycle through the array.
         for i in 0..n {
-            a.data_word(1000 + i, (1000 + ((i as i64 + 17) % n as i64) as u32 as i64) as u32);
+            a.data_word(
+                1000 + i,
+                (1000 + ((i as i64 + 17) % n as i64) as u32 as i64) as u32,
+            );
         }
         let top = a.label();
         a.li(Reg(1), 1000);
@@ -749,6 +775,10 @@ mod tests {
         let p = a.assemble();
         let stats = OooCore::new(&p, CoreConfig::baseline(), 1 << 16).run(100_000);
         assert!(stats.ipc() < 0.4, "pointer chase IPC = {:.3}", stats.ipc());
-        assert!(stats.dcache_miss_rate() > 0.3, "miss rate {:.3}", stats.dcache_miss_rate());
+        assert!(
+            stats.dcache_miss_rate() > 0.3,
+            "miss rate {:.3}",
+            stats.dcache_miss_rate()
+        );
     }
 }

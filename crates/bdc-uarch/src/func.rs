@@ -75,7 +75,12 @@ impl Interp {
         }
         self.pc = next_pc;
         self.icount += 1;
-        Some(Step { pc, instr, next_pc, wrote })
+        Some(Step {
+            pc,
+            instr,
+            next_pc,
+            wrote,
+        })
     }
 
     /// Runs until HALT or `max_instructions`. Returns instructions executed.
@@ -119,11 +124,19 @@ pub fn execute(
         Op::Lui => (seq, Some((rd, (i as u32).wrapping_shl(13)))),
         Op::Mul => (seq, Some((rd, a.wrapping_mul(b)))),
         Op::Div => {
-            let v = if b == 0 { u32::MAX } else { ((a as i32).wrapping_div(b as i32)) as u32 };
+            let v = if b == 0 {
+                u32::MAX
+            } else {
+                ((a as i32).wrapping_div(b as i32)) as u32
+            };
             (seq, Some((rd, v)))
         }
         Op::Rem => {
-            let v = if b == 0 { a } else { ((a as i32).wrapping_rem(b as i32)) as u32 };
+            let v = if b == 0 {
+                a
+            } else {
+                ((a as i32).wrapping_rem(b as i32)) as u32
+            };
             (seq, Some((rd, v)))
         }
         Op::Lw => {
@@ -135,10 +148,38 @@ pub fn execute(
             mem.write(addr, b);
             (seq, None)
         }
-        Op::Beq => (if a == b { pc.wrapping_add(i as u32) } else { seq }, None),
-        Op::Bne => (if a != b { pc.wrapping_add(i as u32) } else { seq }, None),
-        Op::Blt => (if (a as i32) < (b as i32) { pc.wrapping_add(i as u32) } else { seq }, None),
-        Op::Bge => (if (a as i32) >= (b as i32) { pc.wrapping_add(i as u32) } else { seq }, None),
+        Op::Beq => (
+            if a == b {
+                pc.wrapping_add(i as u32)
+            } else {
+                seq
+            },
+            None,
+        ),
+        Op::Bne => (
+            if a != b {
+                pc.wrapping_add(i as u32)
+            } else {
+                seq
+            },
+            None,
+        ),
+        Op::Blt => (
+            if (a as i32) < (b as i32) {
+                pc.wrapping_add(i as u32)
+            } else {
+                seq
+            },
+            None,
+        ),
+        Op::Bge => (
+            if (a as i32) >= (b as i32) {
+                pc.wrapping_add(i as u32)
+            } else {
+                seq
+            },
+            None,
+        ),
         Op::Jal => (pc.wrapping_add(i as u32), Some((rd, seq))),
         Op::Jalr => (a.wrapping_add(i as u32), Some((rd, seq))),
         Op::Halt => (pc, None),

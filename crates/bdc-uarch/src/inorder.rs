@@ -95,7 +95,9 @@ impl InOrderCore {
             let pc = self.interp.pc;
             // Snapshot sources before executing (the step may overwrite rs1).
             let regs_before = self.interp.regs;
-            let Some(step) = self.interp.step() else { break };
+            let Some(step) = self.interp.step() else {
+                break;
+            };
             let instr = step.instr;
 
             // Fetch: one icache access per instruction (scalar).
@@ -144,7 +146,8 @@ impl InOrderCore {
                 let p = self.bpred.predict(pc, instr.op, instr.rd, instr.rs1);
                 let taken = step.next_pc != pc.wrapping_add(1);
                 let mispredicted = p.target != step.next_pc || p.taken != taken;
-                self.bpred.update(pc, instr.op, taken, step.next_pc, mispredicted, p.pht_index);
+                self.bpred
+                    .update(pc, instr.op, taken, step.next_pc, mispredicted, p.pht_index);
                 if instr.op.is_branch() {
                     self.stats.branches += 1;
                 }
@@ -182,7 +185,11 @@ mod tests {
         let mut core = InOrderCore::new(&p, InOrderConfig::default(), 1 << 15);
         let stats = core.run(100_000);
         assert!(core.halted());
-        assert!(stats.ipc() > 0.1 && stats.ipc() <= 1.0, "IPC {}", stats.ipc());
+        assert!(
+            stats.ipc() > 0.1 && stats.ipc() <= 1.0,
+            "IPC {}",
+            stats.ipc()
+        );
     }
 
     #[test]

@@ -164,7 +164,13 @@ pub struct Instr {
 
 impl Instr {
     /// A canonical NOP (`addi r0, r0, 0`).
-    pub const NOP: Instr = Instr { op: Op::Addi, rd: Reg(0), rs1: Reg(0), rs2: Reg(0), imm: 0 };
+    pub const NOP: Instr = Instr {
+        op: Op::Addi,
+        rd: Reg(0),
+        rs1: Reg(0),
+        rs2: Reg(0),
+        imm: 0,
+    };
 
     /// Encodes to a 32-bit word.
     ///
@@ -173,13 +179,24 @@ impl Instr {
     pub fn encode(&self) -> u32 {
         let op = self.op.code();
         if self.op == Op::Jal {
-            assert!(self.imm >= -(1 << 21) && self.imm < (1 << 21), "jal imm out of range");
+            assert!(
+                self.imm >= -(1 << 21) && self.imm < (1 << 21),
+                "jal imm out of range"
+            );
             let imm = (self.imm as u32) & 0x3F_FFFF;
             return (op << 26) | ((self.rd.0 as u32) << 22) | imm;
         }
-        assert!(self.imm >= -(1 << 13) && self.imm < (1 << 13), "imm out of range: {}", self.imm);
+        assert!(
+            self.imm >= -(1 << 13) && self.imm < (1 << 13),
+            "imm out of range: {}",
+            self.imm
+        );
         let imm = (self.imm as u32) & 0x3FFF;
-        (op << 26) | ((self.rd.0 as u32) << 22) | ((self.rs1.0 as u32) << 18) | ((self.rs2.0 as u32) << 14) | imm
+        (op << 26)
+            | ((self.rd.0 as u32) << 22)
+            | ((self.rs1.0 as u32) << 18)
+            | ((self.rs2.0 as u32) << 14)
+            | imm
     }
 
     /// Decodes a 32-bit word.
@@ -191,13 +208,25 @@ impl Instr {
         if op == Op::Jal {
             let raw = word & 0x3F_FFFF;
             let imm = ((raw << 10) as i32) >> 10;
-            return Some(Instr { op, rd, rs1: Reg(0), rs2: Reg(0), imm });
+            return Some(Instr {
+                op,
+                rd,
+                rs1: Reg(0),
+                rs2: Reg(0),
+                imm,
+            });
         }
         let rs1 = Reg(((word >> 18) & 0xF) as u8);
         let rs2 = Reg(((word >> 14) & 0xF) as u8);
         let raw = word & 0x3FFF;
         let imm = ((raw << 18) as i32) >> 18;
-        Some(Instr { op, rd, rs1, rs2, imm })
+        Some(Instr {
+            op,
+            rd,
+            rs1,
+            rs2,
+            imm,
+        })
     }
 
     /// Registers this instruction reads.
@@ -214,7 +243,10 @@ impl Instr {
 
     /// Register this instruction writes, if any (`r0` filtered out).
     pub fn dest(&self) -> Option<Reg> {
-        let writes = !matches!(self.op, Op::Sw | Op::Beq | Op::Bne | Op::Blt | Op::Bge | Op::Halt);
+        let writes = !matches!(
+            self.op,
+            Op::Sw | Op::Beq | Op::Bne | Op::Blt | Op::Bge | Op::Halt
+        );
         (writes && self.rd != Reg::ZERO).then_some(self.rd)
     }
 }
@@ -240,9 +272,21 @@ mod tests {
 
     #[test]
     fn immediate_sign_extension() {
-        let i = Instr { op: Op::Addi, rd: Reg(1), rs1: Reg(2), rs2: Reg(0), imm: -1 };
+        let i = Instr {
+            op: Op::Addi,
+            rd: Reg(1),
+            rs1: Reg(2),
+            rs2: Reg(0),
+            imm: -1,
+        };
         assert_eq!(Instr::decode(i.encode()).unwrap().imm, -1);
-        let j = Instr { op: Op::Jal, rd: Reg(15), rs1: Reg(0), rs2: Reg(0), imm: -(1 << 20) };
+        let j = Instr {
+            op: Op::Jal,
+            rd: Reg(15),
+            rs1: Reg(0),
+            rs2: Reg(0),
+            imm: -(1 << 20),
+        };
         assert_eq!(Instr::decode(j.encode()).unwrap().imm, -(1 << 20));
     }
 
@@ -253,19 +297,43 @@ mod tests {
 
     #[test]
     fn source_dest_classification() {
-        let add = Instr { op: Op::Add, rd: Reg(3), rs1: Reg(1), rs2: Reg(2), imm: 0 };
+        let add = Instr {
+            op: Op::Add,
+            rd: Reg(3),
+            rs1: Reg(1),
+            rs2: Reg(2),
+            imm: 0,
+        };
         assert_eq!(add.sources(), vec![Reg(1), Reg(2)]);
         assert_eq!(add.dest(), Some(Reg(3)));
-        let sw = Instr { op: Op::Sw, rd: Reg(0), rs1: Reg(1), rs2: Reg(2), imm: 4 };
+        let sw = Instr {
+            op: Op::Sw,
+            rd: Reg(0),
+            rs1: Reg(1),
+            rs2: Reg(2),
+            imm: 4,
+        };
         assert_eq!(sw.dest(), None);
-        let to_zero = Instr { op: Op::Add, rd: Reg(0), rs1: Reg(1), rs2: Reg(2), imm: 0 };
+        let to_zero = Instr {
+            op: Op::Add,
+            rd: Reg(0),
+            rs1: Reg(1),
+            rs2: Reg(2),
+            imm: 0,
+        };
         assert_eq!(to_zero.dest(), None);
     }
 
     #[test]
     #[should_panic(expected = "imm out of range")]
     fn oversized_immediate_panics() {
-        let i = Instr { op: Op::Addi, rd: Reg(1), rs1: Reg(1), rs2: Reg(0), imm: 100_000 };
+        let i = Instr {
+            op: Op::Addi,
+            rd: Reg(1),
+            rs1: Reg(1),
+            rs2: Reg(0),
+            imm: 100_000,
+        };
         let _ = i.encode();
     }
 

@@ -11,7 +11,9 @@ pub struct Memory {
 impl Memory {
     /// Creates a zeroed memory of `words` 32-bit words.
     pub fn new(words: usize) -> Self {
-        Memory { words: vec![0; words] }
+        Memory {
+            words: vec![0; words],
+        }
     }
 
     /// Creates a memory seeded with a program's data image.
@@ -61,12 +63,22 @@ pub struct CacheConfig {
 impl CacheConfig {
     /// 8 KiB, 4-way, 32 B lines — the L1I default.
     pub fn l1i() -> Self {
-        CacheConfig { size_bytes: 8 * 1024, line_bytes: 32, ways: 4, hit_latency: 1 }
+        CacheConfig {
+            size_bytes: 8 * 1024,
+            line_bytes: 32,
+            ways: 4,
+            hit_latency: 1,
+        }
     }
 
     /// 8 KiB, 4-way, 32 B lines, 2-cycle — the L1D default.
     pub fn l1d() -> Self {
-        CacheConfig { size_bytes: 8 * 1024, line_bytes: 32, ways: 4, hit_latency: 2 }
+        CacheConfig {
+            size_bytes: 8 * 1024,
+            line_bytes: 32,
+            ways: 4,
+            hit_latency: 2,
+        }
     }
 
     fn sets(&self) -> usize {
@@ -90,7 +102,13 @@ impl Cache {
     /// Creates an empty cache.
     pub fn new(cfg: CacheConfig) -> Self {
         let sets = cfg.sets();
-        Cache { cfg, tags: vec![Vec::new(); sets], tick: 0, hits: 0, misses: 0 }
+        Cache {
+            cfg,
+            tags: vec![Vec::new(); sets],
+            tick: 0,
+            hits: 0,
+            misses: 0,
+        }
     }
 
     /// Accesses the line containing `word_addr`; returns `true` on hit and
@@ -172,7 +190,12 @@ mod tests {
     #[test]
     fn lru_evicts_oldest() {
         // 1-set cache: 2 ways, 32 B lines, 64 B total.
-        let cfg = CacheConfig { size_bytes: 64, line_bytes: 32, ways: 2, hit_latency: 1 };
+        let cfg = CacheConfig {
+            size_bytes: 64,
+            line_bytes: 32,
+            ways: 2,
+            hit_latency: 1,
+        };
         let mut c = Cache::new(cfg);
         assert!(!c.access(0)); // line A
         assert!(!c.access(8)); // line B

@@ -67,7 +67,11 @@ mod tests {
 
     #[test]
     fn ipc_divides() {
-        let s = SimStats { cycles: 100, instructions: 150, ..Default::default() };
+        let s = SimStats {
+            cycles: 100,
+            instructions: 150,
+            ..Default::default()
+        };
         assert!((s.ipc() - 1.5).abs() < 1e-12);
     }
 }

@@ -91,7 +91,10 @@ fn parse_reg(tok: &str, line: usize) -> Result<Reg, AsmError> {
         .strip_prefix('r')
         .and_then(|n| n.parse::<u8>().ok())
         .filter(|&n| n < 16)
-        .ok_or_else(|| AsmError { line, message: format!("bad register {t:?}") })?;
+        .ok_or_else(|| AsmError {
+            line,
+            message: format!("bad register {t:?}"),
+        })?;
     Ok(Reg(idx))
 }
 
@@ -106,7 +109,10 @@ fn parse_imm(tok: &str, line: usize) -> Result<i32, AsmError> {
     };
     parsed
         .and_then(|v| i32::try_from(v).ok())
-        .ok_or_else(|| AsmError { line, message: format!("bad immediate {t:?}") })
+        .ok_or_else(|| AsmError {
+            line,
+            message: format!("bad immediate {t:?}"),
+        })
 }
 
 /// Parses `imm(rN)` memory-operand syntax.
@@ -118,9 +124,16 @@ fn parse_mem(tok: &str, line: usize) -> Result<(i32, Reg), AsmError> {
     })?;
     let close = t.len() - 1;
     if !t.ends_with(')') {
-        return Err(AsmError { line, message: format!("expected imm(reg), got {t:?}") });
+        return Err(AsmError {
+            line,
+            message: format!("expected imm(reg), got {t:?}"),
+        });
     }
-    let imm = if open == 0 { 0 } else { parse_imm(&t[..open], line)? };
+    let imm = if open == 0 {
+        0
+    } else {
+        parse_imm(&t[..open], line)?
+    };
     let reg = parse_reg(&t[open + 1..close], line)?;
     Ok((imm, reg))
 }
@@ -133,9 +146,8 @@ fn parse_mem(tok: &str, line: usize) -> Result<(i32, Reg), AsmError> {
 pub fn assemble_text(source: &str) -> Result<Program, AsmError> {
     let mut a = Asm::new();
     let mut labels: HashMap<String, crate::asm::Label> = HashMap::new();
-    let mut label_of = |a: &mut Asm, name: &str| {
-        *labels.entry(name.to_string()).or_insert_with(|| a.label())
-    };
+    let mut label_of =
+        |a: &mut Asm, name: &str| *labels.entry(name.to_string()).or_insert_with(|| a.label());
     let mut bound: Vec<String> = Vec::new();
 
     for (ln0, raw) in source.lines().enumerate() {
@@ -154,7 +166,10 @@ pub fn assemble_text(source: &str) -> Result<Program, AsmError> {
             }
             let l = label_of(&mut a, name);
             if bound.contains(&name.to_string()) {
-                return Err(AsmError { line, message: format!("label {name:?} bound twice") });
+                return Err(AsmError {
+                    line,
+                    message: format!("label {name:?} bound twice"),
+                });
             }
             a.bind(l);
             bound.push(name.to_string());
@@ -277,14 +292,20 @@ pub fn assemble_text(source: &str) -> Result<Program, AsmError> {
                 a.halt();
             }
             other => {
-                return Err(AsmError { line, message: format!("unknown mnemonic {other:?}") })
+                return Err(AsmError {
+                    line,
+                    message: format!("unknown mnemonic {other:?}"),
+                })
             }
         }
     }
     // Unbound labels become assemble-time panics; convert to errors first.
     for (name, _) in labels.iter() {
         if !bound.contains(name) {
-            return Err(AsmError { line: 0, message: format!("label {name:?} never bound") });
+            return Err(AsmError {
+                line: 0,
+                message: format!("label {name:?} never bound"),
+            });
         }
     }
     Ok(a.assemble())

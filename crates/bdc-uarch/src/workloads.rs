@@ -92,7 +92,10 @@ struct Lcg(u64);
 
 impl Lcg {
     fn next(&mut self) -> u32 {
-        self.0 = self.0.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        self.0 = self
+            .0
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         (self.0 >> 33) as u32
     }
 }
@@ -270,7 +273,11 @@ fn gzipish(outer: u32) -> Program {
     let mut lcg = Lcg(0x9219);
     // Compressible-ish text: small alphabet with repeats.
     for k in 0..n {
-        let v = if k % 7 < 3 { (k as u32 / 7) % 17 } else { lcg.next() % 17 };
+        let v = if k % 7 < 3 {
+            (k as u32 / 7) % 17
+        } else {
+            lcg.next() % 17
+        };
         a.data_word((text + k) as u32, v);
     }
     let top = a.label();
@@ -368,7 +375,11 @@ fn parserish(outer: u32) -> Program {
     let mut lcg = Lcg(0x9A125);
     // Fill ~60% of the dictionary.
     for k in 0..dsize {
-        let v = if lcg.next() % 10 < 6 { lcg.next() | 1 } else { 0 };
+        let v = if lcg.next() % 10 < 6 {
+            lcg.next() | 1
+        } else {
+            0
+        };
         a.data_word((dict + k) as u32, v);
     }
     let f_probe = a.label();
@@ -429,7 +440,10 @@ fn vortexish(outer: u32) -> Program {
     let rec_words = 6i32;
     let mut lcg = Lcg(0x407);
     for k in 0..nrec {
-        a.data_word((index + k) as u32, (heap + (lcg.next() as i32 % nrec) * rec_words) as u32);
+        a.data_word(
+            (index + k) as u32,
+            (heap + (lcg.next() as i32 % nrec) * rec_words) as u32,
+        );
     }
     let f_get = a.label();
     let f_put = a.label();
@@ -510,10 +524,8 @@ mod tests {
         let mcf = build_workload(Workload::Mcf, 6);
         let dhry = build_workload(Workload::Dhrystone, 200);
         let cfg = CoreConfig::baseline();
-        let s_mcf =
-            OooCore::new(&mcf, cfg.clone(), Workload::Mcf.memory_words()).run(200_000);
-        let s_dhry =
-            OooCore::new(&dhry, cfg, Workload::Dhrystone.memory_words()).run(200_000);
+        let s_mcf = OooCore::new(&mcf, cfg.clone(), Workload::Mcf.memory_words()).run(200_000);
+        let s_dhry = OooCore::new(&dhry, cfg, Workload::Dhrystone.memory_words()).run(200_000);
         assert!(
             s_mcf.dcache_miss_rate() > 4.0 * s_dhry.dcache_miss_rate().max(0.01),
             "mcf {:.3} vs dhrystone {:.3}",

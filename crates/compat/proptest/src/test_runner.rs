@@ -1,0 +1,178 @@
+//! The case-execution loop behind the `proptest!` macro.
+
+use rand::rngs::SmallRng;
+use rand::{Rng as _, SeedableRng as _};
+
+/// Per-test configuration; only `cases` is honoured by this stub.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of successful cases required.
+    pub cases: u32,
+    /// Maximum total rejected (`prop_assume!`) cases before giving up.
+    pub max_global_rejects: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig {
+            cases,
+            ..Self::default()
+        }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig {
+            cases: 64,
+            max_global_rejects: 4096,
+        }
+    }
+}
+
+/// Why a single case did not pass.
+#[derive(Debug, Clone)]
+pub enum TestCaseError {
+    /// `prop_assert*` failure — the property is violated.
+    Fail(String),
+    /// `prop_assume!` rejection — the inputs were uninteresting.
+    Reject(String),
+}
+
+impl TestCaseError {
+    /// A property violation.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError::Fail(msg.into())
+    }
+
+    /// An input rejection.
+    pub fn reject(msg: impl Into<String>) -> Self {
+        TestCaseError::Reject(msg.into())
+    }
+}
+
+/// The random source handed to strategies.
+///
+/// Concrete (not a trait object) so that `Strategy` stays object-safe.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    inner: SmallRng,
+}
+
+macro_rules! rng_int_method {
+    ($($name:ident -> $t:ty),*) => {$(
+        /// Uniform draw from a half-open range.
+        pub fn $name(&mut self, range: std::ops::Range<$t>) -> $t {
+            self.inner.gen_range(range)
+        }
+    )*};
+}
+
+impl TestRng {
+    fn from_name(name: &str) -> Self {
+        // FNV-1a over the test name: deterministic, stable across runs.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        TestRng {
+            inner: SmallRng::seed_from_u64(h),
+        }
+    }
+
+    /// Raw 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.inner.gen()
+    }
+
+    /// Uniform draw from a half-open `f64` range (degenerate ranges return
+    /// the lower bound).
+    pub fn gen_f64(&mut self, range: std::ops::Range<f64>) -> f64 {
+        if range.start >= range.end {
+            return range.start;
+        }
+        self.inner.gen_range(range)
+    }
+
+    rng_int_method!(
+        gen_u8 -> u8, gen_u16 -> u16, gen_u32 -> u32, gen_u64 -> u64, gen_usize -> usize,
+        gen_i8 -> i8, gen_i16 -> i16, gen_i32 -> i32, gen_i64 -> i64, gen_isize -> isize
+    );
+}
+
+/// Runs `case` until `cfg.cases` successes, panicking on the first failure.
+///
+/// # Panics
+/// Panics when a case fails or the reject budget is exhausted — that is how
+/// `proptest!` tests report failure to the harness.
+pub fn run(
+    cfg: ProptestConfig,
+    name: &str,
+    mut case: impl FnMut(&mut TestRng) -> Result<(), TestCaseError>,
+) {
+    let mut rng = TestRng::from_name(name);
+    let mut rejects = 0u32;
+    let mut passed = 0u32;
+    while passed < cfg.cases {
+        match case(&mut rng) {
+            Ok(()) => passed += 1,
+            Err(TestCaseError::Fail(msg)) => {
+                panic!("proptest '{name}' failed after {passed} passing cases: {msg}");
+            }
+            Err(TestCaseError::Reject(what)) => {
+                rejects += 1;
+                assert!(
+                    rejects <= cfg.max_global_rejects,
+                    "proptest '{name}': too many prop_assume! rejections ({what})"
+                );
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn runs_requested_cases() {
+        let mut n = 0;
+        run(ProptestConfig::with_cases(17), "t", |_| {
+            n += 1;
+            Ok(())
+        });
+        assert_eq!(n, 17);
+    }
+
+    #[test]
+    #[should_panic(expected = "failed after")]
+    fn failure_panics() {
+        run(ProptestConfig::with_cases(5), "t", |_| {
+            Err(TestCaseError::fail("boom"))
+        });
+    }
+
+    #[test]
+    fn rejections_retry() {
+        let mut calls = 0;
+        run(ProptestConfig::with_cases(3), "t", |_| {
+            calls += 1;
+            if calls % 2 == 0 {
+                Err(TestCaseError::reject("odd"))
+            } else {
+                Ok(())
+            }
+        });
+        assert!(calls > 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "too many")]
+    fn reject_budget_is_bounded() {
+        run(ProptestConfig::with_cases(1), "t", |_| {
+            Err(TestCaseError::reject("never"))
+        });
+    }
+}

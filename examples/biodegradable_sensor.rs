@@ -23,7 +23,10 @@ use bdc_uarch::Workload;
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("Biodegradable sensor-node design exploration (pentacene process)\n");
     let kit = TechKit::build(Process::Organic)?;
-    let budget = SimBudget { outer: 80, instructions: 30_000 };
+    let budget = SimBudget {
+        outer: 80,
+        instructions: 30_000,
+    };
 
     // The sensing duty: 60% compression-like work, 40% control-like work.
     let mix = [(Workload::Gzip, 0.6), (Workload::Dhrystone, 0.4)];
@@ -68,7 +71,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     print!(
         "{}",
         render_table(
-            &["design", "clock", "instr/s", "samples/h", "panel cm2", "samples/h/cm2"],
+            &[
+                "design",
+                "clock",
+                "instr/s",
+                "samples/h",
+                "panel cm2",
+                "samples/h/cm2"
+            ],
             &rows
         )
     );

@@ -52,7 +52,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut program = assemble_text(MATMUL)?;
     for k in 0..16u32 {
         program.data.push((1000 + k, k + 1)); // A = 1..16
-        program.data.push((1016 + k, if k % 5 == 0 { 1 } else { 0 })); // B = I
+        program
+            .data
+            .push((1016 + k, if k % 5 == 0 { 1 } else { 0 })); // B = I
     }
     let mut golden = Interp::new(&program, 4096);
     golden.run(100_000);
@@ -61,7 +63,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for k in 0..16u32 {
         assert_eq!(golden.mem.read(1032 + k), k + 1, "C[{k}]");
     }
-    println!("matmul verified on the golden model ({} instructions)", golden.icount);
+    println!(
+        "matmul verified on the golden model ({} instructions)",
+        golden.icount
+    );
     println!("\ndisassembly (first 12 instructions):");
     for line in disassemble(&program).lines().take(12) {
         println!("  {line}");

@@ -10,7 +10,9 @@
 //! cargo run --release --example device_scaling
 //! ```
 
-use bdc_cells::{characterize_gate, organic_inverter, CharacterizeConfig, OrganicSizing, OrganicStyle};
+use bdc_cells::{
+    characterize_gate, organic_inverter, CharacterizeConfig, OrganicSizing, OrganicStyle,
+};
 use bdc_core::flow::{split_critical, synthesize_core};
 use bdc_core::report::{fmt_freq, fmt_time};
 use bdc_core::{CoreSpec, Process, TechKit};
@@ -23,12 +25,23 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let pentacene = Level61Model::new(TftParams::pentacene());
     let dntt = Level61Model::new(TftParams::dntt());
     println!("I_D(VGS=-10V, VDS=-10V):");
-    println!("  pentacene: {:.2} uA", pentacene.ids(-10.0, -10.0).abs() * 1.0e6);
-    println!("  DNTT     : {:.2} uA", dntt.ids(-10.0, -10.0).abs() * 1.0e6);
+    println!(
+        "  pentacene: {:.2} uA",
+        pentacene.ids(-10.0, -10.0).abs() * 1.0e6
+    );
+    println!(
+        "  DNTT     : {:.2} uA",
+        dntt.ids(-10.0, -10.0).abs() * 1.0e6
+    );
 
     // Gate level: characterize the pseudo-E inverter with each device.
     let cfg = CharacterizeConfig::organic();
-    let gate = organic_inverter(OrganicStyle::PseudoE, &OrganicSizing::library_default(), 5.0, -15.0);
+    let gate = organic_inverter(
+        OrganicStyle::PseudoE,
+        &OrganicSizing::library_default(),
+        5.0,
+        -15.0,
+    );
     let t_pent = characterize_gate(&gate, &cfg)?;
     let d_pent = t_pent.delay_worst().lookup(60.0e-6, 4.0 * gate.input_cap);
     println!("\npentacene inverter FO4-like delay: {}", fmt_time(d_pent));
@@ -43,8 +56,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
     let base = synthesize_core(&kit, &CoreSpec::baseline());
     let deep = synthesize_core(&kit, &spec);
-    println!("\npentacene cores: 9-stage {} -> 14-stage {} ({:.2}x)",
-        fmt_freq(base.frequency), fmt_freq(deep.frequency), deep.frequency / base.frequency);
+    println!(
+        "\npentacene cores: 9-stage {} -> 14-stage {} ({:.2}x)",
+        fmt_freq(base.frequency),
+        fmt_freq(deep.frequency),
+        deep.frequency / base.frequency
+    );
 
     // DNTT-class kit: same flow, faster semiconductor. Mobility enters the
     // library through the device model, so re-deriving the library captures
@@ -54,7 +71,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("curve shifts up while the *architectural* optimum stays deep:");
     let speedup = pentacene_to_dntt_gate_speedup()?;
     println!("  measured gate-level speedup here: {speedup:.1}x");
-    println!("  implied 14-stage DNTT core clock: {}", fmt_freq(deep.frequency * speedup));
+    println!(
+        "  implied 14-stage DNTT core clock: {}",
+        fmt_freq(deep.frequency * speedup)
+    );
     Ok(())
 }
 
@@ -63,37 +83,55 @@ fn pentacene_to_dntt_gate_speedup() -> Result<f64, Box<dyn std::error::Error>> {
     use std::sync::Arc;
     // Ring-oscillator-style comparison: one inverter driving a copy of
     // itself, pentacene vs DNTT devices, identical topology.
-    let stage_delay = |mk: &dyn Fn(f64, f64) -> Arc<dyn DeviceModel>| -> Result<f64, Box<dyn std::error::Error>> {
-        let sizing = OrganicSizing::library_default();
-        let mut c = Circuit::new();
-        let vdd = c.node("vdd");
-        let vin = c.node("in");
-        let out = c.node("out");
-        let vss = c.node("vss");
-        let vdd_src = c.vsource(vdd, Circuit::GND, 5.0);
-        let in_src = c.vsource(vin, Circuit::GND, 0.0);
-        let vss_src = c.vsource(vss, Circuit::GND, -15.0);
-        let x: NodeId = c.node("x");
-        c.fet(x, vin, vdd, mk(sizing.shifter_drive_w, 80.0e-6));
-        c.fet(vss, vss, x, mk(sizing.shifter_load_w, sizing.shifter_load_l));
-        c.fet(out, vin, vdd, mk(sizing.output_drive_w, 80.0e-6));
-        c.fet(Circuit::GND, x, out, mk(sizing.output_load_w, 80.0e-6));
-        let gate = bdc_cells::GateCircuit {
-            circuit: c,
-            inputs: vec![("A".into(), in_src)],
-            output: out,
-            vdd_src,
-            vss_src: Some(vss_src),
-            vdd: 5.0,
-            vss: -15.0,
-            transistor_count: 4,
-            input_cap: 2.0 * 2.5e-10,
-            side_inputs_high: true,
+    let stage_delay =
+        |mk: &dyn Fn(f64, f64) -> Arc<dyn DeviceModel>| -> Result<f64, Box<dyn std::error::Error>> {
+            let sizing = OrganicSizing::library_default();
+            let mut c = Circuit::new();
+            let vdd = c.node("vdd");
+            let vin = c.node("in");
+            let out = c.node("out");
+            let vss = c.node("vss");
+            let vdd_src = c.vsource(vdd, Circuit::GND, 5.0);
+            let in_src = c.vsource(vin, Circuit::GND, 0.0);
+            let vss_src = c.vsource(vss, Circuit::GND, -15.0);
+            let x: NodeId = c.node("x");
+            c.fet(x, vin, vdd, mk(sizing.shifter_drive_w, 80.0e-6));
+            c.fet(
+                vss,
+                vss,
+                x,
+                mk(sizing.shifter_load_w, sizing.shifter_load_l),
+            );
+            c.fet(out, vin, vdd, mk(sizing.output_drive_w, 80.0e-6));
+            c.fet(Circuit::GND, x, out, mk(sizing.output_load_w, 80.0e-6));
+            let gate = bdc_cells::GateCircuit {
+                circuit: c,
+                inputs: vec![("A".into(), in_src)],
+                output: out,
+                vdd_src,
+                vss_src: Some(vss_src),
+                vdd: 5.0,
+                vss: -15.0,
+                transistor_count: 4,
+                input_cap: 2.0 * 2.5e-10,
+                side_inputs_high: true,
+            };
+            let t = characterize_gate(&gate, &CharacterizeConfig::organic())?;
+            Ok(t.delay_worst().lookup(60.0e-6, 4.0 * gate.input_cap))
         };
-        let t = characterize_gate(&gate, &CharacterizeConfig::organic())?;
-        Ok(t.delay_worst().lookup(60.0e-6, 4.0 * gate.input_cap))
-    };
-    let pent = stage_delay(&|w, l| Arc::new(Level61Model::new(TftParams { w, l, ..TftParams::pentacene() })))?;
-    let dntt = stage_delay(&|w, l| Arc::new(Level61Model::new(TftParams { w, l, ..TftParams::dntt() })))?;
+    let pent = stage_delay(&|w, l| {
+        Arc::new(Level61Model::new(TftParams {
+            w,
+            l,
+            ..TftParams::pentacene()
+        }))
+    })?;
+    let dntt = stage_delay(&|w, l| {
+        Arc::new(Level61Model::new(TftParams {
+            w,
+            l,
+            ..TftParams::dntt()
+        }))
+    })?;
     Ok(pent / dntt)
 }

@@ -8,7 +8,7 @@
 //! cargo run --release --example quickstart
 //! ```
 
-use bdc_cells::{organic_inverter, measure_inverter_dc, OrganicSizing, OrganicStyle};
+use bdc_cells::{measure_inverter_dc, organic_inverter, OrganicSizing, OrganicStyle};
 use bdc_core::report::{fmt_freq, fmt_time};
 use bdc_core::{Process, TechKit};
 use bdc_device::{DeviceModel, Level61Model, TftParams};
@@ -20,15 +20,28 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 1. The device: the paper's fabricated pentacene OTFT.
     let tft = Level61Model::new(TftParams::pentacene());
     println!("pentacene OTFT  W/L = 1000/80 um");
-    println!("  I_D(VGS=-10V, VDS=-10V) = {:.2} uA", tft.ids(-10.0, -10.0).abs() * 1.0e6);
-    println!("  gate capacitance        = {:.0} pF (the load that makes organic slow)",
-        tft.gate_capacitance() * 1.0e12);
+    println!(
+        "  I_D(VGS=-10V, VDS=-10V) = {:.2} uA",
+        tft.ids(-10.0, -10.0).abs() * 1.0e6
+    );
+    println!(
+        "  gate capacitance        = {:.0} pF (the load that makes organic slow)",
+        tft.gate_capacitance() * 1.0e12
+    );
 
     // 2. A cell: the pseudo-E inverter at the library operating point.
-    let inv = organic_inverter(OrganicStyle::PseudoE, &OrganicSizing::library_default(), 5.0, -15.0);
+    let inv = organic_inverter(
+        OrganicStyle::PseudoE,
+        &OrganicSizing::library_default(),
+        5.0,
+        -15.0,
+    );
     let dc = measure_inverter_dc(&inv, 101)?;
     println!("\npseudo-E inverter @ VDD=5V, VSS=-15V:");
-    println!("  V_M = {:.2} V   gain = {:.2}   NM = {:.2}/{:.2} V", dc.vm, dc.max_gain, dc.nmh, dc.nml);
+    println!(
+        "  V_M = {:.2} V   gain = {:.2}   NM = {:.2}/{:.2} V",
+        dc.vm, dc.max_gain, dc.nmh, dc.nml
+    );
 
     // 3. Both libraries, characterized through the same flow.
     let organic = TechKit::build(Process::Organic)?;
@@ -36,13 +49,24 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("\nFO4-like inverter delay:");
     println!("  organic: {}", fmt_time(organic.lib.fo4_delay()));
     println!("  silicon: {}", fmt_time(silicon.lib.fo4_delay()));
-    println!("  ratio  : {:.1e}x", organic.lib.fo4_delay() / silicon.lib.fo4_delay());
+    println!(
+        "  ratio  : {:.1e}x",
+        organic.lib.fo4_delay() / silicon.lib.fo4_delay()
+    );
 
     // 4. Synthesize a 32-bit adder against each and pipeline it 4 deep.
     let adder = blocks::carry_select_adder(32);
     for kit in [&silicon, &organic] {
         let (mapped, _) = remap_for_library(&adder, &kit.lib);
-        let r = pipeline_cut(&mapped, &kit.lib, &kit.sta, &PipelineOptions { stages: 4, ..kit.pipe });
+        let r = pipeline_cut(
+            &mapped,
+            &kit.lib,
+            &kit.sta,
+            &PipelineOptions {
+                stages: 4,
+                ..kit.pipe
+            },
+        );
         println!(
             "{}: 32-bit adder, 4 stages -> {} ({} registers, {:.2e} um2)",
             kit.process.name(),

@@ -32,7 +32,11 @@ fn fig07_low_vdd_power_savings() {
     // V_M tracks ~VDD/2 across the sweep.
     for r in &rows {
         let frac = r.dc.vm / r.vdd;
-        assert!(frac > 0.3 && frac < 0.85, "VM/VDD = {frac:.2} at VDD={}", r.vdd);
+        assert!(
+            frac > 0.3 && frac < 0.85,
+            "VM/VDD = {frac:.2} at VDD={}",
+            r.vdd
+        );
     }
 }
 
@@ -110,10 +114,16 @@ fn fig15_wire_ablation_direction() {
     // Removing wires helps silicon a lot at depth, organic almost not at all.
     let si_gain = si.alu.1[3] / si.alu.0[3];
     let org_gain = org.alu.1[3] / org.alu.0[3];
-    assert!(si_gain > 1.3, "silicon w/o-wire gain at 30 stages = {si_gain:.2}");
+    assert!(
+        si_gain > 1.3,
+        "silicon w/o-wire gain at 30 stages = {si_gain:.2}"
+    );
     assert!(org_gain < 1.05, "organic w/o-wire gain = {org_gain:.3}");
     // Without wires, silicon keeps scaling like organic does (paper's point).
-    assert!(si.alu.1[3] > si.alu.1[2] * 1.05, "wire-free silicon should keep scaling");
+    assert!(
+        si.alu.1[3] > si.alu.1[2] * 1.05,
+        "wire-free silicon should keep scaling"
+    );
     // Core curves: the 14-stage organic clock gain exceeds silicon's.
     let si_core_gain = si.core.0.last().unwrap() / si.core.0[0];
     let org_core_gain = org.core.0.last().unwrap() / org.core.0[0];

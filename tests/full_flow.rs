@@ -18,7 +18,10 @@ fn library_characterization_magnitudes() {
     assert!(fo4 > 5.0e-12 && fo4 < 40.0e-12, "silicon FO4 = {fo4:.3e}");
     // Organic gates are ~10^5–10^7 slower.
     let ratio = org.lib.fo4_delay() / fo4;
-    assert!(ratio > 1.0e5 && ratio < 1.0e8, "organic/silicon gate ratio {ratio:.3e}");
+    assert!(
+        ratio > 1.0e5 && ratio < 1.0e8,
+        "organic/silicon gate ratio {ratio:.3e}"
+    );
     // Both supply rails match the paper's §4.3.3 choice.
     assert_eq!(org.lib.vdd, 5.0);
     assert_eq!(org.lib.vss, -15.0);
@@ -63,8 +66,14 @@ fn alu_depth_shapes_match_figure_12() {
     // above its 14-stage point (the paper's curve is flat past ~8).
     assert!(n_si[4] < 1.15 * n_si[2], "silicon keeps scaling: {n_si:?}");
     // Organic keeps gaining well past silicon's saturation point.
-    assert!(n_org[3] > 1.5 * n_org[1], "organic 8->22 gain too small: {n_org:?}");
-    assert!(n_org[4] >= n_org[3] * 0.98, "organic collapses early: {n_org:?}");
+    assert!(
+        n_org[3] > 1.5 * n_org[1],
+        "organic 8->22 gain too small: {n_org:?}"
+    );
+    assert!(
+        n_org[4] >= n_org[3] * 0.98,
+        "organic collapses early: {n_org:?}"
+    );
     // Organic's deep-pipeline advantage over silicon (the headline).
     assert!(
         n_org[3] / n_si[3] > 1.8,
@@ -74,7 +83,10 @@ fn alu_depth_shapes_match_figure_12() {
     // Area: organic register overhead makes its slope steeper (Fig 12a).
     let a_si = f_si.normalized_area();
     let a_org = f_org.normalized_area();
-    assert!(a_org[4] > a_si[4], "organic area slope should exceed silicon's");
+    assert!(
+        a_org[4] > a_si[4],
+        "organic area slope should exceed silicon's"
+    );
     assert!(a_si[4] > 1.3, "silicon area should still rise with stages");
 }
 
@@ -98,7 +110,11 @@ fn baseline_frequencies_have_paper_magnitudes() {
         si.frequency
     );
     // Paper: ~200 Hz organic; our heavier cells land within ~20x.
-    assert!(org.frequency > 1.0 && org.frequency < 1.0e3, "organic baseline {:.3e} Hz", org.frequency);
+    assert!(
+        org.frequency > 1.0 && org.frequency < 1.0e3,
+        "organic baseline {:.3e} Hz",
+        org.frequency
+    );
     // Wire overhead: a real fraction of the silicon cycle, a vanishing one
     // of the organic cycle (§5.5).
     assert!(si.wire_overhead / si.period > 0.05);
@@ -145,7 +161,10 @@ fn organic_gains_more_clock_from_depth_than_silicon() {
     };
     let g_org = gain(Process::Organic);
     let g_si = gain(Process::Silicon);
-    assert!(g_org > g_si, "organic depth gain {g_org:.2} vs silicon {g_si:.2}");
+    assert!(
+        g_org > g_si,
+        "organic depth gain {g_org:.2} vs silicon {g_si:.2}"
+    );
 }
 
 #[test]
@@ -153,11 +172,17 @@ fn derived_dff_timing_matches_transistor_level_simulation() {
     // The library's DFF timing is derived from the characterized NAND2;
     // the transistor-level 7474 simulation must agree within a small factor.
     use bdc_cells::{build_dff, measure_dff, OrganicSizing};
-    for (p, organic, scale) in
-        [(Process::Organic, true, 0.7e-3), (Process::Silicon, false, 20.0e-12)]
-    {
+    for (p, organic, scale) in [
+        (Process::Organic, true, 0.7e-3),
+        (Process::Silicon, false, 20.0e-12),
+    ] {
         let kit = shared_kit(p);
-        let dff = build_dff(organic, &OrganicSizing::library_default(), kit.lib.vdd, kit.lib.vss);
+        let dff = build_dff(
+            organic,
+            &OrganicSizing::library_default(),
+            kit.lib.vdd,
+            kit.lib.vss,
+        );
         let m = measure_dff(&dff, scale).expect("transistor-level DFF measurement");
         let derived = kit.lib.dff;
         let ratio_q = derived.clk_to_q / m.clk_to_q;
@@ -168,6 +193,11 @@ fn derived_dff_timing_matches_transistor_level_simulation() {
             derived.clk_to_q,
             m.clk_to_q
         );
-        assert!(m.setup < 10.0 * derived.setup, "{}: setup {:.3e}", p.name(), m.setup);
+        assert!(
+            m.setup < 10.0 * derived.setup,
+            "{}: setup {:.3e}",
+            p.name(),
+            m.setup
+        );
     }
 }

@@ -4,10 +4,10 @@
 use proptest::prelude::*;
 
 use bdc_cells::characterize::GateTiming;
+use bdc_cells::library::DffTiming;
 use bdc_cells::{
     parse_library, write_library, Cell, CellKind, CellLibrary, NldmTable, ProcessKind, WireModel,
 };
-use bdc_cells::library::DffTiming;
 
 /// Strategy for a well-formed NLDM table.
 fn table_strategy() -> impl Strategy<Value = NldmTable> {
@@ -28,7 +28,11 @@ fn table_strategy() -> impl Strategy<Value = NldmTable> {
                 let last = *s.last().unwrap();
                 s.push(last * 2.0);
             }
-            let rows = v.into_iter().take(s.len()).map(|r| r[..l.len()].to_vec()).collect();
+            let rows = v
+                .into_iter()
+                .take(s.len())
+                .map(|r| r[..l.len()].to_vec())
+                .collect();
             NldmTable::new(s, l, rows)
         })
     })
@@ -67,9 +71,17 @@ fn library_strategy() -> impl Strategy<Value = CellLibrary> {
                 "prop",
                 process,
                 vdd,
-                if process == ProcessKind::Organic { -vdd } else { 0.0 },
+                if process == ProcessKind::Organic {
+                    -vdd
+                } else {
+                    0.0
+                },
                 WireModel::silicon_45nm(),
-                DffTiming { setup: dff_scale, hold: dff_scale / 4.0, clk_to_q: dff_scale * 1.1 },
+                DffTiming {
+                    setup: dff_scale,
+                    hold: dff_scale / 4.0,
+                    clk_to_q: dff_scale * 1.1,
+                },
                 cells,
             )
         })
@@ -118,6 +130,9 @@ fn characterized_library_round_trips_via_disk_format() {
     let lib = bdc_core::process::shared_kit(bdc_core::Process::Organic);
     let text = write_library(&lib.lib);
     let back = parse_library(&text).expect("parse");
-    assert_eq!(back.cell(CellKind::Inv).timing.delay_rise, lib.lib.cell(CellKind::Inv).timing.delay_rise);
+    assert_eq!(
+        back.cell(CellKind::Inv).timing.delay_rise,
+        lib.lib.cell(CellKind::Inv).timing.delay_rise
+    );
     assert_eq!(back.dff, lib.lib.dff);
 }

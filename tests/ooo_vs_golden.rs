@@ -67,7 +67,8 @@ fn random_program(ops: &[u8], trips: u16) -> bdc_uarch::Program {
 fn config_from(widths: (usize, usize), splits: &[u8]) -> CoreConfig {
     let mut plan = StagePlan::baseline9();
     for &s in splits {
-        plan = plan.split(["fetch", "decode", "rename", "dispatch", "issue", "regread"][s as usize % 6]);
+        plan = plan
+            .split(["fetch", "decode", "rename", "dispatch", "issue", "regread"][s as usize % 6]);
     }
     let mut cfg = CoreConfig::with_widths(widths.0, widths.1);
     cfg.stages = plan;

@@ -26,8 +26,11 @@ fn check_equivalence(comb: &Netlist, stages: usize, input_seqs: &[HashMap<usize,
     piped.validate().expect("pipelined netlist is valid");
     let latency = stages - 1;
     // Translate input maps: same names, different net ids.
-    let name_of: HashMap<&str, usize> =
-        comb.inputs().iter().map(|&i| (comb.net_name(i).unwrap(), i)).collect();
+    let name_of: HashMap<&str, usize> = comb
+        .inputs()
+        .iter()
+        .map(|&i| (comb.net_name(i).unwrap(), i))
+        .collect();
     let piped_inputs: Vec<HashMap<usize, bool>> = input_seqs
         .iter()
         .map(|m| {
