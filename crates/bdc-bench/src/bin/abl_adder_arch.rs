@@ -21,7 +21,7 @@ fn main() {
         ("kogge-stone", blocks::kogge_stone_adder(32)),
     ];
     for p in Process::both() {
-        let kit = TechKit::build(p).expect("characterization");
+        let kit = TechKit::load_or_build(p).expect("characterization");
         println!("\n{}:", p.name());
         let mut rows = Vec::new();
         let mut base_delay = 0.0;

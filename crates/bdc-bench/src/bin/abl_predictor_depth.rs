@@ -6,14 +6,14 @@
 //! the deep-pipeline payoff shrinking as prediction degrades — deep
 //! pipelines are only worth their registers if you can feed them.
 
-use bdc_core::flow::{performance, split_critical, synthesize_core};
+use bdc_core::flow::{performance, split_critical, synthesize_core_cached};
 use bdc_core::{CoreSpec, Process, TechKit};
 use bdc_uarch::{BpredKind, Workload};
 
 fn main() {
     bdc_bench::header("Ablation", "predictor quality vs pipeline depth (organic)");
     let budget = bdc_bench::budget();
-    let kit = TechKit::build(Process::Organic).expect("characterization");
+    let kit = TechKit::load_or_build(Process::Organic).expect("characterization");
 
     // Pre-compute the split schedule once (synthesis is predictor-blind).
     let mut specs = vec![CoreSpec::baseline()];
@@ -23,7 +23,7 @@ fn main() {
     }
     let freqs: Vec<f64> = specs
         .iter()
-        .map(|s| synthesize_core(&kit, s).frequency)
+        .map(|s| synthesize_core_cached(&kit, s).frequency)
         .collect();
 
     println!(

@@ -1,0 +1,178 @@
+//! Flow-stage timing report: serial vs parallel, cold vs warm cache.
+//!
+//! Times each expensive stage of the Figure-10 flow under controlled
+//! worker counts and cache states, prints a table, and writes
+//! `BENCH_flow.json` (repo root, machine-readable — CI uploads it and
+//! gates on the warm-cache library load) plus `results/bench_report.txt`.
+//!
+//! Methodology notes:
+//! * "cold" rows bypass the artifact cache entirely
+//!   ([`TechKit::build`] / `synthesize_core`); "warm" rows go through the
+//!   cached entry points after priming them, so they measure a cache hit.
+//! * serial rows pin the pool to one worker with
+//!   [`bdc_exec::set_workers`]; parallel rows use every available core.
+//!   On a single-core machine the two coincide — the report records the
+//!   worker counts actually used rather than assuming a speedup.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use bdc_core::experiments::{width_ipc_matrix, SimBudget};
+use bdc_core::{synthesize_core, synthesize_core_cached, CoreSpec, Process, TechKit};
+use bdc_device::variation::{VariedModel, VtVariation};
+use bdc_device::TftParams;
+
+/// One timed measurement.
+struct Row {
+    stage: &'static str,
+    detail: String,
+    workers: usize,
+    cache: &'static str,
+    seconds: f64,
+}
+
+fn time<T>(f: impl FnOnce() -> T) -> (T, f64) {
+    let t0 = Instant::now();
+    let v = f();
+    (v, t0.elapsed().as_secs_f64())
+}
+
+fn main() {
+    bdc_bench::header("bench", "flow-stage timings (serial/parallel, cold/warm)");
+    let avail = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let mut rows: Vec<Row> = Vec::new();
+
+    // --- Library characterization: the slew x load grid fans out per cell.
+    for p in Process::both() {
+        bdc_exec::set_workers(Some(1));
+        let (_, s) = time(|| TechKit::build(p).expect("characterization"));
+        rows.push(Row {
+            stage: "characterize_library",
+            detail: p.name().into(),
+            workers: 1,
+            cache: "cold",
+            seconds: s,
+        });
+        bdc_exec::set_workers(Some(avail));
+        let (_, s) = time(|| TechKit::build(p).expect("characterization"));
+        rows.push(Row {
+            stage: "characterize_library",
+            detail: p.name().into(),
+            workers: avail,
+            cache: "cold",
+            seconds: s,
+        });
+        // Prime, then measure the warm load (Liberty parse, no simulation).
+        let _ = TechKit::load_or_build(p).expect("prime");
+        let (_, s) = time(|| TechKit::load_or_build(p).expect("cached"));
+        rows.push(Row {
+            stage: "load_library",
+            detail: p.name().into(),
+            workers: avail,
+            cache: "warm",
+            seconds: s,
+        });
+    }
+
+    // --- Core synthesis: baseline spec, cold vs warm.
+    for p in Process::both() {
+        let kit = TechKit::load_or_build(p).expect("characterization");
+        let spec = CoreSpec::baseline();
+        let (_, s) = time(|| synthesize_core(&kit, &spec));
+        rows.push(Row {
+            stage: "synthesize_core",
+            detail: format!("{} baseline", p.name()),
+            workers: 1,
+            cache: "cold",
+            seconds: s,
+        });
+        let _ = synthesize_core_cached(&kit, &spec);
+        let (_, s) = time(|| synthesize_core_cached(&kit, &spec));
+        rows.push(Row {
+            stage: "synthesize_core",
+            detail: format!("{} baseline", p.name()),
+            workers: 1,
+            cache: "warm",
+            seconds: s,
+        });
+    }
+
+    // --- OoO simulation fan-out: a 2x2 width sub-matrix, quick budget.
+    for &(w, label) in &[(1usize, "serial"), (avail, "parallel")] {
+        bdc_exec::set_workers(Some(w));
+        let (_, s) = time(|| width_ipc_matrix(&[1, 2], &[3, 4], SimBudget::quick()));
+        rows.push(Row {
+            stage: "width_ipc_matrix",
+            detail: format!("2x2 quick, {label}"),
+            workers: w,
+            cache: "none",
+            seconds: s,
+        });
+    }
+
+    // --- Monte-Carlo V_T sampling.
+    let base = TftParams::pentacene();
+    let (_, s) = time(|| {
+        let mut v = VtVariation::paper_spread(base.clone(), 7);
+        VariedModel::sample_population(&mut v, 2000)
+    });
+    rows.push(Row {
+        stage: "monte_carlo_vt",
+        detail: "2000 draws, sequential stream".into(),
+        workers: 1,
+        cache: "none",
+        seconds: s,
+    });
+    for &(w, label) in &[(1usize, "serial"), (avail, "parallel")] {
+        bdc_exec::set_workers(Some(w));
+        let (_, s) = time(|| VariedModel::sample_population_par(&base, 0.5 / 3.0, 7, 2000));
+        rows.push(Row {
+            stage: "monte_carlo_vt",
+            detail: format!("2000 draws, per-index seeds, {label}"),
+            workers: w,
+            cache: "none",
+            seconds: s,
+        });
+    }
+    bdc_exec::set_workers(None);
+
+    // --- Render.
+    let mut txt = String::new();
+    let _ = writeln!(
+        txt,
+        "flow-stage timings ({avail} core(s) available)\n\n{:<22} {:<34} {:>7} {:>6} {:>10}",
+        "stage", "detail", "workers", "cache", "seconds"
+    );
+    for r in &rows {
+        let _ = writeln!(
+            txt,
+            "{:<22} {:<34} {:>7} {:>6} {:>10.4}",
+            r.stage, r.detail, r.workers, r.cache, r.seconds
+        );
+    }
+    print!("{txt}");
+
+    let mut json = String::from("{\n");
+    let _ = writeln!(json, "  \"generated_by\": \"bench_report\",");
+    let _ = writeln!(json, "  \"workers_available\": {avail},");
+    let _ = writeln!(json, "  \"rows\": [");
+    for (i, r) in rows.iter().enumerate() {
+        let comma = if i + 1 < rows.len() { "," } else { "" };
+        let _ = writeln!(
+            json,
+            "    {{\"stage\": \"{}\", \"detail\": \"{}\", \"workers\": {}, \"cache\": \"{}\", \"seconds\": {:.6}}}{comma}",
+            r.stage, r.detail, r.workers, r.cache, r.seconds
+        );
+    }
+    let _ = writeln!(json, "  ]\n}}");
+    match std::fs::write("BENCH_flow.json", &json) {
+        Ok(()) => println!("\nwrote BENCH_flow.json"),
+        Err(e) => eprintln!("could not write BENCH_flow.json: {e}"),
+    }
+    if std::fs::create_dir_all("results").is_ok() {
+        match std::fs::write("results/bench_report.txt", &txt) {
+            Ok(()) => println!("wrote results/bench_report.txt"),
+            Err(e) => eprintln!("could not write results/bench_report.txt: {e}"),
+        }
+    }
+}

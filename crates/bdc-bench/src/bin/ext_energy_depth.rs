@@ -11,7 +11,7 @@ fn main() {
     );
     let budget = bdc_bench::budget();
     for p in Process::both() {
-        let kit = TechKit::build(p).expect("characterization");
+        let kit = TechKit::load_or_build(p).expect("characterization");
         let pts = energy_depth(&kit, budget);
         println!("\n{}:", p.name());
         println!(

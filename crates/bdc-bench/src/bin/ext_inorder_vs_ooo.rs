@@ -10,7 +10,7 @@ fn main() {
         "in-order arrays vs out-of-order at iso-area (organic, gzip-like)",
     );
     let budget = bdc_bench::budget();
-    let kit = TechKit::build(Process::Organic).expect("characterization");
+    let kit = TechKit::load_or_build(Process::Organic).expect("characterization");
     let rows = inorder_vs_ooo(&kit, budget);
     let table: Vec<Vec<String>> = rows
         .iter()

@@ -10,7 +10,7 @@ fn main() {
         "organic core arrays (paper §7 future work)",
     );
     let budget = bdc_bench::budget();
-    let org = TechKit::build(Process::Organic).expect("characterization");
+    let org = TechKit::load_or_build(Process::Organic).expect("characterization");
     let pts = parallel_array(&org, 16, budget);
     let rows: Vec<Vec<String>> = pts
         .iter()

@@ -8,7 +8,7 @@ fn main() {
     bdc_bench::header("Fig 11", "core depth 9..15, per-benchmark performance");
     let budget = bdc_bench::budget();
     for p in Process::both() {
-        let kit = TechKit::build(p).expect("characterization");
+        let kit = TechKit::load_or_build(p).expect("characterization");
         let pts = fig11_core_depth(&kit, budget);
         let base: Vec<f64> = pts[0].per_workload.iter().map(|x| x.2).collect();
         println!(

@@ -8,7 +8,7 @@ fn main() {
     bdc_bench::header("Fig 12", "ALU (2x mult + 2x div) pipelined to 1..30 stages");
     let stages: Vec<usize> = vec![1, 2, 4, 6, 8, 10, 12, 14, 16, 18, 20, 22, 24, 26, 28, 30];
     for p in Process::both() {
-        let kit = TechKit::build(p).expect("characterization");
+        let kit = TechKit::load_or_build(p).expect("characterization");
         let f = fig12_alu_depth(&kit, &stages);
         let nf = f.normalized_frequency();
         let na = f.normalized_area();

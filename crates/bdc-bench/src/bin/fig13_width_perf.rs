@@ -15,7 +15,7 @@ fn main() {
     println!("simulating the benchmark suite on all 30 width points...");
     let ipc = width_ipc_matrix(&fe, &be, budget);
     for p in Process::both() {
-        let kit = TechKit::build(p).expect("characterization");
+        let kit = TechKit::load_or_build(p).expect("characterization");
         let m = fig13_14_width(&kit, &ipc);
         print!(
             "{}",

@@ -16,7 +16,7 @@ fn main() {
         },
     );
     for p in Process::both() {
-        let kit = TechKit::build(p).expect("characterization");
+        let kit = TechKit::load_or_build(p).expect("characterization");
         let m = fig13_14_width(&kit, &ipc);
         print!(
             "{}",

@@ -8,7 +8,7 @@ fn main() {
     bdc_bench::header("Fig 15", "frequency vs stages, with and without wire cost");
     let alu_stages: Vec<usize> = vec![1, 2, 4, 8, 12, 16, 20, 24, 28, 30];
     for p in Process::both() {
-        let kit = TechKit::build(p).expect("characterization");
+        let kit = TechKit::load_or_build(p).expect("characterization");
         let f = fig15_wire_ablation(&kit, &alu_stages);
         println!("\n{}:", p.name());
         print!(

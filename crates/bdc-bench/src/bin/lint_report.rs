@@ -58,7 +58,7 @@ fn main() {
     let mut totals = [0usize; 3]; // errors, warnings, notes
 
     for p in Process::both() {
-        let kit = TechKit::build(p).expect("library characterization");
+        let kit = TechKit::load_or_build(p).expect("library characterization");
 
         writeln!(out, "\n[{} library]", p.name()).unwrap();
         tally(&mut out, &mut totals, &lint_library(&kit.lib));

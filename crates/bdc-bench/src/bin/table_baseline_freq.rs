@@ -1,7 +1,7 @@
 //! §5.3 baseline/optimized operating frequencies for both processes.
 
 use bdc_core::experiments::table_baseline_frequency;
-use bdc_core::flow::{split_critical, synthesize_core};
+use bdc_core::flow::{split_critical, synthesize_core_cached};
 use bdc_core::report::{fmt_freq, fmt_time};
 use bdc_core::{CoreSpec, Process, TechKit};
 
@@ -11,7 +11,7 @@ fn main() {
         "baseline (9-stage) and deepened core frequencies",
     );
     for p in Process::both() {
-        let kit = TechKit::build(p).expect("characterization");
+        let kit = TechKit::load_or_build(p).expect("characterization");
         let base = table_baseline_frequency(&kit);
         // Deepen to 14 stages like the paper's Fig 15(b) comparison point.
         let mut spec = CoreSpec::baseline();
@@ -19,7 +19,7 @@ fn main() {
             let (deeper, _) = split_critical(&kit, &spec);
             spec = deeper;
         }
-        let deep = synthesize_core(&kit, &spec);
+        let deep = synthesize_core_cached(&kit, &spec);
         println!("\n{}:", p.name());
         println!(
             "  9-stage baseline : {} (period {})",

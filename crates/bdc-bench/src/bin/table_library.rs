@@ -8,7 +8,7 @@ use bdc_core::{Process, TechKit};
 fn main() {
     bdc_bench::header("Table (§4.4)", "characterized 6-cell libraries");
     for p in Process::both() {
-        let kit = TechKit::build(p).expect("characterization");
+        let kit = TechKit::load_or_build(p).expect("characterization");
         println!(
             "\nlibrary: {} (VDD = {} V, VSS = {} V)",
             kit.lib.name, kit.lib.vdd, kit.lib.vss

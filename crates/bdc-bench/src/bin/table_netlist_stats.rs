@@ -22,7 +22,7 @@ fn main() {
     println!("\nper-library mapping of the complex ALU (§5.5 coverage):");
     let alu = alu_cluster();
     for p in Process::both() {
-        let kit = TechKit::build(p).expect("characterization");
+        let kit = TechKit::load_or_build(p).expect("characterization");
         let (mapped, report) = remap_for_library(&alu, &kit.lib);
         let (frac2, total) = coverage_ratio(&mapped);
         println!(

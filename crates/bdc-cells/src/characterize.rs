@@ -8,8 +8,9 @@
 
 use bdc_circuit::measure::slew_time;
 use bdc_circuit::{
-    crossing_time, dc_sweep, CircuitError, DcSolver, TranSolver, VtcCurve, Waveform,
+    crossing_time, dc_sweep, CircuitError, DcSolver, Operating, TranSolver, VtcCurve, Waveform,
 };
+use bdc_exec::par_map;
 
 use crate::nldm::NldmTable;
 use crate::topology::GateCircuit;
@@ -191,14 +192,27 @@ pub fn characterize_gate(
     let mut rise = vec![vec![0.0; nl]; ns];
     let mut fall = vec![vec![0.0; nl]; ns];
     let mut slew_out = vec![vec![0.0; nl]; ns];
-    for (i, &sl) in cfg.slews.iter().enumerate() {
-        for (j, &ld) in cfg.loads.iter().enumerate() {
-            let (d_fall, s_fall) = edge(gate, cfg, sl, ld, true)?;
-            let (d_rise, s_rise) = edge(gate, cfg, sl, ld, false)?;
-            rise[i][j] = d_rise;
-            fall[i][j] = d_fall;
-            slew_out[i][j] = s_rise.max(s_fall);
-        }
+    // The load capacitor is open in DC and adds no nodes, and the input
+    // ramp starts from its rail regardless of the settle window, so the
+    // operating point depends only on the edge direction — solve it once
+    // per direction and reuse it across every grid point and retry.
+    let op_in_rising = initial_op(gate, true)?;
+    let op_in_falling = initial_op(gate, false)?;
+    // Every (slew × load) grid point is an independent pair of transients:
+    // fan them out on the pool. Results land in index order, so the tables
+    // are bit-identical to the serial loop.
+    let grid: Vec<(usize, usize)> = (0..ns).flat_map(|i| (0..nl).map(move |j| (i, j))).collect();
+    let measured = par_map(&grid, |&(i, j)| {
+        let (sl, ld) = (cfg.slews[i], cfg.loads[j]);
+        let f = edge(gate, cfg, sl, ld, true, &op_in_rising)?;
+        let r = edge(gate, cfg, sl, ld, false, &op_in_falling)?;
+        Ok((f, r))
+    });
+    for (&(i, j), m) in grid.iter().zip(measured) {
+        let ((d_fall, s_fall), (d_rise, s_rise)) = m?;
+        rise[i][j] = d_rise;
+        fall[i][j] = d_fall;
+        slew_out[i][j] = s_rise.max(s_fall);
     }
     // The threshold-based slew measurement rides the slow tail toward the
     // output's settled level; ratioed (pseudo-E) outputs settle toward a
@@ -218,27 +232,47 @@ pub fn characterize_gate(
     })
 }
 
+/// Prepares one edge direction's circuit: side inputs held, switching
+/// input at `v0`. Shared by the operating-point solve and the transients.
+fn edge_circuit(gate: &GateCircuit, input_rising: bool) -> bdc_circuit::Circuit {
+    let mut c = gate.circuit.clone();
+    // Hold side inputs at the level that keeps the switching input in
+    // control (gate-type dependent).
+    let side = if gate.side_inputs_high { gate.vdd } else { 0.0 };
+    for (_, s) in gate.inputs.iter().skip(1) {
+        c.set_vsource(*s, side);
+    }
+    let v0 = if input_rising { 0.0 } else { gate.vdd };
+    c.set_vsource(gate.inputs[0].1, v0);
+    c
+}
+
+/// Solves the `t = 0` operating point of one edge direction (no load cap —
+/// capacitors are open in DC, so the result is valid for every load).
+fn initial_op(gate: &GateCircuit, input_rising: bool) -> Result<Operating, CircuitError> {
+    DcSolver::new().solve(&edge_circuit(gate, input_rising))
+}
+
 /// Runs one input edge and measures (delay, output slew).
 ///
 /// `input_rising = true` drives the switching input 0 → VDD (inverting
-/// cells produce a falling output).
+/// cells produce a falling output). `op` must be the matching
+/// [`initial_op`] solution; retries (a longer settle window — also a
+/// different time step, which rescues marginally non-converging stiff
+/// transients) reuse it instead of re-solving DC.
 fn edge(
     gate: &GateCircuit,
     cfg: &CharacterizeConfig,
     slew: f64,
     load: f64,
     input_rising: bool,
+    op: &Operating,
 ) -> Result<(f64, f64), CircuitError> {
     let mut attempt_settle = cfg.settle;
-    for _ in 0..2 {
-        let mut c = gate.circuit.clone();
+    let attempts = 2;
+    for attempt in 0..attempts {
+        let mut c = edge_circuit(gate, input_rising);
         c.capacitor(gate.output, bdc_circuit::Circuit::GND, load);
-        // Hold side inputs at the level that keeps the switching input in
-        // control (gate-type dependent).
-        let side = if gate.side_inputs_high { gate.vdd } else { 0.0 };
-        for (_, s) in gate.inputs.iter().skip(1) {
-            c.set_vsource(*s, side);
-        }
         let (v0, v1) = if input_rising {
             (0.0, gate.vdd)
         } else {
@@ -249,8 +283,16 @@ fn edge(
         let wave = Waveform::ramp(v0, v1, t_start, slew);
         let solver = TranSolver::new(tstop / cfg.steps as f64, tstop)
             .with_step_clamp((0.5 * gate.vdd).max(0.5))
+            .with_initial_state(op)
             .drive(gate.inputs[0].1, wave);
-        let res = solver.run(&c)?;
+        let res = match solver.run(&c) {
+            Ok(r) => r,
+            Err(_) if attempt + 1 < attempts => {
+                attempt_settle *= 4.0;
+                continue;
+            }
+            Err(e) => return Err(e),
+        };
         let out_wf = res.node_waveform(gate.output);
         let mid = 0.5 * gate.vdd;
         let t_in_mid = t_start + 0.5 * slew;

@@ -43,6 +43,11 @@ impl Operating {
     pub fn node_voltages(&self) -> &[f64] {
         &self.voltages
     }
+
+    /// All source branch currents, in source order.
+    pub fn branch_currents(&self) -> &[f64] {
+        &self.branch_currents
+    }
 }
 
 /// Configurable Newton–Raphson DC solver.
@@ -155,10 +160,11 @@ impl DcSolver {
             stamp(circuit, x, gmin, &mut jac, &mut f);
             let res = f.iter().take(nv).fold(0.0f64, |m, v| m.max(v.abs()));
 
-            // Solve J·dx = -f.
+            // Solve J·dx = -f. The Jacobian is re-stamped next iteration,
+            // so factor it in place instead of solving on a clone.
             let mut rhs: Vec<f64> = f.iter().map(|v| -v).collect();
-            let mut j = jac.clone();
-            j.solve_in_place(&mut rhs)?;
+            let pivots = jac.lu_factor_in_place()?;
+            jac.lu_solve(&pivots, &mut rhs);
             let mut dv_max = 0.0f64;
             for (i, xi) in x.iter_mut().enumerate() {
                 let mut d = rhs[i];
@@ -254,39 +260,65 @@ fn stamp(circuit: &Circuit, x: &[f64], gmin: f64, jac: &mut DenseMatrix, f: &mut
                 src_idx += 1;
             }
             Element::Fet { d, g, s, model } => {
-                let vgs = v(*g) - v(*s);
-                let vds = v(*d) - v(*s);
-                let ids = model.ids(vgs, vds);
-                let gm = model.gm(vgs, vds);
-                let gds = model.gds(vgs, vds);
-                // Current flows d → s (positive ids).
-                if let Some(rd) = ix(*d) {
-                    f[rd] += ids;
-                    jac.add(rd, rd, gds);
-                    if let Some(rg) = ix(*g) {
-                        jac.add(rd, rg, gm);
-                    }
-                    if let Some(rs) = ix(*s) {
-                        jac.add(rd, rs, -(gm + gds));
-                    }
-                }
-                if let Some(rs) = ix(*s) {
-                    f[rs] -= ids;
-                    jac.add(rs, rs, gm + gds);
-                    if let Some(rg) = ix(*g) {
-                        jac.add(rs, rg, -gm);
-                    }
-                    if let Some(rd) = ix(*d) {
-                        jac.add(rs, rd, -gds);
-                    }
-                }
+                stamp_fet(x, *d, *g, *s, model.as_ref(), jac, f);
             }
         }
     }
 }
 
-/// Stamps only the resistive/nonlinear parts; exposed for the transient
-/// solver, which adds its own capacitor companion models.
+/// Stamps one FET's linearized model — the only nonlinear (per-iteration)
+/// stamp in the system. The transient solver calls this directly so it can
+/// re-assemble just the FETs each NR step while reusing the constant
+/// resistor/source/companion stamps.
+pub(crate) fn stamp_fet(
+    x: &[f64],
+    d: NodeId,
+    g: NodeId,
+    s: NodeId,
+    model: &dyn bdc_device::DeviceModel,
+    jac: &mut DenseMatrix,
+    f: &mut [f64],
+) {
+    let v = |id: NodeId| -> f64 {
+        if id.index() == 0 {
+            0.0
+        } else {
+            x[id.index() - 1]
+        }
+    };
+    let ix = |id: NodeId| -> Option<usize> { id.index().checked_sub(1) };
+    let vgs = v(g) - v(s);
+    let vds = v(d) - v(s);
+    let ids = model.ids(vgs, vds);
+    let gm = model.gm(vgs, vds);
+    let gds = model.gds(vgs, vds);
+    // Current flows d → s (positive ids).
+    if let Some(rd) = ix(d) {
+        f[rd] += ids;
+        jac.add(rd, rd, gds);
+        if let Some(rg) = ix(g) {
+            jac.add(rd, rg, gm);
+        }
+        if let Some(rs) = ix(s) {
+            jac.add(rd, rs, -(gm + gds));
+        }
+    }
+    if let Some(rs) = ix(s) {
+        f[rs] -= ids;
+        jac.add(rs, rs, gm + gds);
+        if let Some(rg) = ix(g) {
+            jac.add(rs, rg, -gm);
+        }
+        if let Some(rd) = ix(d) {
+            jac.add(rs, rd, -gds);
+        }
+    }
+}
+
+/// Stamps everything at once for the current iterate `x` — the reference
+/// formulation the transient solver's split-stamp fast path is checked
+/// against in tests.
+#[cfg(test)]
 pub(crate) fn stamp_static(
     circuit: &Circuit,
     x: &[f64],

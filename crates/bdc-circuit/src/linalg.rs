@@ -56,18 +56,127 @@ impl DenseMatrix {
         self.data.fill(0.0);
     }
 
+    /// Overwrites `self` with `other`, keeping the allocation. This is how
+    /// the Newton loops restore the constant (resistor/source/companion)
+    /// stamps each iteration instead of re-assembling them.
+    ///
+    /// # Panics
+    /// Panics on dimension mismatch.
+    pub fn copy_from(&mut self, other: &DenseMatrix) {
+        assert_eq!(self.rows, other.rows);
+        assert_eq!(self.cols, other.cols);
+        self.data.copy_from_slice(&other.data);
+    }
+
     /// Matrix–vector product `A·x`.
     ///
     /// # Panics
     /// Panics if `x.len() != self.cols()`.
     pub fn mul_vec(&self, x: &[f64]) -> Vec<f64> {
+        let mut out = vec![0.0; self.rows];
+        self.mul_vec_into(x, &mut out);
+        out
+    }
+
+    /// Matrix–vector product `A·x` into a caller-owned buffer (the Newton
+    /// loops call this every iteration; no allocation).
+    ///
+    /// # Panics
+    /// Panics if `x.len() != self.cols()` or `out.len() != self.rows()`.
+    pub fn mul_vec_into(&self, x: &[f64], out: &mut [f64]) {
         assert_eq!(x.len(), self.cols);
-        (0..self.rows)
-            .map(|r| {
-                let row = &self.data[r * self.cols..(r + 1) * self.cols];
-                row.iter().zip(x).map(|(a, b)| a * b).sum()
-            })
-            .collect()
+        assert_eq!(out.len(), self.rows);
+        for (r, o) in out.iter_mut().enumerate() {
+            let row = &self.data[r * self.cols..(r + 1) * self.cols];
+            *o = row.iter().zip(x).map(|(a, b)| a * b).sum();
+        }
+    }
+
+    /// Factors `self` into `P·A = L·U` in place with partial pivoting,
+    /// storing `L`'s multipliers below the diagonal and `U` on and above
+    /// it. Returns the pivot interchange vector (`pivots[col]` is the row
+    /// swapped into position `col` at step `col`). The factorization can
+    /// then back several [`DenseMatrix::lu_solve`] calls, and — because the
+    /// circuit topology never changes mid-transient — the matrix *structure*
+    /// (zero pattern, pivot candidates) stays identical across Newton
+    /// iterations, so nothing beyond the numeric sweep is redone.
+    ///
+    /// # Errors
+    /// Returns [`CircuitError::SingularMatrix`] when a pivot underflows.
+    ///
+    /// # Panics
+    /// Panics if the matrix is not square.
+    pub fn lu_factor_in_place(&mut self) -> Result<Vec<usize>, CircuitError> {
+        assert_eq!(self.rows, self.cols, "factor requires a square matrix");
+        let n = self.rows;
+        let mut pivots = Vec::with_capacity(n);
+        for col in 0..n {
+            let mut best = col;
+            let mut best_abs = self.get(col, col).abs();
+            for r in (col + 1)..n {
+                let a = self.get(r, col).abs();
+                if a > best_abs {
+                    best = r;
+                    best_abs = a;
+                }
+            }
+            if best_abs < 1.0e-300 {
+                return Err(CircuitError::SingularMatrix { pivot: col });
+            }
+            pivots.push(best);
+            if best != col {
+                for c in 0..n {
+                    let tmp = self.get(col, c);
+                    self.set(col, c, self.get(best, c));
+                    self.set(best, c, tmp);
+                }
+            }
+            let pivot = self.get(col, col);
+            for r in (col + 1)..n {
+                let factor = self.get(r, col) / pivot;
+                self.set(r, col, factor);
+                if factor == 0.0 {
+                    continue;
+                }
+                for c in (col + 1)..n {
+                    let v = self.get(r, c) - factor * self.get(col, c);
+                    self.set(r, c, v);
+                }
+            }
+        }
+        Ok(pivots)
+    }
+
+    /// Solves `A·x = b` given the output of
+    /// [`DenseMatrix::lu_factor_in_place`], returning `x` in `b`'s storage.
+    ///
+    /// # Panics
+    /// Panics if `b` or `pivots` have the wrong length.
+    pub fn lu_solve(&self, pivots: &[usize], b: &mut [f64]) {
+        let n = self.rows;
+        assert_eq!(b.len(), n);
+        assert_eq!(pivots.len(), n);
+        // Forward: apply the interchanges in factorization order, then the
+        // stored multipliers column by column (exactly the update sequence
+        // the elimination applied).
+        for col in 0..n {
+            b.swap(col, pivots[col]);
+            let bc = b[col];
+            if bc == 0.0 {
+                continue;
+            }
+            for (r, br) in b.iter_mut().enumerate().take(n).skip(col + 1) {
+                *br -= self.get(r, col) * bc;
+            }
+        }
+        // Back substitution on U.
+        for col in (0..n).rev() {
+            let mut acc = b[col];
+            for (c, &bc) in b.iter().enumerate().take(n).skip(col + 1) {
+                acc -= self.get(col, c) * bc;
+            }
+            b[col] = acc / self.get(col, col);
+        }
     }
 
     /// Solves `A·x = b` in place via LU with partial pivoting, destroying
@@ -81,50 +190,8 @@ impl DenseMatrix {
     pub fn solve_in_place(&mut self, b: &mut [f64]) -> Result<(), CircuitError> {
         assert_eq!(self.rows, self.cols, "solve requires a square matrix");
         assert_eq!(b.len(), self.rows);
-        let n = self.rows;
-        for col in 0..n {
-            // Partial pivot.
-            let mut best = col;
-            let mut best_abs = self.get(col, col).abs();
-            for r in (col + 1)..n {
-                let a = self.get(r, col).abs();
-                if a > best_abs {
-                    best = r;
-                    best_abs = a;
-                }
-            }
-            if best_abs < 1.0e-300 {
-                return Err(CircuitError::SingularMatrix { pivot: col });
-            }
-            if best != col {
-                for c in 0..n {
-                    let tmp = self.get(col, c);
-                    self.set(col, c, self.get(best, c));
-                    self.set(best, c, tmp);
-                }
-                b.swap(col, best);
-            }
-            let pivot = self.get(col, col);
-            for r in (col + 1)..n {
-                let factor = self.get(r, col) / pivot;
-                if factor == 0.0 {
-                    continue;
-                }
-                for c in col..n {
-                    let v = self.get(r, c) - factor * self.get(col, c);
-                    self.set(r, c, v);
-                }
-                b[r] -= factor * b[col];
-            }
-        }
-        // Back substitution.
-        for col in (0..n).rev() {
-            let mut acc = b[col];
-            for (c, &bc) in b.iter().enumerate().take(n).skip(col + 1) {
-                acc -= self.get(col, c) * bc;
-            }
-            b[col] = acc / self.get(col, col);
-        }
+        let pivots = self.lu_factor_in_place()?;
+        self.lu_solve(&pivots, b);
         Ok(())
     }
 }
@@ -170,6 +237,49 @@ mod tests {
             a.solve_in_place(&mut b),
             Err(CircuitError::SingularMatrix { .. })
         ));
+    }
+
+    #[test]
+    fn factored_solve_matches_direct_solve_bitwise() {
+        // The Newton loops factor once per iteration and replay pivots on
+        // the RHS; the result must be exactly what the one-shot path gives.
+        let mut a = DenseMatrix::zeros(5, 5);
+        let mut v = 1.0f64;
+        for r in 0..5 {
+            for c in 0..5 {
+                v = (v * 1.37 + 0.11).rem_euclid(7.0) - 3.5;
+                a.set(r, c, v + if r == c { 8.0 } else { 0.0 });
+            }
+        }
+        let b0 = vec![1.0, -2.0, 0.5, 3.25, -0.75];
+        let mut direct = b0.clone();
+        a.clone().solve_in_place(&mut direct).unwrap();
+        let mut fac = a.clone();
+        let piv = fac.lu_factor_in_place().unwrap();
+        let mut replay = b0.clone();
+        fac.lu_solve(&piv, &mut replay);
+        assert_eq!(direct, replay);
+        // And the factorization solves a second RHS without refactoring.
+        let b1 = vec![0.0, 1.0, 0.0, -1.0, 2.0];
+        let mut x1 = b1.clone();
+        fac.lu_solve(&piv, &mut x1);
+        let back = a.mul_vec(&x1);
+        for (bi, xi) in b1.iter().zip(&back) {
+            assert!((bi - xi).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn copy_from_and_mul_vec_into_reuse_buffers() {
+        let mut a = DenseMatrix::zeros(3, 3);
+        for i in 0..3 {
+            a.set(i, i, (i + 1) as f64);
+        }
+        let mut b = DenseMatrix::zeros(3, 3);
+        b.copy_from(&a);
+        let mut out = vec![0.0; 3];
+        b.mul_vec_into(&[1.0, 1.0, 1.0], &mut out);
+        assert_eq!(out, vec![1.0, 2.0, 3.0]);
     }
 
     #[test]

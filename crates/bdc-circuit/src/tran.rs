@@ -1,10 +1,20 @@
 //! Transient analysis with backward-Euler / trapezoidal companion models.
+//!
+//! The circuit topology never changes mid-transient, so everything linear —
+//! gmin, resistors, source incidence, capacitor companion conductances — is
+//! stamped into one constant base matrix before the time loop. Each Newton
+//! iteration restores the base with a `memcpy`, adds only the FET
+//! linearizations, and factors in place; nothing constant is re-assembled
+//! and no per-iteration matrix clone is made.
 
-use crate::dc::{stamp_static, DcSolver};
+use crate::dc::{stamp_fet, DcSolver, Operating};
 
 use crate::error::CircuitError;
 use crate::linalg::DenseMatrix;
 use crate::netlist::{Circuit, Element, NodeId};
+
+/// The gmin conductance tying every node to ground during transient NR.
+const GMIN: f64 = 1.0e-12;
 
 /// Integration method for the capacitor companion models.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -117,12 +127,13 @@ pub struct TranSolver {
     pub max_iterations: usize,
     /// Voltage convergence tolerance per step (V).
     pub v_tol: f64,
-    /// Largest voltage change per NR iteration (V); iterations past a third
-    /// of the budget are progressively damped below this to force stiff
-    /// points to converge.
+    /// Largest voltage change per NR iteration (V); steps that would grow
+    /// the residual are additionally halved by the backtracking search.
     pub step_clamp: f64,
     /// Capacitor integration method.
     pub integrator: Integrator,
+    /// Precomputed initial node voltages (skips the internal DC solve).
+    initial_state: Option<Vec<f64>>,
 }
 
 impl TranSolver {
@@ -141,6 +152,7 @@ impl TranSolver {
             v_tol: 1.0e-7,
             step_clamp: 5.0,
             integrator: Integrator::default(),
+            initial_state: None,
         }
     }
 
@@ -164,6 +176,18 @@ impl TranSolver {
         self
     }
 
+    /// Seeds the transient with a precomputed DC operating point instead of
+    /// solving one internally. The caller must have solved `op` for the
+    /// same circuit with every driven source at its `t = 0` value; the
+    /// result is then bit-identical to the solve-internally path. This is
+    /// how cell characterization amortizes one DC solve per (gate, edge)
+    /// across a whole slew × load grid — the load capacitor is open in DC,
+    /// so the operating point does not depend on it.
+    pub fn with_initial_state(mut self, op: &Operating) -> Self {
+        self.initial_state = Some(op.node_voltages().to_vec());
+        self
+    }
+
     /// Runs the transient analysis.
     ///
     /// # Errors
@@ -174,12 +198,21 @@ impl TranSolver {
         for (idx, w) in &self.drives {
             work.set_vsource(*idx, w.eval(0.0));
         }
-        let op0 = DcSolver::new().solve(&work)?;
         let nv = work.node_count() - 1;
         let ns = work.vsource_count();
         let n = nv + ns;
-        let mut x: Vec<f64> = op0.node_voltages().to_vec();
-        x.resize(n, 0.0);
+        let mut x = vec![0.0; n];
+        match &self.initial_state {
+            Some(v0) => {
+                work.validate()?;
+                let k = v0.len().min(nv);
+                x[..k].copy_from_slice(&v0[..k]);
+            }
+            None => {
+                let op0 = DcSolver::new().solve(&work)?;
+                x[..nv].copy_from_slice(op0.node_voltages());
+            }
+        }
 
         let steps = (self.tstop / self.tstep).ceil() as usize;
         let mut times = Vec::with_capacity(steps + 1);
@@ -187,9 +220,13 @@ impl TranSolver {
         times.push(0.0);
         states.push(x[..nv].to_vec());
 
-        let mut jac = DenseMatrix::zeros(n, n);
-        let mut f = vec![0.0; n];
         let h = self.tstep;
+        // Everything linear is stamped once, outside the time loop.
+        let base = build_base(&work, n, nv, h, self.integrator);
+        let mut scratch = Scratch::new(n);
+        let mut c_step = vec![0.0; n];
+        let mut prev = vec![0.0; nv];
+        let mut x_save = vec![0.0; n];
         // Trapezoidal companion history: previous capacitor currents.
         let n_caps = work
             .elements()
@@ -202,108 +239,243 @@ impl TranSolver {
             for (idx, w) in &self.drives {
                 work.set_vsource(*idx, w.eval(t));
             }
-            let prev = states.last().unwrap().clone();
-            // NR on the BE-discretized system.
-            let mut converged = false;
-            for it in 0..self.max_iterations {
-                jac.clear();
-                f.fill(0.0);
-                stamp_static(&work, &x, 1.0e-12, &mut jac, &mut f);
-                // Capacitor companion models:
-                //   BE:   i = (C/h)·(v − v_prev)
-                //   TRAP: i = (2C/h)·(v − v_prev) − i_prev
-                let mut cap_idx = 0usize;
-                for e in work.elements() {
-                    if let Element::Capacitor { a, b, farads } = e {
-                        let va = node_v(&x, *a);
-                        let vb = node_v(&x, *b);
-                        let va_p = node_v(&prev, *a);
-                        let vb_p = node_v(&prev, *b);
-                        let dv = (va - vb) - (va_p - vb_p);
-                        let (g, i) = match self.integrator {
-                            Integrator::BackwardEuler => {
-                                let g = farads / h;
-                                (g, g * dv)
-                            }
-                            Integrator::Trapezoidal => {
-                                let g = 2.0 * farads / h;
-                                (g, g * dv - cap_hist[cap_idx])
-                            }
-                        };
-                        if let Some(ra) = a.index().checked_sub(1) {
-                            f[ra] += i;
-                            jac.add(ra, ra, g);
-                            if let Some(rb) = b.index().checked_sub(1) {
-                                jac.add(ra, rb, -g);
-                            }
-                        }
-                        if let Some(rb) = b.index().checked_sub(1) {
-                            f[rb] -= i;
-                            jac.add(rb, rb, g);
-                            if let Some(ra) = a.index().checked_sub(1) {
-                                jac.add(rb, ra, -g);
-                            }
-                        }
-                        cap_idx += 1;
+            prev.copy_from_slice(states.last().unwrap());
+            // Per-step constants: source values and capacitor history terms
+            // change once per step, never per NR iteration.
+            build_step_consts(&work, &prev, &cap_hist, h, self.integrator, nv, &mut c_step);
+            x_save.copy_from_slice(&x);
+            match self.nr_solve_step(&work, &base, &c_step, &mut x, nv, &mut scratch) {
+                Ok(()) => {
+                    if self.integrator == Integrator::Trapezoidal {
+                        update_cap_hist(&work, &x, &prev, h, &mut cap_hist);
                     }
                 }
-                // Residual-based acceptance: the KCL error is already far
-                // below anything that matters.
-                let res = f.iter().take(nv).fold(0.0f64, |m, v| m.max(v.abs()));
-                if it > 0 && res < 1.0e-10 {
-                    converged = true;
-                    break;
+                Err(CircuitError::NoConvergence { residual, .. }) => {
+                    // Local time-step cutting: retry the failed interval as
+                    // 2^m sub-steps. The stiffer capacitor companions
+                    // (g = C/h') regularize floating series-stack nodes that
+                    // trap full-step NR in a limit cycle; every converging
+                    // step is untouched.
+                    x.copy_from_slice(&x_save);
+                    self.advance_subdivided(
+                        &mut work,
+                        &prev,
+                        t - h,
+                        h,
+                        nv,
+                        n,
+                        &mut x,
+                        &mut cap_hist,
+                        &mut c_step,
+                        &mut scratch,
+                        residual,
+                    )?;
                 }
-                let mut rhs: Vec<f64> = f.iter().map(|v| -v).collect();
-                let mut j = jac.clone();
-                j.solve_in_place(&mut rhs)?;
-                // Damp progressively once the iteration count grows: stiff
-                // points (series-stack internal nodes) otherwise oscillate.
-                let damp = if it < self.max_iterations / 3 {
-                    1.0
-                } else {
-                    1.0 / (1.0 + (it - self.max_iterations / 3) as f64 * 0.2)
-                };
-                let clamp = self.step_clamp * damp;
-                let mut dv = 0.0f64;
-                for (i, xi) in x.iter_mut().enumerate() {
-                    let d = if i < nv {
-                        (rhs[i] * damp).clamp(-clamp, clamp)
-                    } else {
-                        rhs[i]
-                    };
-                    if i < nv {
-                        dv = dv.max(d.abs());
-                    }
-                    *xi += d;
-                }
-                if dv < self.v_tol {
-                    converged = true;
-                    break;
-                }
-            }
-            if !converged {
-                return Err(CircuitError::NoConvergence {
-                    residual: f.iter().take(nv).fold(0.0f64, |m, v| m.max(v.abs())),
-                    iterations: self.max_iterations,
-                });
-            }
-            // Advance the trapezoidal current history.
-            if self.integrator == Integrator::Trapezoidal {
-                let mut cap_idx = 0usize;
-                for e in work.elements() {
-                    if let Element::Capacitor { a, b, farads } = e {
-                        let dv = (node_v(&x, *a) - node_v(&x, *b))
-                            - (node_v(&prev, *a) - node_v(&prev, *b));
-                        cap_hist[cap_idx] = 2.0 * farads / h * dv - cap_hist[cap_idx];
-                        cap_idx += 1;
-                    }
-                }
+                Err(e) => return Err(e),
             }
             times.push(t);
             states.push(x[..nv].to_vec());
         }
         Ok(TranResult { times, states })
+    }
+
+    /// Retries the interval `[t0, t0 + h]` as `2^m` sub-steps of equal
+    /// width, doubling the subdivision until the whole interval converges
+    /// (up to 32 sub-steps). `x` must hold the state at `t0` on entry;
+    /// holds the state at `t0 + h` on success. `cap_hist` is only advanced
+    /// on success.
+    #[allow(clippy::too_many_arguments)]
+    fn advance_subdivided(
+        &self,
+        work: &mut Circuit,
+        prev: &[f64],
+        t0: f64,
+        h: f64,
+        nv: usize,
+        n: usize,
+        x: &mut [f64],
+        cap_hist: &mut [f64],
+        c_step: &mut [f64],
+        scratch: &mut Scratch,
+        full_step_residual: f64,
+    ) -> Result<(), CircuitError> {
+        let x0: Vec<f64> = x.to_vec();
+        for m in 1..=5u32 {
+            let sub = 1usize << m;
+            let hs = h / sub as f64;
+            let base_s = build_base(work, n, nv, hs, self.integrator);
+            x.copy_from_slice(&x0);
+            let mut prev_s = prev.to_vec();
+            let mut hist_s = cap_hist.to_vec();
+            let mut ok = true;
+            for j in 1..=sub {
+                let ts = t0 + j as f64 * hs;
+                for (idx, w) in &self.drives {
+                    work.set_vsource(*idx, w.eval(ts));
+                }
+                build_step_consts(work, &prev_s, &hist_s, hs, self.integrator, nv, c_step);
+                if self
+                    .nr_solve_step(work, &base_s, c_step, x, nv, scratch)
+                    .is_err()
+                {
+                    ok = false;
+                    break;
+                }
+                if self.integrator == Integrator::Trapezoidal {
+                    update_cap_hist(work, x, &prev_s, hs, &mut hist_s);
+                }
+                prev_s.copy_from_slice(&x[..nv]);
+            }
+            if ok {
+                cap_hist.copy_from_slice(&hist_s);
+                return Ok(());
+            }
+        }
+        Err(CircuitError::NoConvergence {
+            residual: full_step_residual,
+            iterations: self.max_iterations,
+        })
+    }
+
+    /// One backward-Euler / trapezoidal step: NR with clamped updates and a
+    /// backtracking line search. `x` is the previous state on entry and the
+    /// converged state on success (clobbered on failure). The residual is
+    ///   f(x) = base·x + c_step + (FET currents)
+    /// and the Jacobian is base + (FET linearizations); only the FET part
+    /// is re-stamped per iteration. The Newton step is clamped to
+    /// `step_clamp` per voltage, then backtracked on the residual norm:
+    /// full steps whenever they contract, halved when they would overshoot.
+    /// Trial residuals reuse the constant stamps and need no factorization,
+    /// so the search is cheap.
+    fn nr_solve_step(
+        &self,
+        work: &Circuit,
+        base: &DenseMatrix,
+        c_step: &[f64],
+        x: &mut [f64],
+        nv: usize,
+        s: &mut Scratch,
+    ) -> Result<(), CircuitError> {
+        let mut converged = false;
+        let mut last_res = f64::INFINITY;
+        for it in 0..self.max_iterations {
+            s.jac.copy_from(base);
+            base.mul_vec_into(x, &mut s.f);
+            for (fi, ci) in s.f.iter_mut().zip(c_step) {
+                *fi += *ci;
+            }
+            for e in work.elements() {
+                if let Element::Fet {
+                    d,
+                    g,
+                    s: src,
+                    model,
+                } = e
+                {
+                    stamp_fet(x, *d, *g, *src, model.as_ref(), &mut s.jac, &mut s.f);
+                }
+            }
+            // Residual-based acceptance: the KCL error is already far
+            // below anything that matters.
+            let res_full = s.f.iter().fold(0.0f64, |m, v| m.max(v.abs()));
+            last_res = s.f.iter().take(nv).fold(0.0f64, |m, v| m.max(v.abs()));
+            if it > 0 && res_full < 1.0e-10 {
+                converged = true;
+                break;
+            }
+            for (r, fv) in s.rhs.iter_mut().zip(&s.f) {
+                *r = -fv;
+            }
+            let pivots = s.jac.lu_factor_in_place()?;
+            s.jac.lu_solve(&pivots, &mut s.rhs);
+            for (i, d) in s.dx.iter_mut().enumerate() {
+                *d = if i < nv {
+                    s.rhs[i].clamp(-self.step_clamp, self.step_clamp)
+                } else {
+                    s.rhs[i]
+                };
+            }
+            // Backtracking: accept the first scale that reduces the
+            // residual; if none does (residual at its floor for this
+            // iterate), keep the best trial seen to stay in motion.
+            let mut scale = 1.0f64;
+            let mut best_scale = 1.0f64;
+            let mut best_res = f64::INFINITY;
+            for _half in 0..8 {
+                for (xt, (xi, di)) in s.x_try.iter_mut().zip(x.iter().zip(s.dx.iter())) {
+                    *xt = xi + scale * di;
+                }
+                let res_try = residual_at(work, base, c_step, &s.x_try, &mut s.f, &mut s.jac);
+                if res_try < best_res {
+                    best_res = res_try;
+                    best_scale = scale;
+                }
+                if res_try < res_full {
+                    break;
+                }
+                scale *= 0.5;
+            }
+            if best_scale != scale {
+                for (xt, (xi, di)) in s.x_try.iter_mut().zip(x.iter().zip(s.dx.iter())) {
+                    *xt = xi + best_scale * di;
+                }
+            }
+            x.copy_from_slice(&s.x_try);
+            last_res = best_res;
+            let dv =
+                s.dx.iter()
+                    .take(nv)
+                    .fold(0.0f64, |m, d| m.max((best_scale * d).abs()));
+            if dv < self.v_tol && best_res < 1.0e-9 {
+                converged = true;
+                break;
+            }
+        }
+        // Loose final check, as in the DC solver: organic circuits push
+        // nanoamp-scale currents, where the strict threshold can stall
+        // a whisker high with the step already physically settled.
+        if converged || last_res < 1.0e-9 {
+            Ok(())
+        } else {
+            Err(CircuitError::NoConvergence {
+                residual: last_res,
+                iterations: self.max_iterations,
+            })
+        }
+    }
+}
+
+/// NR per-iteration work buffers, allocated once per transient run.
+struct Scratch {
+    jac: DenseMatrix,
+    f: Vec<f64>,
+    rhs: Vec<f64>,
+    dx: Vec<f64>,
+    x_try: Vec<f64>,
+}
+
+impl Scratch {
+    fn new(n: usize) -> Self {
+        Self {
+            jac: DenseMatrix::zeros(n, n),
+            f: vec![0.0; n],
+            rhs: vec![0.0; n],
+            dx: vec![0.0; n],
+            x_try: vec![0.0; n],
+        }
+    }
+}
+
+/// Advances the trapezoidal companion history after a converged step of
+/// width `h`: i_n = 2C/h · Δv − i_{n−1}.
+fn update_cap_hist(work: &Circuit, x: &[f64], prev: &[f64], h: f64, cap_hist: &mut [f64]) {
+    let mut cap_idx = 0usize;
+    for e in work.elements() {
+        if let Element::Capacitor { a, b, farads } = e {
+            let dv = (node_v(x, *a) - node_v(x, *b)) - (node_v(prev, *a) - node_v(prev, *b));
+            cap_hist[cap_idx] = 2.0 * farads / h * dv - cap_hist[cap_idx];
+            cap_idx += 1;
+        }
     }
 }
 
@@ -312,6 +484,144 @@ fn node_v(x: &[f64], id: NodeId) -> f64 {
         0.0
     } else {
         x[id.index() - 1]
+    }
+}
+
+/// Evaluates the transient residual at `x` (max |error| over ALL rows —
+/// node KCL and source branch equations; the latter carry a step's new
+/// source values, so a node-only norm would be blind to the very update
+/// the step must make) without factoring anything: the constant part comes
+/// from `base`/`c_step`, only FET currents are stamped fresh. `f` and
+/// `jac_scratch` are clobbered.
+fn residual_at(
+    work: &Circuit,
+    base: &DenseMatrix,
+    c_step: &[f64],
+    x: &[f64],
+    f: &mut [f64],
+    jac_scratch: &mut DenseMatrix,
+) -> f64 {
+    base.mul_vec_into(x, f);
+    for (fi, ci) in f.iter_mut().zip(c_step) {
+        *fi += *ci;
+    }
+    for e in work.elements() {
+        if let Element::Fet { d, g, s, model } = e {
+            stamp_fet(x, *d, *g, *s, model.as_ref(), jac_scratch, f);
+        }
+    }
+    f.iter().fold(0.0f64, |m, v| m.max(v.abs()))
+}
+
+/// Companion-model conductance of a capacitor at step size `h`.
+fn companion_g(farads: f64, h: f64, integ: Integrator) -> f64 {
+    match integ {
+        Integrator::BackwardEuler => farads / h,
+        Integrator::Trapezoidal => 2.0 * farads / h,
+    }
+}
+
+/// Assembles the constant part of the transient Jacobian: gmin, resistors,
+/// voltage-source incidence, and capacitor companion conductances. Valid
+/// for the whole run — topology and step size never change mid-transient.
+fn build_base(work: &Circuit, n: usize, nv: usize, h: f64, integ: Integrator) -> DenseMatrix {
+    let ix = |id: NodeId| -> Option<usize> { id.index().checked_sub(1) };
+    let mut base = DenseMatrix::zeros(n, n);
+    for i in 0..nv {
+        base.add(i, i, GMIN);
+    }
+    let mut src_idx = 0usize;
+    for e in work.elements() {
+        match e {
+            Element::Resistor { a, b, ohms } => {
+                let g = 1.0 / ohms;
+                if let Some(ra) = ix(*a) {
+                    base.add(ra, ra, g);
+                    if let Some(rb) = ix(*b) {
+                        base.add(ra, rb, -g);
+                    }
+                }
+                if let Some(rb) = ix(*b) {
+                    base.add(rb, rb, g);
+                    if let Some(ra) = ix(*a) {
+                        base.add(rb, ra, -g);
+                    }
+                }
+            }
+            Element::Capacitor { a, b, farads } => {
+                let g = companion_g(*farads, h, integ);
+                if let Some(ra) = ix(*a) {
+                    base.add(ra, ra, g);
+                    if let Some(rb) = ix(*b) {
+                        base.add(ra, rb, -g);
+                    }
+                }
+                if let Some(rb) = ix(*b) {
+                    base.add(rb, rb, g);
+                    if let Some(ra) = ix(*a) {
+                        base.add(rb, ra, -g);
+                    }
+                }
+            }
+            Element::VSource { pos, neg, .. } => {
+                let row = nv + src_idx;
+                if let Some(rp) = ix(*pos) {
+                    base.add(row, rp, 1.0);
+                    base.add(rp, row, 1.0);
+                }
+                if let Some(rn) = ix(*neg) {
+                    base.add(row, rn, -1.0);
+                    base.add(rn, row, -1.0);
+                }
+                src_idx += 1;
+            }
+            Element::Fet { .. } => {}
+        }
+    }
+    base
+}
+
+/// Assembles the residual terms that are constant across one step's NR
+/// iterations: `-V(t)` on source branch rows and the capacitor companion
+/// history currents:
+///   BE:   i = g·(v − v_prev)            → constant part −g·v_prev
+///   TRAP: i = g·(v − v_prev) − i_prev   → constant part −g·v_prev − i_prev
+fn build_step_consts(
+    work: &Circuit,
+    prev: &[f64],
+    cap_hist: &[f64],
+    h: f64,
+    integ: Integrator,
+    nv: usize,
+    c: &mut [f64],
+) {
+    let ix = |id: NodeId| -> Option<usize> { id.index().checked_sub(1) };
+    c.fill(0.0);
+    let mut src_idx = 0usize;
+    let mut cap_idx = 0usize;
+    for e in work.elements() {
+        match e {
+            Element::VSource { volts, .. } => {
+                c[nv + src_idx] = -volts;
+                src_idx += 1;
+            }
+            Element::Capacitor { a, b, farads } => {
+                let g = companion_g(*farads, h, integ);
+                let hist = match integ {
+                    Integrator::BackwardEuler => 0.0,
+                    Integrator::Trapezoidal => cap_hist[cap_idx],
+                };
+                let k = -g * (node_v(prev, *a) - node_v(prev, *b)) - hist;
+                if let Some(ra) = ix(*a) {
+                    c[ra] += k;
+                }
+                if let Some(rb) = ix(*b) {
+                    c[rb] -= k;
+                }
+                cap_idx += 1;
+            }
+            _ => {}
+        }
     }
 }
 
@@ -380,6 +690,133 @@ mod tests {
     #[should_panic(expected = "tstep must be positive")]
     fn rejects_bad_time_axis() {
         let _ = TranSolver::new(0.0, 1.0);
+    }
+
+    #[test]
+    fn split_stamps_match_full_stamping() {
+        // The fast path computes f = base·x + c_step + FET stamps with the
+        // constant part assembled once; it must agree with stamping
+        // everything from scratch (the pre-split formulation) on a circuit
+        // exercising every element kind.
+        use crate::dc::{stamp_fet, stamp_static};
+        use bdc_device::{SiliconMosModel, SiliconMosParams};
+        use std::sync::Arc;
+
+        let mut c = Circuit::new();
+        let vdd = c.node("vdd");
+        let inp = c.node("in");
+        let out = c.node("out");
+        c.vsource(vdd, Circuit::GND, 1.0);
+        c.vsource(inp, Circuit::GND, 0.5);
+        c.resistor(vdd, out, 10.0e3);
+        c.capacitor(out, Circuit::GND, 2.0e-15);
+        c.capacitor(inp, out, 0.5e-15);
+        let model = Arc::new(SiliconMosModel::new(SiliconMosParams::nmos_45()));
+        c.fet(out, inp, Circuit::GND, model);
+        let nv = c.node_count() - 1;
+        let n = nv + c.vsource_count();
+        let h = 1.0e-12;
+        let x: Vec<f64> = (0..n).map(|i| 0.05 + 0.11 * i as f64).collect();
+        let prev: Vec<f64> = (0..nv).map(|i| 0.6 - 0.07 * i as f64).collect();
+        let cap_hist = [3.0e-7, -1.5e-7];
+
+        for integ in [Integrator::BackwardEuler, Integrator::Trapezoidal] {
+            // Fast path.
+            let base = build_base(&c, n, nv, h, integ);
+            let mut c_step = vec![0.0; n];
+            build_step_consts(&c, &prev, &cap_hist, h, integ, nv, &mut c_step);
+            let mut jac_fast = DenseMatrix::zeros(n, n);
+            jac_fast.copy_from(&base);
+            let mut f_fast = vec![0.0; n];
+            base.mul_vec_into(&x, &mut f_fast);
+            for (fi, ci) in f_fast.iter_mut().zip(&c_step) {
+                *fi += *ci;
+            }
+            for e in c.elements() {
+                if let Element::Fet { d, g, s, model } = e {
+                    stamp_fet(&x, *d, *g, *s, model.as_ref(), &mut jac_fast, &mut f_fast);
+                }
+            }
+            // Reference: stamp everything at once, companion models fused.
+            let mut jac_ref = DenseMatrix::zeros(n, n);
+            let mut f_ref = vec![0.0; n];
+            stamp_static(&c, &x, GMIN, &mut jac_ref, &mut f_ref);
+            let mut cap_idx = 0usize;
+            for e in c.elements() {
+                if let Element::Capacitor { a, b, farads } = e {
+                    let dv =
+                        (node_v(&x, *a) - node_v(&x, *b)) - (node_v(&prev, *a) - node_v(&prev, *b));
+                    let g = companion_g(*farads, h, integ);
+                    let i = match integ {
+                        Integrator::BackwardEuler => g * dv,
+                        Integrator::Trapezoidal => g * dv - cap_hist[cap_idx],
+                    };
+                    if let Some(ra) = a.index().checked_sub(1) {
+                        f_ref[ra] += i;
+                        jac_ref.add(ra, ra, g);
+                        if let Some(rb) = b.index().checked_sub(1) {
+                            jac_ref.add(ra, rb, -g);
+                        }
+                    }
+                    if let Some(rb) = b.index().checked_sub(1) {
+                        f_ref[rb] -= i;
+                        jac_ref.add(rb, rb, g);
+                        if let Some(ra) = a.index().checked_sub(1) {
+                            jac_ref.add(rb, ra, -g);
+                        }
+                    }
+                    cap_idx += 1;
+                }
+            }
+            for r in 0..n {
+                let scale = f_ref[r].abs().max(1.0);
+                assert!(
+                    (f_fast[r] - f_ref[r]).abs() < 1e-9 * scale,
+                    "{integ:?} residual row {r}: {} vs {}",
+                    f_fast[r],
+                    f_ref[r]
+                );
+                for col in 0..n {
+                    let (a, b) = (jac_fast.get(r, col), jac_ref.get(r, col));
+                    assert!(
+                        (a - b).abs() < 1e-9 * b.abs().max(1.0),
+                        "{integ:?} jac ({r},{col}): {a} vs {b}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn with_initial_state_matches_internal_dc_solve_bitwise() {
+        // Seeding the transient with an externally solved operating point
+        // must reproduce the solve-internally run exactly — this is the
+        // contract that lets characterization reuse one DC solve across a
+        // whole slew × load grid.
+        let mut c = Circuit::new();
+        let a = c.node("a");
+        let out = c.node("out");
+        let s = c.vsource(a, Circuit::GND, 0.0);
+        c.resistor(a, out, 1.0e3);
+        c.capacitor(out, Circuit::GND, 1.0e-6);
+        let drive = Waveform::ramp(0.2, 1.0, 1.0e-4, 2.0e-4);
+        let solver = TranSolver::new(1.0e-5, 1.0e-3).drive(s, drive.clone());
+
+        let internal = solver.clone().run(&c).unwrap();
+        let mut at_t0 = c.clone();
+        at_t0.set_vsource(s, drive.eval(0.0));
+        let op = DcSolver::new().solve(&at_t0).unwrap();
+        let seeded = solver.with_initial_state(&op).run(&c).unwrap();
+
+        assert_eq!(internal.times(), seeded.times());
+        for i in 0..internal.len() {
+            assert_eq!(
+                internal.voltage_at(i, out),
+                seeded.voltage_at(i, out),
+                "step {i}"
+            );
+            assert_eq!(internal.voltage_at(i, a), seeded.voltage_at(i, a));
+        }
     }
 
     #[test]

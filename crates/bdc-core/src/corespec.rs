@@ -67,6 +67,12 @@ impl StageKind {
         }
     }
 
+    /// Inverse of [`StageKind::name`] — used by the synthesized-core cache
+    /// deserializer.
+    pub fn from_name(name: &str) -> Option<StageKind> {
+        StageKind::all().into_iter().find(|k| k.name() == name)
+    }
+
     /// Whether the paper's manual cutting may split this stage (retire
     /// holds little logic and is never critical).
     pub fn splittable(self) -> bool {

@@ -15,9 +15,11 @@ use bdc_device::{
 use bdc_synth::pipeline::PipelineResult;
 use bdc_uarch::Workload;
 
+use bdc_exec::par_map;
+
 use crate::corespec::{CoreSpec, StageKind};
 use crate::flow::{
-    alu_cluster, measure_ipc, performance, pipeline_alu, split_critical, synthesize_core,
+    alu_cluster, measure_ipc, performance, pipeline_alu, split_critical, synthesize_core_cached,
     SynthesizedCore,
 };
 use crate::process::{Process, TechKit};
@@ -297,10 +299,12 @@ impl Fig12 {
     }
 }
 
-/// Sweeps the complex ALU over `stages` (the paper plots 1–30).
+/// Sweeps the complex ALU over `stages` (the paper plots 1–30). Every
+/// depth is an independent pipeline cut of the same block, so the sweep
+/// fans out on the pool.
 pub fn fig12_alu_depth(kit: &TechKit, stages: &[usize]) -> Fig12 {
     let alu = alu_cluster();
-    let results = stages.iter().map(|&s| pipeline_alu(kit, &alu, s)).collect();
+    let results = par_map(stages, |&s| pipeline_alu(kit, &alu, s));
     Fig12 {
         stages: stages.to_vec(),
         results,
@@ -326,31 +330,50 @@ pub struct CoreDepthPoint {
 
 /// Figure 11 for one process: deepen 9 → 15 by cutting the critical stage,
 /// synthesize, and simulate every benchmark.
+///
+/// The spec chain is inherently serial (each split cuts the *previous*
+/// point's critical stage), so it is built first with cached synthesis;
+/// the expensive part — one OoO simulation per (depth, workload) — is then
+/// a flat list of independent pure tasks fanned out on the pool.
 pub fn fig11_core_depth(kit: &TechKit, budget: SimBudget) -> Vec<CoreDepthPoint> {
+    let mut specs = Vec::new();
+    let mut splits: Vec<Option<StageKind>> = vec![None];
     let mut spec = CoreSpec::baseline();
-    let mut out = Vec::new();
-    let mut split = None;
-    for _depth in 9..=15 {
-        let synth = synthesize_core(kit, &spec);
-        let per_workload = Workload::all()
-            .into_iter()
-            .map(|w| {
-                let stats = measure_ipc(&spec, w, budget.outer, budget.instructions);
-                let ipc = stats.ipc();
-                (w, ipc, performance(ipc, synth.frequency))
-            })
-            .collect();
-        out.push(CoreDepthPoint {
-            stages: spec.total_stages(),
-            split,
-            synth,
-            per_workload,
-        });
-        let (deeper, cut) = split_critical(kit, &spec);
-        spec = deeper;
-        split = Some(cut);
+    for depth in 9..=15 {
+        specs.push(spec.clone());
+        if depth < 15 {
+            let (deeper, cut) = split_critical(kit, &spec);
+            spec = deeper;
+            splits.push(Some(cut));
+        }
     }
-    out
+    let synths: Vec<SynthesizedCore> = specs
+        .iter()
+        .map(|s| synthesize_core_cached(kit, s))
+        .collect();
+    let sims: Vec<(usize, Workload)> = specs
+        .iter()
+        .enumerate()
+        .flat_map(|(i, _)| Workload::all().into_iter().map(move |w| (i, w)))
+        .collect();
+    let ipcs = par_map(&sims, |&(i, w)| {
+        measure_ipc(&specs[i], w, budget.outer, budget.instructions).ipc()
+    });
+    let n_workloads = Workload::all().len();
+    specs
+        .iter()
+        .enumerate()
+        .map(|(i, s)| CoreDepthPoint {
+            stages: s.total_stages(),
+            split: splits[i],
+            per_workload: sims[i * n_workloads..(i + 1) * n_workloads]
+                .iter()
+                .zip(&ipcs[i * n_workloads..(i + 1) * n_workloads])
+                .map(|(&(_, w), &ipc)| (w, ipc, performance(ipc, synths[i].frequency)))
+                .collect(),
+            synth: synths[i].clone(),
+        })
+        .collect()
 }
 
 // ---------------------------------------------------------------------------
@@ -394,23 +417,40 @@ impl WidthMatrix {
 
 /// Mean IPC across the benchmark suite for every width point
 /// (process-independent, so it is computed once and shared).
+///
+/// Every `(be, fe, workload)` simulation is independent, so the whole
+/// matrix is one flat fan-out; the geometric mean then folds each cell's
+/// workloads in `Workload::all()` order, exactly as the serial loop did —
+/// the result is bit-identical for any worker count.
 pub fn width_ipc_matrix(fe: &[usize], be: &[usize], budget: SimBudget) -> Vec<Vec<f64>> {
-    be.iter()
-        .map(|&b| {
-            fe.iter()
-                .map(|&f| {
-                    let spec = CoreSpec::with_widths(f, b);
-                    let mut log_sum = 0.0;
-                    let all = Workload::all();
-                    for w in all {
-                        let stats = measure_ipc(&spec, w, budget.outer, budget.instructions);
-                        log_sum += stats.ipc().max(1e-6).ln();
-                    }
-                    (log_sum / all.len() as f64).exp()
-                })
-                .collect()
-        })
-        .collect()
+    let all = Workload::all();
+    let cells: Vec<(usize, usize)> = be
+        .iter()
+        .flat_map(|&b| fe.iter().map(move |&f| (f, b)))
+        .collect();
+    let sims: Vec<((usize, usize), Workload)> = cells
+        .iter()
+        .flat_map(|&cell| all.into_iter().map(move |w| (cell, w)))
+        .collect();
+    let ipcs = par_map(&sims, |&((f, b), w)| {
+        let spec = CoreSpec::with_widths(f, b);
+        measure_ipc(&spec, w, budget.outer, budget.instructions).ipc()
+    });
+    let nw = all.len();
+    let mut rows = Vec::with_capacity(be.len());
+    for r in 0..be.len() {
+        let mut row = Vec::with_capacity(fe.len());
+        for c in 0..fe.len() {
+            let cell = (r * fe.len() + c) * nw;
+            let mut log_sum = 0.0;
+            for ipc in &ipcs[cell..cell + nw] {
+                log_sum += ipc.max(1e-6).ln();
+            }
+            row.push((log_sum / nw as f64).exp());
+        }
+        rows.push(row);
+    }
+    rows
 }
 
 /// Figures 13+14 for one process, given the shared IPC matrix.
@@ -420,13 +460,20 @@ pub fn fig13_14_width(kit: &TechKit, ipc: &[Vec<f64>]) -> WidthMatrix {
     let mut perf = vec![vec![0.0; fe.len()]; be.len()];
     let mut area = vec![vec![0.0; fe.len()]; be.len()];
     let mut freq = vec![vec![0.0; fe.len()]; be.len()];
-    for (r, &b) in be.iter().enumerate() {
-        for (c, &f) in fe.iter().enumerate() {
-            let synth = synthesize_core(kit, &CoreSpec::with_widths(f, b));
-            freq[r][c] = synth.frequency;
-            area[r][c] = synth.area_um2;
-            perf[r][c] = performance(ipc[r][c], synth.frequency);
-        }
+    // All 30 width configs synthesize independently (and hit the artifact
+    // cache when warm).
+    let cells: Vec<(usize, usize)> = be
+        .iter()
+        .flat_map(|&b| fe.iter().map(move |&f| (f, b)))
+        .collect();
+    let synths = par_map(&cells, |&(f, b)| {
+        synthesize_core_cached(kit, &CoreSpec::with_widths(f, b))
+    });
+    for (i, synth) in synths.iter().enumerate() {
+        let (r, c) = (i / fe.len(), i % fe.len());
+        freq[r][c] = synth.frequency;
+        area[r][c] = synth.area_um2;
+        perf[r][c] = performance(ipc[r][c], synth.frequency);
     }
     // Normalize to maxima, like the paper's matrices.
     let pmax = perf.iter().flatten().copied().fold(f64::MIN, f64::max);
@@ -474,7 +521,7 @@ pub fn fig15_wire_ablation(kit: &TechKit, alu_stages: &[usize]) -> Fig15 {
         let mut spec = CoreSpec::baseline();
         let mut freqs = Vec::new();
         for _ in 9..=15 {
-            freqs.push(synthesize_core(k, &spec).frequency);
+            freqs.push(synthesize_core_cached(k, &spec).frequency);
             let (deeper, _) = split_critical(k, &spec);
             spec = deeper;
         }
@@ -495,7 +542,7 @@ pub fn fig15_wire_ablation(kit: &TechKit, alu_stages: &[usize]) -> Fig15 {
 
 /// Baseline (9-stage, single-issue) clock per process.
 pub fn table_baseline_frequency(kit: &TechKit) -> SynthesizedCore {
-    synthesize_core(kit, &CoreSpec::baseline())
+    synthesize_core_cached(kit, &CoreSpec::baseline())
 }
 
 /// Convenience for callers that only need the process pair label.

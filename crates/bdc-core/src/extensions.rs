@@ -20,7 +20,7 @@ use bdc_uarch::Workload;
 
 use crate::corespec::{stage_netlist, CoreSpec, StageKind};
 use crate::experiments::SimBudget;
-use crate::flow::{measure_ipc, performance, split_critical, synthesize_core};
+use crate::flow::{measure_ipc, performance, split_critical, synthesize_core_cached};
 use crate::process::TechKit;
 
 /// Activity factor assumed for core logic.
@@ -72,7 +72,7 @@ pub fn energy_depth(kit: &TechKit, budget: SimBudget) -> Vec<EnergyDepthPoint> {
     let mut spec = CoreSpec::baseline();
     let mut out = Vec::new();
     for _ in 9..=15 {
-        let synth = synthesize_core(kit, &spec);
+        let synth = synthesize_core_cached(kit, &spec);
         let mut log_ipc = 0.0;
         let suite = [Workload::Dhrystone, Workload::Gzip, Workload::Mcf];
         for w in suite {
@@ -114,7 +114,7 @@ pub struct ParallelPoint {
 /// stream), reporting aggregate throughput / area / power.
 pub fn parallel_array(kit: &TechKit, max_cores: usize, budget: SimBudget) -> Vec<ParallelPoint> {
     let spec = CoreSpec::baseline();
-    let synth = synthesize_core(kit, &spec);
+    let synth = synthesize_core_cached(kit, &spec);
     let stats = measure_ipc(&spec, Workload::Gzip, budget.outer, budget.instructions);
     let per_core = performance(stats.ipc(), synth.frequency);
     let power = core_power(kit, &spec, synth.frequency).total_w();
@@ -215,7 +215,7 @@ pub fn inorder_vs_ooo(kit: &TechKit, budget: SimBudget) -> Vec<CoreStyleRow> {
     let w = Workload::Gzip;
     // OoO baseline.
     let spec = CoreSpec::baseline();
-    let synth = synthesize_core(kit, &spec);
+    let synth = synthesize_core_cached(kit, &spec);
     let ooo_stats = measure_ipc(&spec, w, budget.outer, budget.instructions);
     let ooo_perf = performance(ooo_stats.ipc(), synth.frequency);
     let ooo_power = core_power(kit, &spec, synth.frequency).total_w();
@@ -353,20 +353,32 @@ pub fn variation_tuning(n: usize, seed: u64) -> Result<VariationStudy, CircuitEr
     };
     let sigma_vt = 0.5 / 3.0;
 
-    let mut raw = Vec::with_capacity(n);
-    let mut tuned = Vec::with_capacity(n);
-    for _ in 0..n {
-        let u1 = next_unit();
-        let u2 = next_unit();
-        let z = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
-        let dvt = sigma_vt * z;
+    // Draw every ΔV_T serially first (the LCG stream is sequential), then
+    // fan the expensive DC measurements out on the pool — each sample is a
+    // pure function of its ΔV_T, so the result is order-independent and
+    // bit-identical to the serial loop.
+    let dvts: Vec<f64> = (0..n)
+        .map(|_| {
+            let u1 = next_unit();
+            let u2 = next_unit();
+            let z = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+            sigma_vt * z
+        })
+        .collect();
+    let measured: Vec<Result<(f64, f64), CircuitError>> = bdc_exec::par_map(&dvts, |&dvt| {
         let gate = organic_inverter_shifted(OrganicStyle::PseudoE, &sizing, vdd, vss0, dvt);
         let vm = measure_inverter_dc(&gate, 61)?.vm;
-        raw.push((dvt, vm));
         // Retune V_SS to pull V_M back to VDD/2 using the linear law.
         let vss_new = (vss0 + (target - vm) / slope).clamp(-25.0, -8.0);
         let gate2 = organic_inverter_shifted(OrganicStyle::PseudoE, &sizing, vdd, vss_new, dvt);
-        tuned.push(measure_inverter_dc(&gate2, 61)?.vm);
+        Ok((vm, measure_inverter_dc(&gate2, 61)?.vm))
+    });
+    let mut raw = Vec::with_capacity(n);
+    let mut tuned = Vec::with_capacity(n);
+    for (dvt, r) in dvts.iter().zip(measured) {
+        let (vm, vm_tuned) = r?;
+        raw.push((*dvt, vm));
+        tuned.push(vm_tuned);
     }
     let sigma = |v: &[f64]| {
         let m = v.iter().sum::<f64>() / v.len() as f64;

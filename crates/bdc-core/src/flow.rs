@@ -1,6 +1,7 @@
 //! The synthesis/simulation flow: Figure 10 of the paper.
 
 use bdc_cells::CellKind;
+use bdc_exec::{fnv1a, ArtifactCache};
 use bdc_synth::blocks;
 use bdc_synth::gate::Netlist;
 use bdc_synth::map::remap_for_library;
@@ -199,11 +200,108 @@ pub fn synthesize_core(kit: &TechKit, spec: &CoreSpec) -> SynthesizedCore {
     }
 }
 
+/// Memoizing wrapper around [`synthesize_core`] through the workspace-wide
+/// content-addressed [`ArtifactCache`]. The key hashes a schema salt, the
+/// process, a fingerprint of the characterized library's Liberty text (so
+/// recharacterizing — new grid, new rails, different wire model —
+/// invalidates every dependent synthesis result), the [`CoreSpec`], and
+/// every synthesis setting ([`StaConfig`](bdc_synth::sta::StaConfig) and
+/// [`PipelineOptions`] in `Debug` form). The stored artifact round-trips
+/// every `f64` through its bit pattern, so a cache hit is bit-identical to
+/// the synthesis it replaced.
+pub fn synthesize_core_cached(kit: &TechKit, spec: &CoreSpec) -> SynthesizedCore {
+    let cache = ArtifactCache::shared();
+    let lib_fp = fnv1a(&[&bdc_cells::write_library(&kit.lib)]);
+    let key = fnv1a(&[
+        "bdc-synth-v1",
+        kit.process.name(),
+        &format!("{lib_fp:016x}"),
+        &format!("{spec:?}"),
+        &format!("{:?}", kit.sta),
+        &format!("{:?}", kit.pipe),
+    ]);
+    let name = format!("synth-{}", kit.process.name());
+    if let Some(text) = cache.load(&name, key) {
+        if let Some(core) = parse_synth_text(&text) {
+            return core;
+        }
+    }
+    let core = synthesize_core(kit, spec);
+    cache.store(&name, key, &write_synth_text(&core));
+    core
+}
+
+/// Serializes a synthesized core for the artifact cache. Every float is
+/// written as its IEEE-754 bit pattern so reloads are bit-exact.
+fn write_synth_text(core: &SynthesizedCore) -> String {
+    use std::fmt::Write as _;
+    let mut s = String::from("synthcore v1\n");
+    let _ = writeln!(s, "period {:016x}", core.period.to_bits());
+    let _ = writeln!(s, "frequency {:016x}", core.frequency.to_bits());
+    let _ = writeln!(s, "area_um2 {:016x}", core.area_um2.to_bits());
+    let _ = writeln!(s, "seq_overhead {:016x}", core.seq_overhead.to_bits());
+    let _ = writeln!(s, "wire_overhead {:016x}", core.wire_overhead.to_bits());
+    let _ = writeln!(s, "critical {}", core.critical.name());
+    for st in &core.stages {
+        let _ = writeln!(
+            s,
+            "stage {} {} {:016x} {:016x}",
+            st.kind.name(),
+            st.substages,
+            st.logic_delay.to_bits(),
+            st.area_um2.to_bits()
+        );
+    }
+    s
+}
+
+/// Inverse of [`write_synth_text`]; `None` on any malformed line, which the
+/// cache treats as a miss (the entry is then recomputed and rewritten).
+fn parse_synth_text(text: &str) -> Option<SynthesizedCore> {
+    let mut lines = text.lines();
+    if lines.next()? != "synthcore v1" {
+        return None;
+    }
+    let mut field = |name: &str| -> Option<f64> {
+        let line = lines.next()?;
+        let rest = line.strip_prefix(name)?.strip_prefix(' ')?;
+        Some(f64::from_bits(u64::from_str_radix(rest, 16).ok()?))
+    };
+    let period = field("period")?;
+    let frequency = field("frequency")?;
+    let area_um2 = field("area_um2")?;
+    let seq_overhead = field("seq_overhead")?;
+    let wire_overhead = field("wire_overhead")?;
+    let critical = StageKind::from_name(lines.next()?.strip_prefix("critical ")?)?;
+    let mut stages = Vec::new();
+    for line in lines {
+        let mut parts = line.split(' ');
+        if parts.next()? != "stage" {
+            return None;
+        }
+        stages.push(StageTiming {
+            kind: StageKind::from_name(parts.next()?)?,
+            substages: parts.next()?.parse().ok()?,
+            logic_delay: f64::from_bits(u64::from_str_radix(parts.next()?, 16).ok()?),
+            area_um2: f64::from_bits(u64::from_str_radix(parts.next()?, 16).ok()?),
+        });
+    }
+    Some(SynthesizedCore {
+        period,
+        frequency,
+        area_um2,
+        stages,
+        critical,
+        seq_overhead,
+        wire_overhead,
+    })
+}
+
 /// Splits the currently critical (splittable) stage once — the paper's
 /// manual pipeline-deepening move. Returns the deepened spec and which
 /// stage was cut.
 pub fn split_critical(kit: &TechKit, spec: &CoreSpec) -> (CoreSpec, StageKind) {
-    let synth = synthesize_core(kit, spec);
+    let synth = synthesize_core_cached(kit, spec);
     // Pick the worst *splittable* stage by per-substage delay.
     let (kind, _) = synth
         .stages
@@ -282,6 +380,25 @@ mod tests {
         let narrow = synthesize_core(&kit, &CoreSpec::with_widths(1, 3));
         let wide = synthesize_core(&kit, &CoreSpec::with_widths(6, 7));
         assert!(wide.area_um2 > 1.5 * narrow.area_um2);
+    }
+
+    #[test]
+    fn synth_cache_text_round_trips_bit_exact() {
+        let kit = TechKit::synthetic(Process::Silicon);
+        let core = synthesize_core(&kit, &CoreSpec::baseline());
+        let parsed = parse_synth_text(&write_synth_text(&core)).expect("parse");
+        assert_eq!(parsed.period.to_bits(), core.period.to_bits());
+        assert_eq!(parsed.frequency.to_bits(), core.frequency.to_bits());
+        assert_eq!(parsed.area_um2.to_bits(), core.area_um2.to_bits());
+        assert_eq!(parsed.critical, core.critical);
+        assert_eq!(parsed.stages.len(), core.stages.len());
+        for (a, b) in parsed.stages.iter().zip(&core.stages) {
+            assert_eq!(a.kind, b.kind);
+            assert_eq!(a.substages, b.substages);
+            assert_eq!(a.logic_delay.to_bits(), b.logic_delay.to_bits());
+            assert_eq!(a.area_um2.to_bits(), b.area_um2.to_bits());
+        }
+        assert!(parse_synth_text("garbage").is_none());
     }
 
     #[test]

@@ -44,5 +44,7 @@ pub mod process;
 pub mod report;
 
 pub use corespec::{CoreSpec, StageKind};
-pub use flow::{alu_cluster, lint_gate, pipeline_alu, synthesize_core, SynthesizedCore};
+pub use flow::{
+    alu_cluster, lint_gate, pipeline_alu, synthesize_core, synthesize_core_cached, SynthesizedCore,
+};
 pub use process::{LintPolicy, Process, TechKit};

@@ -2,8 +2,9 @@
 
 use std::sync::OnceLock;
 
-use bdc_cells::{CellLibrary, ProcessKind, WireModel};
+use bdc_cells::{CellLibrary, CharacterizeConfig, OrganicSizing, ProcessKind, WireModel};
 use bdc_circuit::CircuitError;
+use bdc_exec::{fnv1a, ArtifactCache};
 use bdc_synth::pipeline::PipelineOptions;
 use bdc_synth::sta::StaConfig;
 
@@ -29,6 +30,30 @@ impl Process {
             Process::Silicon => "silicon",
         }
     }
+
+    /// The library-level process kind this flow process characterizes.
+    pub fn kind(self) -> ProcessKind {
+        match self {
+            Process::Organic => ProcessKind::Organic,
+            Process::Silicon => ProcessKind::Silicon45,
+        }
+    }
+}
+
+/// Cache key for a characterized library: a schema salt plus everything the
+/// characterization recipe depends on — the process, its rails/geometry,
+/// the gate sizing, and the full slew × load grid ([`CharacterizeConfig`]'s
+/// `Debug` form spells out every knob, so adding a knob changes the key).
+fn library_cache_key(process: Process) -> u64 {
+    let recipe = match process {
+        Process::Organic => format!(
+            "vdd=5 vss=-15 sizing={:?} cfg={:?}",
+            OrganicSizing::library_default(),
+            CharacterizeConfig::organic(),
+        ),
+        Process::Silicon => format!("vdd=1 l=450e-9 cfg={:?}", CharacterizeConfig::silicon()),
+    };
+    fnv1a(&["bdc-library-v1", process.name(), &recipe])
 }
 
 /// What the flow does with static-analysis diagnostics (`bdc-lint`) raised
@@ -116,11 +141,7 @@ impl TechKit {
         let path = dir.join(format!("{}.bdclib", process.name()));
         if let Ok(text) = std::fs::read_to_string(&path) {
             if let Ok(lib) = bdc_cells::parse_library(&text) {
-                let expected = match process {
-                    Process::Organic => ProcessKind::Organic,
-                    Process::Silicon => ProcessKind::Silicon45,
-                };
-                if lib.process == expected {
+                if lib.process == process.kind() {
                     return Ok(Self::with_library(process, lib));
                 }
             }
@@ -128,6 +149,33 @@ impl TechKit {
         let kit = Self::build(process)?;
         let _ = std::fs::create_dir_all(dir);
         let _ = std::fs::write(&path, bdc_cells::write_library(&kit.lib));
+        Ok(kit)
+    }
+
+    /// Like [`TechKit::build`], but memoized through the workspace-wide
+    /// content-addressed [`ArtifactCache`] (`results/cache/`, or
+    /// `BDC_CACHE_DIR`): the characterized library is stored as its
+    /// Liberty-dialect text under a key hashing the full characterization
+    /// recipe, and reloaded bit-exactly on later runs. Invalidation is key
+    /// change — editing the grid, sizing, or rails addresses a different
+    /// entry and the stale one is simply never read again. This is the
+    /// entry point every experiment binary routes through.
+    ///
+    /// # Errors
+    /// Propagates characterization failures.
+    pub fn load_or_build(process: Process) -> Result<TechKit, CircuitError> {
+        let cache = ArtifactCache::shared();
+        let key = library_cache_key(process);
+        let name = format!("lib-{}", process.name());
+        if let Some(text) = cache.load(&name, key) {
+            if let Ok(lib) = bdc_cells::parse_library(&text) {
+                if lib.process == process.kind() {
+                    return Ok(Self::with_library(process, lib));
+                }
+            }
+        }
+        let kit = Self::build(process)?;
+        cache.store(&name, key, &bdc_cells::write_library(&kit.lib));
         Ok(kit)
     }
 
@@ -150,7 +198,9 @@ impl TechKit {
 }
 
 /// Returns a lazily characterized, process-wide shared kit. The expensive
-/// circuit-level characterization runs once per process per process-lifetime.
+/// circuit-level characterization runs once per process per process-lifetime
+/// — and, through [`TechKit::load_or_build`], once per recipe per *machine*:
+/// later processes reload the characterized library from the artifact cache.
 ///
 /// # Panics
 /// Panics if characterization fails (deterministic; covered by tests).
@@ -161,7 +211,7 @@ pub fn shared_kit(process: Process) -> &'static TechKit {
         Process::Organic => &ORGANIC,
         Process::Silicon => &SILICON,
     };
-    cell.get_or_init(|| TechKit::build(process).expect("library characterization"))
+    cell.get_or_init(|| TechKit::load_or_build(process).expect("library characterization"))
 }
 
 #[cfg(test)]

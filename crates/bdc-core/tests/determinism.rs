@@ -1,0 +1,128 @@
+//! Determinism contract of the parallel flow (DESIGN.md §5e): every
+//! `par_map` fan-out must be **bit-identical** to serial execution, for any
+//! worker count, and a cache round-trip must reproduce downstream STA
+//! results exactly.
+//!
+//! The pool's worker count is process-global, so every test that touches it
+//! serializes on one mutex and restores the default before releasing it.
+
+use std::sync::{Mutex, MutexGuard, OnceLock};
+
+use bdc_cells::{characterize_gate, organic_gate, CharacterizeConfig, LogicKind, OrganicSizing};
+use bdc_core::experiments::{width_ipc_matrix, SimBudget};
+use bdc_core::{Process, TechKit};
+use bdc_device::variation::VariedModel;
+use bdc_device::TftParams;
+use bdc_exec::set_workers;
+
+/// Guards the global worker-count override; resets it on drop.
+struct PoolLock {
+    _guard: MutexGuard<'static, ()>,
+}
+
+impl PoolLock {
+    fn acquire() -> PoolLock {
+        static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+        let m = LOCK.get_or_init(|| Mutex::new(()));
+        PoolLock {
+            _guard: m.lock().unwrap_or_else(|p| p.into_inner()),
+        }
+    }
+}
+
+impl Drop for PoolLock {
+    fn drop(&mut self) {
+        set_workers(None);
+    }
+}
+
+const WORKER_COUNTS: [usize; 3] = [1, 2, 8];
+
+fn table_bits(t: &bdc_cells::NldmTable) -> Vec<u64> {
+    t.values().iter().flatten().map(|v| v.to_bits()).collect()
+}
+
+#[test]
+fn characterization_tables_are_bit_identical_across_worker_counts() {
+    let _lock = PoolLock::acquire();
+    let gate = organic_gate(
+        LogicKind::Nand2,
+        &OrganicSizing::library_default(),
+        5.0,
+        -15.0,
+    );
+    // A reduced grid keeps the test fast; the code path is the full one.
+    let cfg = CharacterizeConfig {
+        slews: vec![2.0e-5, 2.0e-4],
+        loads: vec![1.0e-10, 1.0e-9],
+        ..CharacterizeConfig::organic()
+    };
+    let mut reference = None;
+    for w in WORKER_COUNTS {
+        set_workers(Some(w));
+        let t = characterize_gate(&gate, &cfg).expect("characterize");
+        let bits = (
+            table_bits(&t.delay_rise),
+            table_bits(&t.delay_fall),
+            table_bits(&t.out_slew),
+        );
+        match &reference {
+            None => reference = Some(bits),
+            Some(r) => assert_eq!(*r, bits, "{w} workers diverged from serial"),
+        }
+    }
+}
+
+#[test]
+fn width_ipc_matrix_is_bit_identical_across_worker_counts() {
+    let _lock = PoolLock::acquire();
+    let mut reference = None;
+    for w in WORKER_COUNTS {
+        set_workers(Some(w));
+        let m = width_ipc_matrix(&[1, 2], &[3, 4], SimBudget::quick());
+        let bits: Vec<Vec<u64>> = m
+            .iter()
+            .map(|row| row.iter().map(|v| v.to_bits()).collect())
+            .collect();
+        match &reference {
+            None => reference = Some(bits),
+            Some(r) => assert_eq!(*r, bits, "{w} workers diverged from serial"),
+        }
+    }
+}
+
+#[test]
+fn monte_carlo_population_is_bit_identical_across_worker_counts() {
+    let _lock = PoolLock::acquire();
+    let base = TftParams::pentacene();
+    let mut reference = None;
+    for w in WORKER_COUNTS {
+        set_workers(Some(w));
+        let pop = VariedModel::sample_population_par(&base, 0.5 / 3.0, 2026, 200);
+        let bits: Vec<u64> = pop.iter().map(|m| m.delta_vt.to_bits()).collect();
+        match &reference {
+            None => reference = Some(bits),
+            Some(r) => assert_eq!(*r, bits, "{w} workers diverged from serial"),
+        }
+    }
+}
+
+#[test]
+fn library_cache_round_trip_preserves_sta_arrivals() {
+    // The artifact cache stores a characterized library as Liberty text;
+    // a hit must reproduce STA bit-for-bit. shared_kit exercises the real
+    // load path; the round-trip below checks the serialization itself.
+    let kit = bdc_core::process::shared_kit(Process::Silicon);
+    let text = bdc_cells::write_library(&kit.lib);
+    let reloaded = bdc_cells::parse_library(&text).expect("parse");
+    let kit2 = TechKit::with_library(Process::Silicon, reloaded);
+
+    let net = bdc_synth::blocks::ripple_adder(16);
+    let a = bdc_synth::sta::analyze(&net, &kit.lib, &kit.sta);
+    let b = bdc_synth::sta::analyze(&net, &kit2.lib, &kit2.sta);
+    assert_eq!(a.max_arrival.to_bits(), b.max_arrival.to_bits());
+    assert_eq!(a.area_um2.to_bits(), b.area_um2.to_bits());
+    let arr_a: Vec<u64> = a.arrival.iter().map(|v| v.to_bits()).collect();
+    let arr_b: Vec<u64> = b.arrival.iter().map(|v| v.to_bits()).collect();
+    assert_eq!(arr_a, arr_b);
+}

@@ -91,6 +91,34 @@ impl VariedModel {
             })
             .collect()
     }
+
+    /// Samples `n` devices on the thread pool. Each device's normal draw
+    /// comes from its own [`bdc_exec::task_seed`]-derived RNG instead of a
+    /// shared sequential stream, so the population is a pure function of
+    /// `(seed, index)` — bit-identical for any worker count, including the
+    /// serial `workers() == 1` path.
+    ///
+    /// # Panics
+    /// Panics if `sigma` is negative.
+    pub fn sample_population_par(
+        base: &TftParams,
+        sigma: f64,
+        seed: u64,
+        n: usize,
+    ) -> Vec<VariedModel> {
+        assert!(sigma >= 0.0, "sigma must be non-negative");
+        let indices: Vec<u64> = (0..n as u64).collect();
+        bdc_exec::par_map(&indices, |&i| {
+            let mut rng = bdc_exec::SplitMix64::new(bdc_exec::task_seed(seed, i));
+            let vt0 = base.vt0 + sigma * rng.next_normal();
+            let model = Level61Model::new(TftParams {
+                vt0,
+                ..base.clone()
+            });
+            let delta_vt = model.params().vt0 - base.vt0;
+            VariedModel { model, delta_vt }
+        })
+    }
 }
 
 /// Generates a synthetic “measured” transfer sweep: the level-61 nominal
@@ -175,6 +203,26 @@ mod tests {
             / 101.0;
         let rms = rms.sqrt();
         assert!(rms > 0.005 && rms < 0.15, "rms log noise {rms}");
+    }
+
+    #[test]
+    fn par_population_is_a_pure_function_of_seed_and_index() {
+        let base = TftParams::pentacene();
+        let pop = VariedModel::sample_population_par(&base, 0.2, 42, 64);
+        assert_eq!(pop.len(), 64);
+        for (i, m) in pop.iter().enumerate() {
+            let mut rng = bdc_exec::SplitMix64::new(bdc_exec::task_seed(42, i as u64));
+            let expect = base.vt0 + 0.2 * rng.next_normal();
+            assert_eq!(m.model.params().vt0, expect, "index {i}");
+        }
+    }
+
+    #[test]
+    fn par_population_spread_matches_sigma() {
+        let base = TftParams::pentacene();
+        let pop = VariedModel::sample_population_par(&base, 0.5 / 3.0, 7, 500);
+        let within = pop.iter().filter(|m| m.delta_vt.abs() <= 0.5).count();
+        assert!(within >= 490, "{within}/500 within 0.5 V");
     }
 
     #[test]

@@ -1,0 +1,173 @@
+//! Content-addressed artifact cache under `results/cache/`.
+//!
+//! An artifact is any serialized flow product — a characterized library in
+//! its Liberty-dialect text, a synthesized-core `(T_min, area)` record. The
+//! key is an FNV-1a hash over every input that determines the artifact
+//! (process, grid parameters, library fingerprint, design point) plus a
+//! schema-version salt; the filename embeds the key, so *invalidation is
+//! key change* — touching any input addresses a different file and the old
+//! entry is simply never read again.
+//!
+//! Environment knobs: `BDC_CACHE_DIR` overrides the root directory,
+//! `BDC_NO_CACHE=1` disables the cache entirely (every load misses, every
+//! store is dropped). Writes go through a temp file + rename so concurrent
+//! writers never expose a torn artifact; all I/O failures degrade to cache
+//! misses — the cache is an accelerator, never a correctness dependency.
+
+use std::path::{Path, PathBuf};
+
+/// FNV-1a 64-bit hash over a sequence of string parts. Parts are separated
+/// by a 0xFF sentinel byte (which cannot occur in UTF-8), so `["ab", "c"]`
+/// and `["a", "bc"]` hash differently.
+pub fn fnv1a(parts: &[&str]) -> u64 {
+    let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+    let mut eat = |byte: u8| {
+        h ^= u64::from(byte);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    };
+    for part in parts {
+        for b in part.as_bytes() {
+            eat(*b);
+        }
+        eat(0xFF);
+    }
+    h
+}
+
+/// A content-addressed, string-payload artifact cache rooted at one
+/// directory.
+#[derive(Debug, Clone)]
+pub struct ArtifactCache {
+    root: PathBuf,
+    enabled: bool,
+}
+
+impl ArtifactCache {
+    /// A cache rooted at an explicit directory (created lazily on first
+    /// store).
+    pub fn new(root: impl Into<PathBuf>) -> Self {
+        ArtifactCache {
+            root: root.into(),
+            enabled: true,
+        }
+    }
+
+    /// A cache that never hits and never writes.
+    pub fn disabled() -> Self {
+        ArtifactCache {
+            root: PathBuf::new(),
+            enabled: false,
+        }
+    }
+
+    /// The process-wide shared cache: disabled under `BDC_NO_CACHE`,
+    /// rooted at `BDC_CACHE_DIR` when set, else at `results/cache/` under
+    /// the enclosing repository root (found by walking up from the current
+    /// directory to the nearest `Cargo.lock`, so experiment binaries run
+    /// from the checkout root and `cargo test` run from a crate directory
+    /// share one cache).
+    pub fn shared() -> Self {
+        if std::env::var_os("BDC_NO_CACHE").is_some() {
+            return Self::disabled();
+        }
+        if let Some(dir) = std::env::var_os("BDC_CACHE_DIR") {
+            return Self::new(PathBuf::from(dir));
+        }
+        let cwd = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
+        let mut dir = cwd.as_path();
+        loop {
+            if dir.join("Cargo.lock").exists() {
+                return Self::new(dir.join("results").join("cache"));
+            }
+            match dir.parent() {
+                Some(p) => dir = p,
+                None => return Self::new(cwd.join("results").join("cache")),
+            }
+        }
+    }
+
+    /// Whether loads can ever hit.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// The cache root directory.
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    /// The file a `(name, key)` pair addresses.
+    pub fn path_for(&self, name: &str, key: u64) -> PathBuf {
+        self.root.join(format!("{name}-{key:016x}.txt"))
+    }
+
+    /// Loads the artifact addressed by `(name, key)`, or `None` on miss or
+    /// any I/O failure.
+    pub fn load(&self, name: &str, key: u64) -> Option<String> {
+        if !self.enabled {
+            return None;
+        }
+        std::fs::read_to_string(self.path_for(name, key)).ok()
+    }
+
+    /// Stores an artifact. Returns whether the artifact is on disk
+    /// afterwards; failures are silent by contract (a cache must never
+    /// fail the flow).
+    pub fn store(&self, name: &str, key: u64, text: &str) -> bool {
+        if !self.enabled {
+            return false;
+        }
+        if std::fs::create_dir_all(&self.root).is_err() {
+            return false;
+        }
+        let final_path = self.path_for(name, key);
+        let tmp = self
+            .root
+            .join(format!(".tmp-{name}-{key:016x}-{}", std::process::id()));
+        if std::fs::write(&tmp, text).is_err() {
+            return false;
+        }
+        if std::fs::rename(&tmp, &final_path).is_err() {
+            let _ = std::fs::remove_file(&tmp);
+            return final_path.exists();
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_cache(tag: &str) -> ArtifactCache {
+        let dir = std::env::temp_dir().join(format!("bdc-exec-cache-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        ArtifactCache::new(dir)
+    }
+
+    #[test]
+    fn fnv_separator_disambiguates_parts() {
+        assert_ne!(fnv1a(&["ab", "c"]), fnv1a(&["a", "bc"]));
+        assert_ne!(fnv1a(&["a"]), fnv1a(&["a", ""]));
+        assert_eq!(fnv1a(&["x", "y"]), fnv1a(&["x", "y"]));
+    }
+
+    #[test]
+    fn store_then_load_round_trips() {
+        let c = temp_cache("roundtrip");
+        let key = fnv1a(&["organic", "v1"]);
+        assert_eq!(c.load("lib", key), None);
+        assert!(c.store("lib", key, "payload\nlines\n"));
+        assert_eq!(c.load("lib", key).as_deref(), Some("payload\nlines\n"));
+        // A different key misses — that is the whole invalidation story.
+        assert_eq!(c.load("lib", fnv1a(&["organic", "v2"])), None);
+        let _ = std::fs::remove_dir_all(c.root());
+    }
+
+    #[test]
+    fn disabled_cache_never_hits() {
+        let c = ArtifactCache::disabled();
+        assert!(!c.store("lib", 1, "x"));
+        assert_eq!(c.load("lib", 1), None);
+    }
+}

@@ -1,0 +1,34 @@
+#![warn(missing_docs)]
+
+//! Deterministic parallel execution and artifact caching for the flow.
+//!
+//! The paper's Figure-10 flow is a DAG of expensive, pure computations:
+//! transient simulations (characterization grids), synthesis/STA runs, and
+//! cycle-accurate core simulations. This crate supplies the two primitives
+//! every hot path shares:
+//!
+//! * [`par_map`] / [`par_mapi`] — a scoped work-stealing thread pool whose
+//!   output is **bit-identical to serial execution**: results are collected
+//!   in index order, every task is a pure function of its index and input,
+//!   and randomized tasks derive their seed from [`task_seed`] rather than
+//!   from a shared sequential stream. Worker count comes from
+//!   [`set_workers`], the `BDC_WORKERS` environment variable, or the
+//!   machine; `workers() == 1` runs inline on the calling thread — the
+//!   serial path *is* the parallel path with one worker.
+//! * [`ArtifactCache`] — a content-addressed on-disk memo for flow
+//!   artifacts (characterized libraries, synthesized-core results). Keys
+//!   are FNV-1a hashes over every input that affects the artifact plus a
+//!   schema-version salt; invalidation is key change, so stale entries are
+//!   simply never addressed again.
+//!
+//! The crate is std-only by design: it sits below every other crate in the
+//! workspace and the environment has no registry access (see
+//! `crates/compat/README.md`).
+
+mod cache;
+mod pool;
+mod seed;
+
+pub use cache::{fnv1a, ArtifactCache};
+pub use pool::{par_map, par_mapi, set_workers, workers};
+pub use seed::{task_seed, SplitMix64};

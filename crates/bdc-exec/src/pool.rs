@@ -1,0 +1,188 @@
+//! Scoped work-stealing thread pool with an index-ordered `par_map`.
+//!
+//! Determinism contract: `par_mapi(items, f)` returns exactly
+//! `items.iter().enumerate().map(|(i, t)| f(i, t)).collect()` for any worker
+//! count, provided `f` is a pure function of `(i, t)`. The pool only changes
+//! *when* each task runs, never what it computes or where its result lands,
+//! so parallel output is bit-identical to the serial path.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{mpsc, Mutex};
+
+/// Worker-count override installed by [`set_workers`]; 0 means "not set".
+static WORKER_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+
+/// Forces the worker count for subsequent [`par_map`] calls in this
+/// process. `None` restores the default resolution order (environment,
+/// then hardware). Benchmarks and the determinism suite use this to pin
+/// 1/2/8-worker runs.
+pub fn set_workers(n: Option<usize>) {
+    WORKER_OVERRIDE.store(n.map_or(0, |v| v.max(1)), Ordering::Relaxed);
+}
+
+/// The worker count the next [`par_map`] call will use: the
+/// [`set_workers`] override if installed, else `BDC_WORKERS` from the
+/// environment, else the machine's available parallelism.
+pub fn workers() -> usize {
+    let forced = WORKER_OVERRIDE.load(Ordering::Relaxed);
+    if forced != 0 {
+        return forced;
+    }
+    if let Some(n) = std::env::var("BDC_WORKERS")
+        .ok()
+        .and_then(|s| s.parse::<usize>().ok())
+        .filter(|&n| n >= 1)
+    {
+        return n;
+    }
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+/// Maps `f` over `items` on the pool, returning results in index order.
+pub fn par_map<T, R, F>(items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    par_mapi(items, |_, t| f(t))
+}
+
+/// Maps `f(index, item)` over `items` on the pool, returning results in
+/// index order. The index parameter is how randomized tasks derive a
+/// per-task seed (see [`crate::task_seed`]) instead of consuming a shared
+/// sequential RNG stream.
+///
+/// # Panics
+/// Propagates the first panic raised by `f` after all workers have joined.
+pub fn par_mapi<T, R, F>(items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    let n = items.len();
+    let w = workers().min(n);
+    if w <= 1 {
+        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+    }
+
+    // Per-worker deques, seeded with contiguous index blocks for locality.
+    // A worker pops from the front of its own deque and, when empty, steals
+    // from the back of a victim's — the classic work-stealing discipline,
+    // here with plain mutexed deques (tasks are simulation-scale, so lock
+    // traffic is negligible).
+    let queues: Vec<Mutex<VecDeque<usize>>> = (0..w)
+        .map(|k| Mutex::new((k * n / w..(k + 1) * n / w).collect()))
+        .collect();
+
+    let mut slots: Vec<Option<R>> = (0..n).map(|_| None).collect();
+    let (tx, rx) = mpsc::channel::<(usize, R)>();
+    std::thread::scope(|s| {
+        for k in 0..w {
+            let tx = tx.clone();
+            let queues = &queues;
+            let f = &f;
+            s.spawn(move || loop {
+                let mine = queues[k].lock().expect("queue poisoned").pop_front();
+                let idx = mine.or_else(|| {
+                    (1..w).find_map(|off| {
+                        queues[(k + off) % w]
+                            .lock()
+                            .expect("queue poisoned")
+                            .pop_back()
+                    })
+                });
+                // Work is only ever consumed, never produced, so finding
+                // every deque empty means this worker is done for good.
+                match idx {
+                    Some(i) => {
+                        if tx.send((i, f(i, &items[i]))).is_err() {
+                            break;
+                        }
+                    }
+                    None => break,
+                }
+            });
+        }
+        drop(tx);
+        // Receive until every sender is gone (normal completion or a
+        // worker unwinding); placement by index makes the output order
+        // independent of completion order.
+        for (i, r) in rx {
+            slots[i] = Some(r);
+        }
+        // Leaving the scope joins the workers and propagates any panic.
+    });
+    slots
+        .into_iter()
+        .map(|r| r.expect("worker completed every index"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Serialize tests that touch the global override.
+    static LOCK: Mutex<()> = Mutex::new(());
+
+    #[test]
+    fn par_map_is_index_ordered_for_all_worker_counts() {
+        let _g = LOCK.lock().unwrap();
+        let items: Vec<u64> = (0..257).collect();
+        let expect: Vec<u64> = items.iter().map(|&x| x * x + 1).collect();
+        for w in [1, 2, 3, 8, 64] {
+            set_workers(Some(w));
+            let got = par_map(&items, |&x| x * x + 1);
+            assert_eq!(got, expect, "workers = {w}");
+        }
+        set_workers(None);
+    }
+
+    #[test]
+    fn par_mapi_passes_the_index() {
+        let _g = LOCK.lock().unwrap();
+        set_workers(Some(4));
+        let items = vec!["a"; 100];
+        let got = par_mapi(&items, |i, s| format!("{s}{i}"));
+        for (i, s) in got.iter().enumerate() {
+            assert_eq!(s, &format!("a{i}"));
+        }
+        set_workers(None);
+    }
+
+    #[test]
+    fn empty_and_singleton_inputs() {
+        let _g = LOCK.lock().unwrap();
+        set_workers(Some(8));
+        assert_eq!(par_map(&[] as &[i32], |x| *x), Vec::<i32>::new());
+        assert_eq!(par_map(&[41], |x| x + 1), vec![42]);
+        set_workers(None);
+    }
+
+    #[test]
+    fn worker_panic_propagates() {
+        let _g = LOCK.lock().unwrap();
+        set_workers(Some(2));
+        let items: Vec<usize> = (0..16).collect();
+        let res = std::panic::catch_unwind(|| {
+            par_map(&items, |&i| {
+                assert!(i != 7, "boom");
+                i
+            })
+        });
+        assert!(res.is_err());
+        set_workers(None);
+    }
+
+    #[test]
+    fn set_workers_overrides_environment() {
+        let _g = LOCK.lock().unwrap();
+        set_workers(Some(3));
+        assert_eq!(workers(), 3);
+        set_workers(None);
+        assert!(workers() >= 1);
+    }
+}
