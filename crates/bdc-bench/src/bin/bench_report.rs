@@ -21,6 +21,8 @@ use bdc_core::experiments::{width_ipc_matrix, SimBudget};
 use bdc_core::{synthesize_core, synthesize_core_cached, CoreSpec, Process, TechKit};
 use bdc_device::variation::{VariedModel, VtVariation};
 use bdc_device::TftParams;
+use bdc_serve::client::Connection;
+use bdc_serve::{ServeConfig, ServerHandle};
 
 /// One timed measurement.
 struct Row {
@@ -29,6 +31,94 @@ struct Row {
     workers: usize,
     cache: &'static str,
     seconds: f64,
+}
+
+/// One serve-layer measurement: a request mix driven through the full
+/// HTTP stack against an in-process daemon.
+struct ServeStat {
+    cache: &'static str,
+    requests: u64,
+    rps: f64,
+    p50_ms: f64,
+    p95_ms: f64,
+    p99_ms: f64,
+}
+
+fn quantile_ms(sorted_us: &[u64], q: f64) -> f64 {
+    if sorted_us.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted_us.len() - 1) as f64 * q).round() as usize;
+    sorted_us[idx] as f64 / 1000.0
+}
+
+/// Boots the daemon on an ephemeral port, measures the cold pass (every
+/// query computes through the engine) and a warm pass (every query is a
+/// response-cache hit), and shuts the server down cleanly.
+fn serve_section() -> Vec<ServeStat> {
+    let cfg = ServeConfig {
+        addr: "127.0.0.1:0".into(),
+        ..ServeConfig::default()
+    };
+    let handle: ServerHandle = match bdc_serve::start(cfg) {
+        Ok(h) => h,
+        Err(e) => {
+            eprintln!("serve section skipped: bind failed: {e}");
+            return Vec::new();
+        }
+    };
+    let addr = format!("127.0.0.1:{}", handle.port());
+    let queries = [
+        "/v1/library?process=organic",
+        "/v1/library?process=silicon",
+        "/v1/synth?process=silicon",
+        "/v1/width?process=silicon&fe=2&be=4",
+        "/v1/ipc?workload=dhrystone&outer=5&instructions=4000",
+        "/v1/ipc?workload=gzip&outer=5&instructions=4000",
+    ];
+    let mut stats = Vec::new();
+    let mut conn = match Connection::open(&addr) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("serve section skipped: connect failed: {e}");
+            handle.shutdown();
+            return Vec::new();
+        }
+    };
+    // Cold: first issue of each distinct query computes in the engine.
+    // Warm: every repeat is answered from the engine's response cache.
+    for (cache, passes) in [("cold", 1usize), ("warm", 50)] {
+        let mut lat_us: Vec<u64> = Vec::new();
+        let t0 = Instant::now();
+        for _ in 0..passes {
+            for q in queries {
+                let t = Instant::now();
+                match conn.get(q) {
+                    Ok(r) if r.status == 200 => {
+                        lat_us.push(t.elapsed().as_micros() as u64);
+                    }
+                    Ok(r) => eprintln!("serve section: {q} returned {}", r.status),
+                    Err(e) => eprintln!("serve section: {q} failed: {e}"),
+                }
+            }
+        }
+        let elapsed = t0.elapsed().as_secs_f64();
+        lat_us.sort_unstable();
+        stats.push(ServeStat {
+            cache,
+            requests: lat_us.len() as u64,
+            rps: if elapsed > 0.0 {
+                lat_us.len() as f64 / elapsed
+            } else {
+                0.0
+            },
+            p50_ms: quantile_ms(&lat_us, 0.50),
+            p95_ms: quantile_ms(&lat_us, 0.95),
+            p99_ms: quantile_ms(&lat_us, 0.99),
+        });
+    }
+    handle.shutdown();
+    stats
 }
 
 fn time<T>(f: impl FnOnce() -> T) -> (T, f64) {
@@ -136,6 +226,10 @@ fn main() {
     }
     bdc_exec::set_workers(None);
 
+    // --- Serving layer: the same queries through the full HTTP stack,
+    // cold (engine compute) vs warm (response-cache hit).
+    let serve = serve_section();
+
     // --- Render.
     let mut txt = String::new();
     let _ = writeln!(
@@ -150,11 +244,36 @@ fn main() {
             r.stage, r.detail, r.workers, r.cache, r.seconds
         );
     }
+    if !serve.is_empty() {
+        let _ = writeln!(
+            txt,
+            "\nserve layer (in-process daemon, 6-query mix)\n\n{:<6} {:>9} {:>10} {:>9} {:>9} {:>9}",
+            "cache", "requests", "req/s", "p50 ms", "p95 ms", "p99 ms"
+        );
+        for s in &serve {
+            let _ = writeln!(
+                txt,
+                "{:<6} {:>9} {:>10.1} {:>9.3} {:>9.3} {:>9.3}",
+                s.cache, s.requests, s.rps, s.p50_ms, s.p95_ms, s.p99_ms
+            );
+        }
+    }
     print!("{txt}");
 
     let mut json = String::from("{\n");
     let _ = writeln!(json, "  \"generated_by\": \"bench_report\",");
     let _ = writeln!(json, "  \"workers_available\": {avail},");
+    let _ = writeln!(json, "  \"serve\": [");
+    for (i, s) in serve.iter().enumerate() {
+        let comma = if i + 1 < serve.len() { "," } else { "" };
+        let _ = writeln!(
+            json,
+            "    {{\"cache\": \"{}\", \"requests\": {}, \"rps\": {:.2}, \
+             \"p50_ms\": {:.3}, \"p95_ms\": {:.3}, \"p99_ms\": {:.3}}}{comma}",
+            s.cache, s.requests, s.rps, s.p50_ms, s.p95_ms, s.p99_ms
+        );
+    }
+    let _ = writeln!(json, "  ],");
     let _ = writeln!(json, "  \"rows\": [");
     for (i, r) in rows.iter().enumerate() {
         let comma = if i + 1 < rows.len() { "," } else { "" };

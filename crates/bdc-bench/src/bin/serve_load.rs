@@ -1,0 +1,355 @@
+//! Load generator for the `bdc_serve` daemon.
+//!
+//! ```text
+//! serve_load --addr HOST:PORT [--mode closed|open] [--conns N] [--rate R]
+//!            [--duration SECS] [--seed S] [--mix warm|cold|mixed]
+//!            [--prime] [--check-metrics] [--max-p99-ms MS] [--json]
+//! ```
+//!
+//! Two drive modes:
+//!
+//! * **closed-loop** (default): `--conns` workers each hold one keep-alive
+//!   connection and issue the next request as soon as the previous reply
+//!   lands. Throughput is whatever the server sustains.
+//! * **open-loop**: requests are fired on a fixed schedule of `--rate`
+//!   requests/second regardless of completions (each request on a fresh
+//!   connection), so server slowdown cannot throttle the generator — the
+//!   honest way to observe shedding.
+//!
+//! The request mix is drawn from a seeded [`SplitMix64`] stream, so two
+//! runs with the same `--seed` issue the identical request sequence.
+//! `429`/`503` responses count as *shed*, not errors; any `5xx` fails the
+//! run (nonzero exit). `--max-p99-ms` gates the p99 of successful requests
+//! — the CI smoke job uses `--prime --mix warm --max-p99-ms 50` to pin the
+//! warm-cache latency bound from the acceptance criteria.
+
+use std::time::{Duration, Instant};
+
+use bdc_exec::SplitMix64;
+use bdc_serve::client::{get_once, Connection};
+
+/// A latency sample set with exact quantiles (small runs; sorting is fine).
+#[derive(Default)]
+struct Samples {
+    us: Vec<u64>,
+}
+
+impl Samples {
+    fn record(&mut self, us: u64) {
+        self.us.push(us);
+    }
+
+    fn quantile_ms(&mut self, q: f64) -> f64 {
+        if self.us.is_empty() {
+            return 0.0;
+        }
+        self.us.sort_unstable();
+        let idx = ((self.us.len() - 1) as f64 * q).round() as usize;
+        self.us[idx] as f64 / 1000.0
+    }
+}
+
+#[derive(Default)]
+struct Tally {
+    ok: u64,
+    client_err: u64,
+    shed: u64,
+    server_err: u64,
+    transport_err: u64,
+    samples: Samples,
+}
+
+impl Tally {
+    fn absorb(&mut self, other: Tally) {
+        self.ok += other.ok;
+        self.client_err += other.client_err;
+        self.shed += other.shed;
+        self.server_err += other.server_err;
+        self.transport_err += other.transport_err;
+        self.samples.us.extend(other.samples.us);
+    }
+
+    fn record(&mut self, status: u16, us: u64) {
+        match status {
+            200..=299 => {
+                self.ok += 1;
+                self.samples.record(us);
+            }
+            429 | 503 => self.shed += 1,
+            400..=499 => self.client_err += 1,
+            _ => self.server_err += 1,
+        }
+    }
+}
+
+struct Args {
+    addr: String,
+    mode: String,
+    conns: usize,
+    rate: f64,
+    duration: Duration,
+    seed: u64,
+    mix: String,
+    prime: bool,
+    check_metrics: bool,
+    max_p99_ms: Option<f64>,
+    json: bool,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: serve_load --addr HOST:PORT [--mode closed|open] [--conns N] [--rate R] \
+         [--duration SECS] [--seed S] [--mix warm|cold|mixed] [--prime] [--check-metrics] \
+         [--max-p99-ms MS] [--json]"
+    );
+    std::process::exit(2)
+}
+
+fn parse_args() -> Args {
+    let mut a = Args {
+        addr: String::new(),
+        mode: "closed".into(),
+        conns: 4,
+        rate: 50.0,
+        duration: Duration::from_secs(5),
+        seed: 1,
+        mix: "mixed".into(),
+        prime: false,
+        check_metrics: false,
+        max_p99_ms: None,
+        json: false,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let mut value = || args.next().unwrap_or_else(|| usage());
+        let num = |raw: String| -> f64 { raw.parse().unwrap_or_else(|_| usage()) };
+        match flag.as_str() {
+            "--addr" => a.addr = value(),
+            "--mode" => a.mode = value(),
+            "--conns" => a.conns = num(value()) as usize,
+            "--rate" => a.rate = num(value()),
+            "--duration" => a.duration = Duration::from_secs_f64(num(value())),
+            "--seed" => a.seed = num(value()) as u64,
+            "--mix" => a.mix = value(),
+            "--prime" => a.prime = true,
+            "--check-metrics" => a.check_metrics = true,
+            "--max-p99-ms" => a.max_p99_ms = Some(num(value())),
+            "--json" => a.json = true,
+            "--help" | "-h" => usage(),
+            _ => usage(),
+        }
+    }
+    if a.addr.is_empty() || !["closed", "open"].contains(&a.mode.as_str()) {
+        usage();
+    }
+    if !["warm", "cold", "mixed"].contains(&a.mix.as_str()) {
+        usage();
+    }
+    a
+}
+
+/// The warm working set: a handful of cheap queries the `--prime` pass
+/// computes once, after which every repeat is a response-cache hit.
+const WARM_SET: [&str; 6] = [
+    "/v1/library?process=organic",
+    "/v1/library?process=silicon",
+    "/v1/synth?process=silicon",
+    "/v1/width?process=silicon&fe=2&be=4",
+    "/v1/ipc?workload=dhrystone&outer=5&instructions=4000",
+    "/healthz",
+];
+
+/// Draws the next request path from the seeded mix. `cold` requests vary a
+/// parameter with the draw index so repeats rarely collide with the cache;
+/// `warm` requests cycle the primed working set; `mixed` interleaves both.
+fn draw(rng: &mut SplitMix64, mix: &str) -> String {
+    let warm = match mix {
+        "warm" => true,
+        "cold" => false,
+        _ => rng.next_u64().is_multiple_of(2),
+    };
+    if warm {
+        WARM_SET[(rng.next_u64() % WARM_SET.len() as u64) as usize].to_string()
+    } else {
+        // Distinct-but-valid points: sweep the simulation budget knob, the
+        // cheapest axis that still exercises the full execute path.
+        let outer = 2 + rng.next_u64() % 12;
+        let workloads = ["dhrystone", "gzip", "mcf", "parser"];
+        let w = workloads[(rng.next_u64() % workloads.len() as u64) as usize];
+        format!("/v1/ipc?workload={w}&outer={outer}&instructions=4000")
+    }
+}
+
+fn closed_loop(a: &Args) -> Tally {
+    let deadline = Instant::now() + a.duration;
+    let tallies = std::sync::Mutex::new(Tally::default());
+    std::thread::scope(|s| {
+        for worker in 0..a.conns.max(1) {
+            let tallies = &tallies;
+            s.spawn(move || {
+                let mut local = Tally::default();
+                let mut rng = SplitMix64::new(bdc_exec::task_seed(a.seed, worker as u64));
+                let mut conn = Connection::open(&a.addr).ok();
+                while Instant::now() < deadline {
+                    let path = draw(&mut rng, &a.mix);
+                    let t0 = Instant::now();
+                    let result = match conn.as_mut() {
+                        Some(c) => c.get(&path),
+                        None => {
+                            conn = Connection::open(&a.addr).ok();
+                            match conn.as_mut() {
+                                Some(c) => c.get(&path),
+                                None => {
+                                    local.transport_err += 1;
+                                    continue;
+                                }
+                            }
+                        }
+                    };
+                    match result {
+                        Ok(r) => local.record(r.status, t0.elapsed().as_micros() as u64),
+                        Err(_) => {
+                            // Keep-alive connections shed at the door are
+                            // closed by the server; reconnect and retry.
+                            local.transport_err += 1;
+                            conn = None;
+                        }
+                    }
+                }
+                tallies.lock().unwrap().absorb(local);
+            });
+        }
+    });
+    tallies.into_inner().unwrap()
+}
+
+fn open_loop(a: &Args) -> Tally {
+    let interval = Duration::from_secs_f64(1.0 / a.rate.max(0.1));
+    let start = Instant::now();
+    let total = (a.duration.as_secs_f64() * a.rate).floor() as u64;
+    let tallies = std::sync::Mutex::new(Tally::default());
+    let mut rng = SplitMix64::new(a.seed);
+    std::thread::scope(|s| {
+        for i in 0..total {
+            let path = draw(&mut rng, &a.mix);
+            // Fire on schedule, never waiting for completions: arrivals
+            // stay at the configured rate even when the server stalls.
+            let due = start + interval * (i as u32);
+            if let Some(sleep) = due.checked_duration_since(Instant::now()) {
+                std::thread::sleep(sleep);
+            }
+            let addr = a.addr.clone();
+            let tallies = &tallies;
+            s.spawn(move || {
+                let t0 = Instant::now();
+                let mut local = Tally::default();
+                match get_once(&addr, &path) {
+                    Ok(r) => local.record(r.status, t0.elapsed().as_micros() as u64),
+                    Err(_) => local.transport_err += 1,
+                }
+                tallies.lock().unwrap().absorb(local);
+            });
+        }
+    });
+    tallies.into_inner().unwrap()
+}
+
+fn check_metrics(addr: &str) -> Result<(), String> {
+    let r = get_once(addr, "/v1/metrics").map_err(|e| format!("metrics fetch: {e}"))?;
+    if r.status != 200 {
+        return Err(format!("metrics returned {}", r.status));
+    }
+    let text = String::from_utf8(r.body).map_err(|_| "metrics not utf-8".to_string())?;
+    for key in ["\"connections\"", "\"endpoints\"", "\"queue_depth\""] {
+        if !text.contains(key) {
+            return Err(format!("metrics body missing {key}"));
+        }
+    }
+    Ok(())
+}
+
+fn main() {
+    let a = parse_args();
+    if a.prime {
+        for path in WARM_SET {
+            match get_once(&a.addr, path) {
+                Ok(r) if r.status == 200 => {}
+                Ok(r) => {
+                    eprintln!("serve_load: priming {path} returned {}", r.status);
+                    std::process::exit(1);
+                }
+                Err(e) => {
+                    eprintln!("serve_load: priming {path} failed: {e}");
+                    std::process::exit(1);
+                }
+            }
+        }
+    }
+
+    let wall = Instant::now();
+    let mut tally = match a.mode.as_str() {
+        "closed" => closed_loop(&a),
+        _ => open_loop(&a),
+    };
+    let elapsed = wall.elapsed().as_secs_f64();
+
+    let total = tally.ok + tally.client_err + tally.shed + tally.server_err;
+    let rps = if elapsed > 0.0 {
+        total as f64 / elapsed
+    } else {
+        0.0
+    };
+    let (p50, p95, p99) = (
+        tally.samples.quantile_ms(0.50),
+        tally.samples.quantile_ms(0.95),
+        tally.samples.quantile_ms(0.99),
+    );
+
+    if a.json {
+        println!(
+            "{{\"mode\": \"{}\", \"mix\": \"{}\", \"seed\": {}, \"requests\": {total}, \
+             \"rps\": {rps:.2}, \"ok\": {}, \"shed\": {}, \"client_errors\": {}, \
+             \"server_errors\": {}, \"transport_errors\": {}, \
+             \"p50_ms\": {p50:.3}, \"p95_ms\": {p95:.3}, \"p99_ms\": {p99:.3}}}",
+            a.mode,
+            a.mix,
+            a.seed,
+            tally.ok,
+            tally.shed,
+            tally.client_err,
+            tally.server_err,
+            tally.transport_err,
+        );
+    } else {
+        println!(
+            "serve_load: {} mode, mix={}, seed={}: {total} requests in {elapsed:.2}s ({rps:.1} req/s)",
+            a.mode, a.mix, a.seed
+        );
+        println!(
+            "  ok={} shed(429/503)={} 4xx={} 5xx={} transport={}",
+            tally.ok, tally.shed, tally.client_err, tally.server_err, tally.transport_err
+        );
+        println!("  latency (ok only): p50={p50:.3}ms p95={p95:.3}ms p99={p99:.3}ms");
+    }
+
+    if a.check_metrics {
+        if let Err(e) = check_metrics(&a.addr) {
+            eprintln!("serve_load: metrics check failed: {e}");
+            std::process::exit(1);
+        }
+    }
+    if tally.server_err > 0 {
+        eprintln!("serve_load: {} server errors (5xx)", tally.server_err);
+        std::process::exit(1);
+    }
+    if tally.ok == 0 {
+        eprintln!("serve_load: no successful requests");
+        std::process::exit(1);
+    }
+    if let Some(max) = a.max_p99_ms {
+        if p99 > max {
+            eprintln!("serve_load: p99 {p99:.3}ms exceeds the {max:.3}ms gate");
+            std::process::exit(1);
+        }
+    }
+}

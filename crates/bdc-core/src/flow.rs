@@ -327,6 +327,95 @@ pub fn measure_ipc(spec: &CoreSpec, workload: Workload, outer: u32, instructions
     core.run(instructions)
 }
 
+/// Memoizing wrapper around [`measure_ipc`] through the workspace-wide
+/// content-addressed [`ArtifactCache`]. The key hashes a schema salt, the
+/// [`CoreSpec`] *and* the derived
+/// [`CoreConfig`](bdc_uarch::CoreConfig) (so a change to the
+/// spec→config mapping invalidates old runs), the workload, and the
+/// simulation budget. Every [`SimStats`] field is an integer counter, so
+/// the stored artifact is exact decimal text and a cache hit is identical
+/// to the simulation it replaced.
+pub fn measure_ipc_cached(
+    spec: &CoreSpec,
+    workload: Workload,
+    outer: u32,
+    instructions: u64,
+) -> SimStats {
+    let cache = ArtifactCache::shared();
+    let key = fnv1a(&[
+        "bdc-ipc-v1",
+        &format!("{spec:?}"),
+        &format!("{:?}", spec.core_config()),
+        workload.name(),
+        &outer.to_string(),
+        &instructions.to_string(),
+    ]);
+    if let Some(text) = cache.load("ipc", key) {
+        if let Some(stats) = parse_ipc_text(&text) {
+            return stats;
+        }
+    }
+    let stats = measure_ipc(spec, workload, outer, instructions);
+    cache.store("ipc", key, &write_ipc_text(&stats));
+    stats
+}
+
+/// Serializes simulation statistics for the artifact cache. All counters
+/// are `u64`, so plain decimal text round-trips exactly.
+fn write_ipc_text(stats: &SimStats) -> String {
+    format!(
+        "simstats v1\ncycles {}\ninstructions {}\nbranches {}\nmispredicts {}\nflushes {}\n\
+         icache {} {}\ndcache {} {}\nloads {}\nstores {}\n",
+        stats.cycles,
+        stats.instructions,
+        stats.branches,
+        stats.mispredicts,
+        stats.flushes,
+        stats.icache.0,
+        stats.icache.1,
+        stats.dcache.0,
+        stats.dcache.1,
+        stats.loads,
+        stats.stores,
+    )
+}
+
+/// Inverse of [`write_ipc_text`]; `None` on any malformed line, which the
+/// cache treats as a miss.
+fn parse_ipc_text(text: &str) -> Option<SimStats> {
+    let mut lines = text.lines();
+    if lines.next()? != "simstats v1" {
+        return None;
+    }
+    let mut nums = |name: &str, n: usize| -> Option<Vec<u64>> {
+        let line = lines.next()?;
+        let rest = line.strip_prefix(name)?.strip_prefix(' ')?;
+        let vals: Vec<u64> = rest
+            .split(' ')
+            .map(|p| p.parse().ok())
+            .collect::<Option<_>>()?;
+        (vals.len() == n).then_some(vals)
+    };
+    let stats = SimStats {
+        cycles: nums("cycles", 1)?[0],
+        instructions: nums("instructions", 1)?[0],
+        branches: nums("branches", 1)?[0],
+        mispredicts: nums("mispredicts", 1)?[0],
+        flushes: nums("flushes", 1)?[0],
+        icache: {
+            let v = nums("icache", 2)?;
+            (v[0], v[1])
+        },
+        dcache: {
+            let v = nums("dcache", 2)?;
+            (v[0], v[1])
+        },
+        loads: nums("loads", 1)?[0],
+        stores: nums("stores", 1)?[0],
+    };
+    lines.next().is_none().then_some(stats)
+}
+
 /// `performance = IPC × frequency` (the paper's §5.3/§5.4 metric), in
 /// instructions per second.
 pub fn performance(ipc: f64, frequency: f64) -> f64 {
@@ -407,5 +496,44 @@ mod tests {
         let stats = measure_ipc(&spec, Workload::Dhrystone, 30, 100_000);
         assert!(stats.ipc() > 0.05 && stats.ipc() <= 1.0);
         assert!(performance(stats.ipc(), 1.0e6) > 0.0);
+    }
+
+    #[test]
+    fn ipc_cache_text_round_trips_exactly() {
+        let stats = SimStats {
+            cycles: 123_456,
+            instructions: 98_765,
+            branches: 4321,
+            mispredicts: 321,
+            flushes: 17,
+            icache: (90_000, 1_234),
+            dcache: (45_000, 678),
+            loads: 20_000,
+            stores: 10_000,
+        };
+        assert_eq!(parse_ipc_text(&write_ipc_text(&stats)), Some(stats));
+        assert_eq!(parse_ipc_text("garbage"), None);
+        assert_eq!(parse_ipc_text("simstats v1\ncycles x\n"), None);
+        // Trailing junk must not parse as a valid artifact.
+        let trailing = format!("{}extra\n", write_ipc_text(&stats));
+        assert_eq!(parse_ipc_text(&trailing), None);
+    }
+
+    #[test]
+    fn cached_ipc_matches_uncached() {
+        let dir = std::env::temp_dir().join(format!("bdc-ipc-cache-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        // Route the shared cache at a private directory for this test.
+        // Serialized via env lock in the determinism suite; here a unique
+        // dir keeps concurrent test binaries from colliding.
+        std::env::set_var("BDC_CACHE_DIR", &dir);
+        let spec = CoreSpec::baseline();
+        let cold = measure_ipc_cached(&spec, Workload::Gzip, 5, 4_000);
+        let warm = measure_ipc_cached(&spec, Workload::Gzip, 5, 4_000);
+        let direct = measure_ipc(&spec, Workload::Gzip, 5, 4_000);
+        std::env::remove_var("BDC_CACHE_DIR");
+        let _ = std::fs::remove_dir_all(&dir);
+        assert_eq!(cold, direct);
+        assert_eq!(warm, direct);
     }
 }

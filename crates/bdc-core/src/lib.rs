@@ -45,6 +45,7 @@ pub mod report;
 
 pub use corespec::{CoreSpec, StageKind};
 pub use flow::{
-    alu_cluster, lint_gate, pipeline_alu, synthesize_core, synthesize_core_cached, SynthesizedCore,
+    alu_cluster, lint_gate, measure_ipc, measure_ipc_cached, pipeline_alu, synthesize_core,
+    synthesize_core_cached, SynthesizedCore,
 };
 pub use process::{LintPolicy, Process, TechKit};

@@ -34,6 +34,27 @@ pub fn fnv1a(parts: &[&str]) -> u64 {
     h
 }
 
+/// Validates an explicitly requested cache root (`BDC_CACHE_DIR`): the
+/// directory must exist or be creatable.
+///
+/// # Errors
+/// A one-line diagnostic naming the knob, the path, and the OS error.
+pub fn validate_cache_dir(dir: &Path) -> Result<PathBuf, String> {
+    if dir.as_os_str().is_empty() {
+        return Err(
+            "BDC_CACHE_DIR is set but empty; unset it to use the default results/cache/"
+                .to_string(),
+        );
+    }
+    match std::fs::create_dir_all(dir) {
+        Ok(()) => Ok(dir.to_path_buf()),
+        Err(e) => Err(format!(
+            "BDC_CACHE_DIR points at an uncreatable directory `{}`: {e}",
+            dir.display()
+        )),
+    }
+}
+
 /// A content-addressed, string-payload artifact cache rooted at one
 /// directory.
 #[derive(Debug, Clone)]
@@ -66,12 +87,20 @@ impl ArtifactCache {
     /// directory to the nearest `Cargo.lock`, so experiment binaries run
     /// from the checkout root and `cargo test` run from a crate directory
     /// share one cache).
+    ///
+    /// # Panics
+    /// Panics with a diagnostic when `BDC_CACHE_DIR` is set but names an
+    /// uncreatable directory (e.g. a path through an existing file).
+    /// An explicitly requested cache root that silently degrades to
+    /// all-miss behaviour would hide a misconfiguration; only the
+    /// *default* root keeps the failures-are-misses contract.
     pub fn shared() -> Self {
         if std::env::var_os("BDC_NO_CACHE").is_some() {
             return Self::disabled();
         }
         if let Some(dir) = std::env::var_os("BDC_CACHE_DIR") {
-            return Self::new(PathBuf::from(dir));
+            let root = validate_cache_dir(&PathBuf::from(dir)).unwrap_or_else(|e| panic!("{e}"));
+            return Self::new(root);
         }
         let cwd = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
         let mut dir = cwd.as_path();
@@ -169,5 +198,34 @@ mod tests {
         let c = ArtifactCache::disabled();
         assert!(!c.store("lib", 1, "x"));
         assert_eq!(c.load("lib", 1), None);
+    }
+
+    #[test]
+    fn validate_cache_dir_accepts_creatable_paths() {
+        let dir = std::env::temp_dir().join(format!("bdc-exec-validate-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let nested = dir.join("a").join("b");
+        assert_eq!(validate_cache_dir(&nested), Ok(nested.clone()));
+        assert!(nested.is_dir());
+        // Re-validating an existing directory is fine.
+        assert!(validate_cache_dir(&nested).is_ok());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn validate_cache_dir_rejects_with_a_diagnostic() {
+        let dir =
+            std::env::temp_dir().join(format!("bdc-exec-validate-bad-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let file = dir.join("occupied");
+        std::fs::write(&file, "not a directory").unwrap();
+        // A path routed *through* an existing file cannot be created.
+        let err = validate_cache_dir(&file.join("sub")).expect_err("file in the way");
+        assert!(err.contains("BDC_CACHE_DIR"), "{err}");
+        assert!(err.contains("occupied"), "{err}");
+        let err = validate_cache_dir(Path::new("")).expect_err("empty");
+        assert!(err.contains("BDC_CACHE_DIR"), "{err}");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

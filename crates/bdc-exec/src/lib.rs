@@ -29,6 +29,6 @@ mod cache;
 mod pool;
 mod seed;
 
-pub use cache::{fnv1a, ArtifactCache};
-pub use pool::{par_map, par_mapi, set_workers, workers};
+pub use cache::{fnv1a, validate_cache_dir, ArtifactCache};
+pub use pool::{par_map, par_mapi, parse_workers, set_workers, workers};
 pub use seed::{task_seed, SplitMix64};

@@ -24,19 +24,37 @@ pub fn set_workers(n: Option<usize>) {
 /// The worker count the next [`par_map`] call will use: the
 /// [`set_workers`] override if installed, else `BDC_WORKERS` from the
 /// environment, else the machine's available parallelism.
+///
+/// # Panics
+/// Panics with a diagnostic when `BDC_WORKERS` is set but not a positive
+/// integer (`0`, negative, or garbage). An invalid knob silently falling
+/// back to the default would make "I pinned the worker count" runs lie.
 pub fn workers() -> usize {
     let forced = WORKER_OVERRIDE.load(Ordering::Relaxed);
     if forced != 0 {
         return forced;
     }
-    if let Some(n) = std::env::var("BDC_WORKERS")
-        .ok()
-        .and_then(|s| s.parse::<usize>().ok())
-        .filter(|&n| n >= 1)
-    {
-        return n;
+    if let Ok(raw) = std::env::var("BDC_WORKERS") {
+        return parse_workers(&raw).unwrap_or_else(|e| panic!("{e}"));
     }
     std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+/// Validates a `BDC_WORKERS` value: a positive integer, surrounding
+/// whitespace tolerated.
+///
+/// # Errors
+/// A one-line diagnostic naming the variable and the offending value.
+pub fn parse_workers(raw: &str) -> Result<usize, String> {
+    match raw.trim().parse::<usize>() {
+        Ok(0) => Err(format!(
+            "BDC_WORKERS must be >= 1 (use 1 for serial execution), got `{raw}`"
+        )),
+        Ok(n) => Ok(n),
+        Err(_) => Err(format!(
+            "BDC_WORKERS must be a positive integer (e.g. `BDC_WORKERS=8`), got `{raw}`"
+        )),
+    }
 }
 
 /// Maps `f` over `items` on the pool, returning results in index order.
@@ -184,5 +202,24 @@ mod tests {
         assert_eq!(workers(), 3);
         set_workers(None);
         assert!(workers() >= 1);
+    }
+
+    #[test]
+    fn parse_workers_accepts_positive_integers() {
+        for (raw, expect) in [("1", 1), ("8", 8), (" 4 ", 4), ("64", 64)] {
+            assert_eq!(parse_workers(raw), Ok(expect), "{raw:?}");
+        }
+    }
+
+    #[test]
+    fn parse_workers_rejects_with_a_diagnostic() {
+        for raw in ["0", "-2", "", " ", "abc", "1.5", "8workers", "+"] {
+            let err = parse_workers(raw).expect_err(raw);
+            assert!(
+                err.contains("BDC_WORKERS"),
+                "diagnostic names the knob: {err}"
+            );
+            assert!(err.contains(raw.trim()) || raw.trim().is_empty(), "{err}");
+        }
     }
 }

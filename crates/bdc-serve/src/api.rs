@@ -1,0 +1,592 @@
+//! The experiment-serving API: parse a request into a canonical
+//! [`ApiCall`], execute it against the flow, and render a deterministic
+//! JSON body.
+//!
+//! Endpoints (see the README "Serving" section for `curl` examples):
+//!
+//! | endpoint | verb | answers |
+//! |----------|------|---------|
+//! | `/healthz` | GET | liveness |
+//! | `/v1/metrics` | GET | counters + latency quantiles |
+//! | `/v1/library` | GET | characterized library summary per process |
+//! | `/v1/synth` | GET/POST | synthesized core for an explicit [`CoreSpec`] |
+//! | `/v1/depth` | GET | the Figure-11 depth point at N stages |
+//! | `/v1/width` | GET | the Figure-13/14 width point at (fe, be) |
+//! | `/v1/ipc` | GET/POST | cycle-accurate IPC for (spec, workload) |
+//!
+//! Every computational endpoint accepts its parameters as query-string
+//! pairs on GET or a JSON object on POST; both normalize into the same
+//! [`ApiCall`], so the engine coalesces and caches them identically.
+//!
+//! **Determinism contract:** for a fixed [`ApiCall`], the response body is
+//! byte-identical regardless of worker count, cache state, batching, or
+//! transport — floats are rendered with shortest round-trip formatting
+//! from bit-identical flow outputs (`tests/determinism.rs` pins this).
+
+use bdc_core::process::shared_kit;
+use bdc_core::{
+    flow::{split_critical, StageTiming},
+    measure_ipc_cached, synthesize_core_cached, CoreSpec, Process, StageKind, SynthesizedCore,
+    TechKit,
+};
+use bdc_uarch::Workload;
+
+use crate::http::{parse_query, Method, Request, Response};
+use crate::json::{self, Json};
+use crate::metrics::Endpoint;
+
+/// Simulation budget bounds for `/v1/ipc` (keeps one request from tying
+/// up the pool for minutes).
+const MAX_OUTER: u64 = 2_000;
+/// Instruction-cap bound for `/v1/ipc`.
+const MAX_INSTRUCTIONS: u64 = 5_000_000;
+/// Most stage splits a synth spec may carry.
+const MAX_SPLITS: usize = 16;
+
+/// A validated, canonical API request. Two requests that mean the same
+/// query compare equal and share one cache key.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ApiCall {
+    /// `/v1/library`.
+    Library {
+        /// Which process library.
+        process: Process,
+    },
+    /// `/v1/synth` — an explicit design point.
+    Synth {
+        /// Which process library.
+        process: Process,
+        /// The design point.
+        spec: CoreSpec,
+    },
+    /// `/v1/depth` — the paper's split-the-critical-stage chain.
+    Depth {
+        /// Which process library.
+        process: Process,
+        /// Total pipeline stages (9–15).
+        stages: usize,
+    },
+    /// `/v1/width` — a superscalar width point.
+    Width {
+        /// Which process library.
+        process: Process,
+        /// Front-end width (1–6).
+        fe: usize,
+        /// Back-end pipes (3–7).
+        be: usize,
+    },
+    /// `/v1/ipc` — cycle-accurate simulation of one workload.
+    Ipc {
+        /// The design point simulated.
+        spec: CoreSpec,
+        /// Which workload kernel.
+        workload: Workload,
+        /// Outer-loop trip count.
+        outer: u32,
+        /// Retired-instruction cap.
+        instructions: u64,
+    },
+}
+
+impl ApiCall {
+    /// The metrics endpoint this call belongs to.
+    pub fn endpoint(&self) -> Endpoint {
+        match self {
+            ApiCall::Library { .. } => Endpoint::Library,
+            ApiCall::Synth { .. } => Endpoint::Synth,
+            ApiCall::Depth { .. } => Endpoint::Depth,
+            ApiCall::Width { .. } => Endpoint::Width,
+            ApiCall::Ipc { .. } => Endpoint::Ipc,
+        }
+    }
+
+    /// Canonical content hash — the coalescing/caching key. Hashes the
+    /// `Debug` form of the canonical call, so any representational
+    /// variants (GET vs POST, query-parameter order) collapse.
+    pub fn cache_key(&self) -> u64 {
+        bdc_exec::fnv1a(&["bdc-serve-v1", &format!("{self:?}")])
+    }
+}
+
+/// How a parsed request routes.
+pub enum Route {
+    /// `/healthz`.
+    Healthz,
+    /// `/v1/metrics`.
+    Metrics,
+    /// A computational endpoint.
+    Call(ApiCall),
+    /// A routing/validation failure, already rendered.
+    Error(Endpoint, Response),
+}
+
+/// Routes a parsed HTTP request.
+pub fn route(req: &Request) -> Route {
+    match req.path.as_str() {
+        "/healthz" => Route::Healthz,
+        "/v1/metrics" => Route::Metrics,
+        "/v1/library" | "/v1/synth" | "/v1/depth" | "/v1/width" | "/v1/ipc" => {
+            let endpoint = match req.path.as_str() {
+                "/v1/library" => Endpoint::Library,
+                "/v1/synth" => Endpoint::Synth,
+                "/v1/depth" => Endpoint::Depth,
+                "/v1/width" => Endpoint::Width,
+                _ => Endpoint::Ipc,
+            };
+            match parse_call(req) {
+                Ok(call) => Route::Call(call),
+                Err(msg) => Route::Error(endpoint, Response::error(400, &msg)),
+            }
+        }
+        _ => Route::Error(
+            Endpoint::Other,
+            Response::error(404, &format!("no such endpoint `{}`", req.path)),
+        ),
+    }
+}
+
+/// The merged parameter view: query pairs (GET) overlaid by JSON body
+/// members (POST).
+struct Params {
+    pairs: Vec<(String, Json)>,
+}
+
+impl Params {
+    fn from_request(req: &Request) -> Result<Params, String> {
+        let mut pairs: Vec<(String, Json)> = parse_query(&req.query)
+            .into_iter()
+            .map(|(k, v)| (k, Json::Str(v)))
+            .collect();
+        if req.method == Method::Post && !req.body.is_empty() {
+            let text = std::str::from_utf8(&req.body).map_err(|_| "body is not utf-8")?;
+            match json::parse(text)? {
+                Json::Obj(members) => pairs.extend(members),
+                _ => return Err("body must be a JSON object".into()),
+            }
+        }
+        Ok(Params { pairs })
+    }
+
+    fn get(&self, key: &str) -> Option<&Json> {
+        self.pairs
+            .iter()
+            .rev()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v)
+    }
+
+    fn str_or(&self, key: &str, default: &str) -> String {
+        match self.get(key) {
+            Some(Json::Str(s)) => s.clone(),
+            Some(v) => v.encode(),
+            None => default.to_string(),
+        }
+    }
+
+    /// An integer parameter that may arrive as a JSON number or a query
+    /// string; bounds-checked.
+    fn uint(&self, key: &str, default: u64, max: u64) -> Result<u64, String> {
+        let v = match self.get(key) {
+            None => return Ok(default),
+            Some(v) => v,
+        };
+        let n = match v {
+            Json::Int(i) if *i >= 0 => *i as u64,
+            Json::Str(s) => s
+                .trim()
+                .parse::<u64>()
+                .map_err(|_| format!("`{key}` must be a non-negative integer, got `{s}`"))?,
+            _ => return Err(format!("`{key}` must be a non-negative integer")),
+        };
+        if n > max {
+            return Err(format!("`{key}` = {n} exceeds the limit {max}"));
+        }
+        Ok(n)
+    }
+}
+
+fn parse_process(p: &Params) -> Result<Process, String> {
+    match p.str_or("process", "organic").as_str() {
+        "organic" => Ok(Process::Organic),
+        "silicon" => Ok(Process::Silicon),
+        other => Err(format!(
+            "`process` must be `organic` or `silicon`, got `{other}`"
+        )),
+    }
+}
+
+fn parse_spec(p: &Params) -> Result<CoreSpec, String> {
+    let fe = p.uint("fe_width", 1, 6)? as usize;
+    let be = p.uint("be_pipes", 3, 7)? as usize;
+    if fe < 1 {
+        return Err("`fe_width` must be 1-6".into());
+    }
+    if !(3..=7).contains(&be) {
+        return Err("`be_pipes` must be 3-7".into());
+    }
+    let mut splits = Vec::new();
+    match p.get("splits") {
+        None => {}
+        Some(Json::Arr(items)) => {
+            for item in items {
+                let name = item.as_str().ok_or("`splits` entries must be strings")?;
+                splits.push(parse_split(name)?);
+            }
+        }
+        // Query-string form: splits=fetch,issue
+        Some(Json::Str(s)) if s.is_empty() => {}
+        Some(Json::Str(s)) => {
+            for name in s.split(',') {
+                splits.push(parse_split(name.trim())?);
+            }
+        }
+        Some(_) => return Err("`splits` must be an array of stage names".into()),
+    }
+    if splits.len() > MAX_SPLITS {
+        return Err(format!("at most {MAX_SPLITS} splits are supported"));
+    }
+    Ok(CoreSpec {
+        fe_width: fe,
+        be_pipes: be,
+        splits,
+    })
+}
+
+fn parse_split(name: &str) -> Result<StageKind, String> {
+    let kind = StageKind::from_name(name).ok_or(format!("unknown stage `{name}`"))?;
+    if !kind.splittable() {
+        return Err(format!("stage `{name}` cannot be split"));
+    }
+    Ok(kind)
+}
+
+fn parse_workload(p: &Params) -> Result<Workload, String> {
+    let name = p.str_or("workload", "dhrystone");
+    Workload::all()
+        .into_iter()
+        .find(|w| w.name() == name)
+        .ok_or(format!("unknown workload `{name}`"))
+}
+
+fn parse_call(req: &Request) -> Result<ApiCall, String> {
+    let p = Params::from_request(req)?;
+    match req.path.as_str() {
+        "/v1/library" => Ok(ApiCall::Library {
+            process: parse_process(&p)?,
+        }),
+        "/v1/synth" => Ok(ApiCall::Synth {
+            process: parse_process(&p)?,
+            spec: parse_spec(&p)?,
+        }),
+        "/v1/depth" => {
+            let stages = p.uint("stages", 9, 15)? as usize;
+            if stages < 9 {
+                return Err("`stages` must be 9-15".into());
+            }
+            Ok(ApiCall::Depth {
+                process: parse_process(&p)?,
+                stages,
+            })
+        }
+        "/v1/width" => {
+            let fe = p.uint("fe", 1, 6)? as usize;
+            let be = p.uint("be", 3, 7)? as usize;
+            if fe < 1 || be < 3 {
+                return Err("`fe` must be 1-6 and `be` 3-7".into());
+            }
+            Ok(ApiCall::Width {
+                process: parse_process(&p)?,
+                fe,
+                be,
+            })
+        }
+        "/v1/ipc" => {
+            // `budget=quick|full` presets, overridable by explicit knobs.
+            let (outer0, instr0) = match p.str_or("budget", "quick").as_str() {
+                "quick" => (25u64, 12_000u64),
+                "full" => (400, 120_000),
+                other => return Err(format!("`budget` must be `quick` or `full`, got `{other}`")),
+            };
+            Ok(ApiCall::Ipc {
+                spec: parse_spec(&p)?,
+                workload: parse_workload(&p)?,
+                outer: p.uint("outer", outer0, MAX_OUTER)? as u32,
+                instructions: p.uint("instructions", instr0, MAX_INSTRUCTIONS)?,
+            })
+        }
+        _ => Err("unroutable".into()),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Execution: ApiCall → deterministic JSON response
+// ---------------------------------------------------------------------------
+
+/// Executes a call against the flow. Pure in the call: the same call
+/// yields a byte-identical response for any worker count or cache state.
+pub fn execute(call: &ApiCall) -> Response {
+    match call {
+        ApiCall::Library { process } => library_response(shared_kit(*process)),
+        ApiCall::Synth { process, spec } => {
+            let kit = shared_kit(*process);
+            synth_response(kit, spec, &[])
+        }
+        ApiCall::Depth { process, stages } => {
+            let kit = shared_kit(*process);
+            // Rebuild the paper's split chain: each step cuts the previous
+            // point's critical stage (cached synthesis makes this cheap).
+            let mut spec = CoreSpec::baseline();
+            let mut cuts = Vec::new();
+            for _ in 9..*stages {
+                let (deeper, cut) = split_critical(kit, &spec);
+                spec = deeper;
+                cuts.push(cut);
+            }
+            synth_response(kit, &spec, &cuts)
+        }
+        ApiCall::Width { process, fe, be } => {
+            let kit = shared_kit(*process);
+            synth_response(kit, &CoreSpec::with_widths(*fe, *be), &[])
+        }
+        ApiCall::Ipc {
+            spec,
+            workload,
+            outer,
+            instructions,
+        } => {
+            let stats = measure_ipc_cached(spec, *workload, *outer, *instructions);
+            let body = Json::Obj(vec![
+                ("workload".into(), Json::str(workload.name())),
+                ("spec".into(), spec_json(spec)),
+                ("outer".into(), Json::Int(*outer as i64)),
+                ("instruction_cap".into(), Json::Int(*instructions as i64)),
+                ("ipc".into(), Json::Num(stats.ipc())),
+                ("cycles".into(), Json::Int(stats.cycles as i64)),
+                ("instructions".into(), Json::Int(stats.instructions as i64)),
+                ("branches".into(), Json::Int(stats.branches as i64)),
+                ("mispredicts".into(), Json::Int(stats.mispredicts as i64)),
+                ("flushes".into(), Json::Int(stats.flushes as i64)),
+                ("loads".into(), Json::Int(stats.loads as i64)),
+                ("stores".into(), Json::Int(stats.stores as i64)),
+            ]);
+            Response::json(200, body.encode().into_bytes())
+        }
+    }
+}
+
+/// Renders the `/v1/library` body from a kit. Values are taken from a
+/// Liberty-text round trip of the library, the exact representation the
+/// artifact cache stores — so a cold (freshly characterized) kit and a
+/// warm (cache-loaded) kit produce byte-identical bodies.
+pub fn library_response(kit: &TechKit) -> Response {
+    let lib = match bdc_cells::parse_library(&bdc_cells::write_library(&kit.lib)) {
+        Ok(lib) => lib,
+        Err(e) => return Response::error(500, &format!("library round-trip: {e:?}")),
+    };
+    let cells = bdc_cells::library::cell_summary(&lib)
+        .into_iter()
+        .map(|(name, area, cap, delay)| {
+            Json::Obj(vec![
+                ("name".into(), Json::Str(name)),
+                ("area_um2".into(), Json::Num(area)),
+                ("input_cap_f".into(), Json::Num(cap)),
+                ("delay_s".into(), Json::Num(delay)),
+            ])
+        })
+        .collect();
+    let body = Json::Obj(vec![
+        ("process".into(), Json::str(kit.process.name())),
+        ("vdd".into(), Json::Num(lib.vdd)),
+        ("vss".into(), Json::Num(lib.vss)),
+        ("fo4_delay_s".into(), Json::Num(lib.fo4_delay())),
+        (
+            "dff".into(),
+            Json::Obj(vec![
+                ("setup_s".into(), Json::Num(lib.dff.setup)),
+                ("hold_s".into(), Json::Num(lib.dff.hold)),
+                ("clk_to_q_s".into(), Json::Num(lib.dff.clk_to_q)),
+            ]),
+        ),
+        ("cells".into(), Json::Arr(cells)),
+    ]);
+    Response::json(200, body.encode().into_bytes())
+}
+
+fn spec_json(spec: &CoreSpec) -> Json {
+    Json::Obj(vec![
+        ("fe_width".into(), Json::Int(spec.fe_width as i64)),
+        ("be_pipes".into(), Json::Int(spec.be_pipes as i64)),
+        (
+            "splits".into(),
+            Json::Arr(spec.splits.iter().map(|s| Json::str(s.name())).collect()),
+        ),
+    ])
+}
+
+/// Renders a synthesized-core body (shared by `/v1/synth`, `/v1/depth`,
+/// `/v1/width`). `cuts` names the split chain when the spec was derived by
+/// critical-stage cutting.
+pub fn synth_response(kit: &TechKit, spec: &CoreSpec, cuts: &[StageKind]) -> Response {
+    let core: SynthesizedCore = synthesize_core_cached(kit, spec);
+    let stages = core
+        .stages
+        .iter()
+        .map(|s: &StageTiming| {
+            Json::Obj(vec![
+                ("stage".into(), Json::str(s.kind.name())),
+                ("substages".into(), Json::Int(s.substages as i64)),
+                ("logic_delay_s".into(), Json::Num(s.logic_delay)),
+                ("area_um2".into(), Json::Num(s.area_um2)),
+            ])
+        })
+        .collect();
+    let mut members = vec![
+        ("process".into(), Json::str(kit.process.name())),
+        ("spec".into(), spec_json(spec)),
+        ("total_stages".into(), Json::Int(spec.total_stages() as i64)),
+        ("period_s".into(), Json::Num(core.period)),
+        ("frequency_hz".into(), Json::Num(core.frequency)),
+        ("area_um2".into(), Json::Num(core.area_um2)),
+        ("critical_stage".into(), Json::str(core.critical.name())),
+        ("seq_overhead_s".into(), Json::Num(core.seq_overhead)),
+        ("wire_overhead_s".into(), Json::Num(core.wire_overhead)),
+        ("stages".into(), Json::Arr(stages)),
+    ];
+    if !cuts.is_empty() {
+        members.push((
+            "cut_chain".into(),
+            Json::Arr(cuts.iter().map(|c| Json::str(c.name())).collect()),
+        ));
+    }
+    Response::json(200, Json::Obj(members).encode().into_bytes())
+}
+
+/// The `/healthz` body.
+pub fn healthz() -> Response {
+    Response::json(200, b"{\"status\":\"ok\"}".to_vec())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn get(path_query: &str) -> Request {
+        let (path, query) = path_query.split_once('?').unwrap_or((path_query, ""));
+        Request {
+            method: Method::Get,
+            path: path.into(),
+            query: query.into(),
+            body: Vec::new(),
+            keep_alive: true,
+        }
+    }
+
+    fn post(path: &str, body: &str) -> Request {
+        Request {
+            method: Method::Post,
+            path: path.into(),
+            query: String::new(),
+            body: body.as_bytes().to_vec(),
+            keep_alive: true,
+        }
+    }
+
+    fn call(req: &Request) -> ApiCall {
+        match route(req) {
+            Route::Call(c) => c,
+            Route::Error(_, r) => {
+                panic!("rejected: {}", String::from_utf8_lossy(&r.body))
+            }
+            _ => panic!("not a call"),
+        }
+    }
+
+    #[test]
+    fn get_and_post_normalize_to_the_same_call() {
+        let a = call(&get(
+            "/v1/synth?process=silicon&fe_width=2&be_pipes=4&splits=fetch,issue",
+        ));
+        let b = call(&post(
+            "/v1/synth",
+            r#"{"process":"silicon","fe_width":2,"be_pipes":4,"splits":["fetch","issue"]}"#,
+        ));
+        assert_eq!(a, b);
+        assert_eq!(a.cache_key(), b.cache_key());
+    }
+
+    #[test]
+    fn distinct_calls_have_distinct_keys() {
+        let a = call(&get("/v1/width?process=organic&fe=1&be=3"));
+        let b = call(&get("/v1/width?process=organic&fe=2&be=3"));
+        assert_ne!(a.cache_key(), b.cache_key());
+    }
+
+    #[test]
+    fn defaults_fill_in() {
+        match call(&get("/v1/ipc")) {
+            ApiCall::Ipc {
+                workload,
+                outer,
+                instructions,
+                spec,
+            } => {
+                assert_eq!(workload, Workload::Dhrystone);
+                assert_eq!(outer, 25);
+                assert_eq!(instructions, 12_000);
+                assert_eq!(spec, CoreSpec::baseline());
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_out_of_range_parameters() {
+        for bad in [
+            "/v1/width?fe=0",
+            "/v1/width?fe=7",
+            "/v1/width?be=8",
+            "/v1/depth?stages=8",
+            "/v1/depth?stages=16",
+            "/v1/synth?splits=retire",
+            "/v1/synth?splits=nosuch",
+            "/v1/ipc?workload=nosuch",
+            "/v1/ipc?outer=99999",
+            "/v1/library?process=copper",
+        ] {
+            match route(&get(bad)) {
+                Route::Error(_, r) => assert_eq!(r.status, 400, "{bad}"),
+                _ => panic!("accepted {bad}"),
+            }
+        }
+    }
+
+    #[test]
+    fn unknown_path_is_404() {
+        match route(&get("/v2/nope")) {
+            Route::Error(e, r) => {
+                assert_eq!(r.status, 404);
+                assert_eq!(e, Endpoint::Other);
+            }
+            _ => panic!("routed"),
+        }
+    }
+
+    #[test]
+    fn malformed_post_body_is_400() {
+        match route(&post("/v1/synth", "{not json")) {
+            Route::Error(_, r) => assert_eq!(r.status, 400),
+            _ => panic!("accepted"),
+        }
+    }
+
+    #[test]
+    fn ipc_execution_is_deterministic_and_cached() {
+        let c = call(&get("/v1/ipc?workload=gzip&outer=5&instructions=4000"));
+        let a = execute(&c);
+        let b = execute(&c);
+        assert_eq!(a.status, 200);
+        assert_eq!(a.body, b.body);
+        let parsed = crate::json::parse(std::str::from_utf8(&a.body).unwrap()).unwrap();
+        assert!(parsed.get("ipc").and_then(Json::as_f64).unwrap() > 0.0);
+    }
+}

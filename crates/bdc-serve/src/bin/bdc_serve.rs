@@ -1,0 +1,90 @@
+//! The `bdc_serve` daemon binary.
+//!
+//! ```text
+//! bdc_serve [--addr HOST:PORT] [--conn-threads N] [--queue-cap N]
+//!           [--max-batch N] [--cache-cap N] [--warm organic,silicon]
+//! ```
+//!
+//! Boots the serving stack from `bdc-serve`, optionally pre-characterizes
+//! libraries (`--warm`), prints the bound address, and runs until SIGTERM
+//! or ctrl-c, then shuts down gracefully (drains the queue, joins every
+//! thread) and exits 0.
+
+use bdc_core::Process;
+use bdc_serve::ServeConfig;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: bdc_serve [--addr HOST:PORT] [--conn-threads N] [--queue-cap N] \
+         [--max-batch N] [--cache-cap N] [--warm organic,silicon]"
+    );
+    std::process::exit(2)
+}
+
+fn parse_args() -> ServeConfig {
+    let mut cfg = ServeConfig::default();
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let mut value = |what: &str| -> String {
+            args.next().unwrap_or_else(|| {
+                eprintln!("bdc_serve: {flag} needs a {what}");
+                usage()
+            })
+        };
+        match flag.as_str() {
+            "--addr" => cfg.addr = value("host:port"),
+            "--conn-threads" => cfg.conn_threads = parse_num(&flag, &value("count")),
+            "--queue-cap" => cfg.engine.queue_cap = parse_num(&flag, &value("count")),
+            "--max-batch" => cfg.engine.max_batch = parse_num(&flag, &value("count")).max(1),
+            "--cache-cap" => cfg.engine.cache_cap = parse_num(&flag, &value("count")),
+            "--warm" => {
+                for name in value("process list").split(',') {
+                    match name.trim() {
+                        "organic" => cfg.warm.push(Process::Organic),
+                        "silicon" => cfg.warm.push(Process::Silicon),
+                        other => {
+                            eprintln!("bdc_serve: unknown process `{other}`");
+                            usage()
+                        }
+                    }
+                }
+            }
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("bdc_serve: unknown flag `{other}`");
+                usage()
+            }
+        }
+    }
+    cfg
+}
+
+fn parse_num(flag: &str, raw: &str) -> usize {
+    raw.parse().unwrap_or_else(|_| {
+        eprintln!("bdc_serve: {flag} must be a positive integer, got `{raw}`");
+        usage()
+    })
+}
+
+fn main() {
+    let cfg = parse_args();
+    bdc_serve::install_signal_handlers();
+    if !cfg.warm.is_empty() {
+        let names: Vec<&str> = cfg.warm.iter().map(|p| p.name()).collect();
+        println!("bdc_serve: warming libraries: {}", names.join(", "));
+    }
+    match bdc_serve::start(cfg) {
+        Ok(handle) => {
+            println!(
+                "bdc_serve: listening on 127.0.0.1:{} (SIGTERM/ctrl-c to stop)",
+                handle.port()
+            );
+            handle.run_until_signalled();
+            println!("bdc_serve: drained and stopped cleanly");
+        }
+        Err(e) => {
+            eprintln!("bdc_serve: bind failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}

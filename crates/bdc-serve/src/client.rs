@@ -1,0 +1,112 @@
+//! A tiny blocking HTTP/1.1 client for the load generator, the bench
+//! harness, and the end-to-end tests. Speaks just enough of the protocol
+//! to talk to [`crate::server`]: keep-alive connections, `GET`/`POST`,
+//! `Content-Length` bodies.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+/// A response as the client sees it.
+#[derive(Debug, Clone)]
+pub struct ClientResponse {
+    /// HTTP status code.
+    pub status: u16,
+    /// Body bytes.
+    pub body: Vec<u8>,
+}
+
+/// A persistent keep-alive connection to the daemon.
+pub struct Connection {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Connection {
+    /// Connects to `addr` (e.g. `127.0.0.1:8731`).
+    ///
+    /// # Errors
+    /// Propagates connect failures.
+    pub fn open(addr: &str) -> std::io::Result<Connection> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        stream.set_read_timeout(Some(Duration::from_secs(120)))?;
+        let writer = stream.try_clone()?;
+        Ok(Connection {
+            reader: BufReader::new(stream),
+            writer,
+        })
+    }
+
+    /// Issues a `GET`.
+    ///
+    /// # Errors
+    /// Propagates socket errors (including the server closing mid-reply).
+    pub fn get(&mut self, path_query: &str) -> std::io::Result<ClientResponse> {
+        let req = format!("GET {path_query} HTTP/1.1\r\nhost: bdc\r\n\r\n");
+        self.writer.write_all(req.as_bytes())?;
+        self.writer.flush()?;
+        self.read_response()
+    }
+
+    /// Issues a `POST` with a JSON body.
+    ///
+    /// # Errors
+    /// Propagates socket errors.
+    pub fn post(&mut self, path: &str, body: &str) -> std::io::Result<ClientResponse> {
+        let req = format!(
+            "POST {path} HTTP/1.1\r\nhost: bdc\r\ncontent-length: {}\r\n\r\n{body}",
+            body.len()
+        );
+        self.writer.write_all(req.as_bytes())?;
+        self.writer.flush()?;
+        self.read_response()
+    }
+
+    fn read_response(&mut self) -> std::io::Result<ClientResponse> {
+        let bad =
+            |what: &str| std::io::Error::new(std::io::ErrorKind::InvalidData, what.to_string());
+        let mut line = String::new();
+        if self.reader.read_line(&mut line)? == 0 {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "server closed connection",
+            ));
+        }
+        let status: u16 = line
+            .split(' ')
+            .nth(1)
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| bad("malformed status line"))?;
+        let mut content_length = 0usize;
+        loop {
+            let mut header = String::new();
+            if self.reader.read_line(&mut header)? == 0 {
+                return Err(bad("truncated header block"));
+            }
+            let header = header.trim_end();
+            if header.is_empty() {
+                break;
+            }
+            if let Some((name, value)) = header.split_once(':') {
+                if name.eq_ignore_ascii_case("content-length") {
+                    content_length = value
+                        .trim()
+                        .parse()
+                        .map_err(|_| bad("bad content-length"))?;
+                }
+            }
+        }
+        let mut body = vec![0u8; content_length];
+        self.reader.read_exact(&mut body)?;
+        Ok(ClientResponse { status, body })
+    }
+}
+
+/// One-shot convenience: open, `GET`, close.
+///
+/// # Errors
+/// Propagates socket errors.
+pub fn get_once(addr: &str, path_query: &str) -> std::io::Result<ClientResponse> {
+    Connection::open(addr)?.get(path_query)
+}

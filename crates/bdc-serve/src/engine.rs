@@ -1,0 +1,416 @@
+//! The serving engine: request coalescing, batching, admission control,
+//! and a bounded response cache.
+//!
+//! Three mechanisms keep the daemon stable and fast under load:
+//!
+//! * **Coalescing** — requests are keyed by their canonical content hash;
+//!   a request whose key matches an in-flight computation joins that
+//!   flight instead of queueing a duplicate. N identical concurrent
+//!   queries cost one computation.
+//! * **Batching** — distinct queued requests are drained in batches and
+//!   executed together with [`bdc_exec::par_map`], so a burst of cold
+//!   queries fans out across the deterministic worker pool instead of
+//!   running head-of-line serially.
+//! * **Admission control** — the work queue is bounded. When it is full,
+//!   [`Engine::submit`] returns [`Submission::Shed`] immediately and the
+//!   HTTP layer answers `429 Too Many Requests` with `Retry-After`. The
+//!   queue can never grow without bound, and overload never panics.
+//!
+//! Completed responses enter a FIFO-bounded response cache keyed by the
+//! same hash, so warm repeats are answered with a map lookup — no queue,
+//! no pool, microseconds. Responses are `Arc`ed; a cache hit is a clone of
+//! a pointer.
+//!
+//! The engine is generic over the job type and executor so tests can
+//! drive it with synthetic workloads (e.g. a barrier-gated executor that
+//! deterministically holds the queue full to exercise shedding).
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::Ordering;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+
+use crate::http::Response;
+use crate::metrics::Registry;
+
+/// Engine tuning knobs.
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// Most jobs admitted to the queue at once; beyond this, submissions
+    /// are shed with 429.
+    pub queue_cap: usize,
+    /// Most jobs drained into one `par_map` batch.
+    pub max_batch: usize,
+    /// Most entries the response cache holds (FIFO eviction).
+    pub cache_cap: usize,
+    /// How long a submitter waits for its flight before giving up (504).
+    pub wait_timeout: Duration,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            queue_cap: 64,
+            max_batch: 16,
+            cache_cap: 4096,
+            wait_timeout: Duration::from_secs(300),
+        }
+    }
+}
+
+/// An in-flight computation that identical requests wait on.
+#[derive(Debug, Default)]
+struct Flight {
+    slot: Mutex<Option<Arc<Response>>>,
+    done: Condvar,
+}
+
+impl Flight {
+    fn complete(&self, response: Arc<Response>) {
+        *self.slot.lock().unwrap_or_else(|p| p.into_inner()) = Some(response);
+        self.done.notify_all();
+    }
+
+    fn wait(&self, timeout: Duration) -> Option<Arc<Response>> {
+        let guard = self.slot.lock().unwrap_or_else(|p| p.into_inner());
+        let (guard, result) = self
+            .done
+            .wait_timeout_while(guard, timeout, |slot| slot.is_none())
+            .unwrap_or_else(|p| p.into_inner());
+        if result.timed_out() && guard.is_none() {
+            None
+        } else {
+            guard.clone()
+        }
+    }
+}
+
+/// What happened to a submitted request.
+pub enum Submission {
+    /// Answered from the response cache.
+    CacheHit(Arc<Response>),
+    /// Computed (either this submission queued it, or it coalesced onto an
+    /// identical in-flight request).
+    Done(Arc<Response>),
+    /// The bounded queue was full; answer 429.
+    Shed,
+    /// The flight did not finish within the wait timeout; answer 504.
+    TimedOut,
+    /// The engine is shutting down; answer 503.
+    ShuttingDown,
+}
+
+struct EngineState<J> {
+    queue: VecDeque<(u64, J)>,
+    flights: HashMap<u64, Arc<Flight>>,
+    cache: HashMap<u64, Arc<Response>>,
+    cache_order: VecDeque<u64>,
+    shutdown: bool,
+}
+
+/// The coalescing, batching request engine. `J` is the job payload handed
+/// to the executor; the executor must be a pure function of the job so
+/// that coalescing and caching are semantically invisible.
+pub struct Engine<J> {
+    state: Mutex<EngineState<J>>,
+    work: Condvar,
+    cfg: EngineConfig,
+    metrics: Arc<Registry>,
+}
+
+impl<J: Send + Sync + 'static> Engine<J> {
+    /// Creates an engine (no worker thread yet; see [`Engine::run`]).
+    pub fn new(cfg: EngineConfig, metrics: Arc<Registry>) -> Arc<Engine<J>> {
+        Arc::new(Engine {
+            state: Mutex::new(EngineState {
+                queue: VecDeque::new(),
+                flights: HashMap::new(),
+                cache: HashMap::new(),
+                cache_order: VecDeque::new(),
+                shutdown: false,
+            }),
+            work: Condvar::new(),
+            cfg,
+            metrics,
+        })
+    }
+
+    /// The engine's metrics registry.
+    pub fn metrics(&self) -> &Arc<Registry> {
+        &self.metrics
+    }
+
+    /// Current queue depth (for the metrics snapshot).
+    pub fn queue_depth(&self) -> usize {
+        self.state
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .queue
+            .len()
+    }
+
+    /// The configured queue capacity.
+    pub fn queue_cap(&self) -> usize {
+        self.cfg.queue_cap
+    }
+
+    /// Submits a job keyed by its canonical content hash and blocks until
+    /// it resolves (cache hit, computed, shed, or timed out).
+    pub fn submit(&self, key: u64, job: J) -> Submission {
+        let flight = {
+            let mut st = self.state.lock().unwrap_or_else(|p| p.into_inner());
+            if st.shutdown {
+                return Submission::ShuttingDown;
+            }
+            if let Some(hit) = st.cache.get(&key) {
+                self.metrics.cache_hits.fetch_add(1, Ordering::Relaxed);
+                return Submission::CacheHit(Arc::clone(hit));
+            }
+            if let Some(flight) = st.flights.get(&key) {
+                self.metrics.coalesced.fetch_add(1, Ordering::Relaxed);
+                Arc::clone(flight)
+            } else {
+                if st.queue.len() >= self.cfg.queue_cap {
+                    self.metrics.queue_shed.fetch_add(1, Ordering::Relaxed);
+                    return Submission::Shed;
+                }
+                let flight = Arc::new(Flight::default());
+                st.flights.insert(key, Arc::clone(&flight));
+                st.queue.push_back((key, job));
+                self.work.notify_one();
+                flight
+            }
+        };
+        match flight.wait(self.cfg.wait_timeout) {
+            Some(response) => Submission::Done(response),
+            None => Submission::TimedOut,
+        }
+    }
+
+    /// Runs the batching loop until [`Engine::shutdown`]: drain up to
+    /// `max_batch` queued jobs, execute them as one index-ordered
+    /// [`bdc_exec::par_map`] fan-out, publish each result to its flight
+    /// and the response cache. Call from a dedicated thread.
+    pub fn run(&self, execute: impl Fn(&J) -> Response + Sync) {
+        loop {
+            let batch: Vec<(u64, J)> = {
+                let mut st = self.state.lock().unwrap_or_else(|p| p.into_inner());
+                while st.queue.is_empty() && !st.shutdown {
+                    st = self.work.wait(st).unwrap_or_else(|p| p.into_inner());
+                }
+                if st.queue.is_empty() && st.shutdown {
+                    return;
+                }
+                let n = st.queue.len().min(self.cfg.max_batch);
+                st.queue.drain(..n).collect()
+            };
+            self.metrics.batches.fetch_add(1, Ordering::Relaxed);
+            self.metrics
+                .batched_jobs
+                .fetch_add(batch.len() as u64, Ordering::Relaxed);
+            // The executor must not panic on any admitted job (the API
+            // layer maps bad requests to 4xx responses instead); a panic
+            // here would poison the batch, so catch it defensively and
+            // turn it into a 500 for every job in the batch.
+            let results = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                bdc_exec::par_map(&batch, |(_, job)| Arc::new(execute(job)))
+            }))
+            .unwrap_or_else(|_| {
+                batch
+                    .iter()
+                    .map(|_| Arc::new(Response::error(500, "internal error")))
+                    .collect()
+            });
+            let mut st = self.state.lock().unwrap_or_else(|p| p.into_inner());
+            for ((key, _), response) in batch.iter().zip(results) {
+                if st.cache.len() >= self.cfg.cache_cap {
+                    if let Some(old) = st.cache_order.pop_front() {
+                        st.cache.remove(&old);
+                    }
+                }
+                if st.cache.insert(*key, Arc::clone(&response)).is_none() {
+                    st.cache_order.push_back(*key);
+                }
+                if let Some(flight) = st.flights.remove(key) {
+                    flight.complete(response);
+                }
+            }
+        }
+    }
+
+    /// Initiates shutdown: pending queued jobs still execute, new
+    /// submissions are refused, and [`Engine::run`] returns once the queue
+    /// drains.
+    pub fn shutdown(&self) {
+        let mut st = self.state.lock().unwrap_or_else(|p| p.into_inner());
+        st.shutdown = true;
+        self.work.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+    use std::sync::Barrier;
+
+    fn engine(cfg: EngineConfig) -> Arc<Engine<u64>> {
+        Engine::new(cfg, Arc::new(Registry::default()))
+    }
+
+    fn spawn_runner(
+        e: &Arc<Engine<u64>>,
+        execute: impl Fn(&u64) -> Response + Sync + Send + 'static,
+    ) -> std::thread::JoinHandle<()> {
+        let e = Arc::clone(e);
+        std::thread::spawn(move || e.run(execute))
+    }
+
+    fn body(job: &u64) -> Response {
+        Response::json(200, format!("{{\"job\":{job}}}").into_bytes())
+    }
+
+    #[test]
+    fn computes_then_serves_from_cache() {
+        let e = engine(EngineConfig::default());
+        let calls = Arc::new(AtomicU64::new(0));
+        let c = Arc::clone(&calls);
+        let runner = spawn_runner(&e, move |j| {
+            c.fetch_add(1, Ordering::SeqCst);
+            body(j)
+        });
+        let first = match e.submit(7, 7) {
+            Submission::Done(r) => r,
+            _ => panic!("expected Done"),
+        };
+        let second = match e.submit(7, 7) {
+            Submission::CacheHit(r) => r,
+            _ => panic!("expected CacheHit"),
+        };
+        assert_eq!(first.body, second.body);
+        assert_eq!(calls.load(Ordering::SeqCst), 1);
+        e.shutdown();
+        runner.join().unwrap();
+    }
+
+    #[test]
+    fn identical_concurrent_requests_coalesce() {
+        let e = engine(EngineConfig::default());
+        let calls = Arc::new(AtomicU64::new(0));
+        let gate = Arc::new(Barrier::new(2)); // executor + test
+        let (c, g) = (Arc::clone(&calls), Arc::clone(&gate));
+        let runner = spawn_runner(&e, move |j| {
+            c.fetch_add(1, Ordering::SeqCst);
+            g.wait();
+            body(j)
+        });
+        // First submission occupies the executor...
+        let e1 = Arc::clone(&e);
+        let t1 = std::thread::spawn(move || e1.submit(42, 42));
+        // ...wait until it is actually in flight, then pile on a duplicate.
+        while calls.load(Ordering::SeqCst) == 0 {
+            std::thread::yield_now();
+        }
+        let e2 = Arc::clone(&e);
+        let t2 = std::thread::spawn(move || e2.submit(42, 42));
+        // Give the duplicate a moment to coalesce, then release the gate.
+        while e.metrics().coalesced.load(Ordering::Relaxed) == 0 {
+            std::thread::yield_now();
+        }
+        gate.wait();
+        for t in [t1, t2] {
+            match t.join().unwrap() {
+                Submission::Done(r) => assert_eq!(r.status, 200),
+                _ => panic!("expected Done"),
+            }
+        }
+        assert_eq!(calls.load(Ordering::SeqCst), 1, "coalesced into one call");
+        e.shutdown();
+        runner.join().unwrap();
+    }
+
+    #[test]
+    fn full_queue_sheds_deterministically() {
+        let cfg = EngineConfig {
+            queue_cap: 2,
+            max_batch: 1,
+            ..EngineConfig::default()
+        };
+        let e = engine(cfg);
+        let gate = Arc::new(Barrier::new(2));
+        let g = Arc::clone(&gate);
+        let runner = spawn_runner(&e, move |j| {
+            g.wait();
+            body(j)
+        });
+        // Job 1 is picked up by the runner and blocks on the barrier; only
+        // then do jobs 2 and 3 fill the queue, so job 4 must shed.
+        let e1 = Arc::clone(&e);
+        let mut waiters = vec![std::thread::spawn(move || e1.submit(1, 1))];
+        while e.metrics().batches.load(Ordering::Relaxed) == 0 {
+            std::thread::yield_now();
+        }
+        for key in 2..=3u64 {
+            let e = Arc::clone(&e);
+            waiters.push(std::thread::spawn(move || e.submit(key, key)));
+        }
+        while e.queue_depth() < 2 {
+            std::thread::yield_now();
+        }
+        assert!(matches!(e.submit(4, 4), Submission::Shed));
+        assert_eq!(e.metrics().queue_shed.load(Ordering::Relaxed), 1);
+        // Release all batches (runner blocks once per 1-job batch).
+        for _ in 0..3 {
+            gate.wait();
+        }
+        for w in waiters {
+            assert!(matches!(w.join().unwrap(), Submission::Done(_)));
+        }
+        e.shutdown();
+        runner.join().unwrap();
+    }
+
+    #[test]
+    fn cache_is_fifo_bounded() {
+        let cfg = EngineConfig {
+            cache_cap: 2,
+            ..EngineConfig::default()
+        };
+        let e = engine(cfg);
+        let runner = spawn_runner(&e, body);
+        for key in 0..5u64 {
+            assert!(matches!(e.submit(key, key), Submission::Done(_)));
+        }
+        // Only the two newest keys remain cached.
+        assert!(matches!(e.submit(4, 4), Submission::CacheHit(_)));
+        assert!(matches!(e.submit(0, 0), Submission::Done(_)));
+        e.shutdown();
+        runner.join().unwrap();
+    }
+
+    #[test]
+    fn executor_panic_becomes_500_not_a_crash() {
+        let e = engine(EngineConfig::default());
+        let runner = spawn_runner(&e, |j| {
+            assert!(*j != 13, "boom");
+            body(j)
+        });
+        match e.submit(13, 13) {
+            Submission::Done(r) => assert_eq!(r.status, 500),
+            _ => panic!("expected Done(500)"),
+        }
+        // The engine survives and keeps serving.
+        assert!(matches!(e.submit(1, 1), Submission::Done(_)));
+        e.shutdown();
+        runner.join().unwrap();
+    }
+
+    #[test]
+    fn shutdown_refuses_new_work() {
+        let e = engine(EngineConfig::default());
+        let runner = spawn_runner(&e, body);
+        e.shutdown();
+        runner.join().unwrap();
+        assert!(matches!(e.submit(1, 1), Submission::ShuttingDown));
+    }
+}
