@@ -1,60 +1,6 @@
-//! Ablation: does the best adder architecture depend on the process?
-//!
-//! Ripple (minimal gates, linear depth) vs carry-select (moderate) vs
-//! Kogge–Stone (log depth, heavy wiring/fanout). The interesting measured
-//! result: the prefix adder helps the organic process *less* — its
-//! carry-merge OR gates map to the unipolar library's slow series (NOR)
-//! cells, the same rise/fall imbalance the paper flags in §5.5. Cell-level
-//! asymmetries, not just the wire ratio, steer architecture choices.
-
-use bdc_core::report::{fmt_time, render_table};
-use bdc_core::{Process, TechKit};
-use bdc_synth::blocks;
-use bdc_synth::map::remap_for_library;
-use bdc_synth::sta::analyze;
+//! Legacy shim: renders registry node `abl-adder-arch` (see `bdc_core::registry`).
+//! Prefer `bdc run abl-adder-arch`; this binary remains for script compatibility.
 
 fn main() {
-    bdc_bench::header("Ablation", "adder architecture per process (32-bit)");
-    let adders = [
-        ("ripple", blocks::ripple_adder(32)),
-        ("carry-select", blocks::carry_select_adder(32)),
-        ("kogge-stone", blocks::kogge_stone_adder(32)),
-    ];
-    for p in Process::both() {
-        let kit = TechKit::load_or_build(p).expect("characterization");
-        println!("\n{}:", p.name());
-        let mut rows = Vec::new();
-        let mut base_delay = 0.0;
-        for (name, netlist) in &adders {
-            let (mapped, _) = remap_for_library(netlist, &kit.lib);
-            let r = analyze(&mapped, &kit.lib, &kit.sta);
-            if *name == "ripple" {
-                base_delay = r.max_arrival;
-            }
-            rows.push(vec![
-                name.to_string(),
-                format!("{}", mapped.gates().len()),
-                fmt_time(r.max_arrival),
-                format!("{:.2}x", base_delay / r.max_arrival),
-                format!("{:.2e}", r.area_um2),
-            ]);
-        }
-        print!(
-            "{}",
-            render_table(
-                &[
-                    "adder",
-                    "gates",
-                    "critical path",
-                    "speedup vs ripple",
-                    "area um2"
-                ],
-                &rows
-            )
-        );
-    }
-    println!("\n(measured: Kogge-Stone helps SILICON more. The organic prefix tree's");
-    println!(" carry-merge ORs land on the unipolar library's slow series NOR cells —");
-    println!(" the §5.5 rise/fall imbalance — which taxes back more than organic's");
-    println!(" free wires give; the best adder architecture is process-dependent)");
+    bdc_bench::run_legacy("abl-adder-arch");
 }

@@ -1,62 +1,6 @@
-//! Ablation: the predictor-quality × pipeline-depth interaction.
-//!
-//! The paper's depth tradeoff (§5.3) hinges on the branch-misprediction
-//! penalty growing with front-end depth. This ablation sweeps predictor
-//! quality (gshare / bimodal / static not-taken) against depth and shows
-//! the deep-pipeline payoff shrinking as prediction degrades — deep
-//! pipelines are only worth their registers if you can feed them.
-
-use bdc_core::flow::{performance, split_critical, synthesize_core_cached};
-use bdc_core::{CoreSpec, Process, TechKit};
-use bdc_uarch::{BpredKind, Workload};
+//! Legacy shim: renders registry node `abl-predictor-depth` (see `bdc_core::registry`).
+//! Prefer `bdc run abl-predictor-depth`; this binary remains for script compatibility.
 
 fn main() {
-    bdc_bench::header("Ablation", "predictor quality vs pipeline depth (organic)");
-    let budget = bdc_bench::budget();
-    let kit = TechKit::load_or_build(Process::Organic).expect("characterization");
-
-    // Pre-compute the split schedule once (synthesis is predictor-blind).
-    let mut specs = vec![CoreSpec::baseline()];
-    for _ in 0..6 {
-        let (deeper, _) = split_critical(&kit, specs.last().unwrap());
-        specs.push(deeper);
-    }
-    let freqs: Vec<f64> = specs
-        .iter()
-        .map(|s| synthesize_core_cached(&kit, s).frequency)
-        .collect();
-
-    println!(
-        "normalized performance on parser (branchy) per depth, by predictor:\n{:>16} {}",
-        "predictor",
-        (9..=15).map(|n| format!("{n:>7}")).collect::<String>()
-    );
-    for (label, kind) in [
-        ("gshare", BpredKind::Gshare),
-        ("bimodal", BpredKind::Bimodal),
-        ("static-NT", BpredKind::StaticNotTaken),
-    ] {
-        let mut perfs = Vec::new();
-        for (spec, freq) in specs.iter().zip(&freqs) {
-            // Thread the predictor kind through the config.
-            let mut cfg = spec.core_config();
-            cfg.bpred.kind = kind;
-            let program = bdc_uarch::build_workload(Workload::Parser, budget.outer);
-            let mut core = bdc_uarch::OooCore::new(&program, cfg, Workload::Parser.memory_words());
-            let stats = core.run(budget.instructions);
-            perfs.push(performance(stats.ipc(), *freq));
-        }
-        let base = perfs[0];
-        let row: String = perfs.iter().map(|p| format!("{:>7.2}", p / base)).collect();
-        let best = 9 + perfs
-            .iter()
-            .enumerate()
-            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
-            .map(|(i, _)| i)
-            .unwrap_or(0);
-        println!("{label:>16} {row}   (optimum: {best} stages)");
-    }
-    println!("\n(the deep-pipeline payoff shrinks as prediction degrades — organic");
-    println!(" frequency gains are large enough that the optimum stays deep, but the");
-    println!(" margin over shallow designs narrows with every mispredict)");
+    bdc_bench::run_legacy("abl-predictor-depth");
 }

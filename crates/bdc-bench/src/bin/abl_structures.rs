@@ -1,58 +1,6 @@
-//! Ablation: superscalar structure sizes (IQ / ROB / LSQ).
-//!
-//! AnyCore's design space includes “superscalar structure sizes” alongside
-//! depth and width (§5.1). This ablation sweeps window sizes at the
-//! paper's two width optima and reports IPC — establishing that the
-//! depth/width conclusions are not artifacts of a starved (or lavish)
-//! instruction window.
-
-use bdc_core::report::render_table;
-use bdc_core::CoreSpec;
-use bdc_uarch::{build_workload, OooCore, Workload};
+//! Legacy shim: renders registry node `abl-structures` (see `bdc_core::registry`).
+//! Prefer `bdc run abl-structures`; this binary remains for script compatibility.
 
 fn main() {
-    bdc_bench::header("Ablation", "instruction-window structure sizes");
-    let budget = bdc_bench::budget();
-    let sweep = [
-        (8usize, 24usize, 8usize),
-        (16, 48, 12),
-        (32, 64, 16),
-        (64, 128, 32),
-    ];
-    for (fe, be, label) in [
-        (2usize, 4usize, "silicon optimum M[4][2]"),
-        (2, 7, "organic optimum M[7][2]"),
-    ] {
-        println!("\nwidths fe={fe}, be={be} ({label}):");
-        let mut rows = Vec::new();
-        for (iq, rob, lsq) in sweep {
-            let spec = CoreSpec::with_widths(fe, be);
-            let mut cfg = spec.core_config();
-            cfg.iq_size = iq;
-            cfg.rob_size = rob;
-            cfg.lsq_size = lsq;
-            let mut log_ipc = 0.0;
-            let suite = [Workload::Dhrystone, Workload::Gzip, Workload::Gap];
-            for w in suite {
-                let program = build_workload(w, budget.outer);
-                let mut core = OooCore::new(&program, cfg.clone(), w.memory_words());
-                let stats = core.run(budget.instructions);
-                log_ipc += stats.ipc().max(1e-6).ln();
-            }
-            let ipc = (log_ipc / suite.len() as f64).exp();
-            rows.push(vec![
-                format!("{iq}"),
-                format!("{rob}"),
-                format!("{lsq}"),
-                format!("{ipc:.3}"),
-            ]);
-        }
-        print!(
-            "{}",
-            render_table(&["IQ", "ROB", "LSQ", "gmean IPC"], &rows)
-        );
-    }
-    println!("\n(the paper's baseline-class window — IQ 32 / ROB 64 / LSQ 16, the");
-    println!(" third row — sits on the flat part of the curve: bigger windows add");
-    println!(" little IPC at these widths, so the depth/width results stand)");
+    bdc_bench::run_legacy("abl-structures");
 }

@@ -1,0 +1,132 @@
+//! `bdc` — the experiment-registry CLI.
+//!
+//! One binary over `bdc_core::registry` replaces the 25 per-figure
+//! binaries (which remain as shims):
+//!
+//! ```text
+//! bdc list [--json]                  # the catalogue, with node ids
+//! bdc run fig12 --quick              # one node, legacy-identical stdout
+//! bdc run --all --quick              # the whole plan, parallel
+//! bdc run --all --quick --require-warm   # fail unless every node hit cache
+//! ```
+//!
+//! `run` prints the selected nodes' rendered text to stdout in catalogue
+//! order (a single-node run is byte-identical to the legacy binary) and
+//! writes the run manifest — per-node wall time, cache hit/miss, artifact
+//! key — to `results/run_manifest.json`. Progress and the per-node
+//! summary go to stderr so stdout stays clean for diffing.
+
+use bdc_core::registry::{self, NODES};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage:\n  bdc list [--json]\n  bdc run [--quick] [--all] [--require-warm] <id>...\n\
+         \nids: see `bdc list`"
+    );
+    std::process::exit(2);
+}
+
+fn cmd_list(json: bool) {
+    if json {
+        println!("{}", registry::catalogue_json().encode());
+        return;
+    }
+    let wid = NODES.iter().map(|n| n.id.len()).max().unwrap_or(0);
+    let wtitle = NODES.iter().map(|n| n.title.len()).max().unwrap_or(0);
+    for n in NODES {
+        println!("{:<wid$}  {:<wtitle$}  {}", n.id, n.title, n.what);
+    }
+    eprintln!(
+        "\n{} experiments; run one with `bdc run <id> --quick`",
+        NODES.len()
+    );
+}
+
+fn cmd_run(args: &[String]) -> ! {
+    let mut all = false;
+    let mut require_warm = false;
+    let mut ids: Vec<&str> = Vec::new();
+    for a in args {
+        match a.as_str() {
+            "--all" => all = true,
+            "--require-warm" => require_warm = true,
+            "--quick" => {} // consumed by bdc_bench::quick_mode()
+            flag if flag.starts_with('-') => {
+                eprintln!("unknown flag `{flag}`");
+                usage();
+            }
+            id => ids.push(id),
+        }
+    }
+    if all {
+        ids = NODES.iter().map(|n| n.id).collect();
+    } else if ids.is_empty() {
+        eprintln!("no experiment ids given (or pass --all)");
+        usage();
+    }
+
+    let quick = bdc_bench::quick_mode();
+    let report = match registry::run_plan(&ids, quick) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    };
+
+    for node in &report.nodes {
+        print!("{}", node.text);
+    }
+
+    let manifest = registry::manifest_json(&report).encode();
+    let manifest_note = if std::fs::create_dir_all("results").is_ok()
+        && std::fs::write("results/run_manifest.json", manifest + "\n").is_ok()
+    {
+        " -> results/run_manifest.json"
+    } else {
+        " (manifest not written)"
+    };
+
+    let hits = report.nodes.iter().filter(|n| n.cache_hit).count();
+    eprintln!(
+        "\nran {} node(s) on {} worker(s), {} cache hit(s){manifest_note}",
+        report.nodes.len(),
+        report.workers,
+        hits
+    );
+    for node in &report.nodes {
+        eprintln!(
+            "  {:<22} {:>8.3}s  {}",
+            node.id,
+            node.wall_s,
+            if node.cache_hit { "hit" } else { "miss" }
+        );
+    }
+
+    if require_warm {
+        let cold: Vec<&str> = report
+            .nodes
+            .iter()
+            .filter(|n| !n.cache_hit)
+            .map(|n| n.id)
+            .collect();
+        if !cold.is_empty() {
+            eprintln!("--require-warm: cold nodes: {}", cold.join(" "));
+            std::process::exit(1);
+        }
+    }
+    std::process::exit(0);
+}
+
+fn main() {
+    if let Err(e) = bdc_exec::env_config() {
+        eprintln!("error: {e}");
+        std::process::exit(2);
+    }
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("list") => cmd_list(args.iter().any(|a| a == "--json")),
+        Some("run") => cmd_run(&args[1..]),
+        _ => usage(),
+    }
+}

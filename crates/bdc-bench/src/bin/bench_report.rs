@@ -128,6 +128,10 @@ fn time<T>(f: impl FnOnce() -> T) -> (T, f64) {
 }
 
 fn main() {
+    if let Err(e) = bdc_exec::env_config() {
+        eprintln!("bench_report: {e}");
+        std::process::exit(2);
+    }
     bdc_bench::header("bench", "flow-stage timings (serial/parallel, cold/warm)");
     let avail = std::thread::available_parallelism().map_or(1, |n| n.get());
     let mut rows: Vec<Row> = Vec::new();
@@ -225,6 +229,25 @@ fn main() {
         });
     }
     bdc_exec::set_workers(None);
+
+    // --- Experiment registry: every catalogued node at the quick budget,
+    // scheduled through the plan runner (fan-out + artifact cache). One
+    // row per node so regressions localize.
+    let ids: Vec<&str> = bdc_core::registry::NODES.iter().map(|n| n.id).collect();
+    match bdc_core::registry::run_plan(&ids, true) {
+        Ok(report) => {
+            for node in &report.nodes {
+                rows.push(Row {
+                    stage: "experiment_node",
+                    detail: format!("{} --quick", node.id),
+                    workers: report.workers,
+                    cache: if node.cache_hit { "warm" } else { "cold" },
+                    seconds: node.wall_s,
+                });
+            }
+        }
+        Err(e) => eprintln!("registry section skipped: {e}"),
+    }
 
     // --- Serving layer: the same queries through the full HTTP stack,
     // cold (engine compute) vs warm (response-cache hit).

@@ -1,59 +1,6 @@
-//! Extension: transient-electronics degradation over the mission life.
-//!
-//! The paper's whole motivation is circuits that *biodegrade* (Figure 1).
-//! This experiment ages the pseudo-E cell across its mission window and
-//! reports the delay/gain/noise-margin trajectory — the guardband a
-//! designer must clock a biodegradable processor at so it still works the
-//! day before it dissolves.
-
-use bdc_core::extensions::{degradation_guardband, degradation_sweep};
-use bdc_core::report::render_table;
+//! Legacy shim: renders registry node `ext-degradation` (see `bdc_core::registry`).
+//! Prefer `bdc run ext-degradation`; this binary remains for script compatibility.
 
 fn main() {
-    bdc_bench::header(
-        "Ext: degradation",
-        "pseudo-E cell across its transient life",
-    );
-    let lives = [0.0, 0.2, 0.4, 0.6, 0.8, 1.0];
-    let points = degradation_sweep(&lives).expect("aging sweep");
-    let rows: Vec<Vec<String>> = points
-        .iter()
-        .map(|p| {
-            vec![
-                format!("{:.0}%", p.life * 100.0),
-                if p.delay.is_finite() {
-                    format!("{:.0}", p.delay * 1.0e6)
-                } else {
-                    "-".into()
-                },
-                format!("{:.2}", p.gain),
-                format!("{:.2}", p.nm_mec),
-                if p.functional {
-                    "yes".into()
-                } else {
-                    "NO".into()
-                },
-            ]
-        })
-        .collect();
-    print!(
-        "{}",
-        render_table(
-            &["life", "delay us", "gain", "NM (MEC) V", "functional"],
-            &rows
-        )
-    );
-    let guardband = degradation_guardband(&points);
-    println!("\nend-of-life clock guardband: {guardband:.2}x the fresh-device period");
-    if let Some(fail) = points.iter().find(|p| !p.functional) {
-        println!(
-            "functional failure at ~{:.0}% of mission life",
-            fail.life * 100.0
-        );
-    } else {
-        println!("the cell stays functional across the modelled mission window");
-    }
-    println!("\n(mobility decays ~70%, |V_T| drifts +1 V and leakage rises 10x across");
-    println!(" the window; a biodegradable design must be signed off at the aged");
-    println!(" corner — or use the Fig 8 V_SS knob to retune as it decays)");
+    bdc_bench::run_legacy("ext-degradation");
 }

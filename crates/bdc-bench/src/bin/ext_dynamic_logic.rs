@@ -1,41 +1,6 @@
-//! Extension (paper §7, last paragraph): dynamic unipolar logic.
-
-use bdc_cells::{
-    characterize_dynamic, characterize_gate, organic_dynamic_gate, organic_inverter,
-    CharacterizeConfig, OrganicSizing, OrganicStyle,
-};
+//! Legacy shim: renders registry node `ext-dynamic-logic` (see `bdc_core::registry`).
+//! Prefer `bdc run ext-dynamic-logic`; this binary remains for script compatibility.
 
 fn main() {
-    bdc_bench::header(
-        "Ext: dynamic logic",
-        "precharge-evaluate unipolar gates (paper §7)",
-    );
-    let sizing = OrganicSizing::library_default();
-    let load = 200.0e-12;
-
-    let static_inv = organic_inverter(OrganicStyle::PseudoE, &sizing, 5.0, -15.0);
-    let t_static = characterize_gate(&static_inv, &CharacterizeConfig::organic()).expect("static");
-    let d_static = t_static.delay_worst().lookup(60.0e-6, load);
-    println!(
-        "static pseudo-E inverter : {} transistors, delay {:.1} us, needs VSS = -15 V",
-        static_inv.transistor_count,
-        d_static * 1.0e6
-    );
-
-    for fan_in in [1usize, 2, 3] {
-        let g = organic_dynamic_gate(fan_in, &sizing, 5.0);
-        let t = characterize_dynamic(&g, load, 4.0e-3).expect("dynamic sim");
-        println!(
-            "dynamic gate (stack of {fan_in}): {} transistors, evaluate {:.1} us, precharge {:.1} us, cycle charge {:.1} nC",
-            g.transistor_count,
-            t.evaluate_delay * 1.0e6,
-            t.precharge_delay * 1.0e6,
-            t.cycle_charge * 1.0e9,
-        );
-    }
-    println!("\n(paper §7: \"unipolar transistor design favors the use of dynamic logic");
-    println!(" because only roughly half the transistors are needed and switching time");
-    println!(" can be faster with the tradeoff being possibly worse power\" — the");
-    println!(" per-cycle precharge charge above is that power cost, burned on every");
-    println!(" clock regardless of data activity)");
+    bdc_bench::run_legacy("ext-dynamic-logic");
 }

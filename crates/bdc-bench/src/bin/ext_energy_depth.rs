@@ -1,39 +1,6 @@
-//! Extension (paper §7): energy per instruction vs pipeline depth.
-
-use bdc_core::extensions::energy_depth;
-use bdc_core::report::{fmt_freq, fmt_time};
-use bdc_core::{Process, TechKit};
+//! Legacy shim: renders registry node `ext-energy-depth` (see `bdc_core::registry`).
+//! Prefer `bdc run ext-energy-depth`; this binary remains for script compatibility.
 
 fn main() {
-    bdc_bench::header(
-        "Ext: energy",
-        "energy/instruction vs depth (paper §7 future work)",
-    );
-    let budget = bdc_bench::budget();
-    for p in Process::both() {
-        let kit = TechKit::load_or_build(p).expect("characterization");
-        let pts = energy_depth(&kit, budget);
-        println!("\n{}:", p.name());
-        println!(
-            "{:>3}  {:>10}  {:>6}  {:>10}  {:>9}  {:>12}",
-            "N", "clock", "IPC", "power", "static%", "energy/instr"
-        );
-        let e0 = pts[0].epi;
-        for pt in &pts {
-            println!(
-                "{:>3}  {:>10}  {:>6.2}  {:>8.2e}W  {:>8.1}%  {:>9.2e}J ({:.2}x)",
-                pt.stages,
-                fmt_freq(pt.frequency),
-                pt.ipc,
-                pt.power.total_w(),
-                100.0 * pt.power.static_fraction(),
-                pt.epi,
-                pt.epi / e0,
-            );
-        }
-        let _ = fmt_time(0.0);
-    }
-    println!("\n(extension result: ratioed pseudo-E logic is static-dominated, so deeper");
-    println!(" organic pipelines REDUCE energy/instruction — race-to-idle — while");
-    println!(" silicon's added pipeline registers raise its switching energy)");
+    bdc_bench::run_legacy("ext-energy-depth");
 }

@@ -1,48 +1,6 @@
-//! Extension (paper §7): many simple cores vs one out-of-order core.
-
-use bdc_core::extensions::inorder_vs_ooo;
-use bdc_core::report::render_table;
-use bdc_core::{Process, TechKit};
+//! Legacy shim: renders registry node `ext-inorder-vs-ooo` (see `bdc_core::registry`).
+//! Prefer `bdc run ext-inorder-vs-ooo`; this binary remains for script compatibility.
 
 fn main() {
-    bdc_bench::header(
-        "Ext: core style",
-        "in-order arrays vs out-of-order at iso-area (organic, gzip-like)",
-    );
-    let budget = bdc_bench::budget();
-    let kit = TechKit::load_or_build(Process::Organic).expect("characterization");
-    let rows = inorder_vs_ooo(&kit, budget);
-    let table: Vec<Vec<String>> = rows
-        .iter()
-        .map(|r| {
-            vec![
-                r.label.clone(),
-                format!("{:.2}", r.throughput),
-                format!("{:.2e}", r.area_um2),
-                format!("{:.3}", r.power_w),
-                format!("{:.1}", r.cores_per_budget),
-                format!("{:.2}", r.iso_area_throughput),
-            ]
-        })
-        .collect();
-    print!(
-        "{}",
-        render_table(
-            &[
-                "core",
-                "instr/s",
-                "area um2",
-                "power W",
-                "cores/budget",
-                "iso-area instr/s"
-            ],
-            &table
-        )
-    );
-    let speedup = rows[1].iso_area_throughput / rows[0].iso_area_throughput;
-    println!("\niso-area advantage of the in-order array: {speedup:.2}x");
-    println!("(for throughput work on a fixed organic panel, an array of Myny-class");
-    println!(" scalar cores beats one out-of-order core — rename/window area buys");
-    println!(" less than more cores do; the paper's §7 parallelism lever quantified.");
-    println!(" The OoO machine still wins on single-stream latency.)");
+    bdc_bench::run_legacy("ext-inorder-vs-ooo");
 }

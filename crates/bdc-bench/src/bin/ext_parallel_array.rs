@@ -1,37 +1,6 @@
-//! Extension (paper §7): arrays of organic cores for throughput.
-
-use bdc_core::extensions::parallel_array;
-use bdc_core::report::render_table;
-use bdc_core::{Process, TechKit};
+//! Legacy shim: renders registry node `ext-parallel-array` (see `bdc_core::registry`).
+//! Prefer `bdc run ext-parallel-array`; this binary remains for script compatibility.
 
 fn main() {
-    bdc_bench::header(
-        "Ext: parallelism",
-        "organic core arrays (paper §7 future work)",
-    );
-    let budget = bdc_bench::budget();
-    let org = TechKit::load_or_build(Process::Organic).expect("characterization");
-    let pts = parallel_array(&org, 16, budget);
-    let rows: Vec<Vec<String>> = pts
-        .iter()
-        .map(|p| {
-            vec![
-                format!("{}", p.cores),
-                format!("{:.1}", p.throughput),
-                format!("{:.1}", p.area_um2 / 1.0e8),
-                format!("{:.3}", p.power_w),
-                format!("{:.1}", p.ops_per_joule),
-            ]
-        })
-        .collect();
-    print!(
-        "{}",
-        render_table(
-            &["cores", "instr/s", "panel cm2", "power W", "instr/J"],
-            &rows
-        )
-    );
-    println!("\n(organic arrays scale throughput linearly in panel area — wires are free,");
-    println!(" and large-area fabrication is exactly what organic processes are good at;");
-    println!(" this is the paper's suggested lever against the mobility gap)");
+    bdc_bench::run_legacy("ext-parallel-array");
 }

@@ -1,27 +1,6 @@
-//! Extension (paper §4.1/§4.3.3): V_T variation and V_SS compensation.
-
-use bdc_core::extensions::variation_tuning;
+//! Legacy shim: renders registry node `ext-variation` (see `bdc_core::registry`).
+//! Prefer `bdc run ext-variation`; this binary remains for script compatibility.
 
 fn main() {
-    bdc_bench::header(
-        "Ext: variation",
-        "Monte-Carlo V_T spread and V_SS compensation (paper §4.3.3)",
-    );
-    let n = if bdc_bench::quick_mode() { 12 } else { 40 };
-    let study = variation_tuning(n, 2026).expect("monte carlo");
-    println!("samples: {n}   V_T spread: sigma = 0.167 V (paper: \"within 0.5 V\")");
-    println!("{:>10}  {:>8}", "dVT (V)", "VM (V)");
-    for (dvt, vm) in study.raw.iter().take(12) {
-        println!("{dvt:>10.3}  {vm:>8.2}");
-    }
-    println!("...");
-    println!("V_M sigma before compensation: {:.3} V", study.sigma_before);
-    println!("V_M sigma after V_SS retuning : {:.3} V", study.sigma_after);
-    println!(
-        "compensation shrinks the spread {:.1}x using the Fig 8 slope ({:.3} V/V)",
-        study.sigma_before / study.sigma_after.max(1e-9),
-        study.slope
-    );
-    println!("\n(paper §4.3.3: \"the cross-sample variation of VM from process variation");
-    println!(" can be tuned by applying a different VSS\" — quantified here)");
+    bdc_bench::run_legacy("ext-variation");
 }

@@ -1,26 +1,6 @@
-//! Figure 3: I_D–V_GS transfer characteristics of the pentacene OTFT.
-
-use bdc_core::experiments::fig03_transfer;
+//! Legacy shim: renders registry node `fig03` (see `bdc_core::registry`).
+//! Prefer `bdc run fig03`; this binary remains for script compatibility.
 
 fn main() {
-    bdc_bench::header("Fig 3", "pentacene OTFT transfer characteristics");
-    let f = fig03_transfer().expect("device sweep");
-    println!(
-        "W/L: 1000/80 um   extracted: u_lin = {:.2} cm2/Vs, SS = {:.0} mV/dec, on/off = {:.1e}, V_T(lin) = {:.2} V",
-        f.metrics.mu_lin * 1.0e4,
-        f.metrics.subthreshold_swing * 1.0e3,
-        f.metrics.on_off_ratio,
-        f.metrics.vt,
-    );
-    println!(
-        "{:>8}  {:>12}  {:>12}  {:>12}",
-        "VGS (V)", "ID@VDS=-1V", "ID@VDS=-10V", "IG (A)"
-    );
-    for i in (0..f.id_vds1.len()).step_by(10) {
-        println!(
-            "{:>8.2}  {:>12.3e}  {:>12.3e}  {:>12.3e}",
-            f.id_vds1[i].vgs, f.id_vds1[i].id, f.id_vds10[i].id, f.ig[i].1
-        );
-    }
-    println!("(paper: u_lin = 0.16 cm2/Vs, SS = 350 mV/dec, on/off = 1e6, V_T = -1.3 V @ VDS=1V)");
+    bdc_bench::run_legacy("fig03");
 }

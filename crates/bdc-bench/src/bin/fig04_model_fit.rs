@@ -1,25 +1,6 @@
-//! Figure 4: level 1 vs level 61 SPICE model fits to the measured curve.
-
-use bdc_core::experiments::fig04_model_fit;
+//! Legacy shim: renders registry node `fig04` (see `bdc_core::registry`).
+//! Prefer `bdc run fig04`; this binary remains for script compatibility.
 
 fn main() {
-    bdc_bench::header("Fig 4", "SPICE model fits (level 1 vs level 61)");
-    let f = fig04_model_fit(7).expect("model fitting");
-    println!("RMS log10-current fit error over the VDS = -1 V sweep:");
-    println!("  level 1  (Shichman-Hodges): {:.3} decades", f.level1_rms);
-    println!("  level 61 (RPI TFT class)  : {:.3} decades", f.level61_rms);
-    println!(
-        "  level 61 improves the fit by {:.1}x (paper: level 61 \"fits the device well\", level 1 cannot reproduce sub-VT conduction)",
-        f.level1_rms / f.level61_rms
-    );
-    println!(
-        "{:>8}  {:>12}  {:>12}  {:>12}",
-        "VGS (V)", "measured", "level1", "level61"
-    );
-    for i in (0..f.measured.len()).step_by(10) {
-        println!(
-            "{:>8.2}  {:>12.3e}  {:>12.3e}  {:>12.3e}",
-            f.measured[i].vgs, f.measured[i].id, f.level1_curve[i].id, f.level61_curve[i].id
-        );
-    }
+    bdc_bench::run_legacy("fig04");
 }

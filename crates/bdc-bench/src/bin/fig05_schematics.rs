@@ -1,26 +1,6 @@
-//! Figure 5: the three organic inverter schematics, as element listings
-//! and exportable SPICE decks.
-
-use bdc_cells::{organic_inverter, OrganicSizing, OrganicStyle};
-use bdc_circuit::{describe, write_spice};
+//! Legacy shim: renders registry node `fig05` (see `bdc_core::registry`).
+//! Prefer `bdc run fig05`; this binary remains for script compatibility.
 
 fn main() {
-    bdc_bench::header("Fig 5", "organic inverter topologies (schematic listings)");
-    let sizing = OrganicSizing::library_default();
-    for (label, style, vdd, vss) in [
-        ("(a) diode-load", OrganicStyle::DiodeLoad, 15.0, 0.0),
-        ("(b) biased-load", OrganicStyle::BiasedLoad, 15.0, -5.0),
-        ("(c) pseudo-E", OrganicStyle::PseudoE, 5.0, -15.0),
-    ] {
-        let gate = organic_inverter(style, &sizing, vdd, vss);
-        println!("\n{label}  ({} transistors):", gate.transistor_count);
-        print!("{}", describe(&gate.circuit));
-    }
-    // Emit one full SPICE deck as the interchange artifact.
-    let pe = organic_inverter(OrganicStyle::PseudoE, &sizing, 5.0, -15.0);
-    println!("\nSPICE deck of the pseudo-E inverter (for external cross-check):");
-    print!(
-        "{}",
-        write_spice(&pe.circuit, "pseudo-E inverter, pentacene, VDD=5 VSS=-15")
-    );
+    bdc_bench::run_legacy("fig05");
 }

@@ -1,50 +1,6 @@
-//! Figure 6: diode-load vs biased-load vs pseudo-E inverter DC comparison.
-
-use bdc_core::experiments::fig06_inverters;
-use bdc_core::report::render_table;
+//! Legacy shim: renders registry node `fig06` (see `bdc_core::registry`).
+//! Prefer `bdc run fig06`; this binary remains for script compatibility.
 
 fn main() {
-    bdc_bench::header("Fig 6", "organic inverter styles at VDD = 15 V");
-    let rows = fig06_inverters().expect("inverter sweeps");
-    let table: Vec<Vec<String>> = rows
-        .iter()
-        .map(|r| {
-            vec![
-                r.label.clone(),
-                format!("{:.1}", r.vss),
-                format!("{:.1}", r.dc.vm),
-                format!("{:.2}", r.dc.max_gain),
-                format!("{:.2}", r.dc.nmh),
-                format!("{:.2}", r.dc.nml),
-                format!("{:.2}", r.dc.nm_mec),
-                format!("{:.1}", r.dc.static_power_in_low * 1.0e6),
-                format!("{:.2}", r.dc.static_power_in_high * 1.0e6),
-            ]
-        })
-        .collect();
-    print!(
-        "{}",
-        render_table(
-            &[
-                "style",
-                "VSS(V)",
-                "VM(V)",
-                "gain",
-                "NMH(V)",
-                "NML(V)",
-                "MEC(V)",
-                "P(in=0) uW",
-                "P(in=hi) uW"
-            ],
-            &table
-        )
-    );
-    println!("\nVTC of the pseudo-E inverter (VIN, VOUT):");
-    let pe = &rows[2].dc.vtc;
-    for (i, (vin, vout)) in pe.points().iter().enumerate() {
-        if i % 15 == 0 {
-            println!("  {vin:>6.2}  {vout:>6.2}");
-        }
-    }
-    println!("(paper Fig 6d: diode VM=8.1 gain=1.2 NM~0.3-0.4; biased VM=6.8 gain=1.6 NM~1; pseudo-E VM=7.7 gain=3.0 NM~3-3.5)");
+    bdc_bench::run_legacy("fig06");
 }

@@ -1,48 +1,6 @@
-//! Figure 7: pseudo-E inverter at VDD = 5/10/15 V.
-
-use bdc_core::experiments::fig07_vdd_sweep;
-use bdc_core::report::render_table;
+//! Legacy shim: renders registry node `fig07` (see `bdc_core::registry`).
+//! Prefer `bdc run fig07`; this binary remains for script compatibility.
 
 fn main() {
-    bdc_bench::header("Fig 7", "pseudo-E inverter across supply voltages");
-    let rows = fig07_vdd_sweep().expect("sweeps");
-    let table: Vec<Vec<String>> = rows
-        .iter()
-        .map(|r| {
-            vec![
-                r.label.clone(),
-                format!("{:.0}", r.vss),
-                format!("{:.2}", r.dc.vm),
-                format!("{:.2}", r.dc.max_gain),
-                format!("{:.2}", r.dc.nmh),
-                format!("{:.2}", r.dc.nml),
-                format!("{:.1}", r.dc.static_power_in_low * 1.0e6),
-                format!("{:.2}", r.dc.static_power_in_high * 1.0e6),
-            ]
-        })
-        .collect();
-    print!(
-        "{}",
-        render_table(
-            &[
-                "VDD",
-                "VSS(V)",
-                "VM(V)",
-                "gain",
-                "NMH(V)",
-                "NML(V)",
-                "P(in=0) uW",
-                "P(in=VDD) uW"
-            ],
-            &table
-        )
-    );
-    println!("\n(paper Fig 7d: VM 2.4/4.6/7.7, gain 3.2/2.9/3.0, NM ~20-25% of VDD,");
-    println!(" static power drops ~16x from VDD=15 to VDD=5 with input low)");
-    let p5 = rows[0].dc.static_power_in_low;
-    let p15 = rows[2].dc.static_power_in_low;
-    println!(
-        " measured here: P(5V)/P(15V) = {:.2} (paper: ~0.06)",
-        p5 / p15
-    );
+    bdc_bench::run_legacy("fig07");
 }

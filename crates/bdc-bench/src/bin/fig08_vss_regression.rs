@@ -1,19 +1,6 @@
-//! Figure 8: switching threshold vs V_SS (linear tuning relationship).
-
-use bdc_core::experiments::fig08_vss_regression;
+//! Legacy shim: renders registry node `fig08` (see `bdc_core::registry`).
+//! Prefer `bdc run fig08`; this binary remains for script compatibility.
 
 fn main() {
-    bdc_bench::header(
-        "Fig 8",
-        "V_M vs V_SS for the pseudo-E inverter at VDD = 5 V",
-    );
-    let f = fig08_vss_regression().expect("sweep");
-    println!("{:>8}  {:>8}", "VSS (V)", "VM (V)");
-    for (vss, vm) in &f.points {
-        println!("{vss:>8.1}  {vm:>8.2}");
-    }
-    println!("regression: VM = {:.3} * VSS + {:.2}", f.slope, f.intercept);
-    let vss_for_mid = (2.5 - f.intercept) / f.slope;
-    println!("VSS for VM = VDD/2: {vss_for_mid:.1} V");
-    println!("(paper: VM = 0.22*VSS + 5.76; VSS = -14.8 V for VM = VDD/2 -> they chose -15 V)");
+    bdc_bench::run_legacy("fig08");
 }

@@ -1,22 +1,6 @@
-//! Figure 9: pseudo-E NAND and NOR gate schematics.
-
-use bdc_cells::{organic_gate, LogicKind, OrganicSizing};
-use bdc_circuit::describe;
+//! Legacy shim: renders registry node `fig09` (see `bdc_core::registry`).
+//! Prefer `bdc run fig09`; this binary remains for script compatibility.
 
 fn main() {
-    bdc_bench::header("Fig 9", "pseudo-E NAND/NOR topologies (schematic listings)");
-    let sizing = OrganicSizing::library_default();
-    for (label, kind) in [
-        ("(a) NAND2 — parallel pull-up networks", LogicKind::Nand2),
-        ("(b) NOR2 — series pull-up networks", LogicKind::Nor2),
-        ("NAND3", LogicKind::Nand3),
-        ("NOR3", LogicKind::Nor3),
-    ] {
-        let gate = organic_gate(kind, &sizing, 5.0, -15.0);
-        println!("\n{label}  ({} transistors):", gate.transistor_count);
-        print!("{}", describe(&gate.circuit));
-    }
-    println!("\n(NAND gates replicate the input transistors in parallel — any low");
-    println!(" input pulls up; NOR gates stack them in series, which is why the");
-    println!(" organic NOR3 is ~4x slower than NAND3 and drives §5.5's mapping bias)");
+    bdc_bench::run_legacy("fig09");
 }

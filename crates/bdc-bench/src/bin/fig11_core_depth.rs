@@ -1,59 +1,6 @@
-//! Figure 11: core area and performance vs pipeline depth (9–15 stages).
-
-use bdc_core::experiments::fig11_core_depth;
-use bdc_core::report::fmt_freq;
-use bdc_core::{Process, TechKit};
+//! Legacy shim: renders registry node `fig11` (see `bdc_core::registry`).
+//! Prefer `bdc run fig11`; this binary remains for script compatibility.
 
 fn main() {
-    bdc_bench::header("Fig 11", "core depth 9..15, per-benchmark performance");
-    let budget = bdc_bench::budget();
-    for p in Process::both() {
-        let kit = TechKit::load_or_build(p).expect("characterization");
-        let pts = fig11_core_depth(&kit, budget);
-        let base: Vec<f64> = pts[0].per_workload.iter().map(|x| x.2).collect();
-        println!(
-            "\n{} (area and performance normalized to the 9-stage baseline):",
-            p.name()
-        );
-        let names: Vec<&str> = pts[0]
-            .per_workload
-            .iter()
-            .map(|(w, _, _)| w.name())
-            .collect();
-        println!(
-            "{:>3} {:>9} {:>10} {:>6}  {}",
-            "N",
-            "cut",
-            "freq",
-            "area",
-            names.iter().map(|n| format!("{n:>9}")).collect::<String>()
-        );
-        let a0 = pts[0].synth.area_um2;
-        for pt in &pts {
-            let norms: String = pt
-                .per_workload
-                .iter()
-                .zip(&base)
-                .map(|((_, _, perf), b)| format!("{:>9.2}", perf / b))
-                .collect();
-            println!(
-                "{:>3} {:>9} {:>10} {:>6.2}  {norms}",
-                pt.stages,
-                pt.split.map(|s| s.name()).unwrap_or("-"),
-                fmt_freq(pt.synth.frequency),
-                pt.synth.area_um2 / a0,
-            );
-        }
-        // Report the optimum depth per benchmark.
-        let mut opt_line = String::new();
-        for (k, name) in names.iter().enumerate() {
-            let (best_stage, _) = pts
-                .iter()
-                .map(|pt| (pt.stages, pt.per_workload[k].2))
-                .fold((9, 0.0), |acc, x| if x.1 > acc.1 { x } else { acc });
-            opt_line += &format!("{name}={best_stage} ");
-        }
-        println!("optimal depth per benchmark: {opt_line}");
-    }
-    println!("\n(paper: silicon optima at 10-11 stages, organic at 14-15; areas near-flat)");
+    bdc_bench::run_legacy("fig11");
 }

@@ -1,32 +1,6 @@
-//! Figure 12: complex-ALU area and frequency vs pipeline stages.
-
-use bdc_core::experiments::fig12_alu_depth;
-use bdc_core::report::fmt_freq;
-use bdc_core::{Process, TechKit};
+//! Legacy shim: renders registry node `fig12` (see `bdc_core::registry`).
+//! Prefer `bdc run fig12`; this binary remains for script compatibility.
 
 fn main() {
-    bdc_bench::header("Fig 12", "ALU (2x mult + 2x div) pipelined to 1..30 stages");
-    let stages: Vec<usize> = vec![1, 2, 4, 6, 8, 10, 12, 14, 16, 18, 20, 22, 24, 26, 28, 30];
-    for p in Process::both() {
-        let kit = TechKit::load_or_build(p).expect("characterization");
-        let f = fig12_alu_depth(&kit, &stages);
-        let nf = f.normalized_frequency();
-        let na = f.normalized_area();
-        println!("\n{}:", p.name());
-        println!(
-            "{:>7}  {:>10}  {:>10}  {:>12}  {:>10}",
-            "stages", "norm freq", "norm area", "abs freq", "registers"
-        );
-        for (i, s) in stages.iter().enumerate() {
-            println!(
-                "{s:>7}  {:>10.2}  {:>10.2}  {:>12}  {:>10}",
-                nf[i],
-                na[i],
-                fmt_freq(f.results[i].frequency),
-                f.results[i].registers
-            );
-        }
-    }
-    println!("\n(paper: silicon frequency stops improving past ~8 stages while area keeps");
-    println!(" rising slowly; organic frequency and area grow ~linearly, topping out ~22)");
+    bdc_bench::run_legacy("fig12");
 }

@@ -1,41 +1,6 @@
-//! Figure 13: core performance heatmaps over superscalar widths.
-
-use bdc_core::experiments::{fig13_14_width, width_ipc_matrix};
-use bdc_core::report::render_matrix;
-use bdc_core::{Process, TechKit};
+//! Legacy shim: renders registry node `fig13` (see `bdc_core::registry`).
+//! Prefer `bdc run fig13`; this binary remains for script compatibility.
 
 fn main() {
-    bdc_bench::header(
-        "Fig 13",
-        "performance: front-end width 1..6 x back-end pipes 3..7",
-    );
-    let budget = bdc_bench::budget();
-    let fe: Vec<usize> = (1..=6).collect();
-    let be: Vec<usize> = (3..=7).collect();
-    println!("simulating the benchmark suite on all 30 width points...");
-    let ipc = width_ipc_matrix(&fe, &be, budget);
-    for p in Process::both() {
-        let kit = TechKit::load_or_build(p).expect("characterization");
-        let m = fig13_14_width(&kit, &ipc);
-        print!(
-            "{}",
-            render_matrix(
-                &format!("\n{} normalized performance:", p.name()),
-                &m,
-                &m.perf
-            )
-        );
-        let (b, f) = m.optimum();
-        println!("optimum: M[be={b}][fe={f}]");
-    }
-    print!(
-        "{}",
-        render_matrix(
-            "\nshared geometric-mean IPC (process-independent):",
-            &fig13_14_width(&TechKit::synthetic(Process::Silicon), &ipc),
-            &ipc
-        )
-    );
-    println!("\n(paper: silicon optimum M[4][2]; organic optimum M[7][2] — three execution");
-    println!(" pipes wider — with a much flatter surface around it)");
+    bdc_bench::run_legacy("fig13");
 }

@@ -1,28 +1,6 @@
-//! Figure 14: core area heatmaps over superscalar widths.
-
-use bdc_core::experiments::{fig13_14_width, width_ipc_matrix, SimBudget};
-use bdc_core::report::render_matrix;
-use bdc_core::{Process, TechKit};
+//! Legacy shim: renders registry node `fig14` (see `bdc_core::registry`).
+//! Prefer `bdc run fig14`; this binary remains for script compatibility.
 
 fn main() {
-    bdc_bench::header("Fig 14", "area: front-end width 1..6 x back-end pipes 3..7");
-    // Area does not need IPC; use the minimal budget for the shared matrix.
-    let ipc = width_ipc_matrix(
-        &(1..=6).collect::<Vec<_>>(),
-        &(3..=7).collect::<Vec<_>>(),
-        SimBudget {
-            outer: 2,
-            instructions: 500,
-        },
-    );
-    for p in Process::both() {
-        let kit = TechKit::load_or_build(p).expect("characterization");
-        let m = fig13_14_width(&kit, &ipc);
-        print!(
-            "{}",
-            render_matrix(&format!("\n{} normalized area:", p.name()), &m, &m.area)
-        );
-    }
-    println!("\n(paper: the area surfaces are nearly identical for the two processes,");
-    println!(" growing from 0.48 at [3][1] to 1.00 at [7][6])");
+    bdc_bench::run_legacy("fig14");
 }

@@ -1,38 +1,6 @@
-//! Figure 15: frequency scaling with and without wire delay.
-
-use bdc_core::experiments::fig15_wire_ablation;
-use bdc_core::report::render_series;
-use bdc_core::{Process, TechKit};
+//! Legacy shim: renders registry node `fig15` (see `bdc_core::registry`).
+//! Prefer `bdc run fig15`; this binary remains for script compatibility.
 
 fn main() {
-    bdc_bench::header("Fig 15", "frequency vs stages, with and without wire cost");
-    let alu_stages: Vec<usize> = vec![1, 2, 4, 8, 12, 16, 20, 24, 28, 30];
-    for p in Process::both() {
-        let kit = TechKit::load_or_build(p).expect("characterization");
-        let f = fig15_wire_ablation(&kit, &alu_stages);
-        println!("\n{}:", p.name());
-        print!(
-            "{}",
-            render_series("  ALU, with wire:", &f.alu_stages, &f.alu.0)
-        );
-        print!(
-            "{}",
-            render_series("  ALU, w/o wire:", &f.alu_stages, &f.alu.1)
-        );
-        print!(
-            "{}",
-            render_series("  core, with wire:", &f.core_stages, &f.core.0)
-        );
-        print!(
-            "{}",
-            render_series("  core, w/o wire:", &f.core_stages, &f.core.1)
-        );
-        let last = f.alu.0.len() - 1;
-        println!(
-            "  deep-pipeline wire penalty (ALU, 30 stages): {:.1}% of achievable frequency",
-            100.0 * (1.0 - f.alu.0[last] / f.alu.1[last])
-        );
-    }
-    println!("\n(paper: removing wire cost makes silicon scale like organic — the");
-    println!(" organic process's advantage is its relatively free interconnect)");
+    bdc_bench::run_legacy("fig15");
 }

@@ -29,6 +29,10 @@ fn tally(out: &mut String, totals: &mut [usize; 3], report: &LintReport) {
 }
 
 fn main() {
+    if let Err(e) = bdc_exec::env_config() {
+        eprintln!("lint_report: {e}");
+        std::process::exit(2);
+    }
     bdc_bench::header(
         "Audit",
         "static analysis of generated netlists and shipped libraries",

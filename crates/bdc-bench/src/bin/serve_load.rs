@@ -269,6 +269,10 @@ fn check_metrics(addr: &str) -> Result<(), String> {
 }
 
 fn main() {
+    if let Err(e) = bdc_exec::env_config() {
+        eprintln!("serve_load: {e}");
+        std::process::exit(2);
+    }
     let a = parse_args();
     if a.prime {
         for path in WARM_SET {

@@ -1,43 +1,6 @@
-//! §5.3 baseline/optimized operating frequencies for both processes.
-
-use bdc_core::experiments::table_baseline_frequency;
-use bdc_core::flow::{split_critical, synthesize_core_cached};
-use bdc_core::report::{fmt_freq, fmt_time};
-use bdc_core::{CoreSpec, Process, TechKit};
+//! Legacy shim: renders registry node `table-baseline-freq` (see `bdc_core::registry`).
+//! Prefer `bdc run table-baseline-freq`; this binary remains for script compatibility.
 
 fn main() {
-    bdc_bench::header(
-        "Table (§5.3)",
-        "baseline (9-stage) and deepened core frequencies",
-    );
-    for p in Process::both() {
-        let kit = TechKit::load_or_build(p).expect("characterization");
-        let base = table_baseline_frequency(&kit);
-        // Deepen to 14 stages like the paper's Fig 15(b) comparison point.
-        let mut spec = CoreSpec::baseline();
-        for _ in 0..5 {
-            let (deeper, _) = split_critical(&kit, &spec);
-            spec = deeper;
-        }
-        let deep = synthesize_core_cached(&kit, &spec);
-        println!("\n{}:", p.name());
-        println!(
-            "  9-stage baseline : {} (period {})",
-            fmt_freq(base.frequency),
-            fmt_time(base.period)
-        );
-        println!(
-            "  14-stage deepened: {} ({:.2}x the baseline clock)",
-            fmt_freq(deep.frequency),
-            deep.frequency / base.frequency
-        );
-        println!(
-            "  per-cycle overheads at 14 stages: sequential {}, feedback wire {}",
-            fmt_time(deep.seq_overhead),
-            fmt_time(deep.wire_overhead)
-        );
-    }
-    println!("\n(paper: organic baseline ~200 Hz vs silicon ~800 MHz; optimized ~1.36 GHz");
-    println!(" silicon; at 14 stages organic reaches 2.0x its baseline clock, silicon 1.5x.");
-    println!(" Note EXPERIMENTS.md on the paper's internally inconsistent \"40 Hz\" figure.)");
+    bdc_bench::run_legacy("table-baseline-freq");
 }

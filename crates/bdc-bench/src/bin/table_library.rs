@@ -1,58 +1,6 @@
-//! §4.4 library characterization summary for both processes, plus the
-//! §5.5 mapping-preference observation.
-
-use bdc_core::experiments::{table_library, table_mapping_preference};
-use bdc_core::report::{fmt_time, render_table};
-use bdc_core::{Process, TechKit};
+//! Legacy shim: renders registry node `table-library` (see `bdc_core::registry`).
+//! Prefer `bdc run table-library`; this binary remains for script compatibility.
 
 fn main() {
-    bdc_bench::header("Table (§4.4)", "characterized 6-cell libraries");
-    for p in Process::both() {
-        let kit = TechKit::load_or_build(p).expect("characterization");
-        println!(
-            "\nlibrary: {} (VDD = {} V, VSS = {} V)",
-            kit.lib.name, kit.lib.vdd, kit.lib.vss
-        );
-        let rows: Vec<Vec<String>> = table_library(&kit)
-            .into_iter()
-            .map(|(name, area, cap, delay)| {
-                vec![
-                    name,
-                    format!("{area:.3e}"),
-                    format!("{cap:.3e}"),
-                    fmt_time(delay),
-                ]
-            })
-            .collect();
-        print!(
-            "{}",
-            render_table(
-                &["cell", "area (um2)", "input cap (F)", "nominal delay"],
-                &rows
-            )
-        );
-        println!(
-            "FO4-like delay: {}   DFF: setup {} / clk-Q {}",
-            fmt_time(kit.lib.fo4_delay()),
-            fmt_time(kit.lib.dff.setup),
-            fmt_time(kit.lib.dff.clk_to_q)
-        );
-        let (nand3, nor3) = table_mapping_preference(&kit);
-        println!(
-            "mapping preference (§5.5): NAND3 {}; NOR3 {}",
-            if nand3 {
-                "decomposed to 2-input"
-            } else {
-                "kept"
-            },
-            if nor3 {
-                "decomposed to 2-input"
-            } else {
-                "kept"
-            },
-        );
-    }
-    println!("\n(paper §5.5: the organic library's rise/fall imbalance makes its 3-input");
-    println!(" series cells less desirable than in silicon; here the organic NOR3 runs");
-    println!(" ~4x slower than its NAND3, while silicon's differ by ~15%)");
+    bdc_bench::run_legacy("table-library");
 }

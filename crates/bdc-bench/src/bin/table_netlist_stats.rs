@@ -1,44 +1,6 @@
-//! Synthesis report: structural statistics and per-library cell coverage
-//! (the §5.5 NAND2/NAND3 coverage observation, measured).
-
-use bdc_core::{alu_cluster, Process, TechKit};
-use bdc_synth::blocks;
-use bdc_synth::map::remap_for_library;
-use bdc_synth::stats::{coverage_ratio, netlist_stats, render_stats};
+//! Legacy shim: renders registry node `table-netlist-stats` (see `bdc_core::registry`).
+//! Prefer `bdc run table-netlist-stats`; this binary remains for script compatibility.
 
 fn main() {
-    bdc_bench::header("Table", "netlist statistics and per-library coverage");
-    for (name, n) in [
-        ("ripple_adder32", blocks::ripple_adder(32)),
-        ("carry_select32", blocks::carry_select_adder(32)),
-        ("kogge_stone32", blocks::kogge_stone_adder(32)),
-        ("array_mult32", blocks::array_multiplier(32)),
-        ("complex_alu", alu_cluster()),
-        ("wakeup_cam 32x4", blocks::wakeup_cam(32, 6, 4)),
-    ] {
-        print!("\n{}", render_stats(name, &netlist_stats(&n)));
-    }
-
-    println!("\nper-library mapping of the complex ALU (§5.5 coverage):");
-    let alu = alu_cluster();
-    for p in Process::both() {
-        let kit = TechKit::load_or_build(p).expect("characterization");
-        let (mapped, report) = remap_for_library(&alu, &kit.lib);
-        let (frac2, total) = coverage_ratio(&mapped);
-        println!(
-            "  {:>8}: {:.1}% two-input coverage of {total} NAND/NOR cells (nand3 {}, nor3 {})",
-            p.name(),
-            frac2 * 100.0,
-            if report.nand3_decomposed {
-                "decomposed"
-            } else {
-                "kept"
-            },
-            if report.nor3_decomposed {
-                "decomposed"
-            } else {
-                "kept"
-            },
-        );
-    }
+    bdc_bench::run_legacy("table-netlist-stats");
 }

@@ -1,41 +1,6 @@
-//! §4.3.4: the cell-sizing design-space script.
-
-use bdc_cells::{explore_inverter_sizing, Utility};
-use bdc_core::report::render_table;
+//! Legacy shim: renders registry node `table-sizing-explore` (see `bdc_core::registry`).
+//! Prefer `bdc run table-sizing-explore`; this binary remains for script compatibility.
 
 fn main() {
-    bdc_bench::header("Table (§4.3.4)", "pseudo-E inverter sizing exploration");
-    let ranked =
-        explore_inverter_sizing(&[], 5.0, -15.0, &Utility::default()).expect("sizing sweep");
-    let rows: Vec<Vec<String>> = ranked
-        .iter()
-        .map(|c| {
-            vec![
-                format!("{:.0}", c.sizing.shifter_drive_w * 1.0e6),
-                format!("{:.0}", c.sizing.shifter_load_w * 1.0e6),
-                format!("{:.0}", c.sizing.output_drive_w * 1.0e6),
-                format!("{:.0}", c.sizing.output_load_w * 1.0e6),
-                format!("{:.2}", c.vm),
-                format!("{:.2}", c.gain),
-                format!("{:.2}", c.nm),
-                if c.delay.is_finite() {
-                    format!("{:.0}", c.delay * 1.0e6)
-                } else {
-                    "-".into()
-                },
-                format!("{:.2}", c.utility),
-            ]
-        })
-        .collect();
-    print!(
-        "{}",
-        render_table(
-            &["M1 um", "M2 um", "M3 um", "M4 um", "VM V", "gain", "NM V", "delay us", "utility"],
-            &rows
-        )
-    );
-    println!("\n(paper §4.3.4: \"we utilized a script to explore the design space and");
-    println!(" select the best parameter sets for each gate. The switching threshold,");
-    println!(" noise margin, gate delay, and area are all taken into consideration\" —");
-    println!(" the top row is the sizing the shipped library uses)");
+    bdc_bench::run_legacy("table-sizing-explore");
 }

@@ -1,11 +1,12 @@
 #![warn(missing_docs)]
 
-//! Shared plumbing for the figure-regeneration binaries.
+//! Shared plumbing for the experiment binaries.
 //!
-//! Every binary regenerates one table or figure of the paper (see
-//! `DESIGN.md` §4 for the index) and prints the rows/series the paper
-//! reports. Pass `--quick` (or set `BDC_QUICK=1`) to use a reduced
-//! simulation budget for smoke runs.
+//! The experiments themselves live in `bdc_core::registry`; the `bdc`
+//! binary is the CLI over that catalogue (`bdc list`, `bdc run fig12
+//! --quick`, `bdc run --all`) and the 25 per-figure binaries are legacy
+//! shims over [`run_legacy`]. Pass `--quick` (or set `BDC_QUICK=1`) to
+//! use a reduced simulation budget for smoke runs.
 
 use bdc_core::experiments::SimBudget;
 
@@ -19,18 +20,36 @@ pub fn budget() -> SimBudget {
     if quick_mode() {
         SimBudget::quick()
     } else {
-        SimBudget {
-            outer: 150,
-            instructions: 60_000,
-        }
+        SimBudget::standard()
     }
 }
 
-/// Prints a standard experiment header.
+/// Prints a standard report header (the experiment binaries render their
+/// headers from registry node metadata instead).
 pub fn header(id: &str, what: &str) {
     println!("== {id}: {what} ==");
     if quick_mode() {
         println!("   (quick mode: reduced simulation budget)");
+    }
+}
+
+/// Entry point for the legacy per-experiment shims: validate the shared
+/// environment knobs once, render the registry node, print its text
+/// (byte-identical to the pre-registry binary) and exit.
+pub fn run_legacy(id: &str) -> ! {
+    if let Err(e) = bdc_exec::env_config() {
+        eprintln!("error: {e}");
+        std::process::exit(2);
+    }
+    match bdc_core::registry::run_one(id, quick_mode()) {
+        Ok(out) => {
+            print!("{}", out.text);
+            std::process::exit(0);
+        }
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(1);
+        }
     }
 }
 

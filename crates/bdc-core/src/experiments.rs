@@ -50,6 +50,16 @@ impl SimBudget {
             instructions: 12_000,
         }
     }
+
+    /// The default non-quick budget the experiment catalogue runs at — the
+    /// historical `bdc-bench` binary default, between [`SimBudget::quick`]
+    /// and the published [`SimBudget::full`].
+    pub fn standard() -> Self {
+        SimBudget {
+            outer: 150,
+            instructions: 60_000,
+        }
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -548,6 +558,29 @@ pub fn table_baseline_frequency(kit: &TechKit) -> SynthesizedCore {
 /// Convenience for callers that only need the process pair label.
 pub fn process_pair() -> [Process; 2] {
     Process::both()
+}
+
+/// The canonical experiment drivers this module exports — one name per
+/// public driver that produces (part of) a figure or table. The registry
+/// completeness test asserts every name here is claimed by exactly one
+/// registered node. Helpers that are not figure/table drivers
+/// ([`table_inverter_dc`], [`process_pair`]) are deliberately absent.
+pub fn driver_names() -> &'static [&'static str] {
+    &[
+        "fig03_transfer",
+        "fig04_model_fit",
+        "fig06_inverters",
+        "fig07_vdd_sweep",
+        "fig08_vss_regression",
+        "fig11_core_depth",
+        "fig12_alu_depth",
+        "width_ipc_matrix",
+        "fig13_14_width",
+        "fig15_wire_ablation",
+        "table_library",
+        "table_mapping_preference",
+        "table_baseline_frequency",
+    ]
 }
 
 #[cfg(test)]

@@ -393,6 +393,21 @@ pub fn variation_tuning(n: usize, seed: u64) -> Result<VariationStudy, CircuitEr
     })
 }
 
+/// The canonical extension drivers this module exports (see
+/// [`crate::experiments::driver_names`] for the contract). Internal
+/// building blocks ([`core_power`], [`synthesize_simple_core`]) are
+/// deliberately absent.
+pub fn driver_names() -> &'static [&'static str] {
+    &[
+        "energy_depth",
+        "parallel_array",
+        "inorder_vs_ooo",
+        "degradation_sweep",
+        "degradation_guardband",
+        "variation_tuning",
+    ]
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

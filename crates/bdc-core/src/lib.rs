@@ -19,8 +19,10 @@
 //! ```
 //!
 //! The [`experiments`] module has one driver per figure/table of the
-//! paper's evaluation (see `DESIGN.md` for the experiment index), and
-//! [`report`] renders paper-style tables and heatmaps.
+//! paper's evaluation (see `DESIGN.md` for the experiment index),
+//! [`report`] renders paper-style tables and heatmaps, and [`registry`]
+//! catalogues every experiment as a schedulable node behind the `bdc`
+//! CLI, the serving layer and CI (`DESIGN.md` §5g).
 //!
 //! # Quickstart
 //!
@@ -41,6 +43,7 @@ pub mod experiments;
 pub mod extensions;
 pub mod flow;
 pub mod process;
+pub mod registry;
 pub mod report;
 
 pub use corespec::{CoreSpec, StageKind};

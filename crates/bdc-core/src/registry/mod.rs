@@ -1,0 +1,601 @@
+//! The experiment registry: one catalogue of every figure, table,
+//! extension and ablation, plus the plan scheduler that runs them.
+//!
+//! Every experiment the repository can reproduce is a [`Node`]: a stable
+//! kebab-case id, the title/subtitle the legacy binary used to print, the
+//! canonical drivers it exercises, its declared library dependencies, and
+//! a deterministic render function. Consumers stack on top of the same
+//! catalogue:
+//!
+//! - the `bdc` CLI (`bdc list`, `bdc run fig12 --quick`, `bdc run --all`),
+//! - the 25 legacy binaries, now ~5-line shims over [`run_one`],
+//! - `bdc-serve`'s `/v1/experiments` and `/v1/experiment` endpoints,
+//! - `bench_report`'s registry section and the CI smoke gate.
+//!
+//! Rendered node text is content-addressed in the shared
+//! [`ArtifactCache`] (`exp-{id}-{key:016x}.txt`), so a warm `bdc run
+//! --all` is file reads. [`run_plan`] walks the selected nodes, prewarms
+//! shared library dependencies, fans independent nodes onto the
+//! `bdc-exec` pool and returns a [`RunReport`] the CLI serializes as
+//! `results/run_manifest.json`. See `DESIGN.md` §5g.
+
+pub mod query;
+mod render;
+
+use std::sync::OnceLock;
+use std::time::Instant;
+
+use bdc_exec::json::Json;
+use bdc_exec::{fnv1a, par_map, ArtifactCache};
+
+use crate::experiments::SimBudget;
+use crate::{Process, TechKit};
+
+/// A declared inter-layer dependency of a node.
+///
+/// Today the only cross-node artifact is the characterized cell library
+/// (everything downstream — synthesis, IPC — is memoized per-call by the
+/// flow layer); the scheduler uses these to prewarm each library once
+/// before fanning out instead of racing N nodes into the same build.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Dep {
+    /// The node needs the characterized [`TechKit`] for this process.
+    Library(Process),
+}
+
+/// One registered experiment.
+pub struct Node {
+    /// Stable kebab/fig-case identifier (`fig12`, `table-library`, ...).
+    pub id: &'static str,
+    /// Header title, exactly as the legacy binary printed it.
+    pub title: &'static str,
+    /// Header subtitle (the "what" of `== title: what ==`).
+    pub what: &'static str,
+    /// Name of the legacy binary this node replaced.
+    pub legacy_bin: &'static str,
+    /// Canonical drivers (from `experiments::driver_names()` /
+    /// `extensions::driver_names()`) this node exercises.
+    pub drivers: &'static [&'static str],
+    /// Library dependencies the scheduler prewarms.
+    pub deps: &'static [Dep],
+    run: fn(&RunCtx, &mut String) -> Result<(), String>,
+}
+
+const BOTH_LIBS: &[Dep] = &[
+    Dep::Library(Process::Organic),
+    Dep::Library(Process::Silicon),
+];
+const ORGANIC_LIB: &[Dep] = &[Dep::Library(Process::Organic)];
+const NO_DEPS: &[Dep] = &[];
+
+/// The full catalogue, in render order (figures, tables, extensions,
+/// ablations). `bdc list`, `bdc run --all`, `/v1/experiments` and
+/// `bench_report` all iterate this slice.
+pub static NODES: &[Node] = &[
+    Node {
+        id: "fig03",
+        title: "Fig 3",
+        what: "pentacene OTFT transfer characteristics",
+        legacy_bin: "fig03_transfer",
+        drivers: &["fig03_transfer"],
+        deps: NO_DEPS,
+        run: render::fig03,
+    },
+    Node {
+        id: "fig04",
+        title: "Fig 4",
+        what: "SPICE model fits (level 1 vs level 61)",
+        legacy_bin: "fig04_model_fit",
+        drivers: &["fig04_model_fit"],
+        deps: NO_DEPS,
+        run: render::fig04,
+    },
+    Node {
+        id: "fig05",
+        title: "Fig 5",
+        what: "organic inverter topologies (schematic listings)",
+        legacy_bin: "fig05_schematics",
+        drivers: &[],
+        deps: NO_DEPS,
+        run: render::fig05,
+    },
+    Node {
+        id: "fig06",
+        title: "Fig 6",
+        what: "organic inverter styles at VDD = 15 V",
+        legacy_bin: "fig06_inverters",
+        drivers: &["fig06_inverters"],
+        deps: NO_DEPS,
+        run: render::fig06,
+    },
+    Node {
+        id: "fig07",
+        title: "Fig 7",
+        what: "pseudo-E inverter across supply voltages",
+        legacy_bin: "fig07_vdd_sweep",
+        drivers: &["fig07_vdd_sweep"],
+        deps: NO_DEPS,
+        run: render::fig07,
+    },
+    Node {
+        id: "fig08",
+        title: "Fig 8",
+        what: "V_M vs V_SS for the pseudo-E inverter at VDD = 5 V",
+        legacy_bin: "fig08_vss_regression",
+        drivers: &["fig08_vss_regression"],
+        deps: NO_DEPS,
+        run: render::fig08,
+    },
+    Node {
+        id: "fig09",
+        title: "Fig 9",
+        what: "pseudo-E NAND/NOR topologies (schematic listings)",
+        legacy_bin: "fig09_schematics",
+        drivers: &[],
+        deps: NO_DEPS,
+        run: render::fig09,
+    },
+    Node {
+        id: "fig11",
+        title: "Fig 11",
+        what: "core depth 9..15, per-benchmark performance",
+        legacy_bin: "fig11_core_depth",
+        drivers: &["fig11_core_depth"],
+        deps: BOTH_LIBS,
+        run: render::fig11,
+    },
+    Node {
+        id: "fig12",
+        title: "Fig 12",
+        what: "ALU (2x mult + 2x div) pipelined to 1..30 stages",
+        legacy_bin: "fig12_alu_depth",
+        drivers: &["fig12_alu_depth"],
+        deps: BOTH_LIBS,
+        run: render::fig12,
+    },
+    Node {
+        id: "fig13",
+        title: "Fig 13",
+        what: "performance: front-end width 1..6 x back-end pipes 3..7",
+        legacy_bin: "fig13_width_perf",
+        drivers: &["width_ipc_matrix"],
+        deps: BOTH_LIBS,
+        run: render::fig13,
+    },
+    Node {
+        id: "fig14",
+        title: "Fig 14",
+        what: "area: front-end width 1..6 x back-end pipes 3..7",
+        legacy_bin: "fig14_width_area",
+        drivers: &["fig13_14_width"],
+        deps: BOTH_LIBS,
+        run: render::fig14,
+    },
+    Node {
+        id: "fig15",
+        title: "Fig 15",
+        what: "frequency vs stages, with and without wire cost",
+        legacy_bin: "fig15_wire_ablation",
+        drivers: &["fig15_wire_ablation"],
+        deps: BOTH_LIBS,
+        run: render::fig15,
+    },
+    Node {
+        id: "table-library",
+        title: "Table (§4.4)",
+        what: "characterized 6-cell libraries",
+        legacy_bin: "table_library",
+        drivers: &["table_library", "table_mapping_preference"],
+        deps: BOTH_LIBS,
+        run: render::table_library,
+    },
+    Node {
+        id: "table-baseline-freq",
+        title: "Table (§5.3)",
+        what: "baseline (9-stage) and deepened core frequencies",
+        legacy_bin: "table_baseline_freq",
+        drivers: &["table_baseline_frequency"],
+        deps: BOTH_LIBS,
+        run: render::table_baseline_freq,
+    },
+    Node {
+        id: "table-netlist-stats",
+        title: "Table",
+        what: "netlist statistics and per-library coverage",
+        legacy_bin: "table_netlist_stats",
+        drivers: &[],
+        deps: BOTH_LIBS,
+        run: render::table_netlist_stats,
+    },
+    Node {
+        id: "table-sizing-explore",
+        title: "Table (§4.3.4)",
+        what: "pseudo-E inverter sizing exploration",
+        legacy_bin: "table_sizing_explore",
+        drivers: &[],
+        deps: NO_DEPS,
+        run: render::table_sizing_explore,
+    },
+    Node {
+        id: "ext-degradation",
+        title: "Ext: degradation",
+        what: "pseudo-E cell across its transient life",
+        legacy_bin: "ext_degradation",
+        drivers: &["degradation_sweep", "degradation_guardband"],
+        deps: NO_DEPS,
+        run: render::ext_degradation,
+    },
+    Node {
+        id: "ext-dynamic-logic",
+        title: "Ext: dynamic logic",
+        what: "precharge-evaluate unipolar gates (paper §7)",
+        legacy_bin: "ext_dynamic_logic",
+        drivers: &[],
+        deps: NO_DEPS,
+        run: render::ext_dynamic_logic,
+    },
+    Node {
+        id: "ext-energy-depth",
+        title: "Ext: energy",
+        what: "energy/instruction vs depth (paper §7 future work)",
+        legacy_bin: "ext_energy_depth",
+        drivers: &["energy_depth"],
+        deps: BOTH_LIBS,
+        run: render::ext_energy_depth,
+    },
+    Node {
+        id: "ext-inorder-vs-ooo",
+        title: "Ext: core style",
+        what: "in-order arrays vs out-of-order at iso-area (organic, gzip-like)",
+        legacy_bin: "ext_inorder_vs_ooo",
+        drivers: &["inorder_vs_ooo"],
+        deps: ORGANIC_LIB,
+        run: render::ext_inorder_vs_ooo,
+    },
+    Node {
+        id: "ext-parallel-array",
+        title: "Ext: parallelism",
+        what: "organic core arrays (paper §7 future work)",
+        legacy_bin: "ext_parallel_array",
+        drivers: &["parallel_array"],
+        deps: ORGANIC_LIB,
+        run: render::ext_parallel_array,
+    },
+    Node {
+        id: "ext-variation",
+        title: "Ext: variation",
+        what: "Monte-Carlo V_T spread and V_SS compensation (paper §4.3.3)",
+        legacy_bin: "ext_variation",
+        drivers: &["variation_tuning"],
+        deps: NO_DEPS,
+        run: render::ext_variation,
+    },
+    Node {
+        id: "abl-adder-arch",
+        title: "Ablation",
+        what: "adder architecture per process (32-bit)",
+        legacy_bin: "abl_adder_arch",
+        drivers: &[],
+        deps: BOTH_LIBS,
+        run: render::abl_adder_arch,
+    },
+    Node {
+        id: "abl-predictor-depth",
+        title: "Ablation",
+        what: "predictor quality vs pipeline depth (organic)",
+        legacy_bin: "abl_predictor_depth",
+        drivers: &[],
+        deps: ORGANIC_LIB,
+        run: render::abl_predictor_depth,
+    },
+    Node {
+        id: "abl-structures",
+        title: "Ablation",
+        what: "instruction-window structure sizes",
+        legacy_bin: "abl_structures",
+        drivers: &[],
+        deps: NO_DEPS,
+        run: render::abl_structures,
+    },
+];
+
+/// Looks a node up by id.
+pub fn find(id: &str) -> Option<&'static Node> {
+    NODES.iter().find(|n| n.id == id)
+}
+
+/// Shared state for one plan execution: the chosen budget plus lazily
+/// built, process-indexed tech kits so concurrent nodes characterize each
+/// library exactly once.
+pub struct RunCtx {
+    quick: bool,
+    budget: SimBudget,
+    kits: [OnceLock<Result<TechKit, String>>; 2],
+}
+
+impl RunCtx {
+    /// A context for one run; `quick` selects [`SimBudget::quick`] over
+    /// [`SimBudget::standard`].
+    pub fn new(quick: bool) -> Self {
+        RunCtx {
+            quick,
+            budget: if quick {
+                SimBudget::quick()
+            } else {
+                SimBudget::standard()
+            },
+            kits: [OnceLock::new(), OnceLock::new()],
+        }
+    }
+
+    /// True when this run uses the reduced budget.
+    pub fn quick(&self) -> bool {
+        self.quick
+    }
+
+    /// The simulation budget nodes should pass to IPC-measuring drivers.
+    pub fn budget(&self) -> SimBudget {
+        self.budget
+    }
+
+    /// The characterized kit for `p`, built (or cache-loaded) on first use.
+    pub fn kit(&self, p: Process) -> Result<&TechKit, String> {
+        let slot = match p {
+            Process::Organic => &self.kits[0],
+            Process::Silicon => &self.kits[1],
+        };
+        slot.get_or_init(|| {
+            TechKit::load_or_build(p).map_err(|e| format!("characterization ({}): {e:?}", p.name()))
+        })
+        .as_ref()
+        .map_err(Clone::clone)
+    }
+}
+
+/// The rendered output of one node.
+#[derive(Debug)]
+pub struct NodeOutput {
+    /// The node's id.
+    pub id: &'static str,
+    /// Full text: header line(s) plus the body — byte-identical to the
+    /// legacy binary's stdout.
+    pub text: String,
+    /// Whether the text came from the artifact cache.
+    pub cache_hit: bool,
+    /// The node's content-address under the artifact cache.
+    pub key: u64,
+}
+
+/// The cache key of a node render: id plus everything that affects the
+/// bytes (mode tag and the exact budget).
+pub fn node_cache_key(node: &Node, quick: bool, budget: SimBudget) -> u64 {
+    fnv1a(&[
+        "bdc-exp-v1",
+        node.id,
+        if quick { "quick" } else { "standard" },
+        &format!("{budget:?}"),
+    ])
+}
+
+fn run_node(node: &'static Node, ctx: &RunCtx) -> Result<NodeOutput, String> {
+    let cache = ArtifactCache::shared();
+    let key = node_cache_key(node, ctx.quick, ctx.budget);
+    let name = format!("exp-{}", node.id);
+    if let Some(text) = cache.load(&name, key) {
+        return Ok(NodeOutput {
+            id: node.id,
+            text,
+            cache_hit: true,
+            key,
+        });
+    }
+    let mut text = format!("== {}: {} ==\n", node.title, node.what);
+    if ctx.quick {
+        text.push_str("   (quick mode: reduced simulation budget)\n");
+    }
+    (node.run)(ctx, &mut text).map_err(|e| format!("{}: {e}", node.id))?;
+    cache.store(&name, key, &text);
+    Ok(NodeOutput {
+        id: node.id,
+        text,
+        cache_hit: false,
+        key,
+    })
+}
+
+/// Renders one node by id. This is the legacy-shim entry point: the
+/// returned text is byte-identical to what the old standalone binary
+/// printed at the same budget.
+pub fn run_one(id: &str, quick: bool) -> Result<NodeOutput, String> {
+    let node = find(id).ok_or_else(|| format!("unknown experiment id `{id}` (try `bdc list`)"))?;
+    run_node(node, &RunCtx::new(quick))
+}
+
+/// Renders one node and wraps it in the JSON envelope served by
+/// `/v1/experiment`.
+pub fn run_one_json(id: &str, quick: bool) -> Result<Json, String> {
+    let node = find(id).ok_or_else(|| format!("unknown experiment id `{id}` (try `bdc list`)"))?;
+    let ctx = RunCtx::new(quick);
+    let out = run_node(node, &ctx)?;
+    Ok(node_json(node, &out, quick, ctx.budget))
+}
+
+/// The JSON envelope for one rendered node: identity, budget, and the
+/// text split into lines (deterministic — derived from the cached bytes).
+pub fn node_json(node: &Node, out: &NodeOutput, quick: bool, budget: SimBudget) -> Json {
+    Json::Obj(vec![
+        ("id".into(), Json::str(node.id)),
+        ("title".into(), Json::str(node.title)),
+        ("what".into(), Json::str(node.what)),
+        ("quick".into(), Json::Bool(quick)),
+        (
+            "budget".into(),
+            Json::Obj(vec![
+                ("outer".into(), Json::Int(i64::from(budget.outer))),
+                ("instructions".into(), Json::Int(budget.instructions as i64)),
+            ]),
+        ),
+        (
+            "lines".into(),
+            Json::Arr(out.text.lines().map(Json::str).collect()),
+        ),
+    ])
+}
+
+/// The catalogue as JSON, served by `/v1/experiments`.
+pub fn catalogue_json() -> Json {
+    Json::Arr(
+        NODES
+            .iter()
+            .map(|n| {
+                Json::Obj(vec![
+                    ("id".into(), Json::str(n.id)),
+                    ("title".into(), Json::str(n.title)),
+                    ("what".into(), Json::str(n.what)),
+                    ("legacy_bin".into(), Json::str(n.legacy_bin)),
+                ])
+            })
+            .collect(),
+    )
+}
+
+/// Per-node entry of a [`RunReport`].
+pub struct NodeReport {
+    /// The node's id.
+    pub id: &'static str,
+    /// Wall time of this node's render (or cache load), in seconds.
+    pub wall_s: f64,
+    /// Whether the render was served from the artifact cache.
+    pub cache_hit: bool,
+    /// The node's artifact cache key.
+    pub key: u64,
+    /// The rendered text.
+    pub text: String,
+}
+
+/// What a plan execution produced: one entry per selected node, in
+/// catalogue order, plus the run-wide knobs that shaped it.
+pub struct RunReport {
+    /// Whether the plan ran at the quick budget.
+    pub quick: bool,
+    /// Worker count the pool fanned nodes onto.
+    pub workers: usize,
+    /// Per-node results, in catalogue order.
+    pub nodes: Vec<NodeReport>,
+}
+
+/// Resolves `ids` against the catalogue (deduplicated, catalogue order),
+/// checks the selected nodes' cache keys are collision-free, prewarms
+/// shared library dependencies, then fans the nodes onto the `bdc-exec`
+/// pool. The first node error aborts the plan.
+pub fn run_plan(ids: &[&str], quick: bool) -> Result<RunReport, String> {
+    for id in ids {
+        if find(id).is_none() {
+            return Err(format!("unknown experiment id `{id}` (try `bdc list`)"));
+        }
+    }
+    let selected: Vec<&'static Node> = NODES.iter().filter(|n| ids.contains(&n.id)).collect();
+
+    let ctx = RunCtx::new(quick);
+
+    // Cache-key collision gate: two selected nodes must never share a
+    // content address, or one would silently serve the other's bytes.
+    let mut keys: Vec<u64> = selected
+        .iter()
+        .map(|n| node_cache_key(n, ctx.quick, ctx.budget))
+        .collect();
+    keys.sort_unstable();
+    keys.dedup();
+    if keys.len() != selected.len() {
+        return Err("cache-key collision between registered nodes".into());
+    }
+
+    // Prewarm each library dependency once, in parallel, so independent
+    // nodes don't all serialize behind the same characterization.
+    let mut libs: Vec<Process> = Vec::new();
+    for node in &selected {
+        for Dep::Library(p) in node.deps {
+            if !libs.contains(p) {
+                libs.push(*p);
+            }
+        }
+    }
+    let warm = par_map(&libs, |p| ctx.kit(*p).map(|_| ()));
+    for r in warm {
+        r?;
+    }
+
+    let results = par_map(&selected, |node| {
+        let t0 = Instant::now();
+        let out = run_node(node, &ctx)?;
+        Ok::<NodeReport, String>(NodeReport {
+            id: out.id,
+            wall_s: t0.elapsed().as_secs_f64(),
+            cache_hit: out.cache_hit,
+            key: out.key,
+            text: out.text,
+        })
+    });
+    let mut nodes = Vec::with_capacity(results.len());
+    for r in results {
+        nodes.push(r?);
+    }
+    Ok(RunReport {
+        quick,
+        workers: bdc_exec::workers(),
+        nodes,
+    })
+}
+
+/// The run manifest the CLI writes to `results/run_manifest.json`.
+pub fn manifest_json(report: &RunReport) -> Json {
+    Json::Obj(vec![
+        ("quick".into(), Json::Bool(report.quick)),
+        ("workers".into(), Json::Int(report.workers as i64)),
+        (
+            "nodes".into(),
+            Json::Arr(
+                report
+                    .nodes
+                    .iter()
+                    .map(|n| {
+                        Json::Obj(vec![
+                            ("id".into(), Json::str(n.id)),
+                            ("wall_s".into(), Json::Num(n.wall_s)),
+                            (
+                                "cache".into(),
+                                Json::str(if n.cache_hit { "hit" } else { "miss" }),
+                            ),
+                            ("artifact_key".into(), Json::str(format!("{:016x}", n.key))),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_resolve_and_keys_are_distinct() {
+        let quick = SimBudget::quick();
+        let mut keys: Vec<u64> = NODES
+            .iter()
+            .map(|n| node_cache_key(n, true, quick))
+            .collect();
+        keys.sort_unstable();
+        keys.dedup();
+        assert_eq!(keys.len(), NODES.len());
+        assert!(find("fig12").is_some());
+        assert!(find("no-such-node").is_none());
+    }
+
+    #[test]
+    fn unknown_id_is_reported_with_hint() {
+        let err = run_one("fig99", true).unwrap_err();
+        assert!(err.contains("fig99") && err.contains("bdc list"), "{err}");
+    }
+}

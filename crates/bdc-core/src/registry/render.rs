@@ -1,0 +1,1143 @@
+//! The deterministic text render of every registered node.
+//!
+//! Each function here is the byte-for-byte port of one legacy
+//! `bdc-bench` binary's `main` body (the part after the standard header,
+//! which the runner writes from node metadata). The golden tests in
+//! `bdc-bench/tests/golden.rs` pin several of these against output
+//! captured from the pre-registry binaries — treat every format string in
+//! this file as frozen.
+
+use std::fmt::Write as _;
+
+use bdc_cells::{
+    characterize_dynamic, characterize_gate, explore_inverter_sizing, organic_dynamic_gate,
+    organic_gate, organic_inverter, CharacterizeConfig, LogicKind, OrganicSizing, OrganicStyle,
+    Utility,
+};
+use bdc_circuit::{describe, write_spice};
+use bdc_synth::blocks;
+use bdc_synth::map::remap_for_library;
+use bdc_synth::sta::analyze;
+use bdc_synth::stats::{coverage_ratio, netlist_stats, render_stats};
+use bdc_uarch::{build_workload, BpredKind, OooCore, Workload};
+
+use crate::experiments::{self, SimBudget};
+use crate::extensions;
+use crate::flow::{alu_cluster, performance, split_critical, synthesize_core_cached};
+use crate::report::{fmt_freq, fmt_time, render_matrix, render_series, render_table};
+use crate::{CoreSpec, Process, TechKit};
+
+use super::RunCtx;
+
+/// `println!` onto the output buffer (writing to a `String` cannot fail).
+macro_rules! w {
+    ($out:expr) => { let _ = writeln!($out); };
+    ($out:expr, $($arg:tt)*) => { let _ = writeln!($out, $($arg)*); };
+}
+
+/// Figure 3: I_D–V_GS transfer characteristics of the pentacene OTFT.
+pub(super) fn fig03(_ctx: &RunCtx, out: &mut String) -> Result<(), String> {
+    let f = experiments::fig03_transfer().map_err(|e| format!("device sweep: {e:?}"))?;
+    w!(
+        out,
+        "W/L: 1000/80 um   extracted: u_lin = {:.2} cm2/Vs, SS = {:.0} mV/dec, on/off = {:.1e}, V_T(lin) = {:.2} V",
+        f.metrics.mu_lin * 1.0e4,
+        f.metrics.subthreshold_swing * 1.0e3,
+        f.metrics.on_off_ratio,
+        f.metrics.vt,
+    );
+    w!(
+        out,
+        "{:>8}  {:>12}  {:>12}  {:>12}",
+        "VGS (V)",
+        "ID@VDS=-1V",
+        "ID@VDS=-10V",
+        "IG (A)"
+    );
+    for i in (0..f.id_vds1.len()).step_by(10) {
+        w!(
+            out,
+            "{:>8.2}  {:>12.3e}  {:>12.3e}  {:>12.3e}",
+            f.id_vds1[i].vgs,
+            f.id_vds1[i].id,
+            f.id_vds10[i].id,
+            f.ig[i].1
+        );
+    }
+    w!(
+        out,
+        "(paper: u_lin = 0.16 cm2/Vs, SS = 350 mV/dec, on/off = 1e6, V_T = -1.3 V @ VDS=1V)"
+    );
+    Ok(())
+}
+
+/// Figure 4: level 1 vs level 61 SPICE model fits to the measured curve.
+pub(super) fn fig04(_ctx: &RunCtx, out: &mut String) -> Result<(), String> {
+    let f = experiments::fig04_model_fit(7).map_err(|e| format!("model fitting: {e:?}"))?;
+    w!(
+        out,
+        "RMS log10-current fit error over the VDS = -1 V sweep:"
+    );
+    w!(
+        out,
+        "  level 1  (Shichman-Hodges): {:.3} decades",
+        f.level1_rms
+    );
+    w!(
+        out,
+        "  level 61 (RPI TFT class)  : {:.3} decades",
+        f.level61_rms
+    );
+    w!(
+        out,
+        "  level 61 improves the fit by {:.1}x (paper: level 61 \"fits the device well\", level 1 cannot reproduce sub-VT conduction)",
+        f.level1_rms / f.level61_rms
+    );
+    w!(
+        out,
+        "{:>8}  {:>12}  {:>12}  {:>12}",
+        "VGS (V)",
+        "measured",
+        "level1",
+        "level61"
+    );
+    for i in (0..f.measured.len()).step_by(10) {
+        w!(
+            out,
+            "{:>8.2}  {:>12.3e}  {:>12.3e}  {:>12.3e}",
+            f.measured[i].vgs,
+            f.measured[i].id,
+            f.level1_curve[i].id,
+            f.level61_curve[i].id
+        );
+    }
+    Ok(())
+}
+
+/// Figure 5: the three organic inverter schematics, as element listings
+/// and exportable SPICE decks.
+pub(super) fn fig05(_ctx: &RunCtx, out: &mut String) -> Result<(), String> {
+    let sizing = OrganicSizing::library_default();
+    for (label, style, vdd, vss) in [
+        ("(a) diode-load", OrganicStyle::DiodeLoad, 15.0, 0.0),
+        ("(b) biased-load", OrganicStyle::BiasedLoad, 15.0, -5.0),
+        ("(c) pseudo-E", OrganicStyle::PseudoE, 5.0, -15.0),
+    ] {
+        let gate = organic_inverter(style, &sizing, vdd, vss);
+        w!(out, "\n{label}  ({} transistors):", gate.transistor_count);
+        out.push_str(&describe(&gate.circuit));
+    }
+    // Emit one full SPICE deck as the interchange artifact.
+    let pe = organic_inverter(OrganicStyle::PseudoE, &sizing, 5.0, -15.0);
+    w!(
+        out,
+        "\nSPICE deck of the pseudo-E inverter (for external cross-check):"
+    );
+    out.push_str(&write_spice(
+        &pe.circuit,
+        "pseudo-E inverter, pentacene, VDD=5 VSS=-15",
+    ));
+    Ok(())
+}
+
+/// Figure 6: diode-load vs biased-load vs pseudo-E inverter DC comparison.
+pub(super) fn fig06(_ctx: &RunCtx, out: &mut String) -> Result<(), String> {
+    let rows = experiments::fig06_inverters().map_err(|e| format!("inverter sweeps: {e:?}"))?;
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.label.clone(),
+                format!("{:.1}", r.vss),
+                format!("{:.1}", r.dc.vm),
+                format!("{:.2}", r.dc.max_gain),
+                format!("{:.2}", r.dc.nmh),
+                format!("{:.2}", r.dc.nml),
+                format!("{:.2}", r.dc.nm_mec),
+                format!("{:.1}", r.dc.static_power_in_low * 1.0e6),
+                format!("{:.2}", r.dc.static_power_in_high * 1.0e6),
+            ]
+        })
+        .collect();
+    out.push_str(&render_table(
+        &[
+            "style",
+            "VSS(V)",
+            "VM(V)",
+            "gain",
+            "NMH(V)",
+            "NML(V)",
+            "MEC(V)",
+            "P(in=0) uW",
+            "P(in=hi) uW",
+        ],
+        &table,
+    ));
+    w!(out, "\nVTC of the pseudo-E inverter (VIN, VOUT):");
+    let pe = &rows[2].dc.vtc;
+    for (i, (vin, vout)) in pe.points().iter().enumerate() {
+        if i % 15 == 0 {
+            w!(out, "  {vin:>6.2}  {vout:>6.2}");
+        }
+    }
+    w!(out, "(paper Fig 6d: diode VM=8.1 gain=1.2 NM~0.3-0.4; biased VM=6.8 gain=1.6 NM~1; pseudo-E VM=7.7 gain=3.0 NM~3-3.5)");
+    Ok(())
+}
+
+/// Figure 7: pseudo-E inverter at VDD = 5/10/15 V.
+pub(super) fn fig07(_ctx: &RunCtx, out: &mut String) -> Result<(), String> {
+    let rows = experiments::fig07_vdd_sweep().map_err(|e| format!("sweeps: {e:?}"))?;
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.label.clone(),
+                format!("{:.0}", r.vss),
+                format!("{:.2}", r.dc.vm),
+                format!("{:.2}", r.dc.max_gain),
+                format!("{:.2}", r.dc.nmh),
+                format!("{:.2}", r.dc.nml),
+                format!("{:.1}", r.dc.static_power_in_low * 1.0e6),
+                format!("{:.2}", r.dc.static_power_in_high * 1.0e6),
+            ]
+        })
+        .collect();
+    out.push_str(&render_table(
+        &[
+            "VDD",
+            "VSS(V)",
+            "VM(V)",
+            "gain",
+            "NMH(V)",
+            "NML(V)",
+            "P(in=0) uW",
+            "P(in=VDD) uW",
+        ],
+        &table,
+    ));
+    w!(
+        out,
+        "\n(paper Fig 7d: VM 2.4/4.6/7.7, gain 3.2/2.9/3.0, NM ~20-25% of VDD,"
+    );
+    w!(
+        out,
+        " static power drops ~16x from VDD=15 to VDD=5 with input low)"
+    );
+    let p5 = rows[0].dc.static_power_in_low;
+    let p15 = rows[2].dc.static_power_in_low;
+    w!(
+        out,
+        " measured here: P(5V)/P(15V) = {:.2} (paper: ~0.06)",
+        p5 / p15
+    );
+    Ok(())
+}
+
+/// Figure 8: switching threshold vs V_SS (linear tuning relationship).
+pub(super) fn fig08(_ctx: &RunCtx, out: &mut String) -> Result<(), String> {
+    let f = experiments::fig08_vss_regression().map_err(|e| format!("sweep: {e:?}"))?;
+    w!(out, "{:>8}  {:>8}", "VSS (V)", "VM (V)");
+    for (vss, vm) in &f.points {
+        w!(out, "{vss:>8.1}  {vm:>8.2}");
+    }
+    w!(
+        out,
+        "regression: VM = {:.3} * VSS + {:.2}",
+        f.slope,
+        f.intercept
+    );
+    let vss_for_mid = (2.5 - f.intercept) / f.slope;
+    w!(out, "VSS for VM = VDD/2: {vss_for_mid:.1} V");
+    w!(
+        out,
+        "(paper: VM = 0.22*VSS + 5.76; VSS = -14.8 V for VM = VDD/2 -> they chose -15 V)"
+    );
+    Ok(())
+}
+
+/// Figure 9: pseudo-E NAND and NOR gate schematics.
+pub(super) fn fig09(_ctx: &RunCtx, out: &mut String) -> Result<(), String> {
+    let sizing = OrganicSizing::library_default();
+    for (label, kind) in [
+        ("(a) NAND2 — parallel pull-up networks", LogicKind::Nand2),
+        ("(b) NOR2 — series pull-up networks", LogicKind::Nor2),
+        ("NAND3", LogicKind::Nand3),
+        ("NOR3", LogicKind::Nor3),
+    ] {
+        let gate = organic_gate(kind, &sizing, 5.0, -15.0);
+        w!(out, "\n{label}  ({} transistors):", gate.transistor_count);
+        out.push_str(&describe(&gate.circuit));
+    }
+    w!(
+        out,
+        "\n(NAND gates replicate the input transistors in parallel — any low"
+    );
+    w!(
+        out,
+        " input pulls up; NOR gates stack them in series, which is why the"
+    );
+    w!(
+        out,
+        " organic NOR3 is ~4x slower than NAND3 and drives §5.5's mapping bias)"
+    );
+    Ok(())
+}
+
+/// Figure 11: core area and performance vs pipeline depth (9–15 stages).
+pub(super) fn fig11(ctx: &RunCtx, out: &mut String) -> Result<(), String> {
+    let budget = ctx.budget();
+    for p in Process::both() {
+        let kit = ctx.kit(p)?;
+        let pts = experiments::fig11_core_depth(kit, budget);
+        let base: Vec<f64> = pts[0].per_workload.iter().map(|x| x.2).collect();
+        w!(
+            out,
+            "\n{} (area and performance normalized to the 9-stage baseline):",
+            p.name()
+        );
+        let names: Vec<&str> = pts[0]
+            .per_workload
+            .iter()
+            .map(|(w, _, _)| w.name())
+            .collect();
+        w!(
+            out,
+            "{:>3} {:>9} {:>10} {:>6}  {}",
+            "N",
+            "cut",
+            "freq",
+            "area",
+            names.iter().map(|n| format!("{n:>9}")).collect::<String>()
+        );
+        let a0 = pts[0].synth.area_um2;
+        for pt in &pts {
+            let norms: String = pt
+                .per_workload
+                .iter()
+                .zip(&base)
+                .map(|((_, _, perf), b)| format!("{:>9.2}", perf / b))
+                .collect();
+            w!(
+                out,
+                "{:>3} {:>9} {:>10} {:>6.2}  {norms}",
+                pt.stages,
+                pt.split.map(|s| s.name()).unwrap_or("-"),
+                fmt_freq(pt.synth.frequency),
+                pt.synth.area_um2 / a0,
+            );
+        }
+        // Report the optimum depth per benchmark.
+        let mut opt_line = String::new();
+        for (k, name) in names.iter().enumerate() {
+            let (best_stage, _) = pts
+                .iter()
+                .map(|pt| (pt.stages, pt.per_workload[k].2))
+                .fold((9, 0.0), |acc, x| if x.1 > acc.1 { x } else { acc });
+            opt_line += &format!("{name}={best_stage} ");
+        }
+        w!(out, "optimal depth per benchmark: {opt_line}");
+    }
+    w!(
+        out,
+        "\n(paper: silicon optima at 10-11 stages, organic at 14-15; areas near-flat)"
+    );
+    Ok(())
+}
+
+/// Figure 12: complex-ALU area and frequency vs pipeline stages.
+pub(super) fn fig12(ctx: &RunCtx, out: &mut String) -> Result<(), String> {
+    let stages: Vec<usize> = vec![1, 2, 4, 6, 8, 10, 12, 14, 16, 18, 20, 22, 24, 26, 28, 30];
+    for p in Process::both() {
+        let kit = ctx.kit(p)?;
+        let f = experiments::fig12_alu_depth(kit, &stages);
+        let nf = f.normalized_frequency();
+        let na = f.normalized_area();
+        w!(out, "\n{}:", p.name());
+        w!(
+            out,
+            "{:>7}  {:>10}  {:>10}  {:>12}  {:>10}",
+            "stages",
+            "norm freq",
+            "norm area",
+            "abs freq",
+            "registers"
+        );
+        for (i, s) in stages.iter().enumerate() {
+            w!(
+                out,
+                "{s:>7}  {:>10.2}  {:>10.2}  {:>12}  {:>10}",
+                nf[i],
+                na[i],
+                fmt_freq(f.results[i].frequency),
+                f.results[i].registers
+            );
+        }
+    }
+    w!(
+        out,
+        "\n(paper: silicon frequency stops improving past ~8 stages while area keeps"
+    );
+    w!(
+        out,
+        " rising slowly; organic frequency and area grow ~linearly, topping out ~22)"
+    );
+    Ok(())
+}
+
+/// Figure 13: core performance heatmaps over superscalar widths.
+pub(super) fn fig13(ctx: &RunCtx, out: &mut String) -> Result<(), String> {
+    let budget = ctx.budget();
+    let fe: Vec<usize> = (1..=6).collect();
+    let be: Vec<usize> = (3..=7).collect();
+    w!(
+        out,
+        "simulating the benchmark suite on all 30 width points..."
+    );
+    let ipc = experiments::width_ipc_matrix(&fe, &be, budget);
+    for p in Process::both() {
+        let kit = ctx.kit(p)?;
+        let m = experiments::fig13_14_width(kit, &ipc);
+        out.push_str(&render_matrix(
+            &format!("\n{} normalized performance:", p.name()),
+            &m,
+            &m.perf,
+        ));
+        let (b, f) = m.optimum();
+        w!(out, "optimum: M[be={b}][fe={f}]");
+    }
+    out.push_str(&render_matrix(
+        "\nshared geometric-mean IPC (process-independent):",
+        &experiments::fig13_14_width(&TechKit::synthetic(Process::Silicon), &ipc),
+        &ipc,
+    ));
+    w!(
+        out,
+        "\n(paper: silicon optimum M[4][2]; organic optimum M[7][2] — three execution"
+    );
+    w!(out, " pipes wider — with a much flatter surface around it)");
+    Ok(())
+}
+
+/// Figure 14: core area heatmaps over superscalar widths.
+pub(super) fn fig14(ctx: &RunCtx, out: &mut String) -> Result<(), String> {
+    // Area does not need IPC; use the minimal budget for the shared matrix
+    // (fixed — deliberately not the plan budget).
+    let ipc = experiments::width_ipc_matrix(
+        &(1..=6).collect::<Vec<_>>(),
+        &(3..=7).collect::<Vec<_>>(),
+        SimBudget {
+            outer: 2,
+            instructions: 500,
+        },
+    );
+    for p in Process::both() {
+        let kit = ctx.kit(p)?;
+        let m = experiments::fig13_14_width(kit, &ipc);
+        out.push_str(&render_matrix(
+            &format!("\n{} normalized area:", p.name()),
+            &m,
+            &m.area,
+        ));
+    }
+    w!(
+        out,
+        "\n(paper: the area surfaces are nearly identical for the two processes,"
+    );
+    w!(out, " growing from 0.48 at [3][1] to 1.00 at [7][6])");
+    Ok(())
+}
+
+/// Figure 15: frequency scaling with and without wire delay.
+pub(super) fn fig15(ctx: &RunCtx, out: &mut String) -> Result<(), String> {
+    let alu_stages: Vec<usize> = vec![1, 2, 4, 8, 12, 16, 20, 24, 28, 30];
+    for p in Process::both() {
+        let kit = ctx.kit(p)?;
+        let f = experiments::fig15_wire_ablation(kit, &alu_stages);
+        w!(out, "\n{}:", p.name());
+        out.push_str(&render_series("  ALU, with wire:", &f.alu_stages, &f.alu.0));
+        out.push_str(&render_series("  ALU, w/o wire:", &f.alu_stages, &f.alu.1));
+        out.push_str(&render_series(
+            "  core, with wire:",
+            &f.core_stages,
+            &f.core.0,
+        ));
+        out.push_str(&render_series(
+            "  core, w/o wire:",
+            &f.core_stages,
+            &f.core.1,
+        ));
+        let last = f.alu.0.len() - 1;
+        w!(
+            out,
+            "  deep-pipeline wire penalty (ALU, 30 stages): {:.1}% of achievable frequency",
+            100.0 * (1.0 - f.alu.0[last] / f.alu.1[last])
+        );
+    }
+    w!(
+        out,
+        "\n(paper: removing wire cost makes silicon scale like organic — the"
+    );
+    w!(
+        out,
+        " organic process's advantage is its relatively free interconnect)"
+    );
+    Ok(())
+}
+
+/// §5.3 baseline/optimized operating frequencies for both processes.
+pub(super) fn table_baseline_freq(ctx: &RunCtx, out: &mut String) -> Result<(), String> {
+    for p in Process::both() {
+        let kit = ctx.kit(p)?;
+        let base = experiments::table_baseline_frequency(kit);
+        // Deepen to 14 stages like the paper's Fig 15(b) comparison point.
+        let mut spec = CoreSpec::baseline();
+        for _ in 0..5 {
+            let (deeper, _) = split_critical(kit, &spec);
+            spec = deeper;
+        }
+        let deep = synthesize_core_cached(kit, &spec);
+        w!(out, "\n{}:", p.name());
+        w!(
+            out,
+            "  9-stage baseline : {} (period {})",
+            fmt_freq(base.frequency),
+            fmt_time(base.period)
+        );
+        w!(
+            out,
+            "  14-stage deepened: {} ({:.2}x the baseline clock)",
+            fmt_freq(deep.frequency),
+            deep.frequency / base.frequency
+        );
+        w!(
+            out,
+            "  per-cycle overheads at 14 stages: sequential {}, feedback wire {}",
+            fmt_time(deep.seq_overhead),
+            fmt_time(deep.wire_overhead)
+        );
+    }
+    w!(
+        out,
+        "\n(paper: organic baseline ~200 Hz vs silicon ~800 MHz; optimized ~1.36 GHz"
+    );
+    w!(
+        out,
+        " silicon; at 14 stages organic reaches 2.0x its baseline clock, silicon 1.5x."
+    );
+    w!(
+        out,
+        " Note EXPERIMENTS.md on the paper's internally inconsistent \"40 Hz\" figure.)"
+    );
+    Ok(())
+}
+
+/// §4.4 library characterization summary for both processes, plus the
+/// §5.5 mapping-preference observation.
+pub(super) fn table_library(ctx: &RunCtx, out: &mut String) -> Result<(), String> {
+    for p in Process::both() {
+        let kit = ctx.kit(p)?;
+        w!(
+            out,
+            "\nlibrary: {} (VDD = {} V, VSS = {} V)",
+            kit.lib.name,
+            kit.lib.vdd,
+            kit.lib.vss
+        );
+        let rows: Vec<Vec<String>> = experiments::table_library(kit)
+            .into_iter()
+            .map(|(name, area, cap, delay)| {
+                vec![
+                    name,
+                    format!("{area:.3e}"),
+                    format!("{cap:.3e}"),
+                    fmt_time(delay),
+                ]
+            })
+            .collect();
+        out.push_str(&render_table(
+            &["cell", "area (um2)", "input cap (F)", "nominal delay"],
+            &rows,
+        ));
+        w!(
+            out,
+            "FO4-like delay: {}   DFF: setup {} / clk-Q {}",
+            fmt_time(kit.lib.fo4_delay()),
+            fmt_time(kit.lib.dff.setup),
+            fmt_time(kit.lib.dff.clk_to_q)
+        );
+        let (nand3, nor3) = experiments::table_mapping_preference(kit);
+        w!(
+            out,
+            "mapping preference (§5.5): NAND3 {}; NOR3 {}",
+            if nand3 {
+                "decomposed to 2-input"
+            } else {
+                "kept"
+            },
+            if nor3 {
+                "decomposed to 2-input"
+            } else {
+                "kept"
+            },
+        );
+    }
+    w!(
+        out,
+        "\n(paper §5.5: the organic library's rise/fall imbalance makes its 3-input"
+    );
+    w!(
+        out,
+        " series cells less desirable than in silicon; here the organic NOR3 runs"
+    );
+    w!(
+        out,
+        " ~4x slower than its NAND3, while silicon's differ by ~15%)"
+    );
+    Ok(())
+}
+
+/// Synthesis report: structural statistics and per-library cell coverage.
+pub(super) fn table_netlist_stats(ctx: &RunCtx, out: &mut String) -> Result<(), String> {
+    for (name, n) in [
+        ("ripple_adder32", blocks::ripple_adder(32)),
+        ("carry_select32", blocks::carry_select_adder(32)),
+        ("kogge_stone32", blocks::kogge_stone_adder(32)),
+        ("array_mult32", blocks::array_multiplier(32)),
+        ("complex_alu", alu_cluster()),
+        ("wakeup_cam 32x4", blocks::wakeup_cam(32, 6, 4)),
+    ] {
+        out.push_str(&format!("\n{}", render_stats(name, &netlist_stats(&n))));
+    }
+
+    w!(
+        out,
+        "\nper-library mapping of the complex ALU (§5.5 coverage):"
+    );
+    let alu = alu_cluster();
+    for p in Process::both() {
+        let kit = ctx.kit(p)?;
+        let (mapped, report) = remap_for_library(&alu, &kit.lib);
+        let (frac2, total) = coverage_ratio(&mapped);
+        w!(
+            out,
+            "  {:>8}: {:.1}% two-input coverage of {total} NAND/NOR cells (nand3 {}, nor3 {})",
+            p.name(),
+            frac2 * 100.0,
+            if report.nand3_decomposed {
+                "decomposed"
+            } else {
+                "kept"
+            },
+            if report.nor3_decomposed {
+                "decomposed"
+            } else {
+                "kept"
+            },
+        );
+    }
+    Ok(())
+}
+
+/// §4.3.4: the cell-sizing design-space script.
+pub(super) fn table_sizing_explore(_ctx: &RunCtx, out: &mut String) -> Result<(), String> {
+    let ranked = explore_inverter_sizing(&[], 5.0, -15.0, &Utility::default())
+        .map_err(|e| format!("sizing sweep: {e:?}"))?;
+    let rows: Vec<Vec<String>> = ranked
+        .iter()
+        .map(|c| {
+            vec![
+                format!("{:.0}", c.sizing.shifter_drive_w * 1.0e6),
+                format!("{:.0}", c.sizing.shifter_load_w * 1.0e6),
+                format!("{:.0}", c.sizing.output_drive_w * 1.0e6),
+                format!("{:.0}", c.sizing.output_load_w * 1.0e6),
+                format!("{:.2}", c.vm),
+                format!("{:.2}", c.gain),
+                format!("{:.2}", c.nm),
+                if c.delay.is_finite() {
+                    format!("{:.0}", c.delay * 1.0e6)
+                } else {
+                    "-".into()
+                },
+                format!("{:.2}", c.utility),
+            ]
+        })
+        .collect();
+    out.push_str(&render_table(
+        &[
+            "M1 um", "M2 um", "M3 um", "M4 um", "VM V", "gain", "NM V", "delay us", "utility",
+        ],
+        &rows,
+    ));
+    w!(
+        out,
+        "\n(paper §4.3.4: \"we utilized a script to explore the design space and"
+    );
+    w!(
+        out,
+        " select the best parameter sets for each gate. The switching threshold,"
+    );
+    w!(
+        out,
+        " noise margin, gate delay, and area are all taken into consideration\" —"
+    );
+    w!(out, " the top row is the sizing the shipped library uses)");
+    Ok(())
+}
+
+/// Extension: transient-electronics degradation over the mission life.
+pub(super) fn ext_degradation(_ctx: &RunCtx, out: &mut String) -> Result<(), String> {
+    let lives = [0.0, 0.2, 0.4, 0.6, 0.8, 1.0];
+    let points =
+        extensions::degradation_sweep(&lives).map_err(|e| format!("aging sweep: {e:?}"))?;
+    let rows: Vec<Vec<String>> = points
+        .iter()
+        .map(|p| {
+            vec![
+                format!("{:.0}%", p.life * 100.0),
+                if p.delay.is_finite() {
+                    format!("{:.0}", p.delay * 1.0e6)
+                } else {
+                    "-".into()
+                },
+                format!("{:.2}", p.gain),
+                format!("{:.2}", p.nm_mec),
+                if p.functional {
+                    "yes".into()
+                } else {
+                    "NO".into()
+                },
+            ]
+        })
+        .collect();
+    out.push_str(&render_table(
+        &["life", "delay us", "gain", "NM (MEC) V", "functional"],
+        &rows,
+    ));
+    let guardband = extensions::degradation_guardband(&points);
+    w!(
+        out,
+        "\nend-of-life clock guardband: {guardband:.2}x the fresh-device period"
+    );
+    if let Some(fail) = points.iter().find(|p| !p.functional) {
+        w!(
+            out,
+            "functional failure at ~{:.0}% of mission life",
+            fail.life * 100.0
+        );
+    } else {
+        w!(
+            out,
+            "the cell stays functional across the modelled mission window"
+        );
+    }
+    w!(
+        out,
+        "\n(mobility decays ~70%, |V_T| drifts +1 V and leakage rises 10x across"
+    );
+    w!(
+        out,
+        " the window; a biodegradable design must be signed off at the aged"
+    );
+    w!(
+        out,
+        " corner — or use the Fig 8 V_SS knob to retune as it decays)"
+    );
+    Ok(())
+}
+
+/// Extension (paper §7, last paragraph): dynamic unipolar logic.
+pub(super) fn ext_dynamic_logic(_ctx: &RunCtx, out: &mut String) -> Result<(), String> {
+    let sizing = OrganicSizing::library_default();
+    let load = 200.0e-12;
+
+    let static_inv = organic_inverter(OrganicStyle::PseudoE, &sizing, 5.0, -15.0);
+    let t_static = characterize_gate(&static_inv, &CharacterizeConfig::organic())
+        .map_err(|e| format!("static: {e:?}"))?;
+    let d_static = t_static.delay_worst().lookup(60.0e-6, load);
+    w!(
+        out,
+        "static pseudo-E inverter : {} transistors, delay {:.1} us, needs VSS = -15 V",
+        static_inv.transistor_count,
+        d_static * 1.0e6
+    );
+
+    for fan_in in [1usize, 2, 3] {
+        let g = organic_dynamic_gate(fan_in, &sizing, 5.0);
+        let t =
+            characterize_dynamic(&g, load, 4.0e-3).map_err(|e| format!("dynamic sim: {e:?}"))?;
+        w!(
+            out,
+            "dynamic gate (stack of {fan_in}): {} transistors, evaluate {:.1} us, precharge {:.1} us, cycle charge {:.1} nC",
+            g.transistor_count,
+            t.evaluate_delay * 1.0e6,
+            t.precharge_delay * 1.0e6,
+            t.cycle_charge * 1.0e9,
+        );
+    }
+    w!(
+        out,
+        "\n(paper §7: \"unipolar transistor design favors the use of dynamic logic"
+    );
+    w!(
+        out,
+        " because only roughly half the transistors are needed and switching time"
+    );
+    w!(
+        out,
+        " can be faster with the tradeoff being possibly worse power\" — the"
+    );
+    w!(
+        out,
+        " per-cycle precharge charge above is that power cost, burned on every"
+    );
+    w!(out, " clock regardless of data activity)");
+    Ok(())
+}
+
+/// Extension (paper §7): energy per instruction vs pipeline depth.
+pub(super) fn ext_energy_depth(ctx: &RunCtx, out: &mut String) -> Result<(), String> {
+    let budget = ctx.budget();
+    for p in Process::both() {
+        let kit = ctx.kit(p)?;
+        let pts = extensions::energy_depth(kit, budget);
+        w!(out, "\n{}:", p.name());
+        w!(
+            out,
+            "{:>3}  {:>10}  {:>6}  {:>10}  {:>9}  {:>12}",
+            "N",
+            "clock",
+            "IPC",
+            "power",
+            "static%",
+            "energy/instr"
+        );
+        let e0 = pts[0].epi;
+        for pt in &pts {
+            w!(
+                out,
+                "{:>3}  {:>10}  {:>6.2}  {:>8.2e}W  {:>8.1}%  {:>9.2e}J ({:.2}x)",
+                pt.stages,
+                fmt_freq(pt.frequency),
+                pt.ipc,
+                pt.power.total_w(),
+                100.0 * pt.power.static_fraction(),
+                pt.epi,
+                pt.epi / e0,
+            );
+        }
+    }
+    w!(
+        out,
+        "\n(extension result: ratioed pseudo-E logic is static-dominated, so deeper"
+    );
+    w!(
+        out,
+        " organic pipelines REDUCE energy/instruction — race-to-idle — while"
+    );
+    w!(
+        out,
+        " silicon's added pipeline registers raise its switching energy)"
+    );
+    Ok(())
+}
+
+/// Extension (paper §7): many simple cores vs one out-of-order core.
+pub(super) fn ext_inorder_vs_ooo(ctx: &RunCtx, out: &mut String) -> Result<(), String> {
+    let budget = ctx.budget();
+    let kit = ctx.kit(Process::Organic)?;
+    let rows = extensions::inorder_vs_ooo(kit, budget);
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.label.clone(),
+                format!("{:.2}", r.throughput),
+                format!("{:.2e}", r.area_um2),
+                format!("{:.3}", r.power_w),
+                format!("{:.1}", r.cores_per_budget),
+                format!("{:.2}", r.iso_area_throughput),
+            ]
+        })
+        .collect();
+    out.push_str(&render_table(
+        &[
+            "core",
+            "instr/s",
+            "area um2",
+            "power W",
+            "cores/budget",
+            "iso-area instr/s",
+        ],
+        &table,
+    ));
+    let speedup = rows[1].iso_area_throughput / rows[0].iso_area_throughput;
+    w!(
+        out,
+        "\niso-area advantage of the in-order array: {speedup:.2}x"
+    );
+    w!(
+        out,
+        "(for throughput work on a fixed organic panel, an array of Myny-class"
+    );
+    w!(
+        out,
+        " scalar cores beats one out-of-order core — rename/window area buys"
+    );
+    w!(
+        out,
+        " less than more cores do; the paper's §7 parallelism lever quantified."
+    );
+    w!(
+        out,
+        " The OoO machine still wins on single-stream latency.)"
+    );
+    Ok(())
+}
+
+/// Extension (paper §7): arrays of organic cores for throughput.
+pub(super) fn ext_parallel_array(ctx: &RunCtx, out: &mut String) -> Result<(), String> {
+    let budget = ctx.budget();
+    let org = ctx.kit(Process::Organic)?;
+    let pts = extensions::parallel_array(org, 16, budget);
+    let rows: Vec<Vec<String>> = pts
+        .iter()
+        .map(|p| {
+            vec![
+                format!("{}", p.cores),
+                format!("{:.1}", p.throughput),
+                format!("{:.1}", p.area_um2 / 1.0e8),
+                format!("{:.3}", p.power_w),
+                format!("{:.1}", p.ops_per_joule),
+            ]
+        })
+        .collect();
+    out.push_str(&render_table(
+        &["cores", "instr/s", "panel cm2", "power W", "instr/J"],
+        &rows,
+    ));
+    w!(
+        out,
+        "\n(organic arrays scale throughput linearly in panel area — wires are free,"
+    );
+    w!(
+        out,
+        " and large-area fabrication is exactly what organic processes are good at;"
+    );
+    w!(
+        out,
+        " this is the paper's suggested lever against the mobility gap)"
+    );
+    Ok(())
+}
+
+/// Extension (paper §4.1/§4.3.3): V_T variation and V_SS compensation.
+pub(super) fn ext_variation(ctx: &RunCtx, out: &mut String) -> Result<(), String> {
+    let n = if ctx.quick() { 12 } else { 40 };
+    let study = extensions::variation_tuning(n, 2026).map_err(|e| format!("monte carlo: {e:?}"))?;
+    w!(
+        out,
+        "samples: {n}   V_T spread: sigma = 0.167 V (paper: \"within 0.5 V\")"
+    );
+    w!(out, "{:>10}  {:>8}", "dVT (V)", "VM (V)");
+    for (dvt, vm) in study.raw.iter().take(12) {
+        w!(out, "{dvt:>10.3}  {vm:>8.2}");
+    }
+    w!(out, "...");
+    w!(
+        out,
+        "V_M sigma before compensation: {:.3} V",
+        study.sigma_before
+    );
+    w!(
+        out,
+        "V_M sigma after V_SS retuning : {:.3} V",
+        study.sigma_after
+    );
+    w!(
+        out,
+        "compensation shrinks the spread {:.1}x using the Fig 8 slope ({:.3} V/V)",
+        study.sigma_before / study.sigma_after.max(1e-9),
+        study.slope
+    );
+    w!(
+        out,
+        "\n(paper §4.3.3: \"the cross-sample variation of VM from process variation"
+    );
+    w!(
+        out,
+        " can be tuned by applying a different VSS\" — quantified here)"
+    );
+    Ok(())
+}
+
+/// Ablation: does the best adder architecture depend on the process?
+pub(super) fn abl_adder_arch(ctx: &RunCtx, out: &mut String) -> Result<(), String> {
+    let adders = [
+        ("ripple", blocks::ripple_adder(32)),
+        ("carry-select", blocks::carry_select_adder(32)),
+        ("kogge-stone", blocks::kogge_stone_adder(32)),
+    ];
+    for p in Process::both() {
+        let kit = ctx.kit(p)?;
+        w!(out, "\n{}:", p.name());
+        let mut rows = Vec::new();
+        let mut base_delay = 0.0;
+        for (name, netlist) in &adders {
+            let (mapped, _) = remap_for_library(netlist, &kit.lib);
+            let r = analyze(&mapped, &kit.lib, &kit.sta);
+            if *name == "ripple" {
+                base_delay = r.max_arrival;
+            }
+            rows.push(vec![
+                name.to_string(),
+                format!("{}", mapped.gates().len()),
+                fmt_time(r.max_arrival),
+                format!("{:.2}x", base_delay / r.max_arrival),
+                format!("{:.2e}", r.area_um2),
+            ]);
+        }
+        out.push_str(&render_table(
+            &[
+                "adder",
+                "gates",
+                "critical path",
+                "speedup vs ripple",
+                "area um2",
+            ],
+            &rows,
+        ));
+    }
+    w!(
+        out,
+        "\n(measured: Kogge-Stone helps SILICON more. The organic prefix tree's"
+    );
+    w!(
+        out,
+        " carry-merge ORs land on the unipolar library's slow series NOR cells —"
+    );
+    w!(
+        out,
+        " the §5.5 rise/fall imbalance — which taxes back more than organic's"
+    );
+    w!(
+        out,
+        " free wires give; the best adder architecture is process-dependent)"
+    );
+    Ok(())
+}
+
+/// Ablation: the predictor-quality × pipeline-depth interaction.
+pub(super) fn abl_predictor_depth(ctx: &RunCtx, out: &mut String) -> Result<(), String> {
+    let budget = ctx.budget();
+    let kit = ctx.kit(Process::Organic)?;
+
+    // Pre-compute the split schedule once (synthesis is predictor-blind).
+    let mut specs = vec![CoreSpec::baseline()];
+    for _ in 0..6 {
+        let (deeper, _) = split_critical(kit, specs.last().unwrap());
+        specs.push(deeper);
+    }
+    let freqs: Vec<f64> = specs
+        .iter()
+        .map(|s| synthesize_core_cached(kit, s).frequency)
+        .collect();
+
+    w!(
+        out,
+        "normalized performance on parser (branchy) per depth, by predictor:\n{:>16} {}",
+        "predictor",
+        (9..=15).map(|n| format!("{n:>7}")).collect::<String>()
+    );
+    for (label, kind) in [
+        ("gshare", BpredKind::Gshare),
+        ("bimodal", BpredKind::Bimodal),
+        ("static-NT", BpredKind::StaticNotTaken),
+    ] {
+        let mut perfs = Vec::new();
+        for (spec, freq) in specs.iter().zip(&freqs) {
+            // Thread the predictor kind through the config.
+            let mut cfg = spec.core_config();
+            cfg.bpred.kind = kind;
+            let program = build_workload(Workload::Parser, budget.outer);
+            let mut core = OooCore::new(&program, cfg, Workload::Parser.memory_words());
+            let stats = core.run(budget.instructions);
+            perfs.push(performance(stats.ipc(), *freq));
+        }
+        let base = perfs[0];
+        let row: String = perfs.iter().map(|p| format!("{:>7.2}", p / base)).collect();
+        let best = 9 + perfs
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .map(|(i, _)| i)
+            .unwrap_or(0);
+        w!(out, "{label:>16} {row}   (optimum: {best} stages)");
+    }
+    w!(
+        out,
+        "\n(the deep-pipeline payoff shrinks as prediction degrades — organic"
+    );
+    w!(
+        out,
+        " frequency gains are large enough that the optimum stays deep, but the"
+    );
+    w!(
+        out,
+        " margin over shallow designs narrows with every mispredict)"
+    );
+    Ok(())
+}
+
+/// Ablation: superscalar structure sizes (IQ / ROB / LSQ).
+pub(super) fn abl_structures(ctx: &RunCtx, out: &mut String) -> Result<(), String> {
+    let budget = ctx.budget();
+    let sweep = [
+        (8usize, 24usize, 8usize),
+        (16, 48, 12),
+        (32, 64, 16),
+        (64, 128, 32),
+    ];
+    for (fe, be, label) in [
+        (2usize, 4usize, "silicon optimum M[4][2]"),
+        (2, 7, "organic optimum M[7][2]"),
+    ] {
+        w!(out, "\nwidths fe={fe}, be={be} ({label}):");
+        let mut rows = Vec::new();
+        for (iq, rob, lsq) in sweep {
+            let spec = CoreSpec::with_widths(fe, be);
+            let mut cfg = spec.core_config();
+            cfg.iq_size = iq;
+            cfg.rob_size = rob;
+            cfg.lsq_size = lsq;
+            let mut log_ipc = 0.0;
+            let suite = [Workload::Dhrystone, Workload::Gzip, Workload::Gap];
+            for w in suite {
+                let program = build_workload(w, budget.outer);
+                let mut core = OooCore::new(&program, cfg.clone(), w.memory_words());
+                let stats = core.run(budget.instructions);
+                log_ipc += stats.ipc().max(1e-6).ln();
+            }
+            let ipc = (log_ipc / suite.len() as f64).exp();
+            rows.push(vec![
+                format!("{iq}"),
+                format!("{rob}"),
+                format!("{lsq}"),
+                format!("{ipc:.3}"),
+            ]);
+        }
+        out.push_str(&render_table(&["IQ", "ROB", "LSQ", "gmean IPC"], &rows));
+    }
+    w!(
+        out,
+        "\n(the paper's baseline-class window — IQ 32 / ROB 64 / LSQ 16, the"
+    );
+    w!(
+        out,
+        " third row — sits on the flat part of the curve: bigger windows add"
+    );
+    w!(
+        out,
+        " little IPC at these widths, so the depth/width results stand)"
+    );
+    Ok(())
+}

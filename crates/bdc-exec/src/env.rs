@@ -1,0 +1,85 @@
+//! One-stop validation of the shared environment knobs.
+//!
+//! Every binary in the workspace honours the same three variables:
+//! `BDC_WORKERS` (worker-thread count), `BDC_CACHE_DIR` (artifact-cache
+//! root), and `BDC_NO_CACHE` (disable the cache). Before this module each
+//! binary read them ad hoc and the first *use* — possibly deep inside a
+//! parallel region — panicked on a malformed value. [`env_config`] is the
+//! single front door: call it first thing in `main`, print the `Err` and
+//! exit on failure, and every later read (which uses the same hardened
+//! parsers) is guaranteed to succeed.
+
+use std::path::PathBuf;
+
+use crate::cache::validate_cache_dir;
+use crate::pool::parse_workers;
+
+/// Validated snapshot of the shared environment knobs.
+///
+/// Fields are `None` when the corresponding variable is unset; values are
+/// already validated, so feeding `workers` to [`crate::set_workers`] or
+/// `cache_dir` to the cache layer cannot fail.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EnvConfig {
+    /// `BDC_WORKERS`, parsed and range-checked by [`parse_workers`].
+    pub workers: Option<usize>,
+    /// `BDC_CACHE_DIR`, canonicalized by [`validate_cache_dir`].
+    pub cache_dir: Option<PathBuf>,
+    /// Whether `BDC_NO_CACHE` is set (any value — presence disables the
+    /// artifact cache, matching `ArtifactCache::shared`).
+    pub no_cache: bool,
+}
+
+/// Reads and validates `BDC_WORKERS`, `BDC_CACHE_DIR`, and `BDC_NO_CACHE`.
+///
+/// # Errors
+/// Returns the hardened parsers' diagnostics (which name the offending
+/// variable) when a set variable is malformed, so callers can print the
+/// message verbatim and exit instead of panicking mid-run.
+pub fn env_config() -> Result<EnvConfig, String> {
+    let workers = match std::env::var("BDC_WORKERS") {
+        Ok(raw) => Some(parse_workers(&raw)?),
+        Err(_) => None,
+    };
+    let no_cache = std::env::var_os("BDC_NO_CACHE").is_some();
+    let cache_dir = match std::env::var("BDC_CACHE_DIR") {
+        // BDC_NO_CACHE wins over BDC_CACHE_DIR in `ArtifactCache::shared`,
+        // but a malformed directory is still a configuration error worth
+        // rejecting up front.
+        Ok(raw) => Some(validate_cache_dir(std::path::Path::new(&raw))?),
+        Err(_) => None,
+    };
+    Ok(EnvConfig {
+        workers,
+        cache_dir,
+        no_cache,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Environment-variable tests mutate process-global state; the pool and
+    // cache crates already pin the parser behaviour itself, so here we only
+    // exercise the pure composition path with the variables unset (the
+    // default in `cargo test`) — full end-to-end env handling is covered by
+    // the CLI integration tests in bdc-bench.
+    #[test]
+    fn unset_environment_is_all_none() {
+        if std::env::var_os("BDC_WORKERS").is_none()
+            && std::env::var_os("BDC_CACHE_DIR").is_none()
+            && std::env::var_os("BDC_NO_CACHE").is_none()
+        {
+            let cfg = env_config().expect("empty env is valid");
+            assert_eq!(
+                cfg,
+                EnvConfig {
+                    workers: None,
+                    cache_dir: None,
+                    no_cache: false,
+                }
+            );
+        }
+    }
+}

@@ -21,14 +21,23 @@
 //!   schema-version salt; invalidation is key change, so stale entries are
 //!   simply never addressed again.
 //!
+//! Two supporting pieces ride along: [`env_config`] validates the shared
+//! `BDC_WORKERS` / `BDC_CACHE_DIR` / `BDC_NO_CACHE` environment knobs once
+//! at process start (every binary front door calls it instead of re-reading
+//! the variables ad hoc), and [`json`] holds the deterministic JSON codec
+//! used by registry renders, run manifests, and the serving layer alike.
+//!
 //! The crate is std-only by design: it sits below every other crate in the
 //! workspace and the environment has no registry access (see
 //! `crates/compat/README.md`).
 
 mod cache;
+mod env;
+pub mod json;
 mod pool;
 mod seed;
 
 pub use cache::{fnv1a, validate_cache_dir, ArtifactCache};
+pub use env::{env_config, EnvConfig};
 pub use pool::{par_map, par_mapi, parse_workers, set_workers, workers};
 pub use seed::{task_seed, SplitMix64};

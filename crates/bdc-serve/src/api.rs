@@ -13,22 +13,24 @@
 //! | `/v1/depth` | GET | the Figure-11 depth point at N stages |
 //! | `/v1/width` | GET | the Figure-13/14 width point at (fe, be) |
 //! | `/v1/ipc` | GET/POST | cycle-accurate IPC for (spec, workload) |
+//! | `/v1/experiments` | GET | the experiment-registry catalogue |
+//! | `/v1/experiment` | GET/POST | one rendered registry node, by id |
 //!
 //! Every computational endpoint accepts its parameters as query-string
 //! pairs on GET or a JSON object on POST; both normalize into the same
 //! [`ApiCall`], so the engine coalesces and caches them identically.
+//! Execution dispatches into `bdc_core::registry`: the classic flow
+//! endpoints map onto [`Query`] and the experiment endpoints onto the
+//! registry catalogue, so a served body and a `bdc run` render can never
+//! drift apart.
 //!
 //! **Determinism contract:** for a fixed [`ApiCall`], the response body is
 //! byte-identical regardless of worker count, cache state, batching, or
 //! transport — floats are rendered with shortest round-trip formatting
 //! from bit-identical flow outputs (`tests/determinism.rs` pins this).
 
-use bdc_core::process::shared_kit;
-use bdc_core::{
-    flow::{split_critical, StageTiming},
-    measure_ipc_cached, synthesize_core_cached, CoreSpec, Process, StageKind, SynthesizedCore,
-    TechKit,
-};
+use bdc_core::registry::{self, query::Query};
+use bdc_core::{CoreSpec, Process, StageKind, TechKit};
 use bdc_uarch::Workload;
 
 use crate::http::{parse_query, Method, Request, Response};
@@ -86,6 +88,14 @@ pub enum ApiCall {
         /// Retired-instruction cap.
         instructions: u64,
     },
+    /// `/v1/experiment` — one rendered registry node.
+    Experiment {
+        /// Registry node id (validated against the catalogue at parse
+        /// time, so execution cannot miss).
+        id: String,
+        /// Whether to render at the quick budget.
+        quick: bool,
+    },
 }
 
 impl ApiCall {
@@ -97,6 +107,7 @@ impl ApiCall {
             ApiCall::Depth { .. } => Endpoint::Depth,
             ApiCall::Width { .. } => Endpoint::Width,
             ApiCall::Ipc { .. } => Endpoint::Ipc,
+            ApiCall::Experiment { .. } => Endpoint::Experiment,
         }
     }
 
@@ -114,6 +125,8 @@ pub enum Route {
     Healthz,
     /// `/v1/metrics`.
     Metrics,
+    /// `/v1/experiments` — the static registry catalogue.
+    Experiments,
     /// A computational endpoint.
     Call(ApiCall),
     /// A routing/validation failure, already rendered.
@@ -125,12 +138,14 @@ pub fn route(req: &Request) -> Route {
     match req.path.as_str() {
         "/healthz" => Route::Healthz,
         "/v1/metrics" => Route::Metrics,
-        "/v1/library" | "/v1/synth" | "/v1/depth" | "/v1/width" | "/v1/ipc" => {
+        "/v1/experiments" => Route::Experiments,
+        "/v1/library" | "/v1/synth" | "/v1/depth" | "/v1/width" | "/v1/ipc" | "/v1/experiment" => {
             let endpoint = match req.path.as_str() {
                 "/v1/library" => Endpoint::Library,
                 "/v1/synth" => Endpoint::Synth,
                 "/v1/depth" => Endpoint::Depth,
                 "/v1/width" => Endpoint::Width,
+                "/v1/experiment" => Endpoint::Experiment,
                 _ => Endpoint::Ipc,
             };
             match parse_call(req) {
@@ -314,6 +329,27 @@ fn parse_call(req: &Request) -> Result<ApiCall, String> {
                 instructions: p.uint("instructions", instr0, MAX_INSTRUCTIONS)?,
             })
         }
+        "/v1/experiment" => {
+            let id = p.str_or("id", "");
+            if id.is_empty() {
+                return Err("`id` is required (list ids at /v1/experiments)".into());
+            }
+            if registry::find(&id).is_none() {
+                return Err(format!(
+                    "unknown experiment id `{id}` (list ids at /v1/experiments)"
+                ));
+            }
+            let quick = match p.str_or("budget", "quick").as_str() {
+                "quick" => true,
+                "standard" => false,
+                other => {
+                    return Err(format!(
+                        "`budget` must be `quick` or `standard`, got `{other}`"
+                    ))
+                }
+            };
+            Ok(ApiCall::Experiment { id, quick })
+        }
         _ => Err("unroutable".into()),
     }
 }
@@ -322,143 +358,69 @@ fn parse_call(req: &Request) -> Result<ApiCall, String> {
 // Execution: ApiCall → deterministic JSON response
 // ---------------------------------------------------------------------------
 
-/// Executes a call against the flow. Pure in the call: the same call
+/// Executes a call by dispatching into the registry's query layer (or,
+/// for experiments, the registry itself). Pure in the call: the same call
 /// yields a byte-identical response for any worker count or cache state.
 pub fn execute(call: &ApiCall) -> Response {
-    match call {
-        ApiCall::Library { process } => library_response(shared_kit(*process)),
-        ApiCall::Synth { process, spec } => {
-            let kit = shared_kit(*process);
-            synth_response(kit, spec, &[])
+    let result = match call {
+        ApiCall::Library { process } => Query::Library { process: *process }.run(),
+        ApiCall::Synth { process, spec } => Query::Synth {
+            process: *process,
+            spec: spec.clone(),
         }
-        ApiCall::Depth { process, stages } => {
-            let kit = shared_kit(*process);
-            // Rebuild the paper's split chain: each step cuts the previous
-            // point's critical stage (cached synthesis makes this cheap).
-            let mut spec = CoreSpec::baseline();
-            let mut cuts = Vec::new();
-            for _ in 9..*stages {
-                let (deeper, cut) = split_critical(kit, &spec);
-                spec = deeper;
-                cuts.push(cut);
-            }
-            synth_response(kit, &spec, &cuts)
+        .run(),
+        ApiCall::Depth { process, stages } => Query::Depth {
+            process: *process,
+            stages: *stages,
         }
-        ApiCall::Width { process, fe, be } => {
-            let kit = shared_kit(*process);
-            synth_response(kit, &CoreSpec::with_widths(*fe, *be), &[])
+        .run(),
+        ApiCall::Width { process, fe, be } => Query::Width {
+            process: *process,
+            fe: *fe,
+            be: *be,
         }
+        .run(),
         ApiCall::Ipc {
             spec,
             workload,
             outer,
             instructions,
-        } => {
-            let stats = measure_ipc_cached(spec, *workload, *outer, *instructions);
-            let body = Json::Obj(vec![
-                ("workload".into(), Json::str(workload.name())),
-                ("spec".into(), spec_json(spec)),
-                ("outer".into(), Json::Int(*outer as i64)),
-                ("instruction_cap".into(), Json::Int(*instructions as i64)),
-                ("ipc".into(), Json::Num(stats.ipc())),
-                ("cycles".into(), Json::Int(stats.cycles as i64)),
-                ("instructions".into(), Json::Int(stats.instructions as i64)),
-                ("branches".into(), Json::Int(stats.branches as i64)),
-                ("mispredicts".into(), Json::Int(stats.mispredicts as i64)),
-                ("flushes".into(), Json::Int(stats.flushes as i64)),
-                ("loads".into(), Json::Int(stats.loads as i64)),
-                ("stores".into(), Json::Int(stats.stores as i64)),
-            ]);
-            Response::json(200, body.encode().into_bytes())
+        } => Query::Ipc {
+            spec: spec.clone(),
+            workload: *workload,
+            outer: *outer,
+            instructions: *instructions,
         }
+        .run(),
+        ApiCall::Experiment { id, quick } => registry::run_one_json(id, *quick),
+    };
+    match result {
+        Ok(body) => Response::json(200, body.encode().into_bytes()),
+        Err(msg) => Response::error(500, &msg),
     }
 }
 
-/// Renders the `/v1/library` body from a kit. Values are taken from a
-/// Liberty-text round trip of the library, the exact representation the
-/// artifact cache stores — so a cold (freshly characterized) kit and a
-/// warm (cache-loaded) kit produce byte-identical bodies.
+/// Renders the `/v1/library` body from a kit (thin shim over
+/// [`bdc_core::registry::query::library_json`], kept for tests and
+/// in-process users).
 pub fn library_response(kit: &TechKit) -> Response {
-    let lib = match bdc_cells::parse_library(&bdc_cells::write_library(&kit.lib)) {
-        Ok(lib) => lib,
-        Err(e) => return Response::error(500, &format!("library round-trip: {e:?}")),
-    };
-    let cells = bdc_cells::library::cell_summary(&lib)
-        .into_iter()
-        .map(|(name, area, cap, delay)| {
-            Json::Obj(vec![
-                ("name".into(), Json::Str(name)),
-                ("area_um2".into(), Json::Num(area)),
-                ("input_cap_f".into(), Json::Num(cap)),
-                ("delay_s".into(), Json::Num(delay)),
-            ])
-        })
-        .collect();
-    let body = Json::Obj(vec![
-        ("process".into(), Json::str(kit.process.name())),
-        ("vdd".into(), Json::Num(lib.vdd)),
-        ("vss".into(), Json::Num(lib.vss)),
-        ("fo4_delay_s".into(), Json::Num(lib.fo4_delay())),
-        (
-            "dff".into(),
-            Json::Obj(vec![
-                ("setup_s".into(), Json::Num(lib.dff.setup)),
-                ("hold_s".into(), Json::Num(lib.dff.hold)),
-                ("clk_to_q_s".into(), Json::Num(lib.dff.clk_to_q)),
-            ]),
-        ),
-        ("cells".into(), Json::Arr(cells)),
-    ]);
+    match bdc_core::registry::query::library_json(kit) {
+        Ok(body) => Response::json(200, body.encode().into_bytes()),
+        Err(msg) => Response::error(500, &msg),
+    }
+}
+
+/// Renders a synthesized-core body (thin shim over
+/// [`bdc_core::registry::query::synth_json`], kept for tests and
+/// in-process users).
+pub fn synth_response(kit: &TechKit, spec: &CoreSpec, cuts: &[StageKind]) -> Response {
+    let body = bdc_core::registry::query::synth_json(kit, spec, cuts);
     Response::json(200, body.encode().into_bytes())
 }
 
-fn spec_json(spec: &CoreSpec) -> Json {
-    Json::Obj(vec![
-        ("fe_width".into(), Json::Int(spec.fe_width as i64)),
-        ("be_pipes".into(), Json::Int(spec.be_pipes as i64)),
-        (
-            "splits".into(),
-            Json::Arr(spec.splits.iter().map(|s| Json::str(s.name())).collect()),
-        ),
-    ])
-}
-
-/// Renders a synthesized-core body (shared by `/v1/synth`, `/v1/depth`,
-/// `/v1/width`). `cuts` names the split chain when the spec was derived by
-/// critical-stage cutting.
-pub fn synth_response(kit: &TechKit, spec: &CoreSpec, cuts: &[StageKind]) -> Response {
-    let core: SynthesizedCore = synthesize_core_cached(kit, spec);
-    let stages = core
-        .stages
-        .iter()
-        .map(|s: &StageTiming| {
-            Json::Obj(vec![
-                ("stage".into(), Json::str(s.kind.name())),
-                ("substages".into(), Json::Int(s.substages as i64)),
-                ("logic_delay_s".into(), Json::Num(s.logic_delay)),
-                ("area_um2".into(), Json::Num(s.area_um2)),
-            ])
-        })
-        .collect();
-    let mut members = vec![
-        ("process".into(), Json::str(kit.process.name())),
-        ("spec".into(), spec_json(spec)),
-        ("total_stages".into(), Json::Int(spec.total_stages() as i64)),
-        ("period_s".into(), Json::Num(core.period)),
-        ("frequency_hz".into(), Json::Num(core.frequency)),
-        ("area_um2".into(), Json::Num(core.area_um2)),
-        ("critical_stage".into(), Json::str(core.critical.name())),
-        ("seq_overhead_s".into(), Json::Num(core.seq_overhead)),
-        ("wire_overhead_s".into(), Json::Num(core.wire_overhead)),
-        ("stages".into(), Json::Arr(stages)),
-    ];
-    if !cuts.is_empty() {
-        members.push((
-            "cut_chain".into(),
-            Json::Arr(cuts.iter().map(|c| Json::str(c.name())).collect()),
-        ));
-    }
-    Response::json(200, Json::Obj(members).encode().into_bytes())
+/// The `/v1/experiments` body: the registry catalogue.
+pub fn experiments_response() -> Response {
+    Response::json(200, registry::catalogue_json().encode().into_bytes())
 }
 
 /// The `/healthz` body.

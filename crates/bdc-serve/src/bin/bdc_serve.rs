@@ -67,6 +67,10 @@ fn parse_num(flag: &str, raw: &str) -> usize {
 }
 
 fn main() {
+    if let Err(e) = bdc_exec::env_config() {
+        eprintln!("bdc_serve: {e}");
+        std::process::exit(2);
+    }
     let cfg = parse_args();
     bdc_serve::install_signal_handlers();
     if !cfg.warm.is_empty() {

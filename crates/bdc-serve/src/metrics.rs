@@ -30,13 +30,17 @@ pub enum Endpoint {
     Width,
     /// `/v1/ipc`.
     Ipc,
+    /// `/v1/experiments` (the registry catalogue).
+    Experiments,
+    /// `/v1/experiment` (one rendered registry node).
+    Experiment,
     /// Anything else (404s, parse failures).
     Other,
 }
 
 impl Endpoint {
     /// All endpoints in metrics-report order.
-    pub fn all() -> [Endpoint; 8] {
+    pub fn all() -> [Endpoint; 10] {
         [
             Endpoint::Healthz,
             Endpoint::Metrics,
@@ -45,6 +49,8 @@ impl Endpoint {
             Endpoint::Depth,
             Endpoint::Width,
             Endpoint::Ipc,
+            Endpoint::Experiments,
+            Endpoint::Experiment,
             Endpoint::Other,
         ]
     }
@@ -59,6 +65,8 @@ impl Endpoint {
             Endpoint::Depth => "depth",
             Endpoint::Width => "width",
             Endpoint::Ipc => "ipc",
+            Endpoint::Experiments => "experiments",
+            Endpoint::Experiment => "experiment",
             Endpoint::Other => "other",
         }
     }
@@ -72,7 +80,9 @@ impl Endpoint {
             Endpoint::Depth => 4,
             Endpoint::Width => 5,
             Endpoint::Ipc => 6,
-            Endpoint::Other => 7,
+            Endpoint::Experiments => 7,
+            Endpoint::Experiment => 8,
+            Endpoint::Other => 9,
         }
     }
 }
@@ -174,7 +184,7 @@ impl EndpointStats {
 #[derive(Debug)]
 pub struct Registry {
     start: Instant,
-    endpoints: [EndpointStats; 8],
+    endpoints: [EndpointStats; 10],
     /// Connections accepted since boot.
     pub connections: AtomicU64,
     /// Connections shed at accept time (conn queue full).

@@ -310,6 +310,9 @@ fn serve_connection(
 pub fn handle(request: &http::Request, engine: &Engine<api::ApiCall>) -> (Endpoint, Response) {
     match api::route(request) {
         Route::Healthz => (Endpoint::Healthz, api::healthz()),
+        // The catalogue is static metadata — answered inline, no engine
+        // round-trip.
+        Route::Experiments => (Endpoint::Experiments, api::experiments_response()),
         Route::Metrics => {
             let snap = engine
                 .metrics()

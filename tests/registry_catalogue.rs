@@ -1,0 +1,74 @@
+//! Registry catalogue invariants (ISSUE 4 satellite): every canonical
+//! experiment driver is owned by exactly one registered node, ids are
+//! unique and kebab/fig-case, and node metadata is well-formed — so `bdc
+//! list`, the serve catalogue, and the rendered headers cannot drift.
+
+use bdc_core::registry::{find, NODES};
+use bdc_core::{experiments, extensions};
+
+/// kebab/fig-case: lowercase alphanumeric runs joined by single dashes.
+fn is_kebab(id: &str) -> bool {
+    !id.is_empty()
+        && !id.starts_with('-')
+        && !id.ends_with('-')
+        && !id.contains("--")
+        && id
+            .chars()
+            .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '-')
+}
+
+#[test]
+fn ids_are_unique_and_kebab_case() {
+    let mut seen = std::collections::BTreeSet::new();
+    for node in NODES {
+        assert!(is_kebab(node.id), "id `{}` is not kebab/fig-case", node.id);
+        assert!(seen.insert(node.id), "duplicate id `{}`", node.id);
+        assert!(std::ptr::eq(find(node.id).unwrap(), node));
+    }
+}
+
+#[test]
+fn every_driver_has_exactly_one_node() {
+    let all_drivers: Vec<&str> = experiments::driver_names()
+        .iter()
+        .chain(extensions::driver_names())
+        .copied()
+        .collect();
+    for driver in &all_drivers {
+        let owners: Vec<&str> = NODES
+            .iter()
+            .filter(|n| n.drivers.contains(driver))
+            .map(|n| n.id)
+            .collect();
+        assert_eq!(
+            owners.len(),
+            1,
+            "driver `{driver}` must be owned by exactly one node, found {owners:?}"
+        );
+    }
+    // And no node claims a driver that is not canonical.
+    for node in NODES {
+        for driver in node.drivers {
+            assert!(
+                all_drivers.contains(driver),
+                "node `{}` claims unknown driver `{driver}`",
+                node.id
+            );
+        }
+    }
+}
+
+#[test]
+fn node_metadata_is_well_formed() {
+    let mut bins = std::collections::BTreeSet::new();
+    for node in NODES {
+        assert!(!node.title.is_empty(), "{}: empty title", node.id);
+        assert!(!node.what.is_empty(), "{}: empty what", node.id);
+        assert!(
+            bins.insert(node.legacy_bin),
+            "duplicate legacy_bin `{}`",
+            node.legacy_bin
+        );
+    }
+    assert_eq!(NODES.len(), 25, "the catalogue covers all 25 experiments");
+}
