@@ -8,19 +8,26 @@
 //! bdc run fig12 --quick              # one node, legacy-identical stdout
 //! bdc run --all --quick              # the whole plan, parallel
 //! bdc run --all --quick --require-warm   # fail unless every node hit cache
+//! bdc run --all --max-retries 5      # widen the per-node retry budget
 //! ```
 //!
 //! `run` prints the selected nodes' rendered text to stdout in catalogue
 //! order (a single-node run is byte-identical to the legacy binary) and
-//! writes the run manifest — per-node wall time, cache hit/miss, artifact
-//! key — to `results/run_manifest.json`. Progress and the per-node
-//! summary go to stderr so stdout stays clean for diffing.
+//! writes the run manifest — per-node status/attempts, wall time, cache
+//! hit/miss, artifact key, and the run's fault/recovery counters — to
+//! `results/run_manifest.json`. Progress and the per-node summary go to
+//! stderr so stdout stays clean for diffing. A node that panics or errors
+//! is retried (`--max-retries`, default 2) and reported as a `failed`
+//! manifest row rather than aborting the other nodes; the exit status is
+//! nonzero only when a node exhausts its retries (or `--require-warm`
+//! finds a cold node).
 
 use bdc_core::registry::{self, NODES};
 
 fn usage() -> ! {
     eprintln!(
-        "usage:\n  bdc list [--json]\n  bdc run [--quick] [--all] [--require-warm] <id>...\n\
+        "usage:\n  bdc list [--json]\n  bdc run [--quick] [--all] [--require-warm] \
+         [--max-retries N] <id>...\n\
          \nids: see `bdc list`"
     );
     std::process::exit(2);
@@ -45,12 +52,23 @@ fn cmd_list(json: bool) {
 fn cmd_run(args: &[String]) -> ! {
     let mut all = false;
     let mut require_warm = false;
+    let mut max_retries = registry::DEFAULT_MAX_RETRIES;
     let mut ids: Vec<&str> = Vec::new();
-    for a in args {
+    let mut iter = args.iter();
+    while let Some(a) = iter.next() {
         match a.as_str() {
             "--all" => all = true,
             "--require-warm" => require_warm = true,
             "--quick" => {} // consumed by bdc_bench::quick_mode()
+            "--max-retries" => {
+                max_retries = match iter.next().map(|v| v.parse::<u32>()) {
+                    Some(Ok(n)) => n,
+                    _ => {
+                        eprintln!("--max-retries needs an unsigned integer");
+                        usage();
+                    }
+                };
+            }
             flag if flag.starts_with('-') => {
                 eprintln!("unknown flag `{flag}`");
                 usage();
@@ -66,7 +84,7 @@ fn cmd_run(args: &[String]) -> ! {
     }
 
     let quick = bdc_bench::quick_mode();
-    let report = match registry::run_plan(&ids, quick) {
+    let report = match registry::run_plan_with_retries(&ids, quick, max_retries) {
         Ok(r) => r,
         Err(e) => {
             eprintln!("error: {e}");
@@ -95,12 +113,35 @@ fn cmd_run(args: &[String]) -> ! {
         hits
     );
     for node in &report.nodes {
+        let outcome = if !node.ok() {
+            "FAILED"
+        } else if node.cache_hit {
+            "hit"
+        } else {
+            "miss"
+        };
+        let retried = if node.attempts > 1 {
+            format!("  ({} attempts)", node.attempts)
+        } else {
+            String::new()
+        };
         eprintln!(
-            "  {:<22} {:>8.3}s  {}",
-            node.id,
-            node.wall_s,
-            if node.cache_hit { "hit" } else { "miss" }
+            "  {:<22} {:>8.3}s  {outcome}{retried}",
+            node.id, node.wall_s
         );
+    }
+
+    let failed: Vec<&str> = report.failed().map(|n| n.id).collect();
+    if !failed.is_empty() {
+        for node in report.failed() {
+            eprintln!(
+                "error: node {} failed after {} attempt(s): {}",
+                node.id,
+                node.attempts,
+                node.error.as_deref().unwrap_or("unknown")
+            );
+        }
+        std::process::exit(1);
     }
 
     if require_warm {

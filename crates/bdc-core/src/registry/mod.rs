@@ -22,9 +22,11 @@
 pub mod query;
 mod render;
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::OnceLock;
 use std::time::Instant;
 
+use bdc_exec::faults;
 use bdc_exec::json::Json;
 use bdc_exec::{fnv1a, par_map, ArtifactCache};
 
@@ -463,14 +465,27 @@ pub fn catalogue_json() -> Json {
 pub struct NodeReport {
     /// The node's id.
     pub id: &'static str,
-    /// Wall time of this node's render (or cache load), in seconds.
+    /// Wall time of this node's render (or cache load), in seconds,
+    /// including retries and backoff.
     pub wall_s: f64,
     /// Whether the render was served from the artifact cache.
     pub cache_hit: bool,
     /// The node's artifact cache key.
     pub key: u64,
-    /// The rendered text.
+    /// The rendered text (empty when the node failed).
     pub text: String,
+    /// Execution attempts taken (1 = first try succeeded).
+    pub attempts: u32,
+    /// The last attempt's error when the node exhausted its retries;
+    /// `None` on success.
+    pub error: Option<String>,
+}
+
+impl NodeReport {
+    /// Whether the node rendered successfully (possibly after retries).
+    pub fn ok(&self) -> bool {
+        self.error.is_none()
+    }
 }
 
 /// What a plan execution produced: one entry per selected node, in
@@ -480,15 +495,62 @@ pub struct RunReport {
     pub quick: bool,
     /// Worker count the pool fanned nodes onto.
     pub workers: usize,
+    /// Retry budget each node had (`attempts <= max_retries + 1`).
+    pub max_retries: u32,
     /// Per-node results, in catalogue order.
     pub nodes: Vec<NodeReport>,
+    /// Fault/recovery counter deltas accumulated during this plan.
+    pub faults: faults::FaultCounters,
+}
+
+impl RunReport {
+    /// The nodes that exhausted their retries.
+    pub fn failed(&self) -> impl Iterator<Item = &NodeReport> {
+        self.nodes.iter().filter(|n| !n.ok())
+    }
+}
+
+/// Default per-node retry budget for [`run_plan`] (the `bdc run`
+/// `--max-retries` flag overrides it via [`run_plan_with_retries`]).
+pub const DEFAULT_MAX_RETRIES: u32 = 2;
+
+/// [`run_plan_with_retries`] at the default retry budget.
+///
+/// # Errors
+/// See [`run_plan_with_retries`].
+pub fn run_plan(ids: &[&str], quick: bool) -> Result<RunReport, String> {
+    run_plan_with_retries(ids, quick, DEFAULT_MAX_RETRIES)
+}
+
+/// The panic payload as a printable message.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> &str {
+    payload
+        .downcast_ref::<&str>()
+        .copied()
+        .or_else(|| payload.downcast_ref::<String>().map(String::as_str))
+        .unwrap_or("opaque panic payload")
 }
 
 /// Resolves `ids` against the catalogue (deduplicated, catalogue order),
 /// checks the selected nodes' cache keys are collision-free, prewarms
 /// shared library dependencies, then fans the nodes onto the `bdc-exec`
-/// pool. The first node error aborts the plan.
-pub fn run_plan(ids: &[&str], quick: bool) -> Result<RunReport, String> {
+/// pool.
+///
+/// Each node is guarded: a panicking or erroring render is retried up to
+/// `max_retries` times with seeded backoff ([`faults::backoff_delay`]),
+/// and a node that exhausts its budget becomes a `failed` row in the
+/// report — it never aborts the other nodes. Plan-level `Err` is reserved
+/// for configuration problems (unknown id, cache-key collision).
+///
+/// # Errors
+/// An unknown experiment id, or a cache-key collision between selected
+/// nodes (two nodes must never share a content address, or one would
+/// silently serve the other's bytes).
+pub fn run_plan_with_retries(
+    ids: &[&str],
+    quick: bool,
+    max_retries: u32,
+) -> Result<RunReport, String> {
     for id in ids {
         if find(id).is_none() {
             return Err(format!("unknown experiment id `{id}` (try `bdc list`)"));
@@ -520,31 +582,92 @@ pub fn run_plan(ids: &[&str], quick: bool) -> Result<RunReport, String> {
             }
         }
     }
-    let warm = par_map(&libs, |p| ctx.kit(*p).map(|_| ()));
-    for r in warm {
-        r?;
-    }
+    // Prewarm failures are not fatal: the dependent nodes re-surface the
+    // same error as per-node `failed` rows, and independent nodes still
+    // run to completion.
+    let _ = par_map(&libs, |p| ctx.kit(*p).map(|_| ()));
 
-    let results = par_map(&selected, |node| {
+    let before = faults::counters();
+    let nodes = par_map(&selected, |node| {
         let t0 = Instant::now();
-        let out = run_node(node, &ctx)?;
-        Ok::<NodeReport, String>(NodeReport {
-            id: out.id,
-            wall_s: t0.elapsed().as_secs_f64(),
-            cache_hit: out.cache_hit,
-            key: out.key,
-            text: out.text,
-        })
+        let site = format!("node-{}", node.id);
+        let mut attempts: u32 = 0;
+        let outcome = loop {
+            // The guard catches both injected panics (`faults::maybe_panic`
+            // re-rolls per attempt) and genuine ones from the render; the
+            // kit `OnceLock` stays uninitialized if its builder panics, so
+            // a retry re-runs it.
+            let caught = catch_unwind(AssertUnwindSafe(|| {
+                faults::maybe_panic(&site, u64::from(attempts));
+                run_node(node, &ctx)
+            }));
+            attempts += 1;
+            let err = match caught {
+                Ok(Ok(out)) => break Ok(out),
+                Ok(Err(e)) => e,
+                Err(payload) => {
+                    faults::note_panic_contained();
+                    format!("panic: {}", panic_message(payload.as_ref()))
+                }
+            };
+            if attempts > max_retries {
+                break Err(err);
+            }
+            faults::note_retry();
+            std::thread::sleep(faults::backoff_delay(&site, u64::from(attempts)));
+        };
+        let wall_s = t0.elapsed().as_secs_f64();
+        match outcome {
+            Ok(out) => NodeReport {
+                id: out.id,
+                wall_s,
+                cache_hit: out.cache_hit,
+                key: out.key,
+                text: out.text,
+                attempts,
+                error: None,
+            },
+            Err(e) => NodeReport {
+                id: node.id,
+                wall_s,
+                cache_hit: false,
+                key: node_cache_key(node, ctx.quick, ctx.budget),
+                text: String::new(),
+                attempts,
+                error: Some(e),
+            },
+        }
     });
-    let mut nodes = Vec::with_capacity(results.len());
-    for r in results {
-        nodes.push(r?);
-    }
     Ok(RunReport {
         quick,
         workers: bdc_exec::workers(),
+        max_retries,
         nodes,
+        faults: faults::counters().since(&before),
     })
+}
+
+/// The survival-counter JSON object embedded in the run manifest (and
+/// mirrored, from live counters, in `/v1/metrics`).
+pub fn fault_counters_json(c: &faults::FaultCounters) -> Json {
+    Json::Obj(vec![
+        (
+            "injected_corrupt".into(),
+            Json::Int(c.injected_corrupt as i64),
+        ),
+        (
+            "injected_panics".into(),
+            Json::Int(c.injected_panics as i64),
+        ),
+        ("io_delays".into(), Json::Int(c.io_delays as i64)),
+        ("retries".into(), Json::Int(c.retries as i64)),
+        (
+            "panics_contained".into(),
+            Json::Int(c.panics_contained as i64),
+        ),
+        ("quarantined".into(), Json::Int(c.quarantined as i64)),
+        ("rebuilt".into(), Json::Int(c.rebuilt as i64)),
+    ])
 }
 
 /// The run manifest the CLI writes to `results/run_manifest.json`.
@@ -553,25 +676,39 @@ pub fn manifest_json(report: &RunReport) -> Json {
         ("quick".into(), Json::Bool(report.quick)),
         ("workers".into(), Json::Int(report.workers as i64)),
         (
+            "max_retries".into(),
+            Json::Int(i64::from(report.max_retries)),
+        ),
+        (
             "nodes".into(),
             Json::Arr(
                 report
                     .nodes
                     .iter()
                     .map(|n| {
-                        Json::Obj(vec![
+                        let mut row = vec![
                             ("id".into(), Json::str(n.id)),
+                            (
+                                "status".into(),
+                                Json::str(if n.ok() { "ok" } else { "failed" }),
+                            ),
+                            ("attempts".into(), Json::Int(i64::from(n.attempts))),
                             ("wall_s".into(), Json::Num(n.wall_s)),
                             (
                                 "cache".into(),
                                 Json::str(if n.cache_hit { "hit" } else { "miss" }),
                             ),
                             ("artifact_key".into(), Json::str(format!("{:016x}", n.key))),
-                        ])
+                        ];
+                        if let Some(e) = &n.error {
+                            row.push(("error".into(), Json::str(e)));
+                        }
+                        Json::Obj(row)
                     })
                     .collect(),
             ),
         ),
+        ("faults".into(), fault_counters_json(&report.faults)),
     ])
 }
 

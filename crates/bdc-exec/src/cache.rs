@@ -1,4 +1,4 @@
-//! Content-addressed artifact cache under `results/cache/`.
+//! Content-addressed, self-healing artifact cache under `results/cache/`.
 //!
 //! An artifact is any serialized flow product — a characterized library in
 //! its Liberty-dialect text, a synthesized-core `(T_min, area)` record. The
@@ -8,13 +8,32 @@
 //! key change* — touching any input addresses a different file and the old
 //! entry is simply never read again.
 //!
+//! On-disk format: a one-line header `bdc-artifact-v1 <fnv:016x> <len>`
+//! followed by the payload. Writes go through a temp file + rename so
+//! concurrent writers never expose a torn artifact; reads verify the
+//! header's version, length, and FNV-1a checksum, and any artifact that
+//! fails verification — corrupt, truncated, or written by a different
+//! format version — is moved to `quarantine/` under the cache root and
+//! reported as a miss, so the caller transparently rebuilds it. Orphaned
+//! `.tmp-*` files left by crashed runs are reaped when a store opens. All
+//! I/O failures degrade to cache misses — the cache is an accelerator,
+//! never a correctness dependency.
+//!
 //! Environment knobs: `BDC_CACHE_DIR` overrides the root directory,
 //! `BDC_NO_CACHE=1` disables the cache entirely (every load misses, every
-//! store is dropped). Writes go through a temp file + rename so concurrent
-//! writers never expose a torn artifact; all I/O failures degrade to cache
-//! misses — the cache is an accelerator, never a correctness dependency.
+//! store is dropped), and `BDC_FAULTS` (see [`crate::faults`]) can inject
+//! deterministic read corruption and I/O delay to exercise the
+//! quarantine/rebuild path.
 
+use std::collections::HashSet;
 use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+use crate::faults;
+
+/// On-disk artifact format version tag; bump on any framing change so
+/// older entries quarantine-and-rebuild instead of misparsing.
+const MAGIC: &str = "bdc-artifact-v1";
 
 /// FNV-1a 64-bit hash over a sequence of string parts. Parts are separated
 /// by a 0xFF sentinel byte (which cannot occur in UTF-8), so `["ab", "c"]`
@@ -55,6 +74,21 @@ pub fn validate_cache_dir(dir: &Path) -> Result<PathBuf, String> {
     }
 }
 
+/// Artifacts quarantined by this process, by final path — lets `store`
+/// distinguish a rebuild (count it) from a first build.
+static QUARANTINED_PATHS: Mutex<Option<HashSet<PathBuf>>> = Mutex::new(None);
+
+fn mark_quarantined(path: &Path) {
+    let mut set = QUARANTINED_PATHS.lock().unwrap_or_else(|p| p.into_inner());
+    set.get_or_insert_with(HashSet::new)
+        .insert(path.to_path_buf());
+}
+
+fn take_quarantined(path: &Path) -> bool {
+    let mut set = QUARANTINED_PATHS.lock().unwrap_or_else(|p| p.into_inner());
+    set.as_mut().is_some_and(|s| s.remove(path))
+}
+
 /// A content-addressed, string-payload artifact cache rooted at one
 /// directory.
 #[derive(Debug, Clone)]
@@ -65,12 +99,15 @@ pub struct ArtifactCache {
 
 impl ArtifactCache {
     /// A cache rooted at an explicit directory (created lazily on first
-    /// store).
+    /// store). Opening the store reaps `.tmp-*` files orphaned by crashed
+    /// runs.
     pub fn new(root: impl Into<PathBuf>) -> Self {
-        ArtifactCache {
+        let cache = ArtifactCache {
             root: root.into(),
             enabled: true,
-        }
+        };
+        cache.reap_orphaned_tmp();
+        cache
     }
 
     /// A cache that never hits and never writes.
@@ -130,22 +167,96 @@ impl ArtifactCache {
         self.root.join(format!("{name}-{key:016x}.txt"))
     }
 
-    /// Loads the artifact addressed by `(name, key)`, or `None` on miss or
-    /// any I/O failure.
+    /// The quarantine directory failed artifacts are moved to.
+    pub fn quarantine_dir(&self) -> PathBuf {
+        self.root.join("quarantine")
+    }
+
+    /// Removes `.tmp-{name}-{key}-{pid}` files whose writing process is
+    /// gone — a crashed run leaks its temp file forever otherwise. A live
+    /// sibling's in-flight temp is left alone (its pid still exists); if
+    /// liveness cannot be established the file is only reclaimed when the
+    /// pid differs from ours, which at worst turns a concurrent writer's
+    /// rename into a silent re-store (the failures-are-misses contract).
+    fn reap_orphaned_tmp(&self) {
+        let Ok(entries) = std::fs::read_dir(&self.root) else {
+            return;
+        };
+        let own_pid = std::process::id();
+        for entry in entries.flatten() {
+            let name = entry.file_name();
+            let Some(name) = name.to_str() else { continue };
+            if !name.starts_with(".tmp-") {
+                continue;
+            }
+            let orphaned = match name
+                .rsplit_once('-')
+                .and_then(|(_, pid)| pid.parse::<u32>().ok())
+            {
+                // Malformed temp name: nobody will ever rename it.
+                None => true,
+                Some(pid) if pid == own_pid => false,
+                Some(pid) => !pid_is_alive(pid),
+            };
+            if orphaned {
+                let _ = std::fs::remove_file(entry.path());
+            }
+        }
+    }
+
+    /// Loads the artifact addressed by `(name, key)`, or `None` on miss,
+    /// any I/O failure, or a failed verification (in which case the
+    /// artifact is quarantined first — see [`Self::quarantine_dir`]).
     pub fn load(&self, name: &str, key: u64) -> Option<String> {
         if !self.enabled {
             return None;
         }
-        std::fs::read_to_string(self.path_for(name, key)).ok()
+        faults::inject_io_delay();
+        let path = self.path_for(name, key);
+        // Read as bytes: corruption can produce invalid UTF-8, which must
+        // quarantine like any other verification failure (a missing file
+        // stays a plain miss).
+        let mut bytes = std::fs::read(&path).ok()?;
+        if faults::inject_cache_corrupt(name, key) {
+            corrupt_in_place(&mut bytes);
+        }
+        match std::str::from_utf8(&bytes)
+            .map_err(|_| "not UTF-8".to_string())
+            .and_then(unframe)
+        {
+            Ok(payload) => Some(payload.to_string()),
+            Err(_) => {
+                self.quarantine(&path);
+                None
+            }
+        }
     }
 
-    /// Stores an artifact. Returns whether the artifact is on disk
-    /// afterwards; failures are silent by contract (a cache must never
-    /// fail the flow).
+    /// Moves a failed artifact into the quarantine directory (best
+    /// effort; on failure the file is removed so it cannot poison the
+    /// next read either way).
+    fn quarantine(&self, path: &Path) {
+        faults::note_quarantine();
+        mark_quarantined(path);
+        let dir = self.quarantine_dir();
+        let moved = std::fs::create_dir_all(&dir).is_ok()
+            && path
+                .file_name()
+                .map(|f| std::fs::rename(path, dir.join(f)).is_ok())
+                .unwrap_or(false);
+        if !moved {
+            let _ = std::fs::remove_file(path);
+        }
+    }
+
+    /// Stores an artifact (framed with the version + checksum header).
+    /// Returns whether the artifact is on disk afterwards; failures are
+    /// silent by contract (a cache must never fail the flow).
     pub fn store(&self, name: &str, key: u64, text: &str) -> bool {
         if !self.enabled {
             return false;
         }
+        faults::inject_io_delay();
         if std::fs::create_dir_all(&self.root).is_err() {
             return false;
         }
@@ -153,14 +264,77 @@ impl ArtifactCache {
         let tmp = self
             .root
             .join(format!(".tmp-{name}-{key:016x}-{}", std::process::id()));
-        if std::fs::write(&tmp, text).is_err() {
+        if std::fs::write(&tmp, frame(text)).is_err() {
             return false;
         }
         if std::fs::rename(&tmp, &final_path).is_err() {
             let _ = std::fs::remove_file(&tmp);
             return final_path.exists();
         }
+        if take_quarantined(&final_path) {
+            faults::note_rebuilt();
+        }
         true
+    }
+}
+
+/// Whether a process with this pid exists (Linux: `/proc/<pid>`;
+/// elsewhere conservatively assume dead — the temp file is then reaped,
+/// which only costs a concurrent writer one silent re-store).
+#[cfg(target_os = "linux")]
+fn pid_is_alive(pid: u32) -> bool {
+    Path::new(&format!("/proc/{pid}")).exists()
+}
+
+#[cfg(not(target_os = "linux"))]
+fn pid_is_alive(_pid: u32) -> bool {
+    false
+}
+
+/// Frames a payload with the `bdc-artifact-v1 <fnv> <len>` header.
+fn frame(text: &str) -> String {
+    format!("{MAGIC} {:016x} {}\n{text}", fnv1a(&[text]), text.len())
+}
+
+/// Parses and verifies a framed artifact, returning the payload slice.
+///
+/// # Errors
+/// Names the first check that failed (version, framing, length,
+/// checksum) — the caller quarantines on any of them.
+fn unframe(raw: &str) -> Result<&str, String> {
+    let (header, payload) = raw
+        .split_once('\n')
+        .ok_or_else(|| "missing header line".to_string())?;
+    let mut parts = header.split(' ');
+    let (magic, sum, len) = match (parts.next(), parts.next(), parts.next(), parts.next()) {
+        (Some(m), Some(s), Some(l), None) => (m, s, l),
+        _ => return Err("malformed header".into()),
+    };
+    if magic != MAGIC {
+        return Err(format!("version skew: `{magic}` != `{MAGIC}`"));
+    }
+    let expect_sum =
+        u64::from_str_radix(sum, 16).map_err(|_| "unparseable checksum".to_string())?;
+    let expect_len: usize = len.parse().map_err(|_| "unparseable length".to_string())?;
+    if payload.len() != expect_len {
+        return Err(format!(
+            "truncated: payload {} bytes, header says {expect_len}",
+            payload.len()
+        ));
+    }
+    if fnv1a(&[payload]) != expect_sum {
+        return Err("checksum mismatch".into());
+    }
+    Ok(payload)
+}
+
+/// Flips the low bit of the last byte (for injected read corruption) —
+/// past the header, so the failure surfaces as a checksum mismatch,
+/// exactly what real media corruption looks like. An empty file fails
+/// framing instead.
+fn corrupt_in_place(bytes: &mut [u8]) {
+    if let Some(last) = bytes.last_mut() {
+        *last ^= 0x01;
     }
 }
 
@@ -198,6 +372,76 @@ mod tests {
         let c = ArtifactCache::disabled();
         assert!(!c.store("lib", 1, "x"));
         assert_eq!(c.load("lib", 1), None);
+    }
+
+    #[test]
+    fn corrupt_artifact_is_quarantined_then_rebuilt() {
+        let c = temp_cache("corrupt");
+        let key = 0x1234;
+        assert!(c.store("lib", key, "the real payload"));
+        // Flip bytes on disk, as failing media would.
+        let path = c.path_for("lib", key);
+        let mut bytes = std::fs::read(&path).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0xFF;
+        std::fs::write(&path, &bytes).unwrap();
+
+        let before = faults::counters();
+        // The read detects the corruption, quarantines, and misses.
+        assert_eq!(c.load("lib", key), None);
+        assert!(!path.exists(), "corrupt artifact must leave the store");
+        let quarantined: Vec<_> = std::fs::read_dir(c.quarantine_dir())
+            .unwrap()
+            .flatten()
+            .map(|e| e.file_name().to_string_lossy().into_owned())
+            .collect();
+        assert!(
+            quarantined.iter().any(|f| f.starts_with("lib-")),
+            "{quarantined:?}"
+        );
+        // The rebuild stores cleanly and the second read hits.
+        assert!(c.store("lib", key, "the real payload"));
+        assert_eq!(c.load("lib", key).as_deref(), Some("the real payload"));
+        let delta = faults::counters().since(&before);
+        assert_eq!(delta.quarantined, 1);
+        assert_eq!(delta.rebuilt, 1);
+        let _ = std::fs::remove_dir_all(c.root());
+    }
+
+    #[test]
+    fn truncated_and_version_skewed_artifacts_miss() {
+        let c = temp_cache("skew");
+        assert!(c.store("x", 1, "hello"));
+        let path = c.path_for("x", 1);
+        // Truncate mid-payload.
+        let framed = std::fs::read_to_string(&path).unwrap();
+        std::fs::write(&path, &framed[..framed.len() - 2]).unwrap();
+        assert_eq!(c.load("x", 1), None);
+        // A pre-header (legacy) artifact reads as version skew.
+        assert!(c.store("x", 2, "hello"));
+        std::fs::write(c.path_for("x", 2), "bare legacy payload\n").unwrap();
+        assert_eq!(c.load("x", 2), None);
+        let _ = std::fs::remove_dir_all(c.root());
+    }
+
+    #[test]
+    fn orphaned_tmp_files_are_reaped_on_open() {
+        let dir = std::env::temp_dir().join(format!("bdc-exec-reap-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        // An orphan from a dead pid (pid-space maxes out well below this),
+        // a malformed orphan, and a live one from our own pid.
+        let dead = dir.join(".tmp-lib-0000000000000001-4000000000");
+        let malformed = dir.join(".tmp-lib-garbage");
+        let ours = dir.join(format!(".tmp-lib-0000000000000002-{}", std::process::id()));
+        for f in [&dead, &malformed, &ours] {
+            std::fs::write(f, "partial").unwrap();
+        }
+        let c = ArtifactCache::new(&dir);
+        assert!(!dead.exists(), "dead-pid orphan must be reaped");
+        assert!(!malformed.exists(), "malformed orphan must be reaped");
+        assert!(ours.exists(), "own in-flight tmp must survive");
+        let _ = std::fs::remove_dir_all(c.root());
     }
 
     #[test]

@@ -1,8 +1,9 @@
 //! One-stop validation of the shared environment knobs.
 //!
-//! Every binary in the workspace honours the same three variables:
+//! Every binary in the workspace honours the same four variables:
 //! `BDC_WORKERS` (worker-thread count), `BDC_CACHE_DIR` (artifact-cache
-//! root), and `BDC_NO_CACHE` (disable the cache). Before this module each
+//! root), `BDC_NO_CACHE` (disable the cache), and `BDC_FAULTS` (the
+//! fault-injection spec, see [`crate::faults`]). Before this module each
 //! binary read them ad hoc and the first *use* — possibly deep inside a
 //! parallel region — panicked on a malformed value. [`env_config`] is the
 //! single front door: call it first thing in `main`, print the `Err` and
@@ -12,6 +13,7 @@
 use std::path::PathBuf;
 
 use crate::cache::validate_cache_dir;
+use crate::faults::{self, FaultConfig};
 use crate::pool::parse_workers;
 
 /// Validated snapshot of the shared environment knobs.
@@ -19,7 +21,7 @@ use crate::pool::parse_workers;
 /// Fields are `None` when the corresponding variable is unset; values are
 /// already validated, so feeding `workers` to [`crate::set_workers`] or
 /// `cache_dir` to the cache layer cannot fail.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct EnvConfig {
     /// `BDC_WORKERS`, parsed and range-checked by [`parse_workers`].
     pub workers: Option<usize>,
@@ -28,9 +30,13 @@ pub struct EnvConfig {
     /// Whether `BDC_NO_CACHE` is set (any value — presence disables the
     /// artifact cache, matching `ArtifactCache::shared`).
     pub no_cache: bool,
+    /// `BDC_FAULTS`, parsed by [`faults::parse_spec`]. `None` when unset;
+    /// an inert config (all rates zero) when set to e.g. `seed=1`.
+    pub faults: Option<FaultConfig>,
 }
 
-/// Reads and validates `BDC_WORKERS`, `BDC_CACHE_DIR`, and `BDC_NO_CACHE`.
+/// Reads and validates `BDC_WORKERS`, `BDC_CACHE_DIR`, `BDC_NO_CACHE`,
+/// and `BDC_FAULTS`.
 ///
 /// # Errors
 /// Returns the hardened parsers' diagnostics (which name the offending
@@ -49,10 +55,15 @@ pub fn env_config() -> Result<EnvConfig, String> {
         Ok(raw) => Some(validate_cache_dir(std::path::Path::new(&raw))?),
         Err(_) => None,
     };
+    let fault_cfg = match std::env::var("BDC_FAULTS") {
+        Ok(raw) => Some(faults::parse_spec(&raw)?),
+        Err(_) => None,
+    };
     Ok(EnvConfig {
         workers,
         cache_dir,
         no_cache,
+        faults: fault_cfg,
     })
 }
 
@@ -70,6 +81,7 @@ mod tests {
         if std::env::var_os("BDC_WORKERS").is_none()
             && std::env::var_os("BDC_CACHE_DIR").is_none()
             && std::env::var_os("BDC_NO_CACHE").is_none()
+            && std::env::var_os("BDC_FAULTS").is_none()
         {
             let cfg = env_config().expect("empty env is valid");
             assert_eq!(
@@ -78,6 +90,7 @@ mod tests {
                     workers: None,
                     cache_dir: None,
                     no_cache: false,
+                    faults: None,
                 }
             );
         }

@@ -21,11 +21,14 @@
 //!   schema-version salt; invalidation is key change, so stale entries are
 //!   simply never addressed again.
 //!
-//! Two supporting pieces ride along: [`env_config`] validates the shared
-//! `BDC_WORKERS` / `BDC_CACHE_DIR` / `BDC_NO_CACHE` environment knobs once
-//! at process start (every binary front door calls it instead of re-reading
-//! the variables ad hoc), and [`json`] holds the deterministic JSON codec
-//! used by registry renders, run manifests, and the serving layer alike.
+//! Three supporting pieces ride along: [`env_config`] validates the shared
+//! `BDC_WORKERS` / `BDC_CACHE_DIR` / `BDC_NO_CACHE` / `BDC_FAULTS`
+//! environment knobs once at process start (every binary front door calls
+//! it instead of re-reading the variables ad hoc), [`json`] holds the
+//! deterministic JSON codec used by registry renders, run manifests, and
+//! the serving layer alike, and [`faults`] is the seeded fault-injection
+//! framework the chaos tests and CI drive through `BDC_FAULTS` — inert
+//! (zero branches taken, zero bytes changed) unless explicitly enabled.
 //!
 //! The crate is std-only by design: it sits below every other crate in the
 //! workspace and the environment has no registry access (see
@@ -33,6 +36,7 @@
 
 mod cache;
 mod env;
+pub mod faults;
 pub mod json;
 mod pool;
 mod seed;

@@ -25,17 +25,22 @@ pub fn set_workers(n: Option<usize>) {
 /// [`set_workers`] override if installed, else `BDC_WORKERS` from the
 /// environment, else the machine's available parallelism.
 ///
-/// # Panics
-/// Panics with a diagnostic when `BDC_WORKERS` is set but not a positive
-/// integer (`0`, negative, or garbage). An invalid knob silently falling
-/// back to the default would make "I pinned the worker count" runs lie.
+/// A malformed `BDC_WORKERS` prints the parser's one-line diagnostic to
+/// stderr and exits with status 2 — an invalid knob silently falling back
+/// to the default would make "I pinned the worker count" runs lie, and a
+/// panic's backtrace spam is the wrong answer to a typo'd env var.
+/// Binaries that call [`crate::env_config`] up front never reach this
+/// backstop.
 pub fn workers() -> usize {
     let forced = WORKER_OVERRIDE.load(Ordering::Relaxed);
     if forced != 0 {
         return forced;
     }
     if let Ok(raw) = std::env::var("BDC_WORKERS") {
-        return parse_workers(&raw).unwrap_or_else(|e| panic!("{e}"));
+        return parse_workers(&raw).unwrap_or_else(|e| {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        });
     }
     std::thread::available_parallelism().map_or(1, |n| n.get())
 }

@@ -423,9 +423,14 @@ pub fn experiments_response() -> Response {
     Response::json(200, registry::catalogue_json().encode().into_bytes())
 }
 
-/// The `/healthz` body.
-pub fn healthz() -> Response {
-    Response::json(200, b"{\"status\":\"ok\"}".to_vec())
+/// The `/healthz` body for the given `ok|degraded|draining` state. The
+/// healthy body is byte-pinned to `{"status":"ok"}`; `degraded` still
+/// answers 200 (the daemon is serving, just recently recovered from
+/// faults), while `draining` answers 503 so load balancers stop routing
+/// to a server that is shutting down.
+pub fn healthz(status: &str) -> Response {
+    let code = if status == "draining" { 503 } else { 200 };
+    Response::json(code, format!("{{\"status\":\"{status}\"}}").into_bytes())
 }
 
 #[cfg(test)]

@@ -3,6 +3,7 @@
 //! ```text
 //! bdc_serve [--addr HOST:PORT] [--conn-threads N] [--queue-cap N]
 //!           [--max-batch N] [--cache-cap N] [--warm organic,silicon]
+//!           [--deadline-ms N] [--max-retries N]
 //! ```
 //!
 //! Boots the serving stack from `bdc-serve`, optionally pre-characterizes
@@ -16,7 +17,8 @@ use bdc_serve::ServeConfig;
 fn usage() -> ! {
     eprintln!(
         "usage: bdc_serve [--addr HOST:PORT] [--conn-threads N] [--queue-cap N] \
-         [--max-batch N] [--cache-cap N] [--warm organic,silicon]"
+         [--max-batch N] [--cache-cap N] [--warm organic,silicon] \
+         [--deadline-ms N] [--max-retries N]"
     );
     std::process::exit(2)
 }
@@ -37,6 +39,13 @@ fn parse_args() -> ServeConfig {
             "--queue-cap" => cfg.engine.queue_cap = parse_num(&flag, &value("count")),
             "--max-batch" => cfg.engine.max_batch = parse_num(&flag, &value("count")).max(1),
             "--cache-cap" => cfg.engine.cache_cap = parse_num(&flag, &value("count")),
+            "--deadline-ms" => {
+                cfg.engine.wait_timeout = std::time::Duration::from_millis(parse_num(
+                    &flag,
+                    &value("milliseconds"),
+                ) as u64)
+            }
+            "--max-retries" => cfg.engine.max_retries = parse_num(&flag, &value("count")) as u32,
             "--warm" => {
                 for name in value("process list").split(',') {
                     match name.trim() {

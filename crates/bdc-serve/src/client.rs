@@ -110,3 +110,41 @@ impl Connection {
 pub fn get_once(addr: &str, path_query: &str) -> std::io::Result<ClientResponse> {
     Connection::open(addr)?.get(path_query)
 }
+
+/// Whether a response status is worth retrying: transient server-side
+/// states (shed, deadline-expired, contained-fault 500) that a later
+/// attempt may well get a cached answer for.
+pub fn is_retryable(status: u16) -> bool {
+    matches!(status, 429 | 500 | 503 | 504)
+}
+
+/// `GET` with up to `retries` re-attempts on socket errors and retryable
+/// statuses ([`is_retryable`]), sleeping a seeded, jittered exponential
+/// backoff ([`bdc_exec::faults::backoff_delay`]) between attempts so a
+/// burst of rejected clients does not retry in lockstep. Each attempt
+/// opens a fresh connection — the previous one may be half-dead.
+///
+/// # Errors
+/// The final attempt's socket error, if every attempt errored.
+pub fn get_with_retry(
+    addr: &str,
+    path_query: &str,
+    retries: u32,
+) -> std::io::Result<ClientResponse> {
+    let mut attempt: u32 = 0;
+    loop {
+        let result = get_once(addr, path_query);
+        let retry = match &result {
+            Ok(r) => is_retryable(r.status),
+            Err(_) => true,
+        };
+        if !retry || attempt >= retries {
+            return result;
+        }
+        attempt += 1;
+        std::thread::sleep(bdc_exec::faults::backoff_delay(
+            path_query,
+            u64::from(attempt),
+        ));
+    }
+}

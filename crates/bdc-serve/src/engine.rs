@@ -43,8 +43,12 @@ pub struct EngineConfig {
     pub max_batch: usize,
     /// Most entries the response cache holds (FIFO eviction).
     pub cache_cap: usize,
-    /// How long a submitter waits for its flight before giving up (504).
+    /// Per-request compute deadline: how long a submitter waits for its
+    /// flight before giving up (503 + `Retry-After`).
     pub wait_timeout: Duration,
+    /// How many times a panicking executor job is retried (with seeded
+    /// backoff) before it becomes a 500.
+    pub max_retries: u32,
 }
 
 impl Default for EngineConfig {
@@ -54,6 +58,7 @@ impl Default for EngineConfig {
             max_batch: 16,
             cache_cap: 4096,
             wait_timeout: Duration::from_secs(300),
+            max_retries: 2,
         }
     }
 }
@@ -94,7 +99,8 @@ pub enum Submission {
     Done(Arc<Response>),
     /// The bounded queue was full; answer 429.
     Shed,
-    /// The flight did not finish within the wait timeout; answer 504.
+    /// The flight missed the per-request compute deadline; answer 503
+    /// with `Retry-After`.
     TimedOut,
     /// The engine is shutting down; answer 503.
     ShuttingDown,
@@ -183,8 +189,27 @@ impl<J: Send + Sync + 'static> Engine<J> {
         };
         match flight.wait(self.cfg.wait_timeout) {
             Some(response) => Submission::Done(response),
-            None => Submission::TimedOut,
+            None => {
+                self.metrics
+                    .deadline_expired
+                    .fetch_add(1, Ordering::Relaxed);
+                self.metrics.note_fault_event();
+                Submission::TimedOut
+            }
         }
+    }
+
+    /// Whether [`Engine::shutdown`] has been requested.
+    pub fn is_shutting_down(&self) -> bool {
+        self.state
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .shutdown
+    }
+
+    /// The `ok|degraded|draining` health state `/healthz` reports.
+    pub fn health(&self) -> &'static str {
+        self.metrics.health(self.is_shutting_down())
     }
 
     /// Runs the batching loop until [`Engine::shutdown`]: drain up to
@@ -208,28 +233,50 @@ impl<J: Send + Sync + 'static> Engine<J> {
             self.metrics
                 .batched_jobs
                 .fetch_add(batch.len() as u64, Ordering::Relaxed);
-            // The executor must not panic on any admitted job (the API
-            // layer maps bad requests to 4xx responses instead); a panic
-            // here would poison the batch, so catch it defensively and
-            // turn it into a 500 for every job in the batch.
-            let results = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                bdc_exec::par_map(&batch, |(_, job)| Arc::new(execute(job)))
-            }))
-            .unwrap_or_else(|_| {
-                batch
-                    .iter()
-                    .map(|_| Arc::new(Response::error(500, "internal error")))
-                    .collect()
+            // Each job is guarded individually: a panicking executor
+            // (whether a genuine bug or an injected `task_panic` fault) is
+            // retried with seeded backoff, then answered 500 — one bad job
+            // never takes its batchmates (or the daemon) down.
+            let max_retries = self.cfg.max_retries;
+            let results = bdc_exec::par_map(&batch, |(key, job)| {
+                let site = format!("serve-job-{key:016x}");
+                let mut attempt: u64 = 0;
+                loop {
+                    let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                        bdc_exec::faults::maybe_panic(&site, attempt);
+                        execute(job)
+                    }));
+                    match caught {
+                        Ok(response) => break Arc::new(response),
+                        Err(_) => {
+                            bdc_exec::faults::note_panic_contained();
+                            self.metrics.note_fault_event();
+                            if attempt >= u64::from(max_retries) {
+                                break Arc::new(Response::error(500, "internal error"));
+                            }
+                            bdc_exec::faults::note_retry();
+                            self.metrics.task_retries.fetch_add(1, Ordering::Relaxed);
+                            attempt += 1;
+                            std::thread::sleep(bdc_exec::faults::backoff_delay(&site, attempt));
+                        }
+                    }
+                }
             });
             let mut st = self.state.lock().unwrap_or_else(|p| p.into_inner());
             for ((key, _), response) in batch.iter().zip(results) {
-                if st.cache.len() >= self.cfg.cache_cap {
-                    if let Some(old) = st.cache_order.pop_front() {
-                        st.cache.remove(&old);
+                // 5xx responses are transient (a contained panic that
+                // exhausted its retries) — caching one would hand every
+                // future retry the same stale failure. 2xx/4xx are pure
+                // functions of the job and cache safely.
+                if response.status < 500 {
+                    if st.cache.len() >= self.cfg.cache_cap {
+                        if let Some(old) = st.cache_order.pop_front() {
+                            st.cache.remove(&old);
+                        }
                     }
-                }
-                if st.cache.insert(*key, Arc::clone(&response)).is_none() {
-                    st.cache_order.push_back(*key);
+                    if st.cache.insert(*key, Arc::clone(&response)).is_none() {
+                        st.cache_order.push_back(*key);
+                    }
                 }
                 if let Some(flight) = st.flights.remove(key) {
                     flight.complete(response);
@@ -401,6 +448,41 @@ mod tests {
         }
         // The engine survives and keeps serving.
         assert!(matches!(e.submit(1, 1), Submission::Done(_)));
+        e.shutdown();
+        runner.join().unwrap();
+    }
+
+    #[test]
+    fn exhausted_500_is_not_cached_and_recomputes() {
+        let cfg = EngineConfig {
+            max_retries: 0,
+            ..EngineConfig::default()
+        };
+        let e = engine(cfg);
+        let calls = Arc::new(AtomicU64::new(0));
+        let c = Arc::clone(&calls);
+        // First execution panics, every later one succeeds: a transient
+        // fault, exactly what retry-after-500 is for.
+        let runner = spawn_runner(&e, move |j| {
+            assert!(c.fetch_add(1, Ordering::SeqCst) != 0, "transient boom");
+            body(j)
+        });
+        match e.submit(13, 13) {
+            Submission::Done(r) => assert_eq!(r.status, 500),
+            _ => panic!("expected Done(500)"),
+        }
+        // The 500 must not have entered the response cache: the retry
+        // recomputes and gets the recovered 200.
+        match e.submit(13, 13) {
+            Submission::Done(r) => assert_eq!(r.status, 200),
+            other => panic!(
+                "expected recomputed Done(200), got {}",
+                match other {
+                    Submission::CacheHit(_) => "CacheHit (stale 500 cached)",
+                    _ => "non-Done",
+                }
+            ),
+        }
         e.shutdown();
         runner.join().unwrap();
     }

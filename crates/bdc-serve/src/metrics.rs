@@ -8,10 +8,17 @@
 //! a latency gate.
 
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Number of log₂ latency buckets.
 const BUCKETS: usize = 40;
+
+/// How recently a fault/retry event must have occurred for `/healthz` to
+/// report `degraded` instead of `ok`.
+const HEALTH_WINDOW: Duration = Duration::from_secs(10);
+
+/// Sentinel for "no fault event observed yet".
+const NEVER: u64 = u64::MAX;
 
 /// The endpoints the server meters, plus a catch-all.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -199,6 +206,13 @@ pub struct Registry {
     pub batches: AtomicU64,
     /// Jobs across all executed batches.
     pub batched_jobs: AtomicU64,
+    /// Engine job retries after a contained panic.
+    pub task_retries: AtomicU64,
+    /// Submissions whose compute deadline expired (answered 503).
+    pub deadline_expired: AtomicU64,
+    /// Uptime (µs) of the most recent fault/retry event; [`NEVER`] when
+    /// none has occurred. Drives the `degraded` health state.
+    last_fault_us: AtomicU64,
 }
 
 impl Default for Registry {
@@ -213,6 +227,9 @@ impl Default for Registry {
             queue_shed: AtomicU64::new(0),
             batches: AtomicU64::new(0),
             batched_jobs: AtomicU64::new(0),
+            task_retries: AtomicU64::new(0),
+            deadline_expired: AtomicU64::new(0),
+            last_fault_us: AtomicU64::new(NEVER),
         }
     }
 }
@@ -228,10 +245,41 @@ impl Registry {
         self.start.elapsed().as_secs_f64()
     }
 
+    /// Stamps a fault/retry event (an engine retry, a contained panic, an
+    /// expired deadline) so `/healthz` reports `degraded` for the next
+    /// [`HEALTH_WINDOW`].
+    pub fn note_fault_event(&self) {
+        self.last_fault_us
+            .store(self.start.elapsed().as_micros() as u64, Ordering::Relaxed);
+    }
+
+    /// The health state this registry implies: `draining` when the server
+    /// is shutting down, `degraded` for [`HEALTH_WINDOW`] after a
+    /// fault/retry event, else `ok`.
+    pub fn health(&self, draining: bool) -> &'static str {
+        if draining {
+            return "draining";
+        }
+        let last = self.last_fault_us.load(Ordering::Relaxed);
+        if last != NEVER {
+            let now = self.start.elapsed().as_micros() as u64;
+            if now.saturating_sub(last) <= HEALTH_WINDOW.as_micros() as u64 {
+                return "degraded";
+            }
+        }
+        "ok"
+    }
+
     /// Renders the registry as the `/v1/metrics` JSON document. (This
     /// endpoint reports wall-clock state and is deliberately excluded from
-    /// the byte-determinism contract.)
-    pub fn snapshot(&self, queue_depth: usize, queue_cap: usize) -> crate::json::Json {
+    /// the byte-determinism contract.) `health` is the current
+    /// `ok|degraded|draining` state (see [`Registry::health`]).
+    pub fn snapshot(
+        &self,
+        queue_depth: usize,
+        queue_cap: usize,
+        health: &str,
+    ) -> crate::json::Json {
         use crate::json::Json;
         let load = |a: &AtomicU64| Json::Int(a.load(Ordering::Relaxed) as i64);
         let endpoints = Endpoint::all()
@@ -256,6 +304,7 @@ impl Registry {
             .collect();
         Json::Obj(vec![
             ("uptime_s".into(), Json::Num(self.uptime_s())),
+            ("health".into(), Json::str(health)),
             ("endpoints".into(), Json::Obj(endpoints)),
             (
                 "engine".into(),
@@ -267,6 +316,8 @@ impl Registry {
                     ("batched_jobs".into(), load(&self.batched_jobs)),
                     ("queue_depth".into(), Json::Int(queue_depth as i64)),
                     ("queue_cap".into(), Json::Int(queue_cap as i64)),
+                    ("task_retries".into(), load(&self.task_retries)),
+                    ("deadline_expired".into(), load(&self.deadline_expired)),
                 ]),
             ),
             (
@@ -275,6 +326,13 @@ impl Registry {
                     ("accepted".into(), load(&self.connections)),
                     ("shed".into(), load(&self.connections_shed)),
                 ]),
+            ),
+            // Process-wide survival counters from the execution layer
+            // (quarantines, rebuilds, injected faults) — same shape as the
+            // run-manifest `faults` object.
+            (
+                "faults".into(),
+                bdc_core::registry::fault_counters_json(&bdc_exec::faults::counters()),
             ),
         ])
     }
@@ -325,10 +383,24 @@ mod tests {
     fn snapshot_has_required_fields() {
         let r = Registry::default();
         r.endpoint(Endpoint::Width).record(200, 1500);
-        let snap = r.snapshot(3, 64);
+        let snap = r.snapshot(3, 64, r.health(false));
         let width = snap.get("endpoints").and_then(|e| e.get("width")).unwrap();
         assert_eq!(width.get("requests").and_then(|v| v.as_u64()), Some(1));
         let engine = snap.get("engine").unwrap();
         assert_eq!(engine.get("queue_cap").and_then(|v| v.as_u64()), Some(64));
+        assert!(snap.get("health").is_some());
+        let faults = snap.get("faults").unwrap();
+        assert!(faults.get("quarantined").is_some());
+        assert!(faults.get("retries").is_some());
+    }
+
+    #[test]
+    fn health_degrades_on_fault_events_and_drains_on_shutdown() {
+        let r = Registry::default();
+        assert_eq!(r.health(false), "ok");
+        r.note_fault_event();
+        assert_eq!(r.health(false), "degraded");
+        // Draining wins over everything.
+        assert_eq!(r.health(true), "draining");
     }
 }

@@ -47,6 +47,9 @@ pub struct ServeConfig {
     pub warm: Vec<Process>,
     /// Per-connection socket read timeout.
     pub read_timeout: Duration,
+    /// Per-connection socket write timeout — a stalled client that stops
+    /// draining its receive window can otherwise pin a worker forever.
+    pub write_timeout: Duration,
 }
 
 impl Default for ServeConfig {
@@ -58,6 +61,7 @@ impl Default for ServeConfig {
             engine: EngineConfig::default(),
             warm: Vec::new(),
             read_timeout: Duration::from_secs(30),
+            write_timeout: Duration::from_secs(30),
         }
     }
 }
@@ -173,11 +177,11 @@ pub fn start(cfg: ServeConfig) -> std::io::Result<ServerHandle> {
         let engine = Arc::clone(&engine);
         let metrics = Arc::clone(&metrics);
         let stop = Arc::clone(&stop);
-        let read_timeout = cfg.read_timeout;
+        let timeouts = (cfg.read_timeout, cfg.write_timeout);
         threads.push(
             std::thread::Builder::new()
                 .name(format!("bdc-serve-conn-{i}"))
-                .spawn(move || conn_worker(&rx, &engine, &metrics, &stop, read_timeout))?,
+                .spawn(move || conn_worker(&rx, &engine, &metrics, &stop, timeouts))?,
         );
     }
 
@@ -214,8 +218,11 @@ fn acceptor(
                     Ok(()) => {}
                     Err(TrySendError::Full(mut stream)) => {
                         // Every worker busy and the backlog full: shed at
-                        // the door rather than queue unboundedly.
+                        // the door rather than queue unboundedly. A short
+                        // write timeout keeps a stalled client from
+                        // pinning the acceptor itself.
                         metrics.connections_shed.fetch_add(1, Ordering::Relaxed);
+                        let _ = stream.set_write_timeout(Some(Duration::from_secs(2)));
                         let mut resp = Response::error(429, "server saturated; retry");
                         resp.extra_headers.push(("retry-after".into(), "1".into()));
                         let _ = resp.write_to(&mut stream, false);
@@ -238,7 +245,7 @@ fn conn_worker(
     engine: &Engine<api::ApiCall>,
     metrics: &Registry,
     stop: &AtomicBool,
-    read_timeout: Duration,
+    timeouts: (Duration, Duration),
 ) {
     loop {
         // Poll with a timeout so workers also notice `stop` when idle.
@@ -248,7 +255,7 @@ fn conn_worker(
         };
         match stream {
             Ok(stream) => {
-                serve_connection(stream, engine, metrics, stop, read_timeout);
+                serve_connection(stream, engine, metrics, stop, timeouts);
             }
             Err(std::sync::mpsc::RecvTimeoutError::Timeout) => {
                 if stop.load(Ordering::SeqCst) {
@@ -266,9 +273,10 @@ fn serve_connection(
     engine: &Engine<api::ApiCall>,
     metrics: &Registry,
     stop: &AtomicBool,
-    read_timeout: Duration,
+    (read_timeout, write_timeout): (Duration, Duration),
 ) {
     let _ = stream.set_read_timeout(Some(read_timeout));
+    let _ = stream.set_write_timeout(Some(write_timeout));
     let _ = stream.set_nodelay(true);
     let mut writer = match stream.try_clone() {
         Ok(w) => w,
@@ -309,14 +317,16 @@ fn serve_connection(
 /// harness and tests.
 pub fn handle(request: &http::Request, engine: &Engine<api::ApiCall>) -> (Endpoint, Response) {
     match api::route(request) {
-        Route::Healthz => (Endpoint::Healthz, api::healthz()),
+        Route::Healthz => (Endpoint::Healthz, api::healthz(engine.health())),
         // The catalogue is static metadata — answered inline, no engine
         // round-trip.
         Route::Experiments => (Endpoint::Experiments, api::experiments_response()),
         Route::Metrics => {
-            let snap = engine
-                .metrics()
-                .snapshot(engine.queue_depth(), engine.queue_cap());
+            let snap = engine.metrics().snapshot(
+                engine.queue_depth(),
+                engine.queue_cap(),
+                engine.health(),
+            );
             (
                 Endpoint::Metrics,
                 Response::json(200, snap.encode().into_bytes()),
@@ -333,7 +343,14 @@ pub fn handle(request: &http::Request, engine: &Engine<api::ApiCall>) -> (Endpoi
                     r.extra_headers.push(("retry-after".into(), "1".into()));
                     r
                 }
-                Submission::TimedOut => Response::error(504, "computation timed out"),
+                Submission::TimedOut => {
+                    // The compute deadline expired. 503 + Retry-After
+                    // tells a well-behaved client the result may well be
+                    // cached by the time it retries.
+                    let mut r = Response::error(503, "compute deadline exceeded; retry");
+                    r.extra_headers.push(("retry-after".into(), "2".into()));
+                    r
+                }
                 Submission::ShuttingDown => Response::error(503, "shutting down"),
             };
             (endpoint, response)
