@@ -9,6 +9,8 @@
 //! bdc run --all --quick              # the whole plan, parallel
 //! bdc run --all --quick --require-warm   # fail unless every node hit cache
 //! bdc run --all --max-retries 5      # widen the per-node retry budget
+//! bdc verify [--audit-deps] [--quick]    # plan-graph static analysis
+//! bdc lint --workspace               # determinism audit over the sources
 //! ```
 //!
 //! `run` prints the selected nodes' rendered text to stdout in catalogue
@@ -27,7 +29,8 @@ use bdc_core::registry::{self, NODES};
 fn usage() -> ! {
     eprintln!(
         "usage:\n  bdc list [--json]\n  bdc run [--quick] [--all] [--require-warm] \
-         [--max-retries N] <id>...\n\
+         [--max-retries N] <id>...\n  bdc verify [--audit-deps] [--quick]\n  \
+         bdc lint --workspace\n\
          \nids: see `bdc list`"
     );
     std::process::exit(2);
@@ -159,6 +162,90 @@ fn cmd_run(args: &[String]) -> ! {
     std::process::exit(0);
 }
 
+fn cmd_verify(args: &[String]) -> ! {
+    let mut audit = false;
+    for a in args {
+        match a.as_str() {
+            "--audit-deps" => audit = true,
+            "--quick" => {} // consumed by bdc_bench::quick_mode()
+            flag => {
+                eprintln!("unknown flag `{flag}`");
+                usage();
+            }
+        }
+    }
+    let quick = bdc_bench::quick_mode();
+
+    let ir = bdc_verify::build_ir();
+    let mut report = bdc_verify::verify_static(&ir);
+    let audited = if audit {
+        let dyn_report = bdc_verify::audit_deps(&ir, quick);
+        for d in dyn_report.diagnostics {
+            report.push(d);
+        }
+        Some(quick)
+    } else {
+        None
+    };
+
+    // Stdout carries only deterministic content (no timings, no worker
+    // counts) so the report is diffable across runs — golden-tested.
+    println!(
+        "plan-graph: {} nodes, {} cache keys, {} finding(s)",
+        ir.nodes.len(),
+        ir.nodes.len() * 2,
+        report.diagnostics.len()
+    );
+    println!(
+        "dep-audit: {}",
+        match audited {
+            None => "skipped (pass --audit-deps)",
+            Some(true) => "ok at quick budget",
+            Some(false) => "ok at standard budget",
+        }
+    );
+    for d in &report.diagnostics {
+        println!("  {d}");
+    }
+
+    let json = bdc_verify::report_json(&ir, &report, audited).encode();
+    let root = bdc_lint::find_workspace_root().unwrap_or_else(|| std::path::PathBuf::from("."));
+    let dir = root.join("results");
+    let written = std::fs::create_dir_all(&dir).is_ok()
+        && std::fs::write(dir.join("verify_report.json"), json + "\n").is_ok();
+    if written {
+        println!("report -> results/verify_report.json");
+    } else {
+        eprintln!("warning: could not write results/verify_report.json");
+    }
+
+    if report.is_clean() {
+        std::process::exit(0);
+    }
+    eprintln!("error: plan-graph verification failed");
+    std::process::exit(1);
+}
+
+fn cmd_lint(args: &[String]) -> ! {
+    if args.iter().any(|a| a != "--workspace") || args.is_empty() {
+        eprintln!("`bdc lint` currently supports exactly: bdc lint --workspace");
+        usage();
+    }
+    let root = match bdc_lint::find_workspace_root() {
+        Some(r) => r,
+        None => {
+            eprintln!("error: could not locate the workspace root (no Cargo.toml with [workspace] above the current directory)");
+            std::process::exit(2);
+        }
+    };
+    let report = bdc_lint::lint_workspace(&root);
+    print!("{report}");
+    if report.is_clean() {
+        std::process::exit(0);
+    }
+    std::process::exit(1);
+}
+
 fn main() {
     if let Err(e) = bdc_exec::env_config() {
         eprintln!("error: {e}");
@@ -168,6 +255,8 @@ fn main() {
     match args.first().map(String::as_str) {
         Some("list") => cmd_list(args.iter().any(|a| a == "--json")),
         Some("run") => cmd_run(&args[1..]),
+        Some("verify") => cmd_verify(&args[1..]),
+        Some("lint") => cmd_lint(&args[1..]),
         _ => usage(),
     }
 }

@@ -23,6 +23,7 @@ pub mod query;
 mod render;
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::OnceLock;
 use std::time::Instant;
 
@@ -313,6 +314,7 @@ pub struct RunCtx {
     quick: bool,
     budget: SimBudget,
     kits: [OnceLock<Result<TechKit, String>>; 2],
+    observed: [AtomicBool; 2],
 }
 
 impl RunCtx {
@@ -327,6 +329,7 @@ impl RunCtx {
                 SimBudget::standard()
             },
             kits: [OnceLock::new(), OnceLock::new()],
+            observed: [AtomicBool::new(false), AtomicBool::new(false)],
         }
     }
 
@@ -342,16 +345,53 @@ impl RunCtx {
 
     /// The characterized kit for `p`, built (or cache-loaded) on first use.
     pub fn kit(&self, p: Process) -> Result<&TechKit, String> {
-        let slot = match p {
-            Process::Organic => &self.kits[0],
-            Process::Silicon => &self.kits[1],
+        let (slot, seen) = match p {
+            Process::Organic => (&self.kits[0], &self.observed[0]),
+            Process::Silicon => (&self.kits[1], &self.observed[1]),
         };
+        seen.store(true, Ordering::Relaxed);
         slot.get_or_init(|| {
             TechKit::load_or_build(p).map_err(|e| format!("characterization ({}): {e:?}", p.name()))
         })
         .as_ref()
         .map_err(Clone::clone)
     }
+
+    /// Which library kits [`RunCtx::kit`] has been asked for so far — the
+    /// observed side of the declared-vs-observed dependency audit
+    /// ([`audit_node_deps`]).
+    pub fn observed_deps(&self) -> Vec<Process> {
+        let mut out = Vec::new();
+        if self.observed[0].load(Ordering::Relaxed) {
+            out.push(Process::Organic);
+        }
+        if self.observed[1].load(Ordering::Relaxed) {
+            out.push(Process::Silicon);
+        }
+        out
+    }
+}
+
+/// Renders `id` fresh on a recording context — bypassing the artifact
+/// cache, whose hits never touch [`RunCtx::kit`] — and returns the node's
+/// `(declared, observed)` library dependencies, both in `[Organic,
+/// Silicon]` order. `bdc verify --audit-deps` cross-validates the two.
+///
+/// # Errors
+/// An unknown id, or the render's own failure.
+pub fn audit_node_deps(id: &str, quick: bool) -> Result<(Vec<Process>, Vec<Process>), String> {
+    let node = find(id).ok_or_else(|| format!("unknown experiment id `{id}` (try `bdc list`)"))?;
+    let ctx = RunCtx::new(quick);
+    let mut text = String::new();
+    (node.run)(&ctx, &mut text).map_err(|e| format!("{}: {e}", node.id))?;
+    let mut declared: Vec<Process> = Vec::new();
+    for Dep::Library(p) in node.deps {
+        if !declared.contains(p) {
+            declared.push(*p);
+        }
+    }
+    declared.sort_by_key(|p| *p as u8);
+    Ok((declared, ctx.observed_deps()))
 }
 
 /// The rendered output of one node.
@@ -589,6 +629,9 @@ pub fn run_plan_with_retries(
 
     let before = faults::counters();
     let nodes = par_map(&selected, |node| {
+        // Wall-clock feeds only the manifest's telemetry column, never the
+        // rendered (cached) bytes.
+        // bdc-lint: allow(D002, wall_s is run telemetry, not artifact bytes)
         let t0 = Instant::now();
         let site = format!("node-{}", node.id);
         let mut attempts: u32 = 0;
@@ -734,5 +777,25 @@ mod tests {
     fn unknown_id_is_reported_with_hint() {
         let err = run_one("fig99", true).unwrap_err();
         assert!(err.contains("fig99") && err.contains("bdc list"), "{err}");
+    }
+
+    #[test]
+    fn fresh_runctx_observes_no_kits() {
+        let ctx = RunCtx::new(true);
+        assert!(ctx.observed_deps().is_empty());
+    }
+
+    #[test]
+    fn audit_node_deps_matches_on_a_dependency_free_node() {
+        // fig05 renders schematic listings: declared NO_DEPS and reads no
+        // kit, so both sides of the audit must be empty.
+        let (declared, observed) = audit_node_deps("fig05", true).expect("fig05 renders");
+        assert!(declared.is_empty(), "{declared:?}");
+        assert!(observed.is_empty(), "{observed:?}");
+    }
+
+    #[test]
+    fn audit_node_deps_rejects_unknown_ids() {
+        assert!(audit_node_deps("fig99", true).is_err());
     }
 }

@@ -25,7 +25,7 @@
 //! deterministic read corruption and I/O delay to exercise the
 //! quarantine/rebuild path.
 
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 use std::path::{Path, PathBuf};
 use std::sync::Mutex;
 
@@ -76,11 +76,11 @@ pub fn validate_cache_dir(dir: &Path) -> Result<PathBuf, String> {
 
 /// Artifacts quarantined by this process, by final path — lets `store`
 /// distinguish a rebuild (count it) from a first build.
-static QUARANTINED_PATHS: Mutex<Option<HashSet<PathBuf>>> = Mutex::new(None);
+static QUARANTINED_PATHS: Mutex<Option<BTreeSet<PathBuf>>> = Mutex::new(None);
 
 fn mark_quarantined(path: &Path) {
     let mut set = QUARANTINED_PATHS.lock().unwrap_or_else(|p| p.into_inner());
-    set.get_or_insert_with(HashSet::new)
+    set.get_or_insert_with(BTreeSet::new)
         .insert(path.to_path_buf());
 }
 

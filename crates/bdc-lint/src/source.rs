@@ -1,0 +1,859 @@
+//! The determinism auditor: `D###` rules over workspace Rust sources.
+//!
+//! The flow's correctness story (PRs 2–5) is byte-identity: every rendered
+//! artifact is content-addressed and golden-pinned. That story collapses if
+//! any code on a render, serve, or cache path depends on ambient state —
+//! hash-map iteration order, wall-clock time, random hasher seeds, thread
+//! identity, or raw environment reads. This module makes those hazards
+//! statically checkable:
+//!
+//! * [`lex`] — a std-only Rust lexer. It never panics on arbitrary input
+//!   and its token spans partition the input exactly (concatenating the
+//!   spans reproduces the source byte-for-byte), which the proptest suite
+//!   pins down.
+//! * [`lint_source`] — scans one file's token stream for hazards, skipping
+//!   `use` declarations, attribute bodies, and `#[cfg(test)]`/`#[test]`
+//!   items, and honouring suppressions of the form
+//!   `// bdc-lint: allow(D001, reason)`.
+//! * [`lint_workspace`] — walks `crates/` (sorted, so reports are
+//!   deterministic), classifies each file into a [`SourceClass`], and
+//!   merges the per-file reports. `bdc lint --workspace` is a thin wrapper.
+//!
+//! Which rules apply where is a property of the *path class*, not the
+//! file: `HashMap` lookups keyed by `u64` are harmless in a CLI but a
+//! hazard in a render path, and `std::env` reads are `bdc-exec`'s job but
+//! suspicious anywhere bytes are rendered. The catalogue with rationale
+//! lives in `DESIGN.md` §5i.
+
+use std::path::{Path, PathBuf};
+
+use crate::diag::{Diagnostic, LintReport, Location, Rule};
+
+/// What a lexed token is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Horizontal/vertical whitespace run.
+    Whitespace,
+    /// `// ...` (including doc comments) up to, not including, the newline.
+    LineComment,
+    /// `/* ... */`, nesting, unterminated-at-EOF tolerated.
+    BlockComment,
+    /// String literal: `"..."`, `r#"..."#`, `b"..."`, `c"..."`.
+    Str,
+    /// Character or byte-character literal: `'x'`, `b'\n'`.
+    Char,
+    /// Lifetime: `'a` (an apostrophe not closing as a char literal).
+    Lifetime,
+    /// Numeric literal (split conservatively; `1.0e-3` lexes as several
+    /// tokens, which round-trips and is irrelevant to the D-rules).
+    Number,
+    /// Identifier or keyword.
+    Ident,
+    /// Any other single byte.
+    Punct,
+}
+
+/// One token: a kind plus its byte span in the source.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Token {
+    /// The token's kind.
+    pub kind: TokenKind,
+    /// Byte offset of the token's first byte.
+    pub start: usize,
+    /// Byte offset one past the token's last byte.
+    pub end: usize,
+}
+
+fn is_ident_start(b: u8) -> bool {
+    b == b'_' || b.is_ascii_alphabetic() || b >= 0x80
+}
+
+fn is_ident_continue(b: u8) -> bool {
+    is_ident_start(b) || b.is_ascii_digit()
+}
+
+/// Scans a normal (escaped) string body; `i` points just past the opening
+/// quote. Returns the offset just past the closing quote, or EOF.
+fn scan_string_body(b: &[u8], mut i: usize) -> usize {
+    while i < b.len() {
+        match b[i] {
+            b'\\' => i = (i + 2).min(b.len()),
+            b'"' => return i + 1,
+            _ => i += 1,
+        }
+    }
+    i
+}
+
+/// Tries to scan a raw or prefixed string starting at `i` (`r"`, `r#"`,
+/// `b"`, `br"`, `c"`, `cr#"` …). Returns the end offset on success.
+fn scan_raw_or_prefixed_string(b: &[u8], i: usize) -> Option<usize> {
+    let mut j = i;
+    let mut raw = false;
+    match b.get(j)? {
+        b'r' => {
+            raw = true;
+            j += 1;
+        }
+        b'b' | b'c' => {
+            j += 1;
+            if b.get(j) == Some(&b'r') {
+                raw = true;
+                j += 1;
+            }
+        }
+        _ => return None,
+    }
+    if !raw {
+        return if b.get(j) == Some(&b'"') {
+            Some(scan_string_body(b, j + 1))
+        } else {
+            None
+        };
+    }
+    let mut hashes = 0usize;
+    while b.get(j) == Some(&b'#') {
+        hashes += 1;
+        j += 1;
+    }
+    if b.get(j) != Some(&b'"') {
+        return None; // `r#ident` raw identifiers fall back to the ident path
+    }
+    j += 1;
+    while j < b.len() {
+        if b[j] == b'"'
+            && b[j + 1..]
+                .iter()
+                .take(hashes)
+                .filter(|&&h| h == b'#')
+                .count()
+                == hashes
+        {
+            return Some(j + 1 + hashes);
+        }
+        j += 1;
+    }
+    Some(j)
+}
+
+/// Scans a char literal or lifetime; `i` points at the apostrophe. Returns
+/// `(end, kind)`.
+fn scan_char_or_lifetime(src: &str, i: usize) -> (usize, TokenKind) {
+    let b = src.as_bytes();
+    let j = i + 1;
+    match b.get(j) {
+        None => (j, TokenKind::Lifetime),
+        Some(b'\\') => {
+            // Escaped char literal: skip the escape, then run to the
+            // closing quote (or EOF) string-style.
+            let mut k = (j + 2).min(b.len());
+            while k < b.len() && b[k] != b'\'' {
+                k = if b[k] == b'\\' { k + 2 } else { k + 1 };
+            }
+            ((k + 1).min(b.len()), TokenKind::Char)
+        }
+        Some(b'\'') => (j + 1, TokenKind::Char), // malformed `''`: consume both
+        Some(_) => {
+            // One char then a closing quote → char literal; otherwise a
+            // lifetime (consume apostrophe + ident chars).
+            let ch_len = src[j..].chars().next().map_or(1, char::len_utf8);
+            if b.get(j + ch_len) == Some(&b'\'') {
+                (j + ch_len + 1, TokenKind::Char)
+            } else {
+                let mut k = j;
+                while k < b.len() && is_ident_continue(b[k]) {
+                    k += 1;
+                }
+                (k, TokenKind::Lifetime)
+            }
+        }
+    }
+}
+
+/// Tokenizes Rust source. Total: every input byte lands in exactly one
+/// token, in order, so `tokens.map(|t| &src[t.start..t.end]).concat() ==
+/// src`; never panics, whatever the input.
+pub fn lex(src: &str) -> Vec<Token> {
+    let b = src.as_bytes();
+    let mut tokens = Vec::new();
+    let mut i = 0usize;
+    while i < b.len() {
+        let start = i;
+        let kind = match b[i] {
+            b'/' if b.get(i + 1) == Some(&b'/') => {
+                i += 2;
+                while i < b.len() && b[i] != b'\n' {
+                    i += 1;
+                }
+                TokenKind::LineComment
+            }
+            b'/' if b.get(i + 1) == Some(&b'*') => {
+                i += 2;
+                let mut depth = 1usize;
+                while i < b.len() && depth > 0 {
+                    if b[i] == b'*' && b.get(i + 1) == Some(&b'/') {
+                        depth -= 1;
+                        i += 2;
+                    } else if b[i] == b'/' && b.get(i + 1) == Some(&b'*') {
+                        depth += 1;
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                }
+                TokenKind::BlockComment
+            }
+            b'"' => {
+                i = scan_string_body(b, i + 1);
+                TokenKind::Str
+            }
+            b'\'' => {
+                let (end, kind) = scan_char_or_lifetime(src, i);
+                i = end;
+                kind
+            }
+            c if c.is_ascii_whitespace() => {
+                while i < b.len() && b[i].is_ascii_whitespace() {
+                    i += 1;
+                }
+                TokenKind::Whitespace
+            }
+            c if c.is_ascii_digit() => {
+                while i < b.len() && (b[i].is_ascii_alphanumeric() || b[i] == b'_') {
+                    i += 1;
+                }
+                if b.get(i) == Some(&b'.') && b.get(i + 1).is_some_and(u8::is_ascii_digit) {
+                    i += 1;
+                    while i < b.len() && (b[i].is_ascii_alphanumeric() || b[i] == b'_') {
+                        i += 1;
+                    }
+                }
+                TokenKind::Number
+            }
+            c if is_ident_start(c) => {
+                if let Some(end) = scan_raw_or_prefixed_string(b, i) {
+                    i = end;
+                    TokenKind::Str
+                } else if (c == b'b') && b.get(i + 1) == Some(&b'\'') {
+                    let (end, _) = scan_char_or_lifetime(src, i + 1);
+                    i = end;
+                    TokenKind::Char
+                } else {
+                    while i < b.len() && is_ident_continue(b[i]) {
+                        i += 1;
+                    }
+                    TokenKind::Ident
+                }
+            }
+            _ => {
+                i += 1;
+                TokenKind::Punct
+            }
+        };
+        // Defensive: every arm above consumes at least one byte, so spans
+        // are non-empty and the loop always terminates.
+        debug_assert!(i > start);
+        tokens.push(Token {
+            kind,
+            start,
+            end: i,
+        });
+    }
+    tokens
+}
+
+/// Which determinism contract a source file lives under.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SourceClass {
+    /// Produces cached/golden-pinned artifact bytes (`bdc-core`,
+    /// `bdc-synth`, `bdc-cells`, `bdc-circuit`, `bdc-device`, `bdc-uarch`,
+    /// `bdc-lint`, `bdc-verify` library code).
+    Render,
+    /// Request paths of the serving daemon (`bdc-serve`): everything in
+    /// `Render` plus panic-freedom (`D005`).
+    Serve,
+    /// Execution substrate (`bdc-exec`): reading `BDC_*` env knobs is its
+    /// job, so `D006` does not apply, but hash-order/time/random hazards
+    /// still do.
+    Infra,
+    /// CLI binaries, bench harnesses, `build.rs` (`bdc-bench`, `src/bin/`):
+    /// human-facing output, only the portable hazards (`D003`, `D004`).
+    Tooling,
+    /// Not scanned: vendored compat stubs, tests, benches, examples.
+    Exempt,
+}
+
+impl SourceClass {
+    /// The D-rules enforced for this class.
+    pub fn rules(self) -> &'static [Rule] {
+        match self {
+            SourceClass::Render => &[
+                Rule::HashOrderHazard,
+                Rule::AmbientTime,
+                Rule::RandomStateHazard,
+                Rule::ThreadIdHazard,
+                Rule::AmbientEnv,
+            ],
+            SourceClass::Serve => &[
+                Rule::HashOrderHazard,
+                Rule::AmbientTime,
+                Rule::RandomStateHazard,
+                Rule::ThreadIdHazard,
+                Rule::ServeUnwrap,
+                Rule::AmbientEnv,
+            ],
+            SourceClass::Infra => &[
+                Rule::HashOrderHazard,
+                Rule::AmbientTime,
+                Rule::RandomStateHazard,
+                Rule::ThreadIdHazard,
+            ],
+            SourceClass::Tooling => &[Rule::RandomStateHazard, Rule::ThreadIdHazard],
+            SourceClass::Exempt => &[],
+        }
+    }
+}
+
+/// Classifies a workspace-relative path (forward or backward slashes).
+pub fn classify_path(rel: &str) -> SourceClass {
+    let p = rel.replace('\\', "/");
+    let Some(at) = p.find("crates/") else {
+        return SourceClass::Exempt;
+    };
+    if p.contains("crates/compat/")
+        || p.contains("/tests/")
+        || p.contains("/benches/")
+        || p.contains("/examples/")
+    {
+        return SourceClass::Exempt;
+    }
+    if p.contains("/src/bin/") || p.ends_with("/build.rs") {
+        return SourceClass::Tooling;
+    }
+    let krate = p[at + "crates/".len()..].split('/').next().unwrap_or("");
+    match krate {
+        "bdc-serve" => SourceClass::Serve,
+        "bdc-exec" => SourceClass::Infra,
+        "bdc-bench" => SourceClass::Tooling,
+        _ => SourceClass::Render,
+    }
+}
+
+/// The allow-directive marker scanned for inside comments.
+const ALLOW_MARKER: &str = "bdc-lint: allow(";
+
+/// Parses the inside of one `allow(...)`; `rest` starts just past the
+/// opening paren. Returns `(rule, bytes consumed)` or a D007 message.
+fn parse_allow(rest: &str) -> Result<(Rule, usize), String> {
+    let Some(close) = rest.find(')') else {
+        return Err("unterminated `bdc-lint: allow(` directive".into());
+    };
+    let inner = &rest[..close];
+    let Some((id, reason)) = inner.split_once(',') else {
+        return Err(format!(
+            "allow({inner}) is missing a reason — write `allow(RULE, why this is sound)`"
+        ));
+    };
+    let id = id.trim();
+    let Some(rule) = Rule::from_id(id) else {
+        return Err(format!("allow references unknown rule id `{id}`"));
+    };
+    if reason.trim().is_empty() {
+        return Err(format!(
+            "allow({id}, …) has an empty reason — say why the hazard is sound"
+        ));
+    }
+    Ok((rule, close + 1))
+}
+
+/// Scanner state shared by the helpers below.
+struct Scan<'a> {
+    src: &'a str,
+    path: &'a str,
+    /// Significant tokens (no whitespace, no comments).
+    sig: Vec<Token>,
+    /// Byte offsets where each line starts, for offset→line mapping.
+    line_starts: Vec<usize>,
+    /// `(rule, directive line)` pairs; each suppresses findings on that
+    /// line and the next.
+    allows: Vec<(Rule, usize)>,
+}
+
+impl<'a> Scan<'a> {
+    fn text(&self, t: Token) -> &'a str {
+        &self.src[t.start..t.end]
+    }
+
+    fn line_of(&self, offset: usize) -> usize {
+        self.line_starts.partition_point(|&s| s <= offset)
+    }
+
+    fn is_punct(&self, i: usize, s: &str) -> bool {
+        self.sig
+            .get(i)
+            .is_some_and(|&t| t.kind == TokenKind::Punct && self.text(t) == s)
+    }
+
+    fn ident_at(&self, i: usize) -> Option<&'a str> {
+        let t = *self.sig.get(i)?;
+        (t.kind == TokenKind::Ident).then(|| self.text(t))
+    }
+
+    /// `sig[i]` begins `:: seg` for one of `segs`?
+    fn path_seg(&self, i: usize, segs: &[&str]) -> bool {
+        self.is_punct(i, ":")
+            && self.is_punct(i + 1, ":")
+            && self.ident_at(i + 2).is_some_and(|w| segs.contains(&w))
+    }
+
+    fn suppressed(&self, rule: Rule, line: usize) -> bool {
+        self.allows
+            .iter()
+            .any(|&(r, l)| r == rule && (line == l || line == l + 1))
+    }
+
+    /// Skips an attribute starting at `#` (or `#!`); returns the index just
+    /// past the closing `]` and whether it marks a test-only item.
+    fn skip_attr(&self, i: usize) -> (usize, bool) {
+        let mut j = i + 1;
+        let inner = self.is_punct(j, "!");
+        if inner {
+            j += 1;
+        }
+        if !self.is_punct(j, "[") {
+            return (i + 1, false);
+        }
+        let body = j + 1;
+        let mut depth = 1usize;
+        j += 1;
+        while j < self.sig.len() && depth > 0 {
+            if self.is_punct(j, "[") {
+                depth += 1;
+            } else if self.is_punct(j, "]") {
+                depth -= 1;
+            }
+            j += 1;
+        }
+        let is_test = !inner
+            && (matches!(self.ident_at(body), Some("test" | "bench" | "ignore"))
+                || (self.ident_at(body) == Some("cfg")
+                    && self.is_punct(body + 1, "(")
+                    && self.ident_at(body + 2) == Some("test")
+                    && self.is_punct(body + 3, ")")));
+        (j, is_test)
+    }
+
+    /// Skips one item (to `;` at depth 0, or over its `{...}` body),
+    /// including any further leading attributes.
+    fn skip_item(&self, mut i: usize) -> usize {
+        while self.is_punct(i, "#") {
+            (i, _) = self.skip_attr(i);
+        }
+        let mut depth = 0usize;
+        while i < self.sig.len() {
+            if self.is_punct(i, "{") {
+                depth += 1;
+            } else if self.is_punct(i, "}") {
+                depth = depth.saturating_sub(1);
+                if depth == 0 {
+                    return i + 1;
+                }
+            } else if self.is_punct(i, ";") && depth == 0 {
+                return i + 1;
+            }
+            i += 1;
+        }
+        i
+    }
+}
+
+/// Lints one file's source text under `class` rules. `path` is the
+/// workspace-relative path used in diagnostics.
+pub fn lint_source(path: &str, class: SourceClass, src: &str) -> LintReport {
+    let mut report = LintReport::new(path);
+    if class == SourceClass::Exempt {
+        return report;
+    }
+    let tokens = lex(src);
+    let mut line_starts = vec![0usize];
+    line_starts.extend(
+        src.bytes()
+            .enumerate()
+            .filter(|&(_, b)| b == b'\n')
+            .map(|(i, _)| i + 1),
+    );
+    let mut scan = Scan {
+        src,
+        path,
+        sig: tokens
+            .iter()
+            .filter(|t| {
+                !matches!(
+                    t.kind,
+                    TokenKind::Whitespace | TokenKind::LineComment | TokenKind::BlockComment
+                )
+            })
+            .copied()
+            .collect(),
+        line_starts,
+        allows: Vec::new(),
+    };
+
+    // Pass A: collect allow directives (and flag malformed ones, D007).
+    for t in tokens
+        .iter()
+        .filter(|t| matches!(t.kind, TokenKind::LineComment | TokenKind::BlockComment))
+    {
+        let text = &src[t.start..t.end];
+        let mut at = 0usize;
+        while let Some(p) = text[at..].find(ALLOW_MARKER) {
+            let body = at + p + ALLOW_MARKER.len();
+            let line = scan.line_of(t.start + body);
+            match parse_allow(&text[body..]) {
+                Ok((rule, consumed)) => {
+                    scan.allows.push((rule, line));
+                    at = body + consumed;
+                }
+                Err(msg) => {
+                    report.push(
+                        Diagnostic::new(
+                            Rule::BadAllowDirective,
+                            Location::Source {
+                                file: path.into(),
+                                line,
+                            },
+                            msg,
+                        )
+                        .with_hint("syntax: // bdc-lint: allow(D001, reason)"),
+                    );
+                    at = body;
+                }
+            }
+        }
+    }
+
+    // Pass B: hazard scan over significant tokens.
+    let rules = class.rules();
+    let mut i = 0usize;
+    while i < scan.sig.len() {
+        if scan.is_punct(i, "#") {
+            let (next, is_test) = scan.skip_attr(i);
+            i = if is_test { scan.skip_item(next) } else { next };
+            continue;
+        }
+        let Some(word) = scan.ident_at(i) else {
+            i += 1;
+            continue;
+        };
+        if word == "use" {
+            while i < scan.sig.len() && !scan.is_punct(i, ";") {
+                i += 1;
+            }
+            continue;
+        }
+        let hit: Option<(Rule, String, &str)> = match word {
+            "HashMap" | "HashSet" => Some((
+                Rule::HashOrderHazard,
+                format!("`{word}` on a {class:?} path — iteration order is per-process random"),
+                "use BTreeMap/BTreeSet or sort before iterating; allow(D001, …) if \
+                 iteration never reaches output bytes",
+            )),
+            "RandomState" => Some((
+                Rule::RandomStateHazard,
+                "explicit `RandomState` — a randomly seeded hasher".into(),
+                "use a fixed-seed hasher or an ordered container",
+            )),
+            "Instant" | "SystemTime" if scan.path_seg(i + 1, &["now"]) => Some((
+                Rule::AmbientTime,
+                format!("`{word}::now()` — wall-clock reads must not reach artifact bytes"),
+                "derive timestamps from inputs, or allow(D002, …) for pure telemetry",
+            )),
+            "thread" if scan.path_seg(i + 1, &["current"]) => Some((
+                Rule::ThreadIdHazard,
+                "`thread::current()` — output must not depend on scheduler identity".into(),
+                "thread identity varies run to run; key work by index instead",
+            )),
+            "env" if scan.path_seg(i + 1, &["var", "var_os", "vars", "vars_os"]) => Some((
+                Rule::AmbientEnv,
+                "raw `std::env` read — ambient configuration bypasses the cache key".into(),
+                "route knobs through bdc_exec::env_config() and the node cache key",
+            )),
+            "unwrap" | "expect" if scan.is_punct(i.wrapping_sub(1), ".") => Some((
+                Rule::ServeUnwrap,
+                format!("`.{word}()` on a request path — a panic kills the connection worker"),
+                "return a 4xx/5xx response (or recover, e.g. unwrap_or_else for lock poison)",
+            )),
+            _ => None,
+        };
+        if let Some((rule, message, hint)) = hit {
+            let line = scan.line_of(scan.sig[i].start);
+            if rules.contains(&rule) && !scan.suppressed(rule, line) {
+                report.push(
+                    Diagnostic::new(
+                        rule,
+                        Location::Source {
+                            file: scan.path.into(),
+                            line,
+                        },
+                        message,
+                    )
+                    .with_hint(hint),
+                );
+            }
+        }
+        i += 1;
+    }
+    report
+}
+
+/// Recursively collects `.rs` files under `dir`, sorted for deterministic
+/// reports; `target/` subtrees are skipped.
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(rd) = std::fs::read_dir(dir) else {
+        return;
+    };
+    let mut entries: Vec<PathBuf> = rd.flatten().map(|e| e.path()).collect();
+    entries.sort();
+    for p in entries {
+        if p.is_dir() {
+            if p.file_name().is_some_and(|n| n == "target") {
+                continue;
+            }
+            collect_rs(&p, out);
+        } else if p.extension().is_some_and(|e| e == "rs") {
+            out.push(p);
+        }
+    }
+}
+
+/// Lints every non-exempt `.rs` file under `root/crates`, merging the
+/// per-file reports into one (subject `workspace`). File order, and
+/// therefore diagnostic order, is path-sorted — byte-stable across runs
+/// and worker counts.
+pub fn lint_workspace(root: &Path) -> LintReport {
+    let mut report = LintReport::new("workspace");
+    let mut files = Vec::new();
+    collect_rs(&root.join("crates"), &mut files);
+    for f in files {
+        let rel = f
+            .strip_prefix(root)
+            .unwrap_or(&f)
+            .to_string_lossy()
+            .replace('\\', "/");
+        let class = classify_path(&rel);
+        if class == SourceClass::Exempt {
+            continue;
+        }
+        let Ok(bytes) = std::fs::read(&f) else {
+            continue;
+        };
+        report.merge(lint_source(&rel, class, &String::from_utf8_lossy(&bytes)));
+    }
+    report
+}
+
+/// Walks up from the current directory to the first directory whose
+/// `Cargo.toml` declares `[workspace]` — where `bdc lint --workspace` and
+/// `bdc verify` anchor their file walk and report artifact.
+pub fn find_workspace_root() -> Option<PathBuf> {
+    let mut dir = std::env::current_dir().ok()?;
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if let Ok(text) = std::fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return Some(dir);
+            }
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trips(src: &str) {
+        let toks = lex(src);
+        let mut rebuilt = String::new();
+        let mut expect_start = 0usize;
+        for t in &toks {
+            assert_eq!(t.start, expect_start, "gap before {t:?} in {src:?}");
+            assert!(t.end > t.start, "empty token {t:?}");
+            rebuilt.push_str(&src[t.start..t.end]);
+            expect_start = t.end;
+        }
+        assert_eq!(rebuilt, src);
+    }
+
+    #[test]
+    fn lexer_round_trips_representative_rust() {
+        round_trips("");
+        round_trips("fn main() { println!(\"hi {}\", 1.0e-3); }");
+        round_trips("// line\n/* block /* nested */ */ let s = r#\"raw \" str\"#;");
+        round_trips("let c = 'x'; let e = '\\n'; let l: &'static str = \"s\"; let b = b'q';");
+        round_trips("let bytes = b\"abc\"; let r = r\"no escape\\\"; let n = 0xFF_u32;");
+        round_trips("let r#type = 1; 'outer: loop { break 'outer; }");
+        round_trips("let unterminated = \"oops");
+        round_trips("/* unterminated block");
+        round_trips("日本語 let π = 3.14; '日'");
+    }
+
+    #[test]
+    fn lexer_classifies_kinds() {
+        let kinds: Vec<TokenKind> = lex("'a 'b' // c").iter().map(|t| t.kind).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                TokenKind::Lifetime,
+                TokenKind::Whitespace,
+                TokenKind::Char,
+                TokenKind::Whitespace,
+                TokenKind::LineComment,
+            ]
+        );
+    }
+
+    fn fired(r: &LintReport, rule: Rule) -> bool {
+        r.diagnostics.iter().any(|d| d.rule == rule)
+    }
+
+    #[test]
+    fn d001_fires_on_hash_containers_in_render() {
+        let src = "fn f() { let m: HashMap<u32, u32> = Default::default(); }";
+        let r = lint_source("crates/bdc-synth/src/x.rs", SourceClass::Render, src);
+        assert!(fired(&r, Rule::HashOrderHazard), "{r}");
+        assert!(!r.is_clean());
+    }
+
+    #[test]
+    fn d001_skips_use_declarations_and_tests() {
+        let src = "use std::collections::HashMap;\n\
+                   #[cfg(test)]\nmod tests { fn g() { let m = HashMap::new(); } }\n\
+                   #[test]\nfn t() { let s = HashSet::new(); }\n";
+        let r = lint_source("crates/bdc-synth/src/x.rs", SourceClass::Render, src);
+        assert!(r.diagnostics.is_empty(), "{r}");
+    }
+
+    #[test]
+    fn d001_not_applied_to_tooling() {
+        let src = "fn f() { let m = HashMap::new(); }";
+        let r = lint_source("crates/bdc-bench/src/x.rs", SourceClass::Tooling, src);
+        assert!(r.diagnostics.is_empty(), "{r}");
+    }
+
+    #[test]
+    fn d002_fires_on_instant_now_but_not_type_position() {
+        let hazard = "fn f() { let t = Instant::now(); }";
+        let r = lint_source("x.rs", SourceClass::Render, hazard);
+        assert!(fired(&r, Rule::AmbientTime), "{r}");
+        let benign = "struct S { start: Instant }";
+        let r = lint_source("x.rs", SourceClass::Render, benign);
+        assert!(r.diagnostics.is_empty(), "{r}");
+    }
+
+    #[test]
+    fn d003_and_d004_fire_everywhere_scanned() {
+        let src = "fn f() { let h = RandomState::new(); let id = thread::current().id(); }";
+        for class in [SourceClass::Tooling, SourceClass::Render] {
+            let r = lint_source("x.rs", class, src);
+            assert!(fired(&r, Rule::RandomStateHazard), "{class:?}: {r}");
+            assert!(fired(&r, Rule::ThreadIdHazard), "{class:?}: {r}");
+        }
+    }
+
+    #[test]
+    fn d005_fires_only_on_serve_request_paths() {
+        let src = "fn f(m: &Mutex<u32>) { let g = m.lock().unwrap(); let v = g.checked_add(1).expect(\"ok\"); }";
+        let serve = lint_source("x.rs", SourceClass::Serve, src);
+        assert_eq!(
+            serve
+                .diagnostics
+                .iter()
+                .filter(|d| d.rule == Rule::ServeUnwrap)
+                .count(),
+            2,
+            "{serve}"
+        );
+        let render = lint_source("x.rs", SourceClass::Render, src);
+        assert!(render.diagnostics.is_empty(), "{render}");
+        // The poison-recovery idiom is a distinct identifier — no finding.
+        let idiom = "fn f(m: &Mutex<u32>) { let g = m.lock().unwrap_or_else(|p| p.into_inner()); }";
+        let r = lint_source("x.rs", SourceClass::Serve, idiom);
+        assert!(r.diagnostics.is_empty(), "{r}");
+    }
+
+    #[test]
+    fn d006_fires_on_env_reads_in_render_only() {
+        let src = "fn f() { let v = std::env::var(\"BDC_WORKERS\"); }";
+        let r = lint_source("x.rs", SourceClass::Render, src);
+        assert!(fired(&r, Rule::AmbientEnv), "{r}");
+        let infra = lint_source("x.rs", SourceClass::Infra, src);
+        assert!(infra.diagnostics.is_empty(), "{infra}");
+    }
+
+    #[test]
+    fn allow_directive_suppresses_same_and_next_line() {
+        let trailing =
+            "fn f() { let t = Instant::now(); } // bdc-lint: allow(D002, telemetry only)";
+        let r = lint_source("x.rs", SourceClass::Render, trailing);
+        assert!(r.diagnostics.is_empty(), "{r}");
+        let above = "// bdc-lint: allow(D002, telemetry only)\nfn f() { let t = Instant::now(); }";
+        let r = lint_source("x.rs", SourceClass::Render, above);
+        assert!(r.diagnostics.is_empty(), "{r}");
+        // Two lines below the directive is out of scope.
+        let far = "// bdc-lint: allow(D002, telemetry only)\n\nfn f() { let t = Instant::now(); }";
+        let r = lint_source("x.rs", SourceClass::Render, far);
+        assert!(fired(&r, Rule::AmbientTime), "{r}");
+        // An allow for a different rule does not suppress.
+        let wrong = "fn f() { let t = Instant::now(); } // bdc-lint: allow(D001, wrong rule)";
+        let r = lint_source("x.rs", SourceClass::Render, wrong);
+        assert!(fired(&r, Rule::AmbientTime), "{r}");
+    }
+
+    #[test]
+    fn d007_fires_on_malformed_allows() {
+        for bad in [
+            "// bdc-lint: allow(D001)",
+            "// bdc-lint: allow(D999, made-up rule)",
+            "// bdc-lint: allow(D001,   )",
+            "// bdc-lint: allow(D001, no close",
+        ] {
+            let r = lint_source("x.rs", SourceClass::Render, bad);
+            assert!(fired(&r, Rule::BadAllowDirective), "{bad}: {r}");
+        }
+    }
+
+    #[test]
+    fn classify_path_maps_crates_to_classes() {
+        use SourceClass::*;
+        let cases = [
+            ("crates/bdc-synth/src/gate.rs", Render),
+            ("crates/bdc-core/src/registry/mod.rs", Render),
+            ("crates/bdc-serve/src/engine.rs", Serve),
+            ("crates/bdc-exec/src/cache.rs", Infra),
+            ("crates/bdc-bench/src/lib.rs", Tooling),
+            ("crates/bdc-bench/src/bin/bdc.rs", Tooling),
+            ("crates/bdc-core/src/bin/helper.rs", Tooling),
+            ("crates/compat/proptest/src/lib.rs", Exempt),
+            ("crates/bdc-lint/tests/lexer_proptest.rs", Exempt),
+            ("crates/bdc-bench/benches/components.rs", Exempt),
+            ("tests/registry_catalogue.rs", Exempt),
+        ];
+        for (path, want) in cases {
+            assert_eq!(classify_path(path), want, "{path}");
+        }
+    }
+
+    #[test]
+    fn lint_workspace_on_this_repo_is_deny_clean() {
+        // The acceptance gate, from the inside: zero Error-severity
+        // findings across the workspace sources.
+        let Some(root) = find_workspace_root() else {
+            return; // not running inside the repo checkout
+        };
+        let r = lint_workspace(&root);
+        assert!(r.is_clean(), "{r}");
+    }
+}

@@ -1,0 +1,69 @@
+//! Property tests for the determinism-auditor's Rust lexer
+//! ([`bdc_lint::lex`]): the scanner runs over every source file in the
+//! workspace, so it must be total.
+//!
+//! Two contracts are pinned on arbitrary byte soup (lossily decoded, the
+//! same way `lint_workspace` ingests files):
+//!
+//! * **No panic** — any input lexes to completion; hostile fragments
+//!   (unterminated strings, half-open comments, stray quotes, raw-string
+//!   hashes, non-ASCII) never index out of bounds or split a UTF-8
+//!   boundary.
+//! * **Span round trip** — the emitted token spans exactly partition the
+//!   input: contiguous, non-empty, in order, and concatenating the span
+//!   slices rebuilds the source byte-for-byte.
+
+use proptest::prelude::*;
+
+use bdc_lint::{lex, lint_source, SourceClass};
+
+/// Asserts the partition invariant and rebuilds the source from spans.
+fn check_round_trip(src: &str) -> Result<(), TestCaseError> {
+    let tokens = lex(src);
+    let mut at = 0usize;
+    let mut rebuilt = String::with_capacity(src.len());
+    for t in &tokens {
+        prop_assert_eq!(t.start, at, "gap or overlap before token at {}", t.start);
+        prop_assert!(t.end > t.start, "empty token span at {}", t.start);
+        rebuilt.push_str(&src[t.start..t.end]);
+        at = t.end;
+    }
+    prop_assert_eq!(at, src.len(), "tokens stop short of EOF");
+    prop_assert_eq!(rebuilt.as_str(), src);
+    Ok(())
+}
+
+proptest! {
+    #[test]
+    fn lexer_round_trips_arbitrary_byte_soup(bytes in proptest::collection::vec(any::<u8>(), 0..512)) {
+        // Ingest exactly as lint_workspace does: lossy UTF-8 decode.
+        let src = String::from_utf8_lossy(&bytes).into_owned();
+        check_round_trip(&src)?;
+    }
+
+    #[test]
+    fn lexer_round_trips_rust_flavoured_soup(parts in proptest::collection::vec(0usize..20, 0..64)) {
+        // Byte soup rarely opens the interesting scanner states, so also
+        // splice together Rust-flavoured fragments: quotes, raw-string
+        // heads, comment openers, lifetimes — in arbitrary order, the
+        // later fragments landing inside whatever state the earlier ones
+        // left open.
+        const FRAGMENTS: &[&str] = &[
+            "\"", "r#\"", "br##\"", "'", "'a", "'\\''", "/*", "*/", "//",
+            "\n", "b\"\\x", "0x1f", "1.0e-", "ident", "r#type", "#[cfg(test)]",
+            "日本語", "\\", "\"#", "1_000",
+        ];
+        let src: String = parts.iter().map(|&i| FRAGMENTS[i % FRAGMENTS.len()]).collect();
+        check_round_trip(&src)?;
+    }
+
+    #[test]
+    fn lint_source_never_panics_on_byte_soup(bytes in proptest::collection::vec(any::<u8>(), 0..512)) {
+        // The full per-file pass (allow parsing + hazard scan) is total
+        // too, whatever class the file lands in.
+        let src = String::from_utf8_lossy(&bytes).into_owned();
+        for class in [SourceClass::Render, SourceClass::Serve, SourceClass::Tooling] {
+            let _ = lint_source("soup.rs", class, &src);
+        }
+    }
+}

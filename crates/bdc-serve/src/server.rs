@@ -284,6 +284,7 @@ fn serve_connection(
     };
     let mut reader = BufReader::new(stream);
     loop {
+        // bdc-lint: allow(D002, latency telemetry; responses carry no Date header)
         let t0 = Instant::now();
         let request = match http::read_request(&mut reader) {
             Ok(r) => r,

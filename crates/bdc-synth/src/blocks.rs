@@ -569,7 +569,7 @@ fn reduce_tree(n: &mut Netlist, nets: &[NetId], is_and: bool) -> NetId {
 mod tests {
     use super::*;
     use crate::funcsim::{bus_to_u64, simulate_comb, u64_to_bus};
-    use std::collections::HashMap;
+    use std::collections::BTreeMap;
 
     fn eval_adder(n: &Netlist, a_v: u64, b_v: u64, cin_v: bool, width: usize) -> (u64, bool) {
         let a = bus(n, "a");
@@ -580,7 +580,7 @@ mod tests {
             .copied()
             .find(|&x| n.net_name(x) == Some("cin"))
             .unwrap();
-        let mut m = HashMap::new();
+        let mut m = BTreeMap::new();
         u64_to_bus(&mut m, &a, a_v);
         u64_to_bus(&mut m, &b, b_v);
         m.insert(cin, cin_v);
@@ -674,7 +674,7 @@ mod tests {
             (128, 2),
             (99, 101),
         ] {
-            let mut m = HashMap::new();
+            let mut m = BTreeMap::new();
             u64_to_bus(&mut m, &a_bus, a);
             u64_to_bus(&mut m, &b_bus, b);
             let v = simulate_comb(&n, &m);
@@ -698,7 +698,7 @@ mod tests {
             (5, 9),
             (200, 3),
         ] {
-            let mut m = HashMap::new();
+            let mut m = BTreeMap::new();
             u64_to_bus(&mut m, &a_bus, a);
             u64_to_bus(&mut m, &d_bus, d);
             let v = simulate_comb(&n, &m);
@@ -715,7 +715,7 @@ mod tests {
         let sh_bus = bus(&n, "sh");
         let y_bus = bus(&n, "y");
         for (a, s) in [(0x0001u64, 0u64), (0x0001, 5), (0xABCD, 4), (0xFFFF, 15)] {
-            let mut m = HashMap::new();
+            let mut m = BTreeMap::new();
             u64_to_bus(&mut m, &a_bus, a);
             u64_to_bus(&mut m, &sh_bus, s);
             let v = simulate_comb(&n, &m);
@@ -730,7 +730,7 @@ mod tests {
         let a_bus = bus(&n, "a");
         let y_bus = bus(&n, "y");
         for code in 0..16u64 {
-            let mut m = HashMap::new();
+            let mut m = BTreeMap::new();
             u64_to_bus(&mut m, &a_bus, code);
             let v = simulate_comb(&n, &m);
             assert_eq!(bus_to_u64(&v, &y_bus), 1 << code);
@@ -744,7 +744,7 @@ mod tests {
         let b_bus = bus(&n, "b");
         let eq = n.outputs()[0];
         for (a, b) in [(5u64, 5u64), (5, 6), (0xFFF, 0xFFF), (0, 0x800)] {
-            let mut m = HashMap::new();
+            let mut m = BTreeMap::new();
             u64_to_bus(&mut m, &a_bus, a);
             u64_to_bus(&mut m, &b_bus, b);
             let v = simulate_comb(&n, &m);
@@ -758,7 +758,7 @@ mod tests {
         let req_bus = bus(&n, "req");
         let grant_bus = bus(&n, "grant");
         for req in [0b0000_0000u64, 0b0001_0000, 0b1010_1000, 0b1111_1111] {
-            let mut m = HashMap::new();
+            let mut m = BTreeMap::new();
             u64_to_bus(&mut m, &req_bus, req);
             let v = simulate_comb(&n, &m);
             let grant = bus_to_u64(&v, &grant_bus);
@@ -781,7 +781,7 @@ mod tests {
         let sel_bus = bus(&n, "sel");
         let data = [0x11u64, 0x22, 0x33, 0x44];
         for sel in 0..4u64 {
-            let mut m = HashMap::new();
+            let mut m = BTreeMap::new();
             for (i, d) in data.iter().enumerate() {
                 u64_to_bus(&mut m, &bus(&n, &format!("in{i}")), *d);
             }
@@ -795,7 +795,7 @@ mod tests {
     fn wakeup_cam_matches_any_port() {
         let n = wakeup_cam(4, 6, 2);
         let wake_bus = bus(&n, "wake");
-        let mut m = HashMap::new();
+        let mut m = BTreeMap::new();
         u64_to_bus(&mut m, &bus(&n, "tag0"), 13);
         u64_to_bus(&mut m, &bus(&n, "tag1"), 44);
         for (e, src) in [(0u64, 13u64), (1, 44), (2, 13), (3, 7)] {

@@ -3,7 +3,7 @@
 //! Used by the equivalence tests that confirm pipeline cutting preserves
 //! function modulo latency, and by the block generators' truth-table tests.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use crate::gate::{NetId, Netlist};
 
@@ -15,7 +15,7 @@ use crate::gate::{NetId, Netlist};
 /// # Panics
 /// Panics if an input value is missing or the netlist has flops (use
 /// [`simulate_seq`] for sequential netlists).
-pub fn simulate_comb(netlist: &Netlist, inputs: &HashMap<NetId, bool>) -> Vec<bool> {
+pub fn simulate_comb(netlist: &Netlist, inputs: &BTreeMap<NetId, bool>) -> Vec<bool> {
     assert!(
         netlist.flops().is_empty(),
         "combinational simulation of a sequential netlist"
@@ -40,7 +40,7 @@ pub fn simulate_comb(netlist: &Netlist, inputs: &HashMap<NetId, bool>) -> Vec<bo
 /// Panics if `inputs_per_cycle` is empty or an input value is missing.
 pub fn simulate_seq(
     netlist: &Netlist,
-    inputs_per_cycle: &[HashMap<NetId, bool>],
+    inputs_per_cycle: &[BTreeMap<NetId, bool>],
     cycles: usize,
 ) -> Vec<Vec<bool>> {
     assert!(!inputs_per_cycle.is_empty(), "need at least one input map");
@@ -65,7 +65,7 @@ pub fn simulate_seq(
     traces
 }
 
-fn seed(netlist: &Netlist, inputs: &HashMap<NetId, bool>, values: &mut [bool]) {
+fn seed(netlist: &Netlist, inputs: &BTreeMap<NetId, bool>, values: &mut [bool]) {
     for &i in netlist.inputs() {
         let v = inputs.get(&i).unwrap_or_else(|| {
             panic!(
@@ -92,7 +92,7 @@ pub fn bus_to_u64(values: &[bool], bus: &[NetId]) -> u64 {
 }
 
 /// Convenience: builds the input map for a bus from a `u64` (LSB first).
-pub fn u64_to_bus(map: &mut HashMap<NetId, bool>, bus: &[NetId], value: u64) {
+pub fn u64_to_bus(map: &mut BTreeMap<NetId, bool>, bus: &[NetId], value: u64) {
     for (i, &n) in bus.iter().enumerate() {
         map.insert(n, (value >> i) & 1 == 1);
     }
@@ -113,7 +113,7 @@ mod tests {
         n.output(s, "s");
         n.output(co, "co");
         for bits in 0..8u32 {
-            let mut m = HashMap::new();
+            let mut m = BTreeMap::new();
             m.insert(a, bits & 1 != 0);
             m.insert(b, bits & 2 != 0);
             m.insert(c, bits & 4 != 0);
@@ -135,7 +135,7 @@ mod tests {
         n.output(m_out, "m");
         n.output(x_out, "x");
         for bits in 0..8u32 {
-            let mut m = HashMap::new();
+            let mut m = BTreeMap::new();
             m.insert(s, bits & 1 != 0);
             m.insert(a, bits & 2 != 0);
             m.insert(b, bits & 4 != 0);
@@ -155,8 +155,8 @@ mod tests {
         let q2 = n.flop(q1);
         n.output(q2, "out");
         let seq = [true, false, true, true, false];
-        let maps: Vec<HashMap<NetId, bool>> =
-            seq.iter().map(|&v| HashMap::from([(a, v)])).collect();
+        let maps: Vec<BTreeMap<NetId, bool>> =
+            seq.iter().map(|&v| BTreeMap::from([(a, v)])).collect();
         let traces = simulate_seq(&n, &maps, 5);
         for c in 2..5 {
             assert_eq!(traces[c][q2], seq[c - 2], "cycle {c}");
@@ -169,7 +169,7 @@ mod tests {
         let bus = n.input_bus("x", 8);
         let y = n.inv(bus[0]);
         n.output(y, "y");
-        let mut m = HashMap::new();
+        let mut m = BTreeMap::new();
         u64_to_bus(&mut m, &bus, 0xA5);
         let v = simulate_comb(&n, &m);
         assert_eq!(bus_to_u64(&v, &bus), 0xA5);

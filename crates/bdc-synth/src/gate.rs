@@ -6,13 +6,16 @@
 //! builder methods that expand into library gates, mirroring how a
 //! technology mapper would cover them.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Identifier of a net (a wire) inside one netlist.
 pub type NetId = usize;
 
 /// Combinational gate kinds — the library's logic cells.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+///
+/// `Ord` follows declaration order, which is also alphabetical on the
+/// debug names — the order every rendered histogram uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum GateKind {
     /// Inverter.
     Inv,
@@ -82,8 +85,8 @@ pub struct Netlist {
     flops: Vec<Flop>,
     const0: Option<NetId>,
     const1: Option<NetId>,
-    input_names: HashMap<NetId, String>,
-    output_names: HashMap<NetId, String>,
+    input_names: BTreeMap<NetId, String>,
+    output_names: BTreeMap<NetId, String>,
 }
 
 impl Netlist {
@@ -367,9 +370,9 @@ impl Netlist {
         &self.flops
     }
 
-    /// Gate-count histogram by kind.
-    pub fn histogram(&self) -> HashMap<GateKind, usize> {
-        let mut h = HashMap::new();
+    /// Gate-count histogram by kind, ordered by [`GateKind`].
+    pub fn histogram(&self) -> BTreeMap<GateKind, usize> {
+        let mut h = BTreeMap::new();
         for g in &self.gates {
             *h.entry(g.kind).or_insert(0) += 1;
         }

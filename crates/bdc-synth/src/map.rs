@@ -133,7 +133,7 @@ mod tests {
     use super::*;
     use crate::funcsim::simulate_comb;
     use bdc_cells::{Cell, CellLibrary, ProcessKind};
-    use std::collections::HashMap;
+    use std::collections::BTreeMap;
 
     /// A library whose NAND3 is pathologically slow.
     fn slow_nand3_lib() -> CellLibrary {
@@ -196,7 +196,7 @@ mod tests {
         for bits in 0..8u32 {
             let vals = [bits & 1 != 0, bits & 2 != 0, bits & 4 != 0];
             let mk = |nl: &Netlist| {
-                let mut mp = HashMap::new();
+                let mut mp = BTreeMap::new();
                 for (i, &inp) in nl.inputs().iter().enumerate() {
                     mp.insert(inp, vals[i]);
                 }

@@ -212,7 +212,7 @@ pub fn insert_registers(
         base[c] = out.const1();
     }
     // Cache of delayed versions: (net, stage) -> out net.
-    let mut delayed: std::collections::HashMap<(usize, usize), usize> = Default::default();
+    let mut delayed: std::collections::BTreeMap<(usize, usize), usize> = Default::default();
     let is_const = |n: usize| Some(n) == c0 || Some(n) == c1;
     for (g, &s) in netlist.gates().iter().zip(&assignment) {
         let ins: Vec<usize> = g

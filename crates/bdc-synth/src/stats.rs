@@ -4,15 +4,16 @@
 //! synthesis report prints, and what the paper's §5.5 discussion about
 //! NAND2/NAND3 coverage per library reads from.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use crate::gate::{GateKind, Netlist};
 
 /// Structural statistics of a netlist.
 #[derive(Debug, Clone, PartialEq)]
 pub struct NetlistStats {
-    /// Gate counts per kind.
-    pub cells: HashMap<GateKind, usize>,
+    /// Gate counts per kind, in [`GateKind`] order — iteration reaches
+    /// rendered report bytes, so the container must be ordered.
+    pub cells: BTreeMap<GateKind, usize>,
     /// Flip-flop count.
     pub flops: usize,
     /// Logic depth in gate levels (unit-delay).
@@ -77,9 +78,9 @@ pub fn render_stats(name: &str, s: &NetlistStats) -> String {
     use std::fmt::Write as _;
     let mut out = String::new();
     let _ = writeln!(out, "{name}:");
-    let mut kinds: Vec<(GateKind, usize)> = s.cells.iter().map(|(k, v)| (*k, *v)).collect();
-    kinds.sort_by_key(|(k, _)| format!("{k:?}"));
-    for (k, v) in kinds {
+    // `cells` iterates in `GateKind` order, which coincides with the
+    // alphabetical debug-name order the report has always printed.
+    for (k, v) in &s.cells {
         let _ = writeln!(out, "  {k:?}: {v}");
     }
     let _ = writeln!(out, "  DFF: {}", s.flops);
@@ -145,5 +146,30 @@ mod tests {
         let text = render_stats("ripple8", &s);
         assert!(text.contains("depth:"));
         assert!(text.contains("ripple8"));
+    }
+
+    #[test]
+    fn render_stats_bytes_are_pinned() {
+        // Regression pin for the determinism audit (D001): cell-count
+        // iteration reaches these bytes, so the exact order — Inv, Nand2,
+        // Nand3, Nor2, Nor3 — must never depend on a hash seed. This is
+        // the byte-exact output for a known structure.
+        let mut n = Netlist::new("t");
+        let a = n.input("a");
+        let b = n.input("b");
+        let c = n.input("c");
+        let x = n.nand2(a, b); // level 1
+        let y = n.inv(x); // level 2
+        let z = n.nand3(y, a, b); // level 3
+        let w = n.nor2(z, c); // level 4
+        let v = n.nor3(w, a, c); // level 5
+        let q = n.flop(v);
+        n.output(q, "q");
+        let s = netlist_stats(&n);
+        let text = render_stats("pinned", &s);
+        assert_eq!(
+            text,
+            "pinned:\n  Inv: 1\n  Nand2: 1\n  Nand3: 1\n  Nor2: 1\n  Nor3: 1\n  DFF: 1\n  depth: 5 levels, max fanout 3, mean fanout 1.50\n"
+        );
     }
 }

@@ -6,7 +6,7 @@
 //! dialect back, round-tripping exactly. Tie cells `TIE0`/`TIE1` carry the
 //! constant nets.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::fmt::Write as _;
 
 use crate::gate::{GateKind, NetId, Netlist};
@@ -229,7 +229,7 @@ pub fn parse_verilog(text: &str) -> Result<Netlist, VerilogError> {
     // Build the netlist: inputs first, then TIEs/flop outputs, then gates in
     // file order (the writer emits them topologically).
     let mut n = Netlist::new(name);
-    let mut nets: HashMap<String, NetId> = HashMap::new();
+    let mut nets: BTreeMap<String, NetId> = BTreeMap::new();
     for inp in &inputs {
         let id = n.input(inp.clone());
         nets.insert(inp.clone(), id);
@@ -322,7 +322,7 @@ mod tests {
     use super::*;
     use crate::blocks;
     use crate::funcsim::{simulate_comb, u64_to_bus};
-    use std::collections::HashMap as Map;
+    use std::collections::BTreeMap as Map;
 
     #[test]
     fn adder_round_trips_and_stays_equivalent() {

@@ -4,7 +4,7 @@
 //! mnemonics; `assemble` resolves branch/jump offsets and produces a
 //! [`Program`].
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use crate::isa::{Instr, Op, Reg};
 
@@ -468,8 +468,8 @@ impl Asm {
     }
 
     /// Assembles and also returns a map from label to PC (for tests).
-    pub fn assemble_with_labels(self) -> (Program, HashMap<usize, usize>) {
-        let labels: HashMap<usize, usize> = self
+    pub fn assemble_with_labels(self) -> (Program, BTreeMap<usize, usize>) {
+        let labels: BTreeMap<usize, usize> = self
             .labels
             .iter()
             .enumerate()

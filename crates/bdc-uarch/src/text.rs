@@ -17,7 +17,7 @@
 //!     halt
 //! ```
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::fmt;
 
 use crate::asm::{Asm, Program};
@@ -145,7 +145,7 @@ fn parse_mem(tok: &str, line: usize) -> Result<(i32, Reg), AsmError> {
 /// unknown labels.
 pub fn assemble_text(source: &str) -> Result<Program, AsmError> {
     let mut a = Asm::new();
-    let mut labels: HashMap<String, crate::asm::Label> = HashMap::new();
+    let mut labels: BTreeMap<String, crate::asm::Label> = BTreeMap::new();
     let mut label_of =
         |a: &mut Asm, name: &str| *labels.entry(name.to_string()).or_insert_with(|| a.label());
     let mut bound: Vec<String> = Vec::new();

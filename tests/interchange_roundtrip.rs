@@ -8,7 +8,7 @@ use bdc_synth::funcsim::{simulate_comb, u64_to_bus};
 use bdc_synth::gate::Netlist;
 use bdc_synth::verilog::{parse_verilog, write_verilog};
 use bdc_uarch::{assemble_text, disassemble, Interp};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
@@ -26,7 +26,7 @@ proptest! {
         prop_assert_eq!(back.gates().len(), orig.gates().len());
         for &v in &vectors {
             let eval = |nl: &Netlist| -> Vec<bool> {
-                let mut m = HashMap::new();
+                let mut m = BTreeMap::new();
                 u64_to_bus(&mut m, nl.inputs(), v);
                 let values = simulate_comb(nl, &m);
                 nl.outputs().iter().map(|&o| values[o]).collect()

@@ -4,7 +4,7 @@
 //! times; the pipelined netlist must produce the same outputs as the
 //! combinational original, delayed by `stages − 1` cycles.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use proptest::prelude::*;
 
@@ -21,17 +21,17 @@ fn lib() -> CellLibrary {
 
 /// Drives the same input sequence through comb and pipelined versions and
 /// checks output alignment.
-fn check_equivalence(comb: &Netlist, stages: usize, input_seqs: &[HashMap<usize, bool>]) {
+fn check_equivalence(comb: &Netlist, stages: usize, input_seqs: &[BTreeMap<usize, bool>]) {
     let piped = insert_registers(comb, &lib(), &StaConfig::default(), stages);
     piped.validate().expect("pipelined netlist is valid");
     let latency = stages - 1;
     // Translate input maps: same names, different net ids.
-    let name_of: HashMap<&str, usize> = comb
+    let name_of: BTreeMap<&str, usize> = comb
         .inputs()
         .iter()
         .map(|&i| (comb.net_name(i).unwrap(), i))
         .collect();
-    let piped_inputs: Vec<HashMap<usize, bool>> = input_seqs
+    let piped_inputs: Vec<BTreeMap<usize, bool>> = input_seqs
         .iter()
         .map(|m| {
             piped
@@ -74,8 +74,8 @@ proptest! {
         let b = blocks::bus(&comb, "b");
         let cin = comb.inputs().iter().copied()
             .find(|&x| comb.net_name(x) == Some("cin")).unwrap();
-        let seqs: Vec<HashMap<usize, bool>> = inputs.iter().map(|&(av, bv, cv)| {
-            let mut m = HashMap::new();
+        let seqs: Vec<BTreeMap<usize, bool>> = inputs.iter().map(|&(av, bv, cv)| {
+            let mut m = BTreeMap::new();
             u64_to_bus(&mut m, &a, av);
             u64_to_bus(&mut m, &b, bv);
             m.insert(cin, cv);
@@ -92,8 +92,8 @@ proptest! {
     ) {
         let comb = blocks::random_logic(12, 150, seed);
         let ins = blocks::bus(&comb, "in");
-        let seqs: Vec<HashMap<usize, bool>> = patterns.iter().map(|&p| {
-            let mut m = HashMap::new();
+        let seqs: Vec<BTreeMap<usize, bool>> = patterns.iter().map(|&p| {
+            let mut m = BTreeMap::new();
             u64_to_bus(&mut m, &ins, p);
             m
         }).collect();
@@ -111,7 +111,7 @@ proptest! {
         let a = blocks::bus(&piped, "a");
         let b = blocks::bus(&piped, "b");
         let p_bus = blocks::bus(&piped, "p");
-        let mut m = HashMap::new();
+        let mut m = BTreeMap::new();
         u64_to_bus(&mut m, &a, a_v);
         u64_to_bus(&mut m, &b, b_v);
         // Hold inputs until the pipeline drains.
