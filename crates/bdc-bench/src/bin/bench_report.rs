@@ -29,8 +29,18 @@ struct Row {
     stage: &'static str,
     detail: String,
     workers: usize,
+    /// Batch-lane count in effect for the measurement (1 = scalar kernel).
+    lanes: usize,
     cache: &'static str,
     seconds: f64,
+}
+
+/// Scalar-vs-batched summary for one library's cold characterization.
+struct Speedup {
+    process: &'static str,
+    scalar_s: f64,
+    batched_s: f64,
+    lanes: usize,
 }
 
 /// One serve-layer measurement: a request mix driven through the full
@@ -134,28 +144,68 @@ fn main() {
     }
     bdc_bench::header("bench", "flow-stage timings (serial/parallel, cold/warm)");
     let avail = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let ambient_lanes = bdc_exec::batch_lanes();
+    // Worker sweeps: on a 1-core runner the "parallel" point IS the serial
+    // point, so emit it once and label rows with the effective count
+    // instead of claiming a speedup that was never measured.
+    let mut worker_points: Vec<(usize, &str)> = vec![(1, "serial")];
+    if avail > 1 {
+        worker_points.push((avail, "parallel"));
+    }
     let mut rows: Vec<Row> = Vec::new();
 
-    // --- Library characterization: the slew x load grid fans out per cell.
+    // --- Library characterization: the slew x load grid fans out per cell
+    // (workers) and packs into SoA lanes (batched kernel). Both kernels run
+    // cold at one worker so the speedup row isolates the lane win; the
+    // scalar row is pinned via the lane override, the batched rows use the
+    // environment's resolution (so BDC_NO_BATCH makes them coincide).
+    // Batched rows come first: the scalar run's per-attempt solver churn
+    // leaves the allocator fragmented, which taxes the batched kernel's
+    // large SoA buffers by ~25% if it runs second — each row is a cold
+    // build either way, so the order only removes cross-kernel bleed.
+    let mut speedups: Vec<Speedup> = Vec::new();
     for p in Process::both() {
         bdc_exec::set_workers(Some(1));
-        let (_, s) = time(|| TechKit::build(p).expect("characterization"));
+        bdc_exec::set_batch_lanes(None);
+        let lanes = bdc_exec::batch_lanes();
+        let (_, batched_s) = time(|| TechKit::build(p).expect("characterization"));
         rows.push(Row {
             stage: "characterize_library",
-            detail: p.name().into(),
+            detail: format!("{} batched", p.name()),
             workers: 1,
+            lanes,
             cache: "cold",
-            seconds: s,
+            seconds: batched_s,
         });
         bdc_exec::set_workers(Some(avail));
         let (_, s) = time(|| TechKit::build(p).expect("characterization"));
         rows.push(Row {
             stage: "characterize_library",
-            detail: p.name().into(),
+            detail: format!("{} batched", p.name()),
             workers: avail,
+            lanes,
             cache: "cold",
             seconds: s,
         });
+        bdc_exec::set_workers(Some(1));
+        bdc_exec::set_batch_lanes(Some(1));
+        let (_, scalar_s) = time(|| TechKit::build(p).expect("characterization"));
+        rows.push(Row {
+            stage: "characterize_library",
+            detail: format!("{} scalar", p.name()),
+            workers: 1,
+            lanes: 1,
+            cache: "cold",
+            seconds: scalar_s,
+        });
+        speedups.push(Speedup {
+            process: p.name(),
+            scalar_s,
+            batched_s,
+            lanes,
+        });
+        bdc_exec::set_batch_lanes(None);
+        bdc_exec::set_workers(Some(avail));
         // Prime, then measure the warm load (Liberty parse, no simulation).
         let _ = TechKit::load_or_build(p).expect("prime");
         let (_, s) = time(|| TechKit::load_or_build(p).expect("cached"));
@@ -163,6 +213,7 @@ fn main() {
             stage: "load_library",
             detail: p.name().into(),
             workers: avail,
+            lanes,
             cache: "warm",
             seconds: s,
         });
@@ -177,6 +228,7 @@ fn main() {
             stage: "synthesize_core",
             detail: format!("{} baseline", p.name()),
             workers: 1,
+            lanes: ambient_lanes,
             cache: "cold",
             seconds: s,
         });
@@ -186,19 +238,21 @@ fn main() {
             stage: "synthesize_core",
             detail: format!("{} baseline", p.name()),
             workers: 1,
+            lanes: ambient_lanes,
             cache: "warm",
             seconds: s,
         });
     }
 
     // --- OoO simulation fan-out: a 2x2 width sub-matrix, quick budget.
-    for &(w, label) in &[(1usize, "serial"), (avail, "parallel")] {
+    for &(w, label) in &worker_points {
         bdc_exec::set_workers(Some(w));
         let (_, s) = time(|| width_ipc_matrix(&[1, 2], &[3, 4], SimBudget::quick()));
         rows.push(Row {
             stage: "width_ipc_matrix",
-            detail: format!("2x2 quick, {label}"),
+            detail: format!("2x2 quick, {label} x{w}"),
             workers: w,
+            lanes: ambient_lanes,
             cache: "none",
             seconds: s,
         });
@@ -214,16 +268,18 @@ fn main() {
         stage: "monte_carlo_vt",
         detail: "2000 draws, sequential stream".into(),
         workers: 1,
+        lanes: ambient_lanes,
         cache: "none",
         seconds: s,
     });
-    for &(w, label) in &[(1usize, "serial"), (avail, "parallel")] {
+    for &(w, label) in &worker_points {
         bdc_exec::set_workers(Some(w));
         let (_, s) = time(|| VariedModel::sample_population_par(&base, 0.5 / 3.0, 7, 2000));
         rows.push(Row {
             stage: "monte_carlo_vt",
-            detail: format!("2000 draws, per-index seeds, {label}"),
+            detail: format!("2000 draws, per-index seeds, {label} x{w}"),
             workers: w,
+            lanes: ambient_lanes,
             cache: "none",
             seconds: s,
         });
@@ -241,6 +297,7 @@ fn main() {
                     stage: "experiment_node",
                     detail: format!("{} --quick", node.id),
                     workers: report.workers,
+                    lanes: ambient_lanes,
                     cache: if node.cache_hit { "warm" } else { "cold" },
                     seconds: node.wall_s,
                 });
@@ -257,15 +314,33 @@ fn main() {
     let mut txt = String::new();
     let _ = writeln!(
         txt,
-        "flow-stage timings ({avail} core(s) available)\n\n{:<22} {:<34} {:>7} {:>6} {:>10}",
-        "stage", "detail", "workers", "cache", "seconds"
+        "flow-stage timings ({avail} core(s) available)\n\n{:<22} {:<34} {:>7} {:>5} {:>6} {:>10}",
+        "stage", "detail", "workers", "lanes", "cache", "seconds"
     );
     for r in &rows {
         let _ = writeln!(
             txt,
-            "{:<22} {:<34} {:>7} {:>6} {:>10.4}",
-            r.stage, r.detail, r.workers, r.cache, r.seconds
+            "{:<22} {:<34} {:>7} {:>5} {:>6} {:>10.4}",
+            r.stage, r.detail, r.workers, r.lanes, r.cache, r.seconds
         );
+    }
+    if !speedups.is_empty() {
+        let _ = writeln!(
+            txt,
+            "\ncold characterization, scalar vs batched kernel (1 worker)\n\n{:<10} {:>10} {:>10} {:>6} {:>8}",
+            "process", "scalar s", "batched s", "lanes", "speedup"
+        );
+        for s in &speedups {
+            let _ = writeln!(
+                txt,
+                "{:<10} {:>10.4} {:>10.4} {:>6} {:>7.2}x",
+                s.process,
+                s.scalar_s,
+                s.batched_s,
+                s.lanes,
+                s.scalar_s / s.batched_s
+            );
+        }
     }
     if !serve.is_empty() {
         let _ = writeln!(
@@ -297,13 +372,28 @@ fn main() {
         );
     }
     let _ = writeln!(json, "  ],");
+    let _ = writeln!(json, "  \"characterize_speedup\": [");
+    for (i, s) in speedups.iter().enumerate() {
+        let comma = if i + 1 < speedups.len() { "," } else { "" };
+        let _ = writeln!(
+            json,
+            "    {{\"process\": \"{}\", \"scalar_s\": {:.6}, \"batched_s\": {:.6}, \
+             \"lanes\": {}, \"speedup\": {:.3}}}{comma}",
+            s.process,
+            s.scalar_s,
+            s.batched_s,
+            s.lanes,
+            s.scalar_s / s.batched_s
+        );
+    }
+    let _ = writeln!(json, "  ],");
     let _ = writeln!(json, "  \"rows\": [");
     for (i, r) in rows.iter().enumerate() {
         let comma = if i + 1 < rows.len() { "," } else { "" };
         let _ = writeln!(
             json,
-            "    {{\"stage\": \"{}\", \"detail\": \"{}\", \"workers\": {}, \"cache\": \"{}\", \"seconds\": {:.6}}}{comma}",
-            r.stage, r.detail, r.workers, r.cache, r.seconds
+            "    {{\"stage\": \"{}\", \"detail\": \"{}\", \"workers\": {}, \"lanes\": {}, \"cache\": \"{}\", \"seconds\": {:.6}}}{comma}",
+            r.stage, r.detail, r.workers, r.lanes, r.cache, r.seconds
         );
     }
     let _ = writeln!(json, "  ]\n}}");

@@ -8,12 +8,14 @@
 
 use bdc_circuit::measure::slew_time;
 use bdc_circuit::{
-    crossing_time, dc_sweep, CircuitError, DcSolver, Operating, TranSolver, VtcCurve, Waveform,
+    crossing_time, dc_sweep, BatchLane, BatchTranSolver, CircuitError, DcSolver, Operating,
+    TranSolver, VtcCurve, Waveform,
 };
-use bdc_exec::par_map;
+use bdc_exec::{batch_lanes, par_map};
 
 use crate::nldm::NldmTable;
 use crate::topology::GateCircuit;
+use crate::tracker::CrossTracker;
 
 /// DC summary of an inverter-like cell, mirroring Fig 6(d)/7(d).
 #[derive(Debug, Clone)]
@@ -179,11 +181,30 @@ impl GateTiming {
 /// side level. For each grid point two transients run (input rise → output
 /// fall, input fall → output rise for inverting cells).
 ///
+/// With [`bdc_exec::batch_lanes`] `> 1` the grid points run through the
+/// lockstep SoA kernel ([`BatchTranSolver`]), packing one slew row's loads
+/// per batch; the scalar per-point path remains the reference
+/// implementation (`BDC_BATCH_LANES=1` / `BDC_NO_BATCH`) and both produce
+/// bit-identical tables.
+///
 /// # Errors
 /// Propagates simulator failures, and reports
 /// [`CircuitError::NoConvergence`] if an output never crosses mid-rail even
 /// after the retry (usually a broken topology).
 pub fn characterize_gate(
+    gate: &GateCircuit,
+    cfg: &CharacterizeConfig,
+) -> Result<GateTiming, CircuitError> {
+    let lanes = batch_lanes();
+    if lanes <= 1 {
+        characterize_gate_scalar(gate, cfg)
+    } else {
+        characterize_gate_batched(gate, cfg, lanes)
+    }
+}
+
+/// The scalar reference path: one transient per (slew, load, direction).
+fn characterize_gate_scalar(
     gate: &GateCircuit,
     cfg: &CharacterizeConfig,
 ) -> Result<GateTiming, CircuitError> {
@@ -214,6 +235,99 @@ pub fn characterize_gate(
         fall[i][j] = d_fall;
         slew_out[i][j] = s_rise.max(s_fall);
     }
+    assemble_tables(cfg, rise, fall, slew_out)
+}
+
+/// One batched transient: a single edge direction and slew, with a chunk of
+/// the load axis as lanes.
+struct Pack {
+    input_rising: bool,
+    slew_idx: usize,
+    load_start: usize,
+    len: usize,
+}
+
+/// The batched path: packs the grid into lockstep batches. Lanes within a
+/// pack share the edge direction and input slew (hence waveform, time axis,
+/// and DC operating point) and differ only in the load capacitor, so the
+/// batch is structurally uniform as the SoA kernel requires.
+fn characterize_gate_batched(
+    gate: &GateCircuit,
+    cfg: &CharacterizeConfig,
+    lanes: usize,
+) -> Result<GateTiming, CircuitError> {
+    let ns = cfg.slews.len();
+    let nl = cfg.loads.len();
+    let op_in_rising = initial_op(gate, true)?;
+    let op_in_falling = initial_op(gate, false)?;
+    let mut packs: Vec<Pack> = Vec::new();
+    for input_rising in [true, false] {
+        for slew_idx in 0..ns {
+            let mut load_start = 0;
+            while load_start < nl {
+                let len = lanes.min(nl - load_start);
+                packs.push(Pack {
+                    input_rising,
+                    slew_idx,
+                    load_start,
+                    len,
+                });
+                load_start += len;
+            }
+        }
+    }
+    // Packs are independent; fan them out on the pool (index-ordered, so
+    // still deterministic for any worker count). Errors stay per-lane so
+    // the grid walk below can surface them in scalar order.
+    let measured: Vec<Vec<Result<(f64, f64), CircuitError>>> = par_map(&packs, |p| {
+        let op = if p.input_rising {
+            &op_in_rising
+        } else {
+            &op_in_falling
+        };
+        let loads = &cfg.loads[p.load_start..p.load_start + p.len];
+        edge_pack(gate, cfg, cfg.slews[p.slew_idx], loads, p.input_rising, op)
+    });
+    let mut fall_m: Vec<Option<Result<(f64, f64), CircuitError>>> =
+        (0..ns * nl).map(|_| None).collect();
+    let mut rise_m: Vec<Option<Result<(f64, f64), CircuitError>>> =
+        (0..ns * nl).map(|_| None).collect();
+    for (p, res) in packs.iter().zip(measured) {
+        // Input rising drives the (inverting) output falling and vice
+        // versa, matching the scalar `edge(.., true, ..)` = fall pairing.
+        let dst = if p.input_rising {
+            &mut fall_m
+        } else {
+            &mut rise_m
+        };
+        for (k, r) in res.into_iter().enumerate() {
+            dst[p.slew_idx * nl + p.load_start + k] = Some(r);
+        }
+    }
+    let mut rise = vec![vec![0.0; nl]; ns];
+    let mut fall = vec![vec![0.0; nl]; ns];
+    let mut slew_out = vec![vec![0.0; nl]; ns];
+    for i in 0..ns {
+        for j in 0..nl {
+            // Scalar error order: within a grid point the fall edge runs
+            // (and fails) first; across points the grid is i-major.
+            let (d_fall, s_fall) = fall_m[i * nl + j].take().expect("pack covers grid")?;
+            let (d_rise, s_rise) = rise_m[i * nl + j].take().expect("pack covers grid")?;
+            rise[i][j] = d_rise;
+            fall[i][j] = d_fall;
+            slew_out[i][j] = s_rise.max(s_fall);
+        }
+    }
+    assemble_tables(cfg, rise, fall, slew_out)
+}
+
+/// Shared table assembly: slew-row monotonicity repair + NLDM packing.
+fn assemble_tables(
+    cfg: &CharacterizeConfig,
+    rise: Vec<Vec<f64>>,
+    fall: Vec<Vec<f64>>,
+    mut slew_out: Vec<Vec<f64>>,
+) -> Result<GateTiming, CircuitError> {
     // The threshold-based slew measurement rides the slow tail toward the
     // output's settled level; ratioed (pseudo-E) outputs settle toward a
     // degraded level, so at small loads the 20–80% window can come out
@@ -268,57 +382,194 @@ fn edge(
     input_rising: bool,
     op: &Operating,
 ) -> Result<(f64, f64), CircuitError> {
-    let mut attempt_settle = cfg.settle;
-    let attempts = 2;
-    for attempt in 0..attempts {
-        let mut c = edge_circuit(gate, input_rising);
-        c.capacitor(gate.output, bdc_circuit::Circuit::GND, load);
-        let (v0, v1) = if input_rising {
-            (0.0, gate.vdd)
-        } else {
-            (gate.vdd, 0.0)
-        };
-        let t_start = attempt_settle * 0.05;
-        let tstop = t_start + slew + attempt_settle;
-        let wave = Waveform::ramp(v0, v1, t_start, slew);
-        let solver = TranSolver::new(tstop / cfg.steps as f64, tstop)
-            .with_step_clamp((0.5 * gate.vdd).max(0.5))
-            .with_initial_state(op)
-            .drive(gate.inputs[0].1, wave);
-        let res = match solver.run(&c) {
-            Ok(r) => r,
-            Err(_) if attempt + 1 < attempts => {
-                attempt_settle *= 4.0;
-                continue;
-            }
-            Err(e) => return Err(e),
-        };
-        let out_wf = res.node_waveform(gate.output);
-        let mid = 0.5 * gate.vdd;
-        let t_in_mid = t_start + 0.5 * slew;
-        // Only look at the output after the input begins to move.
-        let after: Vec<(f64, f64)> = out_wf
-            .iter()
-            .copied()
-            .filter(|(t, _)| *t >= t_start)
-            .collect();
-        if let Some(t_out) = crossing_time(&after, mid) {
-            let (from, to) = if input_rising {
-                (gate.vdd, 0.0)
-            } else {
-                (0.0, gate.vdd)
-            };
-            let s = slew_time(&after, from, to, 0.2, 0.8)
-                .map(|s| s / 0.6)
-                .unwrap_or(slew);
-            return Ok(((t_out - t_in_mid).max(0.0), s));
-        }
-        attempt_settle *= 4.0;
+    // First attempt's failure (either kind) is absorbed by the retry; the
+    // retry's outcome is final.
+    if let Ok(Some(m)) = edge_attempt(gate, cfg, slew, load, input_rising, op, cfg.settle) {
+        return Ok(m);
     }
-    Err(CircuitError::NoConvergence {
-        residual: f64::NAN,
-        iterations: 0,
-    })
+    match edge_attempt(gate, cfg, slew, load, input_rising, op, cfg.settle * 4.0) {
+        Ok(Some(m)) => Ok(m),
+        Ok(None) => Err(CircuitError::NoConvergence {
+            residual: f64::NAN,
+            iterations: 0,
+        }),
+        Err(e) => Err(e),
+    }
+}
+
+/// One transient attempt of [`edge`] with an explicit settle window.
+/// `Ok(None)` means the simulation converged but the output never crossed
+/// mid-rail within the window.
+fn edge_attempt(
+    gate: &GateCircuit,
+    cfg: &CharacterizeConfig,
+    slew: f64,
+    load: f64,
+    input_rising: bool,
+    op: &Operating,
+    attempt_settle: f64,
+) -> Result<Option<(f64, f64)>, CircuitError> {
+    let mut c = edge_circuit(gate, input_rising);
+    c.capacitor(gate.output, bdc_circuit::Circuit::GND, load);
+    let (v0, v1) = if input_rising {
+        (0.0, gate.vdd)
+    } else {
+        (gate.vdd, 0.0)
+    };
+    let t_start = attempt_settle * 0.05;
+    let tstop = t_start + slew + attempt_settle;
+    let wave = Waveform::ramp(v0, v1, t_start, slew);
+    let res = TranSolver::new(tstop / cfg.steps as f64, tstop)
+        .with_step_clamp((0.5 * gate.vdd).max(0.5))
+        .with_initial_state(op)
+        .drive(gate.inputs[0].1, wave)
+        .run(&c)?;
+    let out_wf = res.node_waveform(gate.output);
+    let mid = 0.5 * gate.vdd;
+    let t_in_mid = t_start + 0.5 * slew;
+    // Only look at the output after the input begins to move.
+    let after: Vec<(f64, f64)> = out_wf
+        .iter()
+        .copied()
+        .filter(|(t, _)| *t >= t_start)
+        .collect();
+    Ok(crossing_time(&after, mid).map(|t_out| {
+        let (from, to) = if input_rising {
+            (gate.vdd, 0.0)
+        } else {
+            (0.0, gate.vdd)
+        };
+        let s = slew_time(&after, from, to, 0.2, 0.8)
+            .map(|s| s / 0.6)
+            .unwrap_or(slew);
+        ((t_out - t_in_mid).max(0.0), s)
+    }))
+}
+
+/// One batched attempt of [`edge_attempt`] for a chunk of loads at one
+/// (slew, direction), through the lockstep SoA kernel. Each lane streams
+/// its output node into a [`CrossTracker`] holding the same three
+/// thresholds the scalar path measures (mid-rail for delay, 20%/80% for
+/// slew) and retires from the batch as soon as all three crossings are
+/// pinned. `Ok(None)` mirrors the scalar meaning: converged, but no
+/// mid-rail crossing inside the window.
+fn pack_attempt(
+    gate: &GateCircuit,
+    cfg: &CharacterizeConfig,
+    slew: f64,
+    loads: &[f64],
+    input_rising: bool,
+    op: &Operating,
+    attempt_settle: f64,
+) -> Vec<Result<Option<(f64, f64)>, CircuitError>> {
+    let (v0, v1) = if input_rising {
+        (0.0, gate.vdd)
+    } else {
+        (gate.vdd, 0.0)
+    };
+    let (from, to) = if input_rising {
+        (gate.vdd, 0.0)
+    } else {
+        (0.0, gate.vdd)
+    };
+    let t_start = attempt_settle * 0.05;
+    let tstop = t_start + slew + attempt_settle;
+    let wave = Waveform::ramp(v0, v1, t_start, slew);
+    let mid = 0.5 * gate.vdd;
+    let t_in_mid = t_start + 0.5 * slew;
+    // Same expressions as `slew_time` computes internally, so the levels
+    // (and hence the interpolated crossings) are bit-identical.
+    let lo = from + 0.2 * (to - from);
+    let hi = from + 0.8 * (to - from);
+    let batch: Vec<BatchLane> = loads
+        .iter()
+        .map(|&ld| {
+            let mut c = edge_circuit(gate, input_rising);
+            c.capacitor(gate.output, bdc_circuit::Circuit::GND, ld);
+            BatchLane::new(c)
+                .drive(gate.inputs[0].1, wave.clone())
+                .with_initial_state(op)
+        })
+        .collect();
+    let mut trackers: Vec<CrossTracker> = loads
+        .iter()
+        .map(|_| CrossTracker::new(t_start, vec![mid, lo, hi]))
+        .collect();
+    let out_idx = gate.output.index() - 1;
+    let outcomes = BatchTranSolver::new(tstop / cfg.steps as f64, tstop)
+        .with_step_clamp((0.5 * gate.vdd).max(0.5))
+        .run(&batch, |l, t, volts| {
+            let tr = &mut trackers[l];
+            tr.feed(t, volts[out_idx]);
+            !tr.all_found()
+        });
+    outcomes
+        .iter()
+        .enumerate()
+        .map(|(l, outcome)| match outcome {
+            Err(e) => Err(e.clone()),
+            Ok(()) => Ok(trackers[l].time(0).map(|t_out| {
+                let s = match (trackers[l].time(1), trackers[l].time(2)) {
+                    (Some(t_lo), Some(t_hi)) => (t_hi - t_lo).abs() / 0.6,
+                    _ => slew,
+                };
+                ((t_out - t_in_mid).max(0.0), s)
+            })),
+        })
+        .collect()
+}
+
+/// Batched [`edge`] for a chunk of loads at one (slew, direction): a first
+/// batched attempt over every lane, then — exactly like the scalar retry —
+/// one settle×4 attempt for the lanes that errored or never crossed
+/// mid-rail. The retry lanes are themselves re-packed into a (narrower)
+/// batch, so even the slow stragglers keep the SoA kernel's early-exit
+/// instead of paying for a full-window scalar transient.
+fn edge_pack(
+    gate: &GateCircuit,
+    cfg: &CharacterizeConfig,
+    slew: f64,
+    loads: &[f64],
+    input_rising: bool,
+    op: &Operating,
+) -> Vec<Result<(f64, f64), CircuitError>> {
+    let first = pack_attempt(gate, cfg, slew, loads, input_rising, op, cfg.settle);
+    let retry_lanes: Vec<usize> = first
+        .iter()
+        .enumerate()
+        .filter(|(_, r)| !matches!(r, Ok(Some(_))))
+        .map(|(l, _)| l)
+        .collect();
+    let mut retried = if retry_lanes.is_empty() {
+        Vec::new()
+    } else {
+        let retry_loads: Vec<f64> = retry_lanes.iter().map(|&l| loads[l]).collect();
+        pack_attempt(
+            gate,
+            cfg,
+            slew,
+            &retry_loads,
+            input_rising,
+            op,
+            cfg.settle * 4.0,
+        )
+    }
+    .into_iter();
+    first
+        .into_iter()
+        .map(|r| match r {
+            Ok(Some(m)) => Ok(m),
+            // The retry's outcome is final, as in `edge`.
+            Ok(None) | Err(_) => match retried.next().expect("retry covers failed lanes") {
+                Ok(Some(m)) => Ok(m),
+                Ok(None) => Err(CircuitError::NoConvergence {
+                    residual: f64::NAN,
+                    iterations: 0,
+                }),
+                Err(e) => Err(e),
+            },
+        })
+        .collect()
 }
 
 #[cfg(test)]
@@ -379,6 +630,44 @@ mod tests {
         let ratio = d_org / d_si;
         // ~10⁶: the mobility gap (10³) compounded by giant geometries.
         assert!(ratio > 1.0e5 && ratio < 1.0e9, "ratio = {ratio:.3e}");
+    }
+
+    /// Bitwise scalar-vs-batched parity at the unit level (one gate per
+    /// process); the full-library × lanes × workers matrix lives in
+    /// `bdc-core/tests/determinism.rs`.
+    #[test]
+    fn batched_grid_is_bit_identical_to_scalar() {
+        let bits = |t: &GateTiming| -> Vec<u64> {
+            [&t.delay_rise, &t.delay_fall, &t.out_slew]
+                .iter()
+                .flat_map(|tab| tab.values().iter().flatten().map(|v| v.to_bits()))
+                .collect()
+        };
+        for (gate, cfg) in [
+            (
+                cmos_gate(LogicKind::Inv, 450.0e-9, 1.0),
+                CharacterizeConfig::silicon(),
+            ),
+            (
+                organic_gate(
+                    LogicKind::Nand2,
+                    &OrganicSizing::library_default(),
+                    5.0,
+                    -15.0,
+                ),
+                CharacterizeConfig::organic(),
+            ),
+        ] {
+            let scalar = characterize_gate_scalar(&gate, &cfg).expect("scalar");
+            for lanes in [2, 5, 8] {
+                let batched = characterize_gate_batched(&gate, &cfg, lanes).expect("batched");
+                assert_eq!(
+                    bits(&scalar),
+                    bits(&batched),
+                    "lanes={lanes} diverged from scalar"
+                );
+            }
+        }
     }
 
     #[test]

@@ -8,9 +8,12 @@
 //! edge, and measures clk→Q and setup time by bisection. The integration
 //! tests use it to validate the derived model.
 
-use bdc_circuit::{crossing_time, Circuit, CircuitError, NodeId, TranSolver, Waveform};
+use bdc_circuit::{
+    crossing_time, BatchLane, BatchTranSolver, Circuit, CircuitError, NodeId, TranSolver, Waveform,
+};
 
 use crate::topology::{cmos_gate, organic_gate, GateCircuit, LogicKind, OrganicSizing};
+use crate::tracker::CrossTracker;
 
 /// A transistor-level DFF ready for transient analysis.
 #[derive(Debug, Clone)]
@@ -195,46 +198,76 @@ pub struct MeasuredDff {
     pub setup: f64,
 }
 
+/// The clear and clock waveforms shared by every capture simulation:
+/// clear asserted (low) for the first quarter of the window to define
+/// Q = 0, clock rising at `edge`.
+fn dff_waves(dff: &DffCircuit, scale: f64) -> (Waveform, Waveform) {
+    let window = 40.0 * scale;
+    let edge = 20.0 * scale;
+    let clr_wave = Waveform::Pwl(vec![
+        (0.0, 0.0),
+        (10.0 * scale, 0.0),
+        (10.5 * scale, dff.vdd),
+        (window, dff.vdd),
+    ]);
+    let clk_wave = Waveform::ramp(0.0, dff.vdd, edge, scale * 0.05);
+    (clr_wave, clk_wave)
+}
+
+/// One capture simulation: D rises `d_offset_before_edge` before the clock
+/// edge; returns Q's 50 % crossing relative to the edge, if any.
+fn run_offset(
+    dff: &DffCircuit,
+    scale: f64,
+    d_offset_before_edge: f64,
+) -> Result<Option<f64>, CircuitError> {
+    let window = 40.0 * scale;
+    let edge = 20.0 * scale;
+    let (clr_wave, clk_wave) = dff_waves(dff, scale);
+    let d_wave = Waveform::ramp(0.0, dff.vdd, edge - d_offset_before_edge, scale * 0.05);
+    let res = TranSolver::new(window / 1500.0, window)
+        .with_step_clamp(0.5 * dff.vdd)
+        .drive(dff.d_src, d_wave)
+        .drive(dff.clk_src, clk_wave)
+        .drive(dff.clr_src, clr_wave)
+        .run(&dff.circuit)?;
+    let wf = res.node_waveform(dff.q);
+    let after: Vec<(f64, f64)> = wf.into_iter().filter(|(t, _)| *t >= edge).collect();
+    Ok(crossing_time(&after, 0.5 * dff.vdd).map(|t| t - edge))
+}
+
 /// Simulates one capture of `D: 0→1` and measures clk→Q; then bisects the
 /// D-edge offset to find the setup time. `scale` is the process time scale
 /// (≈ a gate delay, sets step sizes and windows).
+///
+/// With [`bdc_exec::batch_lanes`] `> 1` the bisection runs speculatively:
+/// capture simulations differ only in the D waveform, so whole levels of
+/// the pass/fail tree advance together through the lockstep SoA kernel and
+/// only the lanes the scalar walk would have consumed are read back — the
+/// result is bit-identical to the sequential bisection.
 ///
 /// # Errors
 /// Propagates simulation failures, or `NoConvergence` if Q never captures
 /// even with a whole window of setup.
 pub fn measure_dff(dff: &DffCircuit, scale: f64) -> Result<MeasuredDff, CircuitError> {
-    let window = 40.0 * scale;
-    let edge = 20.0 * scale;
-    let run = |d_offset_before_edge: f64| -> Result<Option<f64>, CircuitError> {
-        // Clear is asserted (low) for the first quarter of the window,
-        // defining Q = 0, then released well before the clock edge.
-        let clr_wave = Waveform::Pwl(vec![
-            (0.0, 0.0),
-            (10.0 * scale, 0.0),
-            (10.5 * scale, dff.vdd),
-            (window, dff.vdd),
-        ]);
-        let d_wave = Waveform::ramp(0.0, dff.vdd, edge - d_offset_before_edge, scale * 0.05);
-        let clk_wave = Waveform::ramp(0.0, dff.vdd, edge, scale * 0.05);
-        let res = TranSolver::new(window / 1500.0, window)
-            .with_step_clamp(0.5 * dff.vdd)
-            .drive(dff.d_src, d_wave)
-            .drive(dff.clk_src, clk_wave)
-            .drive(dff.clr_src, clr_wave)
-            .run(&dff.circuit)?;
-        let wf = res.node_waveform(dff.q);
-        let after: Vec<(f64, f64)> = wf.into_iter().filter(|(t, _)| *t >= edge).collect();
-        Ok(crossing_time(&after, 0.5 * dff.vdd).map(|t| t - edge))
-    };
+    if bdc_exec::batch_lanes() > 1 {
+        measure_dff_speculative(dff, scale)
+    } else {
+        measure_dff_scalar(dff, scale)
+    }
+}
+
+/// The scalar reference: one simulation per bisection step.
+fn measure_dff_scalar(dff: &DffCircuit, scale: f64) -> Result<MeasuredDff, CircuitError> {
     // Generous setup: D arrives half the window early.
-    let clk_to_q = run(10.0 * scale)?.ok_or(CircuitError::NoConvergence {
+    let clk_to_q = run_offset(dff, scale, 10.0 * scale)?.ok_or(CircuitError::NoConvergence {
         residual: f64::NAN,
         iterations: 0,
     })?;
     // Bisect the pass/fail boundary. "Pass" = Q crosses within the window
     // at a latency not much above nominal.
     let pass = |off: f64| -> Result<bool, CircuitError> {
-        Ok(match run(off)? {
+        Ok(match run_offset(dff, scale, off)? {
             Some(t) => t < 3.0 * clk_to_q + 2.0 * scale,
             None => false,
         })
@@ -248,6 +281,127 @@ pub fn measure_dff(dff: &DffCircuit, scale: f64) -> Result<MeasuredDff, CircuitE
         } else {
             lo = mid;
         }
+    }
+    Ok(MeasuredDff {
+        clk_to_q,
+        setup: hi,
+    })
+}
+
+/// Runs one capture simulation per offset as a lockstep batch, returning
+/// each lane's Q-crossing measurement (the same quantity as
+/// [`run_offset`], bit-identically).
+fn run_offsets_batched(
+    dff: &DffCircuit,
+    scale: f64,
+    offsets: &[f64],
+) -> Vec<Result<Option<f64>, CircuitError>> {
+    let window = 40.0 * scale;
+    let edge = 20.0 * scale;
+    let (clr_wave, clk_wave) = dff_waves(dff, scale);
+    let batch: Vec<BatchLane> = offsets
+        .iter()
+        .map(|&off| {
+            let d_wave = Waveform::ramp(0.0, dff.vdd, edge - off, scale * 0.05);
+            BatchLane::new(dff.circuit.clone())
+                .drive(dff.d_src, d_wave)
+                .drive(dff.clk_src, clk_wave.clone())
+                .drive(dff.clr_src, clr_wave.clone())
+        })
+        .collect();
+    let mut trackers: Vec<CrossTracker> = offsets
+        .iter()
+        .map(|_| CrossTracker::new(edge, vec![0.5 * dff.vdd]))
+        .collect();
+    let q_idx = dff.q.index() - 1;
+    let outcomes = BatchTranSolver::new(window / 1500.0, window)
+        .with_step_clamp(0.5 * dff.vdd)
+        .run(&batch, |l, t, volts| {
+            trackers[l].feed(t, volts[q_idx]);
+            !trackers[l].all_found()
+        });
+    outcomes
+        .into_iter()
+        .zip(&trackers)
+        .map(|(o, tr)| o.map(|()| tr.time(0).map(|t| t - edge)))
+        .collect()
+}
+
+/// Expands `levels` rounds of bisection below the interval `root`,
+/// breadth-first: returns the mid offsets in (level, path) order plus the
+/// index where each level's block starts. Node `path` at level `k` is
+/// reached by the outcome bits of levels `1..k` (0 = pass ⇒ `hi = mid`),
+/// so a walk can locate its consumed lane as `starts[k-1] + path`.
+fn bisection_tree(root: (f64, f64), levels: usize) -> (Vec<f64>, Vec<usize>) {
+    let mut intervals = vec![root];
+    let mut mids = Vec::new();
+    let mut starts = Vec::with_capacity(levels);
+    for _ in 0..levels {
+        starts.push(mids.len());
+        let mut next = Vec::with_capacity(intervals.len() * 2);
+        for &(lo, hi) in &intervals {
+            let mid = 0.5 * (lo + hi);
+            mids.push(mid);
+            next.push((lo, mid));
+            next.push((mid, hi));
+        }
+        intervals = next;
+    }
+    (mids, starts)
+}
+
+/// Speculative bisection: simulate whole tree levels in lockstep batches,
+/// then walk the pass/fail outcomes to pick the lanes the scalar loop
+/// would have run. Only consumed lanes' errors propagate; a speculative
+/// lane on a path never taken cannot fail the measurement (the scalar
+/// loop would never have simulated it).
+fn measure_dff_speculative(dff: &DffCircuit, scale: f64) -> Result<MeasuredDff, CircuitError> {
+    // Phase A: the nominal clk→Q run plus bisection levels 1–3 (1+1+2+4
+    // lanes). The pass threshold depends on clk_to_q, but the simulations
+    // don't — it is applied after the batch completes.
+    let (mids_a, starts_a) = bisection_tree((0.0, 10.0 * scale), 3);
+    let mut offsets = vec![10.0 * scale];
+    offsets.extend_from_slice(&mids_a);
+    let res_a = run_offsets_batched(dff, scale, &offsets);
+    let clk_to_q = res_a[0].clone()?.ok_or(CircuitError::NoConvergence {
+        residual: f64::NAN,
+        iterations: 0,
+    })?;
+    let pass = |t: &Option<f64>| matches!(t, Some(t) if *t < 3.0 * clk_to_q + 2.0 * scale);
+    let mut lo = 0.0;
+    let mut hi = 10.0 * scale;
+    let mut path = 0usize;
+    for &start in &starts_a {
+        let t = res_a[1 + start + path].clone()?;
+        let mid = 0.5 * (lo + hi);
+        if pass(&t) {
+            hi = mid;
+            path *= 2;
+        } else {
+            lo = mid;
+            path = 2 * path + 1;
+        }
+    }
+    // Phase B: levels 4–6 rooted at the surviving interval (1+2+4 lanes).
+    let (mids_b, starts_b) = bisection_tree((lo, hi), 3);
+    let res_b = run_offsets_batched(dff, scale, &mids_b);
+    path = 0;
+    for &start in &starts_b {
+        let t = res_b[start + path].clone()?;
+        let mid = 0.5 * (lo + hi);
+        if pass(&t) {
+            hi = mid;
+            path *= 2;
+        } else {
+            lo = mid;
+            path = 2 * path + 1;
+        }
+    }
+    // Level 7: by now the interval is fully determined — one scalar run.
+    let mid = 0.5 * (lo + hi);
+    let t = run_offset(dff, scale, mid)?;
+    if pass(&t) {
+        hi = mid;
     }
     Ok(MeasuredDff {
         clk_to_q,
@@ -281,6 +435,16 @@ mod tests {
             m.clk_to_q
         );
         assert!(m.setup > 0.0 && m.setup < 2.0e-10, "setup {:.3e}", m.setup);
+    }
+
+    #[test]
+    fn speculative_bisection_is_bit_identical_to_scalar() {
+        let dff = build_dff(false, &OrganicSizing::library_default(), 1.0, 0.0);
+        let scale = 20.0e-12;
+        let s = measure_dff_scalar(&dff, scale).expect("scalar");
+        let b = measure_dff_speculative(&dff, scale).expect("speculative");
+        assert_eq!(s.clk_to_q.to_bits(), b.clk_to_q.to_bits());
+        assert_eq!(s.setup.to_bits(), b.setup.to_bits());
     }
 
     #[test]

@@ -12,10 +12,13 @@
 
 use std::sync::Arc;
 
-use bdc_circuit::{crossing_time, Circuit, CircuitError, TranSolver, Waveform};
+use bdc_circuit::{
+    crossing_time, BatchLane, BatchTranSolver, Circuit, CircuitError, TranSolver, Waveform,
+};
 use bdc_device::{DeviceModel, Level61Model, TftParams};
 
 use crate::topology::{GateCircuit, OrganicSizing, ORGANIC_CHANNEL_L};
+use crate::tracker::CrossTracker;
 
 fn otft(w: f64) -> Arc<dyn DeviceModel> {
     Arc::new(Level61Model::new(TftParams::pentacene_sized(
@@ -109,14 +112,7 @@ pub fn characterize_dynamic(
     // Three phases: start in evaluate (clock high, so the DC initial
     // condition has the output discharged), precharge at `phase`, evaluate
     // again at `2·phase`.
-    let clk = Waveform::Pwl(vec![
-        (0.0, gate.vdd),
-        (phase, gate.vdd),
-        (phase * 1.01, 0.0),
-        (2.0 * phase, 0.0),
-        (2.0 * phase * 1.005, gate.vdd),
-        (3.0 * phase, gate.vdd),
-    ]);
+    let clk = dynamic_clock(gate.vdd, phase);
     let tstop = 3.0 * phase;
     let steps = 1800usize;
     let res = TranSolver::new(tstop / steps as f64, tstop)
@@ -157,6 +153,105 @@ pub fn characterize_dynamic(
     })
 }
 
+/// The precharge/evaluate clock shared by every load lane.
+fn dynamic_clock(vdd: f64, phase: f64) -> Waveform {
+    Waveform::Pwl(vec![
+        (0.0, vdd),
+        (phase, vdd),
+        (phase * 1.01, 0.0),
+        (2.0 * phase, 0.0),
+        (2.0 * phase * 1.005, vdd),
+        (3.0 * phase, vdd),
+    ])
+}
+
+/// Batched multi-load variant of [`characterize_dynamic`]: lanes share the
+/// gate, clock, and time axis and differ only in the output capacitor, so
+/// a chunk of the load sweep advances through the lockstep SoA kernel in
+/// one call. Results are bit-identical to calling [`characterize_dynamic`]
+/// per load (the scalar path is taken when [`bdc_exec::batch_lanes`] is 1).
+pub fn characterize_dynamic_loads(
+    gate: &GateCircuit,
+    loads: &[f64],
+    phase: f64,
+) -> Vec<Result<DynamicTiming, CircuitError>> {
+    let lanes = bdc_exec::batch_lanes();
+    if lanes <= 1 || loads.len() <= 1 {
+        return loads
+            .iter()
+            .map(|&ld| characterize_dynamic(gate, ld, phase))
+            .collect();
+    }
+    loads
+        .chunks(lanes)
+        .flat_map(|chunk| dynamic_pack(gate, chunk, phase))
+        .collect()
+}
+
+/// One lockstep batch of the load sweep. Each lane streams its output into
+/// two trackers — the precharge rise inside `[phase, 2·phase]` and the
+/// evaluate fall after `2·phase` — and retires once both are pinned.
+fn dynamic_pack(
+    gate: &GateCircuit,
+    loads: &[f64],
+    phase: f64,
+) -> Vec<Result<DynamicTiming, CircuitError>> {
+    let clk = dynamic_clock(gate.vdd, phase);
+    let tstop = 3.0 * phase;
+    let steps = 1800usize;
+    let mid = 0.5 * gate.vdd;
+    let batch: Vec<BatchLane> = loads
+        .iter()
+        .map(|&ld| {
+            let mut c = gate.circuit.clone();
+            c.capacitor(gate.output, Circuit::GND, ld);
+            for (_, s) in gate.inputs.iter().skip(1) {
+                c.set_vsource(*s, 0.0);
+            }
+            BatchLane::new(c).drive(gate.inputs[0].1, clk.clone())
+        })
+        .collect();
+    let mut pre: Vec<CrossTracker> = loads
+        .iter()
+        .map(|_| CrossTracker::window(phase, 2.0 * phase, vec![mid]))
+        .collect();
+    let mut ev: Vec<CrossTracker> = loads
+        .iter()
+        .map(|_| CrossTracker::new(2.0 * phase, vec![mid]))
+        .collect();
+    let out_idx = gate.output.index() - 1;
+    let outcomes = BatchTranSolver::new(tstop / steps as f64, tstop)
+        .with_step_clamp(0.5 * gate.vdd)
+        .run(&batch, |l, t, volts| {
+            let v = volts[out_idx];
+            pre[l].feed(t, v);
+            ev[l].feed(t, v);
+            !(pre[l].all_found() && ev[l].all_found())
+        });
+    outcomes
+        .into_iter()
+        .enumerate()
+        .map(|(l, outcome)| {
+            outcome?;
+            // Same measurement (and error) order as the scalar path:
+            // precharge crossing first, then evaluate.
+            let t_rise = pre[l].time(0).ok_or(CircuitError::NoConvergence {
+                residual: f64::NAN,
+                iterations: 0,
+            })?;
+            let t_fall = ev[l].time(0).ok_or(CircuitError::NoConvergence {
+                residual: f64::NAN,
+                iterations: 0,
+            })?;
+            Ok(DynamicTiming {
+                evaluate_delay: t_fall - 2.0 * phase,
+                precharge_delay: t_rise - phase,
+                cycle_charge: loads[l] * gate.vdd,
+            })
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -194,6 +289,23 @@ mod tests {
             t_dyn.evaluate_delay,
             d_static
         );
+    }
+
+    #[test]
+    fn batched_load_sweep_is_bit_identical_to_scalar() {
+        let g = organic_dynamic_gate(2, &OrganicSizing::library_default(), 5.0);
+        let loads = [60.0e-12, 200.0e-12, 600.0e-12, 2.0e-9];
+        let phase = 4.0e-3;
+        // Call the pack directly so the test pins the batched kernel even
+        // if the ambient environment (BDC_NO_BATCH) disables batching.
+        let batched = dynamic_pack(&g, &loads, phase);
+        for (&ld, b) in loads.iter().zip(&batched) {
+            let s = characterize_dynamic(&g, ld, phase).expect("scalar");
+            let b = b.as_ref().expect("batched");
+            assert_eq!(s.evaluate_delay.to_bits(), b.evaluate_delay.to_bits());
+            assert_eq!(s.precharge_delay.to_bits(), b.precharge_delay.to_bits());
+            assert_eq!(s.cycle_charge.to_bits(), b.cycle_charge.to_bits());
+        }
     }
 
     #[test]

@@ -23,13 +23,16 @@ pub mod library;
 pub mod nldm;
 pub mod sizing;
 pub mod topology;
+pub(crate) mod tracker;
 pub mod wire;
 
 pub use characterize::{
     characterize_gate, measure_inverter_dc, measure_static_power, CharacterizeConfig, DcSummary,
 };
 pub use dff_sim::{build_dff, measure_dff, DffCircuit, MeasuredDff};
-pub use dynamic::{characterize_dynamic, organic_dynamic_gate, DynamicTiming};
+pub use dynamic::{
+    characterize_dynamic, characterize_dynamic_loads, organic_dynamic_gate, DynamicTiming,
+};
 pub use liberty::{parse_library, write_library, LibertyError};
 pub use library::{Cell, CellKind, CellLibrary, DffTiming, ProcessKind};
 pub use nldm::NldmTable;

@@ -1,0 +1,139 @@
+//! Incremental first-crossing detection for batched transients.
+//!
+//! The scalar measurement path collects a full waveform, filters it to a
+//! time window, and calls [`bdc_circuit::crossing_time`] per threshold.
+//! The batched kernel instead observes samples as lanes advance, so each
+//! lane needs a streaming equivalent that (a) reproduces `crossing_time`'s
+//! arithmetic bit-for-bit and (b) reports when every threshold has been
+//! found, letting the lane retire from the lockstep batch early.
+//!
+//! Bit-parity argument: `crossing_time` scans `windows(2)` of the filtered
+//! sample list and returns the first window that sign-crosses the level
+//! with a well-conditioned interpolation. The kept samples form one
+//! contiguous time range, so consecutive *kept* samples fed here pair up
+//! exactly like the filtered list's windows, and the guard + interpolation
+//! below are copied operation-for-operation.
+
+/// Streams `(t, v)` samples and records the first crossing of each level,
+/// restricted to samples with `t_min <= t` (and `t <= t_max` when set).
+#[derive(Debug, Clone)]
+pub(crate) struct CrossTracker {
+    t_min: f64,
+    t_max: f64,
+    levels: Vec<f64>,
+    times: Vec<Option<f64>>,
+    prev: Option<(f64, f64)>,
+}
+
+impl CrossTracker {
+    /// Tracker over the suffix window `t >= t_min`.
+    pub(crate) fn new(t_min: f64, levels: Vec<f64>) -> Self {
+        Self::window(t_min, f64::INFINITY, levels)
+    }
+
+    /// Tracker over the closed window `t_min <= t <= t_max`.
+    pub(crate) fn window(t_min: f64, t_max: f64, levels: Vec<f64>) -> Self {
+        let times = vec![None; levels.len()];
+        CrossTracker {
+            t_min,
+            t_max,
+            levels,
+            times,
+            prev: None,
+        }
+    }
+
+    /// Feeds the next waveform sample (samples must arrive in time order).
+    pub(crate) fn feed(&mut self, t: f64, v: f64) {
+        if t < self.t_min || t > self.t_max {
+            return;
+        }
+        if let Some((t0, v0)) = self.prev {
+            for (k, &level) in self.levels.iter().enumerate() {
+                // First match wins, exactly like `crossing_time`'s early
+                // return; a degenerate (flat) window is skipped and the
+                // scan continues.
+                if self.times[k].is_none()
+                    && (v0 - level) * (v - level) <= 0.0
+                    && (v - v0).abs() > 1e-300
+                {
+                    let f = (level - v0) / (v - v0);
+                    if (0.0..=1.0).contains(&f) {
+                        self.times[k] = Some(t0 + f * (t - t0));
+                    }
+                }
+            }
+        }
+        self.prev = Some((t, v));
+    }
+
+    /// Whether every level has a recorded crossing (the lane can retire).
+    pub(crate) fn all_found(&self) -> bool {
+        self.times.iter().all(Option::is_some)
+    }
+
+    /// First crossing time of level `k`, if found.
+    pub(crate) fn time(&self, k: usize) -> Option<f64> {
+        self.times[k]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bdc_circuit::crossing_time;
+
+    #[test]
+    fn matches_crossing_time_on_filtered_waveform() {
+        let wf: Vec<(f64, f64)> = (0..50)
+            .map(|i| {
+                let t = i as f64 * 0.1;
+                (t, (t - 2.0).tanh())
+            })
+            .collect();
+        let t_min = 0.55;
+        let filtered: Vec<(f64, f64)> = wf.iter().copied().filter(|(t, _)| *t >= t_min).collect();
+        let levels = [-0.5, 0.0, 0.5];
+        let mut tr = CrossTracker::new(t_min, levels.to_vec());
+        for &(t, v) in &wf {
+            tr.feed(t, v);
+        }
+        for (k, &level) in levels.iter().enumerate() {
+            let expect = crossing_time(&filtered, level);
+            assert_eq!(tr.time(k), expect, "level {level}");
+        }
+        assert!(tr.all_found());
+    }
+
+    #[test]
+    fn bounded_window_matches_range_filter() {
+        let wf: Vec<(f64, f64)> = (0..100)
+            .map(|i| {
+                let t = i as f64 * 0.1;
+                (t, (t * 0.7).sin())
+            })
+            .collect();
+        let (a, b) = (3.0, 7.0);
+        let filtered: Vec<(f64, f64)> = wf
+            .iter()
+            .copied()
+            .filter(|(t, _)| (a..=b).contains(t))
+            .collect();
+        let mut tr = CrossTracker::window(a, b, vec![0.0]);
+        for &(t, v) in &wf {
+            tr.feed(t, v);
+        }
+        assert_eq!(tr.time(0), crossing_time(&filtered, 0.0));
+    }
+
+    #[test]
+    fn missing_level_reports_not_found() {
+        let mut tr = CrossTracker::new(0.0, vec![10.0, 0.5]);
+        for i in 0..10 {
+            tr.feed(i as f64, i as f64 * 0.1);
+        }
+        assert_eq!(tr.time(0), None);
+        assert!(tr.time(1).is_some());
+        assert!(!tr.all_found());
+    }
+}

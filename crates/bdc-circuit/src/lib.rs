@@ -36,6 +36,7 @@
 //! # Ok::<(), bdc_circuit::CircuitError>(())
 //! ```
 
+pub mod batch;
 pub mod dc;
 pub mod error;
 pub mod export;
@@ -45,6 +46,7 @@ pub mod netlist;
 pub mod sweep;
 pub mod tran;
 
+pub use batch::{BatchLane, BatchTranSolver};
 pub use dc::{DcSolver, Operating};
 pub use error::CircuitError;
 pub use export::{describe, write_spice};

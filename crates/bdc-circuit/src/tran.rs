@@ -14,7 +14,7 @@ use crate::linalg::DenseMatrix;
 use crate::netlist::{Circuit, Element, NodeId};
 
 /// The gmin conductance tying every node to ground during transient NR.
-const GMIN: f64 = 1.0e-12;
+pub(crate) const GMIN: f64 = 1.0e-12;
 
 /// Integration method for the capacitor companion models.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -285,7 +285,7 @@ impl TranSolver {
     /// holds the state at `t0 + h` on success. `cap_hist` is only advanced
     /// on success.
     #[allow(clippy::too_many_arguments)]
-    fn advance_subdivided(
+    pub(crate) fn advance_subdivided(
         &self,
         work: &mut Circuit,
         prev: &[f64],
@@ -446,7 +446,7 @@ impl TranSolver {
 }
 
 /// NR per-iteration work buffers, allocated once per transient run.
-struct Scratch {
+pub(crate) struct Scratch {
     jac: DenseMatrix,
     f: Vec<f64>,
     rhs: Vec<f64>,
@@ -455,7 +455,7 @@ struct Scratch {
 }
 
 impl Scratch {
-    fn new(n: usize) -> Self {
+    pub(crate) fn new(n: usize) -> Self {
         Self {
             jac: DenseMatrix::zeros(n, n),
             f: vec![0.0; n],
@@ -468,7 +468,13 @@ impl Scratch {
 
 /// Advances the trapezoidal companion history after a converged step of
 /// width `h`: i_n = 2C/h · Δv − i_{n−1}.
-fn update_cap_hist(work: &Circuit, x: &[f64], prev: &[f64], h: f64, cap_hist: &mut [f64]) {
+pub(crate) fn update_cap_hist(
+    work: &Circuit,
+    x: &[f64],
+    prev: &[f64],
+    h: f64,
+    cap_hist: &mut [f64],
+) {
     let mut cap_idx = 0usize;
     for e in work.elements() {
         if let Element::Capacitor { a, b, farads } = e {
@@ -479,7 +485,7 @@ fn update_cap_hist(work: &Circuit, x: &[f64], prev: &[f64], h: f64, cap_hist: &m
     }
 }
 
-fn node_v(x: &[f64], id: NodeId) -> f64 {
+pub(crate) fn node_v(x: &[f64], id: NodeId) -> f64 {
     if id.index() == 0 {
         0.0
     } else {
@@ -524,7 +530,13 @@ fn companion_g(farads: f64, h: f64, integ: Integrator) -> f64 {
 /// Assembles the constant part of the transient Jacobian: gmin, resistors,
 /// voltage-source incidence, and capacitor companion conductances. Valid
 /// for the whole run — topology and step size never change mid-transient.
-fn build_base(work: &Circuit, n: usize, nv: usize, h: f64, integ: Integrator) -> DenseMatrix {
+pub(crate) fn build_base(
+    work: &Circuit,
+    n: usize,
+    nv: usize,
+    h: f64,
+    integ: Integrator,
+) -> DenseMatrix {
     let ix = |id: NodeId| -> Option<usize> { id.index().checked_sub(1) };
     let mut base = DenseMatrix::zeros(n, n);
     for i in 0..nv {
@@ -586,7 +598,7 @@ fn build_base(work: &Circuit, n: usize, nv: usize, h: f64, integ: Integrator) ->
 /// history currents:
 ///   BE:   i = g·(v − v_prev)            → constant part −g·v_prev
 ///   TRAP: i = g·(v − v_prev) − i_prev   → constant part −g·v_prev − i_prev
-fn build_step_consts(
+pub(crate) fn build_step_consts(
     work: &Circuit,
     prev: &[f64],
     cap_hist: &[f64],

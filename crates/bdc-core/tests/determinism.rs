@@ -13,9 +13,12 @@ use bdc_core::experiments::{width_ipc_matrix, SimBudget};
 use bdc_core::{Process, TechKit};
 use bdc_device::variation::VariedModel;
 use bdc_device::TftParams;
-use bdc_exec::set_workers;
+use bdc_exec::{set_batch_lanes, set_workers};
 
-/// Guards the global worker-count override; resets it on drop.
+/// Guards the global worker-count and batch-lane overrides; resets both on
+/// drop. Tests touching either knob must hold this lock — both are
+/// process-global, so an unserialized neighbour would leak its override
+/// into a concurrently running test.
 struct PoolLock {
     _guard: MutexGuard<'static, ()>,
 }
@@ -33,6 +36,7 @@ impl PoolLock {
 impl Drop for PoolLock {
     fn drop(&mut self) {
         set_workers(None);
+        set_batch_lanes(None);
     }
 }
 
@@ -103,6 +107,97 @@ fn monte_carlo_population_is_bit_identical_across_worker_counts() {
         match &reference {
             None => reference = Some(bits),
             Some(r) => assert_eq!(*r, bits, "{w} workers diverged from serial"),
+        }
+    }
+}
+
+/// The (lanes, workers) grid the batched-kernel parity tests sweep. Lanes
+/// = 1 is the scalar reference path; every other point must reproduce its
+/// bits exactly (DESIGN.md §5j).
+const PARITY_LANES: [usize; 3] = [1, 4, 8];
+const PARITY_WORKERS: [usize; 2] = [1, 8];
+
+#[test]
+fn nldm_tables_scalar_vs_batched_parity_matrix() {
+    let _lock = PoolLock::acquire();
+    // One organic and one silicon gate on a reduced grid: full libraries
+    // are exercised by `library_liberty_bytes_scalar_vs_batched` (ignored
+    // by default, run in the CI bench job in release mode).
+    let organic = organic_gate(
+        LogicKind::Nor2,
+        &OrganicSizing::library_default(),
+        5.0,
+        -15.0,
+    );
+    let organic_cfg = CharacterizeConfig {
+        slews: vec![2.0e-5, 2.0e-4],
+        loads: vec![1.0e-10, 3.0e-9, 1.0e-8],
+        ..CharacterizeConfig::organic()
+    };
+    let silicon = bdc_cells::cmos_gate(LogicKind::Nand2, 450.0e-9, 1.0);
+    let silicon_cfg = CharacterizeConfig {
+        slews: vec![1.0e-11, 1.0e-10],
+        loads: vec![3.0e-16, 3.0e-15, 2.0e-14],
+        ..CharacterizeConfig::silicon()
+    };
+    for (gate, cfg) in [(&organic, &organic_cfg), (&silicon, &silicon_cfg)] {
+        let mut reference = None;
+        for lanes in PARITY_LANES {
+            for workers in PARITY_WORKERS {
+                set_batch_lanes(Some(lanes));
+                set_workers(Some(workers));
+                let t = characterize_gate(gate, cfg).expect("characterize");
+                let bits = (
+                    table_bits(&t.delay_rise),
+                    table_bits(&t.delay_fall),
+                    table_bits(&t.out_slew),
+                );
+                match &reference {
+                    None => reference = Some(bits),
+                    Some(r) => assert_eq!(
+                        *r, bits,
+                        "lanes={lanes} workers={workers} diverged from scalar"
+                    ),
+                }
+            }
+        }
+    }
+}
+
+/// Full-library parity: the batched kernel must reproduce the scalar
+/// path's Liberty output *byte for byte* for both technologies, at every
+/// (lanes, workers) point — this is what keeps content-addressed cache
+/// keys and golden files process-wide stable. Ignored by default (12 cold
+/// library characterizations are far too slow for a debug-mode test run);
+/// the CI bench job runs it in release.
+#[test]
+#[ignore = "expensive: 12 cold library builds; CI bench job runs it in release"]
+fn library_liberty_bytes_scalar_vs_batched() {
+    let _lock = PoolLock::acquire();
+    for process in [Process::Organic, Process::Silicon] {
+        let mut reference: Option<String> = None;
+        for lanes in PARITY_LANES {
+            for workers in PARITY_WORKERS {
+                set_batch_lanes(Some(lanes));
+                set_workers(Some(workers));
+                let kit = TechKit::build(process).expect("characterize");
+                let text = bdc_cells::write_library(&kit.lib);
+                // Round-trip: the parsed-back library re-serializes to the
+                // same bytes, so cached copies re-enter identically.
+                let reparsed = bdc_cells::parse_library(&text).expect("parse");
+                assert_eq!(
+                    text,
+                    bdc_cells::write_library(&reparsed),
+                    "{process:?}: Liberty round-trip not stable"
+                );
+                match &reference {
+                    None => reference = Some(text),
+                    Some(r) => assert!(
+                        *r == text,
+                        "{process:?} lanes={lanes} workers={workers}: Liberty bytes diverged from scalar"
+                    ),
+                }
+            }
         }
     }
 }

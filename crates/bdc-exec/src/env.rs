@@ -12,6 +12,7 @@
 
 use std::path::PathBuf;
 
+use crate::batch::parse_batch_lanes;
 use crate::cache::validate_cache_dir;
 use crate::faults::{self, FaultConfig};
 use crate::pool::parse_workers;
@@ -33,10 +34,17 @@ pub struct EnvConfig {
     /// `BDC_FAULTS`, parsed by [`faults::parse_spec`]. `None` when unset;
     /// an inert config (all rates zero) when set to e.g. `seed=1`.
     pub faults: Option<FaultConfig>,
+    /// `BDC_BATCH_LANES`, parsed and range-checked by
+    /// [`parse_batch_lanes`].
+    pub batch_lanes: Option<usize>,
+    /// Whether `BDC_NO_BATCH` is set (any value — presence forces the
+    /// scalar transient path, winning over `BDC_BATCH_LANES`, matching the
+    /// `BDC_NO_CACHE` convention).
+    pub no_batch: bool,
 }
 
 /// Reads and validates `BDC_WORKERS`, `BDC_CACHE_DIR`, `BDC_NO_CACHE`,
-/// and `BDC_FAULTS`.
+/// `BDC_FAULTS`, `BDC_BATCH_LANES`, and `BDC_NO_BATCH`.
 ///
 /// # Errors
 /// Returns the hardened parsers' diagnostics (which name the offending
@@ -59,11 +67,21 @@ pub fn env_config() -> Result<EnvConfig, String> {
         Ok(raw) => Some(faults::parse_spec(&raw)?),
         Err(_) => None,
     };
+    let batch_lanes = match std::env::var("BDC_BATCH_LANES") {
+        // BDC_NO_BATCH wins at use time (`crate::batch_lanes`), but a
+        // malformed lane count is still a configuration error worth
+        // rejecting up front.
+        Ok(raw) => Some(parse_batch_lanes(&raw)?),
+        Err(_) => None,
+    };
+    let no_batch = std::env::var_os("BDC_NO_BATCH").is_some();
     Ok(EnvConfig {
         workers,
         cache_dir,
         no_cache,
         faults: fault_cfg,
+        batch_lanes,
+        no_batch,
     })
 }
 
@@ -82,6 +100,8 @@ mod tests {
             && std::env::var_os("BDC_CACHE_DIR").is_none()
             && std::env::var_os("BDC_NO_CACHE").is_none()
             && std::env::var_os("BDC_FAULTS").is_none()
+            && std::env::var_os("BDC_BATCH_LANES").is_none()
+            && std::env::var_os("BDC_NO_BATCH").is_none()
         {
             let cfg = env_config().expect("empty env is valid");
             assert_eq!(
@@ -91,6 +111,8 @@ mod tests {
                     cache_dir: None,
                     no_cache: false,
                     faults: None,
+                    batch_lanes: None,
+                    no_batch: false,
                 }
             );
         }

@@ -22,8 +22,9 @@
 //!   simply never addressed again.
 //!
 //! Three supporting pieces ride along: [`env_config`] validates the shared
-//! `BDC_WORKERS` / `BDC_CACHE_DIR` / `BDC_NO_CACHE` / `BDC_FAULTS`
-//! environment knobs once at process start (every binary front door calls
+//! `BDC_WORKERS` / `BDC_CACHE_DIR` / `BDC_NO_CACHE` / `BDC_FAULTS` /
+//! `BDC_BATCH_LANES` / `BDC_NO_BATCH` environment knobs once at process
+//! start (every binary front door calls
 //! it instead of re-reading the variables ad hoc), [`json`] holds the
 //! deterministic JSON codec used by registry renders, run manifests, and
 //! the serving layer alike, and [`faults`] is the seeded fault-injection
@@ -34,6 +35,7 @@
 //! workspace and the environment has no registry access (see
 //! `crates/compat/README.md`).
 
+mod batch;
 mod cache;
 mod env;
 pub mod faults;
@@ -41,6 +43,9 @@ pub mod json;
 mod pool;
 mod seed;
 
+pub use batch::{
+    batch_lanes, parse_batch_lanes, set_batch_lanes, DEFAULT_BATCH_LANES, MAX_BATCH_LANES,
+};
 pub use cache::{fnv1a, validate_cache_dir, ArtifactCache};
 pub use env::{env_config, EnvConfig};
 pub use pool::{par_map, par_mapi, parse_workers, set_workers, workers};
