@@ -11,6 +11,7 @@
 //! bdc run --all --max-retries 5      # widen the per-node retry budget
 //! bdc verify [--audit-deps] [--quick]    # plan-graph static analysis
 //! bdc lint --workspace               # determinism audit over the sources
+//! bdc cluster --shards 3             # sharded serving fleet + router
 //! ```
 //!
 //! `run` prints the selected nodes' rendered text to stdout in catalogue
@@ -30,7 +31,11 @@ fn usage() -> ! {
     eprintln!(
         "usage:\n  bdc list [--json]\n  bdc run [--quick] [--all] [--require-warm] \
          [--max-retries N] <id>...\n  bdc verify [--audit-deps] [--quick]\n  \
-         bdc lint --workspace\n\
+         bdc lint --workspace\n  \
+         bdc cluster [--shards N] [--addr HOST:PORT] [--base-port P] [--ring-seed S] \
+         [--vnodes V]\n              [--proxy-retries R] [--serve-bin PATH] [--cache-root DIR] \
+         [--pid-file PATH]\n              [--queue-cap N] [--deadline-ms MS] [--max-retries N] \
+         [--warm]\n\
          \nids: see `bdc list`"
     );
     std::process::exit(2);
@@ -246,6 +251,19 @@ fn cmd_lint(args: &[String]) -> ! {
     std::process::exit(1);
 }
 
+fn cmd_cluster(args: &[String]) -> ! {
+    let parsed = match bdc_cluster::parse_cluster_args(args) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    };
+    bdc_serve::install_signal_handlers();
+    let code = bdc_cluster::run_cluster(&parsed, &bdc_serve::signalled);
+    std::process::exit(code);
+}
+
 fn main() {
     if let Err(e) = bdc_exec::env_config() {
         eprintln!("error: {e}");
@@ -257,6 +275,7 @@ fn main() {
         Some("run") => cmd_run(&args[1..]),
         Some("verify") => cmd_verify(&args[1..]),
         Some("lint") => cmd_lint(&args[1..]),
+        Some("cluster") => cmd_cluster(&args[1..]),
         _ => usage(),
     }
 }

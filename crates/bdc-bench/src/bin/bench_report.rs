@@ -137,6 +137,112 @@ fn time<T>(f: impl FnOnce() -> T) -> (T, f64) {
     (v, t0.elapsed().as_secs_f64())
 }
 
+/// One cluster measurement: the same warm query stream via a shard
+/// directly and via the router, isolating the proxy hop's cost.
+struct ClusterStat {
+    path: &'static str,
+    requests: u64,
+    p50_ms: f64,
+    p99_ms: f64,
+}
+
+/// Boots a 3-shard in-process fleet behind the router and measures the
+/// router's proxy overhead (warm query direct vs proxied) and the peer
+/// artifact path (framed fetch wall vs full recharacterization wall).
+fn cluster_section() -> (Vec<ClusterStat>, Option<(f64, f64)>) {
+    use bdc_cluster::router::{start_router, RouterConfig};
+
+    let mut handles = Vec::new();
+    let mut addrs = Vec::new();
+    for shard in 0..3 {
+        let cfg = ServeConfig {
+            addr: "127.0.0.1:0".into(),
+            shard: Some(shard),
+            ..ServeConfig::default()
+        };
+        match bdc_serve::start(cfg) {
+            Ok(h) => {
+                addrs.push(format!("127.0.0.1:{}", h.port()));
+                handles.push(h);
+            }
+            Err(e) => {
+                eprintln!("cluster section skipped: shard bind failed: {e}");
+                for h in handles {
+                    h.shutdown();
+                }
+                return (Vec::new(), None);
+            }
+        }
+    }
+    let router = match start_router(RouterConfig {
+        addr: "127.0.0.1:0".into(),
+        shard_addrs: addrs.clone(),
+        ring_seed: 42,
+        ..RouterConfig::default()
+    }) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("cluster section skipped: router bind failed: {e}");
+            for h in handles {
+                h.shutdown();
+            }
+            return (Vec::new(), None);
+        }
+    };
+    let router_addr = format!("127.0.0.1:{}", router.port());
+
+    // Warm overhead: the identical cached query, 100 times direct to a
+    // shard vs 100 times through the router. The difference is one proxy
+    // hop (connect + parse + forward).
+    let query = "/v1/ipc?workload=gzip&outer=5&instructions=4000";
+    let mut stats = Vec::new();
+    for (path, addr) in [("direct-warm", &addrs[0]), ("router-warm", &router_addr)] {
+        let mut lat_us = Vec::new();
+        if let Ok(mut conn) = Connection::open(addr) {
+            let _ = conn.get(query); // warm this target's response cache
+            for _ in 0..100 {
+                let t = Instant::now();
+                if matches!(conn.get(query), Ok(r) if r.status == 200) {
+                    lat_us.push(t.elapsed().as_micros() as u64);
+                }
+            }
+        }
+        lat_us.sort_unstable();
+        stats.push(ClusterStat {
+            path,
+            requests: lat_us.len() as u64,
+            p50_ms: quantile_ms(&lat_us, 0.50),
+            p99_ms: quantile_ms(&lat_us, 0.99),
+        });
+    }
+
+    // Peer-fetch vs recompute: fetching the framed library artifact from
+    // its ring owner vs characterizing the library from scratch — the
+    // wall-time argument for cross-filling caches instead of recomputing.
+    let (name, key) = bdc_core::library_artifact(bdc_core::Process::Silicon);
+    let peer = Connection::open(&router_addr).ok().and_then(|mut conn| {
+        // Ensure the artifact exists: computing the library on any shard
+        // stores it in the artifact cache the peer endpoint reads.
+        let _ = conn.get("/v1/library?process=silicon");
+        let peer_path = format!("/v1/peer/artifact?name={name}&key={key:016x}");
+        let t = Instant::now();
+        match conn.get(&peer_path) {
+            Ok(r) if r.status == 200 => Some(t.elapsed().as_secs_f64() * 1000.0),
+            _ => None,
+        }
+    });
+    let pair = peer.map(|peer_ms| {
+        let (_, rebuild_s) = time(|| bdc_core::TechKit::build(bdc_core::Process::Silicon));
+        (peer_ms, rebuild_s * 1000.0)
+    });
+
+    router.shutdown();
+    for h in handles {
+        h.shutdown();
+    }
+    (stats, pair)
+}
+
 fn main() {
     if let Err(e) = bdc_exec::env_config() {
         eprintln!("bench_report: {e}");
@@ -310,6 +416,9 @@ fn main() {
     // cold (engine compute) vs warm (response-cache hit).
     let serve = serve_section();
 
+    // --- Cluster layer: proxy overhead and peer-fetch vs recompute.
+    let (cluster, peer_pair) = cluster_section();
+
     // --- Render.
     let mut txt = String::new();
     let _ = writeln!(
@@ -356,6 +465,28 @@ fn main() {
             );
         }
     }
+    if !cluster.is_empty() {
+        let _ = writeln!(
+            txt,
+            "\ncluster layer (3 in-process shards behind the router)\n\n{:<12} {:>9} {:>9} {:>9}",
+            "path", "requests", "p50 ms", "p99 ms"
+        );
+        for c in &cluster {
+            let _ = writeln!(
+                txt,
+                "{:<12} {:>9} {:>9.3} {:>9.3}",
+                c.path, c.requests, c.p50_ms, c.p99_ms
+            );
+        }
+        if let Some((peer_ms, rebuild_ms)) = peer_pair {
+            let _ = writeln!(
+                txt,
+                "\npeer artifact fetch {peer_ms:.3} ms vs recharacterize {rebuild_ms:.3} ms \
+                 ({:.1}x cheaper)",
+                rebuild_ms / peer_ms.max(0.001)
+            );
+        }
+    }
     print!("{txt}");
 
     let mut json = String::from("{\n");
@@ -372,6 +503,29 @@ fn main() {
         );
     }
     let _ = writeln!(json, "  ],");
+    let _ = writeln!(json, "  \"cluster\": {{");
+    let _ = writeln!(json, "    \"paths\": [");
+    for (i, c) in cluster.iter().enumerate() {
+        let comma = if i + 1 < cluster.len() { "," } else { "" };
+        let _ = writeln!(
+            json,
+            "      {{\"path\": \"{}\", \"requests\": {}, \"p50_ms\": {:.3}, \"p99_ms\": {:.3}}}{comma}",
+            c.path, c.requests, c.p50_ms, c.p99_ms
+        );
+    }
+    let _ = writeln!(json, "    ],");
+    match peer_pair {
+        Some((peer_ms, rebuild_ms)) => {
+            let _ = writeln!(
+                json,
+                "    \"peer_fetch_ms\": {peer_ms:.3}, \"recompute_ms\": {rebuild_ms:.3}"
+            );
+        }
+        None => {
+            let _ = writeln!(json, "    \"peer_fetch_ms\": null, \"recompute_ms\": null");
+        }
+    }
+    let _ = writeln!(json, "  }},");
     let _ = writeln!(json, "  \"characterize_speedup\": [");
     for (i, s) in speedups.iter().enumerate() {
         let comma = if i + 1 < speedups.len() { "," } else { "" };

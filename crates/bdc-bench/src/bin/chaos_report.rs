@@ -62,6 +62,10 @@ struct Survival {
     serve_ok: usize,
     serve_failed: usize,
     health: String,
+    cluster_requests: usize,
+    cluster_ok: usize,
+    cluster_failed: usize,
+    cluster_health: String,
     faults: FaultCounters,
 }
 
@@ -128,6 +132,92 @@ fn serve_burst() -> (usize, usize, usize, String) {
     (ok + failed, ok, failed, health)
 }
 
+/// The cluster burst: a 2-shard in-process fleet behind the router, the
+/// same request mix via the router — with one shard killed halfway
+/// through the burst. The fault injection level applies to the shard
+/// engines (same process), so this measures survival under simultaneous
+/// data faults and a topology fault. Returns
+/// `(requests, ok, failed_after_retry, router_health_after)`.
+fn cluster_burst() -> (usize, usize, usize, String) {
+    use bdc_cluster::router::{start_router, RouterConfig};
+
+    let mut handles = Vec::new();
+    let mut addrs = Vec::new();
+    for shard in 0..2 {
+        let cfg = ServeConfig {
+            addr: "127.0.0.1:0".into(),
+            shard: Some(shard),
+            ..ServeConfig::default()
+        };
+        match bdc_serve::start(cfg) {
+            Ok(h) => {
+                addrs.push(format!("127.0.0.1:{}", h.port()));
+                handles.push(h);
+            }
+            Err(e) => {
+                eprintln!("chaos_report: cluster burst skipped: bind failed: {e}");
+                for h in handles {
+                    h.shutdown();
+                }
+                return (0, 0, 0, "unavailable".into());
+            }
+        }
+    }
+    let router = match start_router(RouterConfig {
+        addr: "127.0.0.1:0".into(),
+        shard_addrs: addrs,
+        ring_seed: CHAOS_SEED,
+        ..RouterConfig::default()
+    }) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("chaos_report: cluster burst skipped: router bind failed: {e}");
+            for h in handles {
+                h.shutdown();
+            }
+            return (0, 0, 0, "unavailable".into());
+        }
+    };
+    let addr = format!("127.0.0.1:{}", router.port());
+
+    let total = BURST_PASSES * BURST_QUERIES.len();
+    let kill_at = total / 2;
+    let (mut ok, mut failed, mut issued) = (0usize, 0usize, 0usize);
+    for _ in 0..BURST_PASSES {
+        for q in BURST_QUERIES {
+            if issued == kill_at {
+                // Topology fault: one shard dies mid-burst. The router
+                // must fail its keys over to the survivor invisibly.
+                handles.remove(0).shutdown();
+            }
+            issued += 1;
+            match client::get_with_retry(&addr, q, CLIENT_RETRIES) {
+                Ok(r) if r.status == 200 => ok += 1,
+                Ok(r) => {
+                    eprintln!("chaos_report: cluster {q} -> {} after retries", r.status);
+                    failed += 1;
+                }
+                Err(e) => {
+                    eprintln!("chaos_report: cluster {q} failed after retries: {e}");
+                    failed += 1;
+                }
+            }
+        }
+    }
+    let health = match client::get_once(&addr, "/healthz") {
+        Ok(r) => json::parse(&String::from_utf8_lossy(&r.body))
+            .ok()
+            .and_then(|j| j.get("status").and_then(|s| s.as_str().map(String::from)))
+            .unwrap_or_else(|| format!("http {}", r.status)),
+        Err(e) => format!("unreachable: {e}"),
+    };
+    router.shutdown();
+    for h in handles {
+        h.shutdown();
+    }
+    (ok + failed, ok, failed, health)
+}
+
 fn run_level(level: &Level) -> Survival {
     faults::install(Some(level.cfg.clone()));
     let before = faults::counters();
@@ -155,6 +245,7 @@ fn run_level(level: &Level) -> Survival {
         };
 
     let (serve_requests, serve_ok, serve_failed, health) = serve_burst();
+    let (cluster_requests, cluster_ok, cluster_failed, cluster_health) = cluster_burst();
 
     Survival {
         label: level.label,
@@ -165,6 +256,10 @@ fn run_level(level: &Level) -> Survival {
         serve_ok,
         serve_failed,
         health,
+        cluster_requests,
+        cluster_ok,
+        cluster_failed,
+        cluster_health,
         faults: faults::counters().since(&before),
     }
 }
@@ -180,7 +275,14 @@ fn inert_level_is_clean(s: &Survival) -> bool {
         && f.injected_panics == 0
         && f.io_delays == 0
         && f.panics_contained == 0;
-    s.nodes_ok == s.nodes_total && s.serve_failed == 0 && s.health == "ok" && flat
+    // The cluster burst kills a shard even at the inert level, so its
+    // health is `degraded` by design — but failover must make the kill
+    // invisible to clients: zero failed-after-retry.
+    s.nodes_ok == s.nodes_total
+        && s.serve_failed == 0
+        && s.health == "ok"
+        && s.cluster_failed == 0
+        && flat
 }
 
 fn survival_json(rows: &[Survival]) -> Json {
@@ -211,6 +313,19 @@ fn survival_json(rows: &[Survival]) -> Json {
                                 Json::Int(s.serve_failed as i64),
                             ),
                             ("health_after_burst".into(), Json::str(&*s.health)),
+                            (
+                                "cluster_requests".into(),
+                                Json::Int(s.cluster_requests as i64),
+                            ),
+                            ("cluster_ok".into(), Json::Int(s.cluster_ok as i64)),
+                            (
+                                "cluster_failed_after_retry".into(),
+                                Json::Int(s.cluster_failed as i64),
+                            ),
+                            (
+                                "cluster_health_after_kill".into(),
+                                Json::str(&*s.cluster_health),
+                            ),
                             ("faults".into(), registry::fault_counters_json(&s.faults)),
                         ])
                     })
@@ -264,11 +379,13 @@ fn main() {
     let mut table = String::new();
     let _ = writeln!(
         table,
-        "\n{:<10} {:>8} {:>9} {:>8} {:>10} {:>7} {:>10} {:>8} {:>9}",
+        "\n{:<10} {:>8} {:>9} {:>8} {:>10} {:>8} {:>10} {:>7} {:>10} {:>8} {:>9}",
         "level",
         "nodes",
         "serve ok",
         "5xx/err",
+        "cluster ok",
+        "cl. err",
         "contained",
         "retry",
         "quarantine",
@@ -278,11 +395,13 @@ fn main() {
     for s in &rows {
         let _ = writeln!(
             table,
-            "{:<10} {:>8} {:>9} {:>8} {:>10} {:>7} {:>10} {:>8} {:>9}",
+            "{:<10} {:>8} {:>9} {:>8} {:>10} {:>8} {:>10} {:>7} {:>10} {:>8} {:>9}",
             s.label,
             format!("{}/{}", s.nodes_ok, s.nodes_total),
             format!("{}/{}", s.serve_ok, s.serve_requests),
             s.serve_failed,
+            format!("{}/{}", s.cluster_ok, s.cluster_requests),
+            s.cluster_failed,
             s.faults.panics_contained,
             s.faults.retries,
             s.faults.quarantined,

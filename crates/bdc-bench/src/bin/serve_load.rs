@@ -1,11 +1,19 @@
 //! Load generator for the `bdc_serve` daemon.
 //!
 //! ```text
-//! serve_load --addr HOST:PORT [--mode closed|open] [--conns N] [--rate R]
+//! serve_load --addr HOST:PORT [--addr HOST:PORT ...] [--cluster]
+//!            [--mode closed|open] [--conns N] [--rate R]
 //!            [--duration SECS] [--seed S] [--mix warm|cold|mixed]
 //!            [--prime] [--check-metrics] [--max-p99-ms MS] [--retries N]
 //!            [--json]
 //! ```
+//!
+//! `--addr` is repeatable: with several targets the generator spreads its
+//! workers/requests across them round-robin, reports a per-target latency
+//! table, and gates on the merged tally — the shape used to compare a
+//! `bdc cluster` router against its shards, or shards against each other.
+//! `--cluster` switches `--check-metrics` to the router's aggregated
+//! `/v1/metrics` shape (`router`/`shards`/`fleet` sections).
 //!
 //! Two drive modes:
 //!
@@ -90,7 +98,8 @@ impl Tally {
 }
 
 struct Args {
-    addr: String,
+    addrs: Vec<String>,
+    cluster: bool,
     mode: String,
     conns: usize,
     rate: f64,
@@ -106,7 +115,8 @@ struct Args {
 
 fn usage() -> ! {
     eprintln!(
-        "usage: serve_load --addr HOST:PORT [--mode closed|open] [--conns N] [--rate R] \
+        "usage: serve_load --addr HOST:PORT [--addr HOST:PORT ...] [--cluster] \
+         [--mode closed|open] [--conns N] [--rate R] \
          [--duration SECS] [--seed S] [--mix warm|cold|mixed] [--prime] [--check-metrics] \
          [--max-p99-ms MS] [--retries N] [--json]"
     );
@@ -115,7 +125,8 @@ fn usage() -> ! {
 
 fn parse_args() -> Args {
     let mut a = Args {
-        addr: String::new(),
+        addrs: Vec::new(),
+        cluster: false,
         mode: "closed".into(),
         conns: 4,
         rate: 50.0,
@@ -133,7 +144,8 @@ fn parse_args() -> Args {
         let mut value = || args.next().unwrap_or_else(|| usage());
         let num = |raw: String| -> f64 { raw.parse().unwrap_or_else(|_| usage()) };
         match flag.as_str() {
-            "--addr" => a.addr = value(),
+            "--addr" => a.addrs.push(value()),
+            "--cluster" => a.cluster = true,
             "--mode" => a.mode = value(),
             "--conns" => a.conns = num(value()) as usize,
             "--rate" => a.rate = num(value()),
@@ -149,7 +161,7 @@ fn parse_args() -> Args {
             _ => usage(),
         }
     }
-    if a.addr.is_empty() || !["closed", "open"].contains(&a.mode.as_str()) {
+    if a.addrs.is_empty() || !["closed", "open"].contains(&a.mode.as_str()) {
         usage();
     }
     if !["warm", "cold", "mixed"].contains(&a.mix.as_str()) {
@@ -221,21 +233,31 @@ fn fetch_with_retry(
     }
 }
 
-fn closed_loop(a: &Args) -> Tally {
+/// One tally per `--addr` target, in argv order.
+fn per_target(n: usize) -> Vec<std::sync::Mutex<Tally>> {
+    (0..n)
+        .map(|_| std::sync::Mutex::new(Tally::default()))
+        .collect()
+}
+
+fn closed_loop(a: &Args) -> Vec<Tally> {
     let deadline = Instant::now() + a.duration;
-    let tallies = std::sync::Mutex::new(Tally::default());
+    let tallies = per_target(a.addrs.len());
     std::thread::scope(|s| {
         for worker in 0..a.conns.max(1) {
             let tallies = &tallies;
+            // Workers spread round-robin over the targets.
+            let target = worker % a.addrs.len();
+            let addr = &a.addrs[target];
             s.spawn(move || {
                 let mut local = Tally::default();
                 let mut rng = SplitMix64::new(bdc_exec::task_seed(a.seed, worker as u64));
-                let mut conn: Option<Connection> = Connection::open(&a.addr).ok();
+                let mut conn: Option<Connection> = Connection::open(addr).ok();
                 while Instant::now() < deadline {
                     let path = draw(&mut rng, &a.mix);
                     fetch_with_retry(a.retries, &path, &mut local, || {
                         if conn.is_none() {
-                            conn = Connection::open(&a.addr).ok();
+                            conn = Connection::open(addr).ok();
                         }
                         let result = match conn.as_mut() {
                             Some(c) => c.get(&path),
@@ -252,18 +274,21 @@ fn closed_loop(a: &Args) -> Tally {
                         result
                     });
                 }
-                tallies.lock().unwrap().absorb(local);
+                tallies[target].lock().unwrap().absorb(local);
             });
         }
     });
-    tallies.into_inner().unwrap()
+    tallies
+        .into_iter()
+        .map(|t| t.into_inner().unwrap())
+        .collect()
 }
 
-fn open_loop(a: &Args) -> Tally {
+fn open_loop(a: &Args) -> Vec<Tally> {
     let interval = Duration::from_secs_f64(1.0 / a.rate.max(0.1));
     let start = Instant::now();
     let total = (a.duration.as_secs_f64() * a.rate).floor() as u64;
-    let tallies = std::sync::Mutex::new(Tally::default());
+    let tallies = per_target(a.addrs.len());
     let mut rng = SplitMix64::new(a.seed);
     std::thread::scope(|s| {
         for i in 0..total {
@@ -274,25 +299,35 @@ fn open_loop(a: &Args) -> Tally {
             if let Some(sleep) = due.checked_duration_since(Instant::now()) {
                 std::thread::sleep(sleep);
             }
-            let addr = a.addr.clone();
+            let target = (i as usize) % a.addrs.len();
+            let addr = a.addrs[target].clone();
             let tallies = &tallies;
             s.spawn(move || {
                 let mut local = Tally::default();
                 fetch_with_retry(a.retries, &path, &mut local, || get_once(&addr, &path));
-                tallies.lock().unwrap().absorb(local);
+                tallies[target].lock().unwrap().absorb(local);
             });
         }
     });
-    tallies.into_inner().unwrap()
+    tallies
+        .into_iter()
+        .map(|t| t.into_inner().unwrap())
+        .collect()
 }
 
-fn check_metrics(addr: &str) -> Result<(), String> {
+fn check_metrics(addr: &str, cluster: bool) -> Result<(), String> {
     let r = get_once(addr, "/v1/metrics").map_err(|e| format!("metrics fetch: {e}"))?;
     if r.status != 200 {
         return Err(format!("metrics returned {}", r.status));
     }
     let text = String::from_utf8(r.body).map_err(|_| "metrics not utf-8".to_string())?;
-    for key in ["\"connections\"", "\"endpoints\"", "\"queue_depth\""] {
+    // A router aggregates the fleet; a single daemon reports itself.
+    let keys: &[&str] = if cluster {
+        &["\"router\"", "\"shards\"", "\"fleet\""]
+    } else {
+        &["\"connections\"", "\"endpoints\"", "\"queue_depth\""]
+    };
+    for key in keys {
         if !text.contains(key) {
             return Err(format!("metrics body missing {key}"));
         }
@@ -307,27 +342,61 @@ fn main() {
     }
     let a = parse_args();
     if a.prime {
-        for path in WARM_SET {
-            match get_once(&a.addr, path) {
-                Ok(r) if r.status == 200 => {}
-                Ok(r) => {
-                    eprintln!("serve_load: priming {path} returned {}", r.status);
-                    std::process::exit(1);
-                }
-                Err(e) => {
-                    eprintln!("serve_load: priming {path} failed: {e}");
-                    std::process::exit(1);
+        // Prime every target: each daemon (or each shard behind a router)
+        // warms its own response cache.
+        for addr in &a.addrs {
+            for path in WARM_SET {
+                match get_once(addr, path) {
+                    Ok(r) if r.status == 200 => {}
+                    Ok(r) => {
+                        eprintln!("serve_load: priming {addr} {path} returned {}", r.status);
+                        std::process::exit(1);
+                    }
+                    Err(e) => {
+                        eprintln!("serve_load: priming {addr} {path} failed: {e}");
+                        std::process::exit(1);
+                    }
                 }
             }
         }
     }
 
     let wall = Instant::now();
-    let mut tally = match a.mode.as_str() {
+    let mut targets = match a.mode.as_str() {
         "closed" => closed_loop(&a),
         _ => open_loop(&a),
     };
     let elapsed = wall.elapsed().as_secs_f64();
+
+    // Per-target tables (only interesting with several targets), then the
+    // merged tally every gate below runs against.
+    let mut target_rows = Vec::new();
+    let mut target_lines = Vec::new();
+    if a.addrs.len() > 1 {
+        for (addr, t) in a.addrs.iter().zip(targets.iter_mut()) {
+            let n = t.ok + t.client_err + t.shed + t.server_err;
+            let (tp50, tp95, tp99) = (
+                t.samples.quantile_ms(0.50),
+                t.samples.quantile_ms(0.95),
+                t.samples.quantile_ms(0.99),
+            );
+            target_rows.push(format!(
+                "{{\"addr\": \"{addr}\", \"requests\": {n}, \"ok\": {}, \"shed\": {}, \
+                 \"server_errors\": {}, \"transport_errors\": {}, \
+                 \"p50_ms\": {tp50:.3}, \"p95_ms\": {tp95:.3}, \"p99_ms\": {tp99:.3}}}",
+                t.ok, t.shed, t.server_err, t.transport_err
+            ));
+            target_lines.push(format!(
+                "  target {addr}: {n} requests, ok={} shed={} 5xx={} transport={} \
+                 p50={tp50:.3}ms p95={tp95:.3}ms p99={tp99:.3}ms",
+                t.ok, t.shed, t.server_err, t.transport_err
+            ));
+        }
+    }
+    let mut tally = Tally::default();
+    for t in targets {
+        tally.absorb(t);
+    }
 
     let total = tally.ok + tally.client_err + tally.shed + tally.server_err;
     let rps = if elapsed > 0.0 {
@@ -342,11 +411,16 @@ fn main() {
     );
 
     if a.json {
+        let targets_json = if target_rows.is_empty() {
+            String::new()
+        } else {
+            format!(", \"targets\": [{}]", target_rows.join(", "))
+        };
         println!(
             "{{\"mode\": \"{}\", \"mix\": \"{}\", \"seed\": {}, \"requests\": {total}, \
              \"rps\": {rps:.2}, \"ok\": {}, \"shed\": {}, \"client_errors\": {}, \
              \"server_errors\": {}, \"transport_errors\": {}, \"retried\": {}, \
-             \"p50_ms\": {p50:.3}, \"p95_ms\": {p95:.3}, \"p99_ms\": {p99:.3}}}",
+             \"p50_ms\": {p50:.3}, \"p95_ms\": {p95:.3}, \"p99_ms\": {p99:.3}{targets_json}}}",
             a.mode,
             a.mix,
             a.seed,
@@ -372,10 +446,13 @@ fn main() {
             tally.retried
         );
         println!("  latency (ok only): p50={p50:.3}ms p95={p95:.3}ms p99={p99:.3}ms");
+        for line in &target_lines {
+            println!("{line}");
+        }
     }
 
     if a.check_metrics {
-        if let Err(e) = check_metrics(&a.addr) {
+        if let Err(e) = check_metrics(&a.addrs[0], a.cluster) {
             eprintln!("serve_load: metrics check failed: {e}");
             std::process::exit(1);
         }

@@ -1,0 +1,322 @@
+//! The worker supervisor: spawns N `bdc_serve` shard processes, restarts
+//! crashed ones with seeded backoff, and tears the fleet down cleanly.
+//!
+//! Each worker is launched with its full cluster identity in the
+//! environment (`BDC_SHARDS`, `BDC_RING_SEED`, `BDC_SHARD_ID`,
+//! `BDC_PEER_PORTS`) plus a *per-shard* artifact cache root
+//! (`BDC_CACHE_DIR=<cache-root>/shard-N`) — disjoint caches are what make
+//! the peer-fetch path observable: a shard that did not compute an
+//! artifact genuinely does not have it on disk.
+//!
+//! **Restart policy:** a worker that exits while the fleet is up is
+//! relaunched after a seeded, jittered exponential backoff
+//! ([`bdc_exec::faults::backoff_delay`] — deterministic for a given
+//! shard/attempt, so chaos runs reproduce). The attempt counter resets
+//! once a worker survives [`STABLE_UPTIME`], so a long-lived shard that
+//! eventually crashes restarts fast, while a crash-looping one backs off.
+//!
+//! **Teardown:** SIGTERM to every worker (the daemon's graceful-drain
+//! path), a bounded wait, then SIGKILL for stragglers.
+
+use std::path::PathBuf;
+use std::process::{Child, Command, Stdio};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use bdc_exec::faults;
+
+/// Uptime after which a worker's restart-attempt counter resets.
+const STABLE_UPTIME: Duration = Duration::from_secs(30);
+
+/// How long teardown waits for a SIGTERMed worker before SIGKILL.
+const DRAIN_WAIT: Duration = Duration::from_secs(10);
+
+/// Monitor poll interval.
+const POLL: Duration = Duration::from_millis(200);
+
+/// Fleet launch parameters.
+#[derive(Debug, Clone)]
+pub struct SupervisorConfig {
+    /// Number of shard workers.
+    pub shards: usize,
+    /// First worker port; shard `i` listens on `base_port + i`.
+    pub base_port: u16,
+    /// The fleet's ring seed (must match the router's).
+    pub ring_seed: u64,
+    /// Path to the `bdc_serve` binary.
+    pub serve_bin: PathBuf,
+    /// Root under which each shard gets its own cache directory.
+    pub cache_root: PathBuf,
+    /// Extra argv passed through to every worker (`--queue-cap`, …).
+    pub passthrough: Vec<String>,
+    /// Where the fleet pid file is written (`results/cluster_pids.json`);
+    /// empty disables it.
+    pub pid_file: PathBuf,
+}
+
+/// One supervised worker slot.
+struct Slot {
+    shard: usize,
+    child: Option<Child>,
+    // bdc-lint: allow(D002, restart-policy uptime tracking, not artifact bytes)
+    started: Instant,
+    attempt: u64,
+}
+
+/// A running fleet of supervised workers.
+pub struct Supervisor {
+    cfg: SupervisorConfig,
+    slots: Arc<Mutex<Vec<Slot>>>,
+    stop: Arc<AtomicBool>,
+    monitor: Option<std::thread::JoinHandle<()>>,
+}
+
+/// The loopback address shard `i` listens on.
+pub fn shard_addr(cfg: &SupervisorConfig, shard: usize) -> String {
+    format!("127.0.0.1:{}", cfg.base_port + shard as u16)
+}
+
+/// Spawns the fleet and its monitor thread.
+///
+/// # Errors
+/// Propagates spawn failures for the initial launch (a worker that later
+/// crashes is restarted, not propagated).
+pub fn start_supervisor(cfg: SupervisorConfig) -> std::io::Result<Supervisor> {
+    let mut slots = Vec::with_capacity(cfg.shards);
+    for shard in 0..cfg.shards {
+        let child = spawn_worker(&cfg, shard)?;
+        slots.push(Slot {
+            shard,
+            child: Some(child),
+            // bdc-lint: allow(D002, restart-policy uptime tracking, not artifact bytes)
+            started: Instant::now(),
+            attempt: 0,
+        });
+    }
+    let slots = Arc::new(Mutex::new(slots));
+    let stop = Arc::new(AtomicBool::new(false));
+    write_pid_file(&cfg, &slots.lock().unwrap_or_else(|p| p.into_inner()));
+
+    let monitor = {
+        let cfg = cfg.clone();
+        let slots = Arc::clone(&slots);
+        let stop = Arc::clone(&stop);
+        std::thread::Builder::new()
+            .name("bdc-cluster-monitor".into())
+            .spawn(move || monitor_loop(&cfg, &slots, &stop))?
+    };
+    Ok(Supervisor {
+        cfg,
+        slots,
+        stop,
+        monitor: Some(monitor),
+    })
+}
+
+/// Launches one shard worker with its identity environment.
+fn spawn_worker(cfg: &SupervisorConfig, shard: usize) -> std::io::Result<Child> {
+    let ports: Vec<String> = (0..cfg.shards)
+        .map(|i| (cfg.base_port + i as u16).to_string())
+        .collect();
+    let cache_dir = cfg.cache_root.join(format!("shard-{shard}"));
+    Command::new(&cfg.serve_bin)
+        .arg("--addr")
+        .arg(shard_addr(cfg, shard))
+        .args(&cfg.passthrough)
+        .env("BDC_SHARDS", cfg.shards.to_string())
+        .env("BDC_RING_SEED", cfg.ring_seed.to_string())
+        .env("BDC_SHARD_ID", shard.to_string())
+        .env("BDC_PEER_PORTS", ports.join(","))
+        .env("BDC_CACHE_DIR", &cache_dir)
+        .stdin(Stdio::null())
+        .spawn()
+}
+
+/// The monitor: restart crashed workers with seeded backoff until the
+/// fleet is stopped.
+fn monitor_loop(cfg: &SupervisorConfig, slots: &Mutex<Vec<Slot>>, stop: &AtomicBool) {
+    while !stop.load(Ordering::SeqCst) {
+        std::thread::sleep(POLL);
+        let mut restarted = false;
+        {
+            let mut guard = slots.lock().unwrap_or_else(|p| p.into_inner());
+            for slot in guard.iter_mut() {
+                let exited = match &mut slot.child {
+                    Some(child) => matches!(child.try_wait(), Ok(Some(_)) | Err(_)),
+                    None => true,
+                };
+                if !exited {
+                    if slot.attempt > 0 && slot.started.elapsed() >= STABLE_UPTIME {
+                        slot.attempt = 0;
+                    }
+                    continue;
+                }
+                if stop.load(Ordering::SeqCst) {
+                    return;
+                }
+                slot.child = None;
+                slot.attempt += 1;
+                let delay = faults::backoff_delay(&format!("shard-{}", slot.shard), slot.attempt);
+                eprintln!(
+                    "bdc-cluster: shard {} exited; restart attempt {} in {:?}",
+                    slot.shard, slot.attempt, delay
+                );
+                std::thread::sleep(delay);
+                match spawn_worker(cfg, slot.shard) {
+                    Ok(child) => {
+                        slot.child = Some(child);
+                        // bdc-lint: allow(D002, restart-policy uptime tracking, not artifact bytes)
+                        slot.started = Instant::now();
+                        restarted = true;
+                    }
+                    Err(e) => {
+                        eprintln!("bdc-cluster: shard {} respawn failed: {e}", slot.shard);
+                    }
+                }
+            }
+            if restarted {
+                write_pid_file(cfg, &guard);
+            }
+        }
+    }
+}
+
+/// Rewrites the fleet pid file (best effort — observability, not a lock).
+fn write_pid_file(cfg: &SupervisorConfig, slots: &[Slot]) {
+    if cfg.pid_file.as_os_str().is_empty() {
+        return;
+    }
+    use bdc_serve::json::Json;
+    let rows = slots
+        .iter()
+        .map(|s| {
+            Json::Obj(vec![
+                ("shard".into(), Json::Int(s.shard as i64)),
+                (
+                    "port".into(),
+                    Json::Int(i64::from(cfg.base_port) + s.shard as i64),
+                ),
+                (
+                    "pid".into(),
+                    match &s.child {
+                        Some(c) => Json::Int(i64::from(c.id())),
+                        None => Json::Null,
+                    },
+                ),
+            ])
+        })
+        .collect();
+    let body = Json::Obj(vec![
+        ("shards".into(), Json::Int(cfg.shards as i64)),
+        ("ring_seed".into(), Json::Int(cfg.ring_seed as i64)),
+        ("workers".into(), Json::Arr(rows)),
+    ]);
+    if let Some(dir) = cfg.pid_file.parent() {
+        let _ = std::fs::create_dir_all(dir);
+    }
+    let _ = std::fs::write(&cfg.pid_file, body.encode() + "\n");
+}
+
+/// Sends a signal to a pid (unix only; no-op elsewhere).
+#[cfg(unix)]
+fn send_signal(pid: u32, sig: i32) {
+    // Mirrors the one unsafe precedent in `bdc_serve::install_signal_handlers`:
+    // libc signalling has no safe std equivalent, and `kill(2)` with a
+    // pid we spawned is memory-safe by construction.
+    #[allow(unsafe_code)]
+    {
+        extern "C" {
+            fn kill(pid: i32, sig: i32) -> i32;
+        }
+        unsafe {
+            kill(pid as i32, sig);
+        }
+    }
+}
+
+#[cfg(not(unix))]
+fn send_signal(_pid: u32, _sig: i32) {}
+
+impl Supervisor {
+    /// Every worker's loopback address, in shard order.
+    pub fn shard_addrs(&self) -> Vec<String> {
+        (0..self.cfg.shards)
+            .map(|i| shard_addr(&self.cfg, i))
+            .collect()
+    }
+
+    /// Current pids, in shard order (`None` for a slot mid-restart).
+    pub fn pids(&self) -> Vec<Option<u32>> {
+        let guard = self.slots.lock().unwrap_or_else(|p| p.into_inner());
+        guard
+            .iter()
+            .map(|s| s.child.as_ref().map(Child::id))
+            .collect()
+    }
+
+    /// Polls every shard's `/healthz` until all answer or the deadline
+    /// expires; returns whether the fleet came up.
+    pub fn wait_ready(&self, timeout: Duration) -> bool {
+        // bdc-lint: allow(D002, boot-deadline tracking, not artifact bytes)
+        let t0 = Instant::now();
+        let addrs = self.shard_addrs();
+        loop {
+            let ready = addrs
+                .iter()
+                .filter(|addr| {
+                    bdc_serve::client::Connection::open_with_timeout(
+                        addr,
+                        Duration::from_millis(500),
+                    )
+                    .and_then(|mut c| c.get("/healthz"))
+                    .map(|r| r.status == 200)
+                    .unwrap_or(false)
+                })
+                .count();
+            if ready == addrs.len() {
+                return true;
+            }
+            if t0.elapsed() > timeout {
+                return false;
+            }
+            std::thread::sleep(Duration::from_millis(100));
+        }
+    }
+
+    /// Graceful teardown: SIGTERM every worker (triggering the daemon's
+    /// drain path), wait up to [`DRAIN_WAIT`], then SIGKILL stragglers.
+    pub fn shutdown(mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(monitor) = self.monitor.take() {
+            let _ = monitor.join();
+        }
+        let mut guard = self.slots.lock().unwrap_or_else(|p| p.into_inner());
+        for slot in guard.iter() {
+            if let Some(child) = &slot.child {
+                send_signal(child.id(), 15); // SIGTERM
+            }
+        }
+        // bdc-lint: allow(D002, drain-deadline tracking, not artifact bytes)
+        let t0 = Instant::now();
+        for slot in guard.iter_mut() {
+            let Some(child) = &mut slot.child else {
+                continue;
+            };
+            loop {
+                match child.try_wait() {
+                    Ok(Some(_)) => break,
+                    Ok(None) if t0.elapsed() < DRAIN_WAIT => {
+                        std::thread::sleep(Duration::from_millis(50))
+                    }
+                    _ => {
+                        let _ = child.kill();
+                        let _ = child.wait();
+                        break;
+                    }
+                }
+            }
+            slot.child = None;
+        }
+    }
+}

@@ -51,4 +51,4 @@ pub use flow::{
     alu_cluster, lint_gate, measure_ipc, measure_ipc_cached, pipeline_alu, synthesize_core,
     synthesize_core_cached, SynthesizedCore,
 };
-pub use process::{LintPolicy, Process, TechKit};
+pub use process::{library_artifact, LintPolicy, Process, TechKit};

@@ -56,6 +56,17 @@ fn library_cache_key(process: Process) -> u64 {
     fnv1a(&["bdc-library-v1", process.name(), &recipe])
 }
 
+/// The `(name, key)` pair under which [`TechKit::load_or_build`] caches a
+/// process's characterized library — the address a cluster peer fetch or a
+/// benchmark probe uses to ask a shard's cache for the exact artifact the
+/// flow would otherwise recompute.
+pub fn library_artifact(process: Process) -> (String, u64) {
+    (
+        format!("lib-{}", process.name()),
+        library_cache_key(process),
+    )
+}
+
 /// What the flow does with static-analysis diagnostics (`bdc-lint`) raised
 /// on a netlist before timing it.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -230,6 +241,18 @@ mod tests {
     fn without_wires_zeroes_the_wire_model() {
         let kit = TechKit::synthetic(Process::Silicon).without_wires();
         assert_eq!(kit.lib.wire.delay(1.0e-3, 3.0e3), 0.0);
+    }
+
+    #[test]
+    fn library_artifact_matches_the_load_or_build_address() {
+        let (org_name, org_key) = library_artifact(Process::Organic);
+        let (si_name, si_key) = library_artifact(Process::Silicon);
+        assert_eq!(org_name, "lib-organic");
+        assert_eq!(si_name, "lib-silicon");
+        // Different processes address different artifacts, and the key is
+        // stable across calls (it is what load_or_build hashes).
+        assert_ne!(org_key, si_key);
+        assert_eq!(org_key, library_cache_key(Process::Organic));
     }
 
     #[test]

@@ -710,6 +710,9 @@ pub fn fault_counters_json(c: &faults::FaultCounters) -> Json {
         ),
         ("quarantined".into(), Json::Int(c.quarantined as i64)),
         ("rebuilt".into(), Json::Int(c.rebuilt as i64)),
+        ("peer_hits".into(), Json::Int(c.peer_hits as i64)),
+        ("peer_misses".into(), Json::Int(c.peer_misses as i64)),
+        ("peer_pushes".into(), Json::Int(c.peer_pushes as i64)),
     ])
 }
 
@@ -797,5 +800,27 @@ mod tests {
     #[test]
     fn audit_node_deps_rejects_unknown_ids() {
         assert!(audit_node_deps("fig99", true).is_err());
+    }
+
+    #[test]
+    fn fault_counters_json_carries_every_survival_counter() {
+        // The manifest and /v1/metrics shapes are consumed by chaos_report
+        // and the cluster aggregator — a silently dropped field would read
+        // as "no peer traffic" fleet-wide.
+        let rendered = fault_counters_json(&faults::FaultCounters::default()).encode();
+        for field in [
+            "injected_corrupt",
+            "injected_panics",
+            "io_delays",
+            "retries",
+            "panics_contained",
+            "quarantined",
+            "rebuilt",
+            "peer_hits",
+            "peer_misses",
+            "peer_pushes",
+        ] {
+            assert!(rendered.contains(field), "missing {field} in {rendered}");
+        }
     }
 }

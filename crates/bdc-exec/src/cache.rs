@@ -27,7 +27,7 @@
 
 use std::collections::BTreeSet;
 use std::path::{Path, PathBuf};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 
 use crate::faults;
 
@@ -72,6 +72,67 @@ pub fn validate_cache_dir(dir: &Path) -> Result<PathBuf, String> {
             dir.display()
         )),
     }
+}
+
+/// What a peer-fill fetch hook reports back to the cache.
+#[derive(Debug, Clone)]
+pub enum PeerFetch {
+    /// No fetch was attempted (no peer owns this artifact, or this
+    /// process *is* the owner). Not counted.
+    NotAttempted,
+    /// A fetch was attempted but produced nothing usable (owner down or
+    /// artifact absent there). Counted as a peer miss.
+    Miss,
+    /// The owner answered with framed artifact text (`bdc-artifact-v1`
+    /// header + payload). The cache verifies the frame before trusting it.
+    Framed(String),
+}
+
+/// A `fetch` hook: ask the owning shard for `(name, key)` framed text.
+pub type PeerFetchFn = Arc<dyn Fn(&str, u64) -> PeerFetch + Send + Sync>;
+
+/// A `push` hook: offer `(name, key, payload)` to the owning shard.
+pub type PeerPushFn = Arc<dyn Fn(&str, u64, &str) + Send + Sync>;
+
+/// The peer-to-peer cache-fill hooks a sharded fleet installs (see
+/// `bdc-cluster`): `fetch` asks the artifact's ring-owner shard for the
+/// framed bytes on a local miss; `push` offers a freshly built artifact to
+/// its owner so later misses on other shards hit there.
+pub struct PeerHooks {
+    /// Fetch `(name, key)` from the owning shard, returning *framed* text.
+    pub fetch: PeerFetchFn,
+    /// Offer `(name, key, payload)` to the owning shard (fire-and-forget).
+    pub push: PeerPushFn,
+}
+
+static PEER_HOOKS: Mutex<Option<Arc<PeerHooks>>> = Mutex::new(None);
+
+/// Installs (or, with `None`, removes) the process-wide peer cache-fill
+/// hooks. Only the sharded `bdc_serve` worker installs these; every other
+/// binary runs with the hooks absent and the cache behaves exactly as
+/// before.
+pub fn install_peer_hooks(hooks: Option<PeerHooks>) {
+    let mut slot = PEER_HOOKS.lock().unwrap_or_else(|p| p.into_inner());
+    *slot = hooks.map(Arc::new);
+}
+
+fn peer_hooks() -> Option<Arc<PeerHooks>> {
+    PEER_HOOKS.lock().unwrap_or_else(|p| p.into_inner()).clone()
+}
+
+/// Frames a payload with the on-disk/wire `bdc-artifact-v1` header — the
+/// exact bytes the cache stores and the peer-fetch protocol ships.
+pub fn frame_artifact(text: &str) -> String {
+    frame(text)
+}
+
+/// Parses and verifies a framed artifact, returning the payload.
+///
+/// # Errors
+/// Names the first check that failed (version, framing, length,
+/// checksum); peer endpoints reject the frame with this diagnostic.
+pub fn unframe_artifact(raw: &str) -> Result<&str, String> {
+    unframe(raw)
 }
 
 /// Artifacts quarantined by this process, by final path — lets `store`
@@ -207,6 +268,12 @@ impl ArtifactCache {
     /// Loads the artifact addressed by `(name, key)`, or `None` on miss,
     /// any I/O failure, or a failed verification (in which case the
     /// artifact is quarantined first — see [`Self::quarantine_dir`]).
+    ///
+    /// When peer hooks are installed (a sharded fleet), a local miss — a
+    /// missing file *or* a quarantined corrupt one — first asks the
+    /// artifact's owning shard for the framed bytes; a verified peer copy
+    /// is stored locally and returned, so the expensive recomputation is
+    /// skipped.
     pub fn load(&self, name: &str, key: u64) -> Option<String> {
         if !self.enabled {
             return None;
@@ -216,7 +283,10 @@ impl ArtifactCache {
         // Read as bytes: corruption can produce invalid UTF-8, which must
         // quarantine like any other verification failure (a missing file
         // stays a plain miss).
-        let mut bytes = std::fs::read(&path).ok()?;
+        let mut bytes = match std::fs::read(&path) {
+            Ok(b) => b,
+            Err(_) => return self.peer_fill(name, key),
+        };
         if faults::inject_cache_corrupt(name, key) {
             corrupt_in_place(&mut bytes);
         }
@@ -227,8 +297,42 @@ impl ArtifactCache {
             Ok(payload) => Some(payload.to_string()),
             Err(_) => {
                 self.quarantine(&path);
+                self.peer_fill(name, key)
+            }
+        }
+    }
+
+    /// Attempts to satisfy a local miss from the owning peer shard.
+    /// Returns the payload only when the fetched frame verifies; a bad
+    /// frame is parked in quarantine (with a `peer-` prefix marking its
+    /// provenance) and reported as a miss, the same contract as a corrupt
+    /// local artifact.
+    fn peer_fill(&self, name: &str, key: u64) -> Option<String> {
+        let hooks = peer_hooks()?;
+        match (hooks.fetch)(name, key) {
+            PeerFetch::NotAttempted => None,
+            PeerFetch::Miss => {
+                faults::note_peer_miss();
                 None
             }
+            PeerFetch::Framed(raw) => match unframe(&raw) {
+                Ok(payload) => {
+                    let payload = payload.to_string();
+                    self.store_replica(name, key, &payload);
+                    faults::note_peer_hit();
+                    Some(payload)
+                }
+                Err(_) => {
+                    faults::note_peer_miss();
+                    faults::note_quarantine();
+                    let dir = self.quarantine_dir();
+                    if std::fs::create_dir_all(&dir).is_ok() {
+                        let _ =
+                            std::fs::write(dir.join(format!("peer-{name}-{key:016x}.txt")), raw);
+                    }
+                    None
+                }
+            },
         }
     }
 
@@ -251,8 +355,24 @@ impl ArtifactCache {
 
     /// Stores an artifact (framed with the version + checksum header).
     /// Returns whether the artifact is on disk afterwards; failures are
-    /// silent by contract (a cache must never fail the flow).
+    /// silent by contract (a cache must never fail the flow). When peer
+    /// hooks are installed, a successful store also offers the artifact to
+    /// its ring-owner shard so later misses elsewhere hit there.
     pub fn store(&self, name: &str, key: u64, text: &str) -> bool {
+        let stored = self.store_replica(name, key, text);
+        if stored {
+            if let Some(hooks) = peer_hooks() {
+                (hooks.push)(name, key, text);
+            }
+        }
+        stored
+    }
+
+    /// Stores an artifact *without* invoking the peer push hook. Peer-fill
+    /// and the peer-store endpoint use this so a pushed artifact can never
+    /// trigger a push chain (the owner would otherwise re-offer what it
+    /// just received).
+    pub fn store_replica(&self, name: &str, key: u64, text: &str) -> bool {
         if !self.enabled {
             return false;
         }
@@ -348,6 +468,10 @@ mod tests {
         ArtifactCache::new(dir)
     }
 
+    /// Tests that assert on quarantine-counter deltas serialize here so a
+    /// concurrently running quarantining test cannot skew the window.
+    static COUNTER_LOCK: Mutex<()> = Mutex::new(());
+
     #[test]
     fn fnv_separator_disambiguates_parts() {
         assert_ne!(fnv1a(&["ab", "c"]), fnv1a(&["a", "bc"]));
@@ -376,6 +500,7 @@ mod tests {
 
     #[test]
     fn corrupt_artifact_is_quarantined_then_rebuilt() {
+        let _guard = COUNTER_LOCK.lock().unwrap_or_else(|p| p.into_inner());
         let c = temp_cache("corrupt");
         let key = 0x1234;
         assert!(c.store("lib", key, "the real payload"));
@@ -410,6 +535,8 @@ mod tests {
 
     #[test]
     fn truncated_and_version_skewed_artifacts_miss() {
+        // Quarantines twice; serialize so counter-delta tests stay exact.
+        let _guard = COUNTER_LOCK.lock().unwrap_or_else(|p| p.into_inner());
         let c = temp_cache("skew");
         assert!(c.store("x", 1, "hello"));
         let path = c.path_for("x", 1);
@@ -442,6 +569,73 @@ mod tests {
         assert!(!malformed.exists(), "malformed orphan must be reaped");
         assert!(ours.exists(), "own in-flight tmp must survive");
         let _ = std::fs::remove_dir_all(c.root());
+    }
+
+    #[test]
+    fn peer_hooks_fill_misses_push_stores_and_reject_bad_frames() {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        let _guard = COUNTER_LOCK.lock().unwrap_or_else(|p| p.into_inner());
+        let c = temp_cache("peer");
+        // Hooks scoped to this test's artifact names so concurrently
+        // running cache tests never observe them.
+        let fetches = Arc::new(AtomicU64::new(0));
+        let pushes = Arc::new(AtomicU64::new(0));
+        let (f, p) = (Arc::clone(&fetches), Arc::clone(&pushes));
+        install_peer_hooks(Some(PeerHooks {
+            fetch: Arc::new(move |name, key| match name {
+                "peerlib" => {
+                    f.fetch_add(1, Ordering::Relaxed);
+                    PeerFetch::Framed(frame_artifact("peer payload"))
+                }
+                "peerbad" => PeerFetch::Framed(format!("{MAGIC} 0000000000000000 4\nxxxx")),
+                "peerdown" if key == 7 => PeerFetch::Miss,
+                _ => PeerFetch::NotAttempted,
+            }),
+            push: Arc::new(move |name, _, _| {
+                if name.starts_with("peer") {
+                    p.fetch_add(1, Ordering::Relaxed);
+                }
+            }),
+        }));
+
+        let before = faults::counters();
+        // A local miss fills from the peer, verifies, and stores locally…
+        assert_eq!(c.load("peerlib", 1).as_deref(), Some("peer payload"));
+        assert_eq!(fetches.load(Ordering::Relaxed), 1);
+        // …so the second read is a plain local hit (no second fetch).
+        assert_eq!(c.load("peerlib", 1).as_deref(), Some("peer payload"));
+        assert_eq!(fetches.load(Ordering::Relaxed), 1);
+        // A peer frame that fails verification is a miss, parked in
+        // quarantine with its provenance in the filename.
+        assert_eq!(c.load("peerbad", 2), None);
+        assert!(c
+            .quarantine_dir()
+            .join(format!("peer-peerbad-{:016x}.txt", 2))
+            .exists());
+        // An owner that answers empty-handed is a counted peer miss.
+        assert_eq!(c.load("peerdown", 7), None);
+        // An unowned name falls through silently.
+        assert_eq!(c.load("unrelated", 3), None);
+        let delta = faults::counters().since(&before);
+        assert_eq!(delta.peer_hits, 1);
+        assert_eq!(delta.peer_misses, 2);
+        assert_eq!(delta.quarantined, 1);
+
+        // `store` offers the artifact to the owner; `store_replica` (the
+        // peer-fill/endpoint path) must not, or pushes would cycle.
+        assert!(c.store("peerstore", 4, "x"));
+        assert!(c.store_replica("peerstore", 5, "y"));
+        assert_eq!(pushes.load(Ordering::Relaxed), 1);
+
+        install_peer_hooks(None);
+        let _ = std::fs::remove_dir_all(c.root());
+    }
+
+    #[test]
+    fn frame_round_trips_through_the_public_wrappers() {
+        let framed = frame_artifact("wire payload\n");
+        assert_eq!(unframe_artifact(&framed), Ok("wire payload\n"));
+        assert!(unframe_artifact("not a frame").is_err());
     }
 
     #[test]

@@ -1,9 +1,11 @@
 //! One-stop validation of the shared environment knobs.
 //!
-//! Every binary in the workspace honours the same four variables:
+//! Every binary in the workspace honours the same variables:
 //! `BDC_WORKERS` (worker-thread count), `BDC_CACHE_DIR` (artifact-cache
-//! root), `BDC_NO_CACHE` (disable the cache), and `BDC_FAULTS` (the
-//! fault-injection spec, see [`crate::faults`]). Before this module each
+//! root), `BDC_NO_CACHE` (disable the cache), `BDC_FAULTS` (the
+//! fault-injection spec, see [`crate::faults`]), and the cluster topology
+//! knobs `BDC_SHARDS`/`BDC_RING_SEED`/`BDC_SHARD_ID`/`BDC_PEER_PORTS`
+//! (see [`crate::cluster`]). Before this module each
 //! binary read them ad hoc and the first *use* — possibly deep inside a
 //! parallel region — panicked on a malformed value. [`env_config`] is the
 //! single front door: call it first thing in `main`, print the `Err` and
@@ -14,6 +16,7 @@ use std::path::PathBuf;
 
 use crate::batch::parse_batch_lanes;
 use crate::cache::validate_cache_dir;
+use crate::cluster::{self, ClusterEnv};
 use crate::faults::{self, FaultConfig};
 use crate::pool::parse_workers;
 
@@ -41,10 +44,16 @@ pub struct EnvConfig {
     /// scalar transient path, winning over `BDC_BATCH_LANES`, matching the
     /// `BDC_NO_CACHE` convention).
     pub no_batch: bool,
+    /// The cluster topology knobs (`BDC_SHARDS`, `BDC_RING_SEED`,
+    /// `BDC_SHARD_ID`, `BDC_PEER_PORTS`), cross-validated by
+    /// [`cluster::cluster_env`]. `None` when no cluster knob is set.
+    pub cluster: Option<ClusterEnv>,
 }
 
 /// Reads and validates `BDC_WORKERS`, `BDC_CACHE_DIR`, `BDC_NO_CACHE`,
-/// `BDC_FAULTS`, `BDC_BATCH_LANES`, and `BDC_NO_BATCH`.
+/// `BDC_FAULTS`, `BDC_BATCH_LANES`, `BDC_NO_BATCH`, and the cluster
+/// topology knobs (`BDC_SHARDS`, `BDC_RING_SEED`, `BDC_SHARD_ID`,
+/// `BDC_PEER_PORTS`).
 ///
 /// # Errors
 /// Returns the hardened parsers' diagnostics (which name the offending
@@ -75,6 +84,7 @@ pub fn env_config() -> Result<EnvConfig, String> {
         Err(_) => None,
     };
     let no_batch = std::env::var_os("BDC_NO_BATCH").is_some();
+    let cluster = cluster::cluster_env()?;
     Ok(EnvConfig {
         workers,
         cache_dir,
@@ -82,6 +92,7 @@ pub fn env_config() -> Result<EnvConfig, String> {
         faults: fault_cfg,
         batch_lanes,
         no_batch,
+        cluster,
     })
 }
 
@@ -102,6 +113,10 @@ mod tests {
             && std::env::var_os("BDC_FAULTS").is_none()
             && std::env::var_os("BDC_BATCH_LANES").is_none()
             && std::env::var_os("BDC_NO_BATCH").is_none()
+            && std::env::var_os("BDC_SHARDS").is_none()
+            && std::env::var_os("BDC_RING_SEED").is_none()
+            && std::env::var_os("BDC_SHARD_ID").is_none()
+            && std::env::var_os("BDC_PEER_PORTS").is_none()
         {
             let cfg = env_config().expect("empty env is valid");
             assert_eq!(
@@ -113,6 +128,7 @@ mod tests {
                     faults: None,
                     batch_lanes: None,
                     no_batch: false,
+                    cluster: None,
                 }
             );
         }

@@ -281,6 +281,9 @@ struct Counters {
     panics_contained: AtomicU64,
     quarantined: AtomicU64,
     rebuilt: AtomicU64,
+    peer_hits: AtomicU64,
+    peer_misses: AtomicU64,
+    peer_pushes: AtomicU64,
 }
 
 static COUNTERS: Counters = Counters {
@@ -291,6 +294,9 @@ static COUNTERS: Counters = Counters {
     panics_contained: AtomicU64::new(0),
     quarantined: AtomicU64::new(0),
     rebuilt: AtomicU64::new(0),
+    peer_hits: AtomicU64::new(0),
+    peer_misses: AtomicU64::new(0),
+    peer_pushes: AtomicU64::new(0),
 };
 
 /// A point-in-time copy of the survival counters.
@@ -310,6 +316,14 @@ pub struct FaultCounters {
     pub quarantined: u64,
     /// Artifacts rebuilt after a quarantine.
     pub rebuilt: u64,
+    /// Cache misses satisfied by a verified peer-shard fetch (no
+    /// recomputation).
+    pub peer_hits: u64,
+    /// Peer fetches attempted but not satisfied (owner down, artifact
+    /// absent, or the fetched frame failed verification).
+    pub peer_misses: u64,
+    /// Freshly stored artifacts pushed to their ring-owner shard.
+    pub peer_pushes: u64,
 }
 
 impl FaultCounters {
@@ -327,6 +341,9 @@ impl FaultCounters {
                 .saturating_sub(earlier.panics_contained),
             quarantined: self.quarantined.saturating_sub(earlier.quarantined),
             rebuilt: self.rebuilt.saturating_sub(earlier.rebuilt),
+            peer_hits: self.peer_hits.saturating_sub(earlier.peer_hits),
+            peer_misses: self.peer_misses.saturating_sub(earlier.peer_misses),
+            peer_pushes: self.peer_pushes.saturating_sub(earlier.peer_pushes),
         }
     }
 }
@@ -341,6 +358,9 @@ pub fn counters() -> FaultCounters {
         panics_contained: COUNTERS.panics_contained.load(Ordering::Relaxed),
         quarantined: COUNTERS.quarantined.load(Ordering::Relaxed),
         rebuilt: COUNTERS.rebuilt.load(Ordering::Relaxed),
+        peer_hits: COUNTERS.peer_hits.load(Ordering::Relaxed),
+        peer_misses: COUNTERS.peer_misses.load(Ordering::Relaxed),
+        peer_pushes: COUNTERS.peer_pushes.load(Ordering::Relaxed),
     }
 }
 
@@ -362,6 +382,21 @@ pub fn note_quarantine() {
 /// Counts an artifact rebuilt after a quarantine.
 pub fn note_rebuilt() {
     COUNTERS.rebuilt.fetch_add(1, Ordering::Relaxed);
+}
+
+/// Counts a cache miss satisfied by a verified peer fetch.
+pub fn note_peer_hit() {
+    COUNTERS.peer_hits.fetch_add(1, Ordering::Relaxed);
+}
+
+/// Counts a peer fetch that did not produce a usable artifact.
+pub fn note_peer_miss() {
+    COUNTERS.peer_misses.fetch_add(1, Ordering::Relaxed);
+}
+
+/// Counts an artifact pushed to its ring-owner shard.
+pub fn note_peer_push() {
+    COUNTERS.peer_pushes.fetch_add(1, Ordering::Relaxed);
 }
 
 #[cfg(test)]

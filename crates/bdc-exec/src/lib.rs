@@ -21,15 +21,19 @@
 //!   schema-version salt; invalidation is key change, so stale entries are
 //!   simply never addressed again.
 //!
-//! Three supporting pieces ride along: [`env_config`] validates the shared
+//! Four supporting pieces ride along: [`env_config`] validates the shared
 //! `BDC_WORKERS` / `BDC_CACHE_DIR` / `BDC_NO_CACHE` / `BDC_FAULTS` /
-//! `BDC_BATCH_LANES` / `BDC_NO_BATCH` environment knobs once at process
-//! start (every binary front door calls
+//! `BDC_BATCH_LANES` / `BDC_NO_BATCH` environment knobs plus the cluster
+//! topology knobs (`BDC_SHARDS` / `BDC_RING_SEED` / `BDC_SHARD_ID` /
+//! `BDC_PEER_PORTS`) once at process start (every binary front door calls
 //! it instead of re-reading the variables ad hoc), [`json`] holds the
 //! deterministic JSON codec used by registry renders, run manifests, and
-//! the serving layer alike, and [`faults`] is the seeded fault-injection
+//! the serving layer alike, [`faults`] is the seeded fault-injection
 //! framework the chaos tests and CI drive through `BDC_FAULTS` — inert
-//! (zero branches taken, zero bytes changed) unless explicitly enabled.
+//! (zero branches taken, zero bytes changed) unless explicitly enabled —
+//! and [`cluster`] hosts the seeded consistent-hash ring that maps cache
+//! keys to owning shards for `bdc-cluster`'s router and the cache's
+//! peer-fill hooks ([`install_peer_hooks`]).
 //!
 //! The crate is std-only by design: it sits below every other crate in the
 //! workspace and the environment has no registry access (see
@@ -37,6 +41,7 @@
 
 mod batch;
 mod cache;
+pub mod cluster;
 mod env;
 pub mod faults;
 pub mod json;
@@ -46,7 +51,10 @@ mod seed;
 pub use batch::{
     batch_lanes, parse_batch_lanes, set_batch_lanes, DEFAULT_BATCH_LANES, MAX_BATCH_LANES,
 };
-pub use cache::{fnv1a, validate_cache_dir, ArtifactCache};
+pub use cache::{
+    fnv1a, frame_artifact, install_peer_hooks, unframe_artifact, validate_cache_dir, ArtifactCache,
+    PeerFetch, PeerHooks,
+};
 pub use env::{env_config, EnvConfig};
 pub use pool::{par_map, par_mapi, parse_workers, set_workers, workers};
 pub use seed::{task_seed, SplitMix64};

@@ -332,7 +332,7 @@ pub fn classify_path(rel: &str) -> SourceClass {
     }
     let krate = p[at + "crates/".len()..].split('/').next().unwrap_or("");
     match krate {
-        "bdc-serve" => SourceClass::Serve,
+        "bdc-serve" | "bdc-cluster" => SourceClass::Serve,
         "bdc-exec" => SourceClass::Infra,
         "bdc-bench" => SourceClass::Tooling,
         _ => SourceClass::Render,
@@ -832,6 +832,7 @@ mod tests {
             ("crates/bdc-synth/src/gate.rs", Render),
             ("crates/bdc-core/src/registry/mod.rs", Render),
             ("crates/bdc-serve/src/engine.rs", Serve),
+            ("crates/bdc-cluster/src/router.rs", Serve),
             ("crates/bdc-exec/src/cache.rs", Infra),
             ("crates/bdc-bench/src/lib.rs", Tooling),
             ("crates/bdc-bench/src/bin/bdc.rs", Tooling),

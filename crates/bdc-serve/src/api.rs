@@ -15,6 +15,7 @@
 //! | `/v1/ipc` | GET/POST | cycle-accurate IPC for (spec, workload) |
 //! | `/v1/experiments` | GET | the experiment-registry catalogue |
 //! | `/v1/experiment` | GET/POST | one rendered registry node, by id |
+//! | `/v1/peer/artifact` | GET/POST | intra-fleet cache transfer (framed bytes) |
 //!
 //! Every computational endpoint accepts its parameters as query-string
 //! pairs on GET or a JSON object on POST; both normalize into the same
@@ -127,6 +128,22 @@ pub enum Route {
     Metrics,
     /// `/v1/experiments` — the static registry catalogue.
     Experiments,
+    /// `GET /v1/peer/artifact?name=&key=` — a peer shard asks for the
+    /// framed bytes of one cache artifact.
+    PeerFetch {
+        /// Artifact name (validated: `[A-Za-z0-9_-]{1,64}`).
+        name: String,
+        /// Artifact cache key.
+        key: u64,
+    },
+    /// `POST /v1/peer/artifact?name=&key=` — a peer shard offers the
+    /// framed bytes of a freshly built artifact (body = the frame).
+    PeerStore {
+        /// Artifact name (validated as for [`Route::PeerFetch`]).
+        name: String,
+        /// Artifact cache key.
+        key: u64,
+    },
     /// A computational endpoint.
     Call(ApiCall),
     /// A routing/validation failure, already rendered.
@@ -139,6 +156,13 @@ pub fn route(req: &Request) -> Route {
         "/healthz" => Route::Healthz,
         "/v1/metrics" => Route::Metrics,
         "/v1/experiments" => Route::Experiments,
+        "/v1/peer/artifact" => match parse_peer_params(req) {
+            Ok((name, key)) => match req.method {
+                Method::Get => Route::PeerFetch { name, key },
+                Method::Post => Route::PeerStore { name, key },
+            },
+            Err(msg) => Route::Error(Endpoint::Peer, Response::error(400, &msg)),
+        },
         "/v1/library" | "/v1/synth" | "/v1/depth" | "/v1/width" | "/v1/ipc" | "/v1/experiment" => {
             let endpoint = match req.path.as_str() {
                 "/v1/library" => Endpoint::Library,
@@ -158,6 +182,82 @@ pub fn route(req: &Request) -> Route {
             Response::error(404, &format!("no such endpoint `{}`", req.path)),
         ),
     }
+}
+
+/// Parses and validates the `/v1/peer/artifact` addressing parameters.
+/// Peer requests carry raw framed bytes in the body (POST) so, unlike the
+/// computational endpoints, the address lives entirely in the query
+/// string; unknown parameters are rejected (the `BDC_FAULTS` discipline —
+/// a typo must not silently address a different artifact).
+fn parse_peer_params(req: &Request) -> Result<(String, u64), String> {
+    let mut name = None;
+    let mut key = None;
+    for (k, v) in parse_query(&req.query) {
+        match k.as_str() {
+            "name" => name = Some(v),
+            "key" => key = Some(v),
+            other => return Err(format!("unknown peer parameter `{other}`")),
+        }
+    }
+    let name = name.ok_or("`name` is required")?;
+    let valid = !name.is_empty()
+        && name.len() <= 64
+        && name
+            .bytes()
+            .all(|b| b.is_ascii_alphanumeric() || b == b'-' || b == b'_');
+    if !valid {
+        return Err(format!(
+            "`name` must be 1-64 characters of [A-Za-z0-9_-], got `{name}`"
+        ));
+    }
+    let key = key.ok_or("`key` is required")?;
+    if key.len() != 16 || !key.bytes().all(|b| b.is_ascii_hexdigit()) {
+        return Err(format!("`key` must be exactly 16 hex digits, got `{key}`"));
+    }
+    let key = u64::from_str_radix(&key, 16).map_err(|e| format!("`key`: {e}"))?;
+    Ok((name, key))
+}
+
+/// Answers `GET /v1/peer/artifact`: the framed on-disk bytes of the
+/// addressed artifact, verified before shipping (a corrupt local copy is a
+/// 404 — the asking shard recomputes rather than trusting bad bytes).
+/// Reads the cache directory directly and never computes, so a peer fetch
+/// can never recurse into another peer fetch.
+pub fn peer_fetch_response(name: &str, key: u64) -> Response {
+    let cache = bdc_exec::ArtifactCache::shared();
+    if !cache.is_enabled() {
+        return Response::error(404, "artifact cache is disabled on this shard");
+    }
+    match std::fs::read_to_string(cache.path_for(name, key)) {
+        Ok(raw) if bdc_exec::unframe_artifact(&raw).is_ok() => {
+            Response::json(200, raw.into_bytes())
+        }
+        Ok(_) => Response::error(404, "artifact failed verification"),
+        Err(_) => Response::error(404, "artifact not present"),
+    }
+}
+
+/// Answers `POST /v1/peer/artifact`: verifies the framed body and stores
+/// it as a replica (never re-offering it onward — a pushed artifact must
+/// not trigger a push chain). A frame that fails verification is a 400;
+/// storage failures degrade to `stored: false` per the cache's
+/// failures-are-misses contract.
+pub fn peer_store_response(name: &str, key: u64, body: &[u8]) -> Response {
+    let raw = match std::str::from_utf8(body) {
+        Ok(raw) => raw,
+        Err(_) => return Response::error(400, "peer frame is not utf-8"),
+    };
+    let payload = match bdc_exec::unframe_artifact(raw) {
+        Ok(payload) => payload,
+        Err(e) => return Response::error(400, &format!("peer frame rejected: {e}")),
+    };
+    let stored = bdc_exec::ArtifactCache::shared().store_replica(name, key, payload);
+    let body = if stored {
+        "{\"stored\":true}"
+    } else {
+        "{\"stored\":false}"
+    };
+    Response::json(200, body.as_bytes().to_vec())
 }
 
 /// The merged parameter view: query pairs (GET) overlaid by JSON body
@@ -544,6 +644,53 @@ mod tests {
             Route::Error(_, r) => assert_eq!(r.status, 400),
             _ => panic!("accepted"),
         }
+    }
+
+    #[test]
+    fn peer_routes_validate_their_address() {
+        match route(&get(
+            "/v1/peer/artifact?name=lib-organic&key=00000000deadbeef",
+        )) {
+            Route::PeerFetch { name, key } => {
+                assert_eq!(name, "lib-organic");
+                assert_eq!(key, 0xdead_beef);
+            }
+            _ => panic!("valid fetch rejected"),
+        }
+        let mut store = post("/v1/peer/artifact", "");
+        store.query = "name=x&key=0000000000000001".into();
+        match route(&store) {
+            Route::PeerStore { name, key } => {
+                assert_eq!(name, "x");
+                assert_eq!(key, 1);
+            }
+            _ => panic!("valid store rejected"),
+        }
+        for bad in [
+            "/v1/peer/artifact",                                   // missing both
+            "/v1/peer/artifact?name=lib",                          // missing key
+            "/v1/peer/artifact?key=0000000000000001",              // missing name
+            "/v1/peer/artifact?name=lib&key=01",                   // short key
+            "/v1/peer/artifact?name=lib&key=000000000000000g",     // non-hex
+            "/v1/peer/artifact?name=a/b&key=0000000000000001",     // bad name
+            "/v1/peer/artifact?name=lib&key=0000000000000001&x=1", // unknown param
+        ] {
+            match route(&get(bad)) {
+                Route::Error(e, r) => {
+                    assert_eq!(r.status, 400, "{bad}");
+                    assert_eq!(e, Endpoint::Peer, "{bad}");
+                }
+                _ => panic!("accepted {bad}"),
+            }
+        }
+    }
+
+    #[test]
+    fn peer_store_rejects_unverifiable_frames() {
+        let r = peer_store_response("x", 1, b"not a frame");
+        assert_eq!(r.status, 400);
+        let r = peer_store_response("x", 1, &[0xFF, 0xFE]);
+        assert_eq!(r.status, 400);
     }
 
     #[test]

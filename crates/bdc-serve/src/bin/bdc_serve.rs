@@ -10,6 +10,13 @@
 //! libraries (`--warm`), prints the bound address, and runs until SIGTERM
 //! or ctrl-c, then shuts down gracefully (drains the queue, joins every
 //! thread) and exits 0.
+//!
+//! When launched by the `bdc cluster` supervisor with a complete cluster
+//! identity (`BDC_SHARDS` + `BDC_SHARD_ID` + `BDC_PEER_PORTS`), the
+//! worker additionally installs the peer cache-fill hooks
+//! ([`bdc_serve::peer`]) — local cache misses first ask the artifact's
+//! ring-owner shard before recomputing — and stamps every response with
+//! its `x-bdc-shard` header.
 
 use bdc_core::Process;
 use bdc_serve::ServeConfig;
@@ -76,11 +83,29 @@ fn parse_num(flag: &str, raw: &str) -> usize {
 }
 
 fn main() {
-    if let Err(e) = bdc_exec::env_config() {
-        eprintln!("bdc_serve: {e}");
-        std::process::exit(2);
+    let env = match bdc_exec::env_config() {
+        Ok(env) => env,
+        Err(e) => {
+            eprintln!("bdc_serve: {e}");
+            std::process::exit(2);
+        }
+    };
+    let mut cfg = parse_args();
+    if let Some(cluster) = &env.cluster {
+        cfg.shard = bdc_serve::peer::install_cluster_hooks(cluster);
+        if let Some(shard) = cfg.shard {
+            println!(
+                "bdc_serve: shard {shard}/{} (ring seed {}, peer fetch {})",
+                cluster.shards,
+                cluster.ring_seed,
+                if cluster.peer_ports.is_empty() {
+                    "off"
+                } else {
+                    "on"
+                }
+            );
+        }
     }
-    let cfg = parse_args();
     bdc_serve::install_signal_handlers();
     if !cfg.warm.is_empty() {
         let names: Vec<&str> = cfg.warm.iter().map(|p| p.name()).collect();

@@ -14,6 +14,18 @@ pub struct ClientResponse {
     pub status: u16,
     /// Body bytes.
     pub body: Vec<u8>,
+    /// Response headers, names lowercased, in wire order.
+    pub headers: Vec<(String, String)>,
+}
+
+impl ClientResponse {
+    /// The first header named `name` (lowercase), if any.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
+    }
 }
 
 /// A persistent keep-alive connection to the daemon.
@@ -28,9 +40,27 @@ impl Connection {
     /// # Errors
     /// Propagates connect failures.
     pub fn open(addr: &str) -> std::io::Result<Connection> {
-        let stream = TcpStream::connect(addr)?;
+        Self::open_with_timeout(addr, Duration::from_secs(120))
+    }
+
+    /// Connects with an explicit connect/read deadline. Peer cache fetches
+    /// and the cluster router use short timeouts — a slow peer must cost
+    /// less than recomputing locally, and a proxied request must fail over
+    /// to the next replica quickly.
+    ///
+    /// # Errors
+    /// Propagates connect failures (including the connect timeout).
+    pub fn open_with_timeout(addr: &str, timeout: Duration) -> std::io::Result<Connection> {
+        // `connect_timeout` needs a resolved SocketAddr; a hostname form
+        // (e.g. `localhost:8731`) falls back to plain connect, keeping
+        // only the read/write deadlines.
+        let stream = match addr.parse::<std::net::SocketAddr>() {
+            Ok(parsed) => TcpStream::connect_timeout(&parsed, timeout)?,
+            Err(_) => TcpStream::connect(addr)?,
+        };
         stream.set_nodelay(true)?;
-        stream.set_read_timeout(Some(Duration::from_secs(120)))?;
+        stream.set_read_timeout(Some(timeout))?;
+        stream.set_write_timeout(Some(timeout))?;
         let writer = stream.try_clone()?;
         Ok(Connection {
             reader: BufReader::new(stream),
@@ -79,6 +109,7 @@ impl Connection {
             .and_then(|s| s.parse().ok())
             .ok_or_else(|| bad("malformed status line"))?;
         let mut content_length = 0usize;
+        let mut headers = Vec::new();
         loop {
             let mut header = String::new();
             if self.reader.read_line(&mut header)? == 0 {
@@ -95,11 +126,16 @@ impl Connection {
                         .parse()
                         .map_err(|_| bad("bad content-length"))?;
                 }
+                headers.push((name.to_ascii_lowercase(), value.trim().to_string()));
             }
         }
         let mut body = vec![0u8; content_length];
         self.reader.read_exact(&mut body)?;
-        Ok(ClientResponse { status, body })
+        Ok(ClientResponse {
+            status,
+            body,
+            headers,
+        })
     }
 }
 

@@ -42,6 +42,7 @@ pub mod engine;
 pub mod http;
 pub mod json;
 pub mod metrics;
+pub mod peer;
 pub mod server;
 
 pub use engine::{Engine, EngineConfig, Submission};

@@ -41,13 +41,15 @@ pub enum Endpoint {
     Experiments,
     /// `/v1/experiment` (one rendered registry node).
     Experiment,
+    /// `/v1/peer/artifact` (intra-fleet cache transfer).
+    Peer,
     /// Anything else (404s, parse failures).
     Other,
 }
 
 impl Endpoint {
     /// All endpoints in metrics-report order.
-    pub fn all() -> [Endpoint; 10] {
+    pub fn all() -> [Endpoint; 11] {
         [
             Endpoint::Healthz,
             Endpoint::Metrics,
@@ -58,6 +60,7 @@ impl Endpoint {
             Endpoint::Ipc,
             Endpoint::Experiments,
             Endpoint::Experiment,
+            Endpoint::Peer,
             Endpoint::Other,
         ]
     }
@@ -74,6 +77,7 @@ impl Endpoint {
             Endpoint::Ipc => "ipc",
             Endpoint::Experiments => "experiments",
             Endpoint::Experiment => "experiment",
+            Endpoint::Peer => "peer",
             Endpoint::Other => "other",
         }
     }
@@ -89,7 +93,8 @@ impl Endpoint {
             Endpoint::Ipc => 6,
             Endpoint::Experiments => 7,
             Endpoint::Experiment => 8,
-            Endpoint::Other => 9,
+            Endpoint::Peer => 9,
+            Endpoint::Other => 10,
         }
     }
 }
@@ -191,7 +196,7 @@ impl EndpointStats {
 #[derive(Debug)]
 pub struct Registry {
     start: Instant,
-    endpoints: [EndpointStats; 10],
+    endpoints: [EndpointStats; 11],
     /// Connections accepted since boot.
     pub connections: AtomicU64,
     /// Connections shed at accept time (conn queue full).

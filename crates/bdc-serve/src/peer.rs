@@ -1,0 +1,83 @@
+//! Peer-to-peer cache fill for a sharded fleet.
+//!
+//! A `bdc_serve` worker booted with a complete cluster identity
+//! (`BDC_SHARDS` + `BDC_SHARD_ID` + `BDC_PEER_PORTS`, see
+//! [`bdc_exec::cluster`]) installs the artifact cache's process-wide peer
+//! hooks here:
+//!
+//! * **fetch-on-miss** — a local cache miss first asks the artifact's
+//!   ring-owner shard (`GET /v1/peer/artifact?name=&key=`) for the
+//!   checksum-framed bytes; a verified answer is stored locally and the
+//!   expensive recomputation is skipped.
+//! * **push-on-store** — a freshly built artifact is offered to its
+//!   ring-owner (`POST /v1/peer/artifact`) so later misses on *other*
+//!   shards find it at the owner.
+//!
+//! Both directions use short timeouts ([`PEER_TIMEOUT`]): a slow peer must
+//! always cost less than recomputing locally, and every failure degrades
+//! to a plain miss (the cache's failures-are-misses contract). When this
+//! shard *is* the owner no fetch is attempted and nothing is counted —
+//! owner-side misses recompute, which is what seeds the fleet.
+
+use std::time::Duration;
+
+use bdc_exec::cluster::{artifact_slot, ClusterEnv, Ring, DEFAULT_VNODES};
+use bdc_exec::{faults, frame_artifact, install_peer_hooks, PeerFetch, PeerHooks};
+
+use crate::client::Connection;
+
+/// Connect/read/write deadline for peer cache transfers. Artifacts are at
+/// most a few hundred KiB over loopback; anything slower than this is a
+/// sick peer and recomputing locally is the better spend.
+pub const PEER_TIMEOUT: Duration = Duration::from_secs(5);
+
+/// Installs the process-wide peer cache-fill hooks for a worker with a
+/// complete cluster identity; returns the shard id for the response
+/// header. Returns the shard id without installing hooks when
+/// `peer_ports` is empty (a labeled shard with peer fetch unconfigured),
+/// and `None` when the identity is incomplete (fleet-level tools such as
+/// the router and supervisor, which are not shards).
+pub fn install_cluster_hooks(env: &ClusterEnv) -> Option<usize> {
+    let shard_id = env.shard_id?;
+    if env.peer_ports.is_empty() {
+        return Some(shard_id);
+    }
+    let ring = Ring::new(env.shards, DEFAULT_VNODES, env.ring_seed);
+    let ports = env.peer_ports.clone();
+    let fetch_ring = ring.clone();
+    let fetch_ports = ports.clone();
+    install_peer_hooks(Some(PeerHooks {
+        fetch: std::sync::Arc::new(move |name, key| {
+            let owner = fetch_ring.owner(artifact_slot(name, key));
+            if owner == shard_id {
+                return PeerFetch::NotAttempted;
+            }
+            let addr = format!("127.0.0.1:{}", fetch_ports[owner]);
+            let path = format!("/v1/peer/artifact?name={name}&key={key:016x}");
+            match Connection::open_with_timeout(&addr, PEER_TIMEOUT).and_then(|mut c| c.get(&path))
+            {
+                Ok(r) if r.status == 200 => match String::from_utf8(r.body) {
+                    Ok(raw) => PeerFetch::Framed(raw),
+                    Err(_) => PeerFetch::Miss,
+                },
+                _ => PeerFetch::Miss,
+            }
+        }),
+        push: std::sync::Arc::new(move |name, key, text| {
+            let owner = ring.owner(artifact_slot(name, key));
+            if owner == shard_id {
+                return;
+            }
+            let addr = format!("127.0.0.1:{}", ports[owner]);
+            let path = format!("/v1/peer/artifact?name={name}&key={key:016x}");
+            let accepted = Connection::open_with_timeout(&addr, PEER_TIMEOUT)
+                .and_then(|mut c| c.post(&path, &frame_artifact(text)))
+                .map(|r| r.status == 200)
+                .unwrap_or(false);
+            if accepted {
+                faults::note_peer_push();
+            }
+        }),
+    }));
+    Some(shard_id)
+}

@@ -50,6 +50,12 @@ pub struct ServeConfig {
     /// Per-connection socket write timeout — a stalled client that stops
     /// draining its receive window can otherwise pin a worker forever.
     pub write_timeout: Duration,
+    /// Shard identity in a `bdc-cluster` fleet: when set, every response
+    /// carries an `x-bdc-shard: N` header so clients and the byte-identity
+    /// tests can see which worker answered. `None` for a standalone
+    /// server (no header — single-process bodies stay byte-identical to
+    /// pre-cluster builds).
+    pub shard: Option<usize>,
 }
 
 impl Default for ServeConfig {
@@ -62,6 +68,7 @@ impl Default for ServeConfig {
             warm: Vec::new(),
             read_timeout: Duration::from_secs(30),
             write_timeout: Duration::from_secs(30),
+            shard: None,
         }
     }
 }
@@ -178,10 +185,11 @@ pub fn start(cfg: ServeConfig) -> std::io::Result<ServerHandle> {
         let metrics = Arc::clone(&metrics);
         let stop = Arc::clone(&stop);
         let timeouts = (cfg.read_timeout, cfg.write_timeout);
+        let shard = cfg.shard;
         threads.push(
             std::thread::Builder::new()
                 .name(format!("bdc-serve-conn-{i}"))
-                .spawn(move || conn_worker(&rx, &engine, &metrics, &stop, timeouts))?,
+                .spawn(move || conn_worker(&rx, &engine, &metrics, &stop, timeouts, shard))?,
         );
     }
 
@@ -246,6 +254,7 @@ fn conn_worker(
     metrics: &Registry,
     stop: &AtomicBool,
     timeouts: (Duration, Duration),
+    shard: Option<usize>,
 ) {
     loop {
         // Poll with a timeout so workers also notice `stop` when idle.
@@ -255,7 +264,7 @@ fn conn_worker(
         };
         match stream {
             Ok(stream) => {
-                serve_connection(stream, engine, metrics, stop, timeouts);
+                serve_connection(stream, engine, metrics, stop, timeouts, shard);
             }
             Err(std::sync::mpsc::RecvTimeoutError::Timeout) => {
                 if stop.load(Ordering::SeqCst) {
@@ -274,6 +283,7 @@ fn serve_connection(
     metrics: &Registry,
     stop: &AtomicBool,
     (read_timeout, write_timeout): (Duration, Duration),
+    shard: Option<usize>,
 ) {
     let _ = stream.set_read_timeout(Some(read_timeout));
     let _ = stream.set_write_timeout(Some(write_timeout));
@@ -300,7 +310,14 @@ fn serve_connection(
             }
         };
         let keep_alive = request.keep_alive && !stop.load(Ordering::SeqCst);
-        let (endpoint, response) = handle(&request, engine);
+        let (endpoint, mut response) = handle(&request, engine);
+        if let Some(shard) = shard {
+            // Identity rides in a header so the *body* stays byte-identical
+            // across shards — the cluster acceptance gate.
+            response
+                .extra_headers
+                .push(("x-bdc-shard".into(), shard.to_string()));
+        }
         metrics
             .endpoint(endpoint)
             .record(response.status, t0.elapsed().as_micros() as u64);
@@ -333,6 +350,14 @@ pub fn handle(request: &http::Request, engine: &Engine<api::ApiCall>) -> (Endpoi
                 Response::json(200, snap.encode().into_bytes()),
             )
         }
+        // Peer cache transfers touch only the artifact directory — no
+        // engine round-trip, no computation, so a peer fetch can never
+        // cascade into another peer fetch.
+        Route::PeerFetch { name, key } => (Endpoint::Peer, api::peer_fetch_response(&name, key)),
+        Route::PeerStore { name, key } => (
+            Endpoint::Peer,
+            api::peer_store_response(&name, key, &request.body),
+        ),
         Route::Error(endpoint, response) => (endpoint, response),
         Route::Call(call) => {
             let endpoint = call.endpoint();
