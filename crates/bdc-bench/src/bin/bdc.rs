@@ -12,6 +12,7 @@
 //! bdc verify [--audit-deps] [--quick]    # plan-graph static analysis
 //! bdc lint --workspace               # determinism audit over the sources
 //! bdc cluster --shards 3             # sharded serving fleet + router
+//! bdc sweep --param organic.vt=-1.4:-0.6:21 --quick   # incremental grid
 //! ```
 //!
 //! `run` prints the selected nodes' rendered text to stdout in catalogue
@@ -26,17 +27,19 @@
 //! finds a cold node).
 
 use bdc_core::registry::{self, NODES};
+use bdc_core::sweep;
 
 fn usage() -> ! {
     eprintln!(
         "usage:\n  bdc list [--json]\n  bdc run [--quick] [--all] [--require-warm] \
-         [--max-retries N] <id>...\n  bdc verify [--audit-deps] [--quick]\n  \
+         [--max-retries N] <id>...\n  bdc sweep --param NAME=START:END:COUNT [--quick] \
+         [<id>...]\n  bdc verify [--audit-deps] [--quick]\n  \
          bdc lint --workspace\n  \
          bdc cluster [--shards N] [--addr HOST:PORT] [--base-port P] [--ring-seed S] \
          [--vnodes V]\n              [--proxy-retries R] [--serve-bin PATH] [--cache-root DIR] \
          [--pid-file PATH]\n              [--queue-cap N] [--deadline-ms MS] [--max-retries N] \
          [--warm]\n\
-         \nids: see `bdc list`"
+         \nids: see `bdc list`; sweep params: organic.vt (physical volts)"
     );
     std::process::exit(2);
 }
@@ -167,6 +170,96 @@ fn cmd_run(args: &[String]) -> ! {
     std::process::exit(0);
 }
 
+fn cmd_sweep(args: &[String]) -> ! {
+    let mut spec: Option<sweep::SweepSpec> = None;
+    let mut ids: Vec<&str> = Vec::new();
+    let mut iter = args.iter();
+    while let Some(a) = iter.next() {
+        match a.as_str() {
+            "--param" => {
+                let Some(raw) = iter.next() else {
+                    eprintln!("--param needs NAME=START:END:COUNT");
+                    usage();
+                };
+                spec = match sweep::SweepSpec::parse(raw) {
+                    Ok(s) => Some(s),
+                    Err(e) => {
+                        eprintln!("error: {e}");
+                        usage();
+                    }
+                };
+            }
+            "--quick" => {} // consumed by bdc_bench::quick_mode()
+            flag if flag.starts_with('-') => {
+                eprintln!("unknown flag `{flag}`");
+                usage();
+            }
+            id => ids.push(id),
+        }
+    }
+    let Some(spec) = spec else {
+        eprintln!("no --param given");
+        usage();
+    };
+    if ids.is_empty() {
+        ids = NODES.iter().map(|n| n.id).collect();
+    }
+
+    let quick = bdc_bench::quick_mode();
+    let report = match sweep::run_sweep(&spec, &ids, quick) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    };
+
+    // Stdout carries only the deterministic transcript; telemetry goes to
+    // the manifest and stderr so the output stays byte-diffable.
+    let transcript = sweep::render_transcript(&report);
+    print!("{transcript}");
+
+    let manifest = sweep::manifest_json(&report).encode();
+    let written = std::fs::create_dir_all("results").is_ok()
+        && std::fs::write("results/sweep_manifest.json", manifest + "\n").is_ok()
+        && std::fs::write("results/sweep_output.txt", &transcript).is_ok();
+    let note = if written {
+        " -> results/sweep_manifest.json, results/sweep_output.txt"
+    } else {
+        " (sweep artifacts not written)"
+    };
+
+    eprintln!(
+        "\nswept {} = {}..{} over {} point(s), {} node(s) each{note}",
+        report.spec.param.name(),
+        report.spec.start,
+        report.spec.end,
+        report.points.len(),
+        ids.len()
+    );
+    for p in &report.points {
+        let (hits, misses) = p.totals();
+        eprintln!(
+            "  point {:>3}  {} = {:>8.4}  {:>8.3}s  {} stage hit(s), {} miss(es)",
+            p.index,
+            report.spec.param.name(),
+            p.value,
+            p.wall_s,
+            hits,
+            misses
+        );
+    }
+    eprintln!(
+        "  total {:>8.3}s elapsed (points past the first run concurrently)",
+        report.elapsed_s
+    );
+    if sweep::stage_key_collisions(&report) != 0 {
+        eprintln!("error: stage-key collision detected across sweep points");
+        std::process::exit(1);
+    }
+    std::process::exit(0);
+}
+
 fn cmd_verify(args: &[String]) -> ! {
     let mut audit = false;
     for a in args {
@@ -183,6 +276,11 @@ fn cmd_verify(args: &[String]) -> ! {
 
     let ir = bdc_verify::build_ir();
     let mut report = bdc_verify::verify_static(&ir);
+    let (stage_count, stage_findings) = bdc_verify::verify_stages();
+    let stage_finding_count = stage_findings.diagnostics.len();
+    for d in stage_findings.diagnostics {
+        report.push(d);
+    }
     let audited = if audit {
         let dyn_report = bdc_verify::audit_deps(&ir, quick);
         for d in dyn_report.diagnostics {
@@ -199,8 +297,9 @@ fn cmd_verify(args: &[String]) -> ! {
         "plan-graph: {} nodes, {} cache keys, {} finding(s)",
         ir.nodes.len(),
         ir.nodes.len() * 2,
-        report.diagnostics.len()
+        report.diagnostics.len() - stage_finding_count
     );
+    println!("stage-graph: {stage_count} stages, {stage_finding_count} finding(s)");
     println!(
         "dep-audit: {}",
         match audited {
@@ -213,7 +312,7 @@ fn cmd_verify(args: &[String]) -> ! {
         println!("  {d}");
     }
 
-    let json = bdc_verify::report_json(&ir, &report, audited).encode();
+    let json = bdc_verify::report_json(&ir, &report, audited, stage_count).encode();
     let root = bdc_lint::find_workspace_root().unwrap_or_else(|| std::path::PathBuf::from("."));
     let dir = root.join("results");
     let written = std::fs::create_dir_all(&dir).is_ok()
@@ -273,6 +372,7 @@ fn main() {
     match args.first().map(String::as_str) {
         Some("list") => cmd_list(args.iter().any(|a| a == "--json")),
         Some("run") => cmd_run(&args[1..]),
+        Some("sweep") => cmd_sweep(&args[1..]),
         Some("verify") => cmd_verify(&args[1..]),
         Some("lint") => cmd_lint(&args[1..]),
         Some("cluster") => cmd_cluster(&args[1..]),

@@ -43,6 +43,78 @@ struct Speedup {
     lanes: usize,
 }
 
+/// Incremental-sweep summary: one measured grid plus its 21-point
+/// projection against independent cold runs.
+struct SweepBench {
+    /// Grid points actually executed.
+    points: usize,
+    /// Wall time of the cold first point (every stage computes).
+    cold_s: f64,
+    /// Effective wall time per incremental point:
+    /// `(elapsed - cold) / (points - 1)`, so concurrent points divide
+    /// correctly instead of summing their overlapping spans.
+    incr_s: f64,
+    /// Stage-cache hit rate across the incremental points.
+    hit_rate: f64,
+    /// Cross-point stage-key collisions (must be zero).
+    collisions: usize,
+    /// Projected wall for a 21-point sweep: `cold + 20 * incr`.
+    sweep21_s: f64,
+    /// Projected wall for 21 independent cold runs: `21 * cold`.
+    cold21_s: f64,
+}
+
+/// Runs a 5-point organic V_T sweep (standard budget) in a throwaway
+/// cache directory. Point 0 is a genuine cold plan run; each later point
+/// recomputes only the organic invalidation cone. The 21-point
+/// projection is the acceptance comparison for `bdc sweep`: one sweep vs
+/// 21 independent cold runs of the same plan.
+fn sweep_section() -> Option<SweepBench> {
+    use bdc_core::sweep::{run_sweep, stage_key_collisions, SweepSpec};
+    let dir = std::env::temp_dir().join(format!("bdc-bench-sweep-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let prev = std::env::var_os("BDC_CACHE_DIR");
+    std::env::set_var("BDC_CACHE_DIR", &dir);
+    let spec = SweepSpec::parse("organic.vt=-1.5:-1.1:5").expect("bench sweep spec");
+    let ids: Vec<&str> = bdc_core::registry::NODES.iter().map(|n| n.id).collect();
+    let outcome = run_sweep(&spec, &ids, false);
+    match prev {
+        Some(v) => std::env::set_var("BDC_CACHE_DIR", v),
+        None => std::env::remove_var("BDC_CACHE_DIR"),
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+    let report = match outcome {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("sweep section skipped: {e}");
+            return None;
+        }
+    };
+    let points = report.points.len();
+    let cold_s = report.points[0].wall_s;
+    let incr_s = (report.elapsed_s - cold_s).max(0.0) / (points - 1) as f64;
+    let (mut hits, mut misses) = (0u64, 0u64);
+    for p in report.points.iter().skip(1) {
+        let (h, m) = p.totals();
+        hits += h;
+        misses += m;
+    }
+    let hit_rate = if hits + misses == 0 {
+        0.0
+    } else {
+        hits as f64 / (hits + misses) as f64
+    };
+    Some(SweepBench {
+        points,
+        cold_s,
+        incr_s,
+        hit_rate,
+        collisions: stage_key_collisions(&report),
+        sweep21_s: cold_s + 20.0 * incr_s,
+        cold21_s: 21.0 * cold_s,
+    })
+}
+
 /// One serve-layer measurement: a request mix driven through the full
 /// HTTP stack against an in-process daemon.
 struct ServeStat {
@@ -412,6 +484,29 @@ fn main() {
         Err(e) => eprintln!("registry section skipped: {e}"),
     }
 
+    // --- Incremental sweep: cold first point vs per-point recompute of
+    // the organic invalidation cone, projected to the 21-point grid.
+    bdc_exec::set_workers(None);
+    let sweep = sweep_section();
+    if let Some(s) = &sweep {
+        rows.push(Row {
+            stage: "sweep_point",
+            detail: "organic.vt grid, cold first point".into(),
+            workers: avail,
+            lanes: ambient_lanes,
+            cache: "cold",
+            seconds: s.cold_s,
+        });
+        rows.push(Row {
+            stage: "sweep_point",
+            detail: "organic.vt grid, incremental point".into(),
+            workers: avail,
+            lanes: ambient_lanes,
+            cache: "warm",
+            seconds: s.incr_s,
+        });
+    }
+
     // --- Serving layer: the same queries through the full HTTP stack,
     // cold (engine compute) vs warm (response-cache hit).
     let serve = serve_section();
@@ -450,6 +545,23 @@ fn main() {
                 s.scalar_s / s.batched_s
             );
         }
+    }
+    if let Some(s) = &sweep {
+        let _ = writeln!(
+            txt,
+            "\nincremental sweep (organic.vt, {} measured points, standard budget)\n\n\
+             cold point {:.3} s, incremental point {:.3} s, stage hit rate {:.3}, \
+             key collisions {}\n\
+             21-point projection: sweep {:.1} s vs 21 cold runs {:.1} s ({:.1}x less wall)",
+            s.points,
+            s.cold_s,
+            s.incr_s,
+            s.hit_rate,
+            s.collisions,
+            s.sweep21_s,
+            s.cold21_s,
+            s.cold21_s / s.sweep21_s.max(1e-9)
+        );
     }
     if !serve.is_empty() {
         let _ = writeln!(
@@ -526,6 +638,29 @@ fn main() {
         }
     }
     let _ = writeln!(json, "  }},");
+    match &sweep {
+        Some(s) => {
+            let _ = writeln!(
+                json,
+                "  \"sweep\": {{\"param\": \"organic.vt\", \"points_measured\": {}, \
+                 \"cold_point_s\": {:.6}, \"incremental_point_s\": {:.6}, \
+                 \"incremental_hit_rate\": {:.4}, \"stage_key_collisions\": {}, \
+                 \"sweep_21pt_s\": {:.3}, \"cold_runs_21_s\": {:.3}, \
+                 \"reuse_speedup_21pt\": {:.2}}},",
+                s.points,
+                s.cold_s,
+                s.incr_s,
+                s.hit_rate,
+                s.collisions,
+                s.sweep21_s,
+                s.cold21_s,
+                s.cold21_s / s.sweep21_s.max(1e-9)
+            );
+        }
+        None => {
+            let _ = writeln!(json, "  \"sweep\": null,");
+        }
+    }
     let _ = writeln!(json, "  \"characterize_speedup\": [");
     for (i, s) in speedups.iter().enumerate() {
         let comma = if i + 1 < speedups.len() { "," } else { "" };

@@ -66,7 +66,8 @@ fn verify_report_is_byte_stable_across_workers() {
         String::from_utf8_lossy(&baseline.stdout)
     );
     let json = String::from_utf8(baseline.report.clone()).expect("report is UTF-8");
-    assert!(json.contains("\"version\":\"bdc-verify-v1\""), "{json}");
+    assert!(json.contains("\"version\":\"bdc-verify-v2\""), "{json}");
+    assert!(json.contains("\"stages\":47"), "{json}");
     assert!(json.contains("\"findings\":[]"), "{json}");
 
     for workers in ["2", "8"] {

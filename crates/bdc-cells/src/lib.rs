@@ -34,11 +34,15 @@ pub use dynamic::{
     characterize_dynamic, characterize_dynamic_loads, organic_dynamic_gate, DynamicTiming,
 };
 pub use liberty::{parse_library, write_library, LibertyError};
-pub use library::{Cell, CellKind, CellLibrary, DffTiming, ProcessKind};
+pub use library::{
+    assemble_organic_library, assemble_silicon_library, build_organic_cell, build_silicon_cell,
+    parse_cell_text, write_cell_text, Cell, CellKind, CellLibrary, DffTiming, ProcessKind,
+};
 pub use nldm::NldmTable;
 pub use sizing::{evaluate_sizing, explore_inverter_sizing, SizingCandidate, Utility};
 pub use topology::{
-    cmos_gate, organic_gate, organic_inverter, organic_inverter_aged, organic_inverter_shifted,
-    GateCircuit, LogicKind, OrganicSizing, OrganicStyle, ORGANIC_CHANNEL_L,
+    cmos_gate, organic_gate, organic_gate_shifted, organic_inverter, organic_inverter_aged,
+    organic_inverter_shifted, GateCircuit, LogicKind, OrganicSizing, OrganicStyle,
+    ORGANIC_CHANNEL_L,
 };
 pub use wire::WireModel;

@@ -13,7 +13,7 @@ use crate::characterize::{
     characterize_gate, measure_static_power, CharacterizeConfig, GateTiming,
 };
 use crate::nldm::NldmTable;
-use crate::topology::{cmos_gate, organic_gate, GateCircuit, LogicKind, OrganicSizing};
+use crate::topology::{cmos_gate, organic_gate_shifted, GateCircuit, LogicKind, OrganicSizing};
 use crate::wire::WireModel;
 use bdc_circuit::CircuitError;
 
@@ -209,6 +209,77 @@ impl CellLibrary {
         self
     }
 
+    /// A structural FNV-1a fingerprint of everything the library means:
+    /// rails, wire model, sequential timing, and every cell's area, caps,
+    /// power, and NLDM surfaces (axes and values, bit-exact). Two
+    /// libraries with equal fingerprints time every netlist identically.
+    ///
+    /// Computed on demand from content — never stored — so it can't go
+    /// stale through `with_wire` or field mutation. It replaces hashing
+    /// the full Liberty text in downstream cache keys: same sensitivity,
+    /// without rendering ~30 KB of text per key derivation.
+    pub fn fingerprint(&self) -> u64 {
+        const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const PRIME: u64 = 0x0000_0100_0000_01b3;
+        struct Fnv(u64);
+        impl Fnv {
+            fn bytes(&mut self, b: &[u8]) {
+                for &x in b {
+                    self.0 ^= u64::from(x);
+                    self.0 = self.0.wrapping_mul(PRIME);
+                }
+            }
+            fn f64(&mut self, v: f64) {
+                self.bytes(&v.to_bits().to_le_bytes());
+            }
+            fn axis(&mut self, a: &[f64]) {
+                self.bytes(&(a.len() as u64).to_le_bytes());
+                for &v in a {
+                    self.f64(v);
+                }
+            }
+            fn table(&mut self, t: &NldmTable) {
+                self.axis(t.slews());
+                self.axis(t.loads());
+                for row in t.values() {
+                    self.axis(row);
+                }
+            }
+        }
+        let mut h = Fnv(OFFSET);
+        h.bytes(b"bdc-libfp-v1");
+        h.bytes(self.name.as_bytes());
+        h.bytes(match self.process {
+            ProcessKind::Organic => b"organic",
+            ProcessKind::Silicon45 => b"silicon",
+        });
+        h.f64(self.vdd);
+        h.f64(self.vss);
+        h.f64(self.wire.r_per_m);
+        h.f64(self.wire.c_per_m);
+        match self.wire.repeated_s_per_m {
+            None => h.bytes(b"n"),
+            Some(v) => {
+                h.bytes(b"s");
+                h.f64(v);
+            }
+        }
+        h.f64(self.dff.setup);
+        h.f64(self.dff.hold);
+        h.f64(self.dff.clk_to_q);
+        for cell in &self.cells {
+            h.bytes(cell.kind.name().as_bytes());
+            h.f64(cell.area);
+            h.f64(cell.input_cap);
+            h.f64(cell.leakage_w);
+            h.f64(cell.switching_energy);
+            h.table(&cell.timing.delay_rise);
+            h.table(&cell.timing.delay_fall);
+            h.table(&cell.timing.out_slew);
+        }
+        h.0
+    }
+
     /// A synthetic library with analytically chosen constant delays — no
     /// circuit simulation. Intended for fast unit tests and examples that
     /// exercise synthesis/STA machinery rather than device physics.
@@ -284,33 +355,24 @@ impl CellLibrary {
     /// # Errors
     /// Propagates characterization failures.
     pub fn organic_at(vdd: f64, vss: f64) -> Result<Self, CircuitError> {
+        Self::organic_at_shifted(vdd, vss, 0.0)
+    }
+
+    /// Organic library with a global threshold-voltage shift `delta_vt`
+    /// (V) on every transistor — the library-level entry point of the
+    /// `bdc sweep` parameter machinery. `delta_vt = 0.0` is bit-identical
+    /// to [`CellLibrary::organic_at`].
+    ///
+    /// # Errors
+    /// Propagates characterization failures.
+    pub fn organic_at_shifted(vdd: f64, vss: f64, delta_vt: f64) -> Result<Self, CircuitError> {
         let sizing = OrganicSizing::library_default();
         let cfg = CharacterizeConfig::organic();
         let mut cells = Vec::new();
         for kind in LogicKind::all() {
-            let gate = organic_gate(kind, &sizing, vdd, vss);
-            let timing = characterize_gate(&gate, &cfg)?;
-            let leakage_w = measure_static_power(&gate)?;
-            cells.push(Cell {
-                kind: logic_to_cell(kind),
-                area: organic_gate_area(&gate),
-                input_cap: gate.input_cap,
-                leakage_w,
-                switching_energy: 2.0 * gate.input_cap * vdd * vdd,
-                timing,
-            });
+            cells.push(build_organic_cell(kind, &sizing, vdd, vss, delta_vt, &cfg)?);
         }
-        let (dff_cell, dff) = derive_dff(&cells, 8.0);
-        cells.push(dff_cell);
-        Ok(CellLibrary::from_cells(
-            "pentacene-pseudoE",
-            ProcessKind::Organic,
-            vdd,
-            vss,
-            WireModel::organic(),
-            dff,
-            cells,
-        ))
+        Ok(assemble_organic_library(cells, vdd, vss))
     }
 
     /// Builds and characterizes the reduced 6-cell 45 nm silicon library.
@@ -322,30 +384,97 @@ impl CellLibrary {
         let cfg = CharacterizeConfig::silicon();
         let mut cells = Vec::new();
         for kind in LogicKind::all() {
-            let gate = cmos_gate(kind, 450.0e-9, vdd);
-            let timing = characterize_gate(&gate, &cfg)?;
-            let leakage_w = measure_static_power(&gate)?;
-            cells.push(Cell {
-                kind: logic_to_cell(kind),
-                area: silicon_gate_area(kind),
-                input_cap: gate.input_cap,
-                leakage_w,
-                switching_energy: 2.0 * gate.input_cap * vdd * vdd,
-                timing,
-            });
+            cells.push(build_silicon_cell(kind, 450.0e-9, vdd, &cfg)?);
         }
-        let (dff_cell, dff) = derive_dff(&cells, 4.2);
-        cells.push(dff_cell);
-        Ok(CellLibrary::from_cells(
-            "reduced-45nm",
-            ProcessKind::Silicon45,
-            vdd,
-            0.0,
-            WireModel::silicon_45nm(),
-            dff,
-            cells,
-        ))
+        Ok(assemble_silicon_library(cells, vdd))
     }
+}
+
+/// Characterizes one organic pseudo-E cell — the per-cell unit of the
+/// stage cache. Callers that cache per cell build each combinational cell
+/// independently (possibly loading siblings from cache) and then fold them
+/// through [`assemble_organic_library`]; the result is bit-identical to
+/// [`CellLibrary::organic_at_shifted`], which is this loop inlined.
+///
+/// # Errors
+/// Propagates characterization failures.
+pub fn build_organic_cell(
+    kind: LogicKind,
+    sizing: &OrganicSizing,
+    vdd: f64,
+    vss: f64,
+    delta_vt: f64,
+    cfg: &CharacterizeConfig,
+) -> Result<Cell, CircuitError> {
+    let gate = organic_gate_shifted(kind, sizing, vdd, vss, delta_vt);
+    let timing = characterize_gate(&gate, cfg)?;
+    let leakage_w = measure_static_power(&gate)?;
+    Ok(Cell {
+        kind: logic_to_cell(kind),
+        area: organic_gate_area(&gate),
+        input_cap: gate.input_cap,
+        leakage_w,
+        switching_energy: 2.0 * gate.input_cap * vdd * vdd,
+        timing,
+    })
+}
+
+/// Characterizes one silicon CMOS cell (per-cell stage-cache unit; see
+/// [`build_organic_cell`]).
+///
+/// # Errors
+/// Propagates characterization failures.
+pub fn build_silicon_cell(
+    kind: LogicKind,
+    l: f64,
+    vdd: f64,
+    cfg: &CharacterizeConfig,
+) -> Result<Cell, CircuitError> {
+    let gate = cmos_gate(kind, l, vdd);
+    let timing = characterize_gate(&gate, cfg)?;
+    let leakage_w = measure_static_power(&gate)?;
+    Ok(Cell {
+        kind: logic_to_cell(kind),
+        area: silicon_gate_area(kind),
+        input_cap: gate.input_cap,
+        leakage_w,
+        switching_energy: 2.0 * gate.input_cap * vdd * vdd,
+        timing,
+    })
+}
+
+/// Folds the five characterized combinational organic cells into the full
+/// library: derives the DFF from the NAND2 and attaches rails, wire model
+/// and name. `cells` must be the five combinational cells in
+/// [`LogicKind::all`] order.
+pub fn assemble_organic_library(mut cells: Vec<Cell>, vdd: f64, vss: f64) -> CellLibrary {
+    let (dff_cell, dff) = derive_dff(&cells, 8.0);
+    cells.push(dff_cell);
+    CellLibrary::from_cells(
+        "pentacene-pseudoE",
+        ProcessKind::Organic,
+        vdd,
+        vss,
+        WireModel::organic(),
+        dff,
+        cells,
+    )
+}
+
+/// Folds the five characterized combinational silicon cells into the full
+/// library (see [`assemble_organic_library`]).
+pub fn assemble_silicon_library(mut cells: Vec<Cell>, vdd: f64) -> CellLibrary {
+    let (dff_cell, dff) = derive_dff(&cells, 4.2);
+    cells.push(dff_cell);
+    CellLibrary::from_cells(
+        "reduced-45nm",
+        ProcessKind::Silicon45,
+        vdd,
+        0.0,
+        WireModel::silicon_45nm(),
+        dff,
+        cells,
+    )
 }
 
 fn logic_to_cell(kind: LogicKind) -> CellKind {
@@ -417,6 +546,142 @@ fn derive_dff(cells: &[Cell], area_factor: f64) -> (Cell, DffTiming) {
         timing,
     };
     (cell, dff)
+}
+
+// ---------------------------------------------------------------------------
+// Per-cell artifact serialization (the stage cache's on-disk unit)
+// ---------------------------------------------------------------------------
+
+fn f64_hex(x: f64) -> String {
+    format!("{:016x}", x.to_bits())
+}
+
+fn parse_f64_hex(s: &str) -> Option<f64> {
+    if s.len() != 16 {
+        return None;
+    }
+    u64::from_str_radix(s, 16).ok().map(f64::from_bits)
+}
+
+/// Serializes one characterized cell as a bit-exact text artifact
+/// (`bdccell v1`): every `f64` is written as the hex of its bit pattern,
+/// so [`parse_cell_text`] reconstructs the exact same values and a cell
+/// loaded from cache is indistinguishable from a freshly characterized
+/// one.
+pub fn write_cell_text(cell: &Cell) -> String {
+    let mut out = String::new();
+    out.push_str("bdccell v1\n");
+    out.push_str(&format!("kind {}\n", cell.kind.name()));
+    out.push_str(&format!("area {}\n", f64_hex(cell.area)));
+    out.push_str(&format!("input_cap {}\n", f64_hex(cell.input_cap)));
+    out.push_str(&format!("leakage_w {}\n", f64_hex(cell.leakage_w)));
+    out.push_str(&format!(
+        "switching_energy {}\n",
+        f64_hex(cell.switching_energy)
+    ));
+    let mut table = |label: &str, t: &NldmTable| {
+        out.push_str(&format!(
+            "table {label} {} {}\n",
+            t.slews().len(),
+            t.loads().len()
+        ));
+        let axis = |name: &str, v: &[f64]| {
+            let mut line = String::from(name);
+            for x in v {
+                line.push(' ');
+                line.push_str(&f64_hex(*x));
+            }
+            line.push('\n');
+            line
+        };
+        out.push_str(&axis("slews", t.slews()));
+        out.push_str(&axis("loads", t.loads()));
+        for row in t.values() {
+            out.push_str(&axis("row", row));
+        }
+    };
+    table("delay_rise", &cell.timing.delay_rise);
+    table("delay_fall", &cell.timing.delay_fall);
+    table("out_slew", &cell.timing.out_slew);
+    out
+}
+
+/// Parses a `bdccell v1` artifact back into a [`Cell`]. Any malformed
+/// input — wrong header, bad hex, short rows, non-increasing axes,
+/// trailing junk — returns `None` (a cache miss), never a panic: the
+/// stage cache treats corrupt artifacts as absent and recomputes.
+pub fn parse_cell_text(text: &str) -> Option<Cell> {
+    let mut lines = text.lines();
+    if lines.next()? != "bdccell v1" {
+        return None;
+    }
+    let mut field = |name: &str| -> Option<String> {
+        let line = lines.next()?;
+        let rest = line.strip_prefix(name)?.strip_prefix(' ')?;
+        Some(rest.to_string())
+    };
+    let kind = CellKind::from_name(&field("kind")?)?;
+    let area = parse_f64_hex(&field("area")?)?;
+    let input_cap = parse_f64_hex(&field("input_cap")?)?;
+    let leakage_w = parse_f64_hex(&field("leakage_w")?)?;
+    let switching_energy = parse_f64_hex(&field("switching_energy")?)?;
+    let mut table = |label: &str| -> Option<NldmTable> {
+        let head = lines.next()?;
+        let mut parts = head.split(' ');
+        if parts.next()? != "table" || parts.next()? != label {
+            return None;
+        }
+        let n_slews: usize = parts.next()?.parse().ok()?;
+        let n_loads: usize = parts.next()?.parse().ok()?;
+        if parts.next().is_some() || n_slews == 0 || n_loads == 0 {
+            return None;
+        }
+        let mut axis = |name: &str, n: usize| -> Option<Vec<f64>> {
+            let line = lines.next()?;
+            let mut parts = line.split(' ');
+            if parts.next()? != name {
+                return None;
+            }
+            let v: Option<Vec<f64>> = parts.map(parse_f64_hex).collect();
+            let v = v?;
+            if v.len() != n {
+                return None;
+            }
+            Some(v)
+        };
+        let slews = axis("slews", n_slews)?;
+        let loads = axis("loads", n_loads)?;
+        // NldmTable::new panics on non-increasing axes; validate here so
+        // corruption stays a miss. NaN fails the `<` and is rejected too.
+        for a in [&slews, &loads] {
+            if !a.windows(2).all(|w| w[0] < w[1]) {
+                return None;
+            }
+        }
+        let mut values = Vec::with_capacity(n_slews);
+        for _ in 0..n_slews {
+            values.push(axis("row", n_loads)?);
+        }
+        Some(NldmTable::new(slews, loads, values))
+    };
+    let delay_rise = table("delay_rise")?;
+    let delay_fall = table("delay_fall")?;
+    let out_slew = table("out_slew")?;
+    if lines.next().is_some() {
+        return None;
+    }
+    Some(Cell {
+        kind,
+        area,
+        input_cap,
+        leakage_w,
+        switching_energy,
+        timing: GateTiming {
+            delay_rise,
+            delay_fall,
+            out_slew,
+        },
+    })
 }
 
 /// Returns a load-independent summary row for reports: name, area, input
@@ -494,5 +759,76 @@ mod tests {
         let lib = CellLibrary::synthetic(ProcessKind::Silicon45, 1.0);
         let lib = lib.with_wire(WireModel::ideal());
         assert_eq!(lib.wire.delay(1.0, 1.0e3), 0.0);
+    }
+
+    // A cell with multi-point tables and awkward bit patterns for the
+    // round-trip tests (synthetic constants exercise only 1×1 tables).
+    fn gridded_cell() -> Cell {
+        let t = |scale: f64| {
+            NldmTable::new(
+                vec![1.0e-6, 3.0e-6, 9.0e-6],
+                vec![1.0e-12, 2.0e-12],
+                vec![
+                    vec![scale, scale * 1.5],
+                    vec![scale * 2.0, scale * 0.1],
+                    vec![scale * std::f64::consts::PI, scale * 4.0],
+                ],
+            )
+        };
+        Cell {
+            kind: CellKind::Nor3,
+            area: 1234.5678,
+            input_cap: 3.0e-13,
+            leakage_w: 5.0e-9,
+            switching_energy: 7.25e-15,
+            timing: GateTiming {
+                delay_rise: t(1.0e-9),
+                delay_fall: t(1.3e-9),
+                out_slew: t(0.8e-9),
+            },
+        }
+    }
+
+    #[test]
+    fn cell_text_roundtrip_is_bit_exact() {
+        let cell = gridded_cell();
+        let text = write_cell_text(&cell);
+        let back = parse_cell_text(&text).expect("parse");
+        assert_eq!(back.kind, cell.kind);
+        for (a, b) in [
+            (back.area, cell.area),
+            (back.input_cap, cell.input_cap),
+            (back.leakage_w, cell.leakage_w),
+            (back.switching_energy, cell.switching_energy),
+        ] {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        for (ta, tb) in [
+            (&back.timing.delay_rise, &cell.timing.delay_rise),
+            (&back.timing.delay_fall, &cell.timing.delay_fall),
+            (&back.timing.out_slew, &cell.timing.out_slew),
+        ] {
+            assert_eq!(ta.slews(), tb.slews());
+            assert_eq!(ta.loads(), tb.loads());
+            assert_eq!(ta.values(), tb.values());
+        }
+        // Re-serializing the parsed cell reproduces the exact artifact.
+        assert_eq!(write_cell_text(&back), text);
+    }
+
+    #[test]
+    fn malformed_cell_text_is_a_miss_not_a_panic() {
+        let good = write_cell_text(&gridded_cell());
+        assert!(parse_cell_text(&good).is_some());
+        assert!(parse_cell_text("").is_none());
+        assert!(parse_cell_text("bdccell v2\n").is_none());
+        assert!(parse_cell_text(&good[..good.len() - 20]).is_none());
+        assert!(parse_cell_text(&format!("{good}extra\n")).is_none());
+        // Corrupt one hex digit of the slew axis into a non-increasing
+        // (or NaN) axis: must reject before NldmTable::new can panic.
+        let swapped = good.replace("slews", "loads").replacen("loads", "slews", 1);
+        assert!(parse_cell_text(&swapped).is_none());
+        let bad_hex = good.replacen("area ", "area z", 1);
+        assert!(parse_cell_text(&bad_hex).is_none());
     }
 }

@@ -362,6 +362,42 @@ fn organic_inverter_inner(
 /// # Panics
 /// Panics if `vdd <= 0` or `vss >= 0`.
 pub fn organic_gate(kind: LogicKind, sizing: &OrganicSizing, vdd: f64, vss: f64) -> GateCircuit {
+    organic_gate_inner(kind, sizing, vdd, vss, DeviceTweak::NONE)
+}
+
+/// [`organic_gate`] with a threshold-voltage shift `delta_vt` (V) applied
+/// to every transistor — the whole-library handle for the parameter-sweep
+/// machinery (`bdc sweep --param organic.vt=…`). At `delta_vt = 0.0` the
+/// devices are bit-identical to [`organic_gate`]'s.
+///
+/// # Panics
+/// Panics like [`organic_gate`].
+pub fn organic_gate_shifted(
+    kind: LogicKind,
+    sizing: &OrganicSizing,
+    vdd: f64,
+    vss: f64,
+    delta_vt: f64,
+) -> GateCircuit {
+    organic_gate_inner(
+        kind,
+        sizing,
+        vdd,
+        vss,
+        DeviceTweak {
+            delta_vt,
+            life: 0.0,
+        },
+    )
+}
+
+fn organic_gate_inner(
+    kind: LogicKind,
+    sizing: &OrganicSizing,
+    vdd: f64,
+    vss: f64,
+    tweak: DeviceTweak,
+) -> GateCircuit {
     assert!(vdd > 0.0, "vdd must be positive");
     assert!(vss < 0.0, "pseudo-E requires a negative vss");
     let mut c = Circuit::new();
@@ -378,16 +414,7 @@ pub fn organic_gate(kind: LogicKind, sizing: &OrganicSizing, vdd: f64, vss: f64)
     let n_out = c.node("out");
     let series = matches!(kind, LogicKind::Nor2 | LogicKind::Nor3);
     build_pseudo_e(
-        c,
-        n_vdd,
-        vdd_src,
-        &ins,
-        n_out,
-        sizing,
-        vdd,
-        vss,
-        series,
-        DeviceTweak::NONE,
+        c, n_vdd, vdd_src, &ins, n_out, sizing, vdd, vss, series, tweak,
     )
 }
 

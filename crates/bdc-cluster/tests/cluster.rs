@@ -172,8 +172,19 @@ fn failover_hides_a_dead_shard_and_the_fleet_views_report_it() {
         Some(3)
     );
 
-    // Kill shard 1 mid-flight.
-    handles.remove(1).shutdown();
+    // Kill the shard that owns a proxied compute route, so at least one
+    // of the requests below must fail over. The owner is discovered from
+    // the healthy fleet's shard header rather than hard-coded — the key
+    // layout (and therefore slot ownership) may legitimately change when
+    // the response-cache salt does.
+    let owner: usize = conn
+        .get("/v1/ipc?workload=gzip&outer=5&instructions=4000")
+        .expect("proxied get")
+        .header("x-bdc-shard")
+        .expect("proxied response carries x-bdc-shard")
+        .parse()
+        .expect("numeric shard id");
+    handles.remove(owner).shutdown();
 
     // Every request must still succeed — the router fails over to a
     // surviving replica and the client never sees a 5xx.

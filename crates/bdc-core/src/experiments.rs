@@ -19,8 +19,8 @@ use bdc_exec::par_map;
 
 use crate::corespec::{CoreSpec, StageKind};
 use crate::flow::{
-    alu_cluster, measure_ipc, performance, pipeline_alu, split_critical, synthesize_core_cached,
-    SynthesizedCore,
+    alu_cluster, measure_ipc_cached, performance, pipeline_alu_cached, split_critical,
+    synthesize_core_cached, SynthesizedCore,
 };
 use crate::process::{Process, TechKit};
 
@@ -311,10 +311,12 @@ impl Fig12 {
 
 /// Sweeps the complex ALU over `stages` (the paper plots 1–30). Every
 /// depth is an independent pipeline cut of the same block, so the sweep
-/// fans out on the pool.
+/// fans out on the pool; each cut is memoized through the stage cache
+/// (keyed by library and netlist fingerprints), so a sweep point whose
+/// library did not move replays its cuts from disk.
 pub fn fig12_alu_depth(kit: &TechKit, stages: &[usize]) -> Fig12 {
     let alu = alu_cluster();
-    let results = par_map(stages, |&s| pipeline_alu(kit, &alu, s));
+    let results = par_map(stages, |&s| pipeline_alu_cached(kit, &alu, s));
     Fig12 {
         stages: stages.to_vec(),
         results,
@@ -367,7 +369,7 @@ pub fn fig11_core_depth(kit: &TechKit, budget: SimBudget) -> Vec<CoreDepthPoint>
         .flat_map(|(i, _)| Workload::all().into_iter().map(move |w| (i, w)))
         .collect();
     let ipcs = par_map(&sims, |&(i, w)| {
-        measure_ipc(&specs[i], w, budget.outer, budget.instructions).ipc()
+        measure_ipc_cached(&specs[i], w, budget.outer, budget.instructions).ipc()
     });
     let n_workloads = Workload::all().len();
     specs
@@ -444,7 +446,7 @@ pub fn width_ipc_matrix(fe: &[usize], be: &[usize], budget: SimBudget) -> Vec<Ve
         .collect();
     let ipcs = par_map(&sims, |&((f, b), w)| {
         let spec = CoreSpec::with_widths(f, b);
-        measure_ipc(&spec, w, budget.outer, budget.instructions).ipc()
+        measure_ipc_cached(&spec, w, budget.outer, budget.instructions).ipc()
     });
     let nw = all.len();
     let mut rows = Vec::with_capacity(be.len());

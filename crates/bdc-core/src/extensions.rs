@@ -20,7 +20,7 @@ use bdc_uarch::Workload;
 
 use crate::corespec::{stage_netlist, CoreSpec, StageKind};
 use crate::experiments::SimBudget;
-use crate::flow::{measure_ipc, performance, split_critical, synthesize_core_cached};
+use crate::flow::{measure_ipc_cached, performance, split_critical, synthesize_core_cached};
 use crate::process::TechKit;
 
 /// Activity factor assumed for core logic.
@@ -76,7 +76,7 @@ pub fn energy_depth(kit: &TechKit, budget: SimBudget) -> Vec<EnergyDepthPoint> {
         let mut log_ipc = 0.0;
         let suite = [Workload::Dhrystone, Workload::Gzip, Workload::Mcf];
         for w in suite {
-            let stats = measure_ipc(&spec, w, budget.outer, budget.instructions);
+            let stats = measure_ipc_cached(&spec, w, budget.outer, budget.instructions);
             log_ipc += stats.ipc().max(1e-6).ln();
         }
         let ipc = (log_ipc / suite.len() as f64).exp();
@@ -115,7 +115,7 @@ pub struct ParallelPoint {
 pub fn parallel_array(kit: &TechKit, max_cores: usize, budget: SimBudget) -> Vec<ParallelPoint> {
     let spec = CoreSpec::baseline();
     let synth = synthesize_core_cached(kit, &spec);
-    let stats = measure_ipc(&spec, Workload::Gzip, budget.outer, budget.instructions);
+    let stats = measure_ipc_cached(&spec, Workload::Gzip, budget.outer, budget.instructions);
     let per_core = performance(stats.ipc(), synth.frequency);
     let power = core_power(kit, &spec, synth.frequency).total_w();
     (1..=max_cores)
@@ -216,7 +216,7 @@ pub fn inorder_vs_ooo(kit: &TechKit, budget: SimBudget) -> Vec<CoreStyleRow> {
     // OoO baseline.
     let spec = CoreSpec::baseline();
     let synth = synthesize_core_cached(kit, &spec);
-    let ooo_stats = measure_ipc(&spec, w, budget.outer, budget.instructions);
+    let ooo_stats = measure_ipc_cached(&spec, w, budget.outer, budget.instructions);
     let ooo_perf = performance(ooo_stats.ipc(), synth.frequency);
     let ooo_power = core_power(kit, &spec, synth.frequency).total_w();
 

@@ -1,10 +1,13 @@
 //! The synthesis/simulation flow: Figure 10 of the paper.
 
-use bdc_cells::CellKind;
-use bdc_exec::{fnv1a, ArtifactCache};
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::{Arc, Mutex};
+
+use bdc_cells::{CellKind, CellLibrary};
+use bdc_exec::{artifact_flight, fnv1a, note_stage, ArtifactCache};
 use bdc_synth::blocks;
 use bdc_synth::gate::Netlist;
-use bdc_synth::map::remap_for_library;
+use bdc_synth::map::{prefers_decomposition, remap_for_library};
 use bdc_synth::pipeline::{pipeline_cut, PipelineOptions, PipelineResult};
 use bdc_synth::sta::analyze;
 use bdc_uarch::{build_workload, OooCore, SimStats, Workload};
@@ -60,10 +63,137 @@ pub fn alu_cluster() -> Netlist {
 /// Pipelines a combinational block to `stages` against a kit's library,
 /// remapping it for the library first.
 pub fn pipeline_alu(kit: &TechKit, block: &Netlist, stages: usize) -> PipelineResult {
-    let (mapped, _) = remap_for_library(block, &kit.lib);
-    lint_gate(kit, &mapped);
+    let (mapped, mapped_fp) = mapped_for(block, block.fingerprint(), &kit.lib);
+    lint_gate_once(kit, mapped_fp, &mapped);
     let opts = PipelineOptions { stages, ..kit.pipe };
-    pipeline_cut(&mapped, &kit.lib, &kit.sta, &opts)
+    (*pipeline_cut_memoed(&mapped, mapped_fp, &kit.lib, &kit.sta, &opts)).clone()
+}
+
+/// A lazily-initialized in-process memo table, shared by the memoized
+/// flow stages below.
+type Memo<K, V> = Mutex<Option<BTreeMap<K, V>>>;
+
+/// A memoized netlist paired with its structural fingerprint.
+type FpNet = (Arc<Netlist>, u64);
+
+/// In-process memo of a generated stage netlist: [`stage_netlist`] is a
+/// pure function of its recipe, so each distinct (stage, width, pipes)
+/// combination is generated once per process lifetime. Returns the netlist
+/// and its structural fingerprint.
+fn stage_block(kind: StageKind, fe_width: usize, be_pipes: usize) -> (Arc<Netlist>, u64) {
+    static MEMO: Memo<(u8, usize, usize), FpNet> = Mutex::new(None);
+    let key = (kind as u8, fe_width, be_pipes);
+    let mut guard = MEMO.lock().unwrap_or_else(|p| p.into_inner());
+    let map = guard.get_or_insert_with(BTreeMap::new);
+    if let Some(hit) = map.get(&key) {
+        return hit.clone();
+    }
+    let net = stage_netlist(kind, fe_width, be_pipes);
+    let fp = net.fingerprint();
+    let entry = (Arc::new(net), fp);
+    map.insert(key, entry.clone());
+    entry
+}
+
+/// In-process memo of a block's library-mapped form. The mapper depends on
+/// the library only through its two decomposition decisions
+/// ([`prefers_decomposition`] for NAND3 and NOR3), so the mapped structure
+/// is keyed by the input netlist's structural fingerprint plus both
+/// decisions — across a parameter sweep the decisions rarely flip, and the
+/// remap is paid once per process lifetime instead of once per call.
+/// Returns the mapped netlist and its structural fingerprint.
+fn mapped_for(block: &Netlist, block_fp: u64, lib: &CellLibrary) -> (Arc<Netlist>, u64) {
+    static MEMO: Memo<(u64, bool, bool), FpNet> = Mutex::new(None);
+    let drop_nand3 = prefers_decomposition(lib, CellKind::Nand3);
+    let drop_nor3 = prefers_decomposition(lib, CellKind::Nor3);
+    let key = (block_fp, drop_nand3, drop_nor3);
+    let mut guard = MEMO.lock().unwrap_or_else(|p| p.into_inner());
+    let map = guard.get_or_insert_with(BTreeMap::new);
+    if let Some(hit) = map.get(&key) {
+        return hit.clone();
+    }
+    let (mapped, _) = remap_for_library(block, lib);
+    let fp = mapped.fingerprint();
+    let entry = (Arc::new(mapped), fp);
+    map.insert(key, entry.clone());
+    entry
+}
+
+/// In-process memo of [`analyze`] over a mapped netlist: STA is a pure
+/// function of (netlist, library, config), so specs that share a stage's
+/// mapped form — a depth sweep reuses every stage netlist, a width grid
+/// reuses the width-independent stages — time it once per library instead
+/// of once per spec. Keyed by both structural fingerprints plus the
+/// config's `Debug` form.
+fn analyze_memoed(
+    mapped: &Netlist,
+    mapped_fp: u64,
+    lib: &CellLibrary,
+    sta: &bdc_synth::sta::StaConfig,
+) -> Arc<bdc_synth::sta::StaReport> {
+    static MEMO: Memo<(u64, u64, u64), Arc<bdc_synth::sta::StaReport>> = Mutex::new(None);
+    let key = (mapped_fp, lib.fingerprint(), fnv1a(&[&format!("{sta:?}")]));
+    let mut guard = MEMO.lock().unwrap_or_else(|p| p.into_inner());
+    let map = guard.get_or_insert_with(BTreeMap::new);
+    if let Some(hit) = map.get(&key) {
+        return hit.clone();
+    }
+    let report = Arc::new(analyze(mapped, lib, sta));
+    map.insert(key, report.clone());
+    report
+}
+
+/// In-process memo of [`pipeline_cut`], the retiming companion to
+/// [`analyze_memoed`]: keyed by the mapped netlist's fingerprint, the
+/// library's fingerprint, and the `Debug` form of both the STA config and
+/// the cut options (which carry the stage count).
+fn pipeline_cut_memoed(
+    mapped: &Netlist,
+    mapped_fp: u64,
+    lib: &CellLibrary,
+    sta: &bdc_synth::sta::StaConfig,
+    opts: &PipelineOptions,
+) -> Arc<PipelineResult> {
+    static MEMO: Memo<(u64, u64, u64), Arc<PipelineResult>> = Mutex::new(None);
+    let key = (
+        mapped_fp,
+        lib.fingerprint(),
+        fnv1a(&[&format!("{sta:?}"), &format!("{opts:?}")]),
+    );
+    let mut guard = MEMO.lock().unwrap_or_else(|p| p.into_inner());
+    let map = guard.get_or_insert_with(BTreeMap::new);
+    if let Some(hit) = map.get(&key) {
+        return hit.clone();
+    }
+    let result = Arc::new(pipeline_cut(mapped, lib, sta, opts));
+    map.insert(key, result.clone());
+    result
+}
+
+/// Runs [`lint_gate`] once per distinct (mapped netlist, library content,
+/// policy) triple per process. The lint verdict is a pure function of all
+/// three, so a repeat run could only re-emit the same diagnostics; a
+/// [`LintPolicy::Deny`] violation still panics on first encounter, and any
+/// change to the library or the policy re-runs the pass.
+fn lint_gate_once(kit: &TechKit, mapped_fp: u64, mapped: &Netlist) {
+    if kit.lint == LintPolicy::Off {
+        return;
+    }
+    static SEEN: Mutex<Option<BTreeSet<(u64, u64, u8)>>> = Mutex::new(None);
+    let policy = match kit.lint {
+        LintPolicy::Off => 0u8,
+        LintPolicy::Warn => 1,
+        LintPolicy::Deny => 2,
+    };
+    let key = (mapped_fp, kit.lib.fingerprint(), policy);
+    let first = SEEN
+        .lock()
+        .unwrap_or_else(|p| p.into_inner())
+        .get_or_insert_with(BTreeSet::new)
+        .insert(key);
+    if first {
+        lint_gate(kit, mapped);
+    }
 }
 
 /// Per-stage synthesis summary.
@@ -108,19 +238,19 @@ pub fn synthesize_core(kit: &TechKit, spec: &CoreSpec) -> SynthesizedCore {
     let mut area = 0.0;
     let mut instances = 0usize;
     for kind in StageKind::all() {
-        let net = stage_netlist(kind, spec.fe_width, spec.be_pipes);
-        let (mapped, _) = remap_for_library(&net, &kit.lib);
-        lint_gate(kit, &mapped);
+        let (net, net_fp) = stage_block(kind, spec.fe_width, spec.be_pipes);
+        let (mapped, mapped_fp) = mapped_for(&net, net_fp, &kit.lib);
+        lint_gate_once(kit, mapped_fp, &mapped);
         let k = spec.substages(kind);
         let (logic, stage_area) = if k == 1 {
-            let r = analyze(&mapped, &kit.lib, &kit.sta);
+            let r = analyze_memoed(&mapped, mapped_fp, &kit.lib, &kit.sta);
             (r.max_arrival, r.area_um2)
         } else {
             let opts = PipelineOptions {
                 stages: k,
                 ..kit.pipe
             };
-            let r = pipeline_cut(&mapped, &kit.lib, &kit.sta, &opts);
+            let r = pipeline_cut_memoed(&mapped, mapped_fp, &kit.lib, &kit.sta, &opts);
             let worst = r.stage_logic.iter().copied().fold(0.0, f64::max);
             // The stage's boundary registers are accounted once, globally,
             // as interface registers below — keep only internal retiming
@@ -202,18 +332,20 @@ pub fn synthesize_core(kit: &TechKit, spec: &CoreSpec) -> SynthesizedCore {
 
 /// Memoizing wrapper around [`synthesize_core`] through the workspace-wide
 /// content-addressed [`ArtifactCache`]. The key hashes a schema salt, the
-/// process, a fingerprint of the characterized library's Liberty text (so
-/// recharacterizing — new grid, new rails, different wire model —
-/// invalidates every dependent synthesis result), the [`CoreSpec`], and
-/// every synthesis setting ([`StaConfig`](bdc_synth::sta::StaConfig) and
-/// [`PipelineOptions`] in `Debug` form). The stored artifact round-trips
-/// every `f64` through its bit pattern, so a cache hit is bit-identical to
-/// the synthesis it replaced.
+/// process, the characterized library's semantic fingerprint
+/// ([`CellLibrary::fingerprint`] — so recharacterizing with a new grid,
+/// new rails, or a different wire model invalidates every dependent
+/// synthesis result), the [`CoreSpec`], and every synthesis setting
+/// ([`StaConfig`](bdc_synth::sta::StaConfig) and [`PipelineOptions`] in
+/// `Debug` form). The stored artifact round-trips every `f64` through its
+/// bit pattern, so a cache hit is bit-identical to the synthesis it
+/// replaced. Concurrent misses on one key are single-flighted: one worker
+/// synthesizes, the rest wait and load.
 pub fn synthesize_core_cached(kit: &TechKit, spec: &CoreSpec) -> SynthesizedCore {
     let cache = ArtifactCache::shared();
-    let lib_fp = fnv1a(&[&bdc_cells::write_library(&kit.lib)]);
+    let lib_fp = kit.lib.fingerprint();
     let key = fnv1a(&[
-        "bdc-synth-v1",
+        "bdc-synth-v2",
         kit.process.name(),
         &format!("{lib_fp:016x}"),
         &format!("{spec:?}"),
@@ -221,14 +353,113 @@ pub fn synthesize_core_cached(kit: &TechKit, spec: &CoreSpec) -> SynthesizedCore
         &format!("{:?}", kit.pipe),
     ]);
     let name = format!("synth-{}", kit.process.name());
+    let flight = artifact_flight(cache.root(), &name, key);
+    let _in_flight = flight.lock().unwrap_or_else(|p| p.into_inner());
     if let Some(text) = cache.load(&name, key) {
         if let Some(core) = parse_synth_text(&text) {
+            note_stage(&name, true);
             return core;
         }
     }
+    note_stage(&name, false);
     let core = synthesize_core(kit, spec);
     cache.store(&name, key, &write_synth_text(&core));
     core
+}
+
+/// Memoizing wrapper around [`pipeline_alu`] through the workspace-wide
+/// content-addressed [`ArtifactCache`]. The key hashes a schema salt, the
+/// process, the library's semantic fingerprint (like
+/// [`synthesize_core_cached`] — recharacterization invalidates every
+/// dependent cut), a structural fingerprint of the input block, the stage
+/// count, and every synthesis setting. Every float round-trips through
+/// its bit pattern, so a hit is bit-identical to the cut it replaced.
+/// Concurrent misses on one key are single-flighted.
+pub fn pipeline_alu_cached(kit: &TechKit, block: &Netlist, stages: usize) -> PipelineResult {
+    let cache = ArtifactCache::shared();
+    let lib_fp = kit.lib.fingerprint();
+    let block_fp = block.fingerprint();
+    let key = fnv1a(&[
+        "bdc-alu-v2",
+        kit.process.name(),
+        &format!("{lib_fp:016x}"),
+        &format!("{block_fp:016x}"),
+        &stages.to_string(),
+        &format!("{:?}", kit.sta),
+        &format!("{:?}", kit.pipe),
+    ]);
+    let name = format!("alu-{}", kit.process.name());
+    let flight = artifact_flight(cache.root(), &name, key);
+    let _in_flight = flight.lock().unwrap_or_else(|p| p.into_inner());
+    if let Some(text) = cache.load(&name, key) {
+        if let Some(r) = parse_pipeline_text(&text) {
+            note_stage(&name, true);
+            return r;
+        }
+    }
+    note_stage(&name, false);
+    let r = pipeline_alu(kit, block, stages);
+    cache.store(&name, key, &write_pipeline_text(&r));
+    r
+}
+
+/// Serializes a pipeline cut for the artifact cache (bit-exact floats).
+fn write_pipeline_text(r: &PipelineResult) -> String {
+    use std::fmt::Write as _;
+    let mut s = String::from("pipecut v1\n");
+    let _ = writeln!(s, "stages {}", r.stages);
+    let _ = writeln!(s, "period {:016x}", r.period.to_bits());
+    let _ = writeln!(s, "frequency {:016x}", r.frequency.to_bits());
+    let _ = writeln!(s, "area_um2 {:016x}", r.area_um2.to_bits());
+    let _ = writeln!(s, "registers {}", r.registers);
+    let _ = writeln!(s, "seq_overhead {:016x}", r.seq_overhead.to_bits());
+    let _ = writeln!(s, "wire_overhead {:016x}", r.wire_overhead.to_bits());
+    for d in &r.stage_logic {
+        let _ = writeln!(s, "logic {:016x}", d.to_bits());
+    }
+    s
+}
+
+/// Inverse of [`write_pipeline_text`]; `None` on any malformed line,
+/// which the cache treats as a miss.
+fn parse_pipeline_text(text: &str) -> Option<PipelineResult> {
+    fn take<'a>(lines: &mut std::str::Lines<'a>, name: &str) -> Option<&'a str> {
+        lines.next()?.strip_prefix(name)?.strip_prefix(' ')
+    }
+    fn take_hex(lines: &mut std::str::Lines<'_>, name: &str) -> Option<f64> {
+        Some(f64::from_bits(
+            u64::from_str_radix(take(lines, name)?, 16).ok()?,
+        ))
+    }
+    let mut lines = text.lines();
+    if lines.next()? != "pipecut v1" {
+        return None;
+    }
+    let stages: usize = take(&mut lines, "stages")?.parse().ok()?;
+    let period = take_hex(&mut lines, "period")?;
+    let frequency = take_hex(&mut lines, "frequency")?;
+    let area_um2 = take_hex(&mut lines, "area_um2")?;
+    let registers: usize = take(&mut lines, "registers")?.parse().ok()?;
+    let seq_overhead = take_hex(&mut lines, "seq_overhead")?;
+    let wire_overhead = take_hex(&mut lines, "wire_overhead")?;
+    let mut stage_logic = Vec::new();
+    for line in lines {
+        let rest = line.strip_prefix("logic ")?;
+        stage_logic.push(f64::from_bits(u64::from_str_radix(rest, 16).ok()?));
+    }
+    if stage_logic.len() != stages {
+        return None;
+    }
+    Some(PipelineResult {
+        stages,
+        period,
+        frequency,
+        area_um2,
+        registers,
+        stage_logic,
+        seq_overhead,
+        wire_overhead,
+    })
 }
 
 /// Serializes a synthesized core for the artifact cache. Every float is
@@ -334,7 +565,8 @@ pub fn measure_ipc(spec: &CoreSpec, workload: Workload, outer: u32, instructions
 /// spec→config mapping invalidates old runs), the workload, and the
 /// simulation budget. Every [`SimStats`] field is an integer counter, so
 /// the stored artifact is exact decimal text and a cache hit is identical
-/// to the simulation it replaced.
+/// to the simulation it replaced. Concurrent misses on one key are
+/// single-flighted.
 pub fn measure_ipc_cached(
     spec: &CoreSpec,
     workload: Workload,
@@ -350,11 +582,15 @@ pub fn measure_ipc_cached(
         &outer.to_string(),
         &instructions.to_string(),
     ]);
+    let flight = artifact_flight(cache.root(), "ipc", key);
+    let _in_flight = flight.lock().unwrap_or_else(|p| p.into_inner());
     if let Some(text) = cache.load("ipc", key) {
         if let Some(stats) = parse_ipc_text(&text) {
+            note_stage("ipc", true);
             return stats;
         }
     }
+    note_stage("ipc", false);
     let stats = measure_ipc(spec, workload, outer, instructions);
     cache.store("ipc", key, &write_ipc_text(&stats));
     stats
@@ -520,12 +756,62 @@ mod tests {
     }
 
     #[test]
+    fn pipeline_cache_text_round_trips_bit_exact() {
+        let kit = TechKit::synthetic(Process::Organic);
+        let alu = alu_cluster();
+        let r = pipeline_alu(&kit, &alu, 3);
+        let parsed = parse_pipeline_text(&write_pipeline_text(&r)).expect("parse");
+        assert_eq!(parsed.stages, r.stages);
+        assert_eq!(parsed.registers, r.registers);
+        for (a, b) in [
+            (parsed.period, r.period),
+            (parsed.frequency, r.frequency),
+            (parsed.area_um2, r.area_um2),
+            (parsed.seq_overhead, r.seq_overhead),
+            (parsed.wire_overhead, r.wire_overhead),
+        ] {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        assert_eq!(parsed.stage_logic.len(), r.stage_logic.len());
+        for (a, b) in parsed.stage_logic.iter().zip(&r.stage_logic) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        assert!(parse_pipeline_text("garbage").is_none());
+        // A truncated stage list must not parse.
+        let short = write_pipeline_text(&r);
+        let short = short.trim_end_matches('\n');
+        let short = &short[..short.rfind('\n').unwrap() + 1];
+        assert!(parse_pipeline_text(short).is_none());
+    }
+
+    #[test]
+    fn cached_pipeline_alu_matches_uncached() {
+        let _env = crate::testenv::cache_env_lock();
+        let dir = std::env::temp_dir().join(format!("bdc-alu-cache-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::env::set_var("BDC_CACHE_DIR", &dir);
+        let kit = TechKit::synthetic(Process::Silicon);
+        let alu = alu_cluster();
+        let cold = pipeline_alu_cached(&kit, &alu, 4);
+        let warm = pipeline_alu_cached(&kit, &alu, 4);
+        let direct = pipeline_alu(&kit, &alu, 4);
+        std::env::remove_var("BDC_CACHE_DIR");
+        let _ = std::fs::remove_dir_all(&dir);
+        for r in [&cold, &warm] {
+            assert_eq!(r.period.to_bits(), direct.period.to_bits());
+            assert_eq!(r.area_um2.to_bits(), direct.area_um2.to_bits());
+            assert_eq!(r.registers, direct.registers);
+            assert_eq!(r.stage_logic.len(), direct.stage_logic.len());
+        }
+    }
+
+    #[test]
     fn cached_ipc_matches_uncached() {
+        let _env = crate::testenv::cache_env_lock();
         let dir = std::env::temp_dir().join(format!("bdc-ipc-cache-{}", std::process::id()));
         let _ = std::fs::remove_dir_all(&dir);
-        // Route the shared cache at a private directory for this test.
-        // Serialized via env lock in the determinism suite; here a unique
-        // dir keeps concurrent test binaries from colliding.
+        // Route the shared cache at a private directory for this test; the
+        // env lock serializes against other env-redirecting unit tests.
         std::env::set_var("BDC_CACHE_DIR", &dir);
         let spec = CoreSpec::baseline();
         let cold = measure_ipc_cached(&spec, Workload::Gzip, 5, 4_000);

@@ -45,10 +45,28 @@ pub mod flow;
 pub mod process;
 pub mod registry;
 pub mod report;
+pub mod stage;
+pub mod sweep;
 
 pub use corespec::{CoreSpec, StageKind};
 pub use flow::{
-    alu_cluster, lint_gate, measure_ipc, measure_ipc_cached, pipeline_alu, synthesize_core,
-    synthesize_core_cached, SynthesizedCore,
+    alu_cluster, lint_gate, measure_ipc, measure_ipc_cached, pipeline_alu, pipeline_alu_cached,
+    synthesize_core, synthesize_core_cached, SynthesizedCore,
 };
 pub use process::{library_artifact, LintPolicy, Process, TechKit};
+pub use stage::{library_stage_key, stage_graph, ParamOverlay, StageGraph, StageNode};
+
+#[cfg(test)]
+pub(crate) mod testenv {
+    //! `BDC_CACHE_DIR` is process-global and re-read per cache call, so
+    //! unit tests that redirect it must serialize on one lock or a
+    //! neighbour's `remove_var` yanks the override mid-run.
+    use std::sync::{Mutex, MutexGuard, OnceLock};
+
+    pub fn cache_env_lock() -> MutexGuard<'static, ()> {
+        static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+        LOCK.get_or_init(|| Mutex::new(()))
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+    }
+}

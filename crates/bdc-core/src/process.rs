@@ -2,11 +2,16 @@
 
 use std::sync::OnceLock;
 
-use bdc_cells::{CellLibrary, CharacterizeConfig, OrganicSizing, ProcessKind, WireModel};
+use bdc_cells::{
+    build_organic_cell, build_silicon_cell, Cell, CellLibrary, CharacterizeConfig, LogicKind,
+    OrganicSizing, ProcessKind, WireModel,
+};
 use bdc_circuit::CircuitError;
-use bdc_exec::{fnv1a, ArtifactCache};
+use bdc_exec::{note_stage, ArtifactCache};
 use bdc_synth::pipeline::PipelineOptions;
 use bdc_synth::sta::StaConfig;
+
+use crate::stage::{self, ParamOverlay};
 
 /// The two processes the paper compares.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -40,30 +45,17 @@ impl Process {
     }
 }
 
-/// Cache key for a characterized library: a schema salt plus everything the
-/// characterization recipe depends on — the process, its rails/geometry,
-/// the gate sizing, and the full slew × load grid ([`CharacterizeConfig`]'s
-/// `Debug` form spells out every knob, so adding a knob changes the key).
-fn library_cache_key(process: Process) -> u64 {
-    let recipe = match process {
-        Process::Organic => format!(
-            "vdd=5 vss=-15 sizing={:?} cfg={:?}",
-            OrganicSizing::library_default(),
-            CharacterizeConfig::organic(),
-        ),
-        Process::Silicon => format!("vdd=1 l=450e-9 cfg={:?}", CharacterizeConfig::silicon()),
-    };
-    fnv1a(&["bdc-library-v1", process.name(), &recipe])
-}
-
 /// The `(name, key)` pair under which [`TechKit::load_or_build`] caches a
 /// process's characterized library — the address a cluster peer fetch or a
 /// benchmark probe uses to ask a shard's cache for the exact artifact the
-/// flow would otherwise recompute.
+/// flow would otherwise recompute. The key is the nominal-point *stage*
+/// key ([`stage::library_stage_key`]): a chained hash of the device
+/// model, each cell's DC and NLDM stages, and the library assembly
+/// recipe, so every knob that reaches the artifact reaches the key.
 pub fn library_artifact(process: Process) -> (String, u64) {
     (
         format!("lib-{}", process.name()),
-        library_cache_key(process),
+        stage::library_stage_key(process, &ParamOverlay::default()),
     )
 }
 
@@ -165,29 +157,83 @@ impl TechKit {
 
     /// Like [`TechKit::build`], but memoized through the workspace-wide
     /// content-addressed [`ArtifactCache`] (`results/cache/`, or
-    /// `BDC_CACHE_DIR`): the characterized library is stored as its
-    /// Liberty-dialect text under a key hashing the full characterization
-    /// recipe, and reloaded bit-exactly on later runs. Invalidation is key
-    /// change — editing the grid, sizing, or rails addresses a different
-    /// entry and the stale one is simply never read again. This is the
-    /// entry point every experiment binary routes through.
+    /// `BDC_CACHE_DIR`) at per-stage granularity: the assembled library
+    /// is stored as its Liberty-dialect text under its stage key, and on
+    /// a library miss each *cell* is loaded or recharacterized
+    /// individually under its own stage key (`cell-{process}-{name}`),
+    /// so a parameter change recomputes only the cells whose input keys
+    /// actually moved. Invalidation is key change — editing the grid,
+    /// sizing, rails, or device model addresses different entries and
+    /// the stale ones are simply never read again. This is the entry
+    /// point every experiment binary routes through.
     ///
     /// # Errors
     /// Propagates characterization failures.
     pub fn load_or_build(process: Process) -> Result<TechKit, CircuitError> {
+        Self::load_or_build_with(process, &ParamOverlay::default())
+    }
+
+    /// [`TechKit::load_or_build`] at an explicit parameter point: the
+    /// sweep entry point. At the default overlay the artifact bytes are
+    /// identical to the nominal flow's; at any other point every
+    /// overlay-sensitive stage re-keys (see [`crate::stage`]) while
+    /// untouched stages — the other process's cells, IPC — stay warm.
+    ///
+    /// # Errors
+    /// Propagates characterization failures.
+    pub fn load_or_build_with(
+        process: Process,
+        overlay: &ParamOverlay,
+    ) -> Result<TechKit, CircuitError> {
         let cache = ArtifactCache::shared();
-        let key = library_cache_key(process);
+        let key = stage::library_stage_key(process, overlay);
         let name = format!("lib-{}", process.name());
-        if let Some(text) = cache.load(&name, key) {
+        if !cache.is_enabled() {
+            return Self::load_or_build_uncached(process, overlay, &cache, &name, key);
+        }
+        // Single-flight in-process memo: concurrent plan nodes that miss
+        // the same library key block on one builder instead of each
+        // recharacterizing (or re-parsing) the library. Keyed by
+        // (cache root, stage key) so tests that redirect `BDC_CACHE_DIR`
+        // mid-process get a fresh slot.
+        let slot = kit_slot(cache.root().to_path_buf(), key);
+        let mut guard = slot.lock().unwrap_or_else(|p| p.into_inner());
+        if let Some(kit) = guard.as_ref() {
+            note_stage(&name, true);
+            return Ok(kit.clone());
+        }
+        let kit = Self::load_or_build_uncached(process, overlay, &cache, &name, key)?;
+        *guard = Some(kit.clone());
+        Ok(kit)
+    }
+
+    /// The disk-or-build path behind [`TechKit::load_or_build_with`]:
+    /// library load from the artifact cache, else per-cell load-or-
+    /// characterize and reassembly (storing the result). Errors are never
+    /// memoized — a failed build is retried by the next caller.
+    fn load_or_build_uncached(
+        process: Process,
+        overlay: &ParamOverlay,
+        cache: &ArtifactCache,
+        name: &str,
+        key: u64,
+    ) -> Result<TechKit, CircuitError> {
+        if let Some(text) = cache.load(name, key) {
             if let Ok(lib) = bdc_cells::parse_library(&text) {
                 if lib.process == process.kind() {
+                    note_stage(name, true);
                     return Ok(Self::with_library(process, lib));
                 }
             }
         }
-        let kit = Self::build(process)?;
-        cache.store(&name, key, &bdc_cells::write_library(&kit.lib));
-        Ok(kit)
+        note_stage(name, false);
+        let cells = load_or_build_cells(process, overlay)?;
+        let lib = match process {
+            Process::Organic => bdc_cells::assemble_organic_library(cells, 5.0, -15.0),
+            Process::Silicon => bdc_cells::assemble_silicon_library(cells, 1.0),
+        };
+        cache.store(name, key, &bdc_cells::write_library(&lib));
+        Ok(Self::with_library(process, lib))
     }
 
     /// A fast, simulation-free kit (synthetic constant-delay library with
@@ -206,6 +252,67 @@ impl TechKit {
         kit.lib = kit.lib.with_wire(WireModel::ideal());
         kit
     }
+}
+
+/// One memo slot per (cache root, library stage key): the `Mutex` is the
+/// single-flight — a builder holds it for the build's duration, so
+/// concurrent waiters block and then read the finished kit instead of
+/// duplicating the work. Entries are never evicted; a sweep adds two
+/// slots per parameter point.
+type KitSlot = std::sync::Arc<std::sync::Mutex<Option<TechKit>>>;
+
+fn kit_slot(root: std::path::PathBuf, key: u64) -> KitSlot {
+    static SLOTS: std::sync::Mutex<
+        Option<std::collections::BTreeMap<(std::path::PathBuf, u64), KitSlot>>,
+    > = std::sync::Mutex::new(None);
+    SLOTS
+        .lock()
+        .unwrap_or_else(|p| p.into_inner())
+        .get_or_insert_with(std::collections::BTreeMap::new)
+        .entry((root, key))
+        .or_default()
+        .clone()
+}
+
+/// Loads each of the five combinational cells from the stage cache, or
+/// characterizes the misses, in [`LogicKind::all`] order — the serial
+/// loop [`CellLibrary::organic_at_shifted`] runs, with a per-cell memo
+/// spliced between topology and characterization. Characterization
+/// itself is internally parallel (the batch kernel), so cell-level
+/// serialism costs nothing and keeps assembly order bit-stable.
+fn load_or_build_cells(
+    process: Process,
+    overlay: &ParamOverlay,
+) -> Result<Vec<Cell>, CircuitError> {
+    let cache = ArtifactCache::shared();
+    let sizing = OrganicSizing::library_default();
+    let cfg = match process {
+        Process::Organic => CharacterizeConfig::organic(),
+        Process::Silicon => CharacterizeConfig::silicon(),
+    };
+    let mut cells = Vec::new();
+    for kind in LogicKind::all() {
+        let (name, key) = stage::cell_artifact(process, kind, overlay);
+        if let Some(text) = cache.load(&name, key) {
+            if let Some(cell) = bdc_cells::parse_cell_text(&text) {
+                if cell.kind.logic() == Some(kind) {
+                    note_stage(&name, true);
+                    cells.push(cell);
+                    continue;
+                }
+            }
+        }
+        note_stage(&name, false);
+        let cell = match process {
+            Process::Organic => {
+                build_organic_cell(kind, &sizing, 5.0, -15.0, overlay.organic_delta_vt, &cfg)?
+            }
+            Process::Silicon => build_silicon_cell(kind, 450.0e-9, 1.0, &cfg)?,
+        };
+        cache.store(&name, key, &bdc_cells::write_cell_text(&cell));
+        cells.push(cell);
+    }
+    Ok(cells)
 }
 
 /// Returns a lazily characterized, process-wide shared kit. The expensive
@@ -252,7 +359,10 @@ mod tests {
         // Different processes address different artifacts, and the key is
         // stable across calls (it is what load_or_build hashes).
         assert_ne!(org_key, si_key);
-        assert_eq!(org_key, library_cache_key(Process::Organic));
+        assert_eq!(
+            org_key,
+            stage::library_stage_key(Process::Organic, &ParamOverlay::default())
+        );
     }
 
     #[test]

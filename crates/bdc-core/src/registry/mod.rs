@@ -29,9 +29,10 @@ use std::time::Instant;
 
 use bdc_exec::faults;
 use bdc_exec::json::Json;
-use bdc_exec::{fnv1a, par_map, ArtifactCache};
+use bdc_exec::{fnv1a, note_stage, par_map, ArtifactCache};
 
 use crate::experiments::SimBudget;
+use crate::stage::{library_stage_key, ParamOverlay};
 use crate::{Process, TechKit};
 
 /// A declared inter-layer dependency of a node.
@@ -313,6 +314,7 @@ pub fn find(id: &str) -> Option<&'static Node> {
 pub struct RunCtx {
     quick: bool,
     budget: SimBudget,
+    overlay: ParamOverlay,
     kits: [OnceLock<Result<TechKit, String>>; 2],
     observed: [AtomicBool; 2],
 }
@@ -321,6 +323,13 @@ impl RunCtx {
     /// A context for one run; `quick` selects [`SimBudget::quick`] over
     /// [`SimBudget::standard`].
     pub fn new(quick: bool) -> Self {
+        Self::with_overlay(quick, ParamOverlay::default())
+    }
+
+    /// A context pinned to an explicit parameter point — what `bdc sweep`
+    /// builds for each grid value. At the default overlay this is exactly
+    /// [`RunCtx::new`].
+    pub fn with_overlay(quick: bool, overlay: ParamOverlay) -> Self {
         RunCtx {
             quick,
             budget: if quick {
@@ -328,6 +337,7 @@ impl RunCtx {
             } else {
                 SimBudget::standard()
             },
+            overlay,
             kits: [OnceLock::new(), OnceLock::new()],
             observed: [AtomicBool::new(false), AtomicBool::new(false)],
         }
@@ -343,7 +353,13 @@ impl RunCtx {
         self.budget
     }
 
-    /// The characterized kit for `p`, built (or cache-loaded) on first use.
+    /// The parameter point this run is pinned to.
+    pub fn overlay(&self) -> ParamOverlay {
+        self.overlay
+    }
+
+    /// The characterized kit for `p`, built (or cache-loaded) on first use
+    /// at this context's parameter point.
     pub fn kit(&self, p: Process) -> Result<&TechKit, String> {
         let (slot, seen) = match p {
             Process::Organic => (&self.kits[0], &self.observed[0]),
@@ -351,7 +367,8 @@ impl RunCtx {
         };
         seen.store(true, Ordering::Relaxed);
         slot.get_or_init(|| {
-            TechKit::load_or_build(p).map_err(|e| format!("characterization ({}): {e:?}", p.name()))
+            TechKit::load_or_build_with(p, &self.overlay)
+                .map_err(|e| format!("characterization ({}): {e:?}", p.name()))
         })
         .as_ref()
         .map_err(Clone::clone)
@@ -408,22 +425,46 @@ pub struct NodeOutput {
     pub key: u64,
 }
 
-/// The cache key of a node render: id plus everything that affects the
-/// bytes (mode tag and the exact budget).
+/// The cache key of a node render at the nominal parameter point:
+/// [`node_cache_key_with`] at the default overlay.
 pub fn node_cache_key(node: &Node, quick: bool, budget: SimBudget) -> u64 {
-    fnv1a(&[
-        "bdc-exp-v1",
-        node.id,
-        if quick { "quick" } else { "standard" },
-        &format!("{budget:?}"),
-    ])
+    node_cache_key_with(node, quick, budget, &ParamOverlay::default())
+}
+
+/// The cache key of a node render: id plus everything that affects the
+/// bytes — the mode tag, the exact budget, and the *stage keys* of the
+/// libraries the node declares it depends on. Folding the upstream stage
+/// keys (rather than the overlay itself) means a parameter change
+/// re-keys exactly the nodes whose declared inputs moved: a `NO_DEPS`
+/// node renders the same bytes at every sweep point and keeps one warm
+/// artifact, while a node over the organic library re-keys per point.
+/// The declared-vs-observed dependency audit (`bdc verify --audit-deps`,
+/// PG006) is what makes trusting `node.deps` here sound.
+pub fn node_cache_key_with(
+    node: &Node,
+    quick: bool,
+    budget: SimBudget,
+    overlay: &ParamOverlay,
+) -> u64 {
+    let mut parts: Vec<String> = vec![
+        "bdc-exp-v2".into(),
+        node.id.into(),
+        (if quick { "quick" } else { "standard" }).into(),
+        format!("{budget:?}"),
+    ];
+    for Dep::Library(p) in node.deps {
+        parts.push(format!("lib={:016x}", library_stage_key(*p, overlay)));
+    }
+    let refs: Vec<&str> = parts.iter().map(String::as_str).collect();
+    fnv1a(&refs)
 }
 
 fn run_node(node: &'static Node, ctx: &RunCtx) -> Result<NodeOutput, String> {
     let cache = ArtifactCache::shared();
-    let key = node_cache_key(node, ctx.quick, ctx.budget);
+    let key = node_cache_key_with(node, ctx.quick, ctx.budget, &ctx.overlay);
     let name = format!("exp-{}", node.id);
     if let Some(text) = cache.load(&name, key) {
+        note_stage(&name, true);
         return Ok(NodeOutput {
             id: node.id,
             text,
@@ -431,6 +472,7 @@ fn run_node(node: &'static Node, ctx: &RunCtx) -> Result<NodeOutput, String> {
             key,
         });
     }
+    note_stage(&name, false);
     let mut text = format!("== {}: {} ==\n", node.title, node.what);
     if ctx.quick {
         text.push_str("   (quick mode: reduced simulation budget)\n");
@@ -591,6 +633,22 @@ pub fn run_plan_with_retries(
     quick: bool,
     max_retries: u32,
 ) -> Result<RunReport, String> {
+    run_plan_with_overlay(ids, quick, max_retries, ParamOverlay::default())
+}
+
+/// [`run_plan_with_retries`] pinned to an explicit parameter point — the
+/// per-point engine of `bdc sweep`. Nodes whose declared inputs are
+/// untouched by the overlay keep their warm artifacts from earlier
+/// points; only the invalidation cone recomputes.
+///
+/// # Errors
+/// See [`run_plan_with_retries`].
+pub fn run_plan_with_overlay(
+    ids: &[&str],
+    quick: bool,
+    max_retries: u32,
+    overlay: ParamOverlay,
+) -> Result<RunReport, String> {
     for id in ids {
         if find(id).is_none() {
             return Err(format!("unknown experiment id `{id}` (try `bdc list`)"));
@@ -598,13 +656,13 @@ pub fn run_plan_with_retries(
     }
     let selected: Vec<&'static Node> = NODES.iter().filter(|n| ids.contains(&n.id)).collect();
 
-    let ctx = RunCtx::new(quick);
+    let ctx = RunCtx::with_overlay(quick, overlay);
 
     // Cache-key collision gate: two selected nodes must never share a
     // content address, or one would silently serve the other's bytes.
     let mut keys: Vec<u64> = selected
         .iter()
-        .map(|n| node_cache_key(n, ctx.quick, ctx.budget))
+        .map(|n| node_cache_key_with(n, ctx.quick, ctx.budget, &ctx.overlay))
         .collect();
     keys.sort_unstable();
     keys.dedup();
@@ -674,7 +732,7 @@ pub fn run_plan_with_retries(
                 id: node.id,
                 wall_s,
                 cache_hit: false,
-                key: node_cache_key(node, ctx.quick, ctx.budget),
+                key: node_cache_key_with(node, ctx.quick, ctx.budget, &ctx.overlay),
                 text: String::new(),
                 attempts,
                 error: Some(e),
@@ -774,6 +832,35 @@ mod tests {
         assert_eq!(keys.len(), NODES.len());
         assert!(find("fig12").is_some());
         assert!(find("no-such-node").is_none());
+    }
+
+    #[test]
+    fn overlay_rekeys_exactly_the_organic_dependent_nodes() {
+        // A device-parameter change must invalidate a node iff one of its
+        // declared library dependencies is in the overlay's cone: organic
+        // (and both-lib) nodes re-key, dependency-free nodes keep their
+        // warm artifact across sweep points.
+        let budget = SimBudget::quick();
+        let nominal = ParamOverlay::default();
+        let shifted = ParamOverlay {
+            organic_delta_vt: 0.25,
+        };
+        for node in NODES {
+            let base = node_cache_key_with(node, true, budget, &nominal);
+            let moved = node_cache_key_with(node, true, budget, &shifted);
+            let organic_dep = node.deps.contains(&Dep::Library(Process::Organic));
+            if organic_dep {
+                assert_ne!(base, moved, "{} should re-key under a V_T shift", node.id);
+            } else {
+                assert_eq!(
+                    base, moved,
+                    "{} must stay warm across sweep points",
+                    node.id
+                );
+            }
+            // Nominal-point v2 keys match the public nominal helper.
+            assert_eq!(base, node_cache_key(node, true, budget));
+        }
     }
 
     #[test]

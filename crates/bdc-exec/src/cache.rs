@@ -25,7 +25,7 @@
 //! deterministic read corruption and I/O delay to exercise the
 //! quarantine/rebuild path.
 
-use std::collections::BTreeSet;
+use std::collections::{BTreeMap, BTreeSet};
 use std::path::{Path, PathBuf};
 use std::sync::{Arc, Mutex};
 
@@ -158,16 +158,51 @@ pub struct ArtifactCache {
     enabled: bool,
 }
 
+/// One artifact's `(root, name, key)` address.
+type ArtifactAddr = (PathBuf, String, u64);
+
+/// Per-(root, name, key) in-flight computation locks: a cached helper
+/// holds its artifact's lock across load → compute → store, so when N
+/// workers miss the same key at once, one computes and the rest block
+/// briefly and then load the stored artifact — a hit, not N duplicate
+/// recomputations. Entries are tiny and never evicted; the map is
+/// bounded by the number of distinct artifacts a process touches.
+static IN_FLIGHT: Mutex<Option<BTreeMap<ArtifactAddr, Arc<Mutex<()>>>>> = Mutex::new(None);
+
+/// The single-flight lock for one artifact address. See [`IN_FLIGHT`].
+pub fn artifact_flight(root: &Path, name: &str, key: u64) -> Arc<Mutex<()>> {
+    IN_FLIGHT
+        .lock()
+        .unwrap_or_else(|p| p.into_inner())
+        .get_or_insert_with(BTreeMap::new)
+        .entry((root.to_path_buf(), name.to_string(), key))
+        .or_default()
+        .clone()
+}
+
+/// Roots already swept for orphaned temp files by this process. The
+/// sweep walks the whole cache directory, and hot paths construct
+/// [`ArtifactCache::shared`] once per cache access — so the walk runs
+/// once per root per process, not per construction.
+static REAPED_ROOTS: Mutex<Option<BTreeSet<PathBuf>>> = Mutex::new(None);
+
 impl ArtifactCache {
     /// A cache rooted at an explicit directory (created lazily on first
-    /// store). Opening the store reaps `.tmp-*` files orphaned by crashed
-    /// runs.
+    /// store). The first open of a root in this process reaps `.tmp-*`
+    /// files orphaned by crashed runs.
     pub fn new(root: impl Into<PathBuf>) -> Self {
         let cache = ArtifactCache {
             root: root.into(),
             enabled: true,
         };
-        cache.reap_orphaned_tmp();
+        let first_open = REAPED_ROOTS
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .get_or_insert_with(BTreeSet::new)
+            .insert(cache.root.clone());
+        if first_open {
+            cache.reap_orphaned_tmp();
+        }
         cache
     }
 

@@ -47,14 +47,18 @@ pub mod faults;
 pub mod json;
 mod pool;
 mod seed;
+mod stages;
 
 pub use batch::{
     batch_lanes, parse_batch_lanes, set_batch_lanes, DEFAULT_BATCH_LANES, MAX_BATCH_LANES,
 };
 pub use cache::{
-    fnv1a, frame_artifact, install_peer_hooks, unframe_artifact, validate_cache_dir, ArtifactCache,
-    PeerFetch, PeerHooks,
+    artifact_flight, fnv1a, frame_artifact, install_peer_hooks, unframe_artifact,
+    validate_cache_dir, ArtifactCache, PeerFetch, PeerHooks,
 };
 pub use env::{env_config, EnvConfig};
 pub use pool::{par_map, par_mapi, parse_workers, set_workers, workers};
 pub use seed::{task_seed, SplitMix64};
+pub use stages::{
+    enter_scope, new_scope, note_stage, scope_counters, stage_counters, stage_delta, StageCount,
+};

@@ -6,9 +6,20 @@
 //! *when* each task runs, never what it computes or where its result lands,
 //! so parallel output is bit-identical to the serial path.
 
+use std::cell::Cell;
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{mpsc, Mutex};
+
+thread_local! {
+    /// Set on pool worker threads. A `par_map` issued from inside a
+    /// worker runs inline instead of spawning a second tier of threads:
+    /// the outer fan-out already owns the machine's parallelism, and
+    /// nesting would oversubscribe it (w² threads competing for w cores)
+    /// without changing any result — the pool's contract is that output
+    /// never depends on where tasks run.
+    static IN_POOL: Cell<bool> = const { Cell::new(false) };
+}
 
 /// Worker-count override installed by [`set_workers`]; 0 means "not set".
 static WORKER_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
@@ -87,9 +98,13 @@ where
 {
     let n = items.len();
     let w = workers().min(n);
-    if w <= 1 {
+    if w <= 1 || IN_POOL.with(|p| p.get()) {
         return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
     }
+    // Workers inherit the spawning thread's attribution scope so tallies
+    // recorded inside the fan-out stay credited to it (see
+    // [`crate::stages::enter_scope`]).
+    let scope = crate::stages::current_scope();
 
     // Per-worker deques, seeded with contiguous index blocks for locality.
     // A worker pops from the front of its own deque and, when empty, steals
@@ -107,25 +122,29 @@ where
             let tx = tx.clone();
             let queues = &queues;
             let f = &f;
-            s.spawn(move || loop {
-                let mine = queues[k].lock().expect("queue poisoned").pop_front();
-                let idx = mine.or_else(|| {
-                    (1..w).find_map(|off| {
-                        queues[(k + off) % w]
-                            .lock()
-                            .expect("queue poisoned")
-                            .pop_back()
-                    })
-                });
-                // Work is only ever consumed, never produced, so finding
-                // every deque empty means this worker is done for good.
-                match idx {
-                    Some(i) => {
-                        if tx.send((i, f(i, &items[i]))).is_err() {
-                            break;
+            s.spawn(move || {
+                IN_POOL.with(|p| p.set(true));
+                crate::stages::adopt_scope(scope);
+                loop {
+                    let mine = queues[k].lock().expect("queue poisoned").pop_front();
+                    let idx = mine.or_else(|| {
+                        (1..w).find_map(|off| {
+                            queues[(k + off) % w]
+                                .lock()
+                                .expect("queue poisoned")
+                                .pop_back()
+                        })
+                    });
+                    // Work is only ever consumed, never produced, so finding
+                    // every deque empty means this worker is done for good.
+                    match idx {
+                        Some(i) => {
+                            if tx.send((i, f(i, &items[i]))).is_err() {
+                                break;
+                            }
                         }
+                        None => break,
                     }
-                    None => break,
                 }
             });
         }

@@ -1,0 +1,160 @@
+//! Process-wide per-stage cache hit/miss counters.
+//!
+//! Every cached flow stage (`lib-*`, `cell-*`, `synth-*`, `alu-*`, `ipc`,
+//! `exp`) reports each cache consultation here via [`note_stage`]. The
+//! counters power the sweep manifest's per-point reuse statistics and the
+//! "what changed" delta in `/v1/metrics`: a sweep point snapshots
+//! [`stage_counters`] before and after running the plan and diffs them
+//! with [`stage_delta`], so the stages that actually recomputed are named
+//! explicitly instead of inferred from wall time.
+//!
+//! The table is telemetry, never an input: nothing rendered reads it, so
+//! it sits outside the byte-determinism contract (like the fault
+//! counters). Storage is a `BTreeMap` so snapshots iterate in one
+//! deterministic order everywhere they are serialized.
+
+use std::cell::Cell;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
+
+/// Hit/miss tally for one named stage: `(hits, misses)`.
+pub type StageCount = (u64, u64);
+
+fn table() -> &'static Mutex<BTreeMap<String, StageCount>> {
+    static TABLE: OnceLock<Mutex<BTreeMap<String, StageCount>>> = OnceLock::new();
+    TABLE.get_or_init(|| Mutex::new(BTreeMap::new()))
+}
+
+/// Per-scope tallies, keyed `(scope, stage)`. Scope `0` is "unscoped"
+/// and never recorded here — the global table already holds it.
+fn scoped_table() -> &'static Mutex<BTreeMap<(u64, String), StageCount>> {
+    static TABLE: OnceLock<Mutex<BTreeMap<(u64, String), StageCount>>> = OnceLock::new();
+    TABLE.get_or_init(|| Mutex::new(BTreeMap::new()))
+}
+
+thread_local! {
+    /// The attribution scope active on this thread; 0 means unscoped.
+    /// The worker pool copies the spawning thread's scope into its
+    /// workers, so a scope set around a parallel region attributes every
+    /// tally recorded inside it, however deep the work fans out.
+    static SCOPE: Cell<u64> = const { Cell::new(0) };
+}
+
+/// Allocates a fresh, process-unique attribution scope id (never 0).
+/// Concurrent plan runs (sweep points) each enter their own scope so
+/// their tallies stay separable even though they interleave in time.
+pub fn new_scope() -> u64 {
+    static NEXT: AtomicU64 = AtomicU64::new(1);
+    NEXT.fetch_add(1, Ordering::Relaxed)
+}
+
+/// The scope active on the calling thread (0 when unscoped).
+pub fn current_scope() -> u64 {
+    SCOPE.with(|s| s.get())
+}
+
+/// Enters `scope` on the calling thread until the returned guard drops,
+/// then restores the previous scope. Tallies recorded while the guard
+/// lives — on this thread and on any pool workers it fans out to — are
+/// additionally credited to `scope` (readable via [`scope_counters`]).
+pub fn enter_scope(scope: u64) -> ScopeGuard {
+    let prev = SCOPE.with(|s| s.replace(scope));
+    ScopeGuard { prev }
+}
+
+/// Restores the previous scope on drop; see [`enter_scope`].
+pub struct ScopeGuard {
+    prev: u64,
+}
+
+impl Drop for ScopeGuard {
+    fn drop(&mut self) {
+        SCOPE.with(|s| s.set(self.prev));
+    }
+}
+
+/// Installs `scope` on the calling thread without a guard — the worker
+/// pool uses this to mirror the spawning thread's scope onto workers,
+/// whose thread lifetime bounds the scope.
+pub fn adopt_scope(scope: u64) {
+    SCOPE.with(|s| s.set(scope));
+}
+
+/// Every tally credited to `scope` so far, in stage-name order.
+pub fn scope_counters(scope: u64) -> BTreeMap<String, StageCount> {
+    scoped_table()
+        .lock()
+        .unwrap_or_else(|p| p.into_inner())
+        .iter()
+        .filter(|((s, _), _)| *s == scope)
+        .map(|((_, stage), count)| (stage.clone(), *count))
+        .collect()
+}
+
+/// Records one cache consultation for `stage`: `hit` is whether the
+/// artifact was served from cache (or a peer) rather than recomputed.
+/// The tally always lands in the process-wide table; when the calling
+/// thread is inside a scope (see [`enter_scope`]) it is also credited to
+/// that scope.
+///
+/// Counters survive lock poisoning: a panicking node (chaos tests) must
+/// not wedge every later tally.
+pub fn note_stage(stage: &str, hit: bool) {
+    let bump = |entry: &mut StageCount| {
+        if hit {
+            entry.0 += 1;
+        } else {
+            entry.1 += 1;
+        }
+    };
+    let mut t = table().lock().unwrap_or_else(|p| p.into_inner());
+    bump(t.entry(stage.to_string()).or_insert((0, 0)));
+    drop(t);
+    let scope = current_scope();
+    if scope != 0 {
+        let mut t = scoped_table().lock().unwrap_or_else(|p| p.into_inner());
+        bump(t.entry((scope, stage.to_string())).or_insert((0, 0)));
+    }
+}
+
+/// A snapshot of every stage counter recorded so far in this process.
+pub fn stage_counters() -> BTreeMap<String, StageCount> {
+    table().lock().unwrap_or_else(|p| p.into_inner()).clone()
+}
+
+/// The counters accumulated *since* `before` (an earlier
+/// [`stage_counters`] snapshot). Stages with no new activity are dropped,
+/// so the result names exactly what ran in between.
+pub fn stage_delta(before: &BTreeMap<String, StageCount>) -> BTreeMap<String, StageCount> {
+    let now = stage_counters();
+    let mut out = BTreeMap::new();
+    for (stage, (hits, misses)) in now {
+        let (h0, m0) = before.get(&stage).copied().unwrap_or((0, 0));
+        let (dh, dm) = (hits - h0, misses - m0);
+        if dh + dm > 0 {
+            out.insert(stage, (dh, dm));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn delta_names_only_what_ran() {
+        let tag = format!("test-stage-{:x}", std::process::id());
+        note_stage(&tag, false);
+        let before = stage_counters();
+        assert!(before.contains_key(&tag));
+        let delta = stage_delta(&before);
+        assert!(!delta.contains_key(&tag), "no new activity yet: {delta:?}");
+        note_stage(&tag, true);
+        note_stage(&tag, true);
+        note_stage(&tag, false);
+        let delta = stage_delta(&before);
+        assert_eq!(delta.get(&tag), Some(&(2, 1)));
+    }
+}

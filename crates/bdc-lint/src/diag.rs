@@ -147,6 +147,17 @@ pub enum Rule {
     DepMismatch,
     /// PG007: the plan graph has a dependency cycle.
     PlanCycle,
+    /// PG008: the fine-grained stage graph (device → cell → library →
+    /// synthesis) has a cycle — incremental invalidation would never
+    /// terminate.
+    StageCycle,
+    /// PG009: a stage key is insensitive to an input that reaches it (or
+    /// sensitive to one that must not) — a parameter change would reuse
+    /// stale stage artifacts, or invalidate stages outside its cone.
+    StageKeyInsensitive,
+    /// PG010: two distinct stages share a content key at some parameter
+    /// point — one stage's bytes would be served for the other.
+    StageKeyCollision,
 }
 
 impl Rule {
@@ -193,6 +204,9 @@ impl Rule {
             Rule::DriverCoverage => "PG005",
             Rule::DepMismatch => "PG006",
             Rule::PlanCycle => "PG007",
+            Rule::StageCycle => "PG008",
+            Rule::StageKeyInsensitive => "PG009",
+            Rule::StageKeyCollision => "PG010",
         }
     }
 
@@ -249,7 +263,10 @@ impl Rule {
             | Rule::UnknownDriver
             | Rule::DriverCoverage
             | Rule::DepMismatch
-            | Rule::PlanCycle => Severity::Error,
+            | Rule::PlanCycle
+            | Rule::StageCycle
+            | Rule::StageKeyInsensitive
+            | Rule::StageKeyCollision => Severity::Error,
         }
     }
 }
@@ -297,6 +314,9 @@ pub const ALL_RULES: &[Rule] = &[
     Rule::DriverCoverage,
     Rule::DepMismatch,
     Rule::PlanCycle,
+    Rule::StageCycle,
+    Rule::StageKeyInsensitive,
+    Rule::StageKeyCollision,
 ];
 
 /// Where a finding is anchored.

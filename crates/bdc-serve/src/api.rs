@@ -114,9 +114,19 @@ impl ApiCall {
 
     /// Canonical content hash — the coalescing/caching key. Hashes the
     /// `Debug` form of the canonical call, so any representational
-    /// variants (GET vs POST, query-parameter order) collapse.
+    /// variants (GET vs POST, query-parameter order) collapse. The
+    /// nominal library *stage* keys are folded into the salt, so a
+    /// device-model or characterization recipe change re-keys every
+    /// cached response that could embody library-derived bytes.
     pub fn cache_key(&self) -> u64 {
-        bdc_exec::fnv1a(&["bdc-serve-v1", &format!("{self:?}")])
+        use bdc_core::{library_stage_key, ParamOverlay, Process};
+        let nominal = ParamOverlay::default();
+        let libs = format!(
+            "libs={:016x},{:016x}",
+            library_stage_key(Process::Organic, &nominal),
+            library_stage_key(Process::Silicon, &nominal)
+        );
+        bdc_exec::fnv1a(&["bdc-serve-v2", &libs, &format!("{self:?}")])
     }
 }
 

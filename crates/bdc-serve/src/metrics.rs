@@ -340,6 +340,37 @@ impl Registry {
                 "faults".into(),
                 bdc_core::registry::fault_counters_json(&bdc_exec::faults::counters()),
             ),
+            // Fine-grained stage-cache telemetry: per-stage hit/miss
+            // counters since boot, plus the "what changed" list — every
+            // stage that recomputed (recorded a miss) in this process.
+            ("stages".into(), {
+                let counters = bdc_exec::stage_counters();
+                let changed: Vec<Json> = counters
+                    .iter()
+                    .filter(|(_, (_, misses))| *misses > 0)
+                    .map(|(name, _)| Json::str(name.as_str()))
+                    .collect();
+                Json::Obj(vec![
+                    (
+                        "counters".into(),
+                        Json::Obj(
+                            counters
+                                .iter()
+                                .map(|(name, (hits, misses))| {
+                                    (
+                                        name.clone(),
+                                        Json::Obj(vec![
+                                            ("hits".into(), Json::Int(*hits as i64)),
+                                            ("misses".into(), Json::Int(*misses as i64)),
+                                        ]),
+                                    )
+                                })
+                                .collect(),
+                        ),
+                    ),
+                    ("changed".into(), Json::Arr(changed)),
+                ])
+            }),
         ])
     }
 }
@@ -398,6 +429,9 @@ mod tests {
         let faults = snap.get("faults").unwrap();
         assert!(faults.get("quarantined").is_some());
         assert!(faults.get("retries").is_some());
+        let stages = snap.get("stages").unwrap();
+        assert!(stages.get("counters").is_some());
+        assert!(stages.get("changed").is_some());
     }
 
     #[test]

@@ -370,6 +370,53 @@ impl Netlist {
         &self.flops
     }
 
+    /// A structural FNV-1a fingerprint: net allocation, sources, sinks,
+    /// and every gate and flop with its exact connectivity, in insertion
+    /// order. Two netlists with equal fingerprints are the same graph, so
+    /// the fingerprint can stand in for the netlist in cache keys without
+    /// serializing it to text. Labels — the netlist name and per-net
+    /// names — are deliberately excluded: timing, area, mapping, and cut
+    /// results depend only on structure, so content-identical stage
+    /// netlists that differ only in their generator's label dedupe.
+    pub fn fingerprint(&self) -> u64 {
+        const PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut eat = |bytes: &[u8]| {
+            for &b in bytes {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(PRIME);
+            }
+        };
+        eat(b"bdc-netfp-v1");
+        eat(&(self.n_nets as u64).to_le_bytes());
+        for &i in &self.inputs {
+            eat(&(i as u64).to_le_bytes());
+        }
+        eat(b"|");
+        for &o in &self.outputs {
+            eat(&(o as u64).to_le_bytes());
+        }
+        let (c0, c1) = self.constants();
+        for c in [c0, c1] {
+            match c {
+                None => eat(b"n"),
+                Some(n) => eat(&(n as u64).to_le_bytes()),
+            }
+        }
+        for g in &self.gates {
+            eat(&[g.kind as u8]);
+            for &i in &g.inputs {
+                eat(&(i as u64).to_le_bytes());
+            }
+            eat(&(g.output as u64).to_le_bytes());
+        }
+        for f in &self.flops {
+            eat(&(f.d as u64).to_le_bytes());
+            eat(&(f.q as u64).to_le_bytes());
+        }
+        h
+    }
+
     /// Gate-count histogram by kind, ordered by [`GateKind`].
     pub fn histogram(&self) -> BTreeMap<GateKind, usize> {
         let mut h = BTreeMap::new();
