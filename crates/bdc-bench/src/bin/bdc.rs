@@ -33,7 +33,7 @@ fn usage() -> ! {
     eprintln!(
         "usage:\n  bdc list [--json]\n  bdc run [--quick] [--all] [--require-warm] \
          [--max-retries N] <id>...\n  bdc sweep --param NAME=START:END:COUNT [--quick] \
-         [<id>...]\n  bdc verify [--audit-deps] [--quick]\n  \
+         [--resume] [<id>...]\n  bdc verify [--audit-deps] [--quick]\n  \
          bdc lint --workspace\n  \
          bdc cluster [--shards N] [--addr HOST:PORT] [--base-port P] [--ring-seed S] \
          [--vnodes V]\n              [--proxy-retries R] [--serve-bin PATH] [--cache-root DIR] \
@@ -172,6 +172,7 @@ fn cmd_run(args: &[String]) -> ! {
 
 fn cmd_sweep(args: &[String]) -> ! {
     let mut spec: Option<sweep::SweepSpec> = None;
+    let mut resume = false;
     let mut ids: Vec<&str> = Vec::new();
     let mut iter = args.iter();
     while let Some(a) = iter.next() {
@@ -189,6 +190,7 @@ fn cmd_sweep(args: &[String]) -> ! {
                     }
                 };
             }
+            "--resume" => resume = true,
             "--quick" => {} // consumed by bdc_bench::quick_mode()
             flag if flag.starts_with('-') => {
                 eprintln!("unknown flag `{flag}`");
@@ -206,13 +208,15 @@ fn cmd_sweep(args: &[String]) -> ! {
     }
 
     let quick = bdc_bench::quick_mode();
-    let report = match sweep::run_sweep(&spec, &ids, quick) {
-        Ok(r) => r,
-        Err(e) => {
-            eprintln!("error: {e}");
-            std::process::exit(1);
-        }
-    };
+    let checkpoint_dir = std::path::Path::new(sweep::DEFAULT_CHECKPOINT_DIR);
+    let report =
+        match sweep::run_sweep_checkpointed(&spec, &ids, quick, Some(checkpoint_dir), resume) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("error: {e}");
+                std::process::exit(1);
+            }
+        };
 
     // Stdout carries only the deterministic transcript; telemetry goes to
     // the manifest and stderr so the output stays byte-diffable.
@@ -236,6 +240,11 @@ fn cmd_sweep(args: &[String]) -> ! {
         report.spec.end,
         report.points.len(),
         ids.len()
+    );
+    eprintln!(
+        "  checkpoints: restored {} point(s), recomputed {}",
+        report.restored_points,
+        report.points.len() - report.restored_points
     );
     for p in &report.points {
         let (hits, misses) = p.totals();

@@ -32,6 +32,9 @@
 //! (shed, deadline-expired 503, 500, transport errors) up to N times per
 //! request with seeded jittered backoff before tallying — the chaos CI
 //! job uses it to assert zero *client-visible* 5xx under fault injection.
+//! The summary reports **retry amplification** (mean attempts per
+//! successful request, plus the p99 of attempts) so the cost of those
+//! recoveries stays observable and the retry budgets stay honest.
 //! `--max-p99-ms` gates the p99 of successful requests — the CI smoke job
 //! uses `--prime --mix warm --max-p99-ms 50` to pin the warm-cache
 //! latency bound from the acceptance criteria.
@@ -71,6 +74,10 @@ struct Tally {
     transport_err: u64,
     retried: u64,
     samples: Samples,
+    /// Attempts each *successful* request took (1 = first try landed).
+    /// The mean is the retry amplification the retry budgets are meant to
+    /// bound; the p99 shows the unluckiest client's experience.
+    attempts: Vec<u64>,
 }
 
 impl Tally {
@@ -82,6 +89,19 @@ impl Tally {
         self.transport_err += other.transport_err;
         self.retried += other.retried;
         self.samples.us.extend(other.samples.us);
+        self.attempts.extend(other.attempts);
+    }
+
+    /// `(mean attempts per successful request, p99 of attempts)` —
+    /// `(1.0, 1)` when nothing succeeded, so the gates below stay simple.
+    fn retry_amplification(&mut self) -> (f64, u64) {
+        if self.attempts.is_empty() {
+            return (1.0, 1);
+        }
+        self.attempts.sort_unstable();
+        let mean = self.attempts.iter().sum::<u64>() as f64 / self.attempts.len() as f64;
+        let idx = ((self.attempts.len() - 1) as f64 * 0.99).round() as usize;
+        (mean, self.attempts[idx])
     }
 
     fn record(&mut self, status: u16, us: u64) {
@@ -219,6 +239,9 @@ fn fetch_with_retry(
         match attempt_once() {
             Ok(r) if attempt < retries && is_retryable(r.status) => local.retried += 1,
             Ok(r) => {
+                if (200..=299).contains(&r.status) {
+                    local.attempts.push(u64::from(attempt) + 1);
+                }
                 local.record(r.status, t0.elapsed().as_micros() as u64);
                 return;
             }
@@ -409,6 +432,7 @@ fn main() {
         tally.samples.quantile_ms(0.95),
         tally.samples.quantile_ms(0.99),
     );
+    let (amplification, p99_attempts) = tally.retry_amplification();
 
     if a.json {
         let targets_json = if target_rows.is_empty() {
@@ -420,6 +444,7 @@ fn main() {
             "{{\"mode\": \"{}\", \"mix\": \"{}\", \"seed\": {}, \"requests\": {total}, \
              \"rps\": {rps:.2}, \"ok\": {}, \"shed\": {}, \"client_errors\": {}, \
              \"server_errors\": {}, \"transport_errors\": {}, \"retried\": {}, \
+             \"retry_amplification\": {amplification:.4}, \"p99_attempts\": {p99_attempts}, \
              \"p50_ms\": {p50:.3}, \"p95_ms\": {p95:.3}, \"p99_ms\": {p99:.3}{targets_json}}}",
             a.mode,
             a.mix,
@@ -446,6 +471,9 @@ fn main() {
             tally.retried
         );
         println!("  latency (ok only): p50={p50:.3}ms p95={p95:.3}ms p99={p99:.3}ms");
+        println!(
+            "  retry amplification: {amplification:.4} attempts/ok (p99 attempts {p99_attempts})"
+        );
         for line in &target_lines {
             println!("{line}");
         }

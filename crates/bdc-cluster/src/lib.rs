@@ -28,6 +28,7 @@
 //! same bytes for the same request. Failover and resharding change
 //! latency, never content.
 
+pub mod breaker;
 pub mod cli;
 pub mod router;
 pub mod supervisor;
@@ -35,6 +36,7 @@ pub mod supervisor;
 /// The shared ring/topology types (re-export of [`bdc_exec::cluster`]).
 pub use bdc_exec::cluster;
 
+pub use breaker::{Breaker, BreakerConfig, BreakerDecision, BreakerSnapshot};
 pub use cli::{parse_cluster_args, run_cluster, ClusterArgs};
 pub use router::{start_router, RouterConfig, RouterHandle, RouterMetrics};
 pub use supervisor::{start_supervisor, Supervisor, SupervisorConfig};

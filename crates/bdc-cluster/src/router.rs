@@ -16,6 +16,19 @@
 //! see a `502`. Because any shard serves byte-identical bodies, failover
 //! is invisible except for the `x-bdc-shard` header.
 //!
+//! **Circuit breakers:** each shard carries a [`Breaker`] over a rolling
+//! window of attempt outcomes and latencies. An open breaker takes its
+//! shard out of the replica walk entirely (no connect timeout paid), then
+//! half-opens after a bounded number of bypasses to admit a live probe
+//! request; the probe's outcome closes or reopens it. Closed breakers are
+//! byte-inert — the zero-fault determinism gate routes exactly as before.
+//!
+//! **Deadline propagation:** a request carrying `x-bdc-deadline-ms` has
+//! the router's own elapsed time subtracted before each attempt, the
+//! remainder forwarded downstream (the shard refuses work the remainder
+//! cannot cover), and its failover loop stops the moment the budget runs
+//! out — a fast 503 instead of a doomed slow retry chain.
+//!
 //! **Fleet observability:** the router answers `/healthz` with per-shard
 //! `ok|degraded|draining|down` states, `/v1/metrics` with its own proxy
 //! counters plus every shard's snapshot and a fleet-wide sum, and
@@ -26,7 +39,7 @@ use std::net::{TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::{Receiver, SyncSender, TrySendError};
 use std::sync::{Arc, Mutex};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use bdc_exec::cluster::{artifact_slot, key_slot, Ring};
 use bdc_exec::faults;
@@ -34,6 +47,8 @@ use bdc_serve::api::{self, Route};
 use bdc_serve::client::{self, Connection};
 use bdc_serve::json::{self, Json};
 use bdc_serve::{http, Response};
+
+use crate::breaker::{Breaker, BreakerConfig, BreakerDecision};
 
 /// Per-attempt connect/read deadline for proxied requests. Generous
 /// enough for a cold characterization on the shard (seconds), small
@@ -61,6 +76,8 @@ pub struct RouterConfig {
     pub conn_threads: usize,
     /// Accepted sockets that may wait for a worker before shedding.
     pub conn_backlog: usize,
+    /// Per-shard circuit-breaker knobs.
+    pub breaker: BreakerConfig,
 }
 
 impl Default for RouterConfig {
@@ -73,6 +90,7 @@ impl Default for RouterConfig {
             proxy_retries: 3,
             conn_threads: 8,
             conn_backlog: 64,
+            breaker: BreakerConfig::default(),
         }
     }
 }
@@ -91,12 +109,23 @@ pub struct RouterMetrics {
     pub local: AtomicU64,
     /// Connections shed at accept time.
     pub shed: AtomicU64,
+    /// Attempts skipped because the candidate shard's breaker was open.
+    pub breaker_skips: AtomicU64,
+    /// Probe requests admitted by a half-open breaker.
+    pub breaker_probes: AtomicU64,
+    /// Times any shard's breaker opened (including reopens).
+    pub breaker_opened: AtomicU64,
+    /// Requests whose propagated deadline budget ran out inside the
+    /// router (answered 503 without further failover).
+    pub deadline_exhausted: AtomicU64,
 }
 
 struct Shared {
     cfg: RouterConfig,
     ring: Ring,
     metrics: RouterMetrics,
+    /// One breaker per shard, indexed like `cfg.shard_addrs`.
+    breakers: Vec<Breaker>,
 }
 
 /// A running router.
@@ -144,10 +173,14 @@ pub fn start_router(cfg: RouterConfig) -> std::io::Result<RouterHandle> {
     listener.set_nonblocking(true)?;
 
     let ring = Ring::new(cfg.shard_addrs.len(), cfg.vnodes, cfg.ring_seed);
+    let breakers = (0..cfg.shard_addrs.len())
+        .map(|_| Breaker::new(cfg.breaker.clone()))
+        .collect();
     let shared = Arc::new(Shared {
         cfg,
         ring,
         metrics: RouterMetrics::default(),
+        breakers,
     });
     let stop = Arc::new(AtomicBool::new(false));
     let mut threads = Vec::new();
@@ -295,7 +328,12 @@ fn handle(request: &http::Request, shared: &Shared) -> Response {
 }
 
 /// Proxies a request to the slot's owner, failing over along the replica
-/// order with seeded backoff until the attempt budget is spent.
+/// order with seeded backoff until the per-request attempt budget — or
+/// the request's propagated deadline budget — is spent. Candidate shards
+/// whose circuit breaker is open are skipped (the breaker's half-open
+/// probe admits one live request through); when every candidate's breaker
+/// is open the nominal owner is tried anyway — fail-static beats failing
+/// closed on a fully-tripped fleet.
 fn proxy(request: &http::Request, shared: &Shared, slot: u64) -> Response {
     let body = match std::str::from_utf8(&request.body) {
         Ok(b) => b,
@@ -307,6 +345,8 @@ fn proxy(request: &http::Request, shared: &Shared, slot: u64) -> Response {
         format!("{}?{}", request.path, request.query)
     };
     shared.metrics.proxied.fetch_add(1, Ordering::Relaxed);
+    // bdc-lint: allow(D002, deadline-budget tracking, not artifact bytes)
+    let t0 = Instant::now();
     let replicas = shared.ring.replicas(slot);
     let attempts = shared.cfg.proxy_retries as usize + 1;
     let mut last_status = None;
@@ -315,16 +355,90 @@ fn proxy(request: &http::Request, shared: &Shared, slot: u64) -> Response {
             shared.metrics.failovers.fetch_add(1, Ordering::Relaxed);
             std::thread::sleep(faults::backoff_delay(&path_query, attempt as u64));
         }
-        let shard = replicas[attempt % replicas.len()];
-        let addr = &shared.cfg.shard_addrs[shard];
-        let result = Connection::open_with_timeout(addr, PROXY_TIMEOUT).and_then(|mut c| {
-            match request.method {
-                http::Method::Get => c.get(&path_query),
-                http::Method::Post => c.post(&path_query, body),
+        // Deadline subtraction: each attempt sees what is left of the
+        // client's budget after the router's own elapsed time. An empty
+        // remainder ends the failover loop — a fast 503 beats burning
+        // replicas on a request nobody is waiting for anymore.
+        let remaining_ms = request
+            .deadline_ms
+            .map(|ms| ms.saturating_sub(t0.elapsed().as_millis() as u64));
+        if remaining_ms == Some(0) {
+            shared
+                .metrics
+                .deadline_exhausted
+                .fetch_add(1, Ordering::Relaxed);
+            let mut r = Response::error(503, "deadline budget exhausted in router");
+            r.extra_headers
+                .push(("x-bdc-deadline-refused".into(), "1".into()));
+            return r;
+        }
+        // Breaker walk: the first candidate (in ring order from this
+        // attempt) whose breaker admits the request.
+        let mut shard = replicas[attempt % replicas.len()];
+        let mut decision = shared.breakers[shard].decide();
+        if decision == BreakerDecision::Skip {
+            shared.metrics.breaker_skips.fetch_add(1, Ordering::Relaxed);
+            for step in 1..replicas.len() {
+                let candidate = replicas[(attempt + step) % replicas.len()];
+                match shared.breakers[candidate].decide() {
+                    BreakerDecision::Skip => {
+                        shared.metrics.breaker_skips.fetch_add(1, Ordering::Relaxed);
+                    }
+                    admitted => {
+                        shard = candidate;
+                        decision = admitted;
+                        break;
+                    }
+                }
             }
-        });
+            // Every breaker open: fall through with the nominal candidate.
+        }
+        if decision == BreakerDecision::Probe {
+            shared
+                .metrics
+                .breaker_probes
+                .fetch_add(1, Ordering::Relaxed);
+        }
+        let addr = &shared.cfg.shard_addrs[shard];
+        // An injected partition severs this attempt before any bytes move
+        // — the seeded roll heals across attempts, so failover recovers.
+        let partitioned = faults::inject_partition(&path_query, attempt as u64);
+        // bdc-lint: allow(D002, breaker latency telemetry, not artifact bytes)
+        let attempt_start = Instant::now();
+        let result = if partitioned {
+            Err(std::io::Error::new(
+                std::io::ErrorKind::ConnectionReset,
+                "injected partition",
+            ))
+        } else {
+            let timeout = match remaining_ms {
+                Some(ms) => PROXY_TIMEOUT.min(Duration::from_millis(ms)),
+                None => PROXY_TIMEOUT,
+            };
+            Connection::open_with_timeout(addr, timeout).and_then(|mut c| {
+                match (request.method, remaining_ms) {
+                    (http::Method::Get, None) => c.get(&path_query),
+                    (http::Method::Get, Some(ms)) => c.get_with_deadline(&path_query, ms),
+                    (http::Method::Post, None) => c.post(&path_query, body),
+                    (http::Method::Post, Some(ms)) => c.post_with_deadline(&path_query, body, ms),
+                }
+            })
+        };
+        let failed = match &result {
+            Ok(r) => client::is_retryable(r.status),
+            Err(_) => true,
+        };
+        let elapsed_ms = attempt_start.elapsed().as_millis() as u64;
+        let transitioned =
+            shared.breakers[shard].record(decision == BreakerDecision::Probe, failed, elapsed_ms);
+        if transitioned && shared.breakers[shard].is_open() {
+            shared
+                .metrics
+                .breaker_opened
+                .fetch_add(1, Ordering::Relaxed);
+        }
         match result {
-            Ok(r) if !client::is_retryable(r.status) => {
+            Ok(r) if !failed => {
                 let mut resp = Response::json(r.status, r.body);
                 resp.extra_headers
                     .push(("x-bdc-shard".into(), shard.to_string()));
@@ -462,9 +576,33 @@ fn metrics(shared: &Shared) -> Response {
                 ("exhausted".into(), load(&m.exhausted)),
                 ("local".into(), load(&m.local)),
                 ("shed".into(), load(&m.shed)),
+                ("breaker_skips".into(), load(&m.breaker_skips)),
+                ("breaker_probes".into(), load(&m.breaker_probes)),
+                ("breaker_opened".into(), load(&m.breaker_opened)),
+                ("deadline_exhausted".into(), load(&m.deadline_exhausted)),
                 (
                     "shards".into(),
                     Json::Int(shared.cfg.shard_addrs.len() as i64),
+                ),
+                (
+                    "breakers".into(),
+                    Json::Arr(
+                        shared
+                            .breakers
+                            .iter()
+                            .enumerate()
+                            .map(|(i, b)| {
+                                let snap = b.snapshot();
+                                Json::Obj(vec![
+                                    ("shard".into(), Json::Int(i as i64)),
+                                    ("state".into(), Json::str(snap.state)),
+                                    ("failure_rate".into(), Json::Num(snap.failure_rate)),
+                                    ("mean_ms".into(), Json::Num(snap.mean_ms)),
+                                    ("opened_total".into(), Json::Int(snap.opened_total as i64)),
+                                ])
+                            })
+                            .collect(),
+                    ),
                 ),
             ]),
         ),

@@ -83,6 +83,7 @@ pub fn shard_addr(cfg: &SupervisorConfig, shard: usize) -> String {
 /// Propagates spawn failures for the initial launch (a worker that later
 /// crashes is restarted, not propagated).
 pub fn start_supervisor(cfg: SupervisorConfig) -> std::io::Result<Supervisor> {
+    check_stale_pid_file(&cfg.pid_file)?;
     let mut slots = Vec::with_capacity(cfg.shards);
     for shard in 0..cfg.shards {
         let child = spawn_worker(&cfg, shard)?;
@@ -180,6 +181,79 @@ fn monitor_loop(cfg: &SupervisorConfig, slots: &Mutex<Vec<Slot>>, stop: &AtomicB
             }
         }
     }
+}
+
+/// Inspects an existing fleet pid file before launch. A pid file whose
+/// every recorded pid is dead — or recycled by the kernel to a non-`bdc`
+/// process — is stale debris from a crashed or SIGKILLed supervisor and
+/// is replaced silently; one that still names a live `bdc` worker means
+/// another fleet owns these ports, and launching over it would double-bind
+/// and corrupt per-shard caches.
+///
+/// # Errors
+/// `AddrInUse` when the pid file names a live `bdc` process.
+fn check_stale_pid_file(pid_file: &std::path::Path) -> std::io::Result<()> {
+    if pid_file.as_os_str().is_empty() || !pid_file.exists() {
+        return Ok(());
+    }
+    let pids = match std::fs::read_to_string(pid_file)
+        .ok()
+        .and_then(|raw| bdc_serve::json::parse(&raw).ok())
+    {
+        Some(doc) => match doc.get("workers") {
+            Some(bdc_serve::json::Json::Arr(rows)) => rows
+                .iter()
+                .filter_map(|row| row.get("pid").and_then(bdc_serve::json::Json::as_u64))
+                .collect::<Vec<u64>>(),
+            // Parseable JSON without a workers array: not ours, replace.
+            _ => Vec::new(),
+        },
+        // Unparseable debris (e.g. a torn write): replace.
+        None => Vec::new(),
+    };
+    for pid in pids {
+        if let Some(cmd) = live_process_command(pid) {
+            if cmd.contains("bdc") {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::AddrInUse,
+                    format!(
+                        "pid file {} names live bdc worker pid {pid} ({cmd}); \
+                         is another fleet running?",
+                        pid_file.display()
+                    ),
+                ));
+            }
+            eprintln!(
+                "bdc-cluster: pid file {} entry {pid} was recycled by `{cmd}`; treating as stale",
+                pid_file.display()
+            );
+        }
+    }
+    eprintln!(
+        "bdc-cluster: replacing stale pid file {} (no live bdc worker)",
+        pid_file.display()
+    );
+    Ok(())
+}
+
+/// The command name (`/proc/<pid>/cmdline` argv[0] file stem) of a live
+/// process, or `None` when the pid is dead. On platforms without procfs
+/// every pid reads as dead, so a stale file is always replaced — the
+/// conservative failure mode for a best-effort observability file.
+fn live_process_command(pid: u64) -> Option<String> {
+    let raw = std::fs::read(format!("/proc/{pid}/cmdline")).ok()?;
+    let argv0 = raw.split(|b| *b == 0).next().unwrap_or(&[]);
+    let argv0 = String::from_utf8_lossy(argv0);
+    let stem = std::path::Path::new(argv0.as_ref())
+        .file_name()
+        .map(|n| n.to_string_lossy().into_owned())
+        .unwrap_or_else(|| argv0.into_owned());
+    if stem.is_empty() {
+        // A zombie or kernel thread with an empty cmdline cannot be a
+        // worker holding our ports.
+        return None;
+    }
+    Some(stem)
 }
 
 /// Rewrites the fleet pid file (best effort — observability, not a lock).
@@ -318,5 +392,82 @@ impl Supervisor {
             }
             slot.child = None;
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pid_file(label: &str, pids: &[u64]) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("bdc-pidfile-{label}-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let rows: Vec<String> = pids
+            .iter()
+            .enumerate()
+            .map(|(i, pid)| format!("{{\"shard\":{i},\"port\":0,\"pid\":{pid}}}"))
+            .collect();
+        let path = dir.join("cluster_pids.json");
+        std::fs::write(
+            &path,
+            format!(
+                "{{\"shards\":{},\"workers\":[{}]}}\n",
+                pids.len(),
+                rows.join(",")
+            ),
+        )
+        .unwrap();
+        path
+    }
+
+    #[test]
+    fn absent_or_empty_pid_file_is_fine() {
+        assert!(check_stale_pid_file(std::path::Path::new("")).is_ok());
+        assert!(check_stale_pid_file(std::path::Path::new("/nonexistent/pids.json")).is_ok());
+    }
+
+    #[test]
+    fn dead_pids_make_the_file_stale() {
+        // Far beyond any kernel's pid_max: guaranteed dead.
+        let path = pid_file("dead", &[999_999_999]);
+        assert!(check_stale_pid_file(&path).is_ok());
+        let _ = std::fs::remove_dir_all(path.parent().unwrap());
+    }
+
+    #[test]
+    fn recycled_pid_on_a_non_bdc_process_is_stale() {
+        // A live process that is definitely not a bdc worker.
+        let mut child = Command::new("sleep")
+            .arg("5")
+            .stdin(Stdio::null())
+            .spawn()
+            .expect("spawn sleep");
+        let path = pid_file("recycled", &[u64::from(child.id())]);
+        assert!(check_stale_pid_file(&path).is_ok());
+        let _ = child.kill();
+        let _ = child.wait();
+        let _ = std::fs::remove_dir_all(path.parent().unwrap());
+    }
+
+    #[test]
+    fn live_bdc_pid_refuses_to_launch_over_it() {
+        // This very test binary is named `bdc_cluster-<hash>` — a live
+        // process whose command contains "bdc", exactly what a stolen
+        // port set would look like.
+        let path = pid_file("live", &[u64::from(std::process::id())]);
+        let err = check_stale_pid_file(&path).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::AddrInUse);
+        assert!(err.to_string().contains("another fleet"), "{err}");
+        let _ = std::fs::remove_dir_all(path.parent().unwrap());
+    }
+
+    #[test]
+    fn garbage_pid_file_is_stale_not_fatal() {
+        let dir = std::env::temp_dir().join(format!("bdc-pidfile-garbage-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("cluster_pids.json");
+        std::fs::write(&path, "{torn wri").unwrap();
+        assert!(check_stale_pid_file(&path).is_ok());
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -6,6 +6,7 @@
 //! moves only that shard's keys (failover does not reshuffle the fleet).
 
 use bdc_cluster::cluster::{key_slot, Ring, DEFAULT_VNODES};
+use bdc_cluster::{Breaker, BreakerConfig, BreakerDecision};
 use proptest::prelude::*;
 
 /// How many synthetic keys each property samples the ring with.
@@ -102,5 +103,43 @@ proptest! {
         sorted.sort_unstable();
         sorted.dedup();
         prop_assert_eq!(sorted.len(), shards, "duplicate replica in {reps:?}");
+    }
+
+    /// Breaker failover preserves coverage: for any pattern of open
+    /// breakers short of the whole fleet, walking the replica order and
+    /// skipping open shards (exactly what the router's proxy loop does)
+    /// still lands on a healthy shard — and on the *first* healthy shard
+    /// in ring order, so two routers with the same breaker state agree.
+    #[test]
+    fn breaker_skips_preserve_replica_coverage(
+        shards in 2usize..=8,
+        seed in any::<u64>(),
+        key in any::<u64>(),
+        open_mask in any::<u8>(),
+    ) {
+        let open: Vec<bool> = (0..shards).map(|s| (open_mask >> s) & 1 == 1).collect();
+        prop_assume!(open.iter().any(|o| !o));
+        let cfg = BreakerConfig::default();
+        let breakers: Vec<Breaker> = (0..shards).map(|_| Breaker::new(cfg.clone())).collect();
+        for (s, is_open) in open.iter().enumerate() {
+            if *is_open {
+                for _ in 0..cfg.min_samples {
+                    breakers[s].record(false, true, 0);
+                }
+                prop_assert!(breakers[s].is_open(), "shard {s} failed to open");
+            }
+        }
+        let ring = Ring::new(shards, DEFAULT_VNODES, seed);
+        let reps = ring.replicas(key_slot(key));
+        let chosen = reps
+            .iter()
+            .copied()
+            .find(|&s| breakers[s].decide() == BreakerDecision::Allow);
+        let expected = reps.iter().copied().find(|&s| !open[s]);
+        prop_assert_eq!(
+            chosen, expected,
+            "replica walk over {:?} with open set {:?} must land on the first healthy shard",
+            reps, open
+        );
     }
 }

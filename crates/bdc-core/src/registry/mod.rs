@@ -771,6 +771,23 @@ pub fn fault_counters_json(c: &faults::FaultCounters) -> Json {
         ("peer_hits".into(), Json::Int(c.peer_hits as i64)),
         ("peer_misses".into(), Json::Int(c.peer_misses as i64)),
         ("peer_pushes".into(), Json::Int(c.peer_pushes as i64)),
+        (
+            "injected_disk_full".into(),
+            Json::Int(c.injected_disk_full as i64),
+        ),
+        (
+            "peer_slow_delays".into(),
+            Json::Int(c.peer_slow_delays as i64),
+        ),
+        (
+            "injected_partitions".into(),
+            Json::Int(c.injected_partitions as i64),
+        ),
+        ("evicted".into(), Json::Int(c.evicted as i64)),
+        (
+            "quarantine_reaped".into(),
+            Json::Int(c.quarantine_reaped as i64),
+        ),
     ])
 }
 
@@ -906,6 +923,11 @@ mod tests {
             "peer_hits",
             "peer_misses",
             "peer_pushes",
+            "injected_disk_full",
+            "peer_slow_delays",
+            "injected_partitions",
+            "evicted",
+            "quarantine_reaped",
         ] {
             assert!(rendered.contains(field), "missing {field} in {rendered}");
         }

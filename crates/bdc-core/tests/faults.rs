@@ -15,7 +15,6 @@
 //! on one mutex and disarm injection before releasing it.
 
 use std::sync::{Mutex, MutexGuard, OnceLock};
-use std::time::Duration;
 
 use bdc_core::registry;
 use bdc_exec::faults::{self, FaultConfig};
@@ -45,8 +44,7 @@ fn config(task_panic: f64) -> FaultConfig {
     FaultConfig {
         task_panic,
         seed: 42,
-        cache_corrupt: 0.0,
-        io_slow: Duration::ZERO,
+        ..FaultConfig::default()
     }
 }
 

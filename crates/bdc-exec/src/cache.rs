@@ -9,31 +9,63 @@
 //! entry is simply never read again.
 //!
 //! On-disk format: a one-line header `bdc-artifact-v1 <fnv:016x> <len>`
-//! followed by the payload. Writes go through a temp file + rename so
-//! concurrent writers never expose a torn artifact; reads verify the
+//! followed by the payload. Writes go through a temp file + `fsync` +
+//! rename (with a post-rename audit) so neither concurrent writers nor a
+//! power cut can expose a torn artifact; reads verify the
 //! header's version, length, and FNV-1a checksum, and any artifact that
 //! fails verification — corrupt, truncated, or written by a different
 //! format version — is moved to `quarantine/` under the cache root and
 //! reported as a miss, so the caller transparently rebuilds it. Orphaned
-//! `.tmp-*` files left by crashed runs are reaped when a store opens. All
+//! `.tmp-*` files left by crashed runs are reaped when a store opens, and
+//! quarantined artifacts older than [`QUARANTINE_REAP_GENERATIONS`] store
+//! generations are reaped with them, so sustained corruption cannot grow
+//! `quarantine/` without bound. All
 //! I/O failures degrade to cache misses — the cache is an accelerator,
 //! never a correctness dependency.
 //!
+//! **Disk budget.** Every successful store is stamped with a per-root
+//! *store generation* (a persisted counter in `store.log`, never wall
+//! clock). With `BDC_CACHE_BUDGET_MB` set, a store that pushes the root
+//! past the budget evicts the lowest-generation entries first —
+//! deterministic LRU, since recency is the generation ledger rather than
+//! mtime — and never evicts an artifact whose single-flight lock is held
+//! by an in-flight computation (the plan's working set stays pinned).
+//!
 //! Environment knobs: `BDC_CACHE_DIR` overrides the root directory,
 //! `BDC_NO_CACHE=1` disables the cache entirely (every load misses, every
-//! store is dropped), and `BDC_FAULTS` (see [`crate::faults`]) can inject
-//! deterministic read corruption and I/O delay to exercise the
-//! quarantine/rebuild path.
+//! store is dropped), `BDC_CACHE_BUDGET_MB` bounds the store's disk
+//! footprint, and `BDC_FAULTS` (see [`crate::faults`]) can inject
+//! deterministic read corruption, I/O delay, synthetic ENOSPC
+//! (`disk_full=`), and peer-fetch delay (`peer_slow=`) to exercise the
+//! quarantine/rebuild and eviction paths.
 
 use std::collections::{BTreeMap, BTreeSet};
+use std::io::Write as _;
 use std::path::{Path, PathBuf};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, OnceLock};
 
 use crate::faults;
 
 /// On-disk artifact format version tag; bump on any framing change so
 /// older entries quarantine-and-rebuild instead of misparsing.
 const MAGIC: &str = "bdc-artifact-v1";
+
+/// The per-root store-generation ledger: `<gen:020> <filename>` lines,
+/// append-only, later mentions win. Recency for the LRU is read from
+/// here, never from mtime, so eviction order is a pure function of the
+/// store sequence.
+const LEDGER_FILE: &str = "store.log";
+
+/// The quarantine-stamp ledger inside `quarantine/`: `<gen:020>
+/// <filename>` lines recording the store generation each artifact was
+/// quarantined at.
+const QUARANTINE_LEDGER: &str = "reap.log";
+
+/// Quarantined artifacts older than this many store generations are
+/// reaped at store-open — old enough that any forensic look has had its
+/// chance, young enough that sustained corruption faults cannot grow
+/// `quarantine/` without bound.
+pub const QUARANTINE_REAP_GENERATIONS: u64 = 64;
 
 /// FNV-1a 64-bit hash over a sequence of string parts. Parts are separated
 /// by a 0xFF sentinel byte (which cannot occur in UTF-8), so `["ab", "c"]`
@@ -71,6 +103,134 @@ pub fn validate_cache_dir(dir: &Path) -> Result<PathBuf, String> {
             "BDC_CACHE_DIR points at an uncreatable directory `{}`: {e}",
             dir.display()
         )),
+    }
+}
+
+/// Parses a `BDC_CACHE_BUDGET_MB` value: a positive integer number of
+/// megabytes.
+///
+/// # Errors
+/// A one-line diagnostic naming the knob and the offending value.
+pub fn parse_cache_budget_mb(raw: &str) -> Result<u64, String> {
+    let raw = raw.trim();
+    let bad = || {
+        format!("BDC_CACHE_BUDGET_MB must be a positive integer number of megabytes, got `{raw}`")
+    };
+    let mb: u64 = raw.parse().map_err(|_| bad())?;
+    if mb == 0 {
+        return Err(bad());
+    }
+    Ok(mb)
+}
+
+/// The `BDC_CACHE_BUDGET_MB` disk budget in bytes, read once per process.
+/// A malformed value exits with its diagnostic — binaries validate it up
+/// front through [`crate::env_config`], so this is a backstop, and
+/// silently ignoring an explicitly requested budget would let the store
+/// grow unbounded against the operator's stated intent.
+fn env_budget_bytes() -> Option<u64> {
+    static BUDGET: OnceLock<Option<u64>> = OnceLock::new();
+    *BUDGET.get_or_init(|| match std::env::var("BDC_CACHE_BUDGET_MB") {
+        Ok(raw) => match parse_cache_budget_mb(&raw) {
+            Ok(mb) => Some(mb.saturating_mul(1024 * 1024)),
+            Err(e) => {
+                eprintln!("error: {e}");
+                std::process::exit(2);
+            }
+        },
+        Err(_) => None,
+    })
+}
+
+/// Per-root next-store-generation counters, seeded from the ledger on
+/// first use so generations keep monotonically increasing across process
+/// restarts.
+static NEXT_GEN: Mutex<Option<BTreeMap<PathBuf, u64>>> = Mutex::new(None);
+
+/// Claims the next store generation for `root` (monotonic per process,
+/// seeded from the persisted ledger).
+fn bump_generation(root: &Path) -> u64 {
+    let mut guard = NEXT_GEN.lock().unwrap_or_else(|p| p.into_inner());
+    let next = guard
+        .get_or_insert_with(BTreeMap::new)
+        .entry(root.to_path_buf())
+        .or_insert_with(|| {
+            ledger_generations(root)
+                .values()
+                .copied()
+                .max()
+                .unwrap_or(0)
+                + 1
+        });
+    let gen = *next;
+    *next += 1;
+    gen
+}
+
+/// The highest store generation claimed so far for `root` (0 for a fresh
+/// root).
+fn current_generation(root: &Path) -> u64 {
+    let guard = NEXT_GEN.lock().unwrap_or_else(|p| p.into_inner());
+    if let Some(next) = guard.as_ref().and_then(|m| m.get(root)) {
+        return next - 1;
+    }
+    drop(guard);
+    ledger_generations(root)
+        .values()
+        .copied()
+        .max()
+        .unwrap_or(0)
+}
+
+/// Parses a `<gen:020> <filename>` ledger (store or quarantine); later
+/// mentions of a filename win, which is exactly the LRU refresh.
+fn read_gen_ledger(path: &Path) -> BTreeMap<String, u64> {
+    let mut map = BTreeMap::new();
+    if let Ok(text) = std::fs::read_to_string(path) {
+        for line in text.lines() {
+            if let Some((gen, name)) = line.split_once(' ') {
+                if let Ok(gen) = gen.parse::<u64>() {
+                    map.insert(name.to_string(), gen);
+                }
+            }
+        }
+    }
+    map
+}
+
+/// The store-generation ledger for `root`.
+fn ledger_generations(root: &Path) -> BTreeMap<String, u64> {
+    read_gen_ledger(&root.join(LEDGER_FILE))
+}
+
+/// Appends one `<gen> <filename>` line to a ledger (best effort — the
+/// ledger is recency metadata, never a correctness dependency).
+fn append_gen_ledger(path: &Path, gen: u64, filename: &str) {
+    if let Ok(mut f) = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)
+    {
+        let _ = writeln!(f, "{gen:020} {filename}");
+    }
+}
+
+/// Rewrites a ledger to exactly `entries` (compaction after eviction or
+/// reaping), via temp + rename so a crash never leaves a torn ledger.
+fn rewrite_gen_ledger(path: &Path, entries: &BTreeMap<String, u64>) {
+    if entries.is_empty() {
+        let _ = std::fs::remove_file(path);
+        return;
+    }
+    let mut text = String::new();
+    let mut rows: Vec<(&u64, &String)> = entries.iter().map(|(n, g)| (g, n)).collect();
+    rows.sort();
+    for (gen, name) in rows {
+        text.push_str(&format!("{gen:020} {name}\n"));
+    }
+    let tmp = path.with_extension("log.tmp");
+    if std::fs::write(&tmp, text).is_ok() && std::fs::rename(&tmp, path).is_err() {
+        let _ = std::fs::remove_file(&tmp);
     }
 }
 
@@ -156,6 +316,7 @@ fn take_quarantined(path: &Path) -> bool {
 pub struct ArtifactCache {
     root: PathBuf,
     enabled: bool,
+    budget_bytes: Option<u64>,
 }
 
 /// One artifact's `(root, name, key)` address.
@@ -188,12 +349,22 @@ static REAPED_ROOTS: Mutex<Option<BTreeSet<PathBuf>>> = Mutex::new(None);
 
 impl ArtifactCache {
     /// A cache rooted at an explicit directory (created lazily on first
-    /// store). The first open of a root in this process reaps `.tmp-*`
-    /// files orphaned by crashed runs.
+    /// store), with the disk budget taken from `BDC_CACHE_BUDGET_MB`.
+    /// The first open of a root in this process reaps `.tmp-*`
+    /// files orphaned by crashed runs and quarantined artifacts older
+    /// than [`QUARANTINE_REAP_GENERATIONS`] store generations.
     pub fn new(root: impl Into<PathBuf>) -> Self {
+        Self::with_budget_bytes(root, env_budget_bytes())
+    }
+
+    /// A cache with an explicit disk budget in bytes (`None` = unbounded),
+    /// overriding `BDC_CACHE_BUDGET_MB` — the testing seam for the
+    /// eviction path.
+    pub fn with_budget_bytes(root: impl Into<PathBuf>, budget_bytes: Option<u64>) -> Self {
         let cache = ArtifactCache {
             root: root.into(),
             enabled: true,
+            budget_bytes,
         };
         let first_open = REAPED_ROOTS
             .lock()
@@ -202,6 +373,7 @@ impl ArtifactCache {
             .insert(cache.root.clone());
         if first_open {
             cache.reap_orphaned_tmp();
+            cache.reap_stale_quarantine(current_generation(&cache.root));
         }
         cache
     }
@@ -211,6 +383,7 @@ impl ArtifactCache {
         ArtifactCache {
             root: PathBuf::new(),
             enabled: false,
+            budget_bytes: None,
         }
     }
 
@@ -344,6 +517,7 @@ impl ArtifactCache {
     /// local artifact.
     fn peer_fill(&self, name: &str, key: u64) -> Option<String> {
         let hooks = peer_hooks()?;
+        faults::inject_peer_delay();
         match (hooks.fetch)(name, key) {
             PeerFetch::NotAttempted => None,
             PeerFetch::Miss => {
@@ -361,9 +535,15 @@ impl ArtifactCache {
                     faults::note_peer_miss();
                     faults::note_quarantine();
                     let dir = self.quarantine_dir();
-                    if std::fs::create_dir_all(&dir).is_ok() {
-                        let _ =
-                            std::fs::write(dir.join(format!("peer-{name}-{key:016x}.txt")), raw);
+                    let file = format!("peer-{name}-{key:016x}.txt");
+                    if std::fs::create_dir_all(&dir).is_ok()
+                        && std::fs::write(dir.join(&file), raw).is_ok()
+                    {
+                        append_gen_ledger(
+                            &dir.join(QUARANTINE_LEDGER),
+                            current_generation(&self.root),
+                            &file,
+                        );
                     }
                     None
                 }
@@ -385,7 +565,52 @@ impl ArtifactCache {
                 .unwrap_or(false);
         if !moved {
             let _ = std::fs::remove_file(path);
+        } else if let Some(file) = path.file_name().and_then(|f| f.to_str()) {
+            // Stamp the quarantined artifact with the store generation it
+            // arrived at, so the store-open reaper can age it out.
+            append_gen_ledger(
+                &dir.join(QUARANTINE_LEDGER),
+                current_generation(&self.root),
+                file,
+            );
         }
+    }
+
+    /// Reaps quarantined artifacts stamped more than
+    /// [`QUARANTINE_REAP_GENERATIONS`] store generations before `current`,
+    /// and adopts unstamped ones (quarantined by an older binary) at
+    /// `current` so they age out on schedule rather than living forever.
+    fn reap_stale_quarantine(&self, current: u64) {
+        let qdir = self.quarantine_dir();
+        let Ok(entries) = std::fs::read_dir(&qdir) else {
+            return;
+        };
+        let ledger_path = qdir.join(QUARANTINE_LEDGER);
+        let stamped = read_gen_ledger(&ledger_path);
+        let mut survivors: BTreeMap<String, u64> = BTreeMap::new();
+        for entry in entries.flatten() {
+            let file = entry.file_name();
+            let Some(file) = file.to_str() else { continue };
+            if file == QUARANTINE_LEDGER {
+                continue;
+            }
+            match stamped.get(file) {
+                Some(&gen) if current.saturating_sub(gen) > QUARANTINE_REAP_GENERATIONS => {
+                    if std::fs::remove_file(entry.path()).is_ok() {
+                        faults::note_quarantine_reaped();
+                    } else {
+                        survivors.insert(file.to_string(), gen);
+                    }
+                }
+                Some(&gen) => {
+                    survivors.insert(file.to_string(), gen);
+                }
+                None => {
+                    survivors.insert(file.to_string(), current);
+                }
+            }
+        }
+        rewrite_gen_ledger(&ledger_path, &survivors);
     }
 
     /// Stores an artifact (framed with the version + checksum header).
@@ -407,30 +632,140 @@ impl ArtifactCache {
     /// and the peer-store endpoint use this so a pushed artifact can never
     /// trigger a push chain (the owner would otherwise re-offer what it
     /// just received).
+    ///
+    /// The write is crash-consistent: framed bytes go to a temp file,
+    /// `fsync`, then an atomic rename audited against the framed length —
+    /// a torn final artifact can only mean filesystem corruption, which
+    /// the read-side checksum still catches. A synthetic ENOSPC from the
+    /// `disk_full=` fault kind fails the store silently, the same
+    /// failures-are-misses contract as a real full disk.
     pub fn store_replica(&self, name: &str, key: u64, text: &str) -> bool {
         if !self.enabled {
             return false;
         }
         faults::inject_io_delay();
+        if faults::inject_disk_full(&format!("{name}-{key:016x}")) {
+            return false;
+        }
         if std::fs::create_dir_all(&self.root).is_err() {
             return false;
         }
         let final_path = self.path_for(name, key);
+        let framed = frame(text);
         let tmp = self
             .root
             .join(format!(".tmp-{name}-{key:016x}-{}", std::process::id()));
-        if std::fs::write(&tmp, frame(text)).is_err() {
+        if !write_durable(&tmp, framed.as_bytes()) {
+            let _ = std::fs::remove_file(&tmp);
             return false;
         }
         if std::fs::rename(&tmp, &final_path).is_err() {
             let _ = std::fs::remove_file(&tmp);
             return final_path.exists();
         }
+        // Rename audit: the bytes at the final address must be the frame
+        // we just synced, not a leftover from a racing writer of a
+        // different length. (Same-length racers wrote the same frame —
+        // keys are content-addressed.)
+        let audited = std::fs::metadata(&final_path)
+            .map(|m| m.len() == framed.len() as u64)
+            .unwrap_or(false);
+        if !audited {
+            return false;
+        }
+        let file = format!("{name}-{key:016x}.txt");
+        append_gen_ledger(
+            &self.root.join(LEDGER_FILE),
+            bump_generation(&self.root),
+            &file,
+        );
         if take_quarantined(&final_path) {
             faults::note_rebuilt();
         }
+        self.enforce_budget(&file);
         true
     }
+
+    /// Evicts lowest-generation artifacts until the root's `*.txt`
+    /// footprint fits the budget. `keep` (the artifact just stored) and
+    /// any entry whose single-flight lock is held — the working set of an
+    /// in-flight plan — are never evicted, so a tight budget degrades hit
+    /// rate, never correctness.
+    fn enforce_budget(&self, keep: &str) {
+        let Some(budget) = self.budget_bytes else {
+            return;
+        };
+        let Ok(entries) = std::fs::read_dir(&self.root) else {
+            return;
+        };
+        let mut files: Vec<(String, u64)> = Vec::new();
+        for entry in entries.flatten() {
+            let file = entry.file_name();
+            let Some(file) = file.to_str() else { continue };
+            if !file.ends_with(".txt") {
+                continue;
+            }
+            if let Ok(meta) = entry.metadata() {
+                if meta.is_file() {
+                    files.push((file.to_string(), meta.len()));
+                }
+            }
+        }
+        let mut total: u64 = files.iter().map(|(_, size)| size).sum();
+        if total <= budget {
+            return;
+        }
+        let mut ledger = ledger_generations(&self.root);
+        let pinned = pinned_files(&self.root);
+        // Oldest generation first; entries predating the ledger sort
+        // before everything at generation 0, ties broken by filename so
+        // the order is deterministic.
+        files.sort_by(|(a, _), (b, _)| {
+            let (ga, gb) = (
+                ledger.get(a).copied().unwrap_or(0),
+                ledger.get(b).copied().unwrap_or(0),
+            );
+            ga.cmp(&gb).then_with(|| a.cmp(b))
+        });
+        for (file, size) in files {
+            if total <= budget {
+                break;
+            }
+            if file == keep || pinned.contains(&file) {
+                continue;
+            }
+            if std::fs::remove_file(self.root.join(&file)).is_ok() {
+                total -= size;
+                ledger.remove(&file);
+                faults::note_evicted();
+            }
+        }
+        rewrite_gen_ledger(&self.root.join(LEDGER_FILE), &ledger);
+    }
+}
+
+/// Artifact filenames under `root` whose single-flight lock is currently
+/// held — an in-flight load → compute → store holds its artifact's lock
+/// throughout, so these are exactly the keys pinned by running plans.
+fn pinned_files(root: &Path) -> BTreeSet<String> {
+    let guard = IN_FLIGHT.lock().unwrap_or_else(|p| p.into_inner());
+    let Some(map) = guard.as_ref() else {
+        return BTreeSet::new();
+    };
+    map.iter()
+        .filter(|((r, _, _), _)| r == root)
+        .filter(|(_, lock)| lock.try_lock().is_err())
+        .map(|((_, name, key), _)| format!("{name}-{key:016x}.txt"))
+        .collect()
+}
+
+/// Writes bytes and syncs them to stable storage; a crash after this
+/// returns cannot tear the file.
+fn write_durable(path: &Path, bytes: &[u8]) -> bool {
+    let Ok(mut f) = std::fs::File::create(path) else {
+        return false;
+    };
+    f.write_all(bytes).is_ok() && f.sync_all().is_ok()
 }
 
 /// Whether a process with this pid exists (Linux: `/proc/<pid>`;
@@ -683,6 +1018,97 @@ mod tests {
         // Re-validating an existing directory is fine.
         assert!(validate_cache_dir(&nested).is_ok());
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn parse_cache_budget_mb_accepts_positive_integers_only() {
+        assert_eq!(parse_cache_budget_mb("64"), Ok(64));
+        assert_eq!(parse_cache_budget_mb(" 1 "), Ok(1));
+        for bad in ["", "0", "-8", "8.5", "64MB", "unbounded"] {
+            let err = parse_cache_budget_mb(bad).expect_err(bad);
+            assert!(err.contains("BDC_CACHE_BUDGET_MB"), "{bad}: {err}");
+        }
+    }
+
+    #[test]
+    fn budget_evicts_lowest_generation_first_and_restore_refreshes() {
+        let _guard = COUNTER_LOCK.lock().unwrap_or_else(|p| p.into_inner());
+        let dir = std::env::temp_dir().join(format!("bdc-exec-budget-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        // ~400-byte artifacts against a 1000-byte budget: two fit, three
+        // do not.
+        let c = ArtifactCache::with_budget_bytes(&dir, Some(1000));
+        let payload = "x".repeat(400);
+        let before = faults::counters();
+        assert!(c.store("a", 1, &payload));
+        assert!(c.store("b", 2, &payload));
+        // Refresh `a` (re-store bumps its generation), then push over
+        // budget: the LRU victim must now be `b`, not `a`.
+        assert!(c.store("a", 1, &payload));
+        assert!(c.store("c", 3, &payload));
+        assert_eq!(c.load("b", 2), None, "oldest-generation entry evicted");
+        assert_eq!(c.load("a", 1).as_deref(), Some(payload.as_str()));
+        assert_eq!(c.load("c", 3).as_deref(), Some(payload.as_str()));
+        let delta = faults::counters().since(&before);
+        assert!(delta.evicted >= 1, "eviction must be counted");
+        // The surviving footprint fits the budget.
+        let total: u64 = std::fs::read_dir(c.root())
+            .unwrap()
+            .flatten()
+            .filter(|e| e.file_name().to_string_lossy().ends_with(".txt"))
+            .map(|e| e.metadata().unwrap().len())
+            .sum();
+        assert!(total <= 1000, "footprint {total} exceeds the budget");
+        let _ = std::fs::remove_dir_all(c.root());
+    }
+
+    #[test]
+    fn budget_never_evicts_in_flight_pins() {
+        let dir = std::env::temp_dir().join(format!("bdc-exec-pin-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let c = ArtifactCache::with_budget_bytes(&dir, Some(500));
+        let payload = "y".repeat(400);
+        assert!(c.store("pinned", 1, &payload));
+        // Hold the single-flight lock, as a cached helper computing this
+        // artifact would, then blow the budget with a second store.
+        let flight = artifact_flight(c.root(), "pinned", 1);
+        let held = flight.lock().unwrap();
+        assert!(c.store("other", 2, &payload));
+        assert_eq!(
+            c.load("pinned", 1).as_deref(),
+            Some(payload.as_str()),
+            "a pinned artifact must survive eviction"
+        );
+        drop(held);
+        let _ = std::fs::remove_dir_all(c.root());
+    }
+
+    #[test]
+    fn stale_quarantine_is_reaped_by_generation_age() {
+        let _guard = COUNTER_LOCK.lock().unwrap_or_else(|p| p.into_inner());
+        let c = temp_cache("qreap");
+        assert!(c.store("lib", 1, "payload"));
+        // Corrupt and load → quarantined + stamped at the current
+        // generation.
+        let path = c.path_for("lib", 1);
+        let mut bytes = std::fs::read(&path).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0xFF;
+        std::fs::write(&path, &bytes).unwrap();
+        assert_eq!(c.load("lib", 1), None);
+        let qfile = c.quarantine_dir().join(format!("lib-{:016x}.txt", 1));
+        assert!(qfile.exists());
+
+        let before = faults::counters();
+        // Young: a reap at a nearby generation keeps it.
+        c.reap_stale_quarantine(current_generation(c.root()) + QUARANTINE_REAP_GENERATIONS);
+        assert!(qfile.exists(), "young quarantine must survive");
+        // Old: a reap far in the generation future removes it.
+        c.reap_stale_quarantine(current_generation(c.root()) + QUARANTINE_REAP_GENERATIONS + 2);
+        assert!(!qfile.exists(), "stale quarantine must be reaped");
+        let delta = faults::counters().since(&before);
+        assert_eq!(delta.quarantine_reaped, 1);
+        let _ = std::fs::remove_dir_all(c.root());
     }
 
     #[test]

@@ -3,7 +3,8 @@
 //! Every binary in the workspace honours the same variables:
 //! `BDC_WORKERS` (worker-thread count), `BDC_CACHE_DIR` (artifact-cache
 //! root), `BDC_NO_CACHE` (disable the cache), `BDC_FAULTS` (the
-//! fault-injection spec, see [`crate::faults`]), and the cluster topology
+//! fault-injection spec, see [`crate::faults`]), `BDC_CACHE_BUDGET_MB`
+//! (the artifact-store disk budget), and the cluster topology
 //! knobs `BDC_SHARDS`/`BDC_RING_SEED`/`BDC_SHARD_ID`/`BDC_PEER_PORTS`
 //! (see [`crate::cluster`]). Before this module each
 //! binary read them ad hoc and the first *use* — possibly deep inside a
@@ -15,7 +16,7 @@
 use std::path::PathBuf;
 
 use crate::batch::parse_batch_lanes;
-use crate::cache::validate_cache_dir;
+use crate::cache::{parse_cache_budget_mb, validate_cache_dir};
 use crate::cluster::{self, ClusterEnv};
 use crate::faults::{self, FaultConfig};
 use crate::pool::parse_workers;
@@ -48,6 +49,9 @@ pub struct EnvConfig {
     /// `BDC_SHARD_ID`, `BDC_PEER_PORTS`), cross-validated by
     /// [`cluster::cluster_env`]. `None` when no cluster knob is set.
     pub cluster: Option<ClusterEnv>,
+    /// `BDC_CACHE_BUDGET_MB`, parsed and range-checked by
+    /// [`parse_cache_budget_mb`]. `None` when unset (no disk budget).
+    pub cache_budget_mb: Option<u64>,
 }
 
 /// Reads and validates `BDC_WORKERS`, `BDC_CACHE_DIR`, `BDC_NO_CACHE`,
@@ -85,6 +89,10 @@ pub fn env_config() -> Result<EnvConfig, String> {
     };
     let no_batch = std::env::var_os("BDC_NO_BATCH").is_some();
     let cluster = cluster::cluster_env()?;
+    let cache_budget_mb = match std::env::var("BDC_CACHE_BUDGET_MB") {
+        Ok(raw) => Some(parse_cache_budget_mb(&raw)?),
+        Err(_) => None,
+    };
     Ok(EnvConfig {
         workers,
         cache_dir,
@@ -93,6 +101,7 @@ pub fn env_config() -> Result<EnvConfig, String> {
         batch_lanes,
         no_batch,
         cluster,
+        cache_budget_mb,
     })
 }
 
@@ -117,6 +126,7 @@ mod tests {
             && std::env::var_os("BDC_RING_SEED").is_none()
             && std::env::var_os("BDC_SHARD_ID").is_none()
             && std::env::var_os("BDC_PEER_PORTS").is_none()
+            && std::env::var_os("BDC_CACHE_BUDGET_MB").is_none()
         {
             let cfg = env_config().expect("empty env is valid");
             assert_eq!(
@@ -129,8 +139,39 @@ mod tests {
                     batch_lanes: None,
                     no_batch: false,
                     cluster: None,
+                    cache_budget_mb: None,
                 }
             );
+        }
+    }
+
+    // `env_config` routes `BDC_CACHE_BUDGET_MB` and `BDC_FAULTS` through
+    // the same hardened parsers exercised here, so rejection coverage for
+    // the new knobs lives at the parser level (process-env mutation is not
+    // safe under parallel tests).
+    #[test]
+    fn cache_budget_parser_rejects_bad_values() {
+        for bad in ["", "0", "-1", "1.5", "64MB", "lots", "18446744073709551616"] {
+            let err = parse_cache_budget_mb(bad).expect_err(bad);
+            assert!(err.contains("BDC_CACHE_BUDGET_MB"), "{bad}: {err}");
+        }
+        assert_eq!(parse_cache_budget_mb("64").unwrap(), 64);
+        assert_eq!(parse_cache_budget_mb(" 8 ").unwrap(), 8);
+    }
+
+    #[test]
+    fn fault_spec_parser_rejects_bad_new_kinds() {
+        for bad in [
+            "disk_full=2",
+            "peer_slow=fast",
+            "partition=-0.5",
+            "disk_full=0.1,disk_full=0.1",
+            "peer_slow=1ms,peer_slow=2ms",
+            "partition=0.1,partition=0.1",
+            "disk_fill=0.1",
+        ] {
+            let err = faults::parse_spec(bad).expect_err(bad);
+            assert!(err.contains("BDC_FAULTS"), "{bad}: {err}");
         }
     }
 }

@@ -20,6 +20,13 @@
 //!   `catch_unwind` + bounded-retry containment.
 //! * `io_slow` — a fixed delay added to cache I/O and engine execution,
 //!   exercising deadlines and socket timeouts.
+//! * `disk_full` — probability that an artifact store attempt sees a
+//!   synthetic ENOSPC, exercising the cache's failures-are-misses
+//!   contract and the disk-budget eviction path.
+//! * `peer_slow` — a fixed delay added to peer-shard artifact fetches,
+//!   exercising peer timeouts and deadline propagation.
+//! * `partition` — probability that a peer or proxy connection attempt
+//!   is refused outright, exercising router failover and breakers.
 //!
 //! **Determinism:** every decision is a pure function of
 //! `(seed, kind, site, attempt)` — never of wall clock, thread schedule,
@@ -51,6 +58,14 @@ pub struct FaultConfig {
     pub task_panic: f64,
     /// Fixed delay injected into cache I/O and engine execution.
     pub io_slow: Duration,
+    /// Probability in `[0, 1]` that an artifact store attempt sees a
+    /// synthetic ENOSPC.
+    pub disk_full: f64,
+    /// Fixed delay injected into peer-shard artifact fetches.
+    pub peer_slow: Duration,
+    /// Probability in `[0, 1]` that a peer/proxy connection attempt is
+    /// refused.
+    pub partition: f64,
     /// Root seed all injection decisions derive from.
     pub seed: u64,
 }
@@ -61,6 +76,9 @@ impl Default for FaultConfig {
             cache_corrupt: 0.0,
             task_panic: 0.0,
             io_slow: Duration::ZERO,
+            disk_full: 0.0,
+            peer_slow: Duration::ZERO,
+            partition: 0.0,
             seed: 0,
         }
     }
@@ -69,27 +87,35 @@ impl Default for FaultConfig {
 impl FaultConfig {
     /// Whether every knob is at its inert value (rates 0, no delay).
     pub fn is_inert(&self) -> bool {
-        self.cache_corrupt == 0.0 && self.task_panic == 0.0 && self.io_slow.is_zero()
+        self.cache_corrupt == 0.0
+            && self.task_panic == 0.0
+            && self.io_slow.is_zero()
+            && self.disk_full == 0.0
+            && self.peer_slow.is_zero()
+            && self.partition == 0.0
     }
 
     /// Renders the spec in the exact `key=value,...` syntax
     /// [`parse_spec`] accepts (round-trip pinned by the property tests).
     pub fn to_spec(&self) -> String {
         format!(
-            "cache_corrupt={},task_panic={},io_slow={}ms,seed={}",
+            "cache_corrupt={},task_panic={},io_slow={}ms,disk_full={},peer_slow={}ms,partition={},seed={}",
             self.cache_corrupt,
             self.task_panic,
             self.io_slow.as_millis(),
+            self.disk_full,
+            self.peer_slow.as_millis(),
+            self.partition,
             self.seed
         )
     }
 }
 
 /// Parses a `BDC_FAULTS` value: comma-separated `key=value` pairs with
-/// keys `cache_corrupt`, `task_panic` (probabilities in `[0, 1]`),
-/// `io_slow` (a duration, `20ms` / `2s` / `0`), and `seed` (a u64).
-/// Missing keys default to the inert value; duplicate or unknown keys are
-/// rejected.
+/// keys `cache_corrupt`, `task_panic`, `disk_full`, `partition`
+/// (probabilities in `[0, 1]`), `io_slow` and `peer_slow` (durations,
+/// `20ms` / `2s` / `0`), and `seed` (a u64). Missing keys default to the
+/// inert value; duplicate or unknown keys are rejected.
 ///
 /// # Errors
 /// A one-line diagnostic naming `BDC_FAULTS`, the offending key, and the
@@ -119,7 +145,10 @@ pub fn parse_spec(raw: &str) -> Result<FaultConfig, String> {
         match key {
             "cache_corrupt" => cfg.cache_corrupt = parse_rate(key, value)?,
             "task_panic" => cfg.task_panic = parse_rate(key, value)?,
-            "io_slow" => cfg.io_slow = parse_duration(value)?,
+            "io_slow" => cfg.io_slow = parse_duration(key, value)?,
+            "disk_full" => cfg.disk_full = parse_rate(key, value)?,
+            "peer_slow" => cfg.peer_slow = parse_duration(key, value)?,
+            "partition" => cfg.partition = parse_rate(key, value)?,
             "seed" => {
                 cfg.seed = value.parse::<u64>().map_err(|_| {
                     format!("BDC_FAULTS `seed` must be an unsigned integer, got `{value}`")
@@ -128,7 +157,7 @@ pub fn parse_spec(raw: &str) -> Result<FaultConfig, String> {
             other => {
                 return Err(format!(
                     "BDC_FAULTS has unknown key `{other}` (known: cache_corrupt, \
-                     task_panic, io_slow, seed)"
+                     task_panic, io_slow, disk_full, peer_slow, partition, seed)"
                 ));
             }
         }
@@ -149,9 +178,9 @@ fn parse_rate(key: &str, value: &str) -> Result<f64, String> {
     Ok(rate)
 }
 
-fn parse_duration(value: &str) -> Result<Duration, String> {
+fn parse_duration(key: &str, value: &str) -> Result<Duration, String> {
     let bad = || {
-        format!("BDC_FAULTS `io_slow` must be a duration like `20ms`, `2s`, or `0`, got `{value}`")
+        format!("BDC_FAULTS `{key}` must be a duration like `20ms`, `2s`, or `0`, got `{value}`")
     };
     let (digits, unit) = match value.find(|c: char| !c.is_ascii_digit()) {
         Some(0) => return Err(bad()),
@@ -262,6 +291,46 @@ pub fn inject_io_delay() {
     }
 }
 
+/// Whether the artifact store attempt at `site` should see a synthetic
+/// ENOSPC. Counts the injection when it fires.
+pub fn inject_disk_full(site: &str) -> bool {
+    let Some(cfg) = active() else { return false };
+    if cfg.disk_full <= 0.0 {
+        return false;
+    }
+    let fire = roll(cfg.seed, "disk_full", site, 0) < cfg.disk_full;
+    if fire {
+        COUNTERS.injected_disk_full.fetch_add(1, Ordering::Relaxed);
+    }
+    fire
+}
+
+/// Sleeps for the configured `peer_slow` delay before a peer-shard
+/// artifact fetch (no-op when disarmed).
+pub fn inject_peer_delay() {
+    let Some(cfg) = active() else { return };
+    if !cfg.peer_slow.is_zero() {
+        COUNTERS.peer_slow_delays.fetch_add(1, Ordering::Relaxed);
+        std::thread::sleep(cfg.peer_slow);
+    }
+}
+
+/// Whether the peer/proxy connection attempt at `site` should be refused
+/// as if the network were partitioned. Retries pass an incremented
+/// `attempt` and re-roll, so a partition heals under failover. Counts the
+/// injection when it fires.
+pub fn inject_partition(site: &str, attempt: u64) -> bool {
+    let Some(cfg) = active() else { return false };
+    if cfg.partition <= 0.0 {
+        return false;
+    }
+    let fire = roll(cfg.seed, "partition", site, attempt) < cfg.partition;
+    if fire {
+        COUNTERS.injected_partitions.fetch_add(1, Ordering::Relaxed);
+    }
+    fire
+}
+
 /// The seeded backoff delay before retry `attempt` (1-based) at `site`:
 /// exponential base doubling from 5 ms, plus up to 50% deterministic
 /// jitter so synchronized failures do not retry in lockstep.
@@ -284,6 +353,11 @@ struct Counters {
     peer_hits: AtomicU64,
     peer_misses: AtomicU64,
     peer_pushes: AtomicU64,
+    injected_disk_full: AtomicU64,
+    peer_slow_delays: AtomicU64,
+    injected_partitions: AtomicU64,
+    evicted: AtomicU64,
+    quarantine_reaped: AtomicU64,
 }
 
 static COUNTERS: Counters = Counters {
@@ -297,6 +371,11 @@ static COUNTERS: Counters = Counters {
     peer_hits: AtomicU64::new(0),
     peer_misses: AtomicU64::new(0),
     peer_pushes: AtomicU64::new(0),
+    injected_disk_full: AtomicU64::new(0),
+    peer_slow_delays: AtomicU64::new(0),
+    injected_partitions: AtomicU64::new(0),
+    evicted: AtomicU64::new(0),
+    quarantine_reaped: AtomicU64::new(0),
 };
 
 /// A point-in-time copy of the survival counters.
@@ -324,6 +403,16 @@ pub struct FaultCounters {
     pub peer_misses: u64,
     /// Freshly stored artifacts pushed to their ring-owner shard.
     pub peer_pushes: u64,
+    /// Artifact stores refused by an injected synthetic ENOSPC.
+    pub injected_disk_full: u64,
+    /// Injected peer-fetch delays applied.
+    pub peer_slow_delays: u64,
+    /// Peer/proxy connections refused by an injected partition.
+    pub injected_partitions: u64,
+    /// Artifacts evicted by the disk-budget LRU (real and fault-driven).
+    pub evicted: u64,
+    /// Quarantined artifacts reaped by the generation-age bound.
+    pub quarantine_reaped: u64,
 }
 
 impl FaultCounters {
@@ -344,6 +433,19 @@ impl FaultCounters {
             peer_hits: self.peer_hits.saturating_sub(earlier.peer_hits),
             peer_misses: self.peer_misses.saturating_sub(earlier.peer_misses),
             peer_pushes: self.peer_pushes.saturating_sub(earlier.peer_pushes),
+            injected_disk_full: self
+                .injected_disk_full
+                .saturating_sub(earlier.injected_disk_full),
+            peer_slow_delays: self
+                .peer_slow_delays
+                .saturating_sub(earlier.peer_slow_delays),
+            injected_partitions: self
+                .injected_partitions
+                .saturating_sub(earlier.injected_partitions),
+            evicted: self.evicted.saturating_sub(earlier.evicted),
+            quarantine_reaped: self
+                .quarantine_reaped
+                .saturating_sub(earlier.quarantine_reaped),
         }
     }
 }
@@ -361,6 +463,11 @@ pub fn counters() -> FaultCounters {
         peer_hits: COUNTERS.peer_hits.load(Ordering::Relaxed),
         peer_misses: COUNTERS.peer_misses.load(Ordering::Relaxed),
         peer_pushes: COUNTERS.peer_pushes.load(Ordering::Relaxed),
+        injected_disk_full: COUNTERS.injected_disk_full.load(Ordering::Relaxed),
+        peer_slow_delays: COUNTERS.peer_slow_delays.load(Ordering::Relaxed),
+        injected_partitions: COUNTERS.injected_partitions.load(Ordering::Relaxed),
+        evicted: COUNTERS.evicted.load(Ordering::Relaxed),
+        quarantine_reaped: COUNTERS.quarantine_reaped.load(Ordering::Relaxed),
     }
 }
 
@@ -399,19 +506,36 @@ pub fn note_peer_push() {
     COUNTERS.peer_pushes.fetch_add(1, Ordering::Relaxed);
 }
 
+/// Counts an artifact evicted by the disk-budget LRU.
+pub fn note_evicted() {
+    COUNTERS.evicted.fetch_add(1, Ordering::Relaxed);
+}
+
+/// Counts a quarantined artifact reaped by the generation-age bound.
+pub fn note_quarantine_reaped() {
+    COUNTERS.quarantine_reaped.fetch_add(1, Ordering::Relaxed);
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
     #[test]
     fn parses_the_full_spec() {
-        let cfg = parse_spec("cache_corrupt=0.05,task_panic=0.01,io_slow=20ms,seed=42").unwrap();
+        let cfg = parse_spec(
+            "cache_corrupt=0.05,task_panic=0.01,io_slow=20ms,disk_full=0.1,\
+             peer_slow=15ms,partition=0.02,seed=42",
+        )
+        .unwrap();
         assert_eq!(
             cfg,
             FaultConfig {
                 cache_corrupt: 0.05,
                 task_panic: 0.01,
                 io_slow: Duration::from_millis(20),
+                disk_full: 0.1,
+                peer_slow: Duration::from_millis(15),
+                partition: 0.02,
                 seed: 42,
             }
         );
@@ -447,10 +571,20 @@ mod tests {
             "task_panic=two",
             "io_slow=20m",
             "io_slow=ms",
+            "disk_full=1.5",
+            "disk_full=-0.1",
+            "disk_full=NaN",
+            "peer_slow=20m",
+            "peer_slow=ms",
+            "partition=2",
+            "partition=half",
             "seed=-1",
             "seed=1.5",
             "nosuch=1",
             "seed=1,seed=2",
+            "disk_full=0.1,disk_full=0.2",
+            "peer_slow=5ms,peer_slow=5ms",
+            "partition=0,partition=0",
         ] {
             let err = parse_spec(bad).expect_err(bad);
             assert!(err.contains("BDC_FAULTS"), "{bad}: {err}");
@@ -463,9 +597,34 @@ mod tests {
             cache_corrupt: 0.125,
             task_panic: 0.5,
             io_slow: Duration::from_millis(30),
+            disk_full: 0.25,
+            peer_slow: Duration::from_millis(10),
+            partition: 0.0625,
             seed: 99,
         };
         assert_eq!(parse_spec(&cfg.to_spec()).unwrap(), cfg);
+    }
+
+    #[test]
+    fn new_kinds_default_to_inert() {
+        let cfg = parse_spec("seed=7").unwrap();
+        assert_eq!(cfg.disk_full, 0.0);
+        assert!(cfg.peer_slow.is_zero());
+        assert_eq!(cfg.partition, 0.0);
+        assert!(cfg.is_inert());
+        // Any one of the new kinds alone makes the spec non-inert.
+        assert!(!parse_spec("disk_full=0.1").unwrap().is_inert());
+        assert!(!parse_spec("peer_slow=5ms").unwrap().is_inert());
+        assert!(!parse_spec("partition=0.1").unwrap().is_inert());
+    }
+
+    #[test]
+    fn partition_rolls_heal_across_attempts() {
+        // A partition decision is a pure function of (site, attempt), so a
+        // high-but-not-certain rate must eventually let a retry through.
+        let a = roll(42, "partition", "peer:127.0.0.1:9", 0);
+        let b = roll(42, "partition", "peer:127.0.0.1:9", 1);
+        assert_ne!(a, b);
     }
 
     #[test]

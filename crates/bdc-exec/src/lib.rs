@@ -53,8 +53,9 @@ pub use batch::{
     batch_lanes, parse_batch_lanes, set_batch_lanes, DEFAULT_BATCH_LANES, MAX_BATCH_LANES,
 };
 pub use cache::{
-    artifact_flight, fnv1a, frame_artifact, install_peer_hooks, unframe_artifact,
-    validate_cache_dir, ArtifactCache, PeerFetch, PeerHooks,
+    artifact_flight, fnv1a, frame_artifact, install_peer_hooks, parse_cache_budget_mb,
+    unframe_artifact, validate_cache_dir, ArtifactCache, PeerFetch, PeerHooks,
+    QUARANTINE_REAP_GENERATIONS,
 };
 pub use env::{env_config, EnvConfig};
 pub use pool::{par_map, par_mapi, parse_workers, set_workers, workers};

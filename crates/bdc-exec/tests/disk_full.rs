@@ -1,0 +1,32 @@
+//! Integration contract of the `disk_full=` fault kind against the real
+//! artifact cache: an injected ENOSPC fails the store silently (the
+//! failures-are-misses contract), the injection is counted, and a
+//! disarmed retry of the same store lands. Lives in its own test binary
+//! because the fault configuration is process-global — installing a
+//! rate-1 config next to the cache unit tests would fail their stores.
+
+use bdc_exec::faults::{self, FaultConfig};
+use bdc_exec::ArtifactCache;
+
+#[test]
+fn injected_disk_full_fails_the_store_silently() {
+    let dir = std::env::temp_dir().join(format!("bdc-exec-enospc-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let c = ArtifactCache::new(&dir);
+    faults::install(Some(FaultConfig {
+        disk_full: 1.0,
+        seed: 42,
+        ..FaultConfig::default()
+    }));
+    let before = faults::counters();
+    assert!(!c.store("lib", 9, "doomed"), "certain ENOSPC must miss");
+    assert_eq!(c.load("lib", 9), None);
+    faults::install(None);
+    let delta = faults::counters().since(&before);
+    assert_eq!(delta.injected_disk_full, 1);
+    // Disarmed, the same store lands — a full disk heals by eviction or
+    // operator action, never by wedging the flow.
+    assert!(c.store("lib", 9, "doomed"));
+    assert_eq!(c.load("lib", 9).as_deref(), Some("doomed"));
+    let _ = std::fs::remove_dir_all(c.root());
+}

@@ -19,11 +19,22 @@ use bdc_exec::faults::{self, FaultConfig};
 /// A valid config: rates anywhere in `[0, 1]`, whole-millisecond delays
 /// (the spec syntax cannot carry finer resolution), any seed.
 fn arb_config() -> BoxedStrategy<FaultConfig> {
-    (any::<u32>(), any::<u32>(), any::<u16>(), any::<u64>())
-        .prop_map(|(c, t, ms, seed)| FaultConfig {
+    (
+        any::<u32>(),
+        any::<u32>(),
+        any::<u16>(),
+        any::<u32>(),
+        any::<u16>(),
+        any::<u32>(),
+        any::<u64>(),
+    )
+        .prop_map(|(c, t, ms, d, pms, p, seed)| FaultConfig {
             cache_corrupt: f64::from(c) / f64::from(u32::MAX),
             task_panic: f64::from(t) / f64::from(u32::MAX),
             io_slow: Duration::from_millis(u64::from(ms)),
+            disk_full: f64::from(d) / f64::from(u32::MAX),
+            peer_slow: Duration::from_millis(u64::from(pms)),
+            partition: f64::from(p) / f64::from(u32::MAX),
             seed,
         })
         .boxed()
@@ -61,6 +72,9 @@ proptest! {
             format!("cache_corrupt = {}", cfg.cache_corrupt),
             format!("task_panic = {}", cfg.task_panic),
             format!("io_slow = {}ms", cfg.io_slow.as_millis()),
+            format!("disk_full = {}", cfg.disk_full),
+            format!("peer_slow = {}ms", cfg.peer_slow.as_millis()),
+            format!("partition = {}", cfg.partition),
             format!("seed = {}", cfg.seed),
         ];
         if swap {
@@ -81,7 +95,8 @@ proptest! {
     fn unknown_keys_are_rejected(key in arb_ident(), value in 0u32..2) {
         prop_assume!(!matches!(
             key.as_str(),
-            "cache_corrupt" | "task_panic" | "io_slow" | "seed"
+            "cache_corrupt" | "task_panic" | "io_slow" | "disk_full" | "peer_slow"
+                | "partition" | "seed"
         ));
         let err = faults::parse_spec(&format!("{key}={value}")).unwrap_err();
         prop_assert!(err.contains("BDC_FAULTS"), "diagnostic must name the variable: {}", err);

@@ -52,6 +52,12 @@ pub fn install_cluster_hooks(env: &ClusterEnv) -> Option<usize> {
             if owner == shard_id {
                 return PeerFetch::NotAttempted;
             }
+            // An injected partition severs the fetch before any bytes
+            // move; the failures-are-misses contract turns it into a
+            // local recompute.
+            if faults::inject_partition(&format!("peer-fetch-{name}-{key:016x}"), 0) {
+                return PeerFetch::Miss;
+            }
             let addr = format!("127.0.0.1:{}", fetch_ports[owner]);
             let path = format!("/v1/peer/artifact?name={name}&key={key:016x}");
             match Connection::open_with_timeout(&addr, PEER_TIMEOUT).and_then(|mut c| c.get(&path))
@@ -66,6 +72,11 @@ pub fn install_cluster_hooks(env: &ClusterEnv) -> Option<usize> {
         push: std::sync::Arc::new(move |name, key, text| {
             let owner = ring.owner(artifact_slot(name, key));
             if owner == shard_id {
+                return;
+            }
+            // A partitioned push simply isn't offered — later misses on
+            // other shards recompute, which is the pre-peer behavior.
+            if faults::inject_partition(&format!("peer-push-{name}-{key:016x}"), 0) {
                 return;
             }
             let addr = format!("127.0.0.1:{}", ports[owner]);

@@ -331,6 +331,11 @@ fn serve_connection(
     }
 }
 
+/// Observations an endpoint's latency histogram needs before its p95 is
+/// trusted for deadline admission — refusing on one slow cold-start sample
+/// would starve the endpoint of the warm traffic that brings p95 down.
+const DEADLINE_MIN_SAMPLES: u64 = 20;
+
 /// Routes and resolves one request. Exposed for the in-process bench
 /// harness and tests.
 pub fn handle(request: &http::Request, engine: &Engine<api::ApiCall>) -> (Endpoint, Response) {
@@ -361,8 +366,44 @@ pub fn handle(request: &http::Request, engine: &Engine<api::ApiCall>) -> (Endpoi
         Route::Error(endpoint, response) => (endpoint, response),
         Route::Call(call) => {
             let endpoint = call.endpoint();
+            // Deadline admission: a request whose propagated budget cannot
+            // cover this endpoint's observed p95 is refused before it
+            // queues — a fast 503 beats a slow one that still misses the
+            // deadline and wasted a flight. Requests without the header
+            // take the unmodified path (the byte-determinism gate).
+            if let Some(ms) = request.deadline_ms {
+                let stats = engine.metrics().endpoint(endpoint);
+                let hopeless = ms == 0
+                    || (stats.latency.count() >= DEADLINE_MIN_SAMPLES
+                        && stats.latency.quantile_ms(0.95) > ms as f64);
+                if hopeless {
+                    engine
+                        .metrics()
+                        .deadline_refused
+                        .fetch_add(1, Ordering::Relaxed);
+                    let mut r = Response::error(503, "deadline budget cannot cover this endpoint");
+                    r.extra_headers
+                        .push(("x-bdc-deadline-refused".into(), "1".into()));
+                    return (endpoint, r);
+                }
+            }
+            // Brownout: under sustained queue pressure, endpoints with an
+            // analytic estimate answer from it instead of joining the
+            // queue — explicitly flagged, never cached.
+            if engine.sample_pressure() {
+                if let Some(mut r) = api::degraded_response(&call) {
+                    engine
+                        .metrics()
+                        .brownout_served
+                        .fetch_add(1, Ordering::Relaxed);
+                    r.extra_headers
+                        .push(("x-bdc-degraded".into(), "brownout".into()));
+                    return (endpoint, r);
+                }
+            }
             let key = call.cache_key();
-            let response = match engine.submit(key, call) {
+            let budget = request.deadline_ms.map(Duration::from_millis);
+            let response = match engine.submit_with_budget(key, call, budget) {
                 Submission::CacheHit(r) | Submission::Done(r) => (*r).clone(),
                 Submission::Shed => {
                     let mut r = Response::error(429, "queue full; retry");

@@ -190,6 +190,17 @@ tuple_strategy!(S0 / 0, S1 / 1, S2 / 2);
 tuple_strategy!(S0 / 0, S1 / 1, S2 / 2, S3 / 3);
 tuple_strategy!(S0 / 0, S1 / 1, S2 / 2, S3 / 3, S4 / 4);
 tuple_strategy!(S0 / 0, S1 / 1, S2 / 2, S3 / 3, S4 / 4, S5 / 5);
+tuple_strategy!(S0 / 0, S1 / 1, S2 / 2, S3 / 3, S4 / 4, S5 / 5, S6 / 6);
+tuple_strategy!(
+    S0 / 0,
+    S1 / 1,
+    S2 / 2,
+    S3 / 3,
+    S4 / 4,
+    S5 / 5,
+    S6 / 6,
+    S7 / 7
+);
 
 // ---- collections -----------------------------------------------------------
 
